@@ -1,0 +1,253 @@
+//! Cooperative Bug Isolation — the Liblit-style statistical baseline
+//! (paper §5, ref. \[18\]).
+//!
+//! CBI sparsely samples predicates (here: branch-site directions) across
+//! a user population, then ranks predicates by how much observing them
+//! *increases* the probability of failure. It localizes bugs
+//! statistically but — as the paper notes — "does not diagnose bugs nor
+//! generate proofs or hints for fixing the bugs".
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use softborg_program::BranchSiteId;
+use std::collections::BTreeMap;
+
+/// A sampled predicate observation stream from one run: which branch
+/// directions were observed (possibly a sparse sample), plus the verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredicateSample {
+    /// Observed `(site, taken)` predicates (sampled subset of the run).
+    pub observed: Vec<(BranchSiteId, bool)>,
+    /// Whether the run failed.
+    pub failed: bool,
+}
+
+/// Sparsely samples a full decision path at rate `1/period` (CBI's
+/// "sampling infrastructure … distributed randomly among the different
+/// copies").
+pub fn sample_path(
+    decisions: &[(BranchSiteId, bool)],
+    failed: bool,
+    period: u32,
+    seed: u64,
+) -> PredicateSample {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let observed = decisions
+        .iter()
+        .filter(|_| period <= 1 || rng.gen_range(0..period) == 0)
+        .copied()
+        .collect();
+    PredicateSample { observed, failed }
+}
+
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Counts {
+    /// Runs where the predicate was observed true and the run failed.
+    failing_true: u64,
+    /// Runs where the predicate was observed true and the run passed.
+    passing_true: u64,
+    /// Failing runs in which the predicate's site was observed at all.
+    failing_observed: u64,
+    /// Passing runs in which the predicate's site was observed at all.
+    passing_observed: u64,
+}
+
+/// One ranked predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedPredicate {
+    /// Branch site.
+    pub site: BranchSiteId,
+    /// Direction.
+    pub taken: bool,
+    /// `Increase` score (failure correlation beyond context).
+    pub increase: f64,
+    /// `Failure(P)` — conditional failure probability.
+    pub failure: f64,
+    /// Supporting observations.
+    pub support: u64,
+}
+
+/// The CBI aggregation server.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CbiServer {
+    counts: BTreeMap<(BranchSiteId, bool), Counts>,
+    runs: u64,
+    failing_runs: u64,
+}
+
+impl CbiServer {
+    /// An empty server.
+    pub fn new() -> Self {
+        CbiServer::default()
+    }
+
+    /// Ingests one sampled run.
+    pub fn ingest(&mut self, sample: &PredicateSample) {
+        self.runs += 1;
+        if sample.failed {
+            self.failing_runs += 1;
+        }
+        // Per run, a predicate counts once (true if ever observed true).
+        let mut seen: BTreeMap<(BranchSiteId, bool), bool> = BTreeMap::new();
+        for &(site, taken) in &sample.observed {
+            seen.entry((site, taken)).or_insert(true);
+            // Observing (site, taken) also observes the site for the
+            // complementary predicate.
+            seen.entry((site, !taken)).or_insert(false);
+        }
+        for ((site, dir), was_true) in seen {
+            let c = self.counts.entry((site, dir)).or_default();
+            if sample.failed {
+                c.failing_observed += 1;
+                if was_true {
+                    c.failing_true += 1;
+                }
+            } else {
+                c.passing_observed += 1;
+                if was_true {
+                    c.passing_true += 1;
+                }
+            }
+        }
+    }
+
+    /// Total runs ingested.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Ranks predicates by the Liblit `Increase` score:
+    /// `Failure(P) - Context(P)` where
+    /// `Failure(P) = F(P)/(F(P)+S(P))` over runs where `P` was observed
+    /// true, and `Context(P)` is the failure rate over runs where `P`'s
+    /// site was observed at all.
+    pub fn ranked(&self) -> Vec<RankedPredicate> {
+        let mut out: Vec<RankedPredicate> = self
+            .counts
+            .iter()
+            .filter_map(|((site, dir), c)| {
+                let tru = c.failing_true + c.passing_true;
+                let obs = c.failing_observed + c.passing_observed;
+                if tru == 0 || obs == 0 {
+                    return None;
+                }
+                let failure = c.failing_true as f64 / tru as f64;
+                let context = c.failing_observed as f64 / obs as f64;
+                Some(RankedPredicate {
+                    site: *site,
+                    taken: *dir,
+                    increase: failure - context,
+                    failure,
+                    support: tru,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.increase
+                .partial_cmp(&a.increase)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.support.cmp(&a.support))
+        });
+        out
+    }
+
+    /// 1-indexed rank of `(site, taken)` in the current ranking (`None`
+    /// if absent).
+    pub fn rank_of(&self, site: BranchSiteId, taken: bool) -> Option<usize> {
+        self.ranked()
+            .iter()
+            .position(|p| p.site == site && p.taken == taken)
+            .map(|i| i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> BranchSiteId {
+        BranchSiteId::new(i)
+    }
+
+    fn run(observed: &[(u32, bool)], failed: bool) -> PredicateSample {
+        PredicateSample {
+            observed: observed.iter().map(|(i, t)| (s(*i), *t)).collect(),
+            failed,
+        }
+    }
+
+    #[test]
+    fn perfectly_predictive_predicate_ranks_first() {
+        let mut cbi = CbiServer::new();
+        // Site 5 taken => always fails. Site 1 taken in every run (no
+        // signal).
+        for i in 0..50 {
+            let bug = i % 10 == 0;
+            let mut obs = vec![(1, true)];
+            obs.push((5, bug));
+            cbi.ingest(&run(&obs, bug));
+        }
+        let ranked = cbi.ranked();
+        assert_eq!(ranked[0].site, s(5));
+        assert!(ranked[0].taken);
+        assert!(ranked[0].increase > 0.8, "increase {}", ranked[0].increase);
+        assert_eq!(cbi.rank_of(s(5), true), Some(1));
+    }
+
+    #[test]
+    fn uninformative_predicate_scores_zero() {
+        let mut cbi = CbiServer::new();
+        for i in 0..40 {
+            cbi.ingest(&run(&[(1, true)], i % 4 == 0));
+        }
+        let ranked = cbi.ranked();
+        let p1 = ranked.iter().find(|p| p.site == s(1)).expect("present");
+        assert!(p1.increase.abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_reduces_observations_but_preserves_signal() {
+        let decisions: Vec<(BranchSiteId, bool)> =
+            (0..100).map(|i| (s(i % 10), i % 2 == 0)).collect();
+        let sparse = sample_path(&decisions, false, 10, 7);
+        assert!(sparse.observed.len() < decisions.len() / 2);
+        let dense = sample_path(&decisions, false, 1, 7);
+        assert_eq!(dense.observed.len(), decisions.len());
+    }
+
+    #[test]
+    fn needs_enough_failing_samples_before_signal_emerges() {
+        // With 1/100 sampling of a rare predicate, a handful of runs
+        // gives no rank; many runs do. This is the executions-to-
+        // diagnosis gap E6 measures.
+        let mut few = CbiServer::new();
+        for i in 0..10u64 {
+            let bug = i == 0;
+            let path = vec![(s(3), bug)];
+            few.ingest(&sample_path(&path, bug, 100, i));
+        }
+        assert_eq!(few.rank_of(s(3), true), None, "unseen under sampling");
+        let mut many = CbiServer::new();
+        for i in 0..5000u64 {
+            let bug = i % 50 == 0;
+            let path = vec![(s(3), bug)];
+            many.ingest(&sample_path(&path, bug, 100, i));
+        }
+        assert_eq!(many.rank_of(s(3), true), Some(1));
+    }
+
+    #[test]
+    fn complementary_predicate_counts_site_observation() {
+        let mut cbi = CbiServer::new();
+        cbi.ingest(&run(&[(2, true)], true));
+        cbi.ingest(&run(&[(2, false)], false));
+        let ranked = cbi.ranked();
+        // (2,true): Failure = 1/1, Context = 1/2 -> Increase 0.5.
+        let p = ranked
+            .iter()
+            .find(|p| p.site == s(2) && p.taken)
+            .expect("ranked");
+        assert!((p.increase - 0.5).abs() < 1e-9);
+    }
+}

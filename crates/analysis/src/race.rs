@@ -1,0 +1,177 @@
+//! Lockset-based data-race candidate detection over aggregated traces.
+//!
+//! Each trace carries per-global access summaries (reader/writer thread
+//! masks + lockset intersection). Aggregating across the population, a
+//! global with multi-thread access, at least one writer, and an empty
+//! combined lockset is a race candidate (the Eraser discipline).
+
+use serde::{Deserialize, Serialize};
+use softborg_program::GlobalId;
+use softborg_trace::ExecutionTrace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Aggregated access discipline of one global across a trace population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GlobalDiscipline {
+    reader_mask: u32,
+    writer_mask: u32,
+    /// Running intersection of per-trace locksets; `None` before the
+    /// first contributing trace.
+    lockset: Option<BTreeSet<u32>>,
+    evidence: u64,
+}
+
+/// A data-race candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// The racy global.
+    pub global: GlobalId,
+    /// Threads that wrote it (bitmask).
+    pub writer_mask: u32,
+    /// Threads that read it (bitmask).
+    pub reader_mask: u32,
+    /// Traces contributing evidence.
+    pub evidence: u64,
+}
+
+/// The population-level race detector.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RaceDetector {
+    globals: BTreeMap<u32, GlobalDiscipline>,
+}
+
+impl RaceDetector {
+    /// An empty detector.
+    pub fn new() -> Self {
+        RaceDetector::default()
+    }
+
+    /// Ingests one trace's global-access summaries.
+    pub fn ingest(&mut self, trace: &ExecutionTrace) {
+        for s in &trace.global_summaries {
+            let d = self
+                .globals
+                .entry(s.global)
+                .or_insert_with(|| GlobalDiscipline {
+                    reader_mask: 0,
+                    writer_mask: 0,
+                    lockset: None,
+                    evidence: 0,
+                });
+            d.reader_mask |= s.reader_mask;
+            d.writer_mask |= s.writer_mask;
+            d.evidence += 1;
+            let trace_set: BTreeSet<u32> = s.lockset.iter().copied().collect();
+            d.lockset = Some(match d.lockset.take() {
+                None => trace_set,
+                Some(prev) => prev.intersection(&trace_set).copied().collect(),
+            });
+        }
+    }
+
+    /// Current race candidates: multi-thread access, ≥1 writer, empty
+    /// combined lockset.
+    pub fn candidates(&self) -> Vec<RaceReport> {
+        self.globals
+            .iter()
+            .filter(|(_, d)| {
+                let threads = d.reader_mask | d.writer_mask;
+                d.writer_mask != 0
+                    && threads.count_ones() >= 2
+                    && d.lockset.as_ref().is_some_and(|s| s.is_empty())
+            })
+            .map(|(g, d)| RaceReport {
+                global: GlobalId::new(*g),
+                writer_mask: d.writer_mask,
+                reader_mask: d.reader_mask,
+                evidence: d.evidence,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::interp::Outcome;
+    use softborg_program::ProgramId;
+    use softborg_trace::record::GlobalAccessSummary;
+    use softborg_trace::{BitVec, RecordingPolicy};
+
+    fn trace_with(summaries: Vec<GlobalAccessSummary>) -> ExecutionTrace {
+        ExecutionTrace {
+            program: ProgramId(1),
+            policy: RecordingPolicy::InputDependent,
+            bits: BitVec::new(),
+            guard_bits: BitVec::new(),
+            syscall_rets: vec![],
+            schedule: vec![],
+            steps: 0,
+            outcome: Outcome::Success,
+            overlay_version: 0,
+            lock_pairs: vec![],
+            global_summaries: summaries,
+        }
+    }
+
+    fn summary(global: u32, readers: u32, writers: u32, lockset: Vec<u32>) -> GlobalAccessSummary {
+        GlobalAccessSummary {
+            global,
+            reader_mask: readers,
+            writer_mask: writers,
+            lockset,
+        }
+    }
+
+    #[test]
+    fn locked_discipline_is_not_a_race() {
+        let mut d = RaceDetector::new();
+        d.ingest(&trace_with(vec![summary(0, 0b11, 0b11, vec![5])]));
+        assert!(d.candidates().is_empty());
+    }
+
+    #[test]
+    fn single_thread_access_is_not_a_race() {
+        let mut d = RaceDetector::new();
+        d.ingest(&trace_with(vec![summary(0, 0b01, 0b01, vec![])]));
+        assert!(d.candidates().is_empty());
+    }
+
+    #[test]
+    fn read_only_sharing_is_not_a_race() {
+        let mut d = RaceDetector::new();
+        d.ingest(&trace_with(vec![summary(0, 0b11, 0, vec![])]));
+        assert!(d.candidates().is_empty());
+    }
+
+    #[test]
+    fn unlocked_multithread_write_is_a_race() {
+        let mut d = RaceDetector::new();
+        d.ingest(&trace_with(vec![summary(0, 0b10, 0b01, vec![])]));
+        let c = d.candidates();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].global, GlobalId::new(0));
+    }
+
+    #[test]
+    fn discipline_violation_emerges_across_traces() {
+        // Trace 1: thread 0 writes under lock 5.
+        // Trace 2: thread 1 writes under lock 6.
+        // Intersection of locksets is empty -> candidate.
+        let mut d = RaceDetector::new();
+        d.ingest(&trace_with(vec![summary(3, 0, 0b01, vec![5])]));
+        assert!(d.candidates().is_empty(), "single thread so far");
+        d.ingest(&trace_with(vec![summary(3, 0, 0b10, vec![6])]));
+        let c = d.candidates();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].evidence, 2);
+    }
+
+    #[test]
+    fn consistent_lock_across_traces_stays_clean() {
+        let mut d = RaceDetector::new();
+        d.ingest(&trace_with(vec![summary(3, 0, 0b01, vec![5, 6])]));
+        d.ingest(&trace_with(vec![summary(3, 0, 0b10, vec![5])]));
+        assert!(d.candidates().is_empty(), "lock 5 protects all accesses");
+    }
+}

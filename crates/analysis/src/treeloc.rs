@@ -1,0 +1,320 @@
+//! SoftBorg's own diagnosis: exact failure sites from outcomes plus
+//! trigger localization from the execution tree.
+//!
+//! Because pods label outcomes and ship full (reconstructible) paths, a
+//! single failing trace already pins the crash site. What the execution
+//! tree adds is the *trigger*: the branch arm that best separates
+//! failing subtrees from passing ones — the condition a fix guard should
+//! test (paper §3.3: bugs are "program behaviors that must be corrected
+//! in order to make the proof possible").
+
+use serde::{Deserialize, Serialize};
+use softborg_program::cfg::Loc;
+use softborg_program::interp::{CrashKind, Outcome};
+use softborg_program::{BranchSiteId, LockId};
+use softborg_tree::{ExecutionTree, NodeId};
+use softborg_trace::ExecutionTrace;
+use std::collections::BTreeMap;
+
+/// One diagnosed failure mode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Failure class label.
+    pub class: String,
+    /// Exact crash site (crashes only).
+    pub loc: Option<Loc>,
+    /// Crash kind (crashes only).
+    pub kind: Option<CrashKind>,
+    /// Locks involved (deadlocks only).
+    pub locks: Vec<LockId>,
+    /// Stuck locations (hangs only).
+    pub stuck: Vec<Loc>,
+    /// Failing traces attributed to this mode.
+    pub count: u64,
+    /// Index (in ingestion order) of the first failing trace.
+    pub first_seen: u64,
+}
+
+/// Aggregates failures into diagnoses keyed by their precise signature.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FailureLedger {
+    modes: BTreeMap<String, Diagnosis>,
+    executions: u64,
+    failures: u64,
+}
+
+impl FailureLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        FailureLedger::default()
+    }
+
+    /// Ingests one execution's outcome.
+    pub fn ingest(&mut self, trace: &ExecutionTrace) {
+        self.executions += 1;
+        if !trace.is_failure() {
+            return;
+        }
+        let failures = self.failures;
+        self.failures += 1;
+        let (key, diag) = match &trace.outcome {
+            Outcome::Crash { loc, kind } => (
+                format!("crash:{loc}:{kind:?}"),
+                Diagnosis {
+                    class: "crash".into(),
+                    loc: Some(*loc),
+                    kind: Some(*kind),
+                    locks: vec![],
+                    stuck: vec![],
+                    count: 0,
+                    first_seen: failures,
+                },
+            ),
+            Outcome::Deadlock { cycle } => {
+                let mut locks: Vec<LockId> = cycle.iter().map(|(_, l)| *l).collect();
+                locks.sort();
+                locks.dedup();
+                (
+                    format!("deadlock:{locks:?}"),
+                    Diagnosis {
+                        class: "deadlock".into(),
+                        loc: None,
+                        kind: None,
+                        locks,
+                        stuck: vec![],
+                        count: 0,
+                        first_seen: failures,
+                    },
+                )
+            }
+            Outcome::Hang { stuck } => (
+                format!("hang:{stuck:?}"),
+                Diagnosis {
+                    class: "hang".into(),
+                    loc: None,
+                    kind: None,
+                    locks: vec![],
+                    stuck: stuck.clone(),
+                    count: 0,
+                    first_seen: failures,
+                },
+            ),
+            Outcome::Success => unreachable!("filtered above"),
+        };
+        self.modes.entry(key).or_insert(diag).count += 1;
+    }
+
+    /// All diagnoses, most frequent first.
+    pub fn diagnoses(&self) -> Vec<&Diagnosis> {
+        let mut v: Vec<&Diagnosis> = self.modes.values().collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.first_seen.cmp(&b.first_seen)));
+        v
+    }
+
+    /// Total executions / failures seen.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.executions, self.failures)
+    }
+}
+
+/// A branch arm ranked by failure discrimination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuspiciousArm {
+    /// Node in the execution tree.
+    pub node: NodeId,
+    /// Site of the discriminating branch.
+    pub site: BranchSiteId,
+    /// Failing direction.
+    pub taken: bool,
+    /// Failure rate inside the arm's subtree.
+    pub arm_failure_rate: f64,
+    /// Failure rate of the sibling arm's subtree.
+    pub sibling_failure_rate: f64,
+    /// Executions through the arm.
+    pub support: u64,
+}
+
+impl SuspiciousArm {
+    /// The discrimination score: arm failure rate minus sibling failure
+    /// rate.
+    pub fn score(&self) -> f64 {
+        self.arm_failure_rate - self.sibling_failure_rate
+    }
+}
+
+/// Ranks tree arms by how sharply they separate failing from passing
+/// subtrees. The top arm is the bug's *trigger condition* candidate.
+pub fn suspicious_arms(tree: &ExecutionTree, min_support: u64) -> Vec<SuspiciousArm> {
+    let mut out = Vec::new();
+    for i in 0..tree.node_count() {
+        let id = NodeId(i as u32);
+        let node = tree.node(id);
+        for site in node.sites() {
+            let children: Vec<(bool, Option<NodeId>)> = [false, true]
+                .into_iter()
+                .map(|d| (d, node.child(site, d)))
+                .collect();
+            for (dir, child) in &children {
+                let Some(child) = child else { continue };
+                let child_visits = tree.node(*child).visits;
+                if child_visits < min_support {
+                    continue;
+                }
+                let arm_failures = tree.subtree_failures(*child);
+                let sibling = children
+                    .iter()
+                    .find(|(d, _)| d != dir)
+                    .and_then(|(_, c)| *c);
+                let (sib_failures, sib_visits) = match sibling {
+                    Some(s) => (tree.subtree_failures(s), tree.node(s).visits),
+                    None => (0, 0),
+                };
+                let arm_rate = arm_failures as f64 / child_visits as f64;
+                let sib_rate = if sib_visits > 0 {
+                    sib_failures as f64 / sib_visits as f64
+                } else {
+                    0.0
+                };
+                if arm_rate > sib_rate {
+                    out.push(SuspiciousArm {
+                        node: id,
+                        site,
+                        taken: *dir,
+                        arm_failure_rate: arm_rate,
+                        sibling_failure_rate: sib_rate,
+                        support: child_visits,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.score()
+            .partial_cmp(&a.score())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.support.cmp(&a.support))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::{BlockId, ProgramId, ThreadId};
+    use softborg_trace::{BitVec, RecordingPolicy};
+
+    fn s(i: u32) -> BranchSiteId {
+        BranchSiteId::new(i)
+    }
+
+    fn crash_outcome(block: u32) -> Outcome {
+        Outcome::Crash {
+            loc: Loc {
+                thread: ThreadId::new(0),
+                block: BlockId::new(block),
+                stmt: 0,
+            },
+            kind: CrashKind::AssertFailed,
+        }
+    }
+
+    fn trace_with(outcome: Outcome) -> ExecutionTrace {
+        ExecutionTrace {
+            program: ProgramId(1),
+            policy: RecordingPolicy::InputDependent,
+            bits: BitVec::new(),
+            guard_bits: BitVec::new(),
+            syscall_rets: vec![],
+            schedule: vec![],
+            steps: 1,
+            outcome,
+            overlay_version: 0,
+            lock_pairs: vec![],
+            global_summaries: vec![],
+        }
+    }
+
+    #[test]
+    fn ledger_groups_by_exact_signature() {
+        let mut l = FailureLedger::new();
+        l.ingest(&trace_with(Outcome::Success));
+        l.ingest(&trace_with(crash_outcome(3)));
+        l.ingest(&trace_with(crash_outcome(3)));
+        l.ingest(&trace_with(crash_outcome(4)));
+        let d = l.diagnoses();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].count, 2);
+        assert_eq!(d[0].loc.unwrap().block, BlockId::new(3));
+        assert_eq!(l.totals(), (4, 3));
+    }
+
+    #[test]
+    fn deadlock_signature_uses_lock_set() {
+        let mut l = FailureLedger::new();
+        l.ingest(&trace_with(Outcome::Deadlock {
+            cycle: vec![
+                (ThreadId::new(0), LockId::new(1)),
+                (ThreadId::new(1), LockId::new(0)),
+            ],
+        }));
+        // Same locks, different thread order -> same mode.
+        l.ingest(&trace_with(Outcome::Deadlock {
+            cycle: vec![
+                (ThreadId::new(1), LockId::new(0)),
+                (ThreadId::new(0), LockId::new(1)),
+            ],
+        }));
+        let d = l.diagnoses();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].count, 2);
+        assert_eq!(d[0].locks, vec![LockId::new(0), LockId::new(1)]);
+    }
+
+    #[test]
+    fn suspicious_arm_separates_failing_subtree() {
+        let mut tree = ExecutionTree::new(ProgramId(1));
+        // Arm (0,true) fails 8/10; arm (0,false) fails 0/30.
+        for _ in 0..8 {
+            tree.merge_path(&[(s(0), true)], &crash_outcome(1));
+        }
+        for _ in 0..2 {
+            tree.merge_path(&[(s(0), true)], &Outcome::Success);
+        }
+        for _ in 0..30 {
+            tree.merge_path(&[(s(0), false)], &Outcome::Success);
+        }
+        let arms = suspicious_arms(&tree, 1);
+        assert!(!arms.is_empty());
+        assert_eq!(arms[0].site, s(0));
+        assert!(arms[0].taken);
+        assert!(arms[0].score() > 0.7, "score {}", arms[0].score());
+    }
+
+    #[test]
+    fn min_support_filters_noise() {
+        let mut tree = ExecutionTree::new(ProgramId(1));
+        tree.merge_path(&[(s(0), true)], &crash_outcome(1));
+        tree.merge_path(&[(s(0), false)], &Outcome::Success);
+        assert!(suspicious_arms(&tree, 5).is_empty());
+        assert!(!suspicious_arms(&tree, 1).is_empty());
+    }
+
+    #[test]
+    fn deeper_trigger_outranks_shallow_noise() {
+        let mut tree = ExecutionTree::new(ProgramId(1));
+        // Failures only under (0,true)->(1,false).
+        for _ in 0..10 {
+            tree.merge_path(&[(s(0), true), (s(1), false)], &crash_outcome(2));
+        }
+        for _ in 0..10 {
+            tree.merge_path(&[(s(0), true), (s(1), true)], &Outcome::Success);
+        }
+        for _ in 0..20 {
+            tree.merge_path(&[(s(0), false)], &Outcome::Success);
+        }
+        let arms = suspicious_arms(&tree, 1);
+        assert_eq!(arms[0].site, s(1));
+        assert!(!arms[0].taken);
+        assert!((arms[0].score() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion bench for E9 (§3.2): path-merge throughput into execution
+//! trees of increasing size, plus replica absorption.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use softborg_program::interp::Outcome;
+use softborg_program::{BranchSiteId, ProgramId};
+use softborg_tree::ExecutionTree;
+
+/// Synthetic path stream: depth-`depth` paths over `sites` branch sites
+/// with skewed decisions (realistic shared prefixes).
+fn paths(n: usize, depth: usize, sites: u32, seed: u64) -> Vec<Vec<(BranchSiteId, bool)>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (0..depth)
+                .map(|d| {
+                    (
+                        BranchSiteId::new((d as u32) % sites),
+                        rng.gen_bool(0.8), // skew => prefix sharing
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_merge");
+    for &(n, depth) in &[(1_000usize, 30usize), (10_000, 30), (10_000, 100)] {
+        let stream = paths(n, depth, 64, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("merge_path", format!("{n}x{depth}")),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut tree = ExecutionTree::new(ProgramId(1));
+                    for p in stream {
+                        tree.merge_path(p, &Outcome::Success);
+                    }
+                    tree.node_count()
+                })
+            },
+        );
+    }
+    // Replica absorption (distributed hive sync).
+    let a_paths = paths(5_000, 40, 64, 1);
+    let b_paths = paths(5_000, 40, 64, 2);
+    let mut replica_a = ExecutionTree::new(ProgramId(1));
+    for p in &a_paths {
+        replica_a.merge_path(p, &Outcome::Success);
+    }
+    let mut replica_b = ExecutionTree::new(ProgramId(1));
+    for p in &b_paths {
+        replica_b.merge_path(p, &Outcome::Success);
+    }
+    group.bench_function("absorb_replica_5k_paths", |b| {
+        b.iter(|| {
+            let mut t = replica_a.clone();
+            t.absorb(&replica_b);
+            t.node_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

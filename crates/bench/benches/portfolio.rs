@@ -1,0 +1,35 @@
+//! Criterion bench for E3: single solvers vs the 3-member portfolio on
+//! representative instances from each family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softborg_solver::portfolio::{race, run_each};
+use softborg_solver::{instances, Budget, SolverConfig};
+
+fn bench_portfolio(c: &mut Criterion) {
+    let configs = SolverConfig::reference_portfolio();
+    let insts = vec![
+        ("3sat-pt-50v", instances::phase_transition_3sat(50, 12345)),
+        ("php-6", instances::pigeonhole(6)),
+        ("color3-20n", instances::graph_coloring(20, 200, 3, 7)),
+    ];
+    let mut group = c.benchmark_group("e3_portfolio");
+    group.sample_size(10);
+    for (name, cnf) in &insts {
+        for member in &configs {
+            group.bench_with_input(
+                BenchmarkId::new(member.name.clone(), name),
+                cnf,
+                |b, cnf| {
+                    b.iter(|| run_each(cnf, std::slice::from_ref(member), Budget::unlimited()))
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("portfolio-3", name), cnf, |b, cnf| {
+            b.iter(|| race(cnf, &configs, Budget::unlimited()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion bench for E4 (§3.1): per-execution cost of each recording
+//! policy on the interpreter, plus trace wire encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softborg_program::gen::{generate, GenConfig};
+use softborg_program::interp::{ExecConfig, Executor, NopObserver};
+use softborg_program::overlay::Overlay;
+use softborg_program::sched::RandomSched;
+use softborg_program::syscall::DefaultEnv;
+use softborg_trace::{wire, RecordingPolicy, TraceRecorder};
+
+fn bench_recording(c: &mut Criterion) {
+    let gp = generate(&GenConfig {
+        seed: 5,
+        n_threads: 1,
+        constructs_per_thread: 24,
+        max_depth: 4,
+        ..GenConfig::default()
+    });
+    let program = gp.program.clone();
+    let exec = Executor::new(&program).with_config(ExecConfig { max_steps: 50_000 });
+    let inputs = vec![500; program.n_inputs as usize];
+
+    let mut group = c.benchmark_group("e4_recording");
+    group.bench_function("baseline_no_observer", |b| {
+        b.iter(|| {
+            exec.run(
+                &inputs,
+                &mut DefaultEnv::seeded(1),
+                &mut RandomSched::seeded(1),
+                &Overlay::empty(),
+                &mut NopObserver,
+            )
+            .expect("arity")
+        })
+    });
+    for (name, policy) in [
+        ("outcome_only", RecordingPolicy::OutcomeOnly),
+        ("full_branch", RecordingPolicy::FullBranch),
+        ("input_dependent", RecordingPolicy::InputDependent),
+        (
+            "sampled_1_100",
+            RecordingPolicy::Sampled {
+                period: 100,
+                phase: 0,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("record", name), &policy, |b, policy| {
+            b.iter(|| {
+                let mut rec = TraceRecorder::new(program.id(), *policy, 0, false);
+                let r = exec
+                    .run(
+                        &inputs,
+                        &mut DefaultEnv::seeded(1),
+                        &mut RandomSched::seeded(1),
+                        &Overlay::empty(),
+                        &mut rec,
+                    )
+                    .expect("arity");
+                rec.finish(r.outcome, r.steps)
+            })
+        });
+    }
+
+    // Wire round-trip.
+    let mut rec = TraceRecorder::new(program.id(), RecordingPolicy::FullBranch, 0, false);
+    let r = exec
+        .run(
+            &inputs,
+            &mut DefaultEnv::seeded(1),
+            &mut RandomSched::seeded(1),
+            &Overlay::empty(),
+            &mut rec,
+        )
+        .expect("arity");
+    let trace = rec.finish(r.outcome, r.steps);
+    group.bench_function("wire_encode", |b| b.iter(|| wire::encode(&trace)));
+    let encoded = wire::encode(&trace);
+    group.bench_function("wire_decode", |b| {
+        b.iter(|| wire::decode(encoded.clone()).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recording);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! E11 — execution guidance accelerates learning (§3.3): executions
+//! needed to (a) diagnose *every* known bug mode and (b) exhaust the
+//! exploration frontier, natural vs guided.
+//!
+//! The record-processor's bug A hides behind a compound trigger with
+//! natural probability ≈ 10⁻⁷ — natural testing essentially never finds
+//! it, while guidance lets the symbolic executor hand a pod the exact
+//! inputs.
+
+use softborg::platform::{Platform, PlatformConfig};
+use softborg::pod::PodConfig;
+use softborg_bench::{banner, cell, table_header};
+use softborg_guidance::PlannerConfig;
+use softborg_hive::HiveConfig;
+use softborg_program::scenarios;
+use softborg_symex::{InputBox, SymConfig};
+
+struct Outcomes {
+    execs_to_all_bugs: Option<u64>,
+    execs_to_frontier_zero: Option<u64>,
+    paths: u64,
+    modes_found: usize,
+}
+
+fn run_until(
+    s: &softborg_program::scenarios::Scenario,
+    guided: bool,
+    max_rounds: u32,
+) -> Outcomes {
+    let n_inputs = s.program.n_inputs;
+    let mut platform = Platform::new(
+        &s.program,
+        PlatformConfig {
+            n_pods: 25,
+            pod: PodConfig {
+                input_range: s.input_range,
+                ..PodConfig::default()
+            },
+            hive: HiveConfig {
+                planner: PlannerConfig {
+                    sym: SymConfig {
+                        input_box: InputBox::uniform(n_inputs, s.input_range.0, s.input_range.1),
+                        ..SymConfig::default()
+                    },
+                    max_targets: 24,
+                    ..PlannerConfig::default()
+                },
+                ..HiveConfig::default()
+            },
+            seed: 13,
+            fixes_enabled: false,
+            guidance_enabled: guided,
+            ..PlatformConfig::default()
+        },
+    );
+    let target_modes = s.bugs.len().max(1);
+    let mut out = Outcomes {
+        execs_to_all_bugs: None,
+        execs_to_frontier_zero: None,
+        paths: 0,
+        modes_found: 0,
+    };
+    let mut total = 0u64;
+    for _ in 0..max_rounds {
+        let r = platform.round(10);
+        total += r.executions;
+        out.modes_found = platform.hive().diagnoses().len();
+        if out.execs_to_all_bugs.is_none() && !s.bugs.is_empty() && out.modes_found >= target_modes
+        {
+            out.execs_to_all_bugs = Some(total);
+        }
+        if out.execs_to_frontier_zero.is_none() && r.coverage.frontier_arms == 0 {
+            out.execs_to_frontier_zero = Some(total);
+        }
+        let bugs_done = s.bugs.is_empty() || out.execs_to_all_bugs.is_some();
+        if bugs_done && out.execs_to_frontier_zero.is_some() {
+            break;
+        }
+    }
+    out.paths = platform.hive().coverage().distinct_paths;
+    out
+}
+
+fn main() {
+    banner(
+        "E11",
+        "guided vs natural exploration: executions to discovery targets",
+        "§3.3 ('execution guidance enables accelerated learning')",
+    );
+    let show = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_else(|| ">10000".into());
+    println!();
+    table_header(&[
+        ("program", 17),
+        ("mode", 8),
+        ("execs→all bugs", 15),
+        ("modes", 6),
+        ("execs→no-frontier", 18),
+        ("paths", 7),
+    ]);
+    for s in [
+        scenarios::record_processor(),
+        scenarios::token_parser(),
+        scenarios::triangle(),
+    ] {
+        for guided in [false, true] {
+            let o = run_until(&s, guided, 40);
+            println!(
+                "{}{}{}{}{}{}",
+                cell(s.name, 17),
+                cell(if guided { "guided" } else { "natural" }, 8),
+                cell(
+                    if s.bugs.is_empty() {
+                        "n/a".into()
+                    } else {
+                        show(o.execs_to_all_bugs)
+                    },
+                    15
+                ),
+                cell(format!("{}/{}", o.modes_found, s.bugs.len()), 6),
+                cell(show(o.execs_to_frontier_zero), 18),
+                cell(o.paths, 7)
+            );
+        }
+    }
+    println!("\nexpected shape: the record-processor's compound trigger");
+    println!("(natural probability ~1e-7) is out of reach for natural");
+    println!("testing at this budget, while symex-derived input seeds find");
+    println!("it within a few rounds; guided runs also exhaust the frontier");
+    println!("(pruning infeasible arms) where natural exploration leaves it");
+    println!("open — the paper's 'accelerated learning'.");
+}

@@ -1,0 +1,133 @@
+//! E12 — Markowitz worker allocation across subtree "equities" (§4):
+//! new coverage per worker-round for uniform, greedy, and mean-variance
+//! strategies when subtree payoffs are noisy.
+//!
+//! Model: each top-level subtree of a program's exploration space has a
+//! true (unknown) per-worker coverage yield with variance; strategies
+//! observe past rounds and allocate a fixed worker budget. Greedy chases
+//! the highest sample mean (and gets burned by variance); uniform wastes
+//! budget on exhausted subtrees; mean-variance balances.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use softborg_bench::{banner, cell, table_header};
+use softborg_guidance::{allocate, Asset, ReturnStats, Strategy};
+
+/// A subtree whose per-round payoff is all-or-nothing: with probability
+/// `p` every worker assigned this round yields `rate` coverage, else the
+/// whole round on this subtree is a bust. Workers on the same subtree
+/// share its luck — that within-subtree correlation is what makes
+/// concentration risky (the Markowitz setting).
+struct Subtree {
+    p: f64,
+    rate: f64,
+}
+
+impl Subtree {
+    fn expected(&self) -> f64 {
+        self.p * self.rate
+    }
+    fn pull(&self, workers: u32, rng: &mut SmallRng) -> f64 {
+        if rng.gen_bool(self.p) {
+            f64::from(workers) * self.rate
+        } else {
+            0.0
+        }
+    }
+}
+
+fn simulate(strategy: Strategy, seed: u64, rounds: u32, budget: u32) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Near-equal expected returns, very different risk — plus one dud:
+    //   A: steady earner        (μ ≈ 7.6, low variance)
+    //   B: volatile jackpot     (μ = 8.0, high variance)
+    //   C: volatile jackpot #2  (μ = 7.5, high variance, independent)
+    //   D: dud                  (μ = 1.0)
+    let subtrees = vec![
+        Subtree { p: 0.95, rate: 8.0 },
+        Subtree { p: 0.25, rate: 32.0 },
+        Subtree { p: 0.25, rate: 30.0 },
+        Subtree { p: 0.50, rate: 2.0 },
+    ];
+    let mut stats: Vec<ReturnStats> = (0..subtrees.len()).map(|_| ReturnStats::new()).collect();
+    let mut total = 0.0;
+    for _ in 0..rounds {
+        let assets: Vec<Asset> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Asset {
+                id: i as u64,
+                // Optimistic prior for unexplored subtrees.
+                expected_return: if s.count() == 0 { 8.0 } else { s.mean() },
+                variance: if s.count() < 2 { 50.0 } else { s.variance() },
+            })
+            .collect();
+        let weights = allocate(&assets, budget, strategy);
+        for (i, w) in weights.iter().enumerate() {
+            if *w == 0 {
+                continue;
+            }
+            let yield_ = subtrees[i].pull(*w, &mut rng);
+            stats[i].record(yield_ / f64::from(*w));
+            total += yield_;
+        }
+    }
+    let _ = subtrees[0].expected();
+    total
+}
+
+fn main() {
+    banner(
+        "E12",
+        "portfolio allocation of hive workers to subtrees",
+        "§4 (Markowitz: 'diversification, speculation, and efficient frontier')",
+    );
+    println!("setup: 4 subtrees (steady / jackpot / jackpot / dud; near-equal means,");
+    println!("very different risk), 20 rounds, 20 workers/round");
+    println!("metrics over 100 seeds: mean coverage, std (risk), and worst seed\n");
+    table_header(&[
+        ("strategy", 22),
+        ("mean", 8),
+        ("std", 8),
+        ("worst", 8),
+        ("mean/std", 9),
+    ]);
+    let strategies = [
+        ("uniform", Strategy::Uniform),
+        ("greedy (max return)", Strategy::Greedy),
+        (
+            "mean-variance λ=0.05",
+            Strategy::MeanVariance {
+                risk_aversion: 0.05,
+            },
+        ),
+        (
+            "mean-variance λ=0.2",
+            Strategy::MeanVariance { risk_aversion: 0.2 },
+        ),
+    ];
+    for (name, s) in strategies {
+        let samples: Vec<f64> = (0..100).map(|seed| simulate(s, seed, 20, 20)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        let std = var.sqrt();
+        let worst = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{}{}{}{}{}",
+            cell(name, 22),
+            cell(format!("{mean:.0}"), 8),
+            cell(format!("{std:.0}"), 8),
+            cell(format!("{worst:.0}"), 8),
+            cell(format!("{:.1}", mean / std.max(1.0)), 9)
+        );
+    }
+    println!("\nexpected shape (Markowitz, §4 'balance the risk/reward mix'):");
+    println!("greedy concentrates — highest mean but a catastrophic tail");
+    println!("(worst seed collapses when it sits on a cold jackpot); uniform");
+    println!("dilutes into the dud — safest but lowest mean; mean-variance");
+    println!("traces the efficient frontier between them: more mean than");
+    println!("uniform, a far better tail than greedy, with λ selecting the");
+    println!("operating point — exactly the diversification/speculation");
+    println!("trade-off the paper imports from finance.");
+}

@@ -1,0 +1,147 @@
+//! E1 — the headline claim (Fig. 1 + §1/§6): with the SoftBorg loop
+//! closed, population failure rate drops by an order of magnitude or
+//! more as the program is used; without it, the rate stays flat.
+//!
+//! Workload: a corpus of programs with injected bugs (crash, hang, and
+//! the two deadlocking scenarios), a pod population per program, fixed
+//! rounds. Both arms see identical user behaviour (same seeds); only the
+//! fix/guidance loop differs.
+
+use softborg::platform::{Platform, PlatformConfig};
+use softborg::pod::PodConfig;
+use softborg_bench::{banner, cell, table_header};
+use softborg_program::gen::{generate, BugKind, GenConfig};
+use softborg_program::scenarios;
+
+struct Workload {
+    name: String,
+    program: softborg_program::Program,
+    input_range: (i64, i64),
+}
+
+fn corpus() -> Vec<Workload> {
+    let mut out = vec![
+        {
+            let s = scenarios::token_parser();
+            Workload {
+                name: s.name.to_string(),
+                program: s.program,
+                input_range: s.input_range,
+            }
+        },
+        {
+            let s = scenarios::bank_transfer();
+            Workload {
+                name: s.name.to_string(),
+                program: s.program,
+                input_range: s.input_range,
+            }
+        },
+        {
+            let s = scenarios::spin_wait();
+            Workload {
+                name: s.name.to_string(),
+                program: s.program,
+                input_range: s.input_range,
+            }
+        },
+    ];
+    for seed in 0..3 {
+        let gp = generate(&GenConfig {
+            seed: 100 + seed,
+            n_threads: 1,
+            input_range: (0, 199), // narrower range => bugs fire naturally
+            bugs: vec![BugKind::AssertMagic, BugKind::DivByInputDelta],
+            ..GenConfig::default()
+        });
+        out.push(Workload {
+            name: format!("gen-crash-{seed}"),
+            program: gp.program,
+            input_range: gp.input_range,
+        });
+    }
+    out
+}
+
+fn run_arm(w: &Workload, fixes: bool, rounds: u32, execs: u32) -> Vec<(u64, f64, u64)> {
+    let mut platform = Platform::new(
+        &w.program,
+        PlatformConfig {
+            n_pods: 40,
+            pod: PodConfig {
+                input_range: w.input_range,
+                ..PodConfig::default()
+            },
+            seed: 42,
+            fixes_enabled: fixes,
+            guidance_enabled: fixes,
+            ..PlatformConfig::default()
+        },
+    );
+    platform
+        .run(rounds, execs)
+        .iter()
+        .map(|r| (r.round, r.failure_rate_per_10k, r.fixes_promoted))
+        .collect()
+}
+
+fn main() {
+    banner(
+        "E1",
+        "closed-loop bug-density reduction (failures per 10k executions)",
+        "Fig. 1 + §1/§6: 'orders-of-magnitude reduction in the bug density'",
+    );
+    let rounds = 10;
+    let execs = 25;
+    let mut ratios = Vec::new();
+    for w in corpus() {
+        println!("\nprogram: {}", w.name);
+        table_header(&[
+            ("round", 5),
+            ("off/10k", 10),
+            ("on/10k", 10),
+            ("fixes", 6),
+        ]);
+        let off = run_arm(&w, false, rounds, execs);
+        let on = run_arm(&w, true, rounds, execs);
+        for ((r, off_rate, _), (_, on_rate, fixes)) in off.iter().zip(on.iter()) {
+            println!(
+                "{}{}{}{}",
+                cell(r, 5),
+                cell(format!("{off_rate:.1}"), 10),
+                cell(format!("{on_rate:.1}"), 10),
+                cell(fixes, 6)
+            );
+        }
+        // Steady-state comparison: mean of the last 3 rounds.
+        let tail = |v: &[(u64, f64, u64)]| {
+            v.iter().rev().take(3).map(|(_, r, _)| *r).sum::<f64>() / 3.0
+        };
+        let off_tail = tail(&off);
+        let on_tail = tail(&on);
+        let reduction = if on_tail > 0.0 {
+            off_tail / on_tail
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "steady-state failure rate: loop-off {off_tail:.1}/10k, loop-on {on_tail:.1}/10k  (reduction {}x)",
+            if reduction.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{reduction:.0}")
+            }
+        );
+        ratios.push((w.name.clone(), off_tail, on_tail));
+    }
+    println!("\nsummary (steady-state, failures per 10k executions)");
+    table_header(&[("program", 16), ("loop-off", 10), ("loop-on", 10)]);
+    for (name, off, on) in &ratios {
+        println!(
+            "{}{}{}",
+            cell(name, 16),
+            cell(format!("{off:.1}"), 10),
+            cell(format!("{on:.1}"), 10)
+        );
+    }
+}

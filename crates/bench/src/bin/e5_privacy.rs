@@ -1,0 +1,142 @@
+//! E5 — the privacy/utility trade-off (§3.1): how much diagnosis power
+//! survives each anonymization rung, against the information released.
+//!
+//! Workload: the `record-processor` scenario — twelve input-dependent
+//! "field" branches (so traces are ~15 bits and paths are individually
+//! rare, the privacy risk Castro et al. describe) plus two rare crash
+//! bugs whose triggers are control-dependent. Utility metrics: crash
+//! bucketability (WER-style triage needs only the outcome), exact path
+//! reconstruction (tree merging needs the full bit-vector), and the rank
+//! of the true trigger arm in the tree-based localization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use softborg_bench::{banner, cell, table_header};
+use softborg_pod::{Pod, PodConfig};
+use softborg_program::taint::InputDependence;
+use softborg_trace::anonymize::{information_bits, k_anonymous_filter, Anonymizer};
+use softborg_trace::reconstruct;
+use softborg_tree::ExecutionTree;
+
+fn main() {
+    banner(
+        "E5",
+        "anonymization level vs diagnosis utility",
+        "§3.1 privacy ('balance between control flow details and privacy')",
+    );
+    let scenario = softborg_program::scenarios::record_processor();
+    let program = scenario.program;
+    let deps = InputDependence::compute(&program);
+    let mut pod = Pod::new(
+        &program,
+        PodConfig {
+            input_range: (0, 999),
+            seed: 3,
+            ..PodConfig::default()
+        },
+    );
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut raw_traces = Vec::new();
+    for i in 0..5_000u32 {
+        if i % 40 == 0 {
+            // Unlucky users hit the triggers (noise fields stay random).
+            let mut inputs: Vec<i64> = (0..14).map(|_| rng.gen_range(0..=999)).collect();
+            if rng.gen_bool(0.5) {
+                inputs[0] = 13;
+                inputs[1] = 950;
+                inputs[2] = 7;
+            } else {
+                inputs[13] = 850;
+                inputs[12] = 66;
+            }
+            pod.receive_guidance([softborg_guidance::Directive::InputSeed {
+                inputs,
+                target: (softborg_program::BranchSiteId::new(0), true),
+            }]);
+        }
+        raw_traces.push(pod.run_once().trace);
+    }
+    let crashes = raw_traces.iter().filter(|t| t.is_failure()).count();
+    println!(
+        "corpus: {} traces (~15 bits each), {} crashing\n",
+        raw_traces.len(),
+        crashes
+    );
+
+    table_header(&[
+        ("level", 16),
+        ("info bits", 10),
+        ("bucketable%", 12),
+        ("reconstr%", 10),
+        ("trig rank", 10),
+    ]);
+    let levels = [
+        Anonymizer::None,
+        Anonymizer::CoarsenSyscalls,
+        Anonymizer::TruncatePath { max_bits: 8 },
+        Anonymizer::OutcomeOnly,
+    ];
+    for level in levels {
+        let released: Vec<_> = raw_traces.iter().map(|t| level.apply(t)).collect();
+        let info: usize =
+            released.iter().map(information_bits).sum::<usize>() / released.len();
+        let bucketable = released.iter().filter(|t| t.is_failure()).count() as f64
+            / crashes.max(1) as f64
+            * 100.0;
+        let mut tree = ExecutionTree::new(program.id());
+        let mut reconstructed = 0usize;
+        for t in &released {
+            if let Ok(p) =
+                reconstruct(&program, &deps, &softborg_program::Overlay::empty(), t)
+            {
+                tree.merge_path(&p.decisions, &t.outcome);
+                reconstructed += 1;
+            }
+        }
+        let recon_pct = reconstructed as f64 / released.len() as f64 * 100.0;
+        // Trigger localization: rank of the first strongly-discriminating
+        // arm (score >= 0.5) in the suspicious-arms list.
+        let rank = if reconstructed > 0 {
+            softborg_analysis::suspicious_arms(&tree, 2)
+                .iter()
+                .position(|a| a.score() >= 0.5)
+                .map(|i| (i + 1).to_string())
+                .unwrap_or_else(|| "-".into())
+        } else {
+            "-".into()
+        };
+        println!(
+            "{}{}{}{}{}",
+            cell(level.label(), 16),
+            cell(info, 10),
+            cell(format!("{bucketable:.0}"), 12),
+            cell(format!("{recon_pct:.0}"), 10),
+            cell(rank, 10)
+        );
+    }
+
+    println!("\nk-anonymity suppression (full traces):");
+    table_header(&[("k", 4), ("released%", 10), ("crash traces kept", 18)]);
+    for k in [1usize, 2, 5, 10] {
+        let kept = k_anonymous_filter(raw_traces.clone(), k);
+        let kept_crashes = kept.iter().filter(|t| t.is_failure()).count();
+        println!(
+            "{}{}{}",
+            cell(k, 4),
+            cell(
+                format!(
+                    "{:.0}",
+                    kept.len() as f64 / raw_traces.len() as f64 * 100.0
+                ),
+                10
+            ),
+            cell(kept_crashes, 18)
+        );
+    }
+    println!("\nexpected shape: bucketing survives every rung (the outcome");
+    println!("label is enough for WER-style triage); exact reconstruction —");
+    println!("and with it tree-based trigger localization — dies once the");
+    println!("bit-vector is truncated below the path length; k-anonymity");
+    println!("suppresses almost the whole corpus because ~15-bit paths are");
+    println!("individually rare — the paper's core privacy/diagnosis tension.");
+}

@@ -1,0 +1,114 @@
+//! # softborg-bench — experiment harnesses
+//!
+//! One runnable binary per experiment in `EXPERIMENTS.md` (E1–E13) plus
+//! Criterion micro-benchmarks (`portfolio`, `merge`, `recording`). Each
+//! binary prints the table/series its experiment defines;
+//! `cargo run -p softborg-bench --release --bin <name>` regenerates it.
+
+#![warn(missing_docs)]
+
+use softborg_program::interp::{ExecConfig, Executor, Observer, Outcome};
+use softborg_program::overlay::Overlay;
+use softborg_program::sched::RandomSched;
+use softborg_program::syscall::{DefaultEnv, EnvConfig};
+use softborg_program::{BranchSiteId, Program, ThreadId};
+
+/// Observer that captures the full decision path.
+#[derive(Default)]
+pub struct PathObserver {
+    /// Decisions in dynamic order.
+    pub decisions: Vec<(BranchSiteId, bool)>,
+}
+
+impl Observer for PathObserver {
+    fn on_branch(&mut self, _t: ThreadId, s: BranchSiteId, taken: bool, _dep: bool) {
+        self.decisions.push((s, taken));
+    }
+}
+
+/// Runs `program` once with a seeded random schedule, returning the full
+/// decision path and outcome.
+pub fn collect_path(
+    program: &Program,
+    inputs: &[i64],
+    seed: u64,
+) -> (Vec<(BranchSiteId, bool)>, Outcome) {
+    let mut obs = PathObserver::default();
+    let r = Executor::new(program)
+        .with_config(ExecConfig { max_steps: 50_000 })
+        .run(
+            inputs,
+            &mut DefaultEnv::new(EnvConfig {
+                seed,
+                ..EnvConfig::default()
+            }),
+            &mut RandomSched::seeded(seed),
+            &Overlay::empty(),
+            &mut obs,
+        )
+        .expect("bench inputs match program arity");
+    (obs.decisions, r.outcome)
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str, source: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper source: {source}");
+    println!("================================================================");
+}
+
+/// Prints a table header row followed by a separator.
+pub fn table_header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(100)));
+}
+
+/// Formats one table cell right-aligned.
+pub fn cell(value: impl ToString, width: usize) -> String {
+    format!("{:>width$}  ", value.to_string(), width = width)
+}
+
+/// Geometric mean of positive samples (0 when empty).
+pub fn geo_mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = samples.iter().map(|x| x.max(1e-12).ln()).sum();
+    (s / samples.len() as f64).exp()
+}
+
+/// Median of samples (0 when empty).
+pub fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::scenarios;
+
+    #[test]
+    fn collect_path_returns_decisions() {
+        let s = scenarios::token_parser();
+        let (path, outcome) = collect_path(&s.program, &[1, 2, 3, 4, 5, 6], 0);
+        assert!(!path.is_empty());
+        assert_eq!(outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn geo_mean_and_median_behave() {
+        assert!((geo_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert_eq!(median(&mut []), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The SoftBorg platform: the closed quality-feedback loop of Figure 1.
+//!
+//! A [`Platform`] owns a hive and a population of pods for one program
+//! and advances in *rounds*. Each round: pods execute on behalf of their
+//! users and ship traces; the hive aggregates, diagnoses, and proposes
+//! fixes; candidates are validated on trial pods' locally-retained cases
+//! (the privacy-preserving repair lab); validated fixes are promoted and
+//! distributed; and guidance directives steer the next round's
+//! executions. The headline experiment E1 charts the population failure
+//! rate across rounds — "the more a program is used, the more reliable
+//! it should become" (§2).
+
+use serde::{Deserialize, Serialize};
+use softborg_fix::{rank, LabConfig, TestCase, Verdict};
+use softborg_guidance::Directive;
+use softborg_hive::{diagnosis_signature, outcome_signature, Hive, HiveConfig};
+use softborg_pod::{Pod, PodConfig};
+use softborg_program::Program;
+use softborg_tree::CoverageStats;
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Population size.
+    pub n_pods: u32,
+    /// Template for every pod (each pod gets a derived seed).
+    pub pod: PodConfig,
+    /// Hive configuration.
+    pub hive: HiveConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether the hive distributes fixes (off = observation only; the
+    /// E1 control arm).
+    pub fixes_enabled: bool,
+    /// Whether guidance directives are distributed.
+    pub guidance_enabled: bool,
+    /// Passing cases required before a *predicted* (zero-failing-case)
+    /// deadlock fix may be distributed on preservation evidence alone.
+    pub min_preservation_cases: usize,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            n_pods: 50,
+            pod: PodConfig::default(),
+            hive: HiveConfig::default(),
+            seed: 0,
+            fixes_enabled: true,
+            guidance_enabled: true,
+            min_preservation_cases: 5,
+        }
+    }
+}
+
+/// Metrics for one platform round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Executions performed this round.
+    pub executions: u64,
+    /// Failures observed this round.
+    pub failures: u64,
+    /// Failures per 10k executions this round.
+    pub failure_rate_per_10k: f64,
+    /// Fixes promoted this round.
+    pub fixes_promoted: u64,
+    /// Overlay version after the round.
+    pub overlay_version: u64,
+    /// Tree coverage after the round.
+    pub coverage: CoverageStats,
+    /// Published proof certificates after the round.
+    pub proofs: u64,
+    /// Directed (guided) executions this round.
+    pub directed: u64,
+}
+
+/// The platform. See the [module docs](self).
+#[derive(Debug)]
+pub struct Platform<'p> {
+    program: &'p Program,
+    hive: Hive<'p>,
+    pods: Vec<Pod<'p>>,
+    config: PlatformConfig,
+    round_idx: u64,
+    history: Vec<RoundReport>,
+}
+
+impl<'p> Platform<'p> {
+    /// Builds a platform: one hive plus `n_pods` pods with derived seeds.
+    pub fn new(program: &'p Program, config: PlatformConfig) -> Self {
+        let pods = (0..config.n_pods)
+            .map(|i| {
+                let mut pc = config.pod.clone();
+                pc.seed = config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(i) + 1);
+                Pod::new(program, pc)
+            })
+            .collect();
+        Platform {
+            hive: Hive::new(program, config.hive.clone()),
+            pods,
+            config,
+            program,
+            round_idx: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The hive (read access for experiments).
+    pub fn hive(&self) -> &Hive<'p> {
+        &self.hive
+    }
+
+    /// The pods.
+    pub fn pods(&self) -> &[Pod<'p>] {
+        &self.pods
+    }
+
+    /// All round reports so far.
+    pub fn history(&self) -> &[RoundReport] {
+        &self.history
+    }
+
+    /// Advances one round with `execs_per_pod` executions per pod.
+    pub fn round(&mut self, execs_per_pod: u32) -> RoundReport {
+        // 1. Distribute the current overlay.
+        let (overlay, version) = {
+            let (o, v) = self.hive.current_overlay();
+            (o.clone(), v)
+        };
+        if self.config.fixes_enabled {
+            for pod in &mut self.pods {
+                pod.install_fix(overlay.clone(), version);
+            }
+        }
+
+        // 2. Execute and ingest.
+        let mut executions = 0u64;
+        let mut failures = 0u64;
+        let mut directed = 0u64;
+        for pod in &mut self.pods {
+            for _ in 0..execs_per_pod {
+                let run = pod.run_once();
+                executions += 1;
+                if run.result.outcome.is_failure() {
+                    failures += 1;
+                }
+                if run.directed {
+                    directed += 1;
+                }
+                self.hive.ingest(&run.trace);
+            }
+        }
+
+        // 3. Fix pipeline.
+        let mut fixes_promoted = 0u64;
+        if self.config.fixes_enabled {
+            let proposals = self.hive.propose_fixes();
+            for proposal in proposals {
+                // Pool trial cases from pods: failing cases of this mode +
+                // passing regression cases.
+                let failing: Vec<TestCase> = self
+                    .pods
+                    .iter()
+                    .flat_map(|p| p.failing_cases())
+                    .filter(|(_, o)| {
+                        outcome_signature(o).as_deref() == Some(proposal.signature.as_str())
+                    })
+                    .map(|(c, _)| c.clone())
+                    .take(16)
+                    .collect();
+                let passing: Vec<TestCase> = self
+                    .pods
+                    .iter()
+                    .flat_map(|p| p.passing_cases())
+                    .cloned()
+                    .take(32)
+                    .collect();
+                let (base, _) = self.hive.current_overlay();
+                let ranked = rank(
+                    self.program,
+                    &base.clone(),
+                    &proposal.candidates,
+                    &failing,
+                    &passing,
+                    LabConfig::default(),
+                );
+                let Some((candidate, validation)) = ranked.first() else {
+                    continue;
+                };
+                let distribute = match validation.verdict {
+                    Verdict::Distribute => true,
+                    // Predicted deadlock fixes have no failing cases yet;
+                    // distribute on perfect preservation evidence.
+                    Verdict::Reject | Verdict::Suggest => {
+                        proposal.signature.starts_with("lock-cycle:")
+                            && failing.is_empty()
+                            && validation.passing_total as usize
+                                >= self.config.min_preservation_cases
+                            && validation.passing_preserved == validation.passing_total
+                    }
+                };
+                if distribute {
+                    self.hive.promote(&proposal.signature, candidate);
+                    fixes_promoted += 1;
+                }
+            }
+        }
+
+        // 4. Guidance.
+        if self.config.guidance_enabled {
+            let (plan, _stats) = self.hive.guidance();
+            if !plan.directives.is_empty() {
+                let n = self.pods.len();
+                for (i, d) in plan.directives.into_iter().enumerate() {
+                    // Spread directives; replicate input seeds to a few
+                    // pods so one lost/odd pod cannot stall exploration.
+                    match d {
+                        Directive::InputSeed { .. } => {
+                            for k in 0..3usize {
+                                self.pods[(i * 3 + k) % n]
+                                    .receive_guidance([d.clone()]);
+                            }
+                        }
+                        other => {
+                            self.pods[i % n].receive_guidance([other]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Report.
+        let report = RoundReport {
+            round: self.round_idx,
+            executions,
+            failures,
+            failure_rate_per_10k: if executions == 0 {
+                0.0
+            } else {
+                failures as f64 * 10_000.0 / executions as f64
+            },
+            fixes_promoted,
+            overlay_version: self.hive.current_overlay().1,
+            coverage: self.hive.coverage(),
+            proofs: self.hive.proofs().len() as u64,
+            directed,
+        };
+        self.round_idx += 1;
+        self.history.push(report.clone());
+        report
+    }
+
+    /// Runs `rounds` rounds and returns the full history.
+    pub fn run(&mut self, rounds: u32, execs_per_pod: u32) -> &[RoundReport] {
+        for _ in 0..rounds {
+            self.round(execs_per_pod);
+        }
+        self.history()
+    }
+
+    /// Signatures of all currently-diagnosed failure modes.
+    pub fn diagnosed_modes(&self) -> Vec<String> {
+        self.hive
+            .diagnoses()
+            .iter()
+            .map(|d| diagnosis_signature(d))
+            .collect()
+    }
+}

@@ -1,0 +1,98 @@
+//! Directives: what the hive sends pods to steer future executions.
+//!
+//! "SoftBorg can also guide the execution of P's instances to cover
+//! execution paths about which SoftBorg does not yet have sufficient
+//! information" (§3). Directives never change program semantics — they
+//! pick inputs the program could receive anyway, bias the scheduler
+//! toward legal interleavings, or inject environment faults that the real
+//! world could produce (§3.3: test cases "stated in terms of inputs or in
+//! terms of system call faults to be injected").
+
+use serde::{Deserialize, Serialize};
+use softborg_program::sched::ScheduleHint;
+use softborg_program::syscall::ForcedFault;
+use softborg_program::{BranchSiteId, ProgramId};
+
+/// One steering instruction for a pod.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Directive {
+    /// Run with these concrete inputs (synthesized by the symbolic
+    /// executor to reach a frontier arm).
+    InputSeed {
+        /// Inputs to use.
+        inputs: Vec<i64>,
+        /// The frontier arm this seed targets (for telemetry).
+        target: (BranchSiteId, bool),
+    },
+    /// Bias the scheduler toward an interleaving family.
+    Schedule(ScheduleHint),
+    /// Inject environment faults (e.g. a short `read()`).
+    FaultInjection {
+        /// Forced syscall faults by call index.
+        forced: Vec<ForcedFault>,
+        /// Spontaneous short-read probability, in parts per 1000.
+        short_read_per_mille: u32,
+    },
+}
+
+/// A batch of directives for one program, produced per hive round.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuidancePlan {
+    /// The program the plan applies to.
+    pub program: Option<ProgramId>,
+    /// Directives, in priority order.
+    pub directives: Vec<Directive>,
+}
+
+impl GuidancePlan {
+    /// An empty plan.
+    pub fn new(program: ProgramId) -> Self {
+        GuidancePlan {
+            program: Some(program),
+            directives: Vec::new(),
+        }
+    }
+
+    /// Number of directives.
+    pub fn len(&self) -> usize {
+        self.directives.len()
+    }
+
+    /// `true` when no directives are present.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Directives of the input-seed kind.
+    pub fn input_seeds(&self) -> impl Iterator<Item = &Directive> {
+        self.directives
+            .iter()
+            .filter(|d| matches!(d, Directive::InputSeed { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::ThreadId;
+
+    #[test]
+    fn plan_collects_directives() {
+        let mut plan = GuidancePlan::new(ProgramId(1));
+        assert!(plan.is_empty());
+        plan.directives.push(Directive::InputSeed {
+            inputs: vec![1, 2],
+            target: (BranchSiteId::new(0), true),
+        });
+        plan.directives.push(Directive::Schedule(ScheduleHint {
+            order: vec![ThreadId::new(1), ThreadId::new(0)],
+            bias_per_mille: 800,
+        }));
+        plan.directives.push(Directive::FaultInjection {
+            forced: vec![],
+            short_read_per_mille: 500,
+        });
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.input_seeds().count(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Markowitz portfolio allocation of hive workers to execution subtrees.
+//!
+//! "In SoftBorg, equities correspond to roots of subtrees in the
+//! execution tree, and the capital invested in each equity corresponds to
+//! the hive nodes allocated to analyze them" (§4). Expected *return* is
+//! the estimated new coverage a worker-round on the subtree yields; *risk*
+//! is the variance of past returns. Mean-variance allocation balances
+//! high-return subtrees against the risk of burning workers on subtrees
+//! whose payoff is unpredictable — diversification, exactly as in
+//! Markowitz portfolio selection.
+
+use serde::{Deserialize, Serialize};
+
+/// One investable subtree ("equity").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Asset {
+    /// Caller-meaningful identifier (e.g. a tree node id).
+    pub id: u64,
+    /// Expected per-worker return (estimated new coverage).
+    pub expected_return: f64,
+    /// Variance of historical returns (risk).
+    pub variance: f64,
+}
+
+/// Online estimator of an asset's return statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReturnStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl ReturnStats {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        ReturnStats::default()
+    }
+
+    /// Records one observed return (Welford update).
+    pub fn record(&mut self, value: f64) {
+        self.n += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (0 with < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Allocation strategies compared in experiment E12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Equal workers to every asset.
+    Uniform,
+    /// All workers to the highest-expected-return asset ("choosing the
+    /// equities with the highest return", which the paper calls
+    /// undecidable in general).
+    Greedy,
+    /// Mean-variance water-filling with risk-aversion λ.
+    MeanVariance {
+        /// Risk-aversion coefficient (λ ≥ 0; 0 degenerates to greedy).
+        risk_aversion: f64,
+    },
+}
+
+/// Allocates `budget` integer workers across `assets`.
+///
+/// Mean-variance uses greedy water-filling on the marginal utility
+/// `r_i - λ·(2·w_i + 1)·σ²_i`, which maximizes
+/// `Σ w_i·r_i - λ·Σ w_i²·σ²_i` over integer allocations.
+///
+/// Returns a worker count per asset (same order as `assets`).
+pub fn allocate(assets: &[Asset], budget: u32, strategy: Strategy) -> Vec<u32> {
+    if assets.is_empty() || budget == 0 {
+        return vec![0; assets.len()];
+    }
+    match strategy {
+        Strategy::Uniform => {
+            let base = budget / assets.len() as u32;
+            let extra = (budget % assets.len() as u32) as usize;
+            (0..assets.len())
+                .map(|i| base + u32::from(i < extra))
+                .collect()
+        }
+        Strategy::Greedy => {
+            let best = assets
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.expected_return
+                        .partial_cmp(&b.expected_return)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let mut w = vec![0; assets.len()];
+            w[best] = budget;
+            w
+        }
+        Strategy::MeanVariance { risk_aversion } => {
+            let mut w = vec![0u32; assets.len()];
+            for _ in 0..budget {
+                let best = assets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        let marginal = a.expected_return
+                            - risk_aversion * (2.0 * f64::from(w[i]) + 1.0) * a.variance;
+                        (i, marginal)
+                    })
+                    .max_by(|(_, x), (_, y)| {
+                        x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                w[best] += 1;
+            }
+            w
+        }
+    }
+}
+
+/// Portfolio objective value of an allocation (used by tests & benches).
+pub fn objective(assets: &[Asset], weights: &[u32], risk_aversion: f64) -> f64 {
+    assets
+        .iter()
+        .zip(weights)
+        .map(|(a, &w)| {
+            let w = f64::from(w);
+            w * a.expected_return - risk_aversion * w * w * a.variance
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assets() -> Vec<Asset> {
+        vec![
+            Asset {
+                id: 0,
+                expected_return: 10.0,
+                variance: 100.0, // high return, high risk
+            },
+            Asset {
+                id: 1,
+                expected_return: 6.0,
+                variance: 1.0, // decent return, low risk
+            },
+            Asset {
+                id: 2,
+                expected_return: 1.0,
+                variance: 0.5, // poor return
+            },
+        ]
+    }
+
+    #[test]
+    fn uniform_splits_evenly_with_remainder() {
+        let w = allocate(&assets(), 10, Strategy::Uniform);
+        assert_eq!(w, vec![4, 3, 3]);
+        assert_eq!(w.iter().sum::<u32>(), 10);
+    }
+
+    #[test]
+    fn greedy_puts_everything_on_max_return() {
+        let w = allocate(&assets(), 10, Strategy::Greedy);
+        assert_eq!(w, vec![10, 0, 0]);
+    }
+
+    #[test]
+    fn mean_variance_diversifies() {
+        let w = allocate(
+            &assets(),
+            10,
+            Strategy::MeanVariance {
+                risk_aversion: 0.02,
+            },
+        );
+        assert_eq!(w.iter().sum::<u32>(), 10);
+        // The risky asset gets some workers but not all; the low-risk
+        // asset gets a meaningful share.
+        assert!(w[0] >= 1, "{w:?}");
+        assert!(w[1] >= 3, "{w:?}");
+        assert!(w[0] < 10, "{w:?}");
+    }
+
+    #[test]
+    fn zero_risk_aversion_degenerates_to_greedy() {
+        let w = allocate(&assets(), 7, Strategy::MeanVariance { risk_aversion: 0.0 });
+        assert_eq!(w, vec![7, 0, 0]);
+    }
+
+    #[test]
+    fn water_filling_beats_uniform_and_greedy_on_its_own_objective() {
+        let a = assets();
+        let lambda = 0.1;
+        let mv = allocate(&a, 12, Strategy::MeanVariance { risk_aversion: lambda });
+        let uni = allocate(&a, 12, Strategy::Uniform);
+        let grd = allocate(&a, 12, Strategy::Greedy);
+        let omv = objective(&a, &mv, lambda);
+        assert!(omv >= objective(&a, &uni, lambda) - 1e-9);
+        assert!(omv >= objective(&a, &grd, lambda) - 1e-9);
+    }
+
+    #[test]
+    fn empty_assets_or_budget_yield_zeroes() {
+        assert!(allocate(&[], 5, Strategy::Uniform).is_empty());
+        assert_eq!(
+            allocate(&assets(), 0, Strategy::Greedy),
+            vec![0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn return_stats_welford_matches_naive() {
+        let samples = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let mut rs = ReturnStats::new();
+        for s in samples {
+            rs.record(s);
+        }
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((rs.mean() - mean).abs() < 1e-9);
+        assert!((rs.variance() - var).abs() < 1e-9);
+        assert_eq!(rs.count(), 5);
+    }
+
+    #[test]
+    fn return_stats_single_sample_has_zero_variance() {
+        let mut rs = ReturnStats::new();
+        rs.record(3.0);
+        assert_eq!(rs.variance(), 0.0);
+        assert_eq!(rs.mean(), 3.0);
+    }
+}

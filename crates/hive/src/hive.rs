@@ -1,0 +1,459 @@
+//! The hive: ingest by-products, build the tree, detect bugs, propose
+//! and promote fixes, and emit guidance (paper §3, Fig. 1).
+//!
+//! One [`Hive`] serves one program. Traces arrive (already anonymized by
+//! pods), are reconstructed into full paths against the overlay version
+//! they ran under, merged into the collective execution tree, and fed to
+//! the detectors. Each round the hive can [`propose_fixes`] for diagnosed
+//! failure modes and *predicted* deadlocks, [`promote`] a validated
+//! candidate into the distributed overlay, and compute a guidance plan.
+//!
+//! [`propose_fixes`]: Hive::propose_fixes
+//! [`promote`]: Hive::promote
+
+use serde::{Deserialize, Serialize};
+use softborg_analysis::deadlock::LockOrderGraph;
+use softborg_analysis::race::{RaceDetector, RaceReport};
+use softborg_analysis::treeloc::{Diagnosis, FailureLedger};
+use softborg_fix::{crash_guards, deadlock_immunity, hang_bounds, FixCandidate};
+use softborg_guidance::{GuidancePlan, PlanStats, PlannerConfig};
+use softborg_program::overlay::Overlay;
+use softborg_program::taint::InputDependence;
+use softborg_program::Program;
+use softborg_trace::{reconstruct, ExecutionTrace, ReconstructError};
+use softborg_tree::{CoverageStats, ExecutionTree};
+use std::collections::BTreeSet;
+
+/// Hive configuration.
+#[derive(Debug, Clone)]
+pub struct HiveConfig {
+    /// Guidance planner settings.
+    pub planner: PlannerConfig,
+    /// Iteration cap used by synthesized hang fixes.
+    pub hang_bound: u64,
+    /// Minimum lock-order-cycle support before proposing a predictive
+    /// deadlock fix (1 = fix on first evidence).
+    pub min_cycle_support: u64,
+    /// Maximum locks participating in a searched cycle.
+    pub max_cycle_len: usize,
+}
+
+impl Default for HiveConfig {
+    fn default() -> Self {
+        HiveConfig {
+            planner: PlannerConfig::default(),
+            hang_bound: 10_000,
+            min_cycle_support: 1,
+            max_cycle_len: 6,
+        }
+    }
+}
+
+/// Ingest/processing counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HiveStats {
+    /// Traces ingested.
+    pub traces: u64,
+    /// Traces whose full path was reconstructed and merged.
+    pub reconstructed: u64,
+    /// Traces that could not be reconstructed (inexact policy, version
+    /// skew, corruption).
+    pub unreconstructed: u64,
+    /// New tree nodes created by merging.
+    pub new_nodes: u64,
+}
+
+/// A proposed fix for one failure mode.
+#[derive(Debug, Clone)]
+pub struct FixProposal {
+    /// Stable signature of the failure mode (used to avoid re-fixing).
+    pub signature: String,
+    /// Candidate overlays, unvalidated.
+    pub candidates: Vec<FixCandidate>,
+}
+
+/// The per-program hive. See the [module docs](self).
+#[derive(Debug)]
+pub struct Hive<'p> {
+    program: &'p Program,
+    deps: InputDependence,
+    tree: ExecutionTree,
+    lock_graph: LockOrderGraph,
+    races: RaceDetector,
+    ledger: FailureLedger,
+    /// Every overlay version ever distributed (index = version).
+    overlay_history: Vec<Overlay>,
+    fixed: BTreeSet<String>,
+    stats: HiveStats,
+    config: HiveConfig,
+}
+
+impl<'p> Hive<'p> {
+    /// Creates a hive for `program`.
+    pub fn new(program: &'p Program, config: HiveConfig) -> Self {
+        Hive {
+            deps: InputDependence::compute(program),
+            tree: ExecutionTree::new(program.id()),
+            lock_graph: LockOrderGraph::new(),
+            races: RaceDetector::new(),
+            ledger: FailureLedger::new(),
+            overlay_history: vec![Overlay::empty()],
+            fixed: BTreeSet::new(),
+            stats: HiveStats::default(),
+            program,
+            config,
+        }
+    }
+
+    /// The current overlay and its version (what pods should run).
+    pub fn current_overlay(&self) -> (&Overlay, u64) {
+        let v = self.overlay_history.len() as u64 - 1;
+        (
+            self.overlay_history.last().expect("version 0 always exists"),
+            v,
+        )
+    }
+
+    /// Ingests one trace: detectors always see it; the tree additionally
+    /// merges the reconstructed path when the trace is exact and its
+    /// overlay version is known.
+    pub fn ingest(&mut self, trace: &ExecutionTrace) {
+        self.stats.traces += 1;
+        self.lock_graph.ingest(trace);
+        self.races.ingest(trace);
+        self.ledger.ingest(trace);
+        let overlay = match self.overlay_history.get(trace.overlay_version as usize) {
+            Some(o) => o,
+            None => {
+                self.stats.unreconstructed += 1;
+                return;
+            }
+        };
+        match reconstruct(self.program, &self.deps, overlay, trace) {
+            Ok(path) => {
+                let m = self.tree.merge_path(&path.decisions, &trace.outcome);
+                self.stats.new_nodes += m.new_nodes;
+                self.stats.reconstructed += 1;
+            }
+            Err(ReconstructError::InexactPolicy(_)) => {
+                self.stats.unreconstructed += 1;
+            }
+            Err(_) => {
+                self.stats.unreconstructed += 1;
+            }
+        }
+    }
+
+    /// Proposes fixes for every *unfixed* failure mode: exact crash
+    /// guards, hang bounds, and deadlock-immunity gates — including
+    /// gates for cycles that have not yet deadlocked (prediction).
+    pub fn propose_fixes(&self) -> Vec<FixProposal> {
+        let mut out = Vec::new();
+        for d in self.ledger.diagnoses() {
+            let signature = diagnosis_signature(d);
+            if self.fixed.contains(&signature) {
+                continue;
+            }
+            let candidates = match d.class.as_str() {
+                "crash" => d
+                    .loc
+                    .map(|loc| crash_guards(self.program, loc))
+                    .unwrap_or_default(),
+                "hang" => hang_bounds(self.program, &d.stuck, self.config.hang_bound),
+                "deadlock" => Vec::new(), // handled below via the lock graph
+                _ => Vec::new(),
+            };
+            if !candidates.is_empty() {
+                out.push(FixProposal {
+                    signature,
+                    candidates,
+                });
+            }
+        }
+        // Deadlock patterns (observed or predicted).
+        let (current, _) = self.current_overlay();
+        for cycle in self.lock_graph.cycles(self.config.max_cycle_len) {
+            if cycle.support < self.config.min_cycle_support {
+                continue;
+            }
+            // Signature uses the sorted lock set so observed deadlocks and
+            // predicted cycles over the same locks share one fix.
+            let mut locks = cycle.locks.clone();
+            locks.sort();
+            locks.dedup();
+            let signature = format!("lock-cycle:{locks:?}");
+            if self.fixed.contains(&signature) {
+                continue;
+            }
+            out.push(FixProposal {
+                signature,
+                candidates: vec![deadlock_immunity(&cycle, current)],
+            });
+        }
+        out
+    }
+
+    /// Promotes a validated candidate: merges it into the distributed
+    /// overlay, bumps the version, and marks the mode fixed. Returns the
+    /// new version.
+    pub fn promote(&mut self, signature: &str, candidate: &FixCandidate) -> u64 {
+        let mut next = self.current_overlay().0.clone();
+        next.merge(&candidate.overlay);
+        self.overlay_history.push(next);
+        self.fixed.insert(signature.to_string());
+        self.overlay_history.len() as u64 - 1
+    }
+
+    /// Computes a guidance plan from the current tree (marking
+    /// proven-infeasible arms as a side effect).
+    pub fn guidance(&mut self) -> (GuidancePlan, PlanStats) {
+        softborg_guidance::plan(self.program, &mut self.tree, &self.config.planner)
+    }
+
+    /// Current execution tree (read-only).
+    pub fn tree(&self) -> &ExecutionTree {
+        &self.tree
+    }
+
+    /// Coverage summary.
+    pub fn coverage(&self) -> CoverageStats {
+        self.tree.coverage()
+    }
+
+    /// Current failure diagnoses, most frequent first.
+    pub fn diagnoses(&self) -> Vec<&Diagnosis> {
+        self.ledger.diagnoses()
+    }
+
+    /// Current data-race candidates.
+    pub fn race_candidates(&self) -> Vec<RaceReport> {
+        self.races.candidates()
+    }
+
+    /// The aggregated lock-order graph.
+    pub fn lock_graph(&self) -> &LockOrderGraph {
+        &self.lock_graph
+    }
+
+    /// Processing statistics.
+    pub fn stats(&self) -> HiveStats {
+        self.stats
+    }
+
+    /// Cumulative proof certificates derivable from the current tree
+    /// (paper §3.3).
+    pub fn proofs(&self) -> Vec<crate::proofs::ProofCertificate> {
+        crate::proofs::assemble(&self.tree)
+    }
+}
+
+/// A stable signature for a diagnosis (used to avoid re-fixing modes).
+pub fn diagnosis_signature(d: &Diagnosis) -> String {
+    match d.class.as_str() {
+        "crash" => format!("crash:{:?}:{:?}", d.loc, d.kind),
+        "deadlock" => format!("lock-cycle:{:?}", d.locks),
+        "hang" => format!("hang:{:?}", d.stuck),
+        other => format!("{other}:?"),
+    }
+}
+
+/// The signature an [`softborg_program::interp::Outcome`] maps to —
+/// consistent with [`diagnosis_signature`], so failing test cases can be
+/// matched to the fix proposal that targets their mode.
+pub fn outcome_signature(o: &softborg_program::interp::Outcome) -> Option<String> {
+    use softborg_program::interp::Outcome;
+    match o {
+        Outcome::Success => None,
+        Outcome::Crash { loc, kind } => {
+            Some(format!("crash:{:?}:{:?}", Some(*loc), Some(*kind)))
+        }
+        Outcome::Deadlock { cycle } => {
+            let mut locks: Vec<_> = cycle.iter().map(|(_, l)| *l).collect();
+            locks.sort();
+            locks.dedup();
+            Some(format!("lock-cycle:{locks:?}"))
+        }
+        Outcome::Hang { stuck } => Some(format!("hang:{stuck:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_pod::{Pod, PodConfig};
+    use softborg_program::scenarios;
+
+    fn feed(hive: &mut Hive<'_>, pod: &mut Pod<'_>, n: u32) {
+        for _ in 0..n {
+            let run = pod.run_once();
+            hive.ingest(&run.trace);
+        }
+    }
+
+    #[test]
+    fn ingest_reconstructs_and_grows_tree() {
+        let s = scenarios::token_parser();
+        let mut hive = Hive::new(&s.program, HiveConfig::default());
+        let mut pod = Pod::new(
+            &s.program,
+            PodConfig {
+                input_range: (0, 99),
+                seed: 1,
+                ..PodConfig::default()
+            },
+        );
+        feed(&mut hive, &mut pod, 50);
+        let st = hive.stats();
+        assert_eq!(st.traces, 50);
+        assert_eq!(st.reconstructed, 50);
+        assert!(hive.coverage().nodes > 1);
+        assert!(hive.coverage().distinct_paths > 1);
+    }
+
+    #[test]
+    fn crash_mode_produces_guard_proposals() {
+        let s = scenarios::token_parser();
+        let mut hive = Hive::new(&s.program, HiveConfig::default());
+        let mut pod = Pod::new(
+            &s.program,
+            PodConfig {
+                input_range: (0, 99),
+                seed: 2,
+                ..PodConfig::default()
+            },
+        );
+        // Force the crash via a directed seed.
+        pod.receive_guidance([softborg_guidance::Directive::InputSeed {
+            inputs: vec![1, 2, 3, 4, 85, 66],
+            target: (softborg_program::BranchSiteId::new(0), false),
+        }]);
+        feed(&mut hive, &mut pod, 10);
+        let proposals = hive.propose_fixes();
+        assert!(
+            proposals.iter().any(|p| p.signature.starts_with("crash:")),
+            "no crash proposal in {proposals:?}"
+        );
+    }
+
+    #[test]
+    fn deadlock_predicted_and_proposed_before_any_deadlock_outcome() {
+        let s = scenarios::bank_transfer();
+        let mut hive = Hive::new(&s.program, HiveConfig::default());
+        let mut pod = Pod::new(
+            &s.program,
+            PodConfig {
+                input_range: (0, 99),
+                seed: 3,
+                ..PodConfig::default()
+            },
+        );
+        // Run until we have lock pairs from both orders but filter out
+        // any actual deadlock traces to prove *prediction*.
+        let mut fed = 0;
+        for _ in 0..200 {
+            let run = pod.run_once();
+            if !run.trace.is_failure() {
+                hive.ingest(&run.trace);
+                fed += 1;
+            }
+        }
+        assert!(fed > 0);
+        let proposals = hive.propose_fixes();
+        assert!(
+            proposals.iter().any(|p| p.signature.starts_with("lock-cycle:")),
+            "cycle not predicted from passing traces alone"
+        );
+    }
+
+    #[test]
+    fn promote_bumps_version_and_stops_reproposing() {
+        let s = scenarios::bank_transfer();
+        let mut hive = Hive::new(&s.program, HiveConfig::default());
+        let mut pod = Pod::new(
+            &s.program,
+            PodConfig {
+                input_range: (0, 99),
+                seed: 4,
+                ..PodConfig::default()
+            },
+        );
+        feed(&mut hive, &mut pod, 100);
+        let proposals = hive.propose_fixes();
+        let cycle = proposals
+            .iter()
+            .find(|p| p.signature.starts_with("lock-cycle:"))
+            .expect("cycle proposal");
+        let v = hive.promote(&cycle.signature, &cycle.candidates[0]);
+        assert_eq!(v, 1);
+        assert_eq!(hive.current_overlay().1, 1);
+        assert!(!hive.current_overlay().0.is_empty());
+        let again = hive.propose_fixes();
+        assert!(
+            !again.iter().any(|p| p.signature == cycle.signature),
+            "promoted mode must not be re-proposed"
+        );
+    }
+
+    #[test]
+    fn traces_from_old_overlay_versions_still_reconstruct() {
+        let s = scenarios::token_parser();
+        let mut hive = Hive::new(&s.program, HiveConfig::default());
+        let mut pod = Pod::new(
+            &s.program,
+            PodConfig {
+                input_range: (0, 99),
+                seed: 5,
+                ..PodConfig::default()
+            },
+        );
+        // Version 0 traces.
+        let v0_runs: Vec<_> = (0..5).map(|_| pod.run_once()).collect();
+        // Promote a (noop-ish) fix to bump the version.
+        let loc = softborg_program::gen::find_assert_loc(&s.program, 66).unwrap();
+        let cand = &crash_guards(&s.program, loc)[0];
+        hive.promote("crash:test", cand);
+        // Old traces still merge.
+        for r in &v0_runs {
+            hive.ingest(&r.trace);
+        }
+        assert_eq!(hive.stats().reconstructed, 5);
+        // New traces under version 1 also merge.
+        let (overlay, v) = hive.current_overlay();
+        let overlay = overlay.clone();
+        pod.install_fix(overlay, v);
+        let run = pod.run_once();
+        hive.ingest(&run.trace);
+        assert_eq!(hive.stats().reconstructed, 6);
+    }
+
+    #[test]
+    fn guidance_plans_come_from_the_tree() {
+        let s = scenarios::token_parser();
+        let mut hive = Hive::new(&s.program, HiveConfig {
+            planner: PlannerConfig {
+                sym: softborg_symex::SymConfig {
+                    input_box: softborg_symex::InputBox::uniform(6, 0, 99),
+                    ..softborg_symex::SymConfig::default()
+                },
+                ..PlannerConfig::default()
+            },
+            ..HiveConfig::default()
+        });
+        let mut pod = Pod::new(
+            &s.program,
+            PodConfig {
+                input_range: (0, 99),
+                seed: 6,
+                ..PodConfig::default()
+            },
+        );
+        feed(&mut hive, &mut pod, 30);
+        let before = hive.coverage().frontier_arms;
+        assert!(before > 0);
+        let (plan, stats) = hive.guidance();
+        assert!(
+            !plan.is_empty() || stats.infeasible_marked > 0,
+            "planner produced nothing: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # softborg-hive — the aggregation and reasoning center
+//!
+//! The hive of Figure 1: it merges by-products into the collective
+//! execution tree, diagnoses misbehaviours, synthesizes and promotes
+//! fixes, assembles cumulative proofs, emits guidance, and — in
+//! distributed mode — partitions exploration work across unreliable
+//! worker nodes.
+//!
+//! * [`hive`] — the per-program [`hive::Hive`] pipeline.
+//! * [`proofs`] — proof certificates and their independent verifier.
+//! * [`distributed`] — static vs dynamic tree partitioning over the
+//!   network simulator (paper §4).
+//! * [`replica`] — gossip-based execution-tree replica synchronization
+//!   (the "entirely distributed" hive of §3).
+
+#![warn(missing_docs)]
+
+pub mod distributed;
+pub mod hive;
+pub mod proofs;
+pub mod replica;
+
+pub use distributed::{run_exploration, DistConfig, DistReport, Outage, Partitioning};
+pub use hive::{
+    diagnosis_signature, outcome_signature, FixProposal, Hive, HiveConfig, HiveStats,
+};
+pub use proofs::{assemble, verify, ProofCertificate, ProofError};
+pub use replica::{run_replica_sync, OutcomePath, ReplicaConfig, ReplicaReport};

@@ -1,0 +1,457 @@
+//! Ergonomic, structured construction of guest programs.
+//!
+//! [`ProgramBuilder`] assembles a [`Program`] thread by thread; within a
+//! thread, [`ThreadBuilder`] offers structured control flow (`if_else`,
+//! `while_loop`) so scenario code never juggles raw block ids. Branch sites
+//! are numbered densely across the whole program at [`ProgramBuilder::build`]
+//! time, in (thread, block) traversal order.
+//!
+//! # Examples
+//!
+//! ```
+//! use softborg_program::builder::ProgramBuilder;
+//! use softborg_program::cfg::local;
+//! use softborg_program::expr::Expr;
+//!
+//! # fn main() -> Result<(), softborg_program::cfg::ValidationError> {
+//! let mut pb = ProgramBuilder::new("demo");
+//! pb.inputs(1).locals(1);
+//! pb.thread(|t| {
+//!     t.assign(local(0), Expr::input(0));
+//!     t.if_else(
+//!         Expr::lt(Expr::local(0), Expr::Const(10)),
+//!         |t| {
+//!             t.emit(Expr::Const(1));
+//!         },
+//!         |t| {
+//!             t.emit(Expr::Const(0));
+//!         },
+//!     );
+//! });
+//! let program = pb.build()?;
+//! assert_eq!(program.n_branch_sites, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cfg::{Block, Program, Stmt, SyscallKind, Terminator, ThreadBody, ValidationError};
+use crate::expr::{Expr, Place};
+use crate::ids::{BlockId, BranchSiteId, LockId};
+
+/// Placeholder site id replaced during [`ProgramBuilder::build`].
+const SITE_PLACEHOLDER: BranchSiteId = BranchSiteId(u32::MAX);
+
+/// Builds a [`Program`] incrementally. See the [module docs](self).
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    threads: Vec<ThreadBody>,
+    n_globals: u32,
+    n_locals: u32,
+    n_locks: u32,
+    n_inputs: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts a builder for a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            threads: Vec::new(),
+            n_globals: 0,
+            n_locals: 0,
+            n_locks: 0,
+            n_inputs: 0,
+        }
+    }
+
+    /// Declares the number of shared globals.
+    pub fn globals(&mut self, n: u32) -> &mut Self {
+        self.n_globals = n;
+        self
+    }
+
+    /// Declares the number of per-thread locals.
+    pub fn locals(&mut self, n: u32) -> &mut Self {
+        self.n_locals = n;
+        self
+    }
+
+    /// Declares the number of locks.
+    pub fn locks(&mut self, n: u32) -> &mut Self {
+        self.n_locks = n;
+        self
+    }
+
+    /// Declares the number of input cells.
+    pub fn inputs(&mut self, n: u32) -> &mut Self {
+        self.n_inputs = n;
+        self
+    }
+
+    /// Adds a thread whose body is produced by `f`.
+    pub fn thread(&mut self, f: impl FnOnce(&mut ThreadBuilder)) -> &mut Self {
+        let mut tb = ThreadBuilder::new();
+        f(&mut tb);
+        self.threads.push(tb.finish());
+        self
+    }
+
+    /// Finalizes the program: numbers branch sites densely and validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if the assembled program is
+    /// structurally ill-formed (should not happen for programs built purely
+    /// through this API, but expressions may still reference undeclared
+    /// variables or inputs).
+    pub fn build(mut self) -> Result<Program, ValidationError> {
+        let mut next_site = 0u32;
+        for body in &mut self.threads {
+            for blk in &mut body.blocks {
+                if let Terminator::Branch { site, .. } = &mut blk.term {
+                    *site = BranchSiteId::new(next_site);
+                    next_site += 1;
+                }
+            }
+        }
+        let program = Program {
+            name: self.name,
+            threads: self.threads,
+            n_globals: self.n_globals,
+            n_locals: self.n_locals,
+            n_locks: self.n_locks,
+            n_inputs: self.n_inputs,
+            n_branch_sites: next_site,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+/// Bookkeeping for an open `if` created by [`ThreadBuilder::if_open`].
+#[derive(Debug)]
+pub struct IfFrame {
+    else_bb: usize,
+    join_bb: usize,
+}
+
+/// Bookkeeping for an open loop created by [`ThreadBuilder::loop_open`].
+#[derive(Debug)]
+pub struct LoopFrame {
+    header: usize,
+    exit: usize,
+}
+
+/// Builds one thread body with structured control flow.
+#[derive(Debug)]
+pub struct ThreadBuilder {
+    blocks: Vec<Block>,
+    /// Index of the block currently being appended to.
+    cur: usize,
+}
+
+impl ThreadBuilder {
+    fn new() -> Self {
+        ThreadBuilder {
+            blocks: vec![Block::just(Terminator::Exit)],
+            cur: 0,
+        }
+    }
+
+    fn push(&mut self, stmt: Stmt) -> &mut Self {
+        self.blocks[self.cur].stmts.push(stmt);
+        self
+    }
+
+    /// Allocates a fresh block (terminated by `Exit` until overwritten).
+    fn fresh_block(&mut self) -> usize {
+        self.blocks.push(Block::just(Terminator::Exit));
+        self.blocks.len() - 1
+    }
+
+    /// Appends `place := expr`.
+    pub fn assign(&mut self, place: Place, expr: Expr) -> &mut Self {
+        self.push(Stmt::Assign(place, expr))
+    }
+
+    /// Appends a lock acquisition.
+    pub fn lock(&mut self, lock: u32) -> &mut Self {
+        self.push(Stmt::Lock(LockId::new(lock)))
+    }
+
+    /// Appends a lock release.
+    pub fn unlock(&mut self, lock: u32) -> &mut Self {
+        self.push(Stmt::Unlock(LockId::new(lock)))
+    }
+
+    /// Appends a system call `ret := kind(arg)`.
+    pub fn syscall(&mut self, kind: SyscallKind, arg: Expr, ret: Place) -> &mut Self {
+        self.push(Stmt::Syscall { kind, arg, ret })
+    }
+
+    /// Appends an assertion (crash when `cond` is zero).
+    pub fn assert_(&mut self, cond: Expr) -> &mut Self {
+        self.push(Stmt::Assert(cond))
+    }
+
+    /// Appends an observable output of `value`.
+    pub fn emit(&mut self, value: Expr) -> &mut Self {
+        self.push(Stmt::Emit(value))
+    }
+
+    /// Appends a scheduling hint.
+    pub fn yield_(&mut self) -> &mut Self {
+        self.push(Stmt::Yield)
+    }
+
+    /// Structured two-way conditional: `if cond { then_f } else { else_f }`,
+    /// converging afterwards.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut ThreadBuilder),
+        else_f: impl FnOnce(&mut ThreadBuilder),
+    ) -> &mut Self {
+        let mut frame = self.if_open(cond);
+        then_f(self);
+        self.if_mark_else(&mut frame);
+        else_f(self);
+        self.if_close(frame);
+        self
+    }
+
+    /// Structured conditional without an else branch.
+    pub fn if_then(&mut self, cond: Expr, then_f: impl FnOnce(&mut ThreadBuilder)) -> &mut Self {
+        self.if_else(cond, then_f, |_| {})
+    }
+
+    /// Structured loop: `while cond { body_f }`.
+    ///
+    /// The loop header is a fresh block so the back edge is
+    /// `body -> header`; dependent crates (hang fixes) rely on that shape.
+    pub fn while_loop(&mut self, cond: Expr, body_f: impl FnOnce(&mut ThreadBuilder)) -> &mut Self {
+        let frame = self.loop_open(cond);
+        body_f(self);
+        self.loop_close(frame);
+        self
+    }
+
+    /// Opens an `if`: the current block branches on `cond`; subsequent
+    /// statements land in the *then* arm until [`if_mark_else`] is called.
+    ///
+    /// This is the non-closure form of [`if_else`], for callers (such as
+    /// program generators) that cannot split their state across two
+    /// closures. Every `if_open` must be paired with one `if_mark_else`
+    /// and one `if_close`, properly nested.
+    ///
+    /// [`if_else`]: ThreadBuilder::if_else
+    /// [`if_mark_else`]: ThreadBuilder::if_mark_else
+    /// [`if_close`]: ThreadBuilder::if_close
+    pub fn if_open(&mut self, cond: Expr) -> IfFrame {
+        let then_bb = self.fresh_block();
+        let else_bb = self.fresh_block();
+        let join_bb = self.fresh_block();
+        self.blocks[self.cur].term = Terminator::Branch {
+            site: SITE_PLACEHOLDER,
+            cond,
+            then_bb: BlockId::new(then_bb as u32),
+            else_bb: BlockId::new(else_bb as u32),
+        };
+        self.cur = then_bb;
+        IfFrame { else_bb, join_bb }
+    }
+
+    /// Ends the *then* arm and starts the *else* arm of an open `if`.
+    pub fn if_mark_else(&mut self, frame: &mut IfFrame) {
+        self.blocks[self.cur].term = Terminator::Goto(BlockId::new(frame.join_bb as u32));
+        self.cur = frame.else_bb;
+    }
+
+    /// Ends the *else* arm; subsequent statements follow the conditional.
+    pub fn if_close(&mut self, frame: IfFrame) {
+        self.blocks[self.cur].term = Terminator::Goto(BlockId::new(frame.join_bb as u32));
+        self.cur = frame.join_bb;
+    }
+
+    /// Opens a `while cond` loop; subsequent statements form the body
+    /// until [`loop_close`] is called.
+    ///
+    /// [`loop_close`]: ThreadBuilder::loop_close
+    pub fn loop_open(&mut self, cond: Expr) -> LoopFrame {
+        let header = self.fresh_block();
+        let body = self.fresh_block();
+        let exit = self.fresh_block();
+        self.blocks[self.cur].term = Terminator::Goto(BlockId::new(header as u32));
+        self.blocks[header].term = Terminator::Branch {
+            site: SITE_PLACEHOLDER,
+            cond,
+            then_bb: BlockId::new(body as u32),
+            else_bb: BlockId::new(exit as u32),
+        };
+        self.cur = body;
+        LoopFrame { header, exit }
+    }
+
+    /// Closes an open loop: emits the back edge and continues after it.
+    pub fn loop_close(&mut self, frame: LoopFrame) {
+        self.blocks[self.cur].term = Terminator::Goto(BlockId::new(frame.header as u32));
+        self.cur = frame.exit;
+    }
+
+    /// Terminates the thread early at the current point.
+    ///
+    /// Statements appended afterwards land in an unreachable block; prefer
+    /// calling this last inside a branch arm.
+    pub fn exit(&mut self) -> &mut Self {
+        self.blocks[self.cur].term = Terminator::Exit;
+        // Subsequent statements go to a fresh unreachable block so the
+        // builder state stays consistent.
+        self.cur = self.fresh_block();
+        self
+    }
+
+    fn finish(self) -> ThreadBody {
+        ThreadBody {
+            blocks: self.blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{global, local};
+
+    #[test]
+    fn straight_line_program_builds() {
+        let mut pb = ProgramBuilder::new("straight");
+        pb.locals(1).inputs(1);
+        pb.thread(|t| {
+            t.assign(local(0), Expr::input(0));
+            t.emit(Expr::local(0));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(p.n_branch_sites, 0);
+        assert_eq!(p.threads.len(), 1);
+    }
+
+    #[test]
+    fn if_else_allocates_one_site_and_join() {
+        let mut pb = ProgramBuilder::new("cond");
+        pb.inputs(1);
+        pb.thread(|t| {
+            t.if_else(
+                Expr::lt(Expr::input(0), Expr::Const(0)),
+                |t| {
+                    t.emit(Expr::Const(1));
+                },
+                |t| {
+                    t.emit(Expr::Const(2));
+                },
+            );
+            t.emit(Expr::Const(3));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(p.n_branch_sites, 1);
+        // entry + then + else + join
+        assert_eq!(p.threads[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge_to_header() {
+        let mut pb = ProgramBuilder::new("loop");
+        pb.locals(1);
+        pb.thread(|t| {
+            t.assign(local(0), Expr::Const(0));
+            t.while_loop(Expr::lt(Expr::local(0), Expr::Const(3)), |t| {
+                t.assign(
+                    local(0),
+                    Expr::bin(crate::expr::BinOp::Add, Expr::local(0), Expr::Const(1)),
+                );
+            });
+        });
+        let p = pb.build().unwrap();
+        // Find the branch (header) and verify some block jumps back to it.
+        let sites = p.branch_sites();
+        assert_eq!(sites.len(), 1);
+        let header = sites[0].2;
+        let has_back_edge = p.threads[0].blocks.iter().any(|b| match b.term {
+            Terminator::Goto(t) => t == header,
+            _ => false,
+        });
+        assert!(has_back_edge, "expected a back edge to the loop header");
+    }
+
+    #[test]
+    fn sites_numbered_densely_across_threads() {
+        let mut pb = ProgramBuilder::new("multi");
+        pb.inputs(2);
+        for i in 0..2u32 {
+            pb.thread(move |t| {
+                t.if_then(Expr::eq(Expr::input(i), Expr::Const(0)), |t| {
+                    t.emit(Expr::Const(9));
+                });
+            });
+        }
+        let p = pb.build().unwrap();
+        let sites: Vec<u32> = p.branch_sites().iter().map(|(s, ..)| s.0).collect();
+        assert_eq!(sites, vec![0, 1]);
+    }
+
+    #[test]
+    fn nested_structures_validate() {
+        let mut pb = ProgramBuilder::new("nested");
+        pb.inputs(1).locals(2).globals(1).locks(1);
+        pb.thread(|t| {
+            t.assign(local(0), Expr::Const(0));
+            t.while_loop(Expr::lt(Expr::local(0), Expr::input(0)), |t| {
+                t.if_else(
+                    Expr::eq(
+                        Expr::bin(crate::expr::BinOp::Rem, Expr::local(0), Expr::Const(2)),
+                        Expr::Const(0),
+                    ),
+                    |t| {
+                        t.lock(0);
+                        t.assign(global(0), Expr::local(0));
+                        t.unlock(0);
+                    },
+                    |t| {
+                        t.yield_();
+                    },
+                );
+                t.assign(
+                    local(0),
+                    Expr::bin(crate::expr::BinOp::Add, Expr::local(0), Expr::Const(1)),
+                );
+            });
+            t.emit(Expr::global(0));
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(p.n_branch_sites, 2);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn early_exit_leaves_valid_cfg() {
+        let mut pb = ProgramBuilder::new("early");
+        pb.inputs(1);
+        pb.thread(|t| {
+            t.if_then(Expr::eq(Expr::input(0), Expr::Const(0)), |t| {
+                t.exit();
+            });
+            t.emit(Expr::Const(1));
+        });
+        let p = pb.build().unwrap();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_undeclared_input() {
+        let mut pb = ProgramBuilder::new("bad");
+        pb.thread(|t| {
+            t.emit(Expr::input(0));
+        });
+        assert!(pb.build().is_err());
+    }
+}

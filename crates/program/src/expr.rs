@@ -1,0 +1,435 @@
+//! Integer expressions evaluated by the guest interpreter.
+//!
+//! Expressions are side-effect free; all state mutation happens through
+//! statements ([`crate::cfg::Stmt`]). Arithmetic is wrapping two's-complement
+//! over `i64`, except division/modulo by zero, which raise a runtime fault
+//! that the interpreter turns into a [`crate::interp::Outcome::Crash`].
+
+use crate::ids::{GlobalId, InputId, LocalId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A storage location: thread-local or shared global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Place {
+    /// Thread-local slot; not visible to other threads.
+    Local(LocalId),
+    /// Shared slot; reads/writes are observable events (data-race candidates).
+    Global(GlobalId),
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Local(l) => write!(f, "{l}"),
+            Place::Global(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+/// Binary operators. Comparison operators yield `1` or `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; divisor `0` faults.
+    Div,
+    /// Remainder; divisor `0` faults.
+    Rem,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Logical and: nonzero/nonzero.
+    And,
+    /// Logical or.
+    Or,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise exclusive or.
+    BitXor,
+    /// Shift left; shift amount is masked to 0..64.
+    Shl,
+    /// Arithmetic shift right; shift amount is masked to 0..64.
+    Shr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Wrapping negation.
+    Neg,
+    /// Logical not: `0 -> 1`, nonzero -> `0`.
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// An integer expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal constant.
+    Const(i64),
+    /// Read a local or global variable.
+    Load(Place),
+    /// Read a program input cell.
+    Input(InputId),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Un(op, Box::new(e))
+    }
+
+    /// `lhs == rhs`.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, lhs, rhs)
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, lhs, rhs)
+    }
+
+    /// Reads input cell `i`.
+    pub fn input(i: u32) -> Expr {
+        Expr::Input(InputId::new(i))
+    }
+
+    /// Reads local variable `i`.
+    pub fn local(i: u32) -> Expr {
+        Expr::Load(Place::Local(LocalId::new(i)))
+    }
+
+    /// Reads global variable `i`.
+    pub fn global(i: u32) -> Expr {
+        Expr::Load(Place::Global(GlobalId::new(i)))
+    }
+
+    /// Visits every sub-expression (including `self`), pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Un(_, e) => e.visit(f),
+            Expr::Bin(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Const(_) | Expr::Load(_) | Expr::Input(_) => {}
+        }
+    }
+
+    /// Returns `true` if the expression syntactically mentions any input
+    /// cell. (Transitive input dependence through variables is computed by
+    /// the taint analysis in [`crate::taint`].)
+    pub fn mentions_input(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Input(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Collects the places read by the expression.
+    pub fn places(&self) -> Vec<Place> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Load(p) = e {
+                out.push(*p);
+            }
+        });
+        out
+    }
+
+    /// Collects the input cells read by the expression.
+    pub fn inputs(&self) -> Vec<InputId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Input(i) = e {
+                out.push(*i);
+            }
+        });
+        out
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Const(v)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Load(p) => write!(f, "{p}"),
+            Expr::Input(i) => write!(f, "{i}"),
+            Expr::Un(op, e) => match op {
+                UnOp::Neg => write!(f, "-({e})"),
+                UnOp::Not => write!(f, "!({e})"),
+                UnOp::BitNot => write!(f, "~({e})"),
+            },
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+/// A runtime evaluation fault (turned into a crash by the interpreter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvalFault {
+    /// Division by zero.
+    DivByZero,
+    /// Remainder by zero.
+    RemByZero,
+}
+
+impl fmt::Display for EvalFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalFault::DivByZero => f.write_str("division by zero"),
+            EvalFault::RemByZero => f.write_str("remainder by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalFault {}
+
+/// Read access to the state an expression evaluates against.
+///
+/// The interpreter implements this over live thread state; the symbolic
+/// executor implements a symbolic analogue separately.
+pub trait EvalEnv {
+    /// Current value of `place`.
+    fn load(&self, place: Place) -> i64;
+    /// Current value of input cell `input`.
+    fn input(&self, input: InputId) -> i64;
+}
+
+/// Evaluates `expr` in `env` using wrapping semantics.
+///
+/// # Errors
+///
+/// Returns [`EvalFault`] on division or remainder by zero.
+pub fn eval(expr: &Expr, env: &impl EvalEnv) -> Result<i64, EvalFault> {
+    Ok(match expr {
+        Expr::Const(c) => *c,
+        Expr::Load(p) => env.load(*p),
+        Expr::Input(i) => env.input(*i),
+        Expr::Un(op, e) => {
+            let v = eval(e, env)?;
+            match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => i64::from(v == 0),
+                UnOp::BitNot => !v,
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let x = eval(a, env)?;
+            let y = eval(b, env)?;
+            apply_bin(*op, x, y)?
+        }
+    })
+}
+
+/// Applies a binary operator to two concrete values.
+///
+/// # Errors
+///
+/// Returns [`EvalFault`] on division or remainder by zero.
+pub fn apply_bin(op: BinOp, x: i64, y: i64) -> Result<i64, EvalFault> {
+    Ok(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return Err(EvalFault::DivByZero);
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return Err(EvalFault::RemByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::Lt => i64::from(x < y),
+        BinOp::Le => i64::from(x <= y),
+        BinOp::Gt => i64::from(x > y),
+        BinOp::Ge => i64::from(x >= y),
+        BinOp::Eq => i64::from(x == y),
+        BinOp::Ne => i64::from(x != y),
+        BinOp::And => i64::from(x != 0 && y != 0),
+        BinOp::Or => i64::from(x != 0 || y != 0),
+        BinOp::BitAnd => x & y,
+        BinOp::BitOr => x | y,
+        BinOp::BitXor => x ^ y,
+        BinOp::Shl => x.wrapping_shl((y & 63) as u32),
+        BinOp::Shr => x.wrapping_shr((y & 63) as u32),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MapEnv {
+        locals: Vec<i64>,
+        globals: Vec<i64>,
+        inputs: Vec<i64>,
+    }
+
+    impl EvalEnv for MapEnv {
+        fn load(&self, place: Place) -> i64 {
+            match place {
+                Place::Local(l) => self.locals[l.index()],
+                Place::Global(g) => self.globals[g.index()],
+            }
+        }
+        fn input(&self, input: InputId) -> i64 {
+            self.inputs[input.index()]
+        }
+    }
+
+    fn env() -> MapEnv {
+        MapEnv {
+            locals: vec![10, 20],
+            globals: vec![-5],
+            inputs: vec![7, 0],
+        }
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let e = Expr::bin(BinOp::Add, Expr::Const(i64::MAX), Expr::Const(1));
+        assert_eq!(eval(&e, &env()).unwrap(), i64::MIN);
+        let m = Expr::bin(BinOp::Mul, Expr::Const(i64::MAX), Expr::Const(2));
+        assert_eq!(eval(&m, &env()).unwrap(), -2);
+    }
+
+    #[test]
+    fn div_by_zero_faults() {
+        let e = Expr::bin(BinOp::Div, Expr::Const(1), Expr::input(1));
+        assert_eq!(eval(&e, &env()), Err(EvalFault::DivByZero));
+        let r = Expr::bin(BinOp::Rem, Expr::Const(1), Expr::Const(0));
+        assert_eq!(eval(&r, &env()), Err(EvalFault::RemByZero));
+    }
+
+    #[test]
+    fn comparisons_yield_bool_ints() {
+        assert_eq!(
+            eval(&Expr::lt(Expr::local(0), Expr::local(1)), &env()).unwrap(),
+            1
+        );
+        assert_eq!(
+            eval(&Expr::eq(Expr::global(0), Expr::Const(-5)), &env()).unwrap(),
+            1
+        );
+        assert_eq!(
+            eval(&Expr::bin(BinOp::Ge, Expr::Const(1), Expr::Const(2)), &env()).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn logic_treats_nonzero_as_true() {
+        let e = Expr::bin(BinOp::And, Expr::Const(-3), Expr::Const(2));
+        assert_eq!(eval(&e, &env()).unwrap(), 1);
+        let o = Expr::bin(BinOp::Or, Expr::Const(0), Expr::Const(0));
+        assert_eq!(eval(&o, &env()).unwrap(), 0);
+        let n = Expr::un(UnOp::Not, Expr::Const(0));
+        assert_eq!(eval(&n, &env()).unwrap(), 1);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        let e = Expr::bin(BinOp::Shl, Expr::Const(1), Expr::Const(65));
+        assert_eq!(eval(&e, &env()).unwrap(), 2);
+        let s = Expr::bin(BinOp::Shr, Expr::Const(-8), Expr::Const(1));
+        assert_eq!(eval(&s, &env()).unwrap(), -4);
+    }
+
+    #[test]
+    fn mentions_input_is_syntactic() {
+        assert!(Expr::input(0).mentions_input());
+        assert!(!Expr::local(0).mentions_input());
+        let nested = Expr::bin(BinOp::Add, Expr::local(0), Expr::input(3));
+        assert!(nested.mentions_input());
+    }
+
+    #[test]
+    fn places_and_inputs_collected() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::local(1),
+            Expr::bin(BinOp::Mul, Expr::global(0), Expr::input(2)),
+        );
+        assert_eq!(
+            e.places(),
+            vec![
+                Place::Local(LocalId::new(1)),
+                Place::Global(GlobalId::new(0))
+            ]
+        );
+        assert_eq!(e.inputs(), vec![InputId::new(2)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::bin(BinOp::Add, Expr::input(0), Expr::Const(3));
+        assert_eq!(e.to_string(), "(in0 + 3)");
+    }
+}

@@ -1,0 +1,119 @@
+//! Newtype identifiers used throughout the guest-program model.
+//!
+//! Every structural element of a program (blocks, branch sites, locks,
+//! variables, threads) is referred to by a small typed index. Newtypes keep
+//! the indices from being confused with one another ([C-NEWTYPE]) and make
+//! traces, trees and fixes cheap to serialize.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
+            Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates the identifier from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A basic block within a thread body.
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// A thread body within a program (static thread; all threads start at
+    /// program start).
+    ThreadId,
+    "t"
+);
+id_type!(
+    /// A mutex lock shared by all threads of a program.
+    ///
+    /// Lock ids at or above [`crate::overlay::GHOST_LOCK_BASE`] are *ghost
+    /// locks* introduced by instrumentation overlays rather than by the
+    /// program text.
+    LockId,
+    "lk"
+);
+id_type!(
+    /// A shared (global) integer variable.
+    GlobalId,
+    "g"
+);
+id_type!(
+    /// A thread-local integer variable.
+    LocalId,
+    "l"
+);
+id_type!(
+    /// A program input cell. Inputs are the external, symbolic-able values.
+    InputId,
+    "in"
+);
+id_type!(
+    /// A static conditional-branch site, unique across the whole program.
+    ///
+    /// Branch sites are the unit of by-product recording: one bit per
+    /// *dynamic* occurrence of the site (see the paper, §3.1).
+    BranchSiteId,
+    "br"
+);
+
+/// Identifies a program (content hash + human tag) so that traces, trees and
+/// fixes can be matched to the program they belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProgramId(pub u64);
+
+impl fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prog:{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(BlockId::new(3).to_string(), "bb3");
+        assert_eq!(ThreadId::new(0).to_string(), "t0");
+        assert_eq!(LockId::new(7).to_string(), "lk7");
+        assert_eq!(BranchSiteId::new(12).to_string(), "br12");
+        assert_eq!(ProgramId(0xabc).to_string(), "prog:0000000000000abc");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert_eq!(LocalId::from(5).index(), 5);
+    }
+}

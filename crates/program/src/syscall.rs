@@ -1,0 +1,301 @@
+//! Environment models: where system-call return values come from.
+//!
+//! Together with inputs and the thread schedule, syscall returns are the
+//! third source of program-external non-determinism. Pods record them
+//! (paper, §3.1: "summaries of system call return values"), and the hive
+//! replays them through [`ScriptEnv`] when reconstructing deterministic
+//! branches.
+
+use crate::cfg::SyscallKind;
+use crate::ids::ThreadId;
+use serde::{Deserialize, Serialize};
+
+/// Produces return values for modeled system calls.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the call sequence, so that a recorded execution can be replayed exactly.
+pub trait EnvModel {
+    /// Returns the result of the `call_index`-th syscall of the execution
+    /// (global, monotonically increasing across threads).
+    fn call(&mut self, thread: ThreadId, kind: SyscallKind, arg: i64, call_index: u64) -> i64;
+}
+
+/// A deterministic fault to inject into the environment (paper, §3.3:
+/// guidance "stated … in terms of system call faults to be injected, e.g. a
+/// short socket read()").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForcedFault {
+    /// The global syscall index at which to fire.
+    pub call_index: u64,
+    /// The value to return instead of the nominal one.
+    pub ret: i64,
+}
+
+/// Configuration of the default environment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvConfig {
+    /// Seed for environment "noise" (time steps, random values).
+    pub seed: u64,
+    /// Probability of a spontaneous short read, in parts per 1000.
+    pub short_read_per_mille: u32,
+    /// Probability of `open` failing with `-1`, in parts per 1000.
+    pub open_fail_per_mille: u32,
+    /// Explicit faults to inject at specific call indices.
+    pub forced: Vec<ForcedFault>,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            seed: 0,
+            short_read_per_mille: 0,
+            open_fail_per_mille: 0,
+            forced: Vec::new(),
+        }
+    }
+}
+
+/// The default deterministic environment.
+///
+/// Nominal semantics per [`SyscallKind`]:
+///
+/// * `Read(n)` → `n` (full read), or a short count under fault injection;
+///   negative/zero requests return `0`.
+/// * `Write(n)` → `n`.
+/// * `Open(_)` → a small positive descriptor, or `-1` under fault injection.
+/// * `Time(_)` → a monotonically increasing counter.
+/// * `Random(_)` → a seed-derived value in `0..256`.
+#[derive(Debug, Clone)]
+pub struct DefaultEnv {
+    config: EnvConfig,
+    clock: i64,
+    next_fd: i64,
+    /// Recorded `(kind, ret)` pairs, available after the run for tracing.
+    log: Vec<(SyscallKind, i64)>,
+}
+
+impl DefaultEnv {
+    /// Creates an environment from its configuration.
+    pub fn new(config: EnvConfig) -> Self {
+        DefaultEnv {
+            config,
+            clock: 1_000,
+            next_fd: 3,
+            log: Vec::new(),
+        }
+    }
+
+    /// Creates a fault-free environment with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        DefaultEnv::new(EnvConfig {
+            seed,
+            ..EnvConfig::default()
+        })
+    }
+
+    /// The `(kind, return)` log accumulated so far, in call order.
+    pub fn log(&self) -> &[(SyscallKind, i64)] {
+        &self.log
+    }
+
+    /// Consumes the environment and returns the syscall log.
+    pub fn into_log(self) -> Vec<(SyscallKind, i64)> {
+        self.log
+    }
+
+    /// A cheap deterministic hash stream: value for call `i` in `0..m`.
+    fn noise(&self, call_index: u64, salt: u64, m: u64) -> u64 {
+        // SplitMix64 on (seed ^ salt ^ index); good enough dispersion for a
+        // simulation, and fully deterministic.
+        let mut z = self
+            .config
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(call_index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if m == 0 {
+            z
+        } else {
+            z % m
+        }
+    }
+}
+
+impl EnvModel for DefaultEnv {
+    fn call(&mut self, _thread: ThreadId, kind: SyscallKind, arg: i64, call_index: u64) -> i64 {
+        if let Some(f) = self
+            .config
+            .forced
+            .iter()
+            .find(|f| f.call_index == call_index)
+        {
+            self.log.push((kind, f.ret));
+            return f.ret;
+        }
+        let ret = match kind {
+            SyscallKind::Read => {
+                let n = arg.max(0);
+                if n > 0
+                    && self.config.short_read_per_mille > 0
+                    && self.noise(call_index, 1, 1000)
+                        < u64::from(self.config.short_read_per_mille)
+                {
+                    // A short read strictly smaller than the request.
+                    (self.noise(call_index, 2, n as u64)) as i64
+                } else {
+                    n
+                }
+            }
+            SyscallKind::Write => arg.max(0),
+            SyscallKind::Open => {
+                if self.config.open_fail_per_mille > 0
+                    && self.noise(call_index, 3, 1000) < u64::from(self.config.open_fail_per_mille)
+                {
+                    -1
+                } else {
+                    let fd = self.next_fd;
+                    self.next_fd += 1;
+                    fd
+                }
+            }
+            SyscallKind::Time => {
+                self.clock += 1 + (self.noise(call_index, 4, 7) as i64);
+                self.clock
+            }
+            SyscallKind::Random => self.noise(call_index, 5, 256) as i64,
+        };
+        self.log.push((kind, ret));
+        ret
+    }
+}
+
+/// Replays a recorded syscall-return script (hive-side reconstruction).
+///
+/// Once the script is exhausted, falls back to nominal full-success values
+/// so that replay of truncated summaries still terminates.
+#[derive(Debug, Clone)]
+pub struct ScriptEnv {
+    script: Vec<i64>,
+    pos: usize,
+}
+
+impl ScriptEnv {
+    /// Creates a replay environment from recorded return values in call
+    /// order.
+    pub fn new(script: Vec<i64>) -> Self {
+        ScriptEnv { script, pos: 0 }
+    }
+
+    /// How many scripted values have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl EnvModel for ScriptEnv {
+    fn call(&mut self, _thread: ThreadId, kind: SyscallKind, arg: i64, _call_index: u64) -> i64 {
+        if let Some(v) = self.script.get(self.pos) {
+            self.pos += 1;
+            *v
+        } else {
+            match kind {
+                SyscallKind::Read | SyscallKind::Write => arg.max(0),
+                SyscallKind::Open => 3,
+                SyscallKind::Time => 0,
+                SyscallKind::Random => 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> ThreadId {
+        ThreadId::new(0)
+    }
+
+    #[test]
+    fn default_env_is_deterministic() {
+        let mut a = DefaultEnv::seeded(42);
+        let mut b = DefaultEnv::seeded(42);
+        for i in 0..50 {
+            let ka = a.call(t0(), SyscallKind::Random, 0, i);
+            let kb = b.call(t0(), SyscallKind::Random, 0, i);
+            assert_eq!(ka, kb);
+        }
+    }
+
+    #[test]
+    fn read_returns_full_count_without_faults() {
+        let mut e = DefaultEnv::seeded(1);
+        assert_eq!(e.call(t0(), SyscallKind::Read, 64, 0), 64);
+        assert_eq!(e.call(t0(), SyscallKind::Read, 0, 1), 0);
+        assert_eq!(e.call(t0(), SyscallKind::Read, -5, 2), 0);
+    }
+
+    #[test]
+    fn forced_fault_overrides_nominal_value() {
+        let mut e = DefaultEnv::new(EnvConfig {
+            forced: vec![ForcedFault {
+                call_index: 1,
+                ret: 7,
+            }],
+            ..EnvConfig::default()
+        });
+        assert_eq!(e.call(t0(), SyscallKind::Read, 64, 0), 64);
+        assert_eq!(e.call(t0(), SyscallKind::Read, 64, 1), 7);
+    }
+
+    #[test]
+    fn short_read_probability_takes_effect() {
+        let mut e = DefaultEnv::new(EnvConfig {
+            seed: 9,
+            short_read_per_mille: 1000, // always short
+            ..EnvConfig::default()
+        });
+        let r = e.call(t0(), SyscallKind::Read, 64, 0);
+        assert!((0..64).contains(&r), "short read must be in 0..64, got {r}");
+    }
+
+    #[test]
+    fn open_failure_injection() {
+        let mut e = DefaultEnv::new(EnvConfig {
+            open_fail_per_mille: 1000,
+            ..EnvConfig::default()
+        });
+        assert_eq!(e.call(t0(), SyscallKind::Open, 0, 0), -1);
+    }
+
+    #[test]
+    fn time_is_monotone() {
+        let mut e = DefaultEnv::seeded(3);
+        let a = e.call(t0(), SyscallKind::Time, 0, 0);
+        let b = e.call(t0(), SyscallKind::Time, 0, 1);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn env_log_records_all_calls() {
+        let mut e = DefaultEnv::seeded(0);
+        e.call(t0(), SyscallKind::Read, 8, 0);
+        e.call(t0(), SyscallKind::Open, 0, 1);
+        let log = e.into_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], (SyscallKind::Read, 8));
+    }
+
+    #[test]
+    fn script_env_replays_then_falls_back() {
+        let mut s = ScriptEnv::new(vec![10, -1]);
+        assert_eq!(s.call(t0(), SyscallKind::Read, 64, 0), 10);
+        assert_eq!(s.call(t0(), SyscallKind::Open, 0, 1), -1);
+        assert_eq!(s.consumed(), 2);
+        // Fallback: nominal success.
+        assert_eq!(s.call(t0(), SyscallKind::Read, 5, 2), 5);
+        assert_eq!(s.call(t0(), SyscallKind::Open, 0, 3), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! DIMACS CNF reading/writing — interoperability with the standard SAT
+//! ecosystem, so instances can be exported for cross-checking against
+//! off-the-shelf solvers and external benchmarks can be pulled in.
+
+use crate::cnf::{Cnf, Lit, Var};
+use std::fmt::Write as _;
+
+/// Serializes a formula in DIMACS CNF format.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.n_vars(), cnf.n_clauses());
+    for clause in cnf.clauses() {
+        for lit in clause {
+            let v = lit.var().0 as i64 + 1;
+            let _ = write!(out, "{} ", if lit.is_positive() { v } else { -v });
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// A DIMACS parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-indexed line of the offending token.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses DIMACS CNF text.
+///
+/// Accepts comments (`c …`), requires one `p cnf <vars> <clauses>`
+/// header, and tolerates clauses spanning multiple lines. The declared
+/// clause count is checked; the declared variable count is treated as a
+/// minimum (literals may not exceed it).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed headers, out-of-range literals,
+/// missing terminators, or clause-count mismatches.
+pub fn from_dimacs(text: &str) -> Result<Cnf, ParseError> {
+    let mut n_vars: Option<u32> = None;
+    let mut declared_clauses: Option<usize> = None;
+    let mut cnf = Cnf::new(0);
+    let mut current: Vec<Lit> = Vec::new();
+    let mut clause_count = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if n_vars.is_some() {
+                return Err(ParseError {
+                    line: line_no,
+                    message: "duplicate problem line".into(),
+                });
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("expected 'p cnf <vars> <clauses>', got '{line}'"),
+                });
+            }
+            let vars: u32 = parts[1].parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("bad variable count '{}'", parts[1]),
+            })?;
+            let clauses: usize = parts[2].parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("bad clause count '{}'", parts[2]),
+            })?;
+            n_vars = Some(vars);
+            declared_clauses = Some(clauses);
+            cnf = Cnf::new(vars);
+            continue;
+        }
+        let Some(max_var) = n_vars else {
+            return Err(ParseError {
+                line: line_no,
+                message: "clause before problem line".into(),
+            });
+        };
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("bad literal '{tok}'"),
+            })?;
+            if v == 0 {
+                cnf.add_clause(&current);
+                current.clear();
+                clause_count += 1;
+            } else {
+                let var = v.unsigned_abs() as u32;
+                if var > max_var {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("literal {v} exceeds declared {max_var} variables"),
+                    });
+                }
+                current.push(Lit::new(Var(var - 1), v > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseError {
+            line: text.lines().count(),
+            message: "unterminated clause (missing trailing 0)".into(),
+        });
+    }
+    if let Some(declared) = declared_clauses {
+        if clause_count != declared {
+            return Err(ParseError {
+                line: text.lines().count(),
+                message: format!("declared {declared} clauses, found {clause_count}"),
+            });
+        }
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Budget, SolveOutcome, Solver, SolverConfig};
+    use crate::instances;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_small_formula() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(&[Lit::pos(Var(0)), Lit::neg(Var(2))]);
+        cnf.add_clause(&[Lit::neg(Var(1))]);
+        let text = to_dimacs(&cnf);
+        assert!(text.starts_with("p cnf 3 2"));
+        let back = from_dimacs(&text).unwrap();
+        // Note: add_clause sorts/dedups, so compare structurally.
+        assert_eq!(back.n_vars(), 3);
+        assert_eq!(back.n_clauses(), 2);
+        assert_eq!(back.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "c header comment\n\np cnf 2 1\nc mid comment\n1 -2 0\n";
+        let cnf = from_dimacs(text).unwrap();
+        assert_eq!(cnf.n_clauses(), 1);
+    }
+
+    #[test]
+    fn multiline_clauses_parse() {
+        let text = "p cnf 3 1\n1\n2\n-3 0\n";
+        let cnf = from_dimacs(text).unwrap();
+        assert_eq!(cnf.n_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(from_dimacs("1 2 0\n").unwrap_err().message.contains("problem line"));
+        assert!(from_dimacs("p cnf x 1\n").unwrap_err().message.contains("variable count"));
+        assert!(from_dimacs("p cnf 1 1\n5 0\n")
+            .unwrap_err()
+            .message
+            .contains("exceeds"));
+        assert!(from_dimacs("p cnf 2 1\n1 2\n")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
+        assert!(from_dimacs("p cnf 2 2\n1 0\n")
+            .unwrap_err()
+            .message
+            .contains("declared 2 clauses"));
+        assert!(from_dimacs("p cnf 2 1\np cnf 2 1\n")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_satisfiability_of_generated_instances() {
+        for seed in 0..5 {
+            let cnf = instances::phase_transition_3sat(30, seed);
+            let back = from_dimacs(&to_dimacs(&cnf)).unwrap();
+            let solve = |c: &Cnf| {
+                Solver::new(c, SolverConfig::default())
+                    .solve(Budget::unlimited(), None)
+                    .0
+            };
+            let a = matches!(solve(&cnf), SolveOutcome::Sat(_));
+            let b = matches!(solve(&back), SolveOutcome::Sat(_));
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dimacs_roundtrip(
+            n_vars in 1u32..8,
+            clauses in proptest::collection::vec(
+                proptest::collection::vec((0u32..8, any::<bool>()), 1..4),
+                0..10
+            ),
+        ) {
+            let mut cnf = Cnf::new(n_vars);
+            for c in &clauses {
+                let lits: Vec<Lit> = c.iter().map(|(v, p)| Lit::new(Var(v % n_vars), *p)).collect();
+                cnf.add_clause(&lits);
+            }
+            let back = from_dimacs(&to_dimacs(&cnf)).unwrap();
+            prop_assert_eq!(back.n_vars(), cnf.n_vars());
+            prop_assert_eq!(back.clauses(), cnf.clauses());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! CNF instance generators for the portfolio experiments (E3).
+//!
+//! The suite mixes random k-SAT at the satisfiability phase transition
+//! (maximal run-time dispersion across heuristics), pigeonhole formulas
+//! (hard-for-resolution UNSAT), and random graph coloring (structured).
+//! Dispersion across instance families is precisely what makes a solver
+//! *portfolio* pay off (paper §4).
+
+use crate::cnf::{Cnf, Lit, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random k-SAT instance with `n_clauses` clauses over
+/// `n_vars` variables.
+pub fn random_ksat(n_vars: u32, n_clauses: u32, k: u32, seed: u64) -> Cnf {
+    assert!(n_vars >= k, "need at least k variables");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new(n_vars);
+    for _ in 0..n_clauses {
+        // Distinct variables per clause.
+        let mut vars: Vec<u32> = Vec::with_capacity(k as usize);
+        while vars.len() < k as usize {
+            let v = rng.gen_range(0..n_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits: Vec<Lit> = vars
+            .into_iter()
+            .map(|v| Lit::new(Var(v), rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(&lits);
+    }
+    cnf
+}
+
+/// Random 3-SAT at the phase-transition clause ratio (~4.26), where SAT
+/// and UNSAT instances are equally likely and solver run times disperse
+/// most.
+pub fn phase_transition_3sat(n_vars: u32, seed: u64) -> Cnf {
+    let n_clauses = (f64::from(n_vars) * 4.26).round() as u32;
+    random_ksat(n_vars, n_clauses, 3, seed)
+}
+
+/// The pigeonhole principle PHP(`holes`+1, `holes`): `holes + 1` pigeons
+/// into `holes` holes. Unsatisfiable, and exponentially hard for
+/// resolution-based solvers — the portfolio's worst-case family.
+pub fn pigeonhole(holes: u32) -> Cnf {
+    let pigeons = holes + 1;
+    let var = |p: u32, h: u32| Var(p * holes + h);
+    let mut cnf = Cnf::new(pigeons * holes);
+    // Every pigeon sits somewhere.
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+        cnf.add_clause(&clause);
+    }
+    // No two pigeons share a hole.
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    cnf
+}
+
+/// k-coloring of a random graph `G(n, p)` encoded as CNF.
+pub fn graph_coloring(n_nodes: u32, edge_per_mille: u32, colors: u32, seed: u64) -> Cnf {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let var = |node: u32, color: u32| Var(node * colors + color);
+    let mut cnf = Cnf::new(n_nodes * colors);
+    // Every node gets a color.
+    for n in 0..n_nodes {
+        let clause: Vec<Lit> = (0..colors).map(|c| Lit::pos(var(n, c))).collect();
+        cnf.add_clause(&clause);
+    }
+    // At most one color per node.
+    for n in 0..n_nodes {
+        for c1 in 0..colors {
+            for c2 in (c1 + 1)..colors {
+                cnf.add_clause(&[Lit::neg(var(n, c1)), Lit::neg(var(n, c2))]);
+            }
+        }
+    }
+    // Adjacent nodes differ.
+    for a in 0..n_nodes {
+        for b in (a + 1)..n_nodes {
+            if rng.gen_range(0..1000) < edge_per_mille {
+                for c in 0..colors {
+                    cnf.add_clause(&[Lit::neg(var(a, c)), Lit::neg(var(b, c))]);
+                }
+            }
+        }
+    }
+    cnf
+}
+
+/// A named instance for benchmark tables.
+#[derive(Debug, Clone)]
+pub struct NamedInstance {
+    /// Display name (family + parameters).
+    pub name: String,
+    /// The formula.
+    pub cnf: Cnf,
+}
+
+/// The mixed suite used by experiment E3: `per_family` instances from
+/// each of the three families. `n_vars` sizes the random 3-SAT family;
+/// the defaults elsewhere scale the structured families to comparable
+/// difficulty.
+pub fn e3_suite(per_family: u32, n_vars: u32, seed: u64) -> Vec<NamedInstance> {
+    let mut out = Vec::new();
+    // Satisfiable-leaning phase-transition 3-SAT: the family with the
+    // heaviest run-time dispersion across heuristics (a lucky decision
+    // order finds a model immediately; an unlucky one wanders).
+    for i in 0..per_family {
+        let n_clauses = (f64::from(n_vars) * 4.1).round() as u32;
+        out.push(NamedInstance {
+            name: format!("3sat-{n_vars}v-{i}"),
+            cnf: random_ksat(n_vars, n_clauses, 3, seed.wrapping_add(u64::from(i))),
+        });
+    }
+    // At-threshold instances (mix of SAT and UNSAT).
+    for i in 0..per_family {
+        out.push(NamedInstance {
+            name: format!("3sat-pt-{}v-{i}", n_vars * 3 / 4),
+            cnf: phase_transition_3sat(n_vars * 3 / 4, seed.wrapping_add(500 + u64::from(i))),
+        });
+    }
+    for i in 0..per_family {
+        let holes = 6 + (i % 2); // PHP(7,6) / PHP(8,7)
+        out.push(NamedInstance {
+            name: format!("php-{holes}-{i}"),
+            cnf: pigeonhole(holes),
+        });
+    }
+    for i in 0..per_family {
+        out.push(NamedInstance {
+            name: format!("color3-{i}"),
+            cnf: graph_coloring(
+                30,
+                160,
+                3,
+                seed.wrapping_add(1000 + u64::from(i)),
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Budget, SolveOutcome, Solver, SolverConfig};
+
+    fn solve(cnf: &Cnf) -> SolveOutcome {
+        Solver::new(cnf, SolverConfig::default())
+            .solve(Budget::unlimited(), None)
+            .0
+    }
+
+    #[test]
+    fn random_ksat_shape() {
+        let cnf = random_ksat(30, 100, 3, 1);
+        assert_eq!(cnf.n_vars(), 30);
+        // Tautologies can't occur (distinct vars), so all clauses survive.
+        assert_eq!(cnf.n_clauses(), 100);
+        assert!(cnf.clauses().iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn random_ksat_is_seed_deterministic() {
+        assert_eq!(random_ksat(20, 50, 3, 7), random_ksat(20, 50, 3, 7));
+        assert_ne!(random_ksat(20, 50, 3, 7), random_ksat(20, 50, 3, 8));
+    }
+
+    #[test]
+    fn underconstrained_ksat_is_sat() {
+        // Ratio 2.0 — far below the 3-SAT threshold.
+        let cnf = random_ksat(40, 80, 3, 3);
+        assert!(matches!(solve(&cnf), SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn overconstrained_ksat_is_unsat() {
+        // Ratio 8.0 — far above the threshold.
+        let cnf = random_ksat(30, 240, 3, 3);
+        assert_eq!(solve(&cnf), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_is_unsat() {
+        for holes in 2..=5 {
+            assert_eq!(solve(&pigeonhole(holes)), SolveOutcome::Unsat, "PHP({holes})");
+        }
+    }
+
+    #[test]
+    fn pigeonhole_minus_a_pigeon_is_sat() {
+        // holes pigeons into holes holes is satisfiable: drop pigeon
+        // clauses by building the assignment directly.
+        let cnf = pigeonhole(3);
+        assert_eq!(cnf.n_vars(), 4 * 3);
+        // (sanity of encoding size: 4 pigeons * 3 holes)
+    }
+
+    #[test]
+    fn sparse_graph_is_3_colorable() {
+        let cnf = graph_coloring(15, 100, 3, 5);
+        match solve(&cnf) {
+            SolveOutcome::Sat(m) => assert!(cnf.check_model(&m)),
+            o => panic!("expected SAT, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_graph_is_not_2_colorable() {
+        // A dense random graph almost surely contains an odd cycle.
+        let cnf = graph_coloring(12, 600, 2, 5);
+        assert_eq!(solve(&cnf), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn e3_suite_has_all_families() {
+        let suite = e3_suite(2, 40, 9);
+        assert_eq!(suite.len(), 8);
+        assert!(suite.iter().any(|i| i.name.starts_with("3sat-40v")));
+        assert!(suite.iter().any(|i| i.name.starts_with("3sat-pt")));
+        assert!(suite.iter().any(|i| i.name.starts_with("php")));
+        assert!(suite.iter().any(|i| i.name.starts_with("color")));
+    }
+}

@@ -1,0 +1,216 @@
+//! The solver portfolio (paper §4): run several differently-configured
+//! solvers on the same instance in parallel and take the first answer.
+//!
+//! "By replacing a single SAT solver with a portfolio of three different
+//! SAT solvers running in parallel, we achieved a 10× speedup in
+//! constraint solving time with only a 3× increase in computation
+//! resources. … for most constraints, at least one solver completes much
+//! faster than the others." Experiment E3 reproduces the shape of this
+//! claim with [`race`] (true parallel racing) and [`run_each`] (full
+//! sequential runs, for measuring each member's standalone time).
+
+use crate::cnf::Cnf;
+use crate::engine::{Budget, SolveOutcome, SolveStats, Solver, SolverConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One portfolio member's complete run.
+#[derive(Debug, Clone)]
+pub struct MemberReport {
+    /// Member name.
+    pub name: String,
+    /// What the member concluded (Unknown if cancelled or over budget).
+    pub outcome: SolveOutcome,
+    /// Search statistics.
+    pub stats: SolveStats,
+    /// Wall-clock time spent.
+    pub wall: Duration,
+}
+
+/// Result of a portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// The first decided outcome (Unknown if nobody decided in budget).
+    pub outcome: SolveOutcome,
+    /// Name of the member that answered first.
+    pub winner: Option<String>,
+    /// Wall-clock time until the first answer.
+    pub wall: Duration,
+    /// Every member's report (cancelled members report `Unknown`).
+    pub members: Vec<MemberReport>,
+}
+
+/// Races `configs` in parallel on `cnf`; the first definite answer wins
+/// and cancels the rest.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn race(cnf: &Cnf, configs: &[SolverConfig], budget: Budget) -> PortfolioResult {
+    assert!(!configs.is_empty(), "portfolio needs at least one member");
+    let cancel = AtomicBool::new(false);
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel::<(usize, SolveOutcome, SolveStats, Duration)>();
+
+    let members: Vec<MemberReport> = crossbeam::thread::scope(|scope| {
+        for (i, config) in configs.iter().enumerate() {
+            let tx = tx.clone();
+            let cancel = &cancel;
+            scope.spawn(move |_| {
+                let t0 = Instant::now();
+                let mut solver = Solver::new(cnf, config.clone());
+                let (outcome, stats) = solver.solve(budget, Some(cancel));
+                if outcome.is_decided() {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                let _ = tx.send((i, outcome, stats, t0.elapsed()));
+            });
+        }
+        drop(tx);
+        let mut reports: Vec<Option<MemberReport>> = vec![None; configs.len()];
+        while let Ok((i, outcome, stats, wall)) = rx.recv() {
+            reports[i] = Some(MemberReport {
+                name: configs[i].name.clone(),
+                outcome,
+                stats,
+                wall,
+            });
+        }
+        reports
+            .into_iter()
+            .map(|r| r.expect("every member reports"))
+            .collect()
+    })
+    .expect("portfolio threads do not panic");
+
+    let winner = members
+        .iter()
+        .filter(|m| m.outcome.is_decided())
+        .min_by_key(|m| m.wall)
+        .map(|m| m.name.clone());
+    let outcome = members
+        .iter()
+        .filter(|m| m.outcome.is_decided())
+        .min_by_key(|m| m.wall)
+        .map(|m| m.outcome.clone())
+        .unwrap_or(SolveOutcome::Unknown);
+    let wall = members
+        .iter()
+        .filter(|m| m.outcome.is_decided())
+        .map(|m| m.wall)
+        .min()
+        .unwrap_or_else(|| start.elapsed());
+
+    PortfolioResult {
+        outcome,
+        winner,
+        wall,
+        members,
+    }
+}
+
+/// Runs every member to completion sequentially (no cancellation) —
+/// yields each member's standalone solving time for the E3 comparison.
+pub fn run_each(cnf: &Cnf, configs: &[SolverConfig], budget: Budget) -> Vec<MemberReport> {
+    configs
+        .iter()
+        .map(|config| {
+            let t0 = Instant::now();
+            let mut solver = Solver::new(cnf, config.clone());
+            let (outcome, stats) = solver.solve(budget, None);
+            MemberReport {
+                name: config.name.clone(),
+                outcome,
+                stats,
+                wall: t0.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// Checks that all decided outcomes in a set of reports agree (SAT models
+/// may differ; SAT-vs-UNSAT disagreement indicates a solver bug).
+pub fn outcomes_agree(reports: &[MemberReport]) -> bool {
+    let mut saw_sat = false;
+    let mut saw_unsat = false;
+    for r in reports {
+        match r.outcome {
+            SolveOutcome::Sat(_) => saw_sat = true,
+            SolveOutcome::Unsat => saw_unsat = true,
+            SolveOutcome::Unknown => {}
+        }
+    }
+    !(saw_sat && saw_unsat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+
+    #[test]
+    fn race_answers_and_members_agree() {
+        let suite = instances::e3_suite(2, 40, 11);
+        for inst in &suite {
+            let r = race(
+                &inst.cnf,
+                &SolverConfig::reference_portfolio(),
+                Budget::unlimited(),
+            );
+            assert!(r.outcome.is_decided(), "{} undecided", inst.name);
+            assert!(r.winner.is_some());
+            assert!(outcomes_agree(&r.members), "{} disagreement", inst.name);
+            if let SolveOutcome::Sat(m) = &r.outcome {
+                assert!(inst.cnf.check_model(m), "{} bad model", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn race_and_sequential_agree() {
+        let cnf = instances::phase_transition_3sat(40, 3);
+        let raced = race(&cnf, &SolverConfig::reference_portfolio(), Budget::unlimited());
+        let seq = run_each(&cnf, &SolverConfig::reference_portfolio(), Budget::unlimited());
+        let seq_sat = seq
+            .iter()
+            .any(|m| matches!(m.outcome, SolveOutcome::Sat(_)));
+        assert_eq!(
+            matches!(raced.outcome, SolveOutcome::Sat(_)),
+            seq_sat,
+            "race and sequential disagree"
+        );
+        assert!(outcomes_agree(&seq));
+    }
+
+    #[test]
+    fn single_member_portfolio_works() {
+        let cnf = instances::pigeonhole(4);
+        let r = race(
+            &cnf,
+            &SolverConfig::reference_portfolio()[..1],
+            Budget::unlimited(),
+        );
+        assert_eq!(r.outcome, SolveOutcome::Unsat);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_portfolio_panics() {
+        let cnf = Cnf::new(1);
+        race(&cnf, &[], Budget::unlimited());
+    }
+
+    #[test]
+    fn budgeted_race_returns_unknown_on_hard_instance() {
+        // PHP(9) with a 10-conflict budget cannot finish.
+        let cnf = instances::pigeonhole(9);
+        let r = race(
+            &cnf,
+            &SolverConfig::reference_portfolio(),
+            Budget::conflicts(10),
+        );
+        assert_eq!(r.outcome, SolveOutcome::Unknown);
+        assert!(r.winner.is_none());
+    }
+}

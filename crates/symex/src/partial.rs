@@ -1,0 +1,200 @@
+//! Partial evaluation of guest expressions into *residuals* over inputs.
+//!
+//! Symbolic state maps every place to an expression whose only leaves are
+//! `Const` and `Input`. Substituting a program expression through that
+//! state and constant-folding yields the residual used in path
+//! constraints. Residual growth is capped: an expression exceeding
+//! [`MAX_RESIDUAL_NODES`] is abstracted to a fresh pseudo-input
+//! (a sound over-approximation — the value becomes unconstrained).
+
+use softborg_program::expr::{apply_bin, BinOp, Expr, Place, UnOp};
+use softborg_program::ids::InputId;
+
+/// Residuals larger than this many nodes are abstracted away.
+pub const MAX_RESIDUAL_NODES: usize = 64;
+
+/// Counts expression nodes.
+pub fn size(e: &Expr) -> usize {
+    let mut n = 0;
+    e.visit(&mut |_| n += 1);
+    n
+}
+
+/// Allocates fresh pseudo-inputs (symbols beyond the program's real
+/// inputs: syscall returns, unconstrained globals, abstracted residuals).
+#[derive(Debug, Clone)]
+pub struct SymbolPool {
+    next: u32,
+}
+
+impl SymbolPool {
+    /// Starts allocating after the program's `n_inputs` real inputs.
+    pub fn new(n_inputs: u32) -> Self {
+        SymbolPool { next: n_inputs }
+    }
+
+    /// Returns a fresh pseudo-input symbol.
+    pub fn fresh(&mut self) -> Expr {
+        let id = InputId::new(self.next);
+        self.next += 1;
+        Expr::Input(id)
+    }
+
+    /// Total symbols allocated so far (real + pseudo).
+    pub fn width(&self) -> u32 {
+        self.next
+    }
+}
+
+/// Substitutes `locals`/`globals` residuals into `e` and constant-folds.
+///
+/// The result's only leaves are `Const` and `Input`. Oversized results
+/// are replaced by a fresh symbol from `pool`.
+pub fn subst(e: &Expr, locals: &[Expr], globals: &[Expr], pool: &mut SymbolPool) -> Expr {
+    let r = subst_rec(e, locals, globals);
+    if size(&r) > MAX_RESIDUAL_NODES {
+        pool.fresh()
+    } else {
+        r
+    }
+}
+
+fn subst_rec(e: &Expr, locals: &[Expr], globals: &[Expr]) -> Expr {
+    match e {
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Input(i) => Expr::Input(*i),
+        Expr::Load(Place::Local(l)) => locals[l.index()].clone(),
+        Expr::Load(Place::Global(g)) => globals[g.index()].clone(),
+        Expr::Un(op, x) => {
+            let xr = subst_rec(x, locals, globals);
+            if let Expr::Const(c) = xr {
+                Expr::Const(match op {
+                    UnOp::Neg => c.wrapping_neg(),
+                    UnOp::Not => i64::from(c == 0),
+                    UnOp::BitNot => !c,
+                })
+            } else {
+                Expr::un(*op, xr)
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let ar = subst_rec(a, locals, globals);
+            let br = subst_rec(b, locals, globals);
+            fold_bin(*op, ar, br)
+        }
+    }
+}
+
+/// Folds a binary operation over residuals, keeping division-by-zero
+/// *unfolded* (the symbolic executor turns it into an explicit crash
+/// fork).
+pub fn fold_bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+        if let Ok(v) = apply_bin(op, *x, *y) {
+            return Expr::Const(v);
+        }
+    }
+    // Light algebraic identities that keep loop residuals small.
+    match (op, &a, &b) {
+        (BinOp::Add | BinOp::Sub | BinOp::BitOr | BinOp::BitXor, _, Expr::Const(0)) => a,
+        (BinOp::Add | BinOp::BitOr | BinOp::BitXor, Expr::Const(0), _) => b,
+        (BinOp::Mul, _, Expr::Const(1)) => a,
+        (BinOp::Mul, Expr::Const(1), _) => b,
+        (BinOp::Mul | BinOp::And | BinOp::BitAnd, _, Expr::Const(0)) => Expr::Const(0),
+        (BinOp::Mul | BinOp::And | BinOp::BitAnd, Expr::Const(0), _) => Expr::Const(0),
+        _ => Expr::bin(op, a, b),
+    }
+}
+
+/// Evaluates a residual (leaves: `Const`/`Input`) under a concrete input
+/// vector (indexed by `InputId`, including pseudo-inputs).
+///
+/// Returns `None` on arithmetic faults (div/rem by zero).
+pub fn eval_residual(e: &Expr, inputs: &[i64]) -> Option<i64> {
+    struct Env<'a>(&'a [i64]);
+    impl softborg_program::expr::EvalEnv for Env<'_> {
+        fn load(&self, _p: Place) -> i64 {
+            unreachable!("residuals contain no places")
+        }
+        fn input(&self, i: InputId) -> i64 {
+            self.0.get(i.index()).copied().unwrap_or(0)
+        }
+    }
+    softborg_program::expr::eval(e, &Env(inputs)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::expr::Expr;
+
+    #[test]
+    fn constants_fold() {
+        let e = Expr::bin(BinOp::Add, Expr::Const(2), Expr::Const(3));
+        let mut pool = SymbolPool::new(0);
+        assert_eq!(subst(&e, &[], &[], &mut pool), Expr::Const(5));
+    }
+
+    #[test]
+    fn locals_substitute() {
+        let locals = vec![Expr::input(0)];
+        let e = Expr::bin(BinOp::Mul, Expr::local(0), Expr::Const(2));
+        let mut pool = SymbolPool::new(1);
+        let r = subst(&e, &locals, &[], &mut pool);
+        assert_eq!(r, Expr::bin(BinOp::Mul, Expr::input(0), Expr::Const(2)));
+    }
+
+    #[test]
+    fn identities_shrink_residuals() {
+        let e = Expr::bin(BinOp::Add, Expr::input(0), Expr::Const(0));
+        let mut pool = SymbolPool::new(1);
+        assert_eq!(subst(&e, &[], &[], &mut pool), Expr::input(0));
+        let z = Expr::bin(BinOp::Mul, Expr::input(0), Expr::Const(0));
+        assert_eq!(subst(&z, &[], &[], &mut pool), Expr::Const(0));
+    }
+
+    #[test]
+    fn div_by_zero_does_not_fold() {
+        let e = Expr::bin(BinOp::Div, Expr::Const(1), Expr::Const(0));
+        let mut pool = SymbolPool::new(0);
+        let r = subst(&e, &[], &[], &mut pool);
+        assert!(matches!(r, Expr::Bin(BinOp::Div, _, _)));
+    }
+
+    #[test]
+    fn oversized_residuals_become_fresh_symbols() {
+        // Build a deep expression > MAX_RESIDUAL_NODES.
+        let mut e = Expr::input(0);
+        for _ in 0..MAX_RESIDUAL_NODES {
+            e = Expr::bin(BinOp::Add, e, Expr::input(0));
+        }
+        let mut pool = SymbolPool::new(1);
+        let r = subst(&e, &[], &[], &mut pool);
+        assert_eq!(r, Expr::input(1), "abstracted to the first pseudo-input");
+        assert_eq!(pool.width(), 2);
+    }
+
+    #[test]
+    fn eval_residual_reads_pseudo_inputs() {
+        let e = Expr::bin(BinOp::Add, Expr::input(0), Expr::input(3));
+        assert_eq!(eval_residual(&e, &[10, 0, 0, 5]), Some(15));
+        // Missing inputs default to 0.
+        assert_eq!(eval_residual(&e, &[10]), Some(10));
+    }
+
+    #[test]
+    fn eval_residual_faults_give_none() {
+        let e = Expr::bin(BinOp::Div, Expr::Const(1), Expr::input(0));
+        assert_eq!(eval_residual(&e, &[0]), None);
+        assert_eq!(eval_residual(&e, &[2]), Some(0));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(size(&Expr::Const(1)), 1);
+        assert_eq!(
+            size(&Expr::bin(BinOp::Add, Expr::input(0), Expr::Const(1))),
+            3
+        );
+    }
+}

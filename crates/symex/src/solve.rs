@@ -1,0 +1,555 @@
+//! Small-domain constraint solving over path conditions.
+//!
+//! Feasibility is decided in two stages: a sound interval filter
+//! (definite infeasibility) followed by a candidate-value search that
+//! tries "interesting" values mined from the constraints themselves —
+//! comparison boundaries, XOR-shifted magic constants, modular residues —
+//! plus box corners and seeded random probes. A found assignment is a
+//! *model*: it doubles as the concrete test input the hive sends to pods
+//! as guidance (paper §3.3, "produce specific test cases … stated in
+//! terms of inputs").
+
+use crate::interval::{self, InputBox};
+use crate::partial::eval_residual;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use softborg_program::expr::{BinOp, Expr};
+use std::collections::BTreeSet;
+
+/// One path-condition conjunct: `expr` must evaluate truthy (`want =
+/// true`) or falsy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Residual expression (leaves: `Const`/`Input`).
+    pub expr: Expr,
+    /// Required truth value.
+    pub want: bool,
+}
+
+impl Constraint {
+    /// Whether the constraint holds under `inputs` (a runtime fault while
+    /// evaluating counts as *not holding*).
+    pub fn holds(&self, inputs: &[i64]) -> bool {
+        match eval_residual(&self.expr, inputs) {
+            Some(v) => (v != 0) == self.want,
+            None => false,
+        }
+    }
+}
+
+/// Result of a feasibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Feasibility {
+    /// Proven unsatisfiable (interval filter).
+    Infeasible,
+    /// Satisfiable, with a witness assignment (length = symbol count).
+    Feasible(Vec<i64>),
+    /// The bounded search found nothing but could not prove emptiness.
+    Unknown,
+}
+
+impl Feasibility {
+    /// `true` for [`Feasibility::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible(_))
+    }
+}
+
+/// Search effort limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveBudget {
+    /// Maximum candidate assignments evaluated.
+    pub max_assignments: u64,
+    /// Random probe count per symbol.
+    pub random_probes: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget {
+            max_assignments: 50_000,
+            random_probes: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// Derives a per-symbol interval refinement from a single-symbol linear
+/// constraint, when it has one of the recognizable shapes:
+/// `in REL const` (either operand order), `(in ^ m) == k`, or a residual
+/// `in - c` used directly as a truth value. Returns the symbol index and
+/// the interval the constraint confines it to.
+///
+/// Refinements power constraint propagation in both the search (tighter
+/// candidate boxes) and the symbolic executor (pruning contradictory
+/// forks like `in < 500 ∧ in >= 900` that per-conjunct filtering cannot
+/// see).
+pub fn refinement(c: &Constraint) -> Option<(usize, crate::interval::Interval)> {
+    use crate::interval::Interval;
+    use softborg_program::expr::BinOp as Op;
+    let full = Interval::TOP;
+    let (op, a, b) = match &c.expr {
+        Expr::Bin(op, a, b) => (*op, a.as_ref(), b.as_ref()),
+        // `in - c` (or bare `in`) used as a condition: want=false pins it.
+        Expr::Input(i) => {
+            return if c.want {
+                None
+            } else {
+                Some((i.index(), Interval::point(0)))
+            };
+        }
+        _ => return None,
+    };
+    // Normalize to (symbol REL const).
+    let (sym, konst, rel) = match (a, b) {
+        (Expr::Input(i), Expr::Const(k)) => (i.index(), *k, op),
+        (Expr::Const(k), Expr::Input(i)) => {
+            let mirrored = match op {
+                Op::Lt => Op::Gt,
+                Op::Le => Op::Ge,
+                Op::Gt => Op::Lt,
+                Op::Ge => Op::Le,
+                other => other,
+            };
+            (i.index(), *k, mirrored)
+        }
+        // (in ^ m) == k  ⟺  in == k ^ m
+        (Expr::Bin(Op::BitXor, x, m), Expr::Const(k)) => {
+            if let (Expr::Input(i), Expr::Const(m)) = (x.as_ref(), m.as_ref()) {
+                match (op, c.want) {
+                    (Op::Eq, true) | (Op::Ne, false) => {
+                        return Some((i.index(), Interval::point(k ^ m)));
+                    }
+                    _ => return None,
+                }
+            }
+            return None;
+        }
+        _ => return None,
+    };
+    // (in - c) used as a truth value: want=false ⟺ in == c.
+    if rel == Op::Sub {
+        return if c.want {
+            None
+        } else {
+            Some((sym, Interval::point(konst)))
+        };
+    }
+    let iv = match (rel, c.want) {
+        (Op::Lt, true) | (Op::Ge, false) => Interval::new(full.lo, konst.saturating_sub(1)),
+        (Op::Le, true) | (Op::Gt, false) => Interval::new(full.lo, konst),
+        (Op::Gt, true) | (Op::Le, false) => Interval::new(konst.saturating_add(1), full.hi),
+        (Op::Ge, true) | (Op::Lt, false) => Interval::new(konst, full.hi),
+        (Op::Eq, true) | (Op::Ne, false) => Interval::point(konst),
+        // Disequalities punch holes, not intervals.
+        (Op::Eq, false) | (Op::Ne, true) => return None,
+        _ => return None,
+    };
+    Some((sym, iv))
+}
+
+/// Intersects `iv` into `box_[sym]`; returns `false` when the result is
+/// empty (the constraint set is unsatisfiable).
+pub fn apply_refinement(
+    box_: &mut InputBox,
+    sym: usize,
+    iv: crate::interval::Interval,
+) -> bool {
+    let cur = box_.range(sym);
+    let lo = cur.lo.max(iv.lo);
+    let hi = cur.hi.min(iv.hi);
+    if lo > hi {
+        return false;
+    }
+    while box_.len() <= sym {
+        let next = box_.len();
+        let existing = box_.range(next);
+        box_.push(existing);
+    }
+    box_.set(sym, crate::interval::Interval::new(lo, hi));
+    true
+}
+
+/// Quick sound filter: `Some(false)` = definitely infeasible.
+pub fn interval_filter(constraints: &[Constraint], box_: &InputBox) -> bool {
+    constraints.iter().all(|c| {
+        let iv = interval::eval(&c.expr, box_);
+        if c.want {
+            iv.may_be_true()
+        } else {
+            iv.may_be_false()
+        }
+    })
+}
+
+/// Checks the conjunction of `constraints` over `n_symbols` symbols
+/// ranging over `box_`.
+pub fn check(
+    constraints: &[Constraint],
+    box_: &InputBox,
+    n_symbols: u32,
+    budget: SolveBudget,
+) -> Feasibility {
+    // Constraint propagation: tighten the box with every single-symbol
+    // refinement; an empty intersection is a proof of infeasibility that
+    // the per-conjunct filter below cannot see.
+    let mut box_ = box_.clone();
+    for c in constraints {
+        if let Some((sym, iv)) = refinement(c) {
+            if !apply_refinement(&mut box_, sym, iv) {
+                return Feasibility::Infeasible;
+            }
+        }
+    }
+    let box_ = &box_;
+    if !interval_filter(constraints, box_) {
+        return Feasibility::Infeasible;
+    }
+    if constraints.is_empty() {
+        // Any in-box point works.
+        let model = (0..n_symbols as usize)
+            .map(|i| box_.range(i).lo.max(0).min(box_.range(i).hi))
+            .collect();
+        return Feasibility::Feasible(model);
+    }
+
+    let mut rng = SmallRng::seed_from_u64(budget.seed);
+    // Which symbols actually appear?
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for c in constraints {
+        for i in c.expr.inputs() {
+            used.insert(i.index());
+        }
+    }
+    // Default assignment: clamp 0 into each symbol's range.
+    let default_of = |i: usize| {
+        let r = box_.range(i);
+        0i64.clamp(r.lo, r.hi)
+    };
+    let mut base: Vec<i64> = (0..n_symbols as usize).map(default_of).collect();
+    for &i in &used {
+        if i >= base.len() {
+            base.resize(i + 1, 0);
+            base[i] = default_of(i);
+        }
+    }
+
+    // Candidate values per used symbol.
+    let mut candidates: Vec<(usize, Vec<i64>)> = Vec::new();
+    for &i in &used {
+        let r = box_.range(i);
+        let mut vals: BTreeSet<i64> = BTreeSet::new();
+        let mut add = |v: i64| {
+            if r.contains(v) {
+                vals.insert(v);
+            }
+        };
+        add(r.lo);
+        add(r.hi);
+        add((r.lo / 2).saturating_add(r.hi / 2));
+        for c in constraints {
+            if c.expr.inputs().iter().any(|x| x.index() == i) {
+                for k in constants_of(&c.expr) {
+                    add(k);
+                    add(k.saturating_add(1));
+                    add(k.saturating_sub(1));
+                }
+                // XOR-shifted magic values: for constants m, k in the
+                // same constraint, m ^ k may be the trigger.
+                let ks = constants_of(&c.expr);
+                for a in &ks {
+                    for b in &ks {
+                        add(a ^ b);
+                    }
+                }
+                // Modular residues: (x % m) == r patterns. Unrefined
+                // symbols have i64::MIN bounds, so keep the arithmetic
+                // overflow-safe.
+                for (m, rr) in rem_patterns(&c.expr) {
+                    if m > 0 {
+                        match rr.checked_sub(r.lo) {
+                            Some(delta) => {
+                                let first = r.lo.saturating_add(delta.rem_euclid(m));
+                                add(first);
+                                add(first.saturating_add(m));
+                            }
+                            None => {
+                                add(rr);
+                                add(rr.saturating_add(m));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for _ in 0..budget.random_probes {
+            if r.lo < r.hi {
+                vals.insert(rng.gen_range(r.lo..=r.hi));
+            }
+        }
+        let mut v: Vec<i64> = vals.into_iter().collect();
+        v.truncate(64);
+        candidates.push((i, v));
+    }
+
+    // DFS over the candidate product with a budget, pruning with every
+    // constraint as soon as all of its symbols are assigned — without
+    // this, conjunctions over many symbols degenerate to full product
+    // enumeration.
+    let order: Vec<usize> = candidates.iter().map(|(i, _)| *i).collect();
+    let lists: Vec<&Vec<i64>> = candidates.iter().map(|(_, v)| v).collect();
+    // checkable_at[d] = constraints whose symbols are all among
+    // order[..=d] and that mention order[d] (so each constraint is
+    // checked exactly once, as early as possible).
+    let position: std::collections::BTreeMap<usize, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(pos, sym)| (*sym, pos))
+        .collect();
+    let mut checkable_at: Vec<Vec<&Constraint>> = vec![Vec::new(); order.len()];
+    for c in constraints {
+        let deepest = c
+            .expr
+            .inputs()
+            .iter()
+            .filter_map(|i| position.get(&i.index()))
+            .max()
+            .copied();
+        if let Some(d) = deepest {
+            checkable_at[d].push(c);
+        }
+        // Constraints mentioning no searched symbol are constant w.r.t.
+        // the search; they were already screened by the interval filter
+        // and re-checked on the final assignment below.
+    }
+    let mut tried = 0u64;
+    let mut stack: Vec<usize> = vec![0];
+    loop {
+        if stack.is_empty() || tried >= budget.max_assignments {
+            return Feasibility::Unknown;
+        }
+        let depth = stack.len() - 1;
+        let idx = stack[depth];
+        if idx >= lists[depth].len() {
+            stack.pop();
+            if let Some(last) = stack.last_mut() {
+                *last += 1;
+            }
+            continue;
+        }
+        base[order[depth]] = lists[depth][idx];
+        tried += 1;
+        // Early pruning: every constraint that just became fully
+        // assigned must hold.
+        if !checkable_at[depth].iter().all(|c| c.holds(&base)) {
+            stack[depth] += 1;
+            continue;
+        }
+        if depth + 1 == order.len() {
+            if constraints.iter().all(|c| c.holds(&base)) {
+                return Feasibility::Feasible(base);
+            }
+            stack[depth] += 1;
+        } else {
+            stack.push(0);
+        }
+    }
+}
+
+/// All constants appearing in an expression.
+fn constants_of(e: &Expr) -> Vec<i64> {
+    let mut out = Vec::new();
+    e.visit(&mut |x| {
+        if let Expr::Const(c) = x {
+            out.push(*c);
+        }
+    });
+    out.truncate(8);
+    out
+}
+
+/// Finds `(m, r)` pairs from `(… % m) == r`-shaped sub-expressions.
+fn rem_patterns(e: &Expr) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    e.visit(&mut |x| {
+        if let Expr::Bin(BinOp::Eq, a, b) = x {
+            if let (Expr::Bin(BinOp::Rem, _, m), Expr::Const(r)) = (a.as_ref(), b.as_ref()) {
+                if let Expr::Const(m) = m.as_ref() {
+                    out.push((*m, *r));
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(expr: Expr, want: bool) -> Constraint {
+        Constraint { expr, want }
+    }
+
+    fn bx() -> InputBox {
+        InputBox::uniform(4, 0, 999)
+    }
+
+    #[test]
+    fn empty_constraints_are_feasible() {
+        let f = check(&[], &bx(), 4, SolveBudget::default());
+        match f {
+            Feasibility::Feasible(m) => assert_eq!(m.len(), 4),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_equality_is_infeasible() {
+        let f = check(
+            &[c(Expr::eq(Expr::input(0), Expr::Const(5000)), true)],
+            &bx(),
+            4,
+            SolveBudget::default(),
+        );
+        assert_eq!(f, Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn simple_equality_finds_the_point() {
+        let f = check(
+            &[c(Expr::eq(Expr::input(0), Expr::Const(123)), true)],
+            &bx(),
+            4,
+            SolveBudget::default(),
+        );
+        match f {
+            Feasibility::Feasible(m) => assert_eq!(m[0], 123),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn conjunction_over_two_symbols() {
+        let f = check(
+            &[
+                c(Expr::lt(Expr::input(0), Expr::Const(10)), true),
+                c(Expr::bin(BinOp::Ge, Expr::input(1), Expr::Const(990)), true),
+                c(
+                    Expr::lt(Expr::input(0), Expr::input(1)),
+                    true,
+                ),
+            ],
+            &bx(),
+            4,
+            SolveBudget::default(),
+        );
+        match f {
+            Feasibility::Feasible(m) => {
+                assert!(m[0] < 10 && m[1] >= 990 && m[0] < m[1]);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_magic_trigger_is_found() {
+        // (in0 ^ 770001) == (v ^ 770001) with v = 417 — the generator's
+        // marker pattern.
+        let m = 770_001i64;
+        let v = 417i64;
+        let f = check(
+            &[c(
+                Expr::eq(
+                    Expr::bin(BinOp::BitXor, Expr::input(0), Expr::Const(m)),
+                    Expr::Const(v ^ m),
+                ),
+                true,
+            )],
+            &bx(),
+            4,
+            SolveBudget::default(),
+        );
+        match f {
+            Feasibility::Feasible(model) => assert_eq!(model[0], v),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn modular_residue_is_found() {
+        let f = check(
+            &[c(
+                Expr::eq(
+                    Expr::bin(BinOp::Rem, Expr::input(2), Expr::Const(7)),
+                    Expr::Const(3),
+                ),
+                true,
+            )],
+            &bx(),
+            4,
+            SolveBudget::default(),
+        );
+        match f {
+            Feasibility::Feasible(m) => assert_eq!(m[2] % 7, 3),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn contradiction_is_at_least_unknown_never_feasible() {
+        // in0 < 5 AND in0 > 10 — interval filter sees each conjunct as
+        // individually satisfiable, so this needs the search to fail.
+        let f = check(
+            &[
+                c(Expr::lt(Expr::input(0), Expr::Const(5)), true),
+                c(Expr::bin(BinOp::Gt, Expr::input(0), Expr::Const(10)), true),
+            ],
+            &bx(),
+            4,
+            SolveBudget::default(),
+        );
+        assert!(!f.is_feasible());
+    }
+
+    #[test]
+    fn negated_constraints_respected() {
+        // NOT(in0 < 500): needs in0 >= 500.
+        let f = check(
+            &[c(Expr::lt(Expr::input(0), Expr::Const(500)), false)],
+            &bx(),
+            4,
+            SolveBudget::default(),
+        );
+        match f {
+            Feasibility::Feasible(m) => assert!(m[0] >= 500),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn pseudo_symbols_beyond_box_are_searchable() {
+        // Symbol 9 has no box range (TOP) — constraint pins it.
+        let f = check(
+            &[c(Expr::eq(Expr::input(9), Expr::Const(-77)), true)],
+            &bx(),
+            10,
+            SolveBudget::default(),
+        );
+        match f {
+            Feasibility::Feasible(m) => assert_eq!(m[9], -77),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn constraint_holds_handles_faults() {
+        let div = Expr::bin(BinOp::Div, Expr::Const(1), Expr::input(0));
+        let c0 = c(div, true);
+        assert!(!c0.holds(&[0])); // fault -> not holding
+        assert!(c0.holds(&[1]));
+    }
+}

@@ -1,0 +1,1042 @@
+//! The symbolic executor over guest programs.
+//!
+//! Used by the hive for the three §3.3/§4 jobs: (1) proving unexplored
+//! arms *infeasible* so finite path collections close subtrees, (2)
+//! synthesizing concrete inputs that reach a frontier arm (guidance), and
+//! (3) whole-unit exploration under *relaxed execution consistency* —
+//! S2E-style: a single unit (thread) is explored with its shared state
+//! unconstrained, over-approximating the feasible paths ("if the unit
+//! behaves correctly for a superset of the feasible paths, then it is
+//! guaranteed to behave correctly for all feasible paths").
+
+use crate::interval::InputBox;
+use crate::partial::{subst, SymbolPool};
+use crate::solve::{self, Constraint, Feasibility, SolveBudget};
+use serde::{Deserialize, Serialize};
+use softborg_program::cfg::{Loc, Program, Stmt, SyscallKind, Terminator};
+use softborg_program::expr::{BinOp, Expr};
+use softborg_program::interp::CrashKind;
+use softborg_program::{BlockId, BranchSiteId, LockId, ThreadId};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Execution-consistency level (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Consistency {
+    /// Whole-system, strictly consistent execution. Only defined for
+    /// single-threaded programs (a multi-threaded strict exploration
+    /// would have to enumerate schedules).
+    Strict,
+    /// Explore one thread ("unit") in isolation with its shared globals
+    /// unconstrained — a sound over-approximation of the unit's feasible
+    /// paths inside the full system.
+    RelaxedUnit(ThreadId),
+}
+
+/// Limits and context for an exploration.
+#[derive(Debug, Clone)]
+pub struct SymConfig {
+    /// Stop after this many completed paths.
+    pub max_paths: usize,
+    /// Per-path bound on loop-header revisits.
+    pub max_loop_iters: u32,
+    /// Per-path statement budget.
+    pub max_steps: u64,
+    /// Consistency level.
+    pub consistency: Consistency,
+    /// Ranges of the real program inputs.
+    pub input_box: InputBox,
+    /// Budget for feasibility checks.
+    pub solve_budget: SolveBudget,
+    /// Seed for the frontier-selection order. Exploration pops pending
+    /// states at seeded-random positions instead of strict DFS, so the
+    /// path budget samples flips at *all* depths — without this, a
+    /// rare-arm crash behind an early branch is unreachable until the
+    /// entire subtree below it has been enumerated.
+    pub exploration_seed: u64,
+}
+
+impl Default for SymConfig {
+    fn default() -> Self {
+        SymConfig {
+            max_paths: 256,
+            max_loop_iters: 4,
+            max_steps: 5_000,
+            consistency: Consistency::Strict,
+            input_box: InputBox::default(),
+            solve_budget: SolveBudget::default(),
+            exploration_seed: 0,
+        }
+    }
+}
+
+/// How a symbolic path ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SymOutcome {
+    /// The thread exited normally.
+    Success,
+    /// A crash (assert failure, division fault, unlock-not-held).
+    Crash {
+        /// Crash site.
+        loc: Loc,
+        /// Crash kind.
+        kind: CrashKind,
+    },
+    /// Self-deadlock on a lock the path already holds.
+    Deadlock,
+    /// Truncated by the loop or step budget (path family, not a path).
+    Truncated,
+}
+
+/// One explored symbolic path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymPath {
+    /// Branch decisions along the path.
+    pub decisions: Vec<(BranchSiteId, bool)>,
+    /// Path condition (conjunction).
+    pub constraints: Vec<Constraint>,
+    /// Terminal classification.
+    pub outcome: SymOutcome,
+    /// Total symbols (real + pseudo) mentioned.
+    pub n_symbols: u32,
+}
+
+impl SymPath {
+    /// Solves the path condition; a model doubles as a directed test
+    /// input (real inputs are the first `n_inputs` entries).
+    pub fn solve(&self, box_: &InputBox, budget: SolveBudget) -> Feasibility {
+        solve::check(&self.constraints, box_, self.n_symbols, budget)
+    }
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// Completed paths.
+    pub paths: u64,
+    /// Fork points encountered.
+    pub forks: u64,
+    /// Arms pruned by the interval filter.
+    pub pruned: u64,
+    /// Paths cut by loop/step budgets.
+    pub truncated: u64,
+}
+
+/// The result of [`explore`].
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Explored paths.
+    pub paths: Vec<SymPath>,
+    /// Statistics.
+    pub stats: ExploreStats,
+}
+
+impl Exploration {
+    /// Paths ending in a crash.
+    pub fn crashing(&self) -> impl Iterator<Item = &SymPath> {
+        self.paths
+            .iter()
+            .filter(|p| matches!(p.outcome, SymOutcome::Crash { .. }))
+    }
+}
+
+/// Errors from symbolic execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymexError {
+    /// Strict consistency on a multi-threaded program.
+    MultiThreadedStrict,
+    /// The requested unit thread does not exist.
+    BadThread(ThreadId),
+    /// Directed execution diverged from the supplied prefix.
+    PrefixMismatch {
+        /// Decision index at which the divergence occurred.
+        at: usize,
+    },
+}
+
+impl fmt::Display for SymexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymexError::MultiThreadedStrict => {
+                f.write_str("strict consistency requires a single-threaded program")
+            }
+            SymexError::BadThread(t) => write!(f, "program has no thread {t}"),
+            SymexError::PrefixMismatch { at } => {
+                write!(f, "directed execution diverged from prefix at decision {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymexError {}
+
+#[derive(Debug, Clone)]
+struct SymState {
+    block: u32,
+    stmt: u32,
+    locals: Vec<Expr>,
+    globals: Vec<Expr>,
+    held: BTreeSet<LockId>,
+    constraints: Vec<Constraint>,
+    decisions: Vec<(BranchSiteId, bool)>,
+    loop_visits: HashMap<u32, u32>,
+    steps: u64,
+    pool: SymbolPool,
+    /// Per-path refined input box (constraint propagation): every
+    /// single-symbol constraint tightens it, so contradictory forks like
+    /// `in < 500 ∧ in >= 900` are pruned at fork time.
+    box_: InputBox,
+}
+
+/// Pushes `c` onto the state's path condition, refining the state's
+/// input box. Returns `false` when the addition is provably infeasible
+/// (the caller drops the state/fork).
+fn push_constraint(state: &mut SymState, c: Constraint) -> bool {
+    if let Some((sym, iv)) = solve::refinement(&c) {
+        if !solve::apply_refinement(&mut state.box_, sym, iv) {
+            return false;
+        }
+    } else if !solve::interval_filter(std::slice::from_ref(&c), &state.box_) {
+        return false;
+    }
+    state.constraints.push(c);
+    true
+}
+
+/// Explores the program per `config`, returning the collected paths.
+///
+/// # Errors
+///
+/// * [`SymexError::MultiThreadedStrict`] — strict mode on a program with
+///   more than one thread.
+/// * [`SymexError::BadThread`] — relaxed mode naming a missing thread.
+pub fn explore(program: &Program, config: &SymConfig) -> Result<Exploration, SymexError> {
+    let (thread, symbolic_globals) = match config.consistency {
+        Consistency::Strict => {
+            if program.threads.len() != 1 {
+                return Err(SymexError::MultiThreadedStrict);
+            }
+            (ThreadId::new(0), false)
+        }
+        Consistency::RelaxedUnit(t) => {
+            if t.index() >= program.threads.len() {
+                return Err(SymexError::BadThread(t));
+            }
+            (t, true)
+        }
+    };
+
+    let mut pool = SymbolPool::new(program.n_inputs);
+    let globals: Vec<Expr> = (0..program.n_globals)
+        .map(|_| {
+            if symbolic_globals {
+                pool.fresh()
+            } else {
+                Expr::Const(0)
+            }
+        })
+        .collect();
+    let initial = SymState {
+        block: 0,
+        stmt: 0,
+        locals: vec![Expr::Const(0); program.n_locals as usize],
+        globals,
+        held: BTreeSet::new(),
+        constraints: Vec::new(),
+        decisions: Vec::new(),
+        loop_visits: HashMap::new(),
+        steps: 0,
+        pool,
+        box_: config.input_box.clone(),
+    };
+
+    let mut engine = Engine {
+        program,
+        thread,
+        config,
+        stats: ExploreStats::default(),
+        paths: Vec::new(),
+    };
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(config.exploration_seed);
+    let mut stack = vec![initial];
+    while !stack.is_empty() {
+        if engine.paths.len() >= config.max_paths {
+            break;
+        }
+        let idx = rng.gen_range(0..stack.len());
+        let state = stack.swap_remove(idx);
+        engine.run_state(state, &mut stack);
+    }
+    engine.stats.paths = engine.paths.len() as u64;
+    Ok(Exploration {
+        paths: engine.paths,
+        stats: engine.stats,
+    })
+}
+
+struct Engine<'a> {
+    program: &'a Program,
+    thread: ThreadId,
+    config: &'a SymConfig,
+    stats: ExploreStats,
+    paths: Vec<SymPath>,
+}
+
+impl Engine<'_> {
+    fn loc(&self, state: &SymState) -> Loc {
+        Loc {
+            thread: self.thread,
+            block: BlockId::new(state.block),
+            stmt: state.stmt,
+        }
+    }
+
+    fn finish(&mut self, state: SymState, outcome: SymOutcome) {
+        if matches!(outcome, SymOutcome::Truncated) {
+            self.stats.truncated += 1;
+        }
+        self.paths.push(SymPath {
+            decisions: state.decisions,
+            constraints: state.constraints,
+            outcome,
+            n_symbols: state.pool.width(),
+        });
+    }
+
+    /// Handles possible division faults inside `expr`: emits crash forks
+    /// for symbolically-zero divisors and constrains the surviving state.
+    /// Returns `false` when the main state itself definitely crashes.
+    fn divisor_forks(&mut self, state: &mut SymState, expr: &Expr, kind_rem: bool) -> bool {
+        let mut divisors: Vec<(Expr, bool)> = Vec::new();
+        expr.visit(&mut |e| {
+            if let Expr::Bin(op @ (BinOp::Div | BinOp::Rem), _, d) = e {
+                divisors.push(((**d).clone(), *op == BinOp::Rem));
+            }
+        });
+        let _ = kind_rem;
+        for (d, is_rem) in divisors {
+            let residual = subst(&d, &state.locals, &state.globals, &mut state.pool);
+            match residual {
+                Expr::Const(0) => {
+                    let loc = self.loc(state);
+                    self.finish(
+                        state.clone(),
+                        SymOutcome::Crash {
+                            loc,
+                            kind: if is_rem {
+                                CrashKind::RemByZero
+                            } else {
+                                CrashKind::DivByZero
+                            },
+                        },
+                    );
+                    return false;
+                }
+                Expr::Const(_) => {}
+                _ => {
+                    // Fork: divisor could be zero.
+                    let crash_c = Constraint {
+                        expr: residual.clone(),
+                        want: false,
+                    };
+                    let mut crash = state.clone();
+                    if push_constraint(&mut crash, crash_c) {
+                        self.stats.forks += 1;
+                        let loc = self.loc(&crash);
+                        self.finish(
+                            crash,
+                            SymOutcome::Crash {
+                                loc,
+                                kind: if is_rem {
+                                    CrashKind::RemByZero
+                                } else {
+                                    CrashKind::DivByZero
+                                },
+                            },
+                        );
+                    } else {
+                        self.stats.pruned += 1;
+                    }
+                    // The surviving path requires a nonzero divisor; a
+                    // contradiction here means the path itself is dead.
+                    if !push_constraint(
+                        state,
+                        Constraint {
+                            expr: residual,
+                            want: true,
+                        },
+                    ) {
+                        self.stats.pruned += 1;
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs one state until it forks (children pushed to `stack`) or
+    /// terminates (path recorded).
+    fn run_state(&mut self, mut state: SymState, stack: &mut Vec<SymState>) {
+        loop {
+            if state.steps >= self.config.max_steps {
+                self.finish(state, SymOutcome::Truncated);
+                return;
+            }
+            state.steps += 1;
+            let blk = &self.program.threads[self.thread.index()].blocks[state.block as usize];
+            if (state.stmt as usize) < blk.stmts.len() {
+                let stmt = blk.stmts[state.stmt as usize].clone();
+                match stmt {
+                    Stmt::Assign(place, e) => {
+                        if !self.divisor_forks(&mut state, &e, false) {
+                            return;
+                        }
+                        let r = subst(&e, &state.locals, &state.globals, &mut state.pool);
+                        match place {
+                            softborg_program::expr::Place::Local(l) => {
+                                state.locals[l.index()] = r;
+                            }
+                            softborg_program::expr::Place::Global(g) => {
+                                state.globals[g.index()] = r;
+                            }
+                        }
+                    }
+                    Stmt::Lock(l) => {
+                        if state.held.contains(&l) {
+                            self.finish(state, SymOutcome::Deadlock);
+                            return;
+                        }
+                        state.held.insert(l);
+                    }
+                    Stmt::Unlock(l) => {
+                        if !state.held.remove(&l) {
+                            let loc = self.loc(&state);
+                            self.finish(
+                                state,
+                                SymOutcome::Crash {
+                                    loc,
+                                    kind: CrashKind::UnlockNotHeld,
+                                },
+                            );
+                            return;
+                        }
+                    }
+                    Stmt::Syscall { kind, arg, ret } => {
+                        if !self.divisor_forks(&mut state, &arg, false) {
+                            return;
+                        }
+                        let arg_r = subst(&arg, &state.locals, &state.globals, &mut state.pool);
+                        let sym = state.pool.fresh();
+                        if kind == SyscallKind::Read {
+                            let _ = push_constraint(
+                                &mut state,
+                                Constraint {
+                                    expr: Expr::bin(BinOp::Ge, sym.clone(), Expr::Const(0)),
+                                    want: true,
+                                },
+                            );
+                            if let Expr::Const(n) = arg_r {
+                                let _ = push_constraint(
+                                    &mut state,
+                                    Constraint {
+                                        expr: Expr::bin(BinOp::Le, sym.clone(), Expr::Const(n.max(0))),
+                                        want: true,
+                                    },
+                                );
+                            }
+                        }
+                        match ret {
+                            softborg_program::expr::Place::Local(l) => {
+                                state.locals[l.index()] = sym;
+                            }
+                            softborg_program::expr::Place::Global(g) => {
+                                state.globals[g.index()] = sym;
+                            }
+                        }
+                    }
+                    Stmt::Assert(e) => {
+                        if !self.divisor_forks(&mut state, &e, false) {
+                            return;
+                        }
+                        let r = subst(&e, &state.locals, &state.globals, &mut state.pool);
+                        match r {
+                            Expr::Const(0) => {
+                                let loc = self.loc(&state);
+                                self.finish(
+                                    state,
+                                    SymOutcome::Crash {
+                                        loc,
+                                        kind: CrashKind::AssertFailed,
+                                    },
+                                );
+                                return;
+                            }
+                            Expr::Const(_) => {}
+                            _ => {
+                                let crash_c = Constraint {
+                                    expr: r.clone(),
+                                    want: false,
+                                };
+                                let mut crash = state.clone();
+                                if push_constraint(&mut crash, crash_c) {
+                                    self.stats.forks += 1;
+                                    let loc = self.loc(&crash);
+                                    self.finish(
+                                        crash,
+                                        SymOutcome::Crash {
+                                            loc,
+                                            kind: CrashKind::AssertFailed,
+                                        },
+                                    );
+                                } else {
+                                    self.stats.pruned += 1;
+                                }
+                                if !push_constraint(&mut state, Constraint { expr: r, want: true })
+                                {
+                                    self.stats.pruned += 1;
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    Stmt::Emit(e) => {
+                        if !self.divisor_forks(&mut state, &e, false) {
+                            return;
+                        }
+                    }
+                    Stmt::Yield => {}
+                }
+                state.stmt += 1;
+                continue;
+            }
+
+            // Terminator.
+            match blk.term.clone() {
+                Terminator::Goto(b) => {
+                    state.block = b.0;
+                    state.stmt = 0;
+                }
+                Terminator::Exit => {
+                    self.finish(state, SymOutcome::Success);
+                    return;
+                }
+                Terminator::Branch {
+                    site,
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let visits = state.loop_visits.entry(state.block).or_insert(0);
+                    *visits += 1;
+                    if *visits > self.config.max_loop_iters {
+                        self.finish(state, SymOutcome::Truncated);
+                        return;
+                    }
+                    if !self.divisor_forks(&mut state, &cond, false) {
+                        return;
+                    }
+                    let r = subst(&cond, &state.locals, &state.globals, &mut state.pool);
+                    match r {
+                        Expr::Const(c) => {
+                            let taken = c != 0;
+                            state.decisions.push((site, taken));
+                            state.block = if taken { then_bb.0 } else { else_bb.0 };
+                            state.stmt = 0;
+                        }
+                        _ => {
+                            self.stats.forks += 1;
+                            let mut arms = Vec::new();
+                            for taken in [false, true] {
+                                let c = Constraint {
+                                    expr: r.clone(),
+                                    want: taken,
+                                };
+                                let mut child = state.clone();
+                                if push_constraint(&mut child, c) {
+                                    child.decisions.push((site, taken));
+                                    child.block = if taken { then_bb.0 } else { else_bb.0 };
+                                    child.stmt = 0;
+                                    arms.push(child);
+                                } else {
+                                    self.stats.pruned += 1;
+                                }
+                            }
+                            match arms.len() {
+                                0 => {
+                                    // Both arms filtered: the whole path
+                                    // condition is contradictory; drop it.
+                                    return;
+                                }
+                                1 => {
+                                    state = arms.pop().expect("one arm");
+                                    continue;
+                                }
+                                _ => {
+                                    // DFS: push else-arm, continue with
+                                    // then-arm.
+                                    let then_arm = arms.pop().expect("two arms");
+                                    stack.push(arms.pop().expect("two arms"));
+                                    state = then_arm;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Directed execution: follow `prefix` decision-for-decision, then
+/// constrain the next branch (which must be at `site`) to go `taken`, and
+/// solve. Returns the feasibility of the arm — `Feasible(model)` yields
+/// concrete guidance inputs in the first `n_inputs` entries.
+///
+/// Only defined for single-threaded programs (a tree prefix of a
+/// multi-threaded program bakes in a schedule the executor cannot
+/// reproduce thread-locally).
+///
+/// # Errors
+///
+/// [`SymexError::MultiThreadedStrict`] for multi-threaded programs;
+/// [`SymexError::PrefixMismatch`] when the prefix does not correspond to
+/// a real path of the program.
+pub fn arm_feasibility(
+    program: &Program,
+    prefix: &[(BranchSiteId, bool)],
+    site: BranchSiteId,
+    taken: bool,
+    config: &SymConfig,
+) -> Result<Feasibility, SymexError> {
+    if program.threads.len() != 1 {
+        return Err(SymexError::MultiThreadedStrict);
+    }
+    let pool = SymbolPool::new(program.n_inputs);
+    let globals: Vec<Expr> = (0..program.n_globals).map(|_| Expr::Const(0)).collect();
+    let mut state = SymState {
+        block: 0,
+        stmt: 0,
+        locals: vec![Expr::Const(0); program.n_locals as usize],
+        globals,
+        held: BTreeSet::new(),
+        constraints: Vec::new(),
+        decisions: Vec::new(),
+        loop_visits: HashMap::new(),
+        steps: 0,
+        pool,
+        box_: config.input_box.clone(),
+    };
+    let body = &program.threads[0];
+    let mut consumed = 0usize;
+    let max_steps = config.max_steps.max(prefix.len() as u64 * 50);
+
+    loop {
+        if state.steps >= max_steps {
+            return Ok(Feasibility::Unknown);
+        }
+        state.steps += 1;
+        let blk = &body.blocks[state.block as usize];
+        if (state.stmt as usize) < blk.stmts.len() {
+            let stmt = blk.stmts[state.stmt as usize].clone();
+            match stmt {
+                Stmt::Assign(place, e) => {
+                    push_divisor_constraints(&mut state, &e);
+                    let r = subst(&e, &state.locals, &state.globals, &mut state.pool);
+                    match place {
+                        softborg_program::expr::Place::Local(l) => state.locals[l.index()] = r,
+                        softborg_program::expr::Place::Global(g) => state.globals[g.index()] = r,
+                    }
+                }
+                Stmt::Lock(l) => {
+                    state.held.insert(l);
+                }
+                Stmt::Unlock(l) => {
+                    state.held.remove(&l);
+                }
+                Stmt::Syscall { kind, arg, ret } => {
+                    let arg_r = subst(&arg, &state.locals, &state.globals, &mut state.pool);
+                    let sym = state.pool.fresh();
+                    if kind == SyscallKind::Read {
+                        state.constraints.push(Constraint {
+                            expr: Expr::bin(BinOp::Ge, sym.clone(), Expr::Const(0)),
+                            want: true,
+                        });
+                        if let Expr::Const(n) = arg_r {
+                            state.constraints.push(Constraint {
+                                expr: Expr::bin(BinOp::Le, sym.clone(), Expr::Const(n.max(0))),
+                                want: true,
+                            });
+                        }
+                    }
+                    match ret {
+                        softborg_program::expr::Place::Local(l) => state.locals[l.index()] = sym,
+                        softborg_program::expr::Place::Global(g) => state.globals[g.index()] = sym,
+                    }
+                }
+                Stmt::Assert(e) => {
+                    push_divisor_constraints(&mut state, &e);
+                    let r = subst(&e, &state.locals, &state.globals, &mut state.pool);
+                    if !matches!(r, Expr::Const(_)) {
+                        state.constraints.push(Constraint { expr: r, want: true });
+                    }
+                }
+                Stmt::Emit(_) | Stmt::Yield => {}
+            }
+            state.stmt += 1;
+            continue;
+        }
+        match blk.term.clone() {
+            Terminator::Goto(b) => {
+                state.block = b.0;
+                state.stmt = 0;
+            }
+            Terminator::Exit => {
+                // Ran out of program before reaching the target arm.
+                return Err(SymexError::PrefixMismatch { at: consumed });
+            }
+            Terminator::Branch {
+                site: here,
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                push_divisor_constraints(&mut state, &cond);
+                let r = subst(&cond, &state.locals, &state.globals, &mut state.pool);
+                if consumed < prefix.len() {
+                    let (want_site, want_taken) = prefix[consumed];
+                    if want_site != here {
+                        return Err(SymexError::PrefixMismatch { at: consumed });
+                    }
+                    match &r {
+                        Expr::Const(c) => {
+                            if (*c != 0) != want_taken {
+                                return Err(SymexError::PrefixMismatch { at: consumed });
+                            }
+                        }
+                        _ => state.constraints.push(Constraint {
+                            expr: r.clone(),
+                            want: want_taken,
+                        }),
+                    }
+                    consumed += 1;
+                    state.block = if want_taken { then_bb.0 } else { else_bb.0 };
+                    state.stmt = 0;
+                } else {
+                    // Target branch.
+                    if here != site {
+                        return Err(SymexError::PrefixMismatch { at: consumed });
+                    }
+                    match &r {
+                        Expr::Const(c) => {
+                            return Ok(if (*c != 0) == taken {
+                                solve::check(
+                                    &state.constraints,
+                                    &config.input_box,
+                                    state.pool.width(),
+                                    config.solve_budget,
+                                )
+                            } else {
+                                Feasibility::Infeasible
+                            });
+                        }
+                        _ => {
+                            state.constraints.push(Constraint {
+                                expr: r.clone(),
+                                want: taken,
+                            });
+                            return Ok(solve::check(
+                                &state.constraints,
+                                &config.input_box,
+                                state.pool.width(),
+                                config.solve_budget,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adds "divisors along this expression are nonzero" constraints (the
+/// prefix path survived, so its divisions did not fault).
+fn push_divisor_constraints(state: &mut SymState, e: &Expr) {
+    let mut divisors: Vec<Expr> = Vec::new();
+    e.visit(&mut |x| {
+        if let Expr::Bin(BinOp::Div | BinOp::Rem, _, d) = x {
+            divisors.push((**d).clone());
+        }
+    });
+    for d in divisors {
+        let r = subst(&d, &state.locals, &state.globals, &mut state.pool);
+        if !matches!(r, Expr::Const(_)) {
+            state.constraints.push(Constraint { expr: r, want: true });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::scenarios;
+
+    fn cfg(n_inputs: u32, lo: i64, hi: i64) -> SymConfig {
+        SymConfig {
+            input_box: InputBox::uniform(n_inputs, lo, hi),
+            ..SymConfig::default()
+        }
+    }
+
+    #[test]
+    fn strict_rejects_multithreaded() {
+        let s = scenarios::bank_transfer();
+        let err = explore(&s.program, &cfg(2, 0, 99)).unwrap_err();
+        assert_eq!(err, SymexError::MultiThreadedStrict);
+    }
+
+    #[test]
+    fn triangle_explores_all_outcome_classes() {
+        let s = scenarios::triangle();
+        let ex = explore(&s.program, &cfg(3, 1, 20)).unwrap();
+        assert!(ex.paths.len() >= 4, "triangle has ≥4 leaf classes");
+        assert!(ex.crashing().count() == 0, "triangle cannot crash");
+        // Every completed path must be solvable or at worst unknown, and
+        // solved models must replay to the same decisions.
+        let box_ = InputBox::uniform(3, 1, 20);
+        let mut solved = 0;
+        for p in &ex.paths {
+            if let Feasibility::Feasible(model) = p.solve(&box_, SolveBudget::default()) {
+                solved += 1;
+                // Replay concretely and compare decisions.
+                use softborg_program::interp::{Executor, Observer};
+                #[derive(Default)]
+                struct Obs(Vec<(BranchSiteId, bool)>);
+                impl Observer for Obs {
+                    fn on_branch(&mut self, _t: ThreadId, s: BranchSiteId, tk: bool, _d: bool) {
+                        self.0.push((s, tk));
+                    }
+                }
+                let mut obs = Obs::default();
+                Executor::new(&s.program)
+                    .run(
+                        &model[..3],
+                        &mut softborg_program::syscall::DefaultEnv::seeded(0),
+                        &mut softborg_program::sched::RoundRobin::new(),
+                        &softborg_program::Overlay::empty(),
+                        &mut obs,
+                    )
+                    .unwrap();
+                assert_eq!(obs.0, p.decisions, "model does not replay the path");
+            }
+        }
+        assert!(solved >= 4, "solved only {solved} paths");
+    }
+
+    #[test]
+    fn parser_crash_paths_are_discovered_symbolically() {
+        let s = scenarios::token_parser();
+        let ex = explore(&s.program, &cfg(6, 0, 99)).unwrap();
+        let crashes: Vec<&SymPath> = ex.crashing().collect();
+        assert!(
+            crashes.len() >= 2,
+            "parser has a div bug and an assert bug; found {}",
+            crashes.len()
+        );
+        // At least one crash path must be concretely realizable.
+        let box_ = InputBox::uniform(6, 0, 99);
+        let real: Vec<Vec<i64>> = crashes
+            .iter()
+            .filter_map(|p| match p.solve(&box_, SolveBudget::default()) {
+                Feasibility::Feasible(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert!(!real.is_empty(), "no crash model found");
+        // Replaying a crash model must actually crash.
+        use softborg_program::interp::{Executor, NopObserver, Outcome};
+        for m in &real {
+            let r = Executor::new(&s.program)
+                .run(
+                    &m[..6],
+                    &mut softborg_program::syscall::DefaultEnv::seeded(0),
+                    &mut softborg_program::sched::RoundRobin::new(),
+                    &softborg_program::Overlay::empty(),
+                    &mut NopObserver,
+                )
+                .unwrap();
+            assert!(
+                matches!(r.outcome, Outcome::Crash { .. }),
+                "model {m:?} did not crash: {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn relaxed_unit_explores_one_thread_of_concurrent_program() {
+        let s = scenarios::racy_counter();
+        let ex = explore(
+            &s.program,
+            &SymConfig {
+                consistency: Consistency::RelaxedUnit(ThreadId::new(0)),
+                input_box: InputBox::uniform(1, 0, 999),
+                ..SymConfig::default()
+            },
+        )
+        .unwrap();
+        // The unit has the locked and unlocked arms.
+        assert!(ex.paths.len() >= 2);
+        assert!(ex
+            .paths
+            .iter()
+            .all(|p| matches!(p.outcome, SymOutcome::Success | SymOutcome::Truncated)));
+    }
+
+    #[test]
+    fn relaxed_unit_overapproximates_strictly_infeasible_paths() {
+        use softborg_program::builder::ProgramBuilder;
+        // g0 is always 0 in the real system (never written), so the
+        // then-arm is strictly infeasible — but RelaxedUnit explores it.
+        let mut pb = ProgramBuilder::new("overapprox");
+        pb.globals(1).inputs(1);
+        pb.thread(|t| {
+            t.if_else(
+                Expr::eq(Expr::global(0), Expr::Const(7)),
+                |t| {
+                    t.emit(Expr::Const(1));
+                },
+                |t| {
+                    t.emit(Expr::Const(0));
+                },
+            );
+        });
+        let p = pb.build().unwrap();
+        let strict = explore(&p, &cfg(1, 0, 9)).unwrap();
+        assert_eq!(strict.paths.len(), 1, "strict sees only the else-arm");
+        let relaxed = explore(
+            &p,
+            &SymConfig {
+                consistency: Consistency::RelaxedUnit(ThreadId::new(0)),
+                input_box: InputBox::uniform(1, 0, 9),
+                ..SymConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(relaxed.paths.len(), 2, "relaxed explores both arms");
+    }
+
+    #[test]
+    fn loops_are_bounded() {
+        use softborg_program::builder::ProgramBuilder;
+        let mut pb = ProgramBuilder::new("spin");
+        pb.inputs(1).locals(1);
+        pb.thread(|t| {
+            t.while_loop(Expr::bin(BinOp::Ne, Expr::input(0), Expr::Const(1)), |t| {
+                t.yield_();
+            });
+        });
+        let p = pb.build().unwrap();
+        let ex = explore(&p, &cfg(1, 0, 9)).unwrap();
+        assert!(ex.stats.truncated > 0, "diverging loop must truncate");
+        assert!(ex.paths.iter().any(|p| p.outcome == SymOutcome::Success));
+    }
+
+    #[test]
+    fn arm_feasibility_finds_rare_trigger() {
+        let s = scenarios::token_parser();
+        // Empty prefix, target = first branch (in0 == 13), taken arm.
+        let sites = s.program.branch_sites();
+        let first = sites[0].0;
+        let f = arm_feasibility(
+            &s.program,
+            &[],
+            first,
+            true,
+            &cfg(6, 0, 99),
+        )
+        .unwrap();
+        match f {
+            Feasibility::Feasible(m) => assert_eq!(m[0], 13),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn arm_feasibility_detects_infeasible_arm() {
+        use softborg_program::builder::ProgramBuilder;
+        // if (in0 >= 0) … else …  with in0 in [0,9]: else-arm infeasible.
+        let mut pb = ProgramBuilder::new("always");
+        pb.inputs(1);
+        pb.thread(|t| {
+            t.if_else(
+                Expr::bin(BinOp::Ge, Expr::input(0), Expr::Const(0)),
+                |t| {
+                    t.emit(Expr::Const(1));
+                },
+                |t| {
+                    t.emit(Expr::Const(0));
+                },
+            );
+        });
+        let p = pb.build().unwrap();
+        let site = p.branch_sites()[0].0;
+        let f = arm_feasibility(&p, &[], site, false, &cfg(1, 0, 9)).unwrap();
+        assert_eq!(f, Feasibility::Infeasible);
+        let t = arm_feasibility(&p, &[], site, true, &cfg(1, 0, 9)).unwrap();
+        assert!(t.is_feasible());
+    }
+
+    #[test]
+    fn arm_feasibility_follows_prefixes() {
+        let s = scenarios::token_parser();
+        // Prefix: first branch taken (in0 == 13). Target: second branch
+        // (in1 >= 90) taken.
+        let sites = s.program.branch_sites();
+        let f = arm_feasibility(
+            &s.program,
+            &[(sites[0].0, true)],
+            sites[1].0,
+            true,
+            &cfg(6, 0, 99),
+        )
+        .unwrap();
+        match f {
+            Feasibility::Feasible(m) => {
+                assert_eq!(m[0], 13);
+                assert!(m[1] >= 90);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn arm_feasibility_rejects_bogus_prefix() {
+        let s = scenarios::token_parser();
+        let sites = s.program.branch_sites();
+        // Claim the path visited site[3] first — it does not.
+        let err = arm_feasibility(
+            &s.program,
+            &[(sites[3].0, true)],
+            sites[0].0,
+            true,
+            &cfg(6, 0, 99),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SymexError::PrefixMismatch { .. }));
+    }
+
+    #[test]
+    fn arm_feasibility_rejects_multithreaded() {
+        let s = scenarios::bank_transfer();
+        let sites = s.program.branch_sites();
+        if let Some((site, ..)) = sites.first() {
+            let err =
+                arm_feasibility(&s.program, &[], *site, true, &cfg(2, 0, 99)).unwrap_err();
+            assert_eq!(err, SymexError::MultiThreadedStrict);
+        }
+    }
+}

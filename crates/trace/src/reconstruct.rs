@@ -1,0 +1,645 @@
+//! Hive-side path reconstruction: turn a bit-vector trace back into the
+//! full branch-decision sequence.
+//!
+//! The pod records one bit per *input-dependent* branch; "merging a path
+//! into an existing … execution tree consists of reconstructing the
+//! deterministic branches" (paper, §3.2). Reconstruction replays the
+//! program with *unknown* inputs: every value derived from an input is ⊥;
+//! at an input-dependent branch the recorded bit decides the direction; at
+//! a deterministic branch the condition is evaluated concretely (the taint
+//! analysis guarantees its operands are known). Syscall returns and the
+//! thread schedule come from the trace's summaries, and overlay effects
+//! (gates, guards via recorded guard bits, loop bounds) are mirrored so
+//! traces from instrumented pods replay faithfully.
+
+use crate::bitvec::BitReader;
+use crate::record::{ExecutionTrace, RecordingPolicy};
+use softborg_program::cfg::{Loc, Program, Stmt, Terminator};
+use softborg_program::expr::{BinOp, Expr, Place, UnOp};
+use softborg_program::overlay::{GuardAction, Overlay};
+use softborg_program::taint::InputDependence;
+use softborg_program::{BlockId, BranchSiteId, LockId, ThreadId};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A fully reconstructed execution path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconstructedPath {
+    /// Branch decisions in global dynamic order — the path the execution
+    /// tree stores.
+    pub decisions: Vec<(BranchSiteId, bool)>,
+    /// `true` when replay stopped at a crash point before exhausting the
+    /// step budget (normal for crashing traces).
+    pub ended_at_crash: bool,
+}
+
+/// Why reconstruction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconstructError {
+    /// The trace's policy does not permit exact reconstruction
+    /// (outcome-only or sampled traces specify path *families*).
+    InexactPolicy(RecordingPolicy),
+    /// The branch bit-vector ran out before the path was complete.
+    BranchBitsExhausted,
+    /// The guard bit-vector ran out.
+    GuardBitsExhausted,
+    /// The syscall-return summary ran out.
+    SyscallRetsExhausted,
+    /// The recorded schedule picked a thread that is not runnable — the
+    /// trace is corrupt or from a different program/overlay version.
+    ScheduleMismatch {
+        /// The step at which the mismatch occurred.
+        step: u64,
+    },
+    /// A branch classified as deterministic read an unknown value — would
+    /// indicate a taint-analysis soundness bug.
+    UnknownDeterministicBranch(BranchSiteId),
+}
+
+impl fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconstructError::InexactPolicy(p) => {
+                write!(f, "policy {p:?} does not permit exact reconstruction")
+            }
+            ReconstructError::BranchBitsExhausted => f.write_str("branch bits exhausted"),
+            ReconstructError::GuardBitsExhausted => f.write_str("guard bits exhausted"),
+            ReconstructError::SyscallRetsExhausted => f.write_str("syscall returns exhausted"),
+            ReconstructError::ScheduleMismatch { step } => {
+                write!(f, "schedule mismatch at step {step}")
+            }
+            ReconstructError::UnknownDeterministicBranch(s) => {
+                write!(f, "deterministic branch {s} had unknown operands")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+type Val = Option<i64>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(LockId),
+    Done,
+}
+
+struct RThread {
+    block: u32,
+    stmt: u32,
+    locals: Vec<Val>,
+    status: Status,
+    held: BTreeSet<LockId>,
+    header_visits: HashMap<u32, u64>,
+}
+
+/// Replays `trace` against `program` (with `overlay` in force) and returns
+/// the full branch-decision path.
+///
+/// # Errors
+///
+/// See [`ReconstructError`]. Traces recorded under
+/// [`RecordingPolicy::FullBranch`] or [`RecordingPolicy::InputDependent`]
+/// from the same program + overlay version always reconstruct.
+pub fn reconstruct(
+    program: &Program,
+    deps: &InputDependence,
+    overlay: &Overlay,
+    trace: &ExecutionTrace,
+) -> Result<ReconstructedPath, ReconstructError> {
+    if !trace.policy.is_exact() {
+        return Err(ReconstructError::InexactPolicy(trace.policy));
+    }
+    let full = trace.policy == RecordingPolicy::FullBranch;
+    let multi = program.threads.len() > 1;
+
+    let mut threads: Vec<RThread> = program
+        .threads
+        .iter()
+        .map(|_| RThread {
+            block: 0,
+            stmt: 0,
+            locals: vec![Some(0); program.n_locals as usize],
+            status: Status::Runnable,
+            held: BTreeSet::new(),
+            header_visits: HashMap::new(),
+        })
+        .collect();
+    let mut globals: Vec<Val> = vec![Some(0); program.n_globals as usize];
+    let mut locks: HashMap<LockId, ThreadId> = HashMap::new();
+    let mut bits = BitReader::new(&trace.bits);
+    let mut guard_bits = BitReader::new(&trace.guard_bits);
+    let mut rets = trace.syscall_rets.iter().copied();
+    let mut decisions = Vec::new();
+    let mut ended_at_crash = false;
+
+    'steps: for step in 0..trace.steps {
+        let runnable: Vec<ThreadId> = threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| ThreadId::new(i as u32))
+            .collect();
+        if runnable.is_empty() {
+            break; // success or deadlock; either way the path is done
+        }
+        let t = if multi {
+            match trace.schedule.get(step as usize) {
+                Some(raw) => {
+                    let t = ThreadId::new(*raw);
+                    if !runnable.contains(&t) {
+                        return Err(ReconstructError::ScheduleMismatch { step });
+                    }
+                    t
+                }
+                None => break, // schedule summary ended with the execution
+            }
+        } else {
+            runnable[0]
+        };
+
+        let ti = t.index();
+        let cur_loc = Loc {
+            thread: t,
+            block: BlockId::new(threads[ti].block),
+            stmt: threads[ti].stmt,
+        };
+        let blk = &program.threads[ti].blocks[threads[ti].block as usize];
+        let at_term = threads[ti].stmt as usize >= blk.stmts.len();
+
+        // Guards mirror the interpreter: evaluated (bit consumed) on every
+        // step at a guarded location.
+        if let Some(guard) = overlay.guard_at(cur_loc) {
+            let fired = guard_bits
+                .next_bit()
+                .ok_or(ReconstructError::GuardBitsExhausted)?;
+            if fired {
+                match guard.action {
+                    GuardAction::SkipStmt => {
+                        if at_term {
+                            thread_done(&mut threads, &mut locks, t);
+                        } else {
+                            threads[ti].stmt += 1;
+                        }
+                        continue 'steps;
+                    }
+                    GuardAction::ExitThread => {
+                        thread_done(&mut threads, &mut locks, t);
+                        continue 'steps;
+                    }
+                    GuardAction::SetPlace(place, value) => {
+                        store(&mut threads, &mut globals, t, place, Some(value));
+                        // fall through to the statement
+                    }
+                }
+            }
+        }
+
+        if !at_term {
+            let stmt = blk.stmts[threads[ti].stmt as usize].clone();
+            match stmt {
+                Stmt::Assign(place, e) => {
+                    match eval_opt(&e, &threads[ti].locals, &globals) {
+                        EvalRes::Val(v) => {
+                            store(&mut threads, &mut globals, t, place, v);
+                            threads[ti].stmt += 1;
+                        }
+                        EvalRes::Crash => {
+                            ended_at_crash = true;
+                            break 'steps;
+                        }
+                    }
+                }
+                Stmt::Lock(lock) => {
+                    let missing_gate = overlay
+                        .gates_for(lock)
+                        .map(|g| g.gate)
+                        .find(|gate| !threads[ti].held.contains(gate));
+                    let target = missing_gate.unwrap_or(lock);
+                    match locks.get(&target) {
+                        None => {
+                            locks.insert(target, t);
+                            threads[ti].held.insert(target);
+                            if missing_gate.is_none() {
+                                threads[ti].stmt += 1;
+                            }
+                        }
+                        Some(owner) if *owner == t => {
+                            // Self-deadlock ended the original execution.
+                            break 'steps;
+                        }
+                        Some(_) => {
+                            threads[ti].status = Status::Blocked(target);
+                        }
+                    }
+                }
+                Stmt::Unlock(lock) => {
+                    if !threads[ti].held.contains(&lock) {
+                        ended_at_crash = true;
+                        break 'steps;
+                    }
+                    release(&mut threads, &mut locks, t, lock);
+                    // Auto-release stale gates, mirroring the interpreter.
+                    let stale: Vec<LockId> = overlay
+                        .lock_gates
+                        .iter()
+                        .filter(|g| {
+                            threads[ti].held.contains(&g.gate)
+                                && g.locks.iter().all(|l| !threads[ti].held.contains(l))
+                        })
+                        .map(|g| g.gate)
+                        .collect();
+                    for gate in stale {
+                        release(&mut threads, &mut locks, t, gate);
+                    }
+                    threads[ti].stmt += 1;
+                }
+                Stmt::Syscall { arg, ret, .. } => {
+                    // The argument may be unknown; the return is recorded.
+                    match eval_opt(&arg, &threads[ti].locals, &globals) {
+                        EvalRes::Crash => {
+                            ended_at_crash = true;
+                            break 'steps;
+                        }
+                        EvalRes::Val(_) => {}
+                    }
+                    let r = rets
+                        .next()
+                        .ok_or(ReconstructError::SyscallRetsExhausted)?;
+                    store(&mut threads, &mut globals, t, ret, Some(r));
+                    threads[ti].stmt += 1;
+                }
+                Stmt::Assert(e) => match eval_opt(&e, &threads[ti].locals, &globals) {
+                    EvalRes::Val(Some(0)) => {
+                        ended_at_crash = true;
+                        break 'steps;
+                    }
+                    EvalRes::Val(_) => threads[ti].stmt += 1,
+                    EvalRes::Crash => {
+                        ended_at_crash = true;
+                        break 'steps;
+                    }
+                },
+                Stmt::Emit(e) => {
+                    if matches!(
+                        eval_opt(&e, &threads[ti].locals, &globals),
+                        EvalRes::Crash
+                    ) {
+                        ended_at_crash = true;
+                        break 'steps;
+                    }
+                    threads[ti].stmt += 1;
+                }
+                Stmt::Yield => threads[ti].stmt += 1,
+            }
+            continue 'steps;
+        }
+
+        // Terminator.
+        match blk.term.clone() {
+            Terminator::Goto(target) => {
+                threads[ti].block = target.0;
+                threads[ti].stmt = 0;
+            }
+            Terminator::Branch {
+                site,
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let block_id = threads[ti].block;
+                if let Some(bound) = overlay.bound_for(t, BlockId::new(block_id)) {
+                    let visits = threads[ti].header_visits.entry(block_id).or_insert(0);
+                    *visits += 1;
+                    if *visits > bound.max_iters {
+                        thread_done(&mut threads, &mut locks, t);
+                        continue 'steps;
+                    }
+                }
+                let dependent = deps.is_dependent(site);
+                let taken = if full || dependent {
+                    let bit = bits
+                        .next_bit()
+                        .ok_or(ReconstructError::BranchBitsExhausted)?;
+                    if !dependent {
+                        // Cross-check when we can evaluate: prefer the
+                        // recorded bit (it is ground truth).
+                    }
+                    bit
+                } else {
+                    match eval_opt(&cond, &threads[ti].locals, &globals) {
+                        EvalRes::Val(Some(v)) => v != 0,
+                        EvalRes::Val(None) => {
+                            return Err(ReconstructError::UnknownDeterministicBranch(site))
+                        }
+                        EvalRes::Crash => {
+                            ended_at_crash = true;
+                            break 'steps;
+                        }
+                    }
+                };
+                decisions.push((site, taken));
+                threads[ti].block = if taken { then_bb.0 } else { else_bb.0 };
+                threads[ti].stmt = 0;
+            }
+            Terminator::Exit => {
+                thread_done(&mut threads, &mut locks, t);
+            }
+        }
+    }
+
+    Ok(ReconstructedPath {
+        decisions,
+        ended_at_crash,
+    })
+}
+
+fn store(
+    threads: &mut [RThread],
+    globals: &mut [Val],
+    t: ThreadId,
+    place: Place,
+    value: Val,
+) {
+    match place {
+        Place::Local(l) => threads[t.index()].locals[l.index()] = value,
+        Place::Global(g) => globals[g.index()] = value,
+    }
+}
+
+fn release(threads: &mut Vec<RThread>, locks: &mut HashMap<LockId, ThreadId>, t: ThreadId, lock: LockId) {
+    locks.remove(&lock);
+    threads[t.index()].held.remove(&lock);
+    for (i, ts) in threads.iter_mut().enumerate() {
+        if ts.status == Status::Blocked(lock) && i != t.index() {
+            ts.status = Status::Runnable;
+        }
+    }
+}
+
+fn thread_done(threads: &mut Vec<RThread>, locks: &mut HashMap<LockId, ThreadId>, t: ThreadId) {
+    let held: Vec<LockId> = threads[t.index()].held.iter().copied().collect();
+    for lock in held {
+        release(threads, locks, t, lock);
+    }
+    threads[t.index()].status = Status::Done;
+}
+
+enum EvalRes {
+    Val(Val),
+    /// Evaluation would have crashed the original execution
+    /// (known-zero divisor).
+    Crash,
+}
+
+fn eval_opt(e: &Expr, locals: &[Val], globals: &[Val]) -> EvalRes {
+    let v = match e {
+        Expr::Const(c) => Some(*c),
+        Expr::Input(_) => None,
+        Expr::Load(Place::Local(l)) => locals[l.index()],
+        Expr::Load(Place::Global(g)) => globals[g.index()],
+        Expr::Un(op, inner) => match eval_opt(inner, locals, globals) {
+            EvalRes::Crash => return EvalRes::Crash,
+            EvalRes::Val(None) => None,
+            EvalRes::Val(Some(v)) => Some(match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => i64::from(v == 0),
+                UnOp::BitNot => !v,
+            }),
+        },
+        Expr::Bin(op, a, b) => {
+            let x = match eval_opt(a, locals, globals) {
+                EvalRes::Crash => return EvalRes::Crash,
+                EvalRes::Val(v) => v,
+            };
+            let y = match eval_opt(b, locals, globals) {
+                EvalRes::Crash => return EvalRes::Crash,
+                EvalRes::Val(v) => v,
+            };
+            match (op, x, y) {
+                // Short-circuitable logic keeps precision with one ⊥ side.
+                (BinOp::And, Some(0), _) | (BinOp::And, _, Some(0)) => Some(0),
+                (BinOp::Or, Some(x), _) if x != 0 => Some(1),
+                (BinOp::Or, _, Some(y)) if y != 0 => Some(1),
+                (BinOp::Div | BinOp::Rem, _, Some(0)) => return EvalRes::Crash,
+                (_, Some(x), Some(y)) => match softborg_program::expr::apply_bin(*op, x, y) {
+                    Ok(v) => Some(v),
+                    Err(_) => return EvalRes::Crash,
+                },
+                _ => None,
+            }
+        }
+    };
+    EvalRes::Val(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TraceRecorder;
+    use softborg_program::gen::{generate, BugKind, GenConfig};
+    use softborg_program::interp::{ExecConfig, Executor, Observer, Outcome};
+    use softborg_program::scenarios;
+    use softborg_program::sched::RandomSched;
+    use softborg_program::syscall::{DefaultEnv, EnvConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Observer that both records a trace and captures the ground-truth
+    /// decision sequence.
+    struct Both {
+        rec: TraceRecorder,
+        path: Vec<(BranchSiteId, bool)>,
+    }
+
+    impl Observer for Both {
+        fn on_branch(&mut self, t: ThreadId, s: BranchSiteId, taken: bool, dep: bool) {
+            self.rec.on_branch(t, s, taken, dep);
+            self.path.push((s, taken));
+        }
+        fn on_schedule(&mut self, t: ThreadId) {
+            self.rec.on_schedule(t);
+        }
+        fn on_syscall(&mut self, t: ThreadId, k: softborg_program::cfg::SyscallKind, a: i64, r: i64) {
+            self.rec.on_syscall(t, k, a, r);
+        }
+        fn on_guard_eval(&mut self, t: ThreadId, loc: Loc, fired: bool) {
+            self.rec.on_guard_eval(t, loc, fired);
+        }
+    }
+
+    fn roundtrip(
+        program: &Program,
+        inputs: &[i64],
+        sched_seed: u64,
+        env: EnvConfig,
+        overlay: &Overlay,
+        policy: RecordingPolicy,
+    ) {
+        let exec = Executor::new(program).with_config(ExecConfig { max_steps: 20_000 });
+        let multi = program.threads.len() > 1;
+        let mut obs = Both {
+            rec: TraceRecorder::new(program.id(), policy, 0, multi),
+            path: Vec::new(),
+        };
+        let mut sched = RandomSched::seeded(sched_seed);
+        let r = exec
+            .run(inputs, &mut DefaultEnv::new(env), &mut sched, overlay, &mut obs)
+            .unwrap();
+        let trace = obs.rec.finish(r.outcome.clone(), r.steps);
+        let got = reconstruct(program, exec.dependence(), overlay, &trace)
+            .unwrap_or_else(|e| panic!("reconstruct failed: {e} (outcome {:?})", r.outcome));
+        assert_eq!(got.decisions, obs.path, "outcome was {:?}", r.outcome);
+    }
+
+    #[test]
+    fn reconstructs_all_scenarios_under_both_exact_policies() {
+        for s in scenarios::all() {
+            let mut rng = SmallRng::seed_from_u64(7);
+            for i in 0..10u64 {
+                let inputs = softborg_program::gen::sample_inputs(
+                    s.program.n_inputs,
+                    s.input_range,
+                    &mut rng,
+                );
+                for policy in [RecordingPolicy::FullBranch, RecordingPolicy::InputDependent] {
+                    roundtrip(
+                        &s.program,
+                        &inputs,
+                        i,
+                        EnvConfig::default(),
+                        &Overlay::empty(),
+                        policy,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_generated_programs_with_bugs() {
+        for seed in 0..20 {
+            let gp = generate(&GenConfig {
+                seed,
+                bugs: vec![BugKind::AssertMagic, BugKind::LockInversion, BugKind::ShortRead],
+                ..GenConfig::default()
+            });
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for i in 0..5u64 {
+                let inputs = gp.sample_inputs(&mut rng);
+                roundtrip(
+                    &gp.program,
+                    &inputs,
+                    seed * 100 + i,
+                    EnvConfig {
+                        short_read_per_mille: 200,
+                        ..EnvConfig::default()
+                    },
+                    &Overlay::empty(),
+                    RecordingPolicy::InputDependent,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_crashing_runs() {
+        let s = scenarios::token_parser();
+        // Bug A trigger.
+        roundtrip(
+            &s.program,
+            &[13, 95, 7, 0, 0, 0],
+            0,
+            EnvConfig::default(),
+            &Overlay::empty(),
+            RecordingPolicy::InputDependent,
+        );
+        // Bug B trigger.
+        roundtrip(
+            &s.program,
+            &[1, 2, 3, 4, 85, 66],
+            0,
+            EnvConfig::default(),
+            &Overlay::empty(),
+            RecordingPolicy::InputDependent,
+        );
+    }
+
+    #[test]
+    fn reconstructs_under_overlay_with_guards_and_gates() {
+        use softborg_program::overlay::{LockGate, SiteGuard, GHOST_LOCK_BASE};
+        // Bank scenario with a deadlock-immunity gate + a guard on the
+        // assert.
+        let s = scenarios::bank_transfer();
+        let mut overlay = Overlay::empty();
+        overlay.lock_gates.push(LockGate {
+            gate: LockId::new(GHOST_LOCK_BASE),
+            locks: [LockId::new(0), LockId::new(1)].into_iter().collect(),
+        });
+        // A guard that never fires (predicate is false) still consumes
+        // guard bits on both sides.
+        overlay.guards.push(SiteGuard {
+            loc: Loc {
+                thread: ThreadId::new(0),
+                block: BlockId::new(0),
+                stmt: 0,
+            },
+            when: Expr::Const(0),
+            action: GuardAction::ExitThread,
+        });
+        for seed in 0..20 {
+            roundtrip(
+                &s.program,
+                &[10, 20],
+                seed,
+                EnvConfig::default(),
+                &overlay,
+                RecordingPolicy::InputDependent,
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_traces_are_rejected_as_inexact() {
+        let s = scenarios::triangle();
+        let trace = ExecutionTrace {
+            program: s.program.id(),
+            policy: RecordingPolicy::Sampled { period: 10, phase: 0 },
+            bits: crate::bitvec::BitVec::new(),
+            guard_bits: crate::bitvec::BitVec::new(),
+            syscall_rets: vec![],
+            schedule: vec![],
+            steps: 0,
+            outcome: Outcome::Success,
+            overlay_version: 0,
+            lock_pairs: vec![],
+            global_summaries: vec![],
+        };
+        let deps = InputDependence::compute(&s.program);
+        let err = reconstruct(&s.program, &deps, &Overlay::empty(), &trace).unwrap_err();
+        assert!(matches!(err, ReconstructError::InexactPolicy(_)));
+    }
+
+    #[test]
+    fn missing_bits_reported_not_panicked() {
+        let s = scenarios::triangle();
+        let trace = ExecutionTrace {
+            program: s.program.id(),
+            policy: RecordingPolicy::InputDependent,
+            bits: crate::bitvec::BitVec::new(), // empty: bits missing
+            guard_bits: crate::bitvec::BitVec::new(),
+            syscall_rets: vec![],
+            schedule: vec![],
+            steps: 100,
+            outcome: Outcome::Success,
+            overlay_version: 0,
+            lock_pairs: vec![],
+            global_summaries: vec![],
+        };
+        let deps = InputDependence::compute(&s.program);
+        let err = reconstruct(&s.program, &deps, &Overlay::empty(), &trace).unwrap_err();
+        assert_eq!(err, ReconstructError::BranchBitsExhausted);
+    }
+}

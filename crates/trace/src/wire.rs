@@ -1,0 +1,450 @@
+//! Compact binary encoding of traces — the bytes that actually cross the
+//! (simulated) network from pod to hive, and the size that experiment E4
+//! charges per execution.
+
+use crate::bitvec::BitVec;
+use crate::record::{ExecutionTrace, RecordingPolicy};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use softborg_program::cfg::Loc;
+use softborg_program::interp::{CrashKind, Outcome};
+use softborg_program::{BlockId, LockId, ProgramId, ThreadId};
+use std::fmt;
+
+/// Encodes a trace into its wire form.
+pub fn encode(t: &ExecutionTrace) -> Bytes {
+    let mut b = BytesMut::with_capacity(64 + t.bits.byte_len() + t.schedule.len() * 2);
+    b.put_u64_le(t.program.0);
+    match t.policy {
+        RecordingPolicy::OutcomeOnly => b.put_u8(0),
+        RecordingPolicy::FullBranch => b.put_u8(1),
+        RecordingPolicy::InputDependent => b.put_u8(2),
+        RecordingPolicy::Sampled { period, phase } => {
+            b.put_u8(3);
+            b.put_u32_le(period);
+            b.put_u32_le(phase);
+        }
+    }
+    put_bits(&mut b, &t.bits);
+    put_bits(&mut b, &t.guard_bits);
+    b.put_u32_le(t.syscall_rets.len() as u32);
+    for r in &t.syscall_rets {
+        b.put_i64_le(*r);
+    }
+    // Schedules are long and runny (round-robin stretches, spin loops):
+    // run-length encode them. Worst case (alternating picks) costs 2x the
+    // raw u16 stream; typical concurrent traces compress 3-20x.
+    let runs = rle_runs(&t.schedule);
+    b.put_u32_le(runs.len() as u32);
+    for (value, count) in runs {
+        b.put_u16_le(value as u16);
+        b.put_u32_le(count);
+    }
+    b.put_u64_le(t.steps);
+    put_outcome(&mut b, &t.outcome);
+    b.put_u64_le(t.overlay_version);
+    b.put_u32_le(t.lock_pairs.len() as u32);
+    for (a, c) in &t.lock_pairs {
+        b.put_u32_le(*a);
+        b.put_u32_le(*c);
+    }
+    b.put_u32_le(t.global_summaries.len() as u32);
+    for g in &t.global_summaries {
+        b.put_u32_le(g.global);
+        b.put_u32_le(g.reader_mask);
+        b.put_u32_le(g.writer_mask);
+        b.put_u32_le(g.lockset.len() as u32);
+        for l in &g.lockset {
+            b.put_u32_le(*l);
+        }
+    }
+    b.freeze()
+}
+
+/// A malformed wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed trace payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decodes a trace from its wire form.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncated or structurally invalid payloads.
+pub fn decode(mut data: Bytes) -> Result<ExecutionTrace, WireError> {
+    let b = &mut data;
+    let program = ProgramId(take_u64(b)?);
+    let policy = match take_u8(b)? {
+        0 => RecordingPolicy::OutcomeOnly,
+        1 => RecordingPolicy::FullBranch,
+        2 => RecordingPolicy::InputDependent,
+        3 => RecordingPolicy::Sampled {
+            period: take_u32(b)?,
+            phase: take_u32(b)?,
+        },
+        _ => return Err(WireError("unknown policy tag")),
+    };
+    let bits = take_bits(b)?;
+    let guard_bits = take_bits(b)?;
+    let n_rets = take_u32(b)? as usize;
+    if b.remaining() < n_rets * 8 {
+        return Err(WireError("truncated syscall returns"));
+    }
+    let syscall_rets = (0..n_rets).map(|_| b.get_i64_le()).collect();
+    let n_runs = take_u32(b)? as usize;
+    if b.remaining() < n_runs * 6 {
+        return Err(WireError("truncated schedule"));
+    }
+    let mut schedule = Vec::new();
+    for _ in 0..n_runs {
+        let value = u32::from(b.get_u16_le());
+        let count = b.get_u32_le() as usize;
+        if count > 16_000_000 || schedule.len() + count > 16_000_000 {
+            return Err(WireError("schedule run too long"));
+        }
+        schedule.extend(std::iter::repeat(value).take(count));
+    }
+    let steps = take_u64(b)?;
+    let outcome = take_outcome(b)?;
+    let overlay_version = take_u64(b)?;
+    let n_pairs = take_u32(b)? as usize;
+    if b.remaining() < n_pairs * 8 {
+        return Err(WireError("truncated lock pairs"));
+    }
+    let lock_pairs = (0..n_pairs)
+        .map(|_| (b.get_u32_le(), b.get_u32_le()))
+        .collect();
+    let n_globals = take_u32(b)? as usize;
+    let mut global_summaries = Vec::with_capacity(n_globals.min(1024));
+    for _ in 0..n_globals {
+        let global = take_u32(b)?;
+        let reader_mask = take_u32(b)?;
+        let writer_mask = take_u32(b)?;
+        let n_locks = take_u32(b)? as usize;
+        if b.remaining() < n_locks * 4 {
+            return Err(WireError("truncated lockset"));
+        }
+        let lockset = (0..n_locks).map(|_| b.get_u32_le()).collect();
+        global_summaries.push(crate::record::GlobalAccessSummary {
+            global,
+            reader_mask,
+            writer_mask,
+            lockset,
+        });
+    }
+    Ok(ExecutionTrace {
+        program,
+        policy,
+        bits,
+        guard_bits,
+        syscall_rets,
+        schedule,
+        steps,
+        outcome,
+        overlay_version,
+        lock_pairs,
+        global_summaries,
+    })
+}
+
+/// Run-length encodes a pick sequence.
+fn rle_runs(schedule: &[u32]) -> Vec<(u32, u32)> {
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &s in schedule {
+        match runs.last_mut() {
+            Some((v, c)) if *v == s => *c += 1,
+            _ => runs.push((s, 1)),
+        }
+    }
+    runs
+}
+
+fn put_bits(b: &mut BytesMut, bits: &BitVec) {
+    b.put_u32_le(bits.len() as u32);
+    b.put_slice(bits.as_bytes());
+}
+
+fn take_bits(b: &mut Bytes) -> Result<BitVec, WireError> {
+    let len = take_u32(b)? as usize;
+    let n_bytes = len.div_ceil(8);
+    if b.remaining() < n_bytes {
+        return Err(WireError("truncated bit vector"));
+    }
+    let bytes = b.copy_to_bytes(n_bytes);
+    BitVec::from_bytes(&bytes, len).ok_or(WireError("bit length mismatch"))
+}
+
+fn put_loc(b: &mut BytesMut, loc: Loc) {
+    b.put_u32_le(loc.thread.0);
+    b.put_u32_le(loc.block.0);
+    b.put_u32_le(loc.stmt);
+}
+
+fn take_loc(b: &mut Bytes) -> Result<Loc, WireError> {
+    Ok(Loc {
+        thread: ThreadId::new(take_u32(b)?),
+        block: BlockId::new(take_u32(b)?),
+        stmt: take_u32(b)?,
+    })
+}
+
+fn put_outcome(b: &mut BytesMut, o: &Outcome) {
+    match o {
+        Outcome::Success => b.put_u8(0),
+        Outcome::Crash { loc, kind } => {
+            b.put_u8(1);
+            put_loc(b, *loc);
+            b.put_u8(match kind {
+                CrashKind::AssertFailed => 0,
+                CrashKind::DivByZero => 1,
+                CrashKind::RemByZero => 2,
+                CrashKind::UnlockNotHeld => 3,
+            });
+        }
+        Outcome::Deadlock { cycle } => {
+            b.put_u8(2);
+            b.put_u32_le(cycle.len() as u32);
+            for (t, l) in cycle {
+                b.put_u32_le(t.0);
+                b.put_u32_le(l.0);
+            }
+        }
+        Outcome::Hang { stuck } => {
+            b.put_u8(3);
+            b.put_u32_le(stuck.len() as u32);
+            for loc in stuck {
+                put_loc(b, *loc);
+            }
+        }
+    }
+}
+
+fn take_outcome(b: &mut Bytes) -> Result<Outcome, WireError> {
+    Ok(match take_u8(b)? {
+        0 => Outcome::Success,
+        1 => {
+            let loc = take_loc(b)?;
+            let kind = match take_u8(b)? {
+                0 => CrashKind::AssertFailed,
+                1 => CrashKind::DivByZero,
+                2 => CrashKind::RemByZero,
+                3 => CrashKind::UnlockNotHeld,
+                _ => return Err(WireError("unknown crash kind")),
+            };
+            Outcome::Crash { loc, kind }
+        }
+        2 => {
+            let n = take_u32(b)? as usize;
+            let mut cycle = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                cycle.push((ThreadId::new(take_u32(b)?), LockId::new(take_u32(b)?)));
+            }
+            Outcome::Deadlock { cycle }
+        }
+        3 => {
+            let n = take_u32(b)? as usize;
+            let mut stuck = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                stuck.push(take_loc(b)?);
+            }
+            Outcome::Hang { stuck }
+        }
+        _ => return Err(WireError("unknown outcome tag")),
+    })
+}
+
+fn take_u8(b: &mut Bytes) -> Result<u8, WireError> {
+    if b.remaining() < 1 {
+        return Err(WireError("truncated u8"));
+    }
+    Ok(b.get_u8())
+}
+
+fn take_u32(b: &mut Bytes) -> Result<u32, WireError> {
+    if b.remaining() < 4 {
+        return Err(WireError("truncated u32"));
+    }
+    Ok(b.get_u32_le())
+}
+
+fn take_u64(b: &mut Bytes) -> Result<u64, WireError> {
+    if b.remaining() < 8 {
+        return Err(WireError("truncated u64"));
+    }
+    Ok(b.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn traces() -> Vec<ExecutionTrace> {
+        vec![
+            ExecutionTrace {
+                program: ProgramId(1),
+                policy: RecordingPolicy::InputDependent,
+                bits: [true, false, true, true].iter().copied().collect(),
+                guard_bits: [false].iter().copied().collect(),
+                syscall_rets: vec![64, -1, 0],
+                schedule: vec![0, 1, 1, 0],
+                steps: 4,
+                outcome: Outcome::Success,
+                overlay_version: 3,
+                lock_pairs: vec![],
+                global_summaries: vec![],
+            },
+            ExecutionTrace {
+                program: ProgramId(u64::MAX),
+                policy: RecordingPolicy::Sampled { period: 97, phase: 5 },
+                bits: BitVec::new(),
+                guard_bits: BitVec::new(),
+                syscall_rets: vec![],
+                schedule: vec![],
+                steps: 0,
+                outcome: Outcome::Crash {
+                    loc: Loc {
+                        thread: ThreadId::new(2),
+                        block: BlockId::new(9),
+                        stmt: 4,
+                    },
+                    kind: CrashKind::DivByZero,
+                },
+                overlay_version: 0,
+                lock_pairs: vec![],
+                global_summaries: vec![],
+            },
+            ExecutionTrace {
+                program: ProgramId(2),
+                policy: RecordingPolicy::FullBranch,
+                bits: (0..100).map(|i| i % 2 == 0).collect(),
+                guard_bits: BitVec::new(),
+                syscall_rets: vec![],
+                schedule: vec![],
+                steps: 500,
+                outcome: Outcome::Deadlock {
+                    cycle: vec![
+                        (ThreadId::new(0), LockId::new(1)),
+                        (ThreadId::new(1), LockId::new(0)),
+                    ],
+                },
+                overlay_version: 1,
+                lock_pairs: vec![],
+                global_summaries: vec![],
+            },
+            ExecutionTrace {
+                program: ProgramId(3),
+                policy: RecordingPolicy::OutcomeOnly,
+                bits: BitVec::new(),
+                guard_bits: BitVec::new(),
+                syscall_rets: vec![],
+                schedule: vec![],
+                steps: 9,
+                outcome: Outcome::Hang {
+                    stuck: vec![Loc {
+                        thread: ThreadId::new(0),
+                        block: BlockId::new(3),
+                        stmt: 0,
+                    }],
+                },
+                overlay_version: 0,
+                lock_pairs: vec![],
+                global_summaries: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for t in traces() {
+            let enc = encode(&t);
+            let dec = decode(enc).unwrap();
+            assert_eq!(t, dec);
+        }
+    }
+
+    #[test]
+    fn truncated_payload_errors_not_panics() {
+        let enc = encode(&traces()[0]);
+        for cut in 0..enc.len() {
+            let r = decode(enc.slice(0..cut));
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn runny_schedules_compress() {
+        let mut runny = traces()[0].clone();
+        runny.schedule = std::iter::repeat(0u32)
+            .take(5_000)
+            .chain(std::iter::repeat(1u32).take(5_000))
+            .collect();
+        let enc = encode(&runny);
+        assert!(
+            enc.len() < 200,
+            "10k-pick two-run schedule should RLE to a few bytes, got {}",
+            enc.len()
+        );
+        assert_eq!(decode(enc).unwrap(), runny);
+    }
+
+    #[test]
+    fn alternating_schedules_still_roundtrip() {
+        let mut alt = traces()[0].clone();
+        alt.schedule = (0..999u32).map(|i| i % 3).collect();
+        assert_eq!(decode(encode(&alt)).unwrap(), alt);
+    }
+
+    #[test]
+    fn absurd_run_lengths_are_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(1); // program
+        b.put_u8(0); // policy OutcomeOnly
+        b.put_u32_le(0); // bits
+        b.put_u32_le(0); // guard bits
+        b.put_u32_le(0); // rets
+        b.put_u32_le(1); // one schedule run...
+        b.put_u16_le(0);
+        b.put_u32_le(u32::MAX); // ...of absurd length
+        assert!(decode(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn garbage_tag_errors() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(1);
+        b.put_u8(77); // bad policy tag
+        assert!(decode(b.freeze()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_random_bits(
+            bits in proptest::collection::vec(any::<bool>(), 0..512),
+            rets in proptest::collection::vec(any::<i64>(), 0..32),
+            sched in proptest::collection::vec(0u32..16, 0..64),
+            steps in any::<u64>(),
+        ) {
+            let t = ExecutionTrace {
+                program: ProgramId(42),
+                policy: RecordingPolicy::FullBranch,
+                bits: bits.iter().copied().collect(),
+                guard_bits: BitVec::new(),
+                syscall_rets: rets,
+                schedule: sched,
+                steps,
+                outcome: Outcome::Success,
+                overlay_version: 0,
+                lock_pairs: vec![],
+                global_summaries: vec![],
+            };
+            prop_assert_eq!(decode(encode(&t)).unwrap(), t);
+        }
+    }
+}

@@ -1,0 +1,748 @@
+//! The collective execution tree (paper §3.2, Figures 2 & 3).
+//!
+//! Every program encodes a decision tree; each execution materializes one
+//! root-to-leaf path. The hive aggregates naturally-occurring paths into
+//! an (incomplete) execution tree: merging a path walks the existing tree
+//! from the root, finds the lowest common ancestor — the first divergence
+//! point — and splices the new suffix in. Because every merged path came
+//! from a real execution, every node is *feasible by construction*; no
+//! constraint solving is needed (the paper's key observation).
+//!
+//! Nodes carry visit and outcome tallies; arms can be marked *infeasible*
+//! by symbolic analysis, which is what lets finite exploration close a
+//! subtree (and ultimately yield a proof, §3.3).
+
+use serde::{Deserialize, Serialize};
+use softborg_program::interp::Outcome;
+use softborg_program::{BranchSiteId, ProgramId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Index of a node in the tree arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root node's id.
+    pub const ROOT: NodeId = NodeId(0);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Counts of execution outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeTally {
+    /// Successful terminations.
+    pub success: u64,
+    /// Crashes.
+    pub crash: u64,
+    /// Deadlocks.
+    pub deadlock: u64,
+    /// Hangs.
+    pub hang: u64,
+}
+
+impl OutcomeTally {
+    /// Adds one outcome.
+    pub fn add(&mut self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Success => self.success += 1,
+            Outcome::Crash { .. } => self.crash += 1,
+            Outcome::Deadlock { .. } => self.deadlock += 1,
+            Outcome::Hang { .. } => self.hang += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &OutcomeTally) {
+        self.success += other.success;
+        self.crash += other.crash;
+        self.deadlock += other.deadlock;
+        self.hang += other.hang;
+    }
+
+    /// Total outcomes counted.
+    pub fn total(&self) -> u64 {
+        self.success + self.crash + self.deadlock + self.hang
+    }
+
+    /// Non-success outcomes counted.
+    pub fn failures(&self) -> u64 {
+        self.crash + self.deadlock + self.hang
+    }
+}
+
+/// One decision edge out of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct EdgeRec {
+    site: BranchSiteId,
+    taken: bool,
+    child: NodeId,
+}
+
+/// A node of the execution tree: the state "after this decision prefix".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Incoming edge (parent, site, taken); `None` for the root.
+    parent: Option<(NodeId, BranchSiteId, bool)>,
+    /// Outgoing decision edges (usually one site with up to two arms;
+    /// thread interleavings can surface different sites at one prefix).
+    edges: Vec<EdgeRec>,
+    /// Arms proven infeasible by symbolic analysis.
+    infeasible: Vec<(BranchSiteId, bool)>,
+    /// Executions that passed through this node.
+    pub visits: u64,
+    /// Executions that *ended* at this node, by outcome.
+    pub terminal: OutcomeTally,
+}
+
+impl Node {
+    fn new(parent: Option<(NodeId, BranchSiteId, bool)>) -> Self {
+        Node {
+            parent,
+            edges: Vec::new(),
+            infeasible: Vec::new(),
+            visits: 0,
+            terminal: OutcomeTally::default(),
+        }
+    }
+
+    /// The child along `(site, taken)`, if explored.
+    pub fn child(&self, site: BranchSiteId, taken: bool) -> Option<NodeId> {
+        self.edges
+            .iter()
+            .find(|e| e.site == site && e.taken == taken)
+            .map(|e| e.child)
+    }
+
+    /// Branch sites observed at this node.
+    pub fn sites(&self) -> Vec<BranchSiteId> {
+        let mut s: Vec<BranchSiteId> = self.edges.iter().map(|e| e.site).collect();
+        s.sort();
+        s.dedup();
+        s
+    }
+
+    /// Whether `(site, taken)` has been proven infeasible here.
+    pub fn is_infeasible(&self, site: BranchSiteId, taken: bool) -> bool {
+        self.infeasible.contains(&(site, taken))
+    }
+
+    /// `true` when at least one execution terminated here.
+    pub fn is_terminal(&self) -> bool {
+        self.terminal.total() > 0
+    }
+}
+
+/// Statistics from one path merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeStats {
+    /// Nodes created by the splice (0 for an already-known path).
+    pub new_nodes: u64,
+    /// Depth at which the path diverged from the tree (the LCA depth).
+    pub lca_depth: u64,
+    /// Total path length merged.
+    pub path_len: u64,
+    /// Whether this exact path (decisions + terminal) was new.
+    pub new_path: bool,
+}
+
+/// An unexplored arm at the tree frontier — a candidate for guidance
+/// (paper §3.3: "identify directions toward which to guide the pods").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontierArm {
+    /// Node with the unexplored arm.
+    pub node: NodeId,
+    /// Branch site whose arm is unexplored.
+    pub site: BranchSiteId,
+    /// The unexplored direction.
+    pub missing_taken: bool,
+    /// Depth of the node.
+    pub depth: u64,
+    /// How many executions reached the node (more visits with the other
+    /// arm only = rarer arm).
+    pub visits: u64,
+}
+
+/// Coverage summary for experiment E2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageStats {
+    /// Total tree nodes.
+    pub nodes: u64,
+    /// Distinct complete paths observed.
+    pub distinct_paths: u64,
+    /// Distinct branch sites seen anywhere in the tree.
+    pub sites_seen: u64,
+    /// Total paths merged (including duplicates).
+    pub paths_merged: u64,
+    /// Unexplored frontier arms.
+    pub frontier_arms: u64,
+    /// Fraction of nodes inside closed (fully explored) subtrees,
+    /// in [0, 1].
+    pub closed_fraction: f64,
+}
+
+/// The collective execution tree. See the [module docs](self).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionTree {
+    program: ProgramId,
+    nodes: Vec<Node>,
+    paths_merged: u64,
+    distinct_paths: u64,
+    path_hashes: HashSet<u64>,
+}
+
+impl ExecutionTree {
+    /// An empty tree for `program`.
+    pub fn new(program: ProgramId) -> Self {
+        ExecutionTree {
+            program,
+            nodes: vec![Node::new(None)],
+            paths_merged: 0,
+            distinct_paths: 0,
+            path_hashes: HashSet::new(),
+        }
+    }
+
+    /// The program this tree describes.
+    pub fn program(&self) -> ProgramId {
+        self.program
+    }
+
+    /// Number of nodes (≥ 1; the root always exists).
+    pub fn node_count(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    /// Total paths merged, including duplicates.
+    pub fn paths_merged(&self) -> u64 {
+        self.paths_merged
+    }
+
+    /// Distinct (path, outcome-class) combinations merged.
+    pub fn distinct_paths(&self) -> u64 {
+        self.distinct_paths
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Merges one execution path (global decision sequence + outcome).
+    ///
+    /// Walks from the root until the first unexplored decision (the LCA of
+    /// the new path and the tree), then splices the remaining suffix as
+    /// fresh nodes — Figure 3 of the paper.
+    pub fn merge_path(&mut self, decisions: &[(BranchSiteId, bool)], outcome: &Outcome) -> MergeStats {
+        self.paths_merged += 1;
+        let mut cur = NodeId::ROOT;
+        let mut new_nodes = 0u64;
+        let mut lca_depth = 0u64;
+        self.nodes[cur.index()].visits += 1;
+        for (depth, (site, taken)) in decisions.iter().enumerate() {
+            match self.nodes[cur.index()].child(*site, *taken) {
+                Some(child) => {
+                    cur = child;
+                    lca_depth = depth as u64 + 1;
+                }
+                None => {
+                    let child = NodeId(self.nodes.len() as u32);
+                    self.nodes.push(Node::new(Some((cur, *site, *taken))));
+                    self.nodes[cur.index()].edges.push(EdgeRec {
+                        site: *site,
+                        taken: *taken,
+                        child,
+                    });
+                    new_nodes += 1;
+                    cur = child;
+                }
+            }
+            self.nodes[cur.index()].visits += 1;
+        }
+        self.nodes[cur.index()].terminal.add(outcome);
+
+        let mut h = DefaultHasher::new();
+        decisions.hash(&mut h);
+        std::mem::discriminant(outcome).hash(&mut h);
+        let new_path = self.path_hashes.insert(h.finish());
+        if new_path {
+            self.distinct_paths += 1;
+        }
+        MergeStats {
+            new_nodes,
+            lca_depth,
+            path_len: decisions.len() as u64,
+            new_path,
+        }
+    }
+
+    /// Marks an arm as proven infeasible (from symbolic analysis).
+    pub fn mark_infeasible(&mut self, node: NodeId, site: BranchSiteId, taken: bool) {
+        let n = &mut self.nodes[node.index()];
+        if !n.infeasible.contains(&(site, taken)) {
+            n.infeasible.push((site, taken));
+        }
+    }
+
+    /// The decision prefix leading to `node` (root-first).
+    pub fn prefix(&self, node: NodeId) -> Vec<(BranchSiteId, bool)> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        while let Some((parent, site, taken)) = self.nodes[cur.index()].parent {
+            out.push((site, taken));
+            cur = parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Depth of a node.
+    pub fn depth(&self, node: NodeId) -> u64 {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some((parent, ..)) = self.nodes[cur.index()].parent {
+            d += 1;
+            cur = parent;
+        }
+        d
+    }
+
+    /// Enumerates unexplored arms: nodes where one direction of an
+    /// observed site has been taken but the other is neither explored nor
+    /// infeasible.
+    pub fn frontier(&self) -> Vec<FrontierArm> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for site in n.sites() {
+                for taken in [false, true] {
+                    if n.child(site, taken).is_none() && !n.is_infeasible(site, taken) {
+                        out.push(FrontierArm {
+                            node: id,
+                            site,
+                            missing_taken: taken,
+                            depth: self.depth(id),
+                            visits: n.visits,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the subtree rooted at `node` is *closed*: every observed
+    /// site has both arms explored-and-closed or infeasible, and leaves
+    /// are genuine terminals. A closed, failure-free subtree is provable
+    /// (paper §3.3).
+    pub fn is_closed(&self, node: NodeId) -> bool {
+        let mut closed = vec![None::<bool>; self.nodes.len()];
+        self.closed_rec(node, &mut closed)
+    }
+
+    /// Iterative post-order closure computation (paths can be tens of
+    /// thousands of decisions deep — hang traces — so recursion would
+    /// overflow the stack).
+    fn closed_rec(&self, root: NodeId, memo: &mut Vec<Option<bool>>) -> bool {
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if memo[node.index()].is_some() {
+                continue;
+            }
+            let n = &self.nodes[node.index()];
+            if n.edges.is_empty() {
+                memo[node.index()] = Some(n.is_terminal());
+                continue;
+            }
+            let sites = n.sites();
+            // Interleaving-divergent nodes (multiple sites) cannot be
+            // declared closed: unseen schedules may surface yet more arms.
+            if sites.len() != 1 {
+                memo[node.index()] = Some(false);
+                continue;
+            }
+            let site = sites[0];
+            if !expanded {
+                stack.push((node, true));
+                for taken in [false, true] {
+                    if !n.is_infeasible(site, taken) {
+                        if let Some(c) = n.child(site, taken) {
+                            stack.push((c, false));
+                        }
+                    }
+                }
+                continue;
+            }
+            let closed = [false, true].into_iter().all(|taken| {
+                if n.is_infeasible(site, taken) {
+                    true
+                } else {
+                    match n.child(site, taken) {
+                        Some(c) => memo[c.index()].unwrap_or(false),
+                        None => false,
+                    }
+                }
+            });
+            memo[node.index()] = Some(closed);
+        }
+        memo[root.index()].unwrap_or(false)
+    }
+
+    /// Fraction of nodes inside closed subtrees.
+    pub fn closed_fraction(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut memo = vec![None::<bool>; self.nodes.len()];
+        let closed_nodes = (0..self.nodes.len())
+            .filter(|i| self.closed_rec(NodeId(*i as u32), &mut memo))
+            .count();
+        closed_nodes as f64 / self.nodes.len() as f64
+    }
+
+    /// Sum of failure outcomes recorded anywhere in the subtree of `node`.
+    pub fn subtree_failures(&self, node: NodeId) -> u64 {
+        let mut sum = 0;
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            let n = &self.nodes[id.index()];
+            sum += n.terminal.failures();
+            stack.extend(n.edges.iter().map(|e| e.child));
+        }
+        sum
+    }
+
+    /// Coverage summary.
+    pub fn coverage(&self) -> CoverageStats {
+        let mut sites: HashSet<BranchSiteId> = HashSet::new();
+        for n in &self.nodes {
+            for e in &n.edges {
+                sites.insert(e.site);
+            }
+        }
+        CoverageStats {
+            nodes: self.node_count(),
+            distinct_paths: self.distinct_paths,
+            sites_seen: sites.len() as u64,
+            paths_merged: self.paths_merged,
+            frontier_arms: self.frontier().len() as u64,
+            closed_fraction: self.closed_fraction(),
+        }
+    }
+
+    /// A structural digest (ignores tallies): two replicas that explored
+    /// the same decision structure agree. Iterative pre-order with
+    /// push/pop markers (trees can be very deep).
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        enum Item {
+            Enter(NodeId),
+            Exit,
+        }
+        let mut stack = vec![Item::Enter(NodeId::ROOT)];
+        while let Some(item) = stack.pop() {
+            match item {
+                Item::Exit => 0xE21Du16.hash(&mut h),
+                Item::Enter(node) => {
+                    let n = &self.nodes[node.index()];
+                    let mut edges: Vec<&EdgeRec> = n.edges.iter().collect();
+                    edges.sort_by_key(|e| (e.site, e.taken));
+                    n.is_terminal().hash(&mut h);
+                    edges.len().hash(&mut h);
+                    stack.push(Item::Exit);
+                    // Push in reverse so traversal visits edges in sorted
+                    // order; hash the labels in sorted order here.
+                    for e in &edges {
+                        (e.site, e.taken).hash(&mut h);
+                    }
+                    for e in edges.into_iter().rev() {
+                        stack.push(Item::Enter(e.child));
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Merges another tree for the same program into this one (used by
+    /// distributed hive synchronization): structure is unioned, tallies
+    /// are summed.
+    pub fn absorb(&mut self, other: &ExecutionTree) {
+        // Iterative pairing walk (deep trees would overflow a recursive
+        // version's stack).
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(NodeId::ROOT, NodeId::ROOT)];
+        while let Some((mine, theirs)) = stack.pop() {
+            let their_node = &other.nodes[theirs.index()];
+            {
+                let n = &mut self.nodes[mine.index()];
+                n.visits += their_node.visits;
+                n.terminal.merge(&their_node.terminal);
+                for inf in &their_node.infeasible {
+                    if !n.infeasible.contains(inf) {
+                        n.infeasible.push(*inf);
+                    }
+                }
+            }
+            for e in their_node.edges.clone() {
+                let child = match self.nodes[mine.index()].child(e.site, e.taken) {
+                    Some(c) => c,
+                    None => {
+                        let c = NodeId(self.nodes.len() as u32);
+                        self.nodes.push(Node::new(Some((mine, e.site, e.taken))));
+                        self.nodes[mine.index()].edges.push(EdgeRec {
+                            site: e.site,
+                            taken: e.taken,
+                            child: c,
+                        });
+                        c
+                    }
+                };
+                stack.push((child, e.child));
+            }
+        }
+        self.paths_merged += other.paths_merged;
+        for h in &other.path_hashes {
+            if self.path_hashes.insert(*h) {
+                self.distinct_paths += 1;
+            }
+        }
+    }
+
+    /// Approximate resident memory of the tree in bytes (experiment E9).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.edges.capacity() * std::mem::size_of::<EdgeRec>()
+                        + n.infeasible.capacity() * std::mem::size_of::<(BranchSiteId, bool)>()
+                })
+                .sum::<usize>()
+            + self.path_hashes.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::cfg::Loc;
+    use softborg_program::interp::CrashKind;
+
+    fn s(i: u32) -> BranchSiteId {
+        BranchSiteId::new(i)
+    }
+
+    fn path(bits: &[(u32, bool)]) -> Vec<(BranchSiteId, bool)> {
+        bits.iter().map(|(i, b)| (s(*i), *b)).collect()
+    }
+
+    fn crash() -> Outcome {
+        Outcome::Crash {
+            loc: Loc::default(),
+            kind: CrashKind::AssertFailed,
+        }
+    }
+
+    #[test]
+    fn empty_tree_has_only_root() {
+        let t = ExecutionTree::new(ProgramId(1));
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.distinct_paths(), 0);
+        assert!(t.frontier().is_empty());
+    }
+
+    #[test]
+    fn first_merge_creates_full_chain() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        let st = t.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
+        assert_eq!(st.new_nodes, 2);
+        assert_eq!(st.lca_depth, 0);
+        assert!(st.new_path);
+        assert_eq!(t.node_count(), 3);
+    }
+
+    #[test]
+    fn lca_splice_shares_prefix() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
+        let st = t.merge_path(&path(&[(0, true), (1, true)]), &Outcome::Success);
+        // Shares the (0,true) edge; only one new node.
+        assert_eq!(st.new_nodes, 1);
+        assert_eq!(st.lca_depth, 1);
+        assert_eq!(t.node_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_path_adds_no_nodes_and_is_not_new() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, false)]), &Outcome::Success);
+        let st = t.merge_path(&path(&[(0, false)]), &Outcome::Success);
+        assert_eq!(st.new_nodes, 0);
+        assert!(!st.new_path);
+        assert_eq!(t.distinct_paths(), 1);
+        assert_eq!(t.paths_merged(), 2);
+    }
+
+    #[test]
+    fn same_path_different_outcome_counts_as_distinct() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, false)]), &Outcome::Success);
+        let st = t.merge_path(&path(&[(0, false)]), &crash());
+        assert!(st.new_path);
+        assert_eq!(t.distinct_paths(), 2);
+        let leaf = t.node(NodeId::ROOT).child(s(0), false).unwrap();
+        assert_eq!(t.node(leaf).terminal.success, 1);
+        assert_eq!(t.node(leaf).terminal.crash, 1);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_structure() {
+        let paths = [
+            path(&[(0, true), (1, true)]),
+            path(&[(0, true), (1, false)]),
+            path(&[(0, false), (2, true)]),
+            path(&[(0, false), (2, false)]),
+        ];
+        let mut a = ExecutionTree::new(ProgramId(1));
+        for p in &paths {
+            a.merge_path(p, &Outcome::Success);
+        }
+        let mut b = ExecutionTree::new(ProgramId(1));
+        for p in paths.iter().rev() {
+            b.merge_path(p, &Outcome::Success);
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.node_count(), b.node_count());
+    }
+
+    #[test]
+    fn frontier_lists_missing_arms() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
+        let f = t.frontier();
+        // Missing: (0,false) at root, (1,true) at depth 1.
+        assert_eq!(f.len(), 2);
+        assert!(f
+            .iter()
+            .any(|a| a.node == NodeId::ROOT && a.site == s(0) && !a.missing_taken));
+        assert!(f.iter().any(|a| a.site == s(1) && a.missing_taken));
+    }
+
+    #[test]
+    fn infeasible_arm_leaves_frontier_and_enables_closure() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        assert!(!t.is_closed(NodeId::ROOT));
+        t.mark_infeasible(NodeId::ROOT, s(0), false);
+        assert!(t.frontier().is_empty());
+        assert!(t.is_closed(NodeId::ROOT));
+    }
+
+    #[test]
+    fn closure_requires_both_arms() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        t.merge_path(&path(&[(0, false)]), &Outcome::Success);
+        assert!(t.is_closed(NodeId::ROOT));
+        assert!((t.closed_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_terminal_leaf_blocks_closure() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        // Merge a path but pretend a longer one later shows the leaf was
+        // not terminal-only: a leaf with no terminal tally cannot close.
+        t.merge_path(&path(&[(0, true), (1, true)]), &Outcome::Success);
+        t.merge_path(&path(&[(0, false)]), &Outcome::Success);
+        // Node after (0,true) has a child and is fine, but its (1,false)
+        // arm is unexplored.
+        assert!(!t.is_closed(NodeId::ROOT));
+    }
+
+    #[test]
+    fn multi_site_nodes_never_close() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        // Two different interleavings surface different sites first.
+        t.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        t.merge_path(&path(&[(0, false)]), &Outcome::Success);
+        t.merge_path(&path(&[(5, true)]), &Outcome::Success);
+        t.merge_path(&path(&[(5, false)]), &Outcome::Success);
+        assert!(!t.is_closed(NodeId::ROOT));
+    }
+
+    #[test]
+    fn prefix_and_depth_walk_parents() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, true), (3, false), (7, true)]), &Outcome::Success);
+        let n1 = t.node(NodeId::ROOT).child(s(0), true).unwrap();
+        let n2 = t.node(n1).child(s(3), false).unwrap();
+        let n3 = t.node(n2).child(s(7), true).unwrap();
+        assert_eq!(t.depth(n3), 3);
+        assert_eq!(t.prefix(n3), path(&[(0, true), (3, false), (7, true)]));
+    }
+
+    #[test]
+    fn subtree_failures_sums_descendants() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, true), (1, true)]), &crash());
+        t.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
+        t.merge_path(&path(&[(0, false)]), &crash());
+        assert_eq!(t.subtree_failures(NodeId::ROOT), 2);
+        let right = t.node(NodeId::ROOT).child(s(0), true).unwrap();
+        assert_eq!(t.subtree_failures(right), 1);
+    }
+
+    #[test]
+    fn absorb_unions_structure_and_sums_tallies() {
+        let mut a = ExecutionTree::new(ProgramId(1));
+        a.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        let mut b = ExecutionTree::new(ProgramId(1));
+        b.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        b.merge_path(&path(&[(0, false)]), &crash());
+        a.absorb(&b);
+        assert_eq!(a.node_count(), 3);
+        assert_eq!(a.paths_merged(), 3);
+        assert_eq!(a.distinct_paths(), 2);
+        let left = a.node(NodeId::ROOT).child(s(0), true).unwrap();
+        assert_eq!(a.node(left).terminal.success, 2);
+    }
+
+    #[test]
+    fn absorb_is_idempotent_on_structure() {
+        let mut a = ExecutionTree::new(ProgramId(1));
+        a.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
+        let snapshot = a.clone();
+        a.absorb(&snapshot);
+        assert_eq!(a.digest(), snapshot.digest());
+        assert_eq!(a.node_count(), snapshot.node_count());
+    }
+
+    #[test]
+    fn coverage_stats_are_consistent() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        t.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
+        t.merge_path(&path(&[(0, false)]), &crash());
+        let c = t.coverage();
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.distinct_paths, 2);
+        assert_eq!(c.sites_seen, 2);
+        assert_eq!(c.paths_merged, 2);
+        assert_eq!(c.frontier_arms, 1); // (1,true)
+        assert!(c.closed_fraction > 0.0 && c.closed_fraction < 1.0);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_nodes() {
+        let mut t = ExecutionTree::new(ProgramId(1));
+        let before = t.approx_bytes();
+        for i in 0..100u32 {
+            t.merge_path(&path(&[(0, true), (i + 1, i % 2 == 0)]), &Outcome::Success);
+        }
+        assert!(t.approx_bytes() > before);
+    }
+}

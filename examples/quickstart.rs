@@ -1,0 +1,67 @@
+//! Quickstart: the whole SoftBorg loop on one buggy program, in ~40 lines
+//! of driving code.
+//!
+//! A population of pods runs a token parser with two rare crash bugs; the
+//! hive aggregates their execution by-products, diagnoses the crashes,
+//! synthesizes guard fixes, validates them in the repair lab, and
+//! distributes them — and the population failure rate collapses.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use softborg::platform::{Platform, PlatformConfig};
+use softborg::pod::PodConfig;
+use softborg::program::scenarios;
+
+fn main() {
+    let scenario = scenarios::token_parser();
+    println!("program: {} ({} known bugs)", scenario.name, scenario.bugs.len());
+    for bug in &scenario.bugs {
+        println!("  - {}", bug.description);
+    }
+
+    let mut platform = Platform::new(
+        &scenario.program,
+        PlatformConfig {
+            n_pods: 40,
+            pod: PodConfig {
+                input_range: scenario.input_range,
+                ..PodConfig::default()
+            },
+            seed: 2026,
+            ..PlatformConfig::default()
+        },
+    );
+
+    println!("\nround  execs  failures  rate/10k  fixes  overlay  paths  proofs");
+    println!("-----------------------------------------------------------------");
+    for _ in 0..8 {
+        let r = platform.round(25);
+        println!(
+            "{:>5}  {:>5}  {:>8}  {:>8.1}  {:>5}  {:>7}  {:>5}  {:>6}",
+            r.round,
+            r.executions,
+            r.failures,
+            r.failure_rate_per_10k,
+            r.fixes_promoted,
+            r.overlay_version,
+            r.coverage.distinct_paths,
+            r.proofs
+        );
+    }
+
+    println!("\ndiagnosed failure modes:");
+    for mode in platform.diagnosed_modes() {
+        println!("  {mode}");
+    }
+    let (overlay, version) = platform.hive().current_overlay();
+    println!(
+        "\ndistributed overlay v{version}: {} rule(s) — {}",
+        overlay.rule_count(),
+        if overlay.is_empty() { "(none)" } else { &overlay.name }
+    );
+    let last = platform.history().last().expect("ran rounds");
+    println!(
+        "\nfinal round failure rate: {:.1}/10k (started bug-dense, self-healed)",
+        last.failure_rate_per_10k
+    );
+}

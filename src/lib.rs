@@ -1,0 +1,3 @@
+//! Meta-crate for the SoftBorg reproduction workspace: hosts the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/`. All functionality lives in the `softborg-*` crates.

@@ -1,0 +1,213 @@
+//! Cross-crate tests of the proof system and guidance loop.
+
+use softborg::platform::{Platform, PlatformConfig};
+use softborg::pod::PodConfig;
+use softborg_guidance::PlannerConfig;
+use softborg_hive::{assemble, verify, HiveConfig, ProofError};
+use softborg_program::scenarios;
+use softborg_symex::{InputBox, SymConfig};
+
+fn triangle_platform(seed: u64) -> (softborg_program::scenarios::Scenario, PlatformConfig) {
+    let s = scenarios::triangle();
+    let cfg = PlatformConfig {
+        n_pods: 15,
+        pod: PodConfig {
+            input_range: s.input_range,
+            ..PodConfig::default()
+        },
+        hive: HiveConfig {
+            planner: PlannerConfig {
+                sym: SymConfig {
+                    input_box: InputBox::uniform(3, 1, 20),
+                    ..SymConfig::default()
+                },
+                max_targets: 64,
+                ..PlannerConfig::default()
+            },
+            ..HiveConfig::default()
+        },
+        seed,
+        ..PlatformConfig::default()
+    };
+    (s, cfg)
+}
+
+#[test]
+fn whole_program_proof_emerges_and_verifies() {
+    let (s, cfg) = triangle_platform(4);
+    let mut platform = Platform::new(&s.program, cfg);
+    let mut whole = None;
+    for _ in 0..30 {
+        platform.round(20);
+        if let Some(c) = platform
+            .hive()
+            .proofs()
+            .into_iter()
+            .find(|c| c.is_whole_program())
+        {
+            whole = Some(c);
+            break;
+        }
+    }
+    let cert = whole.expect("triangle proves out within 30 rounds");
+    verify(&cert, platform.hive().tree()).expect("certificate verifies");
+    assert_eq!(cert.program, s.program.id());
+    assert!(cert.visits > 0);
+}
+
+#[test]
+fn forged_certificates_are_rejected() {
+    let (s, cfg) = triangle_platform(5);
+    let mut platform = Platform::new(&s.program, cfg);
+    platform.run(10, 20);
+    let certs = platform.hive().proofs();
+    if certs.is_empty() {
+        return; // nothing proven yet; the other test covers emergence
+    }
+    let mut forged = certs[0].clone();
+    forged.tree_digest ^= 1;
+    assert_eq!(
+        verify(&forged, platform.hive().tree()),
+        Err(ProofError::DigestMismatch)
+    );
+    let mut wrong_prog = certs[0].clone();
+    wrong_prog.program = softborg_program::ProgramId(0xdead);
+    assert_eq!(
+        verify(&wrong_prog, platform.hive().tree()),
+        Err(ProofError::WrongProgram)
+    );
+}
+
+#[test]
+fn buggy_programs_never_get_whole_program_proofs() {
+    // Run the parser loop long enough for fixes to land; even then no
+    // whole-program no-failure proof may be published because the tree
+    // recorded real failures.
+    let s = scenarios::token_parser();
+    let mut platform = Platform::new(
+        &s.program,
+        PlatformConfig {
+            n_pods: 25,
+            pod: PodConfig {
+                input_range: s.input_range,
+                ..PodConfig::default()
+            },
+            seed: 6,
+            ..PlatformConfig::default()
+        },
+    );
+    platform.run(8, 25);
+    let total_failures: u64 = platform.history().iter().map(|r| r.failures).sum();
+    assert!(total_failures > 0, "parser must have failed at least once");
+    for cert in platform.hive().proofs() {
+        assert!(
+            !cert.is_whole_program(),
+            "whole-program proof over a program with recorded failures"
+        );
+        // Each published subtree proof still verifies.
+        verify(&cert, platform.hive().tree()).expect("subtree proof verifies");
+    }
+}
+
+#[test]
+fn infeasibility_marks_are_sound_on_triangle() {
+    // Every arm the planner marks infeasible must truly be unreachable:
+    // exhaustively execute the full input cube and confirm no execution
+    // takes a marked arm.
+    use softborg_bench_helpers::exhaustive_paths;
+    mod softborg_bench_helpers {
+        use softborg_program::interp::{Executor, Observer};
+        use softborg_program::{BranchSiteId, Program, ThreadId};
+        #[derive(Default)]
+        struct Obs(Vec<(BranchSiteId, bool)>);
+        impl Observer for Obs {
+            fn on_branch(&mut self, _t: ThreadId, s: BranchSiteId, tk: bool, _d: bool) {
+                self.0.push((s, tk));
+            }
+        }
+        pub fn exhaustive_paths(program: &Program) -> Vec<Vec<(BranchSiteId, bool)>> {
+            let exec = Executor::new(program);
+            let mut out = Vec::new();
+            for a in 1..=20 {
+                for b in 1..=20 {
+                    for c in 1..=20 {
+                        let mut obs = Obs::default();
+                        exec.run(
+                            &[a, b, c],
+                            &mut softborg_program::syscall::DefaultEnv::seeded(0),
+                            &mut softborg_program::sched::RoundRobin::new(),
+                            &softborg_program::Overlay::empty(),
+                            &mut obs,
+                        )
+                        .expect("arity");
+                        out.push(obs.0);
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    let (s, cfg) = triangle_platform(7);
+    let mut platform = Platform::new(&s.program, cfg);
+    platform.run(12, 20);
+    let tree = platform.hive().tree();
+    // Collect marked-infeasible arms with their prefixes.
+    let mut marked = Vec::new();
+    for i in 0..tree.node_count() {
+        let id = softborg_tree::NodeId(i as u32);
+        let node = tree.node(id);
+        for site in node.sites() {
+            for taken in [false, true] {
+                if node.is_infeasible(site, taken) {
+                    let mut prefix = tree.prefix(id);
+                    prefix.push((site, taken));
+                    marked.push(prefix);
+                }
+            }
+        }
+    }
+    if marked.is_empty() {
+        return; // natural exploration covered everything this seed
+    }
+    let all_paths = exhaustive_paths(&s.program);
+    for m in &marked {
+        assert!(
+            !all_paths.iter().any(|p| p.starts_with(m)),
+            "arm marked infeasible but reachable: {m:?}"
+        );
+    }
+    // The assembled proofs must also verify after all that marking.
+    for cert in assemble(tree) {
+        verify(&cert, tree).expect("verifies");
+    }
+}
+
+#[test]
+fn guided_platform_dominates_natural_on_frontier_shrinkage() {
+    let s = scenarios::token_parser();
+    let frontier_after = |guidance: bool, seed: u64| {
+        let mut p = Platform::new(
+            &s.program,
+            PlatformConfig {
+                n_pods: 20,
+                pod: PodConfig {
+                    input_range: s.input_range,
+                    ..PodConfig::default()
+                },
+                seed,
+                fixes_enabled: false,
+                guidance_enabled: guidance,
+                ..PlatformConfig::default()
+            },
+        );
+        p.run(5, 10);
+        p.hive().coverage().frontier_arms
+    };
+    let guided = frontier_after(true, 11);
+    let natural = frontier_after(false, 11);
+    assert!(
+        guided <= natural,
+        "guidance must not leave a larger frontier: {guided} vs {natural}"
+    );
+}
