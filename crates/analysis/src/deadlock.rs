@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn max_len_bounds_search() {
         let mut g = LockOrderGraph::new();
-        g.ingest(&trace_with_pairs(vec![(0, 1), (1, 2), (2, 3), (3, 0)], false));
+        g.ingest(&trace_with_pairs(
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            false,
+        ));
         assert!(g.cycles(3).is_empty(), "4-cycle invisible at max_len 3");
         assert_eq!(g.cycles(4).len(), 1);
     }

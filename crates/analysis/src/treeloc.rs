@@ -12,8 +12,8 @@ use serde::{Deserialize, Serialize};
 use softborg_program::cfg::Loc;
 use softborg_program::interp::{CrashKind, Outcome};
 use softborg_program::{BranchSiteId, LockId};
-use softborg_tree::{ExecutionTree, NodeId};
 use softborg_trace::ExecutionTrace;
+use softborg_tree::{ExecutionTree, NodeId};
 use std::collections::BTreeMap;
 
 /// One diagnosed failure mode.

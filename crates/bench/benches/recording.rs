@@ -78,7 +78,7 @@ fn bench_recording(c: &mut Criterion) {
     group.bench_function("wire_encode", |b| b.iter(|| wire::encode(&trace)));
     let encoded = wire::encode(&trace);
     group.bench_function("wire_decode", |b| {
-        b.iter(|| wire::decode(encoded.clone()).expect("valid"))
+        b.iter(|| wire::decode(&encoded).expect("valid"))
     });
     group.finish();
 }

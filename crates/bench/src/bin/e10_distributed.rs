@@ -51,14 +51,8 @@ fn main() {
         println!(
             "{}{}{}{}{}",
             cell(format!("{:.0}", loss as f64 / 10.0), 6),
-            cell(
-                format!("{st_ms:.0}{}", if st_ok { "" } else { "*" }),
-                11
-            ),
-            cell(
-                format!("{dy_ms:.0}{}", if dy_ok { "" } else { "*" }),
-                10
-            ),
+            cell(format!("{st_ms:.0}{}", if st_ok { "" } else { "*" }), 11),
+            cell(format!("{dy_ms:.0}{}", if dy_ok { "" } else { "*" }), 10),
             cell(st_dup, 11),
             cell(dy_dup, 9)
         );
@@ -85,14 +79,8 @@ fn main() {
         println!(
             "{}{}{}{}{}",
             cell(k, 6),
-            cell(
-                format!("{st_ms:.0}{}", if st_ok { "" } else { "*" }),
-                11
-            ),
-            cell(
-                format!("{dy_ms:.0}{}", if dy_ok { "" } else { "*" }),
-                10
-            ),
+            cell(format!("{st_ms:.0}{}", if st_ok { "" } else { "*" }), 11),
+            cell(format!("{dy_ms:.0}{}", if dy_ok { "" } else { "*" }), 10),
             cell(st_dup, 11),
             cell(dy_dup, 9)
         );

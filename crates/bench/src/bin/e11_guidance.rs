@@ -22,11 +22,7 @@ struct Outcomes {
     modes_found: usize,
 }
 
-fn run_until(
-    s: &softborg_program::scenarios::Scenario,
-    guided: bool,
-    max_rounds: u32,
-) -> Outcomes {
+fn run_until(s: &softborg_program::scenarios::Scenario, guided: bool, max_rounds: u32) -> Outcomes {
     let n_inputs = s.program.n_inputs;
     let mut platform = Platform::new(
         &s.program,

@@ -43,10 +43,16 @@ fn simulate(strategy: Strategy, seed: u64, rounds: u32, budget: u32) -> f64 {
     //   B: volatile jackpot     (μ = 8.0, high variance)
     //   C: volatile jackpot #2  (μ = 7.5, high variance, independent)
     //   D: dud                  (μ = 1.0)
-    let subtrees = vec![
+    let subtrees = [
         Subtree { p: 0.95, rate: 8.0 },
-        Subtree { p: 0.25, rate: 32.0 },
-        Subtree { p: 0.25, rate: 30.0 },
+        Subtree {
+            p: 0.25,
+            rate: 32.0,
+        },
+        Subtree {
+            p: 0.25,
+            rate: 30.0,
+        },
         Subtree { p: 0.50, rate: 2.0 },
     ];
     let mut stats: Vec<ReturnStats> = (0..subtrees.len()).map(|_| ReturnStats::new()).collect();
@@ -109,8 +115,8 @@ fn main() {
     for (name, s) in strategies {
         let samples: Vec<f64> = (0..100).map(|seed| simulate(s, seed, 20, 20)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         let std = var.sqrt();
         let worst = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         println!(

@@ -8,9 +8,9 @@ use softborg_fix::{deadlock_immunity, validate, LabConfig, TestCase, Verdict};
 use softborg_program::gen::{generate, BugKind, GenConfig};
 use softborg_program::interp::{ExecConfig, Executor, NopObserver, Outcome};
 use softborg_program::overlay::Overlay;
+use softborg_program::scenarios;
 use softborg_program::sched::RandomSched;
 use softborg_program::syscall::{DefaultEnv, EnvConfig};
-use softborg_program::scenarios;
 use softborg_trace::{RecordingPolicy, TraceRecorder};
 
 struct Workload {
@@ -53,7 +53,12 @@ fn workloads() -> Vec<Workload> {
     out
 }
 
-fn deadlock_rate(program: &softborg_program::Program, inputs: &[i64], overlay: &Overlay, n: u64) -> (u64, u64) {
+fn deadlock_rate(
+    program: &softborg_program::Program,
+    inputs: &[i64],
+    overlay: &Overlay,
+    n: u64,
+) -> (u64, u64) {
     let exec = Executor::new(program).with_config(ExecConfig { max_steps: 50_000 });
     let mut deadlocks = 0;
     for seed in 0..n {
@@ -155,7 +160,12 @@ fn main() {
             )
         );
         assert_eq!(after, 0, "{}: gate failed to remove the deadlock", w.name);
-        assert_ne!(validation.verdict, Verdict::Reject, "{}: lab rejected", w.name);
+        assert_ne!(
+            validation.verdict,
+            Verdict::Reject,
+            "{}: lab rejected",
+            w.name
+        );
     }
     println!("\nexpected shape: recurrence drops from a sizable fraction of");
     println!("schedules to exactly 0/{n} after the gate, with 100% of passing");

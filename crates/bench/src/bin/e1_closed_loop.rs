@@ -96,12 +96,7 @@ fn main() {
     let mut ratios = Vec::new();
     for w in corpus() {
         println!("\nprogram: {}", w.name);
-        table_header(&[
-            ("round", 5),
-            ("off/10k", 10),
-            ("on/10k", 10),
-            ("fixes", 6),
-        ]);
+        table_header(&[("round", 5), ("off/10k", 10), ("on/10k", 10), ("fixes", 6)]);
         let off = run_arm(&w, false, rounds, execs);
         let on = run_arm(&w, true, rounds, execs);
         for ((r, off_rate, _), (_, on_rate, fixes)) in off.iter().zip(on.iter()) {
@@ -114,9 +109,8 @@ fn main() {
             );
         }
         // Steady-state comparison: mean of the last 3 rounds.
-        let tail = |v: &[(u64, f64, u64)]| {
-            v.iter().rev().take(3).map(|(_, r, _)| *r).sum::<f64>() / 3.0
-        };
+        let tail =
+            |v: &[(u64, f64, u64)]| v.iter().rev().take(3).map(|(_, r, _)| *r).sum::<f64>() / 3.0;
         let off_tail = tail(&off);
         let on_tail = tail(&on);
         let reduction = if on_tail > 0.0 {

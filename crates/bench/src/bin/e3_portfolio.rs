@@ -47,13 +47,14 @@ fn main() {
     let mut best_speedups: Vec<f64> = Vec::new();
     for inst in &suite {
         let singles = run_each(&inst.cnf, &configs, Budget::unlimited());
-        assert!(outcomes_agree(&singles), "solver disagreement on {}", inst.name);
+        assert!(
+            outcomes_agree(&singles),
+            "solver disagreement on {}",
+            inst.name
+        );
         let raced = race(&inst.cnf, &configs, Budget::unlimited());
         let port_ms = raced.wall.as_secs_f64() * 1e3;
-        let single_ms: Vec<f64> = singles
-            .iter()
-            .map(|m| m.wall.as_secs_f64() * 1e3)
-            .collect();
+        let single_ms: Vec<f64> = singles.iter().map(|m| m.wall.as_secs_f64() * 1e3).collect();
         println!(
             "{}{}{}{}{}{}{}",
             cell(&inst.name, 16),

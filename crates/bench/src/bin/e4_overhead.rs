@@ -141,8 +141,7 @@ fn main() {
             bytes += wire::encode(&trace).len() as u64;
         }
         let wall = t0.elapsed();
-        let overhead =
-            (wall.as_secs_f64() - base.as_secs_f64()) / base.as_secs_f64() * 100.0;
+        let overhead = (wall.as_secs_f64() - base.as_secs_f64()) / base.as_secs_f64() * 100.0;
         println!(
             "{}{}{}{}{}{}",
             cell(name, 18),

@@ -78,17 +78,14 @@ fn main() {
     ];
     for level in levels {
         let released: Vec<_> = raw_traces.iter().map(|t| level.apply(t)).collect();
-        let info: usize =
-            released.iter().map(information_bits).sum::<usize>() / released.len();
+        let info: usize = released.iter().map(information_bits).sum::<usize>() / released.len();
         let bucketable = released.iter().filter(|t| t.is_failure()).count() as f64
             / crashes.max(1) as f64
             * 100.0;
         let mut tree = ExecutionTree::new(program.id());
         let mut reconstructed = 0usize;
         for t in &released {
-            if let Ok(p) =
-                reconstruct(&program, &deps, &softborg_program::Overlay::empty(), t)
-            {
+            if let Ok(p) = reconstruct(&program, &deps, &softborg_program::Overlay::empty(), t) {
                 tree.merge_path(&p.decisions, &t.outcome);
                 reconstructed += 1;
             }
@@ -124,10 +121,7 @@ fn main() {
             "{}{}{}",
             cell(k, 4),
             cell(
-                format!(
-                    "{:.0}",
-                    kept.len() as f64 / raw_traces.len() as f64 * 100.0
-                ),
+                format!("{:.0}", kept.len() as f64 / raw_traces.len() as f64 * 100.0),
                 10
             ),
             cell(kept_crashes, 18)

@@ -89,12 +89,8 @@ fn main() {
                 sample_inputs(w.program.n_inputs, w.range, &mut rng)
             };
             // Execute once; all three consumers share the same run.
-            let mut rec = TraceRecorder::new(
-                w.program.id(),
-                RecordingPolicy::InputDependent,
-                0,
-                false,
-            );
+            let mut rec =
+                TraceRecorder::new(w.program.id(), RecordingPolicy::InputDependent, 0, false);
             let r = softborg_program::interp::Executor::new(&w.program)
                 .run(
                     &inputs,
@@ -109,9 +105,12 @@ fn main() {
 
             // SoftBorg: reconstruct + merge + ledger.
             if sb_at.is_none() {
-                if let Ok(p) =
-                    reconstruct(&w.program, &deps, &softborg_program::Overlay::empty(), &trace)
-                {
+                if let Ok(p) = reconstruct(
+                    &w.program,
+                    &deps,
+                    &softborg_program::Overlay::empty(),
+                    &trace,
+                ) {
                     tree.merge_path(&p.decisions, &trace.outcome);
                 }
                 ledger.ingest(&trace);
@@ -131,9 +130,14 @@ fn main() {
                 let (path, _) = (
                     // reuse the reconstructed path when possible; cheap
                     // re-derivation otherwise
-                    reconstruct(&w.program, &deps, &softborg_program::Overlay::empty(), &trace)
-                        .map(|p| p.decisions)
-                        .unwrap_or_default(),
+                    reconstruct(
+                        &w.program,
+                        &deps,
+                        &softborg_program::Overlay::empty(),
+                        &trace,
+                    )
+                    .map(|p| p.decisions)
+                    .unwrap_or_default(),
                     (),
                 );
                 cbi.ingest(&sample_path(&path, failed, 100, i));

@@ -54,15 +54,9 @@ fn main() {
             println!(
                 "{}{}{}{}{}{}",
                 cell(i + 1, 8),
-                cell(
-                    format!("{:.1}", natural.closed_fraction() * 100.0),
-                    12
-                ),
+                cell(format!("{:.1}", natural.closed_fraction() * 100.0), 12),
                 cell(nat_certs.len(), 11),
-                cell(
-                    format!("{:.1}", symbolic.closed_fraction() * 100.0),
-                    12
-                ),
+                cell(format!("{:.1}", symbolic.closed_fraction() * 100.0), 12),
                 cell(sym_certs.len(), 11),
                 cell(if whole { "YES" } else { "no" }, 8)
             );
@@ -71,7 +65,10 @@ fn main() {
                 for c in sym_certs {
                     softborg_hive::verify(&c, &symbolic).expect("certificate verifies");
                 }
-                println!("\nwhole-program proof published and verified after {} executions", i + 1);
+                println!(
+                    "\nwhole-program proof published and verified after {} executions",
+                    i + 1
+                );
                 break;
             }
             checkpoint *= 2;

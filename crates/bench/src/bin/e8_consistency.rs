@@ -13,10 +13,12 @@
 
 use softborg_bench::{banner, cell, table_header};
 use softborg_program::builder::ProgramBuilder;
-use softborg_program::expr::{BinOp, Expr};
 use softborg_program::cfg::{global, local};
+use softborg_program::expr::{BinOp, Expr};
 use softborg_program::ThreadId;
-use softborg_symex::{explore, Consistency, Feasibility, InputBox, SolveBudget, SymConfig, SymOutcome};
+use softborg_symex::{
+    explore, Consistency, Feasibility, InputBox, SolveBudget, SymConfig, SymOutcome,
+};
 
 /// Unit-in-system: thread 1 writes g0 in 0..=5; thread 0 (the unit)
 /// crashes when g0 == 3 and in0 == 77; a second "impossible" assert
@@ -154,8 +156,10 @@ fn main() {
         .iter()
         .filter(|p| p.outcome == SymOutcome::Truncated)
         .count();
-    println!("\nrelaxed exploration detail: {} forks, {} pruned, {} truncated",
-        relaxed.stats.forks, relaxed.stats.pruned, truncated);
+    println!(
+        "\nrelaxed exploration detail: {} forks, {} pruned, {} truncated",
+        relaxed.stats.forks, relaxed.stats.pruned, truncated
+    );
     println!("\nexpected shape: the relaxed unit analysis finds the real bug");
     println!("with a handful of symbolic paths (vs ~thousands of concrete");
     println!("whole-system executions: the trigger needs g0==3 AND in0==77),");

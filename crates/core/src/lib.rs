@@ -57,12 +57,13 @@
 
 pub mod platform;
 
-pub use platform::{Platform, PlatformConfig, RoundReport};
+pub use platform::{IngestSettings, Platform, PlatformConfig, RoundReport};
 
 pub use softborg_analysis as analysis;
 pub use softborg_fix as fix;
 pub use softborg_guidance as guidance;
 pub use softborg_hive as hive;
+pub use softborg_ingest as ingest;
 pub use softborg_netsim as netsim;
 pub use softborg_pod as pod;
 pub use softborg_program as program;

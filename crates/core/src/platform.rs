@@ -14,8 +14,10 @@ use serde::{Deserialize, Serialize};
 use softborg_fix::{rank, LabConfig, TestCase, Verdict};
 use softborg_guidance::Directive;
 use softborg_hive::{diagnosis_signature, outcome_signature, Hive, HiveConfig};
+use softborg_ingest::{IngestConfig, IngestStats};
 use softborg_pod::{Pod, PodConfig};
 use softborg_program::Program;
+use softborg_trace::wire;
 use softborg_tree::CoverageStats;
 
 /// Platform configuration.
@@ -37,6 +39,36 @@ pub struct PlatformConfig {
     /// Passing cases required before a *predicted* (zero-failing-case)
     /// deadlock fix may be distributed on preservation evidence alone.
     pub min_preservation_cases: usize,
+    /// How round executions report into the hive.
+    pub ingest: IngestSettings,
+}
+
+/// How a round's executions flow into the hive.
+#[derive(Debug, Clone)]
+pub struct IngestSettings {
+    /// `true`: pods run on scoped threads and report through the staged
+    /// ingest pipeline (wire-encoded batch frames, decode+reconstruct
+    /// worker pool, ordered merger). `false`: the original serial loop.
+    /// Both produce byte-identical hive state.
+    pub pipelined: bool,
+    /// Threads executing pods (pods are partitioned into contiguous
+    /// chunks, one per thread).
+    pub pod_threads: usize,
+    /// Traces bundled per batch frame.
+    pub batch_size: usize,
+    /// Pipeline tuning (workers, queue bounds, backpressure, memo).
+    pub pipeline: IngestConfig,
+}
+
+impl Default for IngestSettings {
+    fn default() -> Self {
+        IngestSettings {
+            pipelined: true,
+            pod_threads: 2,
+            batch_size: 32,
+            pipeline: IngestConfig::default(),
+        }
+    }
 }
 
 impl Default for PlatformConfig {
@@ -49,6 +81,7 @@ impl Default for PlatformConfig {
             fixes_enabled: true,
             guidance_enabled: true,
             min_preservation_cases: 5,
+            ingest: IngestSettings::default(),
         }
     }
 }
@@ -85,6 +118,7 @@ pub struct Platform<'p> {
     config: PlatformConfig,
     round_idx: u64,
     history: Vec<RoundReport>,
+    last_ingest: Option<IngestStats>,
 }
 
 impl<'p> Platform<'p> {
@@ -107,6 +141,7 @@ impl<'p> Platform<'p> {
             program,
             round_idx: 0,
             history: Vec::new(),
+            last_ingest: None,
         }
     }
 
@@ -139,22 +174,11 @@ impl<'p> Platform<'p> {
         }
 
         // 2. Execute and ingest.
-        let mut executions = 0u64;
-        let mut failures = 0u64;
-        let mut directed = 0u64;
-        for pod in &mut self.pods {
-            for _ in 0..execs_per_pod {
-                let run = pod.run_once();
-                executions += 1;
-                if run.result.outcome.is_failure() {
-                    failures += 1;
-                }
-                if run.directed {
-                    directed += 1;
-                }
-                self.hive.ingest(&run.trace);
-            }
-        }
+        let (executions, failures, directed) = if self.config.ingest.pipelined {
+            self.execute_pipelined(execs_per_pod)
+        } else {
+            self.execute_serial(execs_per_pod)
+        };
 
         // 3. Fix pipeline.
         let mut fixes_promoted = 0u64;
@@ -177,8 +201,8 @@ impl<'p> Platform<'p> {
                     .pods
                     .iter()
                     .flat_map(|p| p.passing_cases())
-                    .cloned()
                     .take(32)
+                    .cloned()
                     .collect();
                 let (base, _) = self.hive.current_overlay();
                 let ranked = rank(
@@ -222,8 +246,7 @@ impl<'p> Platform<'p> {
                     match d {
                         Directive::InputSeed { .. } => {
                             for k in 0..3usize {
-                                self.pods[(i * 3 + k) % n]
-                                    .receive_guidance([d.clone()]);
+                                self.pods[(i * 3 + k) % n].receive_guidance([d.clone()]);
                             }
                         }
                         other => {
@@ -253,6 +276,94 @@ impl<'p> Platform<'p> {
         self.round_idx += 1;
         self.history.push(report.clone());
         report
+    }
+
+    /// The original serial loop: run, ingest, repeat.
+    fn execute_serial(&mut self, execs_per_pod: u32) -> (u64, u64, u64) {
+        let (mut executions, mut failures, mut directed) = (0u64, 0u64, 0u64);
+        for pod in &mut self.pods {
+            for _ in 0..execs_per_pod {
+                let run = pod.run_once();
+                executions += 1;
+                if run.result.outcome.is_failure() {
+                    failures += 1;
+                }
+                if run.directed {
+                    directed += 1;
+                }
+                self.hive.ingest(&run.trace);
+            }
+        }
+        (executions, failures, directed)
+    }
+
+    /// Pods run on scoped threads and report wire-encoded batch frames
+    /// into the hive's staged ingest pipeline while it decodes,
+    /// reconstructs, and merges concurrently.
+    ///
+    /// Frame sequence numbers are pre-partitioned by pod index (each pod
+    /// produces exactly `ceil(execs_per_pod / batch)` frames), so the
+    /// ordered merger replays traces in exact pod-major order — the same
+    /// order the serial loop ingests in. Pods carry their own RNG and
+    /// receive no mid-round feedback, so the resulting hive state is
+    /// byte-identical to [`execute_serial`](Self::execute_serial).
+    fn execute_pipelined(&mut self, execs_per_pod: u32) -> (u64, u64, u64) {
+        let batch = self.config.ingest.batch_size.max(1) as u64;
+        let frames_per_pod = u64::from(execs_per_pod).div_ceil(batch);
+        let n_pods = self.pods.len();
+        let threads = self.config.ingest.pod_threads.max(1).min(n_pods.max(1));
+        let chunk_size = n_pods.div_ceil(threads).max(1);
+        let cfg = self.config.ingest.pipeline.clone();
+        let pods = &mut self.pods;
+        let (counters, stats) = self.hive.ingest_frames(&cfg, move |tx| {
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for (ci, chunk) in pods.chunks_mut(chunk_size).enumerate() {
+                    let tx = tx.clone();
+                    handles.push(s.spawn(move || {
+                        let (mut executions, mut failures, mut directed) = (0u64, 0u64, 0u64);
+                        for (j, pod) in chunk.iter_mut().enumerate() {
+                            let pod_index = (ci * chunk_size + j) as u64;
+                            let mut next_seq = pod_index * frames_per_pod;
+                            let mut buf: Vec<softborg_trace::ExecutionTrace> =
+                                Vec::with_capacity(batch as usize);
+                            for _ in 0..execs_per_pod {
+                                let run = pod.run_once();
+                                executions += 1;
+                                if run.result.outcome.is_failure() {
+                                    failures += 1;
+                                }
+                                if run.directed {
+                                    directed += 1;
+                                }
+                                buf.push(run.trace);
+                                if buf.len() as u64 == batch {
+                                    tx.submit_at(next_seq, wire::encode_batch(&buf));
+                                    next_seq += 1;
+                                    buf.clear();
+                                }
+                            }
+                            if !buf.is_empty() {
+                                tx.submit_at(next_seq, wire::encode_batch(&buf));
+                            }
+                        }
+                        (executions, failures, directed)
+                    }));
+                }
+                drop(tx);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pod thread panicked"))
+                    .fold((0, 0, 0), |(a, b, c), (x, y, z)| (a + x, b + y, c + z))
+            })
+        });
+        self.last_ingest = Some(stats);
+        counters
+    }
+
+    /// Pipeline statistics from the most recent pipelined round, if any.
+    pub fn last_ingest(&self) -> Option<&IngestStats> {
+        self.last_ingest.as_ref()
     }
 
     /// Runs `rounds` rounds and returns the full history.

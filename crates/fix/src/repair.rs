@@ -103,7 +103,13 @@ fn run_case(exec: &Executor<'_>, case: &TestCase, overlay: &Overlay) -> (Outcome
     let mut env = DefaultEnv::new(case.env.clone());
     let mut sched = ScriptSched::new(case.schedule.clone());
     let r = exec
-        .run(&case.inputs, &mut env, &mut sched, overlay, &mut NopObserver)
+        .run(
+            &case.inputs,
+            &mut env,
+            &mut sched,
+            overlay,
+            &mut NopObserver,
+        )
         .expect("repair lab cases match the program's input arity");
     let streams = r.emitted_by_thread();
     (r.outcome, streams)
@@ -295,9 +301,7 @@ mod tests {
             &candidates,
             &failing,
             &passing,
-            LabConfig {
-                max_steps: 50_000,
-            },
+            LabConfig { max_steps: 50_000 },
         );
         let (_, best) = &ranked[0];
         assert_eq!(best.verdict, Verdict::Distribute, "{best:?}");

@@ -140,7 +140,9 @@ pub fn loop_headers(program: &Program, thread: ThreadId) -> Vec<BlockId> {
     let succs = |b: usize| -> Vec<usize> {
         match &body.blocks[b].term {
             Terminator::Goto(t) => vec![t.index()],
-            Terminator::Branch { then_bb, else_bb, .. } => {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
                 vec![then_bb.index(), else_bb.index()]
             }
             Terminator::Exit => vec![],
@@ -175,7 +177,10 @@ pub fn loop_headers(program: &Program, thread: ThreadId) -> Vec<BlockId> {
             stack.pop();
         }
     }
-    headers.into_iter().map(|b| BlockId::new(b as u32)).collect()
+    headers
+        .into_iter()
+        .map(|b| BlockId::new(b as u32))
+        .collect()
 }
 
 /// Synthesizes hang-bound candidates: iteration caps on every loop header

@@ -120,7 +120,8 @@ pub fn plan(
                             .last()
                             .copied()
                             .unwrap_or((softborg_program::BranchSiteId::new(0), true));
-                        plan.directives.push(Directive::InputSeed { inputs, target });
+                        plan.directives
+                            .push(Directive::InputSeed { inputs, target });
                         stats.crash_seeds += 1;
                         break; // next site
                     }
@@ -133,13 +134,7 @@ pub fn plan(
     for arm in &frontier {
         if single_threaded {
             let prefix = tree.prefix(arm.node);
-            match arm_feasibility(
-                program,
-                &prefix,
-                arm.site,
-                arm.missing_taken,
-                &config.sym,
-            ) {
+            match arm_feasibility(program, &prefix, arm.site, arm.missing_taken, &config.sym) {
                 Ok(Feasibility::Feasible(model)) => {
                     let inputs = model[..program.n_inputs as usize].to_vec();
                     plan.directives.push(Directive::InputSeed {
@@ -205,7 +200,11 @@ mod tests {
         }
     }
 
-    fn run_and_merge(program: &softborg_program::Program, inputs: &[i64], tree: &mut ExecutionTree) {
+    fn run_and_merge(
+        program: &softborg_program::Program,
+        inputs: &[i64],
+        tree: &mut ExecutionTree,
+    ) {
         let mut obs = PathObs::default();
         let r = Executor::new(program)
             .run(

@@ -125,9 +125,7 @@ pub fn allocate(assets: &[Asset], budget: u32, strategy: Strategy) -> Vec<u32> {
                             - risk_aversion * (2.0 * f64::from(w[i]) + 1.0) * a.variance;
                         (i, marginal)
                     })
-                    .max_by(|(_, x), (_, y)| {
-                        x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal)
-                    })
+                    .max_by(|(_, x), (_, y)| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 w[best] += 1;
@@ -213,7 +211,13 @@ mod tests {
     fn water_filling_beats_uniform_and_greedy_on_its_own_objective() {
         let a = assets();
         let lambda = 0.1;
-        let mv = allocate(&a, 12, Strategy::MeanVariance { risk_aversion: lambda });
+        let mv = allocate(
+            &a,
+            12,
+            Strategy::MeanVariance {
+                risk_aversion: lambda,
+            },
+        );
         let uni = allocate(&a, 12, Strategy::Uniform);
         let grd = allocate(&a, 12, Strategy::Greedy);
         let omv = objective(&a, &mv, lambda);
@@ -224,10 +228,7 @@ mod tests {
     #[test]
     fn empty_assets_or_budget_yield_zeroes() {
         assert!(allocate(&[], 5, Strategy::Uniform).is_empty());
-        assert_eq!(
-            allocate(&assets(), 0, Strategy::Greedy),
-            vec![0, 0, 0]
-        );
+        assert_eq!(allocate(&assets(), 0, Strategy::Greedy), vec![0, 0, 0]);
     }
 
     #[test]
@@ -238,8 +239,8 @@ mod tests {
             rs.record(s);
         }
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var: f64 =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((rs.mean() - mean).abs() < 1e-9);
         assert!((rs.variance() - var).abs() < 1e-9);
         assert_eq!(rs.count(), 5);

@@ -246,11 +246,7 @@ impl NetNode for Coordinator {
         }
         if self.partitioning == Partitioning::Dynamic {
             if let Some(next) = self.queue.pop() {
-                let w = self
-                    .workers
-                    .iter()
-                    .position(|a| *a == from)
-                    .unwrap_or(0);
+                let w = self.workers.iter().position(|a| *a == from).unwrap_or(0);
                 self.assign(next, w, ctx);
             }
         }

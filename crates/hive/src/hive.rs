@@ -17,6 +17,7 @@ use softborg_analysis::race::{RaceDetector, RaceReport};
 use softborg_analysis::treeloc::{Diagnosis, FailureLedger};
 use softborg_fix::{crash_guards, deadlock_immunity, hang_bounds, FixCandidate};
 use softborg_guidance::{GuidancePlan, PlanStats, PlannerConfig};
+use softborg_ingest::{FrameSender, IngestConfig, IngestStats, ReconstructContext};
 use softborg_program::overlay::Overlay;
 use softborg_program::taint::InputDependence;
 use softborg_program::Program;
@@ -109,7 +110,9 @@ impl<'p> Hive<'p> {
     pub fn current_overlay(&self) -> (&Overlay, u64) {
         let v = self.overlay_history.len() as u64 - 1;
         (
-            self.overlay_history.last().expect("version 0 always exists"),
+            self.overlay_history
+                .last()
+                .expect("version 0 always exists"),
             v,
         )
     }
@@ -142,6 +145,69 @@ impl<'p> Hive<'p> {
                 self.stats.unreconstructed += 1;
             }
         }
+    }
+
+    /// Ingests encoded batch frames ([`wire::encode_batch`]) through the
+    /// staged pipeline: a pool of decode+reconstruct workers feeding a
+    /// single ordered merger that owns the tree. Observably identical to
+    /// calling [`ingest`](Self::ingest) on every trace in frame order —
+    /// same [`HiveStats`], tree digest, and coverage — for any worker
+    /// count or batch size. Corrupt frames are counted in the returned
+    /// [`IngestStats`] and skipped without panicking.
+    ///
+    /// [`wire::encode_batch`]: softborg_trace::wire::encode_batch
+    pub fn ingest_batch(&mut self, frames: Vec<Vec<u8>>, config: &IngestConfig) -> IngestStats {
+        let ((), stats) = self.ingest_frames(config, move |tx| {
+            for f in frames {
+                tx.submit(f);
+            }
+        });
+        stats
+    }
+
+    /// Streaming form of [`ingest_batch`](Self::ingest_batch): `producer`
+    /// runs on its own thread (clone the [`FrameSender`] to fan out) and
+    /// submits frames while the pipeline decodes, reconstructs, and
+    /// merges them concurrently. The merger runs on the calling thread
+    /// and is the only writer to the tree and detectors.
+    ///
+    /// The overlay history is frozen for the duration of the call
+    /// (enforced by the borrow: promotion needs `&mut self`).
+    pub fn ingest_frames<R, P>(&mut self, config: &IngestConfig, producer: P) -> (R, IngestStats)
+    where
+        P: FnOnce(FrameSender) -> R + Send,
+        R: Send,
+    {
+        let Hive {
+            program,
+            deps,
+            tree,
+            lock_graph,
+            races,
+            ledger,
+            overlay_history,
+            stats,
+            ..
+        } = self;
+        let ctx = ReconstructContext {
+            program,
+            deps: &*deps,
+            overlays: overlay_history.as_slice(),
+        };
+        softborg_ingest::run(config, ctx, producer, |pt| {
+            stats.traces += 1;
+            lock_graph.ingest(&pt.trace);
+            races.ingest(&pt.trace);
+            ledger.ingest(&pt.trace);
+            match &pt.decisions {
+                Some(decisions) => {
+                    let m = tree.merge_path(decisions, &pt.trace.outcome);
+                    stats.new_nodes += m.new_nodes;
+                    stats.reconstructed += 1;
+                }
+                None => stats.unreconstructed += 1,
+            }
+        })
     }
 
     /// Proposes fixes for every *unfixed* failure mode: exact crash
@@ -264,9 +330,7 @@ pub fn outcome_signature(o: &softborg_program::interp::Outcome) -> Option<String
     use softborg_program::interp::Outcome;
     match o {
         Outcome::Success => None,
-        Outcome::Crash { loc, kind } => {
-            Some(format!("crash:{:?}:{:?}", Some(*loc), Some(*kind)))
-        }
+        Outcome::Crash { loc, kind } => Some(format!("crash:{:?}:{:?}", Some(*loc), Some(*kind))),
         Outcome::Deadlock { cycle } => {
             let mut locks: Vec<_> = cycle.iter().map(|(_, l)| *l).collect();
             locks.sort();
@@ -360,7 +424,9 @@ mod tests {
         assert!(fed > 0);
         let proposals = hive.propose_fixes();
         assert!(
-            proposals.iter().any(|p| p.signature.starts_with("lock-cycle:")),
+            proposals
+                .iter()
+                .any(|p| p.signature.starts_with("lock-cycle:")),
             "cycle not predicted from passing traces alone"
         );
     }
@@ -429,16 +495,19 @@ mod tests {
     #[test]
     fn guidance_plans_come_from_the_tree() {
         let s = scenarios::token_parser();
-        let mut hive = Hive::new(&s.program, HiveConfig {
-            planner: PlannerConfig {
-                sym: softborg_symex::SymConfig {
-                    input_box: softborg_symex::InputBox::uniform(6, 0, 99),
-                    ..softborg_symex::SymConfig::default()
+        let mut hive = Hive::new(
+            &s.program,
+            HiveConfig {
+                planner: PlannerConfig {
+                    sym: softborg_symex::SymConfig {
+                        input_box: softborg_symex::InputBox::uniform(6, 0, 99),
+                        ..softborg_symex::SymConfig::default()
+                    },
+                    ..PlannerConfig::default()
                 },
-                ..PlannerConfig::default()
+                ..HiveConfig::default()
             },
-            ..HiveConfig::default()
-        });
+        );
         let mut pod = Pod::new(
             &s.program,
             PodConfig {

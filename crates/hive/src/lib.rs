@@ -21,8 +21,6 @@ pub mod proofs;
 pub mod replica;
 
 pub use distributed::{run_exploration, DistConfig, DistReport, Outage, Partitioning};
-pub use hive::{
-    diagnosis_signature, outcome_signature, FixProposal, Hive, HiveConfig, HiveStats,
-};
+pub use hive::{diagnosis_signature, outcome_signature, FixProposal, Hive, HiveConfig, HiveStats};
 pub use proofs::{assemble, verify, ProofCertificate, ProofError};
 pub use replica::{run_replica_sync, OutcomePath, ReplicaConfig, ReplicaReport};

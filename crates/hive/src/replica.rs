@@ -237,7 +237,11 @@ pub fn run_replica_sync(
         .map(|_| Rc::new(RefCell::new(ExecutionTree::new(program))))
         .collect();
     for (i, shard) in shards.into_iter().enumerate() {
-        let peers: Vec<Addr> = addrs.iter().copied().filter(|a| a.0 as usize != i).collect();
+        let peers: Vec<Addr> = addrs
+            .iter()
+            .copied()
+            .filter(|a| a.0 as usize != i)
+            .collect();
         let mut replica = Replica {
             peers,
             tree: trees[i].clone(),

@@ -1,0 +1,110 @@
+//! Pipeline observability: lock-free counters updated by every stage,
+//! snapshotted into an [`IngestStats`] when a run completes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters the pipeline stages update concurrently.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCore {
+    pub frames_submitted: AtomicU64,
+    pub frames_dropped: AtomicU64,
+    pub frames_corrupt: AtomicU64,
+    pub frames_merged: AtomicU64,
+    pub traces_merged: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Total worker time spent decoding + reconstructing, in ns.
+    pub worker_busy_ns: AtomicU64,
+    /// Total submit→merge latency over merged frames, in ns.
+    pub frame_latency_ns: AtomicU64,
+}
+
+impl StatsCore {
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        workers: usize,
+        queue_high_water: usize,
+        wall_ns: u64,
+    ) -> IngestStats {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        IngestStats {
+            frames_submitted: ld(&self.frames_submitted),
+            frames_dropped: ld(&self.frames_dropped),
+            frames_corrupt: ld(&self.frames_corrupt),
+            frames_merged: ld(&self.frames_merged),
+            traces_merged: ld(&self.traces_merged),
+            cache_hits: ld(&self.cache_hits),
+            cache_misses: ld(&self.cache_misses),
+            worker_busy_ns: ld(&self.worker_busy_ns),
+            frame_latency_ns: ld(&self.frame_latency_ns),
+            queue_high_water,
+            wall_ns,
+            workers,
+        }
+    }
+}
+
+/// Counters and gauges for one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Frames handed to the pipeline (before any drop).
+    pub frames_submitted: u64,
+    /// Frames displaced by [`DropOldest`](crate::BackpressurePolicy::DropOldest)
+    /// backpressure (or submitted after shutdown) and never merged.
+    pub frames_dropped: u64,
+    /// Frames rejected by wire validation (bad magic, truncation,
+    /// checksum mismatch, …). Counted and skipped — never a panic.
+    pub frames_corrupt: u64,
+    /// Frames that reached the merger (corrupt frames included: the
+    /// merger consumes their slot to preserve ordering).
+    pub frames_merged: u64,
+    /// Traces delivered to the sink, over all merged frames.
+    pub traces_merged: u64,
+    /// Traces whose decode+reconstruction was recycled from the memo
+    /// cache (byte-identical by-product seen before).
+    pub cache_hits: u64,
+    /// Traces that required a full decode + reconstruction.
+    pub cache_misses: u64,
+    /// Total worker time spent decoding + reconstructing, in ns.
+    pub worker_busy_ns: u64,
+    /// Total submit→merge latency across merged frames, in ns.
+    pub frame_latency_ns: u64,
+    /// Deepest the frame queue ever got (backpressure gauge).
+    pub queue_high_water: usize,
+    /// Wall-clock duration of the whole run, in ns.
+    pub wall_ns: u64,
+    /// Decode/reconstruct workers the run used.
+    pub workers: usize,
+}
+
+impl IngestStats {
+    /// Mean submit→merge latency per merged frame, in ns.
+    pub fn mean_frame_latency_ns(&self) -> u64 {
+        self.frame_latency_ns
+            .checked_div(self.frames_merged)
+            .unwrap_or(0)
+    }
+
+    /// Sink throughput in traces per second.
+    pub fn throughput_traces_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.traces_merged as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Fraction of traces served from the memo cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}

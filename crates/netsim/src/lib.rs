@@ -351,7 +351,9 @@ impl Sim {
             self.queue.pop();
             self.now = at;
             processed += 1;
-            let event = self.events[idx as usize].take().expect("event consumed once");
+            let event = self.events[idx as usize]
+                .take()
+                .expect("event consumed once");
             match event {
                 Event::Deliver { from, to, payload } => {
                     let ti = to.0 as usize;

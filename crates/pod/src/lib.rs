@@ -310,7 +310,10 @@ mod tests {
         let run = pod.run_once();
         assert_eq!(run.trace.program, s.program.id());
         assert!(!run.directed);
-        assert!(run.trace.bits.len() > 0, "parser has input-dependent sites");
+        assert!(
+            !run.trace.bits.is_empty(),
+            "parser has input-dependent sites"
+        );
         assert_eq!(pod.stats().executions, 1);
     }
 

@@ -496,7 +496,9 @@ mod tests {
     #[test]
     fn out_of_range_lock_rejected() {
         let mut p = tiny_program();
-        p.threads[0].blocks[1].stmts.push(Stmt::Lock(LockId::new(0)));
+        p.threads[0].blocks[1]
+            .stmts
+            .push(Stmt::Lock(LockId::new(0)));
         assert!(matches!(
             p.validate(),
             Err(ValidationError::IndexOutOfRange { what: "lock", .. })

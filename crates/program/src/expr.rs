@@ -379,7 +379,11 @@ mod tests {
             1
         );
         assert_eq!(
-            eval(&Expr::bin(BinOp::Ge, Expr::Const(1), Expr::Const(2)), &env()).unwrap(),
+            eval(
+                &Expr::bin(BinOp::Ge, Expr::Const(1), Expr::Const(2)),
+                &env()
+            )
+            .unwrap(),
             0
         );
     }

@@ -488,7 +488,11 @@ impl GenCtx<'_> {
             4 => BinOp::BitXor,
             _ => BinOp::Mul,
         };
-        Expr::bin(op, self.gen_value_expr(depth + 1), self.gen_value_expr(depth + 1))
+        Expr::bin(
+            op,
+            self.gen_value_expr(depth + 1),
+            self.gen_value_expr(depth + 1),
+        )
     }
 
     /// A branch condition: mostly linear comparisons against constants in
@@ -672,11 +676,7 @@ impl GenCtx<'_> {
                 t.if_then(Expr::lt(Expr::Input(i), Expr::Const(v)), |t| {
                     t.assign(
                         Place::Global(g),
-                        Expr::bin(
-                            BinOp::Add,
-                            Expr::Load(Place::Global(g)),
-                            Expr::Const(delta),
-                        ),
+                        Expr::bin(BinOp::Add, Expr::Load(Place::Global(g)), Expr::Const(delta)),
                     );
                     t.yield_();
                 });
@@ -705,12 +705,7 @@ mod tests {
     use crate::sched::{RandomSched, RoundRobin};
     use crate::syscall::{DefaultEnv, EnvConfig};
 
-    fn run(
-        gp: &GeneratedProgram,
-        inputs: &[i64],
-        seed: u64,
-        env: EnvConfig,
-    ) -> Outcome {
+    fn run(gp: &GeneratedProgram, inputs: &[i64], seed: u64, env: EnvConfig) -> Outcome {
         Executor::new(&gp.program)
             .with_config(ExecConfig { max_steps: 50_000 })
             .run(

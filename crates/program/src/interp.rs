@@ -23,9 +23,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Why an execution crashed.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CrashKind {
     /// An `Assert` evaluated to zero.
     AssertFailed,
@@ -152,7 +150,14 @@ impl ExecResult {
 pub trait Observer {
     /// A conditional branch executed at `site`; `taken` is the then-arm,
     /// `input_dependent` is the static taint classification.
-    fn on_branch(&mut self, thread: ThreadId, site: BranchSiteId, taken: bool, input_dependent: bool) {}
+    fn on_branch(
+        &mut self,
+        thread: ThreadId,
+        site: BranchSiteId,
+        taken: bool,
+        input_dependent: bool,
+    ) {
+    }
     /// The scheduler picked `thread` for the next step.
     fn on_schedule(&mut self, thread: ThreadId) {}
     /// A syscall returned.
@@ -601,7 +606,12 @@ impl Machine<'_> {
 
     /// Executes one step of thread `t`. Returns a terminal outcome if the
     /// whole execution ends.
-    fn step(&mut self, t: ThreadId, env: &mut dyn EnvModel, obs: &mut dyn Observer) -> Option<Outcome> {
+    fn step(
+        &mut self,
+        t: ThreadId,
+        env: &mut dyn EnvModel,
+        obs: &mut dyn Observer,
+    ) -> Option<Outcome> {
         let ti = t.index();
         let block = self.threads[ti].block;
         let stmt_idx = self.threads[ti].stmt;
@@ -819,7 +829,10 @@ mod tests {
         let mut pb = ProgramBuilder::new("p");
         pb.inputs(1).locals(1);
         pb.thread(|t| {
-            t.assign(local(0), Expr::bin(BinOp::Mul, Expr::input(0), Expr::Const(2)));
+            t.assign(
+                local(0),
+                Expr::bin(BinOp::Mul, Expr::input(0), Expr::Const(2)),
+            );
             t.emit(Expr::local(0));
         });
         let p = pb.build().unwrap();
@@ -845,7 +858,13 @@ mod tests {
                 &mut NopObserver,
             )
             .unwrap_err();
-        assert_eq!(err, InterpError::InputArity { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            InterpError::InputArity {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -1027,7 +1046,10 @@ mod tests {
                 deadlocks += 1;
             }
         }
-        assert!(deadlocks > 0, "expected some deadlocks across 200 schedules");
+        assert!(
+            deadlocks > 0,
+            "expected some deadlocks across 200 schedules"
+        );
         assert!(deadlocks < 200, "expected some successes too");
     }
 

@@ -134,7 +134,9 @@ impl Overlay {
     /// Returns the gates (if any) that must be held before acquiring
     /// `lock`.
     pub fn gates_for(&self, lock: LockId) -> impl Iterator<Item = &LockGate> {
-        self.lock_gates.iter().filter(move |g| g.locks.contains(&lock))
+        self.lock_gates
+            .iter()
+            .filter(move |g| g.locks.contains(&lock))
     }
 
     /// Finds a guard installed at `loc`, if any.

@@ -544,7 +544,9 @@ mod tests {
     #[test]
     fn all_scenarios_validate() {
         for s in all() {
-            s.program.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            s.program
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
         }
     }
 

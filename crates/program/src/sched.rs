@@ -38,10 +38,7 @@ impl Scheduler for RoundRobin {
     fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> ThreadId {
         let next = match self.last {
             None => runnable[0],
-            Some(last) => *runnable
-                .iter()
-                .find(|t| **t > last)
-                .unwrap_or(&runnable[0]),
+            Some(last) => *runnable.iter().find(|t| **t > last).unwrap_or(&runnable[0]),
         };
         self.last = Some(next);
         next

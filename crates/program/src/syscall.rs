@@ -32,7 +32,7 @@ pub struct ForcedFault {
 }
 
 /// Configuration of the default environment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EnvConfig {
     /// Seed for environment "noise" (time steps, random values).
     pub seed: u64,
@@ -42,17 +42,6 @@ pub struct EnvConfig {
     pub open_fail_per_mille: u32,
     /// Explicit faults to inject at specific call indices.
     pub forced: Vec<ForcedFault>,
-}
-
-impl Default for EnvConfig {
-    fn default() -> Self {
-        EnvConfig {
-            seed: 0,
-            short_read_per_mille: 0,
-            open_fail_per_mille: 0,
-            forced: Vec::new(),
-        }
-    }
 }
 
 /// The default deterministic environment.
@@ -139,8 +128,7 @@ impl EnvModel for DefaultEnv {
                 let n = arg.max(0);
                 if n > 0
                     && self.config.short_read_per_mille > 0
-                    && self.noise(call_index, 1, 1000)
-                        < u64::from(self.config.short_read_per_mille)
+                    && self.noise(call_index, 1, 1000) < u64::from(self.config.short_read_per_mille)
                 {
                     // A short read strictly smaller than the request.
                     (self.noise(call_index, 2, n as u64)) as i64

@@ -47,8 +47,12 @@ impl InputDependence {
                     match stmt {
                         Stmt::Assign(place, expr) => {
                             if expr_tainted(expr, &tainted_globals, &tainted_locals[ti]) {
-                                changed |=
-                                    set_taint(*place, ti, &mut tainted_globals, &mut tainted_locals);
+                                changed |= set_taint(
+                                    *place,
+                                    ti,
+                                    &mut tainted_globals,
+                                    &mut tainted_locals,
+                                );
                             }
                         }
                         Stmt::Syscall { ret, .. } => {
@@ -101,7 +105,10 @@ impl InputDependence {
 
     /// Whether a global is (over-approximately) tainted.
     pub fn global_tainted(&self, g: u32) -> bool {
-        self.tainted_globals.get(g as usize).copied().unwrap_or(true)
+        self.tainted_globals
+            .get(g as usize)
+            .copied()
+            .unwrap_or(true)
     }
 
     /// Whether a thread-local is (over-approximately) tainted.
@@ -114,12 +121,7 @@ impl InputDependence {
     }
 }
 
-fn set_taint(
-    place: Place,
-    thread: usize,
-    globals: &mut [bool],
-    locals: &mut [Vec<bool>],
-) -> bool {
+fn set_taint(place: Place, thread: usize, globals: &mut [bool], locals: &mut [Vec<bool>]) -> bool {
     let slot = match place {
         Place::Global(g) => globals.get_mut(g.index()),
         Place::Local(l) => locals[thread].get_mut(l.index()),
@@ -138,14 +140,10 @@ fn expr_tainted(expr: &Expr, globals: &[bool], locals: &[bool]) -> bool {
     expr.visit(&mut |e| match e {
         Expr::Input(_) => tainted = true,
         Expr::Load(Place::Global(g)) => {
-            if globals.get(g.index()).copied().unwrap_or(true) {
-                tainted = true;
-            }
+            tainted |= globals.get(g.index()).copied().unwrap_or(true);
         }
         Expr::Load(Place::Local(l)) => {
-            if locals.get(l.index()).copied().unwrap_or(true) {
-                tainted = true;
-            }
+            tainted |= locals.get(l.index()).copied().unwrap_or(true);
         }
         _ => {}
     });

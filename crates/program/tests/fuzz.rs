@@ -4,14 +4,14 @@
 //! past its budget.
 
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use softborg_program::gen::{generate, sample_inputs, BugKind, GenConfig};
 use softborg_program::interp::{ExecConfig, Executor, NopObserver, Outcome};
 use softborg_program::overlay::{GuardAction, LoopBound, Overlay, SiteGuard};
 use softborg_program::sched::RandomSched;
 use softborg_program::syscall::{DefaultEnv, EnvConfig};
 use softborg_program::{BlockId, Loc, ThreadId};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -166,7 +166,12 @@ impl Cnf {
 
 impl fmt::Display for Cnf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cnf({} vars, {} clauses)", self.n_vars, self.clauses.len())
+        write!(
+            f,
+            "cnf({} vars, {} clauses)",
+            self.n_vars,
+            self.clauses.len()
+        )
     }
 }
 

@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -169,8 +173,14 @@ mod tests {
 
     #[test]
     fn errors_are_specific() {
-        assert!(from_dimacs("1 2 0\n").unwrap_err().message.contains("problem line"));
-        assert!(from_dimacs("p cnf x 1\n").unwrap_err().message.contains("variable count"));
+        assert!(from_dimacs("1 2 0\n")
+            .unwrap_err()
+            .message
+            .contains("problem line"));
+        assert!(from_dimacs("p cnf x 1\n")
+            .unwrap_err()
+            .message
+            .contains("variable count"));
         assert!(from_dimacs("p cnf 1 1\n5 0\n")
             .unwrap_err()
             .message

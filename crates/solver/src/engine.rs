@@ -454,7 +454,7 @@ impl Solver {
             .collect();
         // UIP-style ordering: last decision first, second-to-last watch.
         learned.reverse();
-        let bj = (self.decision_level() - 1).max(0);
+        let bj = self.decision_level() - 1;
         (learned, bj)
     }
 
@@ -491,7 +491,11 @@ impl Solver {
     ///
     /// `cancel` is polled between conflicts; a portfolio runner sets it
     /// when a sibling finishes first.
-    pub fn solve(&mut self, budget: Budget, cancel: Option<&AtomicBool>) -> (SolveOutcome, SolveStats) {
+    pub fn solve(
+        &mut self,
+        budget: Budget,
+        cancel: Option<&AtomicBool>,
+    ) -> (SolveOutcome, SolveStats) {
         if self.trivially_unsat {
             return (SolveOutcome::Unsat, self.stats);
         }
@@ -563,11 +567,8 @@ impl Solver {
                     // No conflict: decide or finish.
                     match self.pick_branch_var() {
                         None => {
-                            let model: Vec<bool> = self
-                                .assign
-                                .iter()
-                                .map(|a| a.unwrap_or(false))
-                                .collect();
+                            let model: Vec<bool> =
+                                self.assign.iter().map(|a| a.unwrap_or(false)).collect();
                             return (SolveOutcome::Sat(model), self.stats);
                         }
                         Some(var) => {
@@ -588,7 +589,7 @@ impl Solver {
 fn best_unassigned(assign: &[Option<bool>], score: &[f64]) -> Option<Var> {
     let mut best: Option<usize> = None;
     for v in 0..assign.len() {
-        if assign[v].is_none() && best.map_or(true, |b| score[v] > score[b]) {
+        if assign[v].is_none() && best.is_none_or(|b| score[v] > score[b]) {
             best = Some(v);
         }
     }
@@ -621,9 +622,7 @@ mod tests {
     }
 
     fn solve_with(cnf: &Cnf, config: SolverConfig) -> SolveOutcome {
-        Solver::new(cnf, config)
-            .solve(Budget::unlimited(), None)
-            .0
+        Solver::new(cnf, config).solve(Budget::unlimited(), None).0
     }
 
     fn all_configs() -> Vec<SolverConfig> {
@@ -683,7 +682,12 @@ mod tests {
         cnf.add_clause(&[l(0, true)]);
         cnf.add_clause(&[l(0, false)]);
         for cfg in all_configs() {
-            assert_eq!(solve_with(&cnf, cfg.clone()), SolveOutcome::Unsat, "{}", cfg.name);
+            assert_eq!(
+                solve_with(&cnf, cfg.clone()),
+                SolveOutcome::Unsat,
+                "{}",
+                cfg.name
+            );
         }
     }
 
@@ -696,7 +700,12 @@ mod tests {
         cnf.add_clause(&[l(0, true), l(1, false)]);
         cnf.add_clause(&[l(0, false), l(1, false)]);
         for cfg in all_configs() {
-            assert_eq!(solve_with(&cnf, cfg.clone()), SolveOutcome::Unsat, "{}", cfg.name);
+            assert_eq!(
+                solve_with(&cnf, cfg.clone()),
+                SolveOutcome::Unsat,
+                "{}",
+                cfg.name
+            );
         }
     }
 
@@ -734,8 +743,8 @@ mod tests {
     fn cancellation_stops_search() {
         let cnf = crate::instances::random_ksat(80, 344, 3, 5);
         let cancel = AtomicBool::new(true);
-        let (out, _) = Solver::new(&cnf, SolverConfig::default())
-            .solve(Budget::unlimited(), Some(&cancel));
+        let (out, _) =
+            Solver::new(&cnf, SolverConfig::default()).solve(Budget::unlimited(), Some(&cancel));
         assert_eq!(out, SolveOutcome::Unknown);
     }
 

@@ -138,12 +138,7 @@ pub fn e3_suite(per_family: u32, n_vars: u32, seed: u64) -> Vec<NamedInstance> {
     for i in 0..per_family {
         out.push(NamedInstance {
             name: format!("color3-{i}"),
-            cnf: graph_coloring(
-                30,
-                160,
-                3,
-                seed.wrapping_add(1000 + u64::from(i)),
-            ),
+            cnf: graph_coloring(30, 160, 3, seed.wrapping_add(1000 + u64::from(i))),
         });
     }
     out
@@ -192,7 +187,11 @@ mod tests {
     #[test]
     fn pigeonhole_is_unsat() {
         for holes in 2..=5 {
-            assert_eq!(solve(&pigeonhole(holes)), SolveOutcome::Unsat, "PHP({holes})");
+            assert_eq!(
+                solve(&pigeonhole(holes)),
+                SolveOutcome::Unsat,
+                "PHP({holes})"
+            );
         }
     }
 

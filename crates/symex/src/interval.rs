@@ -264,8 +264,7 @@ fn bin_interval(op: BinOp, a: Interval, b: Interval) -> Interval {
         BinOp::Shl | BinOp::Shr => {
             if a.is_point() && b.is_point() {
                 Interval::point(
-                    softborg_program::expr::apply_bin(op, a.lo, b.lo)
-                        .expect("shifts cannot fault"),
+                    softborg_program::expr::apply_bin(op, a.lo, b.lo).expect("shifts cannot fault"),
                 )
             } else {
                 Interval::TOP

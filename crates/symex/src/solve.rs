@@ -153,11 +153,7 @@ pub fn refinement(c: &Constraint) -> Option<(usize, crate::interval::Interval)> 
 
 /// Intersects `iv` into `box_[sym]`; returns `false` when the result is
 /// empty (the constraint set is unsatisfiable).
-pub fn apply_refinement(
-    box_: &mut InputBox,
-    sym: usize,
-    iv: crate::interval::Interval,
-) -> bool {
+pub fn apply_refinement(box_: &mut InputBox, sym: usize, iv: crate::interval::Interval) -> bool {
     let cur = box_.range(sym);
     let lo = cur.lo.max(iv.lo);
     let hi = cur.hi.min(iv.hi);
@@ -438,10 +434,7 @@ mod tests {
             &[
                 c(Expr::lt(Expr::input(0), Expr::Const(10)), true),
                 c(Expr::bin(BinOp::Ge, Expr::input(1), Expr::Const(990)), true),
-                c(
-                    Expr::lt(Expr::input(0), Expr::input(1)),
-                    true,
-                ),
+                c(Expr::lt(Expr::input(0), Expr::input(1)), true),
             ],
             &bx(),
             4,

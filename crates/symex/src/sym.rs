@@ -162,7 +162,10 @@ impl fmt::Display for SymexError {
             }
             SymexError::BadThread(t) => write!(f, "program has no thread {t}"),
             SymexError::PrefixMismatch { at } => {
-                write!(f, "directed execution diverged from prefix at decision {at}")
+                write!(
+                    f,
+                    "directed execution diverged from prefix at decision {at}"
+                )
             }
         }
     }
@@ -442,7 +445,11 @@ impl Engine<'_> {
                                 let _ = push_constraint(
                                     &mut state,
                                     Constraint {
-                                        expr: Expr::bin(BinOp::Le, sym.clone(), Expr::Const(n.max(0))),
+                                        expr: Expr::bin(
+                                            BinOp::Le,
+                                            sym.clone(),
+                                            Expr::Const(n.max(0)),
+                                        ),
                                         want: true,
                                     },
                                 );
@@ -494,8 +501,13 @@ impl Engine<'_> {
                                 } else {
                                     self.stats.pruned += 1;
                                 }
-                                if !push_constraint(&mut state, Constraint { expr: r, want: true })
-                                {
+                                if !push_constraint(
+                                    &mut state,
+                                    Constraint {
+                                        expr: r,
+                                        want: true,
+                                    },
+                                ) {
                                     self.stats.pruned += 1;
                                     return;
                                 }
@@ -681,7 +693,10 @@ pub fn arm_feasibility(
                     push_divisor_constraints(&mut state, &e);
                     let r = subst(&e, &state.locals, &state.globals, &mut state.pool);
                     if !matches!(r, Expr::Const(_)) {
-                        state.constraints.push(Constraint { expr: r, want: true });
+                        state.constraints.push(Constraint {
+                            expr: r,
+                            want: true,
+                        });
                     }
                 }
                 Stmt::Emit(_) | Stmt::Yield => {}
@@ -774,7 +789,10 @@ fn push_divisor_constraints(state: &mut SymState, e: &Expr) {
     for d in divisors {
         let r = subst(&d, &state.locals, &state.globals, &mut state.pool);
         if !matches!(r, Expr::Const(_)) {
-            state.constraints.push(Constraint { expr: r, want: true });
+            state.constraints.push(Constraint {
+                expr: r,
+                want: true,
+            });
         }
     }
 }
@@ -951,14 +969,7 @@ mod tests {
         // Empty prefix, target = first branch (in0 == 13), taken arm.
         let sites = s.program.branch_sites();
         let first = sites[0].0;
-        let f = arm_feasibility(
-            &s.program,
-            &[],
-            first,
-            true,
-            &cfg(6, 0, 99),
-        )
-        .unwrap();
+        let f = arm_feasibility(&s.program, &[], first, true, &cfg(6, 0, 99)).unwrap();
         match f {
             Feasibility::Feasible(m) => assert_eq!(m[0], 13),
             o => panic!("{o:?}"),
@@ -1034,8 +1045,7 @@ mod tests {
         let s = scenarios::bank_transfer();
         let sites = s.program.branch_sites();
         if let Some((site, ..)) = sites.first() {
-            let err =
-                arm_feasibility(&s.program, &[], *site, true, &cfg(2, 0, 99)).unwrap_err();
+            let err = arm_feasibility(&s.program, &[], *site, true, &cfg(2, 0, 99)).unwrap_err();
             assert_eq!(err, SymexError::MultiThreadedStrict);
         }
     }

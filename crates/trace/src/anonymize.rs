@@ -181,9 +181,11 @@ mod tests {
         // Composition is monotone: coarsen then truncate releases less
         // than either alone, and outcome-only releases only schedule-free
         // metadata.
-        let composed = Anonymizer::TruncatePath { max_bits: 8 }
-            .apply(&Anonymizer::CoarsenSyscalls.apply(&t));
-        assert!(information_bits(&composed) < information_bits(&Anonymizer::CoarsenSyscalls.apply(&t)));
+        let composed =
+            Anonymizer::TruncatePath { max_bits: 8 }.apply(&Anonymizer::CoarsenSyscalls.apply(&t));
+        assert!(
+            information_bits(&composed) < information_bits(&Anonymizer::CoarsenSyscalls.apply(&t))
+        );
         let stripped = Anonymizer::OutcomeOnly.apply(&t);
         assert_eq!(information_bits(&stripped), 0);
     }

@@ -16,12 +16,12 @@
 
 pub mod anonymize;
 pub mod bitvec;
-pub mod record;
 pub mod reconstruct;
+pub mod record;
 pub mod recorder;
 pub mod wire;
 
 pub use bitvec::BitVec;
-pub use record::{ExecutionTrace, RecordingPolicy};
 pub use reconstruct::{reconstruct, ReconstructError, ReconstructedPath};
+pub use record::{ExecutionTrace, RecordingPolicy};
 pub use recorder::TraceRecorder;

@@ -200,18 +200,16 @@ pub fn reconstruct(
         if !at_term {
             let stmt = blk.stmts[threads[ti].stmt as usize].clone();
             match stmt {
-                Stmt::Assign(place, e) => {
-                    match eval_opt(&e, &threads[ti].locals, &globals) {
-                        EvalRes::Val(v) => {
-                            store(&mut threads, &mut globals, t, place, v);
-                            threads[ti].stmt += 1;
-                        }
-                        EvalRes::Crash => {
-                            ended_at_crash = true;
-                            break 'steps;
-                        }
+                Stmt::Assign(place, e) => match eval_opt(&e, &threads[ti].locals, &globals) {
+                    EvalRes::Val(v) => {
+                        store(&mut threads, &mut globals, t, place, v);
+                        threads[ti].stmt += 1;
                     }
-                }
+                    EvalRes::Crash => {
+                        ended_at_crash = true;
+                        break 'steps;
+                    }
+                },
                 Stmt::Lock(lock) => {
                     let missing_gate = overlay
                         .gates_for(lock)
@@ -265,9 +263,7 @@ pub fn reconstruct(
                         }
                         EvalRes::Val(_) => {}
                     }
-                    let r = rets
-                        .next()
-                        .ok_or(ReconstructError::SyscallRetsExhausted)?;
+                    let r = rets.next().ok_or(ReconstructError::SyscallRetsExhausted)?;
                     store(&mut threads, &mut globals, t, ret, Some(r));
                     threads[ti].stmt += 1;
                 }
@@ -283,10 +279,7 @@ pub fn reconstruct(
                     }
                 },
                 Stmt::Emit(e) => {
-                    if matches!(
-                        eval_opt(&e, &threads[ti].locals, &globals),
-                        EvalRes::Crash
-                    ) {
+                    if matches!(eval_opt(&e, &threads[ti].locals, &globals), EvalRes::Crash) {
                         ended_at_crash = true;
                         break 'steps;
                     }
@@ -356,20 +349,19 @@ pub fn reconstruct(
     })
 }
 
-fn store(
-    threads: &mut [RThread],
-    globals: &mut [Val],
-    t: ThreadId,
-    place: Place,
-    value: Val,
-) {
+fn store(threads: &mut [RThread], globals: &mut [Val], t: ThreadId, place: Place, value: Val) {
     match place {
         Place::Local(l) => threads[t.index()].locals[l.index()] = value,
         Place::Global(g) => globals[g.index()] = value,
     }
 }
 
-fn release(threads: &mut Vec<RThread>, locks: &mut HashMap<LockId, ThreadId>, t: ThreadId, lock: LockId) {
+fn release(
+    threads: &mut [RThread],
+    locks: &mut HashMap<LockId, ThreadId>,
+    t: ThreadId,
+    lock: LockId,
+) {
     locks.remove(&lock);
     threads[t.index()].held.remove(&lock);
     for (i, ts) in threads.iter_mut().enumerate() {
@@ -379,7 +371,7 @@ fn release(threads: &mut Vec<RThread>, locks: &mut HashMap<LockId, ThreadId>, t:
     }
 }
 
-fn thread_done(threads: &mut Vec<RThread>, locks: &mut HashMap<LockId, ThreadId>, t: ThreadId) {
+fn thread_done(threads: &mut [RThread], locks: &mut HashMap<LockId, ThreadId>, t: ThreadId) {
     let held: Vec<LockId> = threads[t.index()].held.iter().copied().collect();
     for lock in held {
         release(threads, locks, t, lock);
@@ -439,13 +431,13 @@ fn eval_opt(e: &Expr, locals: &[Val], globals: &[Val]) -> EvalRes {
 mod tests {
     use super::*;
     use crate::recorder::TraceRecorder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
     use softborg_program::gen::{generate, BugKind, GenConfig};
     use softborg_program::interp::{ExecConfig, Executor, Observer, Outcome};
     use softborg_program::scenarios;
     use softborg_program::sched::RandomSched;
     use softborg_program::syscall::{DefaultEnv, EnvConfig};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     /// Observer that both records a trace and captures the ground-truth
     /// decision sequence.
@@ -462,7 +454,13 @@ mod tests {
         fn on_schedule(&mut self, t: ThreadId) {
             self.rec.on_schedule(t);
         }
-        fn on_syscall(&mut self, t: ThreadId, k: softborg_program::cfg::SyscallKind, a: i64, r: i64) {
+        fn on_syscall(
+            &mut self,
+            t: ThreadId,
+            k: softborg_program::cfg::SyscallKind,
+            a: i64,
+            r: i64,
+        ) {
             self.rec.on_syscall(t, k, a, r);
         }
         fn on_guard_eval(&mut self, t: ThreadId, loc: Loc, fired: bool) {
@@ -486,7 +484,13 @@ mod tests {
         };
         let mut sched = RandomSched::seeded(sched_seed);
         let r = exec
-            .run(inputs, &mut DefaultEnv::new(env), &mut sched, overlay, &mut obs)
+            .run(
+                inputs,
+                &mut DefaultEnv::new(env),
+                &mut sched,
+                overlay,
+                &mut obs,
+            )
             .unwrap();
         let trace = obs.rec.finish(r.outcome.clone(), r.steps);
         let got = reconstruct(program, exec.dependence(), overlay, &trace)
@@ -523,7 +527,11 @@ mod tests {
         for seed in 0..20 {
             let gp = generate(&GenConfig {
                 seed,
-                bugs: vec![BugKind::AssertMagic, BugKind::LockInversion, BugKind::ShortRead],
+                bugs: vec![
+                    BugKind::AssertMagic,
+                    BugKind::LockInversion,
+                    BugKind::ShortRead,
+                ],
                 ..GenConfig::default()
             });
             let mut rng = SmallRng::seed_from_u64(seed);
@@ -606,7 +614,10 @@ mod tests {
         let s = scenarios::triangle();
         let trace = ExecutionTrace {
             program: s.program.id(),
-            policy: RecordingPolicy::Sampled { period: 10, phase: 0 },
+            policy: RecordingPolicy::Sampled {
+                period: 10,
+                phase: 0,
+            },
             bits: crate::bitvec::BitVec::new(),
             guard_bits: crate::bitvec::BitVec::new(),
             syscall_rets: vec![],

@@ -52,7 +52,10 @@ impl RecordingPolicy {
     /// Whether traces under this policy can be exactly reconstructed into
     /// a single path.
     pub fn is_exact(&self) -> bool {
-        matches!(self, RecordingPolicy::FullBranch | RecordingPolicy::InputDependent)
+        matches!(
+            self,
+            RecordingPolicy::FullBranch | RecordingPolicy::InputDependent
+        )
     }
 }
 
@@ -133,7 +136,11 @@ mod tests {
         assert!(RecordingPolicy::FullBranch.is_exact());
         assert!(RecordingPolicy::InputDependent.is_exact());
         assert!(!RecordingPolicy::OutcomeOnly.is_exact());
-        assert!(!RecordingPolicy::Sampled { period: 100, phase: 3 }.is_exact());
+        assert!(!RecordingPolicy::Sampled {
+            period: 100,
+            phase: 3
+        }
+        .is_exact());
     }
 
     #[test]

@@ -117,7 +117,8 @@ impl Observer for TraceRecorder {
             }
             RecordingPolicy::Sampled { period, phase } => {
                 if input_dependent {
-                    if period > 0 && self.dep_counter % u64::from(period) == u64::from(phase % period)
+                    if period > 0
+                        && self.dep_counter % u64::from(period) == u64::from(phase % period)
                     {
                         self.bits.push(taken);
                     }
@@ -230,7 +231,10 @@ mod tests {
     fn sampled_records_one_in_period() {
         let mut r = TraceRecorder::new(
             ProgramId(1),
-            RecordingPolicy::Sampled { period: 3, phase: 1 },
+            RecordingPolicy::Sampled {
+                period: 3,
+                phase: 1,
+            },
             0,
             false,
         );
@@ -279,7 +283,13 @@ mod tests {
         let with_lock: BTreeSet<LockId> = [LockId::new(3)].into_iter().collect();
         let without: BTreeSet<LockId> = BTreeSet::new();
         r.on_global_access(t0(), GlobalId::new(0), true, Loc::default(), &with_lock);
-        r.on_global_access(ThreadId::new(1), GlobalId::new(0), false, Loc::default(), &without);
+        r.on_global_access(
+            ThreadId::new(1),
+            GlobalId::new(0),
+            false,
+            Loc::default(),
+            &without,
+        );
         let trace = r.finish(Outcome::Success, 2);
         assert_eq!(trace.global_summaries.len(), 1);
         let g = &trace.global_summaries[0];
@@ -293,7 +303,13 @@ mod tests {
         let mut r = TraceRecorder::new(ProgramId(1), RecordingPolicy::InputDependent, 0, true);
         let with_lock: BTreeSet<LockId> = [LockId::new(3)].into_iter().collect();
         r.on_global_access(t0(), GlobalId::new(2), true, Loc::default(), &with_lock);
-        r.on_global_access(ThreadId::new(1), GlobalId::new(2), true, Loc::default(), &with_lock);
+        r.on_global_access(
+            ThreadId::new(1),
+            GlobalId::new(2),
+            true,
+            Loc::default(),
+            &with_lock,
+        );
         let trace = r.finish(Outcome::Success, 2);
         assert_eq!(trace.global_summaries[0].lockset, vec![3]);
     }

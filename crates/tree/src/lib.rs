@@ -10,9 +10,7 @@
 
 pub mod tree;
 
-pub use tree::{
-    CoverageStats, ExecutionTree, FrontierArm, MergeStats, Node, NodeId, OutcomeTally,
-};
+pub use tree::{CoverageStats, ExecutionTree, FrontierArm, MergeStats, Node, NodeId, OutcomeTally};
 
 #[cfg(test)]
 mod integration {

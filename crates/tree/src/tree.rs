@@ -237,7 +237,11 @@ impl ExecutionTree {
     /// Walks from the root until the first unexplored decision (the LCA of
     /// the new path and the tree), then splices the remaining suffix as
     /// fresh nodes — Figure 3 of the paper.
-    pub fn merge_path(&mut self, decisions: &[(BranchSiteId, bool)], outcome: &Outcome) -> MergeStats {
+    pub fn merge_path(
+        &mut self,
+        decisions: &[(BranchSiteId, bool)],
+        outcome: &Outcome,
+    ) -> MergeStats {
         self.paths_merged += 1;
         let mut cur = NodeId::ROOT;
         let mut new_nodes = 0u64;
@@ -347,7 +351,7 @@ impl ExecutionTree {
     /// Iterative post-order closure computation (paths can be tens of
     /// thousands of decisions deep — hang traces — so recursion would
     /// overflow the stack).
-    fn closed_rec(&self, root: NodeId, memo: &mut Vec<Option<bool>>) -> bool {
+    fn closed_rec(&self, root: NodeId, memo: &mut [Option<bool>]) -> bool {
         let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
         while let Some((node, expanded)) = stack.pop() {
             if memo[node.index()].is_some() {
@@ -678,7 +682,10 @@ mod tests {
     #[test]
     fn prefix_and_depth_walk_parents() {
         let mut t = ExecutionTree::new(ProgramId(1));
-        t.merge_path(&path(&[(0, true), (3, false), (7, true)]), &Outcome::Success);
+        t.merge_path(
+            &path(&[(0, true), (3, false), (7, true)]),
+            &Outcome::Success,
+        );
         let n1 = t.node(NodeId::ROOT).child(s(0), true).unwrap();
         let n2 = t.node(n1).child(s(3), false).unwrap();
         let n3 = t.node(n2).child(s(7), true).unwrap();

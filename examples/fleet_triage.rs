@@ -28,7 +28,11 @@ fn main() {
         ..GenConfig::default()
     });
     let program = &gp.program;
-    println!("generated program: {} sites, {} injected bugs", program.n_branch_sites, gp.bugs.len());
+    println!(
+        "generated program: {} sites, {} injected bugs",
+        program.n_branch_sites,
+        gp.bugs.len()
+    );
     for b in &gp.bugs {
         println!("  ground truth: {}", b.description);
     }

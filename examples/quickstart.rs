@@ -14,7 +14,11 @@ use softborg::program::scenarios;
 
 fn main() {
     let scenario = scenarios::token_parser();
-    println!("program: {} ({} known bugs)", scenario.name, scenario.bugs.len());
+    println!(
+        "program: {} ({} known bugs)",
+        scenario.name,
+        scenario.bugs.len()
+    );
     for bug in &scenario.bugs {
         println!("  - {}", bug.description);
     }
@@ -57,7 +61,11 @@ fn main() {
     println!(
         "\ndistributed overlay v{version}: {} rule(s) — {}",
         overlay.rule_count(),
-        if overlay.is_empty() { "(none)" } else { &overlay.name }
+        if overlay.is_empty() {
+            "(none)"
+        } else {
+            &overlay.name
+        }
     );
     let last = platform.history().last().expect("ran rounds");
     println!(

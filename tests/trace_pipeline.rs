@@ -23,7 +23,7 @@ fn wire_roundtrip_preserves_every_pod_trace() {
         );
         for _ in 0..30 {
             let run = pod.run_once();
-            let decoded = wire::decode(wire::encode(&run.trace)).expect("roundtrip");
+            let decoded = wire::decode(&wire::encode(&run.trace)).expect("roundtrip");
             assert_eq!(decoded, run.trace, "{}", s.name);
         }
     }
@@ -50,7 +50,7 @@ fn hive_state_identical_via_wire_or_direct() {
         let run = direct_pod.run_once();
         direct_hive.ingest(&run.trace);
         let run2 = wire_pod.run_once();
-        let over_the_wire = wire::decode(wire::encode(&run2.trace)).expect("roundtrip");
+        let over_the_wire = wire::decode(&wire::encode(&run2.trace)).expect("roundtrip");
         wire_hive.ingest(&over_the_wire);
     }
     assert_eq!(direct_hive.stats(), wire_hive.stats());
@@ -66,7 +66,7 @@ struct HiveNode<'p> {
 
 impl NetNode for HiveNode<'_> {
     fn on_message(&mut self, _from: Addr, payload: Vec<u8>, _ctx: &mut Ctx<'_>) {
-        if let Ok(trace) = wire::decode(payload.into()) {
+        if let Ok(trace) = wire::decode(&payload) {
             self.hive.borrow_mut().ingest(&trace);
         }
     }
@@ -107,7 +107,7 @@ fn traces_survive_the_simulated_network() {
             },
         );
         let payloads: Vec<Vec<u8>> = (0..per_pod)
-            .map(|_| wire::encode(&pod.run_once().trace).to_vec())
+            .map(|_| wire::encode(&pod.run_once().trace))
             .collect();
         sim.add_node(Box::new(PodNode {
             hive_addr,
@@ -116,7 +116,11 @@ fn traces_survive_the_simulated_network() {
     }
     sim.run();
     let stats = hive.borrow().stats();
-    assert_eq!(stats.traces, n_pods * per_pod, "lossless network delivers all");
+    assert_eq!(
+        stats.traces,
+        n_pods * per_pod,
+        "lossless network delivers all"
+    );
     assert_eq!(stats.reconstructed, n_pods * per_pod);
     assert!(hive.borrow().coverage().distinct_paths > 1);
 }
@@ -144,7 +148,7 @@ fn lossy_network_degrades_gracefully() {
         },
     );
     let payloads: Vec<Vec<u8>> = (0..200)
-        .map(|_| wire::encode(&pod.run_once().trace).to_vec())
+        .map(|_| wire::encode(&pod.run_once().trace))
         .collect();
     sim.add_node(Box::new(PodNode {
         hive_addr,

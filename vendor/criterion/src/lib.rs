@@ -1,0 +1,232 @@
+//! Offline micro-benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, [`Throughput`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — calibrate an iteration count to
+//! a target sampling window, take the best-of-N median, print one line
+//! per benchmark — but it is a real wall-clock measurement, good enough
+//! to compare alternatives and catch order-of-magnitude regressions.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    #[allow(dead_code)] // parity with the real API's builder surface
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_time: Duration::from_millis(120),
+        }
+    }
+}
+
+/// An identifier combining a function name and a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the per-sample iteration count until one
+        // sample takes a meaningful slice of the target window.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(8) || iters >= (1 << 24) {
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_sample = iters;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.criterion, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    criterion: &Criterion,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_per_sample: 0,
+        samples: criterion.sample_size.clamp(3, 50),
+        ns_per_iter: 0.0,
+    };
+    f(&mut b);
+    let per_iter = b.ns_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 / (per_iter * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (per_iter * 1e-9) / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {:>12}/iter{rate}", format_ns(per_iter),);
+    let _ = b.iters_per_sample;
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_one(&label, self, None, |b| f(b));
+        self
+    }
+}
+
+/// Declares a benchmark entry point running each target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,32 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRunner};
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s of values from `element`, with a length
+/// drawn uniformly from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `vec(element, lo..hi)` — vectors of `element` values with length in
+/// `lo..hi`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            runner.rng().gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}

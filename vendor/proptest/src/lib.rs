@@ -1,0 +1,233 @@
+//! Offline mini property-testing harness.
+//!
+//! Implements the subset of the `proptest` crate API this workspace's
+//! tests use — the [`proptest!`] macro, [`Strategy`] values built from
+//! integer ranges / [`any`] / tuples / [`collection::vec`], and the
+//! `prop_assert*` macros — atop a deterministic PRNG. No shrinking: a
+//! failing case panics with the generated inputs printed, which is
+//! enough to reproduce (generation is seeded per test name).
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The generator handed to strategies. Deterministically seeded from the
+/// property's fully-qualified name, so failures reproduce run-to-run.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded from `name` (typically
+    /// `module_path!() :: test name`).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A value generator: the (shrink-free) core of proptest's trait.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Samples an unconstrained value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.rng().gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.rng().gen::<bool>()
+    }
+}
+
+/// Strategy over a type's whole domain; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Any, Arbitrary, ProptestConfig, Strategy, TestRunner};
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+/// Failing inputs are printed before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut runner);)+
+                // Render inputs before the body may move them, so a
+                // failing case can be reported (no shrinking here; the
+                // per-name seed makes every failure reproducible).
+                let rendered = [$(format!("  {} = {:?}", stringify!($arg), &$arg)),+];
+                let result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body }),
+                );
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed with inputs:",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    for line in &rendered {
+                        eprintln!("{line}");
+                    }
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ @cfg ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,186 @@
+//! Vendored, offline drop-in for the subset of the `rand` 0.8 API this
+//! workspace uses: [`Rng`] (`gen`, `gen_bool`, `gen_range`),
+//! [`SeedableRng::seed_from_u64`], and [`rngs::SmallRng`].
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real crate cannot be fetched; this keeps the dependency surface
+//! identical (callers `use rand::{Rng, SeedableRng}` unchanged) while the
+//! implementation is a self-contained xoshiro256++ generator. Statistical
+//! quality is more than sufficient for the simulated workloads; streams
+//! are deterministic per seed but differ from upstream `rand`'s.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// Low-level generator interface: a source of uniform random `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly over their whole domain by
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly from a range.
+///
+/// A single blanket `SampleRange` impl per range shape (mirroring
+/// upstream) keeps integer-literal inference working: `gen_range(0..n)`
+/// unifies the literal with whatever the result is compared against.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`; panics when empty.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`; panics when empty.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range; panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's whole domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+
+    /// Samples uniformly from `range`; panics when the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seq = |seed| {
+            let mut r = SmallRng::seed_from_u64(seed);
+            (0..8).map(|_| r.gen::<u64>()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5i64..=17);
+            assert!((-5..=17).contains(&v));
+            let u = r.gen_range(3u32..9);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let ones: u32 = (0..1000).map(|_| r.gen::<u64>().count_ones()).sum();
+        // 64k bits, expect ~32k ones.
+        assert!((30_000..34_000).contains(&ones), "{ones}");
+    }
+}

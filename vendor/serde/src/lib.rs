@@ -1,0 +1,18 @@
+//! Offline facade over the `serde` names this workspace touches.
+//!
+//! In-tree code only *derives* `Serialize`/`Deserialize` (as a courtesy
+//! to downstream users); nothing bounds on or calls the traits. This
+//! facade keeps those derives compiling without network access: the
+//! derive macros (re-exported from the vendored `serde_derive`) expand
+//! to nothing, and the marker traits below exist so fully-qualified
+//! `serde::Serialize` paths still resolve.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented in-tree).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented in-tree).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace annotates many types with serde derives for downstream
+//! consumers, but nothing in-tree serializes through serde (all JSON the
+//! experiments emit is hand-written). With no network access the real
+//! proc-macro crate cannot be fetched, so these derives accept the same
+//! syntax and expand to nothing — keeping every `#[derive(Serialize,
+//! Deserialize)]` compiling without generating code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
