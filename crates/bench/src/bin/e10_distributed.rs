@@ -5,11 +5,18 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use softborg_bench::{banner, cell, table_header};
+use softborg_hive::transport::{run_reliable_ingest, TransportConfig};
 use softborg_hive::{
-    run_exploration, run_replica_sync, DistConfig, Outage, Partitioning, ReplicaConfig,
+    run_exploration, run_replica_sync, DistConfig, Hive, HiveConfig, Outage, Partitioning,
+    ReplicaConfig,
 };
+use softborg_ingest::IngestConfig;
+use softborg_netsim::{Addr, Crash, FaultPlan, LinkConfig};
+use softborg_pod::{Pod, PodConfig};
 use softborg_program::interp::Outcome;
+use softborg_program::scenarios;
 use softborg_program::{BranchSiteId, ProgramId};
+use softborg_trace::wire;
 
 fn run(p: Partitioning, loss: u32, outages: &[Outage], seed: u64) -> (f64, u64, bool) {
     let r = run_exploration(&DistConfig {
@@ -21,7 +28,8 @@ fn run(p: Partitioning, loss: u32, outages: &[Outage], seed: u64) -> (f64, u64, 
         seed,
         outages: outages.to_vec(),
         ..DistConfig::default()
-    });
+    })
+    .expect("E10 configs are valid");
     (
         r.completion_time_us as f64 / 1e3,
         r.duplicated_executions,
@@ -127,6 +135,84 @@ fn main() {
             cell(r.paths_per_replica[0], 14),
             cell(r.messages_sent, 10),
             cell(r.messages_dropped, 8)
+        );
+    }
+
+    // The same coordinator/worker story, but on the *real* ingest path:
+    // pods stream actual trace frames to the hive over the session
+    // protocol (ack/retry/backoff + WAL) instead of abstract chunks.
+    println!("\nreliable ingest transport (8 pods × real traces → hive WAL + pipeline):");
+    table_header(&[
+        ("loss%", 6),
+        ("churn", 6),
+        ("traces", 8),
+        ("retx", 6),
+        ("dups", 6),
+        ("recov", 6),
+    ]);
+    let s = scenarios::token_parser();
+    for (loss, crash) in [(0u32, false), (100, false), (200, false), (100, true)] {
+        let mut pod = Pod::new(
+            &s.program,
+            PodConfig {
+                input_range: s.input_range,
+                seed: 5,
+                ..PodConfig::default()
+            },
+        );
+        let pods: Vec<Vec<(u8, Vec<u8>)>> = (0..8)
+            .map(|_| {
+                (0..8)
+                    .map(|_| {
+                        let traces: Vec<_> = (0..4).map(|_| pod.run_once().trace).collect();
+                        (1u8, wire::encode_batch(&traces))
+                    })
+                    .collect()
+            })
+            .collect();
+        let faults = if crash {
+            FaultPlan {
+                crashes: vec![Crash {
+                    node: Addr(8),
+                    at_us: 20_000,
+                    restart_us: 60_000,
+                }],
+                ..FaultPlan::default()
+            }
+        } else {
+            FaultPlan::default()
+        };
+        let mut hive = Hive::new(&s.program, HiveConfig::default());
+        let (report, stats) = run_reliable_ingest(
+            &mut hive,
+            pods,
+            &IngestConfig::default(),
+            &TransportConfig {
+                seed: u64::from(loss) + u64::from(crash),
+                link: LinkConfig {
+                    loss_per_mille: loss,
+                    ..LinkConfig::default()
+                },
+                faults,
+                ..TransportConfig::default()
+            },
+        )
+        .expect("E10 transport configs are valid");
+        println!(
+            "{}{}{}{}{}{}",
+            cell(format!("{:.0}", loss as f64 / 10.0), 6),
+            cell(if crash { "crash" } else { "-" }, 6),
+            cell(
+                format!(
+                    "{}{}",
+                    stats.traces_merged,
+                    if report.completed { "" } else { "*" }
+                ),
+                8
+            ),
+            cell(report.retransmits, 6),
+            cell(report.duplicates, 6),
+            cell(report.recoveries, 6)
         );
     }
 

@@ -18,7 +18,7 @@
 //!   and outages at the cost of occasional duplicated work.
 
 use serde::{Deserialize, Serialize};
-use softborg_netsim::{Addr, Ctx, NetNode, Sim, SimConfig, SimTime};
+use softborg_netsim::{Addr, Ctx, FaultPlanError, NetNode, Sim, SimConfig, SimTime};
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
@@ -76,6 +76,42 @@ impl Default for DistConfig {
             seed: 0,
             outages: Vec::new(),
         }
+    }
+}
+
+impl DistConfig {
+    /// Validates the outage schedule and loss rate up front, so a bad
+    /// sweep fails at config time instead of silently skipping entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultPlanError`] when an outage window is inverted
+    /// (`until_us <= at_us`), an outage names a worker index out of
+    /// range, or `loss_per_mille` exceeds 1000.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        if self.loss_per_mille > 1000 {
+            return Err(FaultPlanError::RateOutOfRange {
+                what: "loss_per_mille",
+                per_mille: self.loss_per_mille,
+            });
+        }
+        for o in &self.outages {
+            if o.until_us <= o.at_us {
+                return Err(FaultPlanError::WindowInverted {
+                    what: "outage",
+                    start_us: o.at_us,
+                    end_us: o.until_us,
+                });
+            }
+            if o.worker >= self.workers {
+                return Err(FaultPlanError::NodeOutOfRange {
+                    what: "outage",
+                    node: Addr(o.worker),
+                    nodes: self.workers,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -279,7 +315,13 @@ impl NetNode for Coordinator {
 
 /// Runs one distributed exploration and reports completion/duplication
 /// metrics.
-pub fn run_exploration(config: &DistConfig) -> DistReport {
+///
+/// # Errors
+///
+/// Returns a [`FaultPlanError`] when [`DistConfig::validate`] rejects the
+/// outage schedule or loss rate.
+pub fn run_exploration(config: &DistConfig) -> Result<DistReport, FaultPlanError> {
+    config.validate()?;
     let shared = Rc::new(RefCell::new(Shared {
         executions_per_chunk: vec![0; config.n_chunks as usize],
         done: vec![false; config.n_chunks as usize],
@@ -293,6 +335,7 @@ pub fn run_exploration(config: &DistConfig) -> DistReport {
             loss_per_mille: config.loss_per_mille,
         },
         max_events: 2_000_000,
+        ..SimConfig::default()
     });
     // Reserve the coordinator's address first so workers can know it.
     // Workers are added first; coordinator last (it needs their addrs).
@@ -321,9 +364,9 @@ pub fn run_exploration(config: &DistConfig) -> DistReport {
     }));
     debug_assert_eq!(coordinator, Addr(config.workers));
     for o in &config.outages {
-        if o.worker < config.workers {
-            sim.schedule_outage(Addr(o.worker), SimTime(o.at_us), SimTime(o.until_us));
-        }
+        // validate() already rejected out-of-range workers and inverted
+        // windows; every entry schedules.
+        sim.schedule_outage(Addr(o.worker), SimTime(o.at_us), SimTime(o.until_us));
     }
     // Horizon: generous multiple of the serial time.
     let serial = config.work_us_per_chunk * u64::from(config.n_chunks);
@@ -336,14 +379,14 @@ pub fn run_exploration(config: &DistConfig) -> DistReport {
         .iter()
         .map(|&e| e.saturating_sub(1))
         .sum();
-    DistReport {
+    Ok(DistReport {
         completed: s.completion_time.is_some(),
         completion_time_us: s.completion_time.unwrap_or(sim.now().0),
         chunk_executions: executions,
         duplicated_executions: duplicated,
         messages_sent: sim.stats().sent,
         messages_dropped: sim.stats().dropped,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -362,7 +405,7 @@ mod tests {
     #[test]
     fn lossless_runs_complete_without_duplication() {
         for p in [Partitioning::Static, Partitioning::Dynamic] {
-            let r = run_exploration(&base(p));
+            let r = run_exploration(&base(p)).expect("valid config");
             assert!(r.completed, "{p:?} did not complete");
             assert_eq!(r.duplicated_executions, 0, "{p:?} duplicated work");
             assert_eq!(r.chunk_executions, 32);
@@ -374,11 +417,13 @@ mod tests {
         let few = run_exploration(&DistConfig {
             workers: 2,
             ..base(Partitioning::Dynamic)
-        });
+        })
+        .expect("valid config");
         let many = run_exploration(&DistConfig {
             workers: 16,
             ..base(Partitioning::Dynamic)
-        });
+        })
+        .expect("valid config");
         assert!(few.completed && many.completed);
         assert!(
             many.completion_time_us < few.completion_time_us,
@@ -394,7 +439,8 @@ mod tests {
             let r = run_exploration(&DistConfig {
                 loss_per_mille: 150,
                 ..base(p)
-            });
+            })
+            .expect("valid config");
             assert!(r.completed, "{p:?} under loss did not complete: {r:?}");
             assert!(r.messages_dropped > 0);
         }
@@ -410,11 +456,13 @@ mod tests {
         let stat = run_exploration(&DistConfig {
             outages: outages.clone(),
             ..base(Partitioning::Static)
-        });
+        })
+        .expect("valid config");
         let dyn_ = run_exploration(&DistConfig {
             outages,
             ..base(Partitioning::Dynamic)
-        });
+        })
+        .expect("valid config");
         assert!(stat.completed && dyn_.completed);
         assert!(
             dyn_.completion_time_us < stat.completion_time_us,
@@ -433,12 +481,52 @@ mod tests {
             timeout_us: 30_000,
             seed: 3,
             ..base(Partitioning::Dynamic)
-        });
+        })
+        .expect("valid config");
         assert!(r.completed);
         assert!(
             r.duplicated_executions > 0,
             "expected duplicated work under loss: {r:?}"
         );
+    }
+
+    #[test]
+    fn invalid_outages_fail_loudly_at_config_time() {
+        let inverted = DistConfig {
+            outages: vec![Outage {
+                worker: 0,
+                at_us: 5_000,
+                until_us: 5_000,
+            }],
+            ..base(Partitioning::Dynamic)
+        };
+        assert!(matches!(
+            run_exploration(&inverted),
+            Err(FaultPlanError::WindowInverted { what: "outage", .. })
+        ));
+        let ghost = DistConfig {
+            outages: vec![Outage {
+                worker: 99,
+                at_us: 0,
+                until_us: 1,
+            }],
+            ..base(Partitioning::Dynamic)
+        };
+        assert!(matches!(
+            run_exploration(&ghost),
+            Err(FaultPlanError::NodeOutOfRange { what: "outage", .. })
+        ));
+        let drowned = DistConfig {
+            loss_per_mille: 1500,
+            ..base(Partitioning::Static)
+        };
+        assert!(matches!(
+            run_exploration(&drowned),
+            Err(FaultPlanError::RateOutOfRange {
+                what: "loss_per_mille",
+                per_mille: 1500
+            })
+        ));
     }
 
     #[test]

@@ -64,6 +64,20 @@ pub struct HiveStats {
     pub new_nodes: u64,
 }
 
+/// What [`Hive::recover`] rebuilt from a write-ahead journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Frame records replayed into the hive.
+    pub frames_replayed: u64,
+    /// Tombstone records skipped (shed slots — no trace content).
+    pub tombstones_skipped: u64,
+    /// Bytes dropped from a truncated or corrupt journal tail.
+    pub tail_dropped: u64,
+    /// `true` when the journal tail was damaged (the dropped records
+    /// were never acked, so nothing accepted is lost).
+    pub tail_damaged: bool,
+}
+
 /// A proposed fix for one failure mode.
 #[derive(Debug, Clone)]
 pub struct FixProposal {
@@ -208,6 +222,40 @@ impl<'p> Hive<'p> {
                 None => stats.unreconstructed += 1,
             }
         })
+    }
+
+    /// Rebuilds a hive from write-ahead journal bytes: scans the journal
+    /// (dropping any truncated or corrupt tail without panicking) and
+    /// replays every surviving frame record, in journal order, through
+    /// the staged ingest pipeline. Because the transport acks a frame
+    /// only after its journal record is synced, the rebuilt state covers
+    /// everything the hive ever acknowledged — the recovery guarantee of
+    /// the crash-only lineage.
+    pub fn recover(
+        program: &'p Program,
+        config: HiveConfig,
+        ingest_cfg: &IngestConfig,
+        journal_bytes: &[u8],
+    ) -> (Self, RecoveryReport) {
+        let (records, scan) = crate::journal::scan(journal_bytes);
+        let mut report = RecoveryReport {
+            tail_dropped: scan.tail_dropped as u64,
+            tail_damaged: scan.tail_error.is_some(),
+            ..RecoveryReport::default()
+        };
+        let mut frames = Vec::new();
+        for rec in records {
+            match rec.kind {
+                crate::journal::REC_FRAME => {
+                    report.frames_replayed += 1;
+                    frames.push(rec.frame);
+                }
+                _ => report.tombstones_skipped += 1,
+            }
+        }
+        let mut hive = Hive::new(program, config);
+        hive.ingest_batch(frames, ingest_cfg);
+        (hive, report)
     }
 
     /// Proposes fixes for every *unfixed* failure mode: exact crash

@@ -8,6 +8,10 @@
 //!
 //! * [`hive`] — the per-program [`hive::Hive`] pipeline.
 //! * [`proofs`] — proof certificates and their independent verifier.
+//! * [`journal`] — the write-ahead journal accepted frames hit before
+//!   merge, and the crash-tolerant scan that rebuilds from it.
+//! * [`transport`] — the reliable pod→hive session protocol
+//!   (ack/retry/backoff over the network simulator).
 //! * [`distributed`] — static vs dynamic tree partitioning over the
 //!   network simulator (paper §4).
 //! * [`replica`] — gossip-based execution-tree replica synchronization
@@ -17,10 +21,17 @@
 
 pub mod distributed;
 pub mod hive;
+pub mod journal;
 pub mod proofs;
 pub mod replica;
+pub mod transport;
 
 pub use distributed::{run_exploration, DistConfig, DistReport, Outage, Partitioning};
-pub use hive::{diagnosis_signature, outcome_signature, FixProposal, Hive, HiveConfig, HiveStats};
+pub use hive::{
+    diagnosis_signature, outcome_signature, FixProposal, Hive, HiveConfig, HiveStats,
+    RecoveryReport,
+};
+pub use journal::{JournalRecord, JournalStore, MemJournal, ScanReport};
 pub use proofs::{assemble, verify, ProofCertificate, ProofError};
 pub use replica::{run_replica_sync, OutcomePath, ReplicaConfig, ReplicaReport};
+pub use transport::{run_reliable_ingest, TransportConfig, TransportReport};

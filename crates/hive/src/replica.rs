@@ -231,6 +231,7 @@ pub fn run_replica_sync(
             ..Default::default()
         },
         max_events: 5_000_000,
+        ..SimConfig::default()
     });
     let addrs: Vec<Addr> = (0..n).map(|i| Addr(i as u32)).collect();
     let trees: Vec<Rc<RefCell<ExecutionTree>>> = (0..n)

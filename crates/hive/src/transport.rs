@@ -1,0 +1,690 @@
+//! Reliable pod→hive transport: ack/retry/backoff sessions over the
+//! network simulator, feeding the staged ingest pipeline through the
+//! write-ahead journal.
+//!
+//! The paper's hive is "mostly end-user machines communicating over a
+//! potentially unreliable network" (§4). This module is the layer that
+//! makes ingest survive that network:
+//!
+//! * A [`PodClient`] owns one *session*: it assigns per-session
+//!   monotonic sequence numbers to its batch frames, sends a go-back-N
+//!   window, retransmits on ack timeout with capped exponential backoff
+//!   plus deterministic jitter, and honors explicit hive backpressure —
+//!   a `Busy` nack slows it down, and after a pressure budget it sheds
+//!   its lowest-priority frames (as *tombstones*, so the sequence space
+//!   stays contiguous and cumulative acks keep working).
+//! * A [`HiveServer`] accepts in-order frames, appends them to the
+//!   write-ahead journal ([`crate::journal`]), and acks **only after the
+//!   journal sync barrier** — so an acked frame is always recoverable.
+//!   Redelivered frames (network duplicates or retransmits racing acks)
+//!   are deduplicated by `(session, seq)` and re-acked; out-of-order
+//!   frames are answered with the current cumulative ack so the sender
+//!   rewinds. On a scheduled crash the server loses its volatile state
+//!   (sessions, unsynced journal tail) and rebuilds from the synced
+//!   journal prefix on restart.
+//! * [`run_reliable_ingest`] wires both into a live
+//!   [`Hive::ingest_frames`] pipeline: the server node *is* the
+//!   producer, submitting each frame to the merger at the moment its
+//!   journal record is synced, in journal order.
+//!
+//! The end-to-end invariant (exercised by `tests/transport_fault.rs`):
+//! under any fault plan the hive's final state, the journal replay
+//! ([`Hive::recover`]), and a fault-free serial ingest of the delivered
+//! traces all agree.
+
+use crate::hive::Hive;
+use crate::journal::{self, JournalStore, MemJournal, REC_FRAME, REC_TOMBSTONE};
+use softborg_ingest::{BackpressurePolicy, FrameSender, IngestConfig, IngestStats};
+use softborg_netsim::{
+    Addr, Ctx, FaultPlan, FaultPlanError, LinkConfig, NetNode, Sim, SimConfig, SimStats,
+};
+use softborg_trace::wire;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Message tag: a data frame (or tombstone) from pod to hive.
+const MSG_DATA: u8 = 0;
+/// Message tag: a cumulative ack from hive to pod.
+const MSG_ACK: u8 = 1;
+/// Message tag: a backpressure nack from hive to pod.
+const MSG_BUSY: u8 = 2;
+
+/// The server's sync-tick timer tag (clients tag timers with epochs).
+const TICK_TAG: u64 = u64::MAX;
+
+/// Hard cap on the exponential backoff shift.
+const MAX_BACKOFF_EXP: u32 = 16;
+
+fn data_msg(kind: u8, session: u64, seq: u64, frame: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(18 + frame.len());
+    v.push(MSG_DATA);
+    v.push(kind);
+    v.extend_from_slice(&session.to_le_bytes());
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(frame);
+    v
+}
+
+fn ctl_msg(tag: u8, session: u64, value: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(17);
+    v.push(tag);
+    v.extend_from_slice(&session.to_le_bytes());
+    v.extend_from_slice(&value.to_le_bytes());
+    v
+}
+
+fn parse_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+/// Counters shared by every node in one transport run.
+#[derive(Debug, Default)]
+struct Metrics {
+    delivered: u64,
+    tombstones: u64,
+    duplicates: u64,
+    retransmits: u64,
+    busy_nacks: u64,
+    shed: u64,
+    recoveries: u64,
+    sessions_done: u64,
+}
+
+/// Transport tuning knobs. Network behaviour (latency, loss, duplication,
+/// reordering, partitions, server crashes) lives in `link` and `faults`;
+/// the rest parameterizes the session protocol itself.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Link model between every pair of nodes.
+    pub link: LinkConfig,
+    /// Injected faults. Node addresses: pods are `0..n_pods`, the hive
+    /// server is `n_pods`. Only the server tolerates being crash
+    /// scheduled (pods model end-user machines that simply stop).
+    pub faults: FaultPlan,
+    /// Base ack timeout before the first retransmit (µs).
+    pub ack_timeout_us: u64,
+    /// Cap on the exponentially backed-off retransmit delay (µs).
+    pub max_backoff_us: u64,
+    /// Go-back-N window: unacked frames in flight per session.
+    pub window: u64,
+    /// Server backlog budget: unsynced journal records it accepts before
+    /// answering `Busy`.
+    pub busy_budget: usize,
+    /// Client pressure events (timeouts + `Busy` nacks) tolerated before
+    /// one lowest-priority frame is shed. `u32::MAX` disables shedding.
+    pub shed_budget: u32,
+    /// Journal fsync-batching interval (µs): accepted frames are synced,
+    /// submitted to the pipeline, and acked at this cadence.
+    pub sync_interval_us: u64,
+    /// Safety cap on simulated events.
+    pub max_events: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            seed: 0,
+            link: LinkConfig::default(),
+            faults: FaultPlan::default(),
+            ack_timeout_us: 30_000,
+            max_backoff_us: 1_000_000,
+            window: 8,
+            busy_budget: 64,
+            shed_budget: u32::MAX,
+            sync_interval_us: 5_000,
+            max_events: 4_000_000,
+        }
+    }
+}
+
+/// What one reliable-ingest run did.
+#[derive(Debug, Clone)]
+pub struct TransportReport {
+    /// Every session delivered (or shed) its whole frame sequence and
+    /// saw it acked.
+    pub completed: bool,
+    /// Frames accepted first-time by the server (journaled as frames).
+    pub delivered: u64,
+    /// Tombstoned slots accepted (frames shed by clients).
+    pub tombstones: u64,
+    /// Redeliveries discarded by `(session, seq)` dedup.
+    pub duplicates: u64,
+    /// Client retransmissions (frames sent more than once).
+    pub retransmits: u64,
+    /// `Busy` nacks the server sent under backlog pressure.
+    pub busy_nacks: u64,
+    /// Frames clients shed after exhausting the pressure budget.
+    pub shed: u64,
+    /// Frames covered by the synced journal (== acked, by the
+    /// ack-after-sync invariant).
+    pub acked: u64,
+    /// Server crash→restart recoveries performed.
+    pub recoveries: u64,
+    /// Journal sync barriers issued (fsync batches).
+    pub journal_syncs: u64,
+    /// Journal bytes dropped by crashes (accepted but never synced, so
+    /// never acked — clients retransmitted them).
+    pub journal_lost_bytes: u64,
+    /// The synced journal at the end of the run — feed it to
+    /// [`Hive::recover`] to rebuild the hive from scratch.
+    pub journal: Vec<u8>,
+    /// Network-level counters.
+    pub net: SimStats,
+}
+
+struct OutFrame {
+    priority: u8,
+    bytes: Vec<u8>,
+    shed: bool,
+}
+
+/// The pod side of one ingest session: a netsim node that reliably
+/// streams pre-encoded batch frames to the hive server.
+pub struct PodClient {
+    server: Addr,
+    session: u64,
+    frames: Vec<OutFrame>,
+    /// Cumulative ack received: all `seq < base` are durable at the hive.
+    base: u64,
+    /// High-water mark of sequences ever sent (for retransmit counting).
+    sent_upto: u64,
+    window: u64,
+    ack_timeout_us: u64,
+    max_backoff_us: u64,
+    backoff_exp: u32,
+    /// Timer-generation tag: a fired timer with a stale epoch is ignored.
+    epoch: u64,
+    pressure: u32,
+    shed_budget: u32,
+    done: bool,
+    metrics: Rc<RefCell<Metrics>>,
+}
+
+impl PodClient {
+    /// Creates the client for session `session` (by convention also its
+    /// node address), streaming `frames` as `(priority, encoded batch)`
+    /// pairs. Higher priority values survive shedding longer.
+    pub fn new(
+        session: u64,
+        server: Addr,
+        frames: Vec<(u8, Vec<u8>)>,
+        cfg: &TransportConfig,
+    ) -> Self {
+        PodClient {
+            server,
+            session,
+            frames: frames
+                .into_iter()
+                .map(|(priority, bytes)| OutFrame {
+                    priority,
+                    bytes,
+                    shed: false,
+                })
+                .collect(),
+            base: 0,
+            sent_upto: 0,
+            window: cfg.window.max(1),
+            ack_timeout_us: cfg.ack_timeout_us.max(1),
+            max_backoff_us: cfg.max_backoff_us.max(cfg.ack_timeout_us),
+            backoff_exp: 0,
+            epoch: 0,
+            pressure: 0,
+            shed_budget: cfg.shed_budget,
+            done: false,
+            metrics: Rc::new(RefCell::new(Metrics::default())),
+        }
+    }
+
+    fn with_metrics(mut self, metrics: Rc<RefCell<Metrics>>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Current retransmit delay: capped exponential backoff plus a
+    /// deterministic jitter drawn from the session and epoch (no shared
+    /// RNG — two clients never sync their retry storms).
+    fn rto(&self) -> u64 {
+        let backed = self
+            .ack_timeout_us
+            .saturating_mul(1u64 << self.backoff_exp.min(MAX_BACKOFF_EXP))
+            .min(self.max_backoff_us);
+        let jitter_span = (self.ack_timeout_us / 2).max(1);
+        let jitter = wire::fnv1a(&[self.session.to_le_bytes(), self.epoch.to_le_bytes()].concat())
+            % jitter_span;
+        backed + jitter
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_>) {
+        self.epoch += 1;
+        ctx.set_timer(self.rto(), self.epoch);
+    }
+
+    /// Sends the go-back-N window `[base, base+window)`. On the normal
+    /// path (`rewind == false`) only frames not yet sent go out; a
+    /// timeout rewinds to `base` and resends everything unacked.
+    fn send_window(&mut self, ctx: &mut Ctx<'_>, rewind: bool) {
+        let total = self.frames.len() as u64;
+        let end = (self.base + self.window).min(total);
+        let start = if rewind {
+            self.base
+        } else {
+            self.base.max(self.sent_upto)
+        };
+        for seq in start..end {
+            let f = &self.frames[seq as usize];
+            if seq < self.sent_upto {
+                self.metrics.borrow_mut().retransmits += 1;
+            }
+            let (kind, bytes) = if f.shed {
+                (REC_TOMBSTONE, &[][..])
+            } else {
+                (REC_FRAME, f.bytes.as_slice())
+            };
+            ctx.send(self.server, data_msg(kind, self.session, seq, bytes));
+        }
+        self.sent_upto = self.sent_upto.max(end);
+    }
+
+    /// One pressure event (ack timeout or `Busy`): slow down, and once
+    /// the budget is exhausted shed the lowest-priority unacked frame —
+    /// as a tombstone, so the sequence space stays contiguous and
+    /// cumulative acks are unaffected.
+    fn under_pressure(&mut self) {
+        self.pressure = self.pressure.saturating_add(1);
+        self.backoff_exp = (self.backoff_exp + 1).min(MAX_BACKOFF_EXP);
+        if self.pressure <= self.shed_budget {
+            return;
+        }
+        let total = self.frames.len() as u64;
+        let mut pick: Option<(u8, u64)> = None;
+        for seq in self.base..total {
+            let f = &self.frames[seq as usize];
+            if f.shed {
+                continue;
+            }
+            // Lowest priority loses; among equals, the newest goes first.
+            let better = match pick {
+                None => true,
+                Some((p, s)) => f.priority < p || (f.priority == p && seq > s),
+            };
+            if better {
+                pick = Some((f.priority, seq));
+            }
+        }
+        if let Some((_, seq)) = pick {
+            self.frames[seq as usize].shed = true;
+            self.metrics.borrow_mut().shed += 1;
+        }
+        self.pressure = 0;
+    }
+
+    fn finish_if_done(&mut self) -> bool {
+        if !self.done && self.base >= self.frames.len() as u64 {
+            self.done = true;
+            self.metrics.borrow_mut().sessions_done += 1;
+        }
+        self.done
+    }
+}
+
+impl NetNode for PodClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.finish_if_done() {
+            return; // nothing to stream
+        }
+        self.send_window(ctx, false);
+        self.arm(ctx);
+    }
+
+    fn on_message(&mut self, _from: Addr, payload: Vec<u8>, ctx: &mut Ctx<'_>) {
+        if self.done || payload.len() != 17 {
+            return;
+        }
+        let (tag, session, value) = (
+            payload[0],
+            parse_u64(&payload[1..9]),
+            parse_u64(&payload[9..17]),
+        );
+        if session != self.session {
+            return;
+        }
+        match tag {
+            MSG_ACK if value > self.base => {
+                self.base = value;
+                self.backoff_exp = 0;
+                self.pressure = 0;
+                if self.finish_if_done() {
+                    return;
+                }
+                self.send_window(ctx, false);
+                self.arm(ctx);
+            }
+            MSG_ACK => {} // stale or duplicate ack
+            MSG_BUSY => {
+                // The hive told us to slow down: back off without
+                // retransmitting; the pushed-out timer drives the retry.
+                self.under_pressure();
+                self.arm(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {
+        if self.done || tag != self.epoch {
+            return; // finished, or a stale timer from a superseded epoch
+        }
+        self.under_pressure();
+        self.send_window(ctx, true);
+        self.arm(ctx);
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SessionState {
+    /// Next expected sequence (everything below is journaled).
+    accepted: u64,
+    /// Cumulative ack floor: everything below is journaled *and synced*.
+    synced: u64,
+    /// A sync/ack is owed since the last tick.
+    dirty: bool,
+}
+
+/// The hive side: a netsim node that accepts session frames, journals
+/// them ahead of merge, acks after sync, and feeds a long-lived ingest
+/// pipeline session ([`FrameSender`]).
+pub struct HiveServer {
+    tx: FrameSender,
+    journal: Rc<RefCell<MemJournal>>,
+    /// Per-session state. BTreeMap: ack emission order must be
+    /// deterministic for reproducible runs.
+    sessions: BTreeMap<u64, SessionState>,
+    /// Accepted-but-unsynced records, in journal order, awaiting the
+    /// next sync tick (the fsync batch).
+    pending: Vec<(u8, Vec<u8>)>,
+    tick_armed: bool,
+    sync_interval_us: u64,
+    busy_budget: usize,
+    lost_bytes: u64,
+    metrics: Rc<RefCell<Metrics>>,
+}
+
+impl HiveServer {
+    /// Creates the server feeding `tx` (a live pipeline's sender). The
+    /// journal is shared so the orchestrator can read it back after the
+    /// simulation ends.
+    pub fn new(tx: FrameSender, journal: Rc<RefCell<MemJournal>>, cfg: &TransportConfig) -> Self {
+        HiveServer {
+            tx,
+            journal,
+            sessions: BTreeMap::new(),
+            pending: Vec::new(),
+            tick_armed: false,
+            sync_interval_us: cfg.sync_interval_us.max(1),
+            busy_budget: cfg.busy_budget.max(1),
+            lost_bytes: 0,
+            metrics: Rc::new(RefCell::new(Metrics::default())),
+        }
+    }
+
+    fn with_metrics(mut self, metrics: Rc<RefCell<Metrics>>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+}
+
+impl NetNode for HiveServer {
+    fn on_message(&mut self, from: Addr, payload: Vec<u8>, ctx: &mut Ctx<'_>) {
+        if payload.len() < 18 || payload[0] != MSG_DATA {
+            return;
+        }
+        let kind = payload[1];
+        if kind != REC_FRAME && kind != REC_TOMBSTONE {
+            return;
+        }
+        let session = parse_u64(&payload[2..10]);
+        let seq = parse_u64(&payload[10..18]);
+        let frame = &payload[18..];
+        let state = self.sessions.entry(session).or_default();
+        if seq < state.accepted {
+            // Redelivery (network duplicate, or a retransmit racing an
+            // ack): idempotent — discard and re-ack the synced floor.
+            self.metrics.borrow_mut().duplicates += 1;
+            ctx.send(from, ctl_msg(MSG_ACK, session, state.synced));
+            return;
+        }
+        if seq > state.accepted {
+            // Go-back-N gap: remind the sender where we actually are.
+            ctx.send(from, ctl_msg(MSG_ACK, session, state.synced));
+            return;
+        }
+        if self.pending.len() >= self.busy_budget {
+            // Backlog full: push back instead of buffering unboundedly.
+            self.metrics.borrow_mut().busy_nacks += 1;
+            ctx.send(from, ctl_msg(MSG_BUSY, session, seq));
+            return;
+        }
+        // Accept: journal ahead of merge. The ack waits for the sync
+        // tick — never promise durability before the barrier.
+        let mut rec = Vec::new();
+        journal::append_record(&mut rec, kind, session, seq, frame);
+        self.journal.borrow_mut().append(&rec);
+        state.accepted += 1;
+        state.dirty = true;
+        self.pending.push((kind, frame.to_vec()));
+        if !self.tick_armed {
+            self.tick_armed = true;
+            ctx.set_timer(self.sync_interval_us, TICK_TAG);
+        }
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_>) {
+        // Sync tick: one fsync batch covers every frame accepted since
+        // the last tick. Only now do the frames enter the pipeline and
+        // the acks go out — the ack-after-sync invariant.
+        self.tick_armed = false;
+        self.journal.borrow_mut().sync();
+        for (kind, frame) in self.pending.drain(..) {
+            // Delivery metrics count here, at the barrier: a frame
+            // accepted but crashed away before sync was never delivered
+            // (its client re-sends it and it is counted on the retry).
+            if kind == REC_FRAME {
+                self.metrics.borrow_mut().delivered += 1;
+                self.tx.submit(frame);
+            } else {
+                self.metrics.borrow_mut().tombstones += 1;
+            }
+        }
+        for (&session, state) in self.sessions.iter_mut() {
+            if state.dirty {
+                state.synced = state.accepted;
+                state.dirty = false;
+                ctx.send(
+                    Addr(session as u32),
+                    ctl_msg(MSG_ACK, session, state.synced),
+                );
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Process death: volatile state is gone. The journal's unsynced
+        // tail goes with it (the OS never promised those bytes), and
+        // since unsynced frames were never acked, clients still own them.
+        self.lost_bytes += self.journal.borrow_mut().crash() as u64;
+        self.pending.clear();
+        self.sessions.clear();
+        self.tick_armed = false;
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {
+        // Recovery is a journal scan: rebuild every session's cumulative
+        // floor from the synced prefix. Synced frames were already
+        // submitted to the pipeline (sync and submit are one atomic tick
+        // here), so replay feeds only the dedup state, not the merger.
+        let mut m = self.metrics.borrow_mut();
+        m.recoveries += 1;
+        drop(m);
+        let bytes = self.journal.borrow().bytes().to_vec();
+        let (records, _) = journal::scan(&bytes);
+        for rec in records {
+            let state = self.sessions.entry(rec.session).or_default();
+            state.accepted = state.accepted.max(rec.seq + 1);
+            state.synced = state.accepted;
+        }
+        // Clients' retransmit timers re-drive the stream; the server is
+        // purely reactive and needs no timer of its own until data
+        // arrives.
+    }
+}
+
+/// Streams every pod's frames to the hive over the simulated network
+/// with the full session protocol, feeding the hive's staged ingest
+/// pipeline as frames become durable. Pods are nodes `0..pods.len()`,
+/// the server is node `pods.len()` (address fault plans accordingly).
+///
+/// The ingest policy is forced to [`BackpressurePolicy::Block`]: an
+/// acked frame is a durability promise, so the pipeline may stall the
+/// (simulated) server but never shed.
+///
+/// # Errors
+///
+/// Returns a [`FaultPlanError`] when the fault plan fails validation
+/// against the node count.
+pub fn run_reliable_ingest(
+    hive: &mut Hive<'_>,
+    pods: Vec<Vec<(u8, Vec<u8>)>>,
+    ingest_cfg: &IngestConfig,
+    cfg: &TransportConfig,
+) -> Result<(TransportReport, IngestStats), FaultPlanError> {
+    let n_pods = pods.len() as u32;
+    cfg.faults.validate(n_pods + 1)?;
+    let mut ingest_cfg = ingest_cfg.clone();
+    ingest_cfg.policy = BackpressurePolicy::Block;
+    let cfg = cfg.clone();
+    let (report, stats) = hive.ingest_frames(&ingest_cfg, move |tx| {
+        // The producer thread hosts the whole simulated network; only
+        // `tx` crosses back into the pipeline.
+        let metrics = Rc::new(RefCell::new(Metrics::default()));
+        let journal = Rc::new(RefCell::new(MemJournal::new()));
+        let mut sim = Sim::new(SimConfig {
+            seed: cfg.seed,
+            link: cfg.link,
+            max_events: cfg.max_events,
+            faults: cfg.faults.clone(),
+        });
+        let server_addr = Addr(n_pods);
+        let n_sessions = pods.len() as u64;
+        for (i, frames) in pods.into_iter().enumerate() {
+            sim.add_node(Box::new(
+                PodClient::new(i as u64, server_addr, frames, &cfg).with_metrics(metrics.clone()),
+            ));
+        }
+        let placed = sim.add_node(Box::new(
+            HiveServer::new(tx, journal.clone(), &cfg).with_metrics(metrics.clone()),
+        ));
+        debug_assert_eq!(placed, server_addr, "server must sit at Addr(n_pods)");
+        sim.run();
+
+        let m = metrics.borrow();
+        let j = journal.borrow();
+        let synced = j.synced_bytes().to_vec();
+        let (records, scan) = journal::scan(&synced);
+        debug_assert_eq!(scan.tail_error, None, "synced prefix is always intact");
+        TransportReport {
+            completed: m.sessions_done == n_sessions,
+            delivered: m.delivered,
+            tombstones: m.tombstones,
+            duplicates: m.duplicates,
+            retransmits: m.retransmits,
+            busy_nacks: m.busy_nacks,
+            shed: m.shed,
+            acked: records.len() as u64,
+            recoveries: m.recoveries,
+            journal_syncs: j.syncs,
+            journal_lost_bytes: (j.bytes().len() - synced.len()) as u64,
+            journal: synced,
+            net: sim.stats(),
+        }
+    });
+    Ok((report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_encodings_roundtrip() {
+        let d = data_msg(REC_FRAME, 3, 9, b"xyz");
+        assert_eq!(d[0], MSG_DATA);
+        assert_eq!(d[1], REC_FRAME);
+        assert_eq!(parse_u64(&d[2..10]), 3);
+        assert_eq!(parse_u64(&d[10..18]), 9);
+        assert_eq!(&d[18..], b"xyz");
+        let a = ctl_msg(MSG_ACK, 5, 7);
+        assert_eq!(
+            (a[0], parse_u64(&a[1..9]), parse_u64(&a[9..17])),
+            (MSG_ACK, 5, 7)
+        );
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered_deterministically() {
+        let mut c = PodClient::new(
+            0,
+            Addr(1),
+            vec![(0, vec![1, 2, 3])],
+            &TransportConfig {
+                ack_timeout_us: 10_000,
+                max_backoff_us: 80_000,
+                ..TransportConfig::default()
+            },
+        );
+        let r0 = c.rto();
+        assert!((10_000..15_000).contains(&r0), "base + jitter: {r0}");
+        for _ in 0..40 {
+            c.backoff_exp = (c.backoff_exp + 1).min(MAX_BACKOFF_EXP);
+        }
+        let r = c.rto();
+        assert!((80_000..85_000).contains(&r), "capped + jitter: {r}");
+        assert_eq!(c.rto(), c.rto(), "jitter is a pure function of state");
+    }
+
+    #[test]
+    fn pressure_sheds_lowest_priority_newest_first() {
+        let mut c = PodClient::new(
+            0,
+            Addr(1),
+            vec![(5, vec![0]), (1, vec![1]), (1, vec![2]), (9, vec![3])],
+            &TransportConfig {
+                shed_budget: 1,
+                ..TransportConfig::default()
+            },
+        );
+        c.under_pressure(); // within budget
+        assert!(c.frames.iter().all(|f| !f.shed));
+        c.under_pressure(); // over budget: sheds seq 2 (prio 1, newest)
+        let shed: Vec<usize> = c
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.shed)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(shed, vec![2]);
+        c.under_pressure();
+        c.under_pressure(); // next: seq 1 (prio 1)
+        let shed: Vec<usize> = c
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.shed)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(shed, vec![1, 2]);
+    }
+}

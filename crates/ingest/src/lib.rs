@@ -25,10 +25,12 @@
 
 #![warn(missing_docs)]
 
+pub mod memo;
 pub mod pipeline;
 pub mod queue;
 pub mod stats;
 
+pub use memo::MemoCache;
 pub use pipeline::{run, FrameSender, IngestConfig, ProcessedTrace, ReconstructContext};
 pub use queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 pub use stats::IngestStats;

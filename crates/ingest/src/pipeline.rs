@@ -26,6 +26,7 @@
 //!   This is the paper's information recycling applied to the hive's own
 //!   ingest path.
 
+use crate::memo::MemoCache;
 use crate::queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 use crate::stats::{IngestStats, StatsCore};
 use softborg_program::overlay::Overlay;
@@ -33,7 +34,7 @@ use softborg_program::taint::InputDependence;
 use softborg_program::{BranchSiteId, Program};
 use softborg_trace::{reconstruct, wire, ExecutionTrace};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -49,7 +50,8 @@ pub struct IngestConfig {
     pub merge_capacity: usize,
     /// What producers do when the frame queue is full.
     pub policy: BackpressurePolicy,
-    /// Per-worker memo entries for recycling reconstructions
+    /// Per-worker memo entries for recycling reconstructions; at
+    /// capacity the cache evicts with a second-chance (clock) sweep
     /// (0 disables the cache).
     pub memo_capacity: usize,
 }
@@ -227,7 +229,7 @@ fn worker_loop(
         active,
         merged: &shared.merged,
     };
-    let mut memo: HashMap<Vec<u8>, Arc<ProcessedTrace>> = HashMap::new();
+    let mut memo: MemoCache<Arc<ProcessedTrace>> = MemoCache::new(memo_capacity);
     while let Some(frame) = shared.frames.pop() {
         let t0 = Instant::now();
         let out = match wire::batch_payloads(&frame.bytes) {
@@ -238,7 +240,7 @@ fn worker_loop(
                 for p in payloads {
                     if let Some(hit) = memo.get(p) {
                         shared.stats.add(&shared.stats.cache_hits, 1);
-                        entries.push(hit.clone());
+                        entries.push(hit);
                         continue;
                     }
                     shared.stats.add(&shared.stats.cache_misses, 1);
@@ -250,9 +252,7 @@ fn worker_loop(
                         Ok(trace) => {
                             let decisions = reconstruct_decisions(&ctx, &trace);
                             let entry = Arc::new(ProcessedTrace { trace, decisions });
-                            if memo_capacity > 0 && memo.len() < memo_capacity {
-                                memo.insert(p.to_vec(), entry.clone());
-                            }
+                            memo.insert(p.to_vec(), entry.clone());
                             entries.push(entry);
                         }
                     }
@@ -278,6 +278,9 @@ fn worker_loop(
             out,
         });
     }
+    shared
+        .stats
+        .add(&shared.stats.cache_evictions, memo.evictions());
 }
 
 /// Heap entry ordered by ascending sequence number.

@@ -13,6 +13,7 @@ pub(crate) struct StatsCore {
     pub traces_merged: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
     /// Total worker time spent decoding + reconstructing, in ns.
     pub worker_busy_ns: AtomicU64,
     /// Total submit→merge latency over merged frames, in ns.
@@ -39,6 +40,7 @@ impl StatsCore {
             traces_merged: ld(&self.traces_merged),
             cache_hits: ld(&self.cache_hits),
             cache_misses: ld(&self.cache_misses),
+            cache_evictions: ld(&self.cache_evictions),
             worker_busy_ns: ld(&self.worker_busy_ns),
             frame_latency_ns: ld(&self.frame_latency_ns),
             queue_high_water,
@@ -69,6 +71,9 @@ pub struct IngestStats {
     pub cache_hits: u64,
     /// Traces that required a full decode + reconstruction.
     pub cache_misses: u64,
+    /// Memo entries rotated out by the second-chance sweep (summed over
+    /// workers).
+    pub cache_evictions: u64,
     /// Total worker time spent decoding + reconstructing, in ns.
     pub worker_busy_ns: u64,
     /// Total submit→merge latency across merged frames, in ns.

@@ -1,0 +1,336 @@
+//! Composable fault plans: what the network and the nodes are allowed to
+//! do to you.
+//!
+//! A [`FaultPlan`] extends the per-link loss/jitter model of
+//! [`LinkConfig`](crate::LinkConfig) with the failure modes a deployed
+//! hive actually sees (paper §4: "mostly end-user machines communicating
+//! over a potentially unreliable network"):
+//!
+//! * **Duplication** — a message is delivered twice, with independent
+//!   latency draws (retransmit-happy middleboxes, at-least-once relays).
+//! * **Reordering** — a fraction of messages pick up an extra delay drawn
+//!   from a configurable window, so later sends can overtake them by far
+//!   more than ordinary jitter allows.
+//! * **Partitions** — a pair of addresses cannot exchange messages during
+//!   a time window (checked symmetrically at send time).
+//! * **Crash/restart** — a node goes down at a scheduled time and comes
+//!   back later; unlike a plain [`Sim::schedule_outage`] the node is told
+//!   about it via [`NetNode::on_crash`] / [`NetNode::on_restart`], so
+//!   stateful nodes can model volatile-state loss and recovery.
+//!
+//! Plans are *validated up front* ([`FaultPlan::validate`]) with typed
+//! [`FaultPlanError`]s — an inverted window or out-of-range node is a
+//! configuration bug and must fail loudly at config time, never degrade
+//! into a silent no-op mid-experiment.
+//!
+//! [`Sim::schedule_outage`]: crate::Sim::schedule_outage
+//! [`NetNode::on_crash`]: crate::NetNode::on_crash
+//! [`NetNode::on_restart`]: crate::NetNode::on_restart
+
+use crate::{Addr, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A symmetric link partition: no messages flow between `a` and `b`
+/// (either direction) from `from_us` until `until_us` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// One endpoint.
+    pub a: Addr,
+    /// The other endpoint.
+    pub b: Addr,
+    /// Partition start (µs, inclusive).
+    pub from_us: u64,
+    /// Partition end (µs, exclusive).
+    pub until_us: u64,
+}
+
+impl Partition {
+    /// `true` while the partition separates `x` and `y` at `now`.
+    pub fn blocks(&self, x: Addr, y: Addr, now: SimTime) -> bool {
+        let pair = (x == self.a && y == self.b) || (x == self.b && y == self.a);
+        pair && now.0 >= self.from_us && now.0 < self.until_us
+    }
+}
+
+/// A scheduled crash: the node goes down at `at_us` (its volatile state
+/// is declared lost via [`NetNode::on_crash`](crate::NetNode::on_crash))
+/// and restarts at `restart_us`
+/// ([`NetNode::on_restart`](crate::NetNode::on_restart)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crash {
+    /// The node to crash.
+    pub node: Addr,
+    /// Crash time (µs).
+    pub at_us: u64,
+    /// Restart time (µs); must be strictly after `at_us`.
+    pub restart_us: u64,
+}
+
+/// A composable set of injected faults, applied on top of the base
+/// [`LinkConfig`](crate::LinkConfig). The default plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability a sent message is delivered twice, in parts per 1000.
+    pub dup_per_mille: u32,
+    /// Probability a delivery picks up an extra reordering delay, in
+    /// parts per 1000.
+    pub reorder_per_mille: u32,
+    /// Upper bound on the extra reordering delay (µs, uniform draw).
+    pub reorder_window_us: u64,
+    /// Scheduled link partitions between address pairs.
+    pub partitions: Vec<Partition>,
+    /// Scheduled node crash/restart events.
+    pub crashes: Vec<Crash>,
+}
+
+/// An invalid fault plan (or outage schedule), reported at config time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A probability exceeded 1000 parts per mille.
+    RateOutOfRange {
+        /// Which knob was out of range.
+        what: &'static str,
+        /// The offending value.
+        per_mille: u32,
+    },
+    /// A time window ends at or before it starts.
+    WindowInverted {
+        /// Which schedule entry was inverted.
+        what: &'static str,
+        /// Window start (µs).
+        start_us: u64,
+        /// Window end (µs).
+        end_us: u64,
+    },
+    /// A schedule entry names a node the simulation does not have.
+    NodeOutOfRange {
+        /// Which schedule entry named the node.
+        what: &'static str,
+        /// The out-of-range address.
+        node: Addr,
+        /// Number of nodes actually in the simulation.
+        nodes: u32,
+    },
+    /// A partition names the same address on both ends.
+    SelfPartition {
+        /// The address partitioned from itself.
+        node: Addr,
+    },
+    /// Reordering is enabled but the delay window is zero (a no-op that
+    /// almost certainly means a misconfigured sweep).
+    EmptyReorderWindow,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::RateOutOfRange { what, per_mille } => {
+                write!(f, "{what} = {per_mille}‰ exceeds 1000‰")
+            }
+            FaultPlanError::WindowInverted {
+                what,
+                start_us,
+                end_us,
+            } => write!(
+                f,
+                "{what} window [{start_us}, {end_us}) is inverted or empty"
+            ),
+            FaultPlanError::NodeOutOfRange { what, node, nodes } => {
+                write!(
+                    f,
+                    "{what} names {node} but the simulation has {nodes} nodes"
+                )
+            }
+            FaultPlanError::SelfPartition { node } => {
+                write!(f, "partition of {node} from itself")
+            }
+            FaultPlanError::EmptyReorderWindow => {
+                write!(f, "reorder_per_mille > 0 but reorder_window_us = 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Validates every invariant against a simulation of `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] found: rates over 1000‰,
+    /// inverted time windows, out-of-range node addresses, self
+    /// partitions, and reordering with an empty window.
+    pub fn validate(&self, nodes: u32) -> Result<(), FaultPlanError> {
+        for (what, per_mille) in [
+            ("dup_per_mille", self.dup_per_mille),
+            ("reorder_per_mille", self.reorder_per_mille),
+        ] {
+            if per_mille > 1000 {
+                return Err(FaultPlanError::RateOutOfRange { what, per_mille });
+            }
+        }
+        if self.reorder_per_mille > 0 && self.reorder_window_us == 0 {
+            return Err(FaultPlanError::EmptyReorderWindow);
+        }
+        for p in &self.partitions {
+            if p.a == p.b {
+                return Err(FaultPlanError::SelfPartition { node: p.a });
+            }
+            if p.until_us <= p.from_us {
+                return Err(FaultPlanError::WindowInverted {
+                    what: "partition",
+                    start_us: p.from_us,
+                    end_us: p.until_us,
+                });
+            }
+            for (what, addr) in [("partition", p.a), ("partition", p.b)] {
+                if addr.0 >= nodes {
+                    return Err(FaultPlanError::NodeOutOfRange {
+                        what,
+                        node: addr,
+                        nodes,
+                    });
+                }
+            }
+        }
+        for c in &self.crashes {
+            if c.restart_us <= c.at_us {
+                return Err(FaultPlanError::WindowInverted {
+                    what: "crash",
+                    start_us: c.at_us,
+                    end_us: c.restart_us,
+                });
+            }
+            if c.node.0 >= nodes {
+                return Err(FaultPlanError::NodeOutOfRange {
+                    what: "crash",
+                    node: c.node,
+                    nodes,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when a partition blocks `from → to` at `now`.
+    pub fn partitioned(&self, from: Addr, to: Addr, now: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.blocks(from, to, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            dup_per_mille: 100,
+            reorder_per_mille: 50,
+            reorder_window_us: 10_000,
+            partitions: vec![Partition {
+                a: Addr(0),
+                b: Addr(1),
+                from_us: 5,
+                until_us: 10,
+            }],
+            crashes: vec![Crash {
+                node: Addr(1),
+                at_us: 100,
+                restart_us: 200,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        assert_eq!(plan().validate(2), Ok(()));
+        assert!(FaultPlan::default().is_empty());
+        assert!(!plan().is_empty());
+    }
+
+    #[test]
+    fn rates_over_one_thousand_are_rejected() {
+        let p = FaultPlan {
+            dup_per_mille: 1001,
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            p.validate(1),
+            Err(FaultPlanError::RateOutOfRange {
+                what: "dup_per_mille",
+                per_mille: 1001
+            })
+        );
+    }
+
+    #[test]
+    fn inverted_windows_are_rejected() {
+        let mut p = plan();
+        p.partitions[0].until_us = p.partitions[0].from_us;
+        assert!(matches!(
+            p.validate(2),
+            Err(FaultPlanError::WindowInverted {
+                what: "partition",
+                ..
+            })
+        ));
+        let mut p = plan();
+        p.crashes[0].restart_us = p.crashes[0].at_us;
+        assert!(matches!(
+            p.validate(2),
+            Err(FaultPlanError::WindowInverted { what: "crash", .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_rejected() {
+        assert!(matches!(
+            plan().validate(1),
+            Err(FaultPlanError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn self_partition_is_rejected() {
+        let p = FaultPlan {
+            partitions: vec![Partition {
+                a: Addr(3),
+                b: Addr(3),
+                from_us: 0,
+                until_us: 5,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            p.validate(9),
+            Err(FaultPlanError::SelfPartition { node: Addr(3) })
+        );
+    }
+
+    #[test]
+    fn reorder_without_window_is_rejected() {
+        let p = FaultPlan {
+            reorder_per_mille: 10,
+            reorder_window_us: 0,
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.validate(1), Err(FaultPlanError::EmptyReorderWindow));
+    }
+
+    #[test]
+    fn partition_windows_are_symmetric_and_half_open() {
+        let p = plan();
+        assert!(!p.partitioned(Addr(0), Addr(1), SimTime(4)));
+        assert!(p.partitioned(Addr(0), Addr(1), SimTime(5)));
+        assert!(p.partitioned(Addr(1), Addr(0), SimTime(9)));
+        assert!(!p.partitioned(Addr(0), Addr(1), SimTime(10)));
+        assert!(!p.partitioned(Addr(0), Addr(2), SimTime(7)));
+    }
+}

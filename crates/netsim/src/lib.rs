@@ -42,6 +42,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
+
+pub use fault::{Crash, FaultPlan, FaultPlanError, Partition};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -100,7 +104,7 @@ impl Default for LinkConfig {
 }
 
 /// Simulation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// RNG seed (latency jitter, loss, churn).
     pub seed: u64,
@@ -108,6 +112,10 @@ pub struct SimConfig {
     pub link: LinkConfig,
     /// Safety cap on processed events.
     pub max_events: u64,
+    /// Injected faults on top of the link model (duplication, reordering,
+    /// partitions, scheduled crash/restart). Validate with
+    /// [`FaultPlan::validate`] once the node count is known.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -116,6 +124,7 @@ impl Default for SimConfig {
             seed: 0,
             link: LinkConfig::default(),
             max_events: 1_000_000,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -129,6 +138,13 @@ pub struct SimStats {
     pub delivered: u64,
     /// Messages dropped by loss or dead destination.
     pub dropped: u64,
+    /// Messages dropped by an active link partition (also counted in
+    /// `dropped`).
+    pub partition_dropped: u64,
+    /// Extra deliveries injected by [`FaultPlan::dup_per_mille`].
+    pub duplicated: u64,
+    /// Node crash events executed (scheduled crashes and outages).
+    pub crashes: u64,
     /// Payload bytes delivered.
     pub bytes_delivered: u64,
     /// Timers fired.
@@ -147,6 +163,16 @@ pub trait NetNode {
     fn on_message(&mut self, from: Addr, payload: Vec<u8>, ctx: &mut Ctx<'_>) {}
     /// A timer armed with [`Ctx::set_timer`] fired.
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_>) {}
+    /// The node crashed (scheduled [`Crash`] or
+    /// [`Sim::schedule_outage`]). Stateful nodes should discard whatever
+    /// would not survive a real process death (volatile queues, unsynced
+    /// buffers); durable state (a journal's synced prefix) survives. No
+    /// `Ctx` is provided — a dead node cannot send or arm timers.
+    fn on_crash(&mut self) {}
+    /// The node restarted after a crash; timers armed before the crash
+    /// that came due while it was down have been discarded, so re-arm
+    /// whatever the recovery path needs.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {}
 }
 
 /// Node-side API surface during a callback.
@@ -226,10 +252,12 @@ impl fmt::Debug for Sim {
 }
 
 impl Sim {
-    /// Creates a simulator.
+    /// Creates a simulator. Crashes scheduled in the config's
+    /// [`FaultPlan`] are queued immediately (validate the plan with
+    /// [`FaultPlan::validate`] first — an unknown address is silently
+    /// inert at fire time).
     pub fn new(config: SimConfig) -> Self {
-        Sim {
-            config,
+        let mut sim = Sim {
             rng: SmallRng::seed_from_u64(config.seed),
             now: SimTime(0),
             queue: BinaryHeap::new(),
@@ -239,7 +267,13 @@ impl Sim {
             started: Vec::new(),
             stats: SimStats::default(),
             seq: 0,
+            config,
+        };
+        for c in sim.config.faults.crashes.clone() {
+            sim.push_event(SimTime(c.at_us), Event::NodeDown(c.node));
+            sim.push_event(SimTime(c.restart_us), Event::NodeUp(c.node));
         }
+        sim
     }
 
     /// Adds a node; its `on_start` runs when the simulation (re)starts.
@@ -276,23 +310,52 @@ impl Sim {
         self.seq += 1;
     }
 
+    /// One independent latency draw: base + jitter, plus the reordering
+    /// window when that fault fires.
+    fn delivery_delay(&mut self) -> u64 {
+        let link = self.config.link;
+        let mut delay = link.base_latency_us;
+        if link.jitter_us > 0 {
+            delay += self.rng.gen_range(0..=link.jitter_us);
+        }
+        let reorder_pm = self.config.faults.reorder_per_mille;
+        let window = self.config.faults.reorder_window_us;
+        if reorder_pm > 0 && window > 0 && self.rng.gen_range(0..1000) < reorder_pm {
+            delay += self.rng.gen_range(0..=window);
+        }
+        delay
+    }
+
     fn flush_actions(&mut self, me: Addr, actions: Vec<Action>) {
         for a in actions {
             match a {
                 Action::Send { to, payload } => {
                     self.stats.sent += 1;
+                    if self.config.faults.partitioned(me, to, self.now) {
+                        self.stats.dropped += 1;
+                        self.stats.partition_dropped += 1;
+                        continue;
+                    }
                     let lost = self.config.link.loss_per_mille > 0
                         && self.rng.gen_range(0..1000) < self.config.link.loss_per_mille;
                     if lost {
                         self.stats.dropped += 1;
                         continue;
                     }
-                    let jitter = if self.config.link.jitter_us > 0 {
-                        self.rng.gen_range(0..=self.config.link.jitter_us)
-                    } else {
-                        0
-                    };
-                    let at = self.now.after(self.config.link.base_latency_us + jitter);
+                    let dup_pm = self.config.faults.dup_per_mille;
+                    if dup_pm > 0 && self.rng.gen_range(0..1000) < dup_pm {
+                        self.stats.duplicated += 1;
+                        let at = self.now.after(self.delivery_delay());
+                        self.push_event(
+                            at,
+                            Event::Deliver {
+                                from: me,
+                                to,
+                                payload: payload.clone(),
+                            },
+                        );
+                    }
+                    let at = self.now.after(self.delivery_delay());
                     self.push_event(
                         at,
                         Event::Deliver {
@@ -392,13 +455,29 @@ impl Sim {
                     self.flush_actions(node, outbox);
                 }
                 Event::NodeDown(a) => {
-                    if let Some(alive) = self.alive.get_mut(a.0 as usize) {
-                        *alive = false;
+                    let i = a.0 as usize;
+                    if i < self.alive.len() && self.alive[i] {
+                        self.alive[i] = false;
+                        self.stats.crashes += 1;
+                        if let Some(node) = self.nodes[i].as_mut() {
+                            node.on_crash();
+                        }
                     }
                 }
                 Event::NodeUp(a) => {
-                    if let Some(alive) = self.alive.get_mut(a.0 as usize) {
-                        *alive = true;
+                    let i = a.0 as usize;
+                    if i < self.alive.len() && !self.alive[i] {
+                        self.alive[i] = true;
+                        let mut outbox = Vec::new();
+                        if let Some(node) = self.nodes[i].as_mut() {
+                            let mut ctx = Ctx {
+                                now: self.now,
+                                me: a,
+                                outbox: &mut outbox,
+                            };
+                            node.on_restart(&mut ctx);
+                        }
+                        self.flush_actions(a, outbox);
                     }
                 }
             }
@@ -431,7 +510,7 @@ impl Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
+    use std::cell::{Cell, RefCell};
     use std::rc::Rc;
 
     struct Counter {
@@ -594,6 +673,176 @@ mod tests {
             let hits = Rc::new(Cell::new(0));
             let c = sim.add_node(Box::new(Counter { hits: hits.clone() }));
             sim.add_node(Box::new(Sender { to: c, n: 50 }));
+            sim.run();
+            (hits.get(), sim.now(), sim.stats())
+        };
+        assert_eq!(build_and_run(), build_and_run());
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut sim = Sim::new(SimConfig {
+            faults: FaultPlan {
+                dup_per_mille: 1000,
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        });
+        let hits = Rc::new(Cell::new(0));
+        let c = sim.add_node(Box::new(Counter { hits: hits.clone() }));
+        sim.add_node(Box::new(Sender { to: c, n: 10 }));
+        sim.run();
+        assert_eq!(hits.get(), 20, "every message doubled");
+        assert_eq!(sim.stats().duplicated, 10);
+    }
+
+    #[test]
+    fn reordering_window_shuffles_arrival_order() {
+        struct OrderProbe {
+            got: Rc<RefCell<Vec<u8>>>,
+        }
+        impl NetNode for OrderProbe {
+            fn on_message(&mut self, _f: Addr, p: Vec<u8>, _c: &mut Ctx<'_>) {
+                self.got.borrow_mut().push(p[0]);
+            }
+        }
+        let run = |reorder_pm| {
+            let mut sim = Sim::new(SimConfig {
+                seed: 7,
+                link: LinkConfig {
+                    jitter_us: 0,
+                    ..LinkConfig::default()
+                },
+                faults: FaultPlan {
+                    reorder_per_mille: reorder_pm,
+                    reorder_window_us: if reorder_pm > 0 { 50_000 } else { 0 },
+                    ..FaultPlan::default()
+                },
+                ..SimConfig::default()
+            });
+            let got = Rc::new(RefCell::new(Vec::new()));
+            let probe = sim.add_node(Box::new(OrderProbe { got: got.clone() }));
+            sim.add_node(Box::new(Sender { to: probe, n: 30 }));
+            sim.run();
+            let order = got.borrow().clone();
+            order
+        };
+        let in_order = run(0);
+        assert!(in_order.windows(2).all(|w| w[0] <= w[1]), "no jitter, FIFO");
+        let shuffled = run(500);
+        assert_eq!(shuffled.len(), 30, "reordering never loses messages");
+        assert!(
+            shuffled.windows(2).any(|w| w[0] > w[1]),
+            "a 50ms window over 1ms latency must overtake: {shuffled:?}"
+        );
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_then_heals() {
+        struct TimedSender {
+            to: Addr,
+            at: Vec<u64>,
+        }
+        impl NetNode for TimedSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for (i, t) in self.at.iter().enumerate() {
+                    ctx.set_timer(*t, i as u64);
+                }
+            }
+            fn on_timer(&mut self, _t: u64, ctx: &mut Ctx<'_>) {
+                ctx.send(self.to, vec![1]);
+            }
+        }
+        let mut sim = Sim::new(SimConfig {
+            faults: FaultPlan {
+                partitions: vec![Partition {
+                    a: Addr(0),
+                    b: Addr(1),
+                    from_us: 0,
+                    until_us: 100_000,
+                }],
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        });
+        let hits = Rc::new(Cell::new(0));
+        let c = sim.add_node(Box::new(Counter { hits: hits.clone() }));
+        sim.add_node(Box::new(TimedSender {
+            to: c,
+            at: vec![10, 200_000],
+        }));
+        sim.run();
+        assert_eq!(hits.get(), 1, "only the post-heal message lands");
+        assert_eq!(sim.stats().partition_dropped, 1);
+    }
+
+    #[test]
+    fn scheduled_crash_fires_callbacks_and_discards_state() {
+        struct Crashy {
+            volatile: u32,
+            crashes: Rc<Cell<u32>>,
+            restarts: Rc<Cell<u32>>,
+        }
+        impl NetNode for Crashy {
+            fn on_message(&mut self, _f: Addr, _p: Vec<u8>, _c: &mut Ctx<'_>) {
+                self.volatile += 1;
+            }
+            fn on_crash(&mut self) {
+                self.volatile = 0;
+                self.crashes.set(self.crashes.get() + 1);
+            }
+            fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+                self.restarts.set(self.restarts.get() + 1);
+                ctx.set_timer(10, 99); // recovery path can re-arm timers
+            }
+        }
+        let crashes = Rc::new(Cell::new(0));
+        let restarts = Rc::new(Cell::new(0));
+        let mut sim = Sim::new(SimConfig {
+            faults: FaultPlan {
+                crashes: vec![Crash {
+                    node: Addr(0),
+                    at_us: 5_000,
+                    restart_us: 20_000,
+                }],
+                ..FaultPlan::default()
+            },
+            ..SimConfig::default()
+        });
+        sim.add_node(Box::new(Crashy {
+            volatile: 0,
+            crashes: crashes.clone(),
+            restarts: restarts.clone(),
+        }));
+        let victim = Addr(0);
+        sim.add_node(Box::new(Sender { to: victim, n: 3 }));
+        sim.run();
+        assert_eq!(crashes.get(), 1);
+        assert_eq!(restarts.get(), 1);
+        assert_eq!(sim.stats().crashes, 1);
+        assert!(sim.stats().timers >= 1, "restart timer fired");
+    }
+
+    #[test]
+    fn faulty_runs_stay_deterministic() {
+        let build_and_run = || {
+            let mut sim = Sim::new(SimConfig {
+                seed: 11,
+                link: LinkConfig {
+                    loss_per_mille: 100,
+                    ..LinkConfig::default()
+                },
+                faults: FaultPlan {
+                    dup_per_mille: 200,
+                    reorder_per_mille: 300,
+                    reorder_window_us: 30_000,
+                    ..FaultPlan::default()
+                },
+                ..SimConfig::default()
+            });
+            let hits = Rc::new(Cell::new(0));
+            let c = sim.add_node(Box::new(Counter { hits: hits.clone() }));
+            sim.add_node(Box::new(Sender { to: c, n: 64 }));
             sim.run();
             (hits.get(), sim.now(), sim.stats())
         };

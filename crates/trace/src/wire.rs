@@ -426,8 +426,10 @@ pub fn batch_payloads(data: &[u8]) -> Result<Vec<&[u8]>, WireError> {
     Ok(payloads)
 }
 
-/// FNV-1a 64-bit hash (the frame checksum).
-fn fnv1a(data: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash — the checksum used by batch frames and by the
+/// hive's write-ahead journal records (exposed so the journal layer
+/// shares one checksum definition with the wire format).
+pub fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
         h ^= u64::from(b);

@@ -25,15 +25,27 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 128 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(128),
+        }
     }
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases per property.
+    /// A config running `cases` cases per property. The
+    /// `PROPTEST_CASES` environment variable takes precedence even over
+    /// an explicit count — it is the CI knob for cranking coverage
+    /// without editing the tests.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
+}
+
+/// Parses the `PROPTEST_CASES` override; unset or malformed → `None`.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
 }
 
 /// The generator handed to strategies. Deterministically seeded from the
