@@ -9,6 +9,7 @@
 //! deadlock-immunity fix before users are bitten at scale.
 
 use serde::{Deserialize, Serialize};
+use softborg_program::codec::{self, CodecError};
 use softborg_program::interp::Outcome;
 use softborg_program::LockId;
 use softborg_trace::ExecutionTrace;
@@ -97,6 +98,40 @@ impl LockOrderGraph {
                 }
             })
             .collect()
+    }
+
+    /// Serializes the aggregate for the durable-snapshot byte format.
+    /// Deterministic: the edge map is a `BTreeMap`, so iteration order is
+    /// stable.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        codec::put_u32(buf, self.edges.len() as u32);
+        for (&(a, b), &count) in &self.edges {
+            codec::put_u32(buf, a);
+            codec::put_u32(buf, b);
+            codec::put_u64(buf, count);
+        }
+        codec::put_u64(buf, self.observed_deadlocks);
+        codec::put_u64(buf, self.traces_seen);
+    }
+
+    /// Decodes an aggregate written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.seq_len("LockOrderGraph.edges", 16)?;
+        let mut edges = BTreeMap::new();
+        for _ in 0..n {
+            let a = r.u32("LockOrderGraph.edge.a")?;
+            let b = r.u32("LockOrderGraph.edge.b")?;
+            edges.insert((a, b), r.u64("LockOrderGraph.edge.count")?);
+        }
+        Ok(LockOrderGraph {
+            edges,
+            observed_deadlocks: r.u64("LockOrderGraph.observed_deadlocks")?,
+            traces_seen: r.u64("LockOrderGraph.traces_seen")?,
+        })
     }
 
     fn dfs_cycles(
@@ -221,6 +256,25 @@ mod tests {
         g.ingest(&trace_with_pairs(vec![(1, 0)], false));
         let cycles = g.cycles(4);
         assert_eq!(cycles[0].support, 1);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_aggregate() {
+        let mut g = LockOrderGraph::new();
+        g.ingest(&trace_with_pairs(vec![(0, 1), (1, 2)], false));
+        g.ingest(&trace_with_pairs(vec![(1, 0)], true));
+        let mut buf = Vec::new();
+        g.encode_into(&mut buf);
+        let mut r = codec::Reader::new(&buf);
+        let back = LockOrderGraph::decode(&mut r).expect("decode");
+        assert!(r.is_empty());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.traces_seen(), g.traces_seen());
+        assert_eq!(back.observed_deadlocks(), g.observed_deadlocks());
+        assert_eq!(back.cycles(4), g.cycles(4));
+        let mut buf2 = Vec::new();
+        back.encode_into(&mut buf2);
+        assert_eq!(buf, buf2);
     }
 
     #[test]

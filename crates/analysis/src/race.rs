@@ -6,6 +6,7 @@
 //! combined lockset is a race candidate (the Eraser discipline).
 
 use serde::{Deserialize, Serialize};
+use softborg_program::codec::{self, CodecError};
 use softborg_program::GlobalId;
 use softborg_trace::ExecutionTrace;
 use std::collections::{BTreeMap, BTreeSet};
@@ -67,6 +68,69 @@ impl RaceDetector {
                 Some(prev) => prev.intersection(&trace_set).copied().collect(),
             });
         }
+    }
+
+    /// Serializes the aggregate for the durable-snapshot byte format.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        codec::put_u32(buf, self.globals.len() as u32);
+        for (&g, d) in &self.globals {
+            codec::put_u32(buf, g);
+            codec::put_u32(buf, d.reader_mask);
+            codec::put_u32(buf, d.writer_mask);
+            match &d.lockset {
+                None => codec::put_u8(buf, 0),
+                Some(set) => {
+                    codec::put_u8(buf, 1);
+                    codec::put_u32(buf, set.len() as u32);
+                    for &l in set {
+                        codec::put_u32(buf, l);
+                    }
+                }
+            }
+            codec::put_u64(buf, d.evidence);
+        }
+    }
+
+    /// Decodes an aggregate written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.seq_len("RaceDetector.globals", 21)?;
+        let mut globals = BTreeMap::new();
+        for _ in 0..n {
+            let g = r.u32("RaceDetector.global")?;
+            let reader_mask = r.u32("GlobalDiscipline.reader_mask")?;
+            let writer_mask = r.u32("GlobalDiscipline.writer_mask")?;
+            let lockset = match r.u8("GlobalDiscipline.lockset")? {
+                0 => None,
+                1 => {
+                    let k = r.seq_len("GlobalDiscipline.lockset", 4)?;
+                    let mut set = BTreeSet::new();
+                    for _ in 0..k {
+                        set.insert(r.u32("GlobalDiscipline.lock")?);
+                    }
+                    Some(set)
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "GlobalDiscipline.lockset",
+                        tag,
+                    })
+                }
+            };
+            globals.insert(
+                g,
+                GlobalDiscipline {
+                    reader_mask,
+                    writer_mask,
+                    lockset,
+                    evidence: r.u64("GlobalDiscipline.evidence")?,
+                },
+            );
+        }
+        Ok(RaceDetector { globals })
     }
 
     /// Current race candidates: multi-thread access, ≥1 writer, empty
@@ -165,6 +229,24 @@ mod tests {
         let c = d.candidates();
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].evidence, 2);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_disciplines() {
+        let mut d = RaceDetector::new();
+        d.ingest(&trace_with(vec![summary(3, 0b01, 0b01, vec![5])]));
+        d.ingest(&trace_with(vec![summary(3, 0b10, 0b10, vec![6])]));
+        d.ingest(&trace_with(vec![summary(7, 0b11, 0, vec![])]));
+        let mut buf = Vec::new();
+        d.encode_into(&mut buf);
+        let mut r = codec::Reader::new(&buf);
+        let back = RaceDetector::decode(&mut r).expect("decode");
+        assert!(r.is_empty());
+        assert_eq!(back.candidates(), d.candidates());
+        // The running lockset intersection (None vs Some(∅)) survives.
+        let mut buf2 = Vec::new();
+        back.encode_into(&mut buf2);
+        assert_eq!(buf, buf2);
     }
 
     #[test]

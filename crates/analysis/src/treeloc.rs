@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use softborg_program::cfg::Loc;
+use softborg_program::codec::{self, CodecError};
 use softborg_program::interp::{CrashKind, Outcome};
 use softborg_program::{BranchSiteId, LockId};
 use softborg_trace::ExecutionTrace;
@@ -114,6 +115,105 @@ impl FailureLedger {
     /// Total executions / failures seen.
     pub fn totals(&self) -> (u64, u64) {
         (self.executions, self.failures)
+    }
+
+    /// Serializes the ledger for the durable-snapshot byte format.
+    /// Deterministic: modes live in a `BTreeMap` keyed by signature.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        codec::put_u32(buf, self.modes.len() as u32);
+        for (key, d) in &self.modes {
+            codec::put_str(buf, key);
+            codec::put_str(buf, &d.class);
+            match &d.loc {
+                None => codec::put_u8(buf, 0),
+                Some(loc) => {
+                    codec::put_u8(buf, 1);
+                    loc.encode_into(buf);
+                }
+            }
+            match &d.kind {
+                None => codec::put_u8(buf, 0),
+                Some(kind) => {
+                    codec::put_u8(buf, 1);
+                    kind.encode_into(buf);
+                }
+            }
+            codec::put_u32(buf, d.locks.len() as u32);
+            for l in &d.locks {
+                codec::put_u32(buf, l.0);
+            }
+            codec::put_u32(buf, d.stuck.len() as u32);
+            for loc in &d.stuck {
+                loc.encode_into(buf);
+            }
+            codec::put_u64(buf, d.count);
+            codec::put_u64(buf, d.first_seen);
+        }
+        codec::put_u64(buf, self.executions);
+        codec::put_u64(buf, self.failures);
+    }
+
+    /// Decodes a ledger written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.seq_len("FailureLedger.modes", 40)?;
+        let mut modes = BTreeMap::new();
+        for _ in 0..n {
+            let key = r.str("FailureLedger.key")?.to_string();
+            let class = r.str("Diagnosis.class")?.to_string();
+            let loc = match r.u8("Diagnosis.loc")? {
+                0 => None,
+                1 => Some(Loc::decode(r)?),
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "Diagnosis.loc",
+                        tag,
+                    })
+                }
+            };
+            let kind = match r.u8("Diagnosis.kind")? {
+                0 => None,
+                1 => Some(CrashKind::decode(r)?),
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "Diagnosis.kind",
+                        tag,
+                    })
+                }
+            };
+            let n_locks = r.seq_len("Diagnosis.locks", 4)?;
+            let mut locks = Vec::with_capacity(n_locks);
+            for _ in 0..n_locks {
+                locks.push(LockId::new(r.u32("Diagnosis.lock")?));
+            }
+            let n_stuck = r.seq_len("Diagnosis.stuck", 12)?;
+            let mut stuck = Vec::with_capacity(n_stuck);
+            for _ in 0..n_stuck {
+                stuck.push(Loc::decode(r)?);
+            }
+            let count = r.u64("Diagnosis.count")?;
+            let first_seen = r.u64("Diagnosis.first_seen")?;
+            modes.insert(
+                key,
+                Diagnosis {
+                    class,
+                    loc,
+                    kind,
+                    locks,
+                    stuck,
+                    count,
+                    first_seen,
+                },
+            );
+        }
+        Ok(FailureLedger {
+            modes,
+            executions: r.u64("FailureLedger.executions")?,
+            failures: r.u64("FailureLedger.failures")?,
+        })
     }
 }
 
@@ -268,6 +368,36 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].count, 2);
         assert_eq!(d[0].locks, vec![LockId::new(0), LockId::new(1)]);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_ledger() {
+        let mut l = FailureLedger::new();
+        l.ingest(&trace_with(Outcome::Success));
+        l.ingest(&trace_with(crash_outcome(3)));
+        l.ingest(&trace_with(Outcome::Deadlock {
+            cycle: vec![
+                (ThreadId::new(0), LockId::new(1)),
+                (ThreadId::new(1), LockId::new(0)),
+            ],
+        }));
+        l.ingest(&trace_with(Outcome::Hang {
+            stuck: vec![Loc {
+                thread: ThreadId::new(1),
+                block: BlockId::new(2),
+                stmt: 5,
+            }],
+        }));
+        let mut buf = Vec::new();
+        l.encode_into(&mut buf);
+        let mut r = codec::Reader::new(&buf);
+        let back = FailureLedger::decode(&mut r).expect("decode");
+        assert!(r.is_empty());
+        assert_eq!(back.totals(), l.totals());
+        assert_eq!(back.diagnoses(), l.diagnoses());
+        let mut buf2 = Vec::new();
+        back.encode_into(&mut buf2);
+        assert_eq!(buf, buf2);
     }
 
     #[test]

@@ -57,7 +57,10 @@
 
 pub mod platform;
 
-pub use platform::{IngestSettings, Platform, PlatformConfig, RoundReport};
+pub use platform::{
+    DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig, ResumeReport,
+    RoundReport,
+};
 
 pub use softborg_analysis as analysis;
 pub use softborg_fix as fix;

@@ -11,14 +11,25 @@
 //! it should become" (§2).
 
 use serde::{Deserialize, Serialize};
-use softborg_fix::{rank, LabConfig, TestCase, Verdict};
+use softborg_fix::{rank, FixCandidate, LabConfig, TestCase, Verdict};
 use softborg_guidance::Directive;
-use softborg_hive::{diagnosis_signature, outcome_signature, Hive, HiveConfig};
+use softborg_hive::journal::{
+    self, JournalRecord, REC_ABORT, REC_FRAME, REC_PROMOTE, REC_ROUND, REC_TOMBSTONE,
+    SESSION_PROMOTE, SESSION_ROUND,
+};
+use softborg_hive::{
+    diagnosis_signature, outcome_signature, FileJournal, Hive, HiveConfig, HiveSnapshot,
+    JournalIoError, JournalStore, LoadReport, SnapshotStore,
+};
 use softborg_ingest::{IngestConfig, IngestStats};
 use softborg_pod::{Pod, PodConfig};
-use softborg_program::Program;
+use softborg_program::codec::{self, CodecError};
+use softborg_program::{Overlay, Program};
 use softborg_trace::wire;
 use softborg_tree::CoverageStats;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Platform configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +52,93 @@ pub struct PlatformConfig {
     pub min_preservation_cases: usize,
     /// How round executions report into the hive.
     pub ingest: IngestSettings,
+    /// Crash-only durability: when set, every round is committed to a
+    /// write-ahead journal (with periodic snapshot compaction) before
+    /// its report is returned, and a killed process can continue the
+    /// campaign via [`Platform::resume`]. `None` = in-memory only.
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Where and how a durable campaign persists itself.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the campaign's `hive.wal`, `hive.snap`, and
+    /// `hive.snap.prev` files (created if absent).
+    pub dir: PathBuf,
+    /// Snapshot compaction trigger: compact when the journal is at
+    /// least this many times larger than the live serialized hive
+    /// state. `0` disables compaction.
+    pub compact_ratio: u64,
+    /// Journal size below which compaction never triggers, so tiny
+    /// campaigns don't churn snapshots every round.
+    pub min_compact_wal_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the default compaction policy
+    /// (compact once the journal exceeds 4× the live state and 64 KiB).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            compact_ratio: 4,
+            min_compact_wal_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Why a durable platform could not be created or resumed, or why a
+/// durable round commit failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// The operation requires [`PlatformConfig::durability`] to be set.
+    NotConfigured,
+    /// [`Platform::try_new`] found campaign state already on disk; use
+    /// [`Platform::resume`] instead of silently clobbering it.
+    CampaignExists(PathBuf),
+    /// An underlying journal or snapshot I/O operation failed.
+    Io(JournalIoError),
+    /// A durable record decoded to garbage (wrong program, torn bytes
+    /// that passed no checksum, or a version this build cannot read).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::NotConfigured => {
+                write!(f, "platform has no durability configuration")
+            }
+            DurabilityError::CampaignExists(dir) => write!(
+                f,
+                "campaign state already exists in {} (resume it instead)",
+                dir.display()
+            ),
+            DurabilityError::Io(e) => write!(f, "durability I/O failure: {e}"),
+            DurabilityError::Corrupt(what) => write!(f, "durable state corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<JournalIoError> for DurabilityError {
+    fn from(e: JournalIoError) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+impl From<CodecError> for DurabilityError {
+    fn from(e: CodecError) -> Self {
+        DurabilityError::Corrupt(e.to_string())
+    }
+}
+
+fn io_err(op: &'static str, e: &std::io::Error) -> DurabilityError {
+    DurabilityError::Io(JournalIoError {
+        op,
+        kind: e.kind(),
+        msg: e.to_string(),
+    })
 }
 
 /// How a round's executions flow into the hive.
@@ -82,6 +180,7 @@ impl Default for PlatformConfig {
             guidance_enabled: true,
             min_preservation_cases: 5,
             ingest: IngestSettings::default(),
+            durability: None,
         }
     }
 }
@@ -109,6 +208,100 @@ pub struct RoundReport {
     pub directed: u64,
 }
 
+impl RoundReport {
+    /// Serializes the report for the durable journal's `REC_ROUND`
+    /// record (floats as IEEE-754 bit patterns, so the roundtrip is
+    /// exact).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        codec::put_u64(buf, self.round);
+        codec::put_u64(buf, self.executions);
+        codec::put_u64(buf, self.failures);
+        codec::put_f64(buf, self.failure_rate_per_10k);
+        codec::put_u64(buf, self.fixes_promoted);
+        codec::put_u64(buf, self.overlay_version);
+        codec::put_u64(buf, self.coverage.nodes);
+        codec::put_u64(buf, self.coverage.distinct_paths);
+        codec::put_u64(buf, self.coverage.sites_seen);
+        codec::put_u64(buf, self.coverage.paths_merged);
+        codec::put_u64(buf, self.coverage.frontier_arms);
+        codec::put_f64(buf, self.coverage.closed_fraction);
+        codec::put_u64(buf, self.proofs);
+        codec::put_u64(buf, self.directed);
+    }
+
+    /// Decodes a report written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RoundReport {
+            round: r.u64("RoundReport.round")?,
+            executions: r.u64("RoundReport.executions")?,
+            failures: r.u64("RoundReport.failures")?,
+            failure_rate_per_10k: r.f64("RoundReport.failure_rate_per_10k")?,
+            fixes_promoted: r.u64("RoundReport.fixes_promoted")?,
+            overlay_version: r.u64("RoundReport.overlay_version")?,
+            coverage: CoverageStats {
+                nodes: r.u64("CoverageStats.nodes")?,
+                distinct_paths: r.u64("CoverageStats.distinct_paths")?,
+                sites_seen: r.u64("CoverageStats.sites_seen")?,
+                paths_merged: r.u64("CoverageStats.paths_merged")?,
+                frontier_arms: r.u64("CoverageStats.frontier_arms")?,
+                closed_fraction: r.f64("CoverageStats.closed_fraction")?,
+            },
+            proofs: r.u64("RoundReport.proofs")?,
+            directed: r.u64("RoundReport.directed")?,
+        })
+    }
+}
+
+/// What [`Platform::resume`] found and did, for recovery observability.
+#[derive(Debug, Clone)]
+pub struct ResumeReport {
+    /// How the snapshot load went (primary, fallback, or cold start).
+    pub snapshot: LoadReport,
+    /// Committed rounds restored from the snapshot alone.
+    pub rounds_from_snapshot: u64,
+    /// Committed rounds replayed from the journal suffix.
+    pub rounds_replayed: u64,
+    /// Byte offset of the journal suffix that was replayed (nonzero
+    /// exactly when a crash hit between snapshot rename and journal
+    /// truncate).
+    pub wal_replay_offset: u64,
+    /// Corrupt/unsynced journal-tail bytes dropped (warned, not silent).
+    pub wal_tail_dropped: u64,
+    /// Intact records belonging to an uncommitted round, discarded and
+    /// fenced behind a `REC_ABORT` so later replays skip them too.
+    pub fenced_records: u64,
+    /// Intact records discarded because their round index did not
+    /// continue from the recovered snapshot — the newest snapshot was
+    /// lost and recovery fell back a generation, so the journal suffix
+    /// belongs to rounds the fallback never saw. The suffix is
+    /// truncated; the campaign resumes from the older (consistent)
+    /// state.
+    pub disconnected_records: u64,
+}
+
+/// A round's durable frame log: `(session, seq, frame)` triples mirrored
+/// from the ingest path, shared across pod threads.
+type FrameLog = Mutex<Vec<(u64, u64, Vec<u8>)>>;
+
+/// The live half of a durable campaign: the open journal, the snapshot
+/// store, and the bookkeeping replay needs.
+#[derive(Debug)]
+struct DurableState {
+    cfg: DurabilityConfig,
+    store: SnapshotStore,
+    journal: FileJournal,
+    /// Next sequence number for `REC_PROMOTE` records.
+    promote_seq: u64,
+    /// Per-pod frame floors (`session → next seq`), carried into
+    /// snapshots so transports resuming against this campaign can
+    /// deduplicate across the restart.
+    frame_floors: BTreeMap<u64, u64>,
+}
+
 /// The platform. See the [module docs](self).
 #[derive(Debug)]
 pub struct Platform<'p> {
@@ -119,11 +312,14 @@ pub struct Platform<'p> {
     round_idx: u64,
     history: Vec<RoundReport>,
     last_ingest: Option<IngestStats>,
+    durable: Option<DurableState>,
 }
 
 impl<'p> Platform<'p> {
-    /// Builds a platform: one hive plus `n_pods` pods with derived seeds.
-    pub fn new(program: &'p Program, config: PlatformConfig) -> Self {
+    /// Builds the in-memory platform shell: one hive plus `n_pods` pods
+    /// with derived seeds. Durability (if configured) is attached by the
+    /// caller.
+    fn base(program: &'p Program, config: PlatformConfig) -> Self {
         let pods = (0..config.n_pods)
             .map(|i| {
                 let mut pc = config.pod.clone();
@@ -142,7 +338,239 @@ impl<'p> Platform<'p> {
             round_idx: 0,
             history: Vec::new(),
             last_ingest: None,
+            durable: None,
         }
+    }
+
+    /// Builds a platform: one hive plus `n_pods` pods with derived
+    /// seeds. With [`PlatformConfig::durability`] set this starts a
+    /// *fresh* durable campaign and panics if initialization fails or
+    /// campaign state already exists (crash-only software fails loudly
+    /// at startup; use [`try_new`](Self::try_new) to handle the error,
+    /// or [`resume`](Self::resume) to continue an existing campaign).
+    pub fn new(program: &'p Program, config: PlatformConfig) -> Self {
+        Self::try_new(program, config).expect("durable platform initialization failed")
+    }
+
+    /// Fallible [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::CampaignExists`] when the configured directory
+    /// already holds a snapshot or a non-empty journal, and
+    /// [`DurabilityError::Io`] when the journal or snapshot store cannot
+    /// be opened.
+    pub fn try_new(program: &'p Program, config: PlatformConfig) -> Result<Self, DurabilityError> {
+        let mut platform = Self::base(program, config);
+        if let Some(dcfg) = platform.config.durability.clone() {
+            let store = SnapshotStore::open(&dcfg.dir).map_err(|e| io_err("snapshot-dir", &e))?;
+            if store.snap_path().exists() || store.prev_path().exists() {
+                return Err(DurabilityError::CampaignExists(dcfg.dir));
+            }
+            let journal =
+                FileJournal::open(store.wal_path()).map_err(|e| io_err("wal-open", &e))?;
+            if !journal.is_empty() {
+                return Err(DurabilityError::CampaignExists(dcfg.dir));
+            }
+            platform.durable = Some(DurableState {
+                cfg: dcfg,
+                store,
+                journal,
+                promote_seq: 0,
+                frame_floors: BTreeMap::new(),
+            });
+        }
+        Ok(platform)
+    }
+
+    /// Resumes (or cold-starts) a durable campaign from
+    /// [`PlatformConfig::durability`]: loads the newest valid snapshot
+    /// (falling back to the previous generation if the newest is torn),
+    /// replays the journal suffix round by round — re-ingesting frames
+    /// in merge order, re-applying promotions, re-running guidance — and
+    /// fences any uncommitted partial round behind a `REC_ABORT` record.
+    /// Recovery **is** the startup path: an empty directory resumes into
+    /// a fresh campaign.
+    ///
+    /// The recovered hive state is byte-identical
+    /// ([`hive_state`](Self::hive_state)) to the uninterrupted run at
+    /// the same committed round. Pods are rebuilt from their derived
+    /// seeds and continue the campaign from the recovered overlay and
+    /// tree.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::NotConfigured`] without a durability config;
+    /// [`DurabilityError::Io`] on filesystem failures;
+    /// [`DurabilityError::Corrupt`] when a checksummed record decodes to
+    /// garbage (journal records damaged *behind* a valid checksum, e.g.
+    /// a snapshot for a different program).
+    pub fn resume(
+        program: &'p Program,
+        config: PlatformConfig,
+    ) -> Result<(Self, ResumeReport), DurabilityError> {
+        let dcfg = config
+            .durability
+            .clone()
+            .ok_or(DurabilityError::NotConfigured)?;
+        let store = SnapshotStore::open(&dcfg.dir).map_err(|e| io_err("snapshot-dir", &e))?;
+        let (snap, load_report) = store.load();
+        let mut wal_file =
+            FileJournal::open(store.wal_path()).map_err(|e| io_err("wal-open", &e))?;
+        let wal = wal_file.read().map_err(|e| io_err("wal-read", &e))?;
+
+        let mut platform = Self::base(program, config);
+        let mut frame_floors = BTreeMap::new();
+        let replay_from = if let Some(s) = &snap {
+            platform.hive = Hive::decode_state(program, platform.config.hive.clone(), &s.state)
+                .map_err(|e| DurabilityError::Corrupt(format!("snapshot state: {e}")))?;
+            let (round_idx, history) = decode_app_meta(&s.app_meta)
+                .map_err(|e| DurabilityError::Corrupt(format!("snapshot meta: {e}")))?;
+            platform.round_idx = round_idx;
+            platform.history = history;
+            frame_floors = s.sessions.clone();
+            s.replay_offset(&wal)
+        } else {
+            0
+        };
+        let rounds_from_snapshot = platform.round_idx;
+
+        let (records, scan) = journal::scan(&wal[replay_from..]);
+        if let Some(err) = scan.tail_error {
+            eprintln!(
+                "warning: platform resume dropped {} journal tail byte(s) after {} intact \
+                 record(s): {err}",
+                scan.tail_dropped, scan.records
+            );
+            // Cut the damaged tail so future appends land on a clean
+            // record boundary.
+            wal_file.truncate((replay_from + scan.valid_len) as u64)?;
+        }
+
+        let mut promote_seq = 0u64;
+        let mut seg_frames: Vec<&JournalRecord> = Vec::new();
+        let mut seg_promotes: Vec<&JournalRecord> = Vec::new();
+        let mut fenced_records = 0u64;
+        let mut rounds_replayed = 0u64;
+        let mut disconnected_records = 0u64;
+        // Byte offset (in the whole journal) of the next record, and of
+        // the first record of the segment currently being buffered.
+        let mut offset = replay_from;
+        let mut seg_start = replay_from;
+        let mut seg_start_idx = 0usize;
+        for (idx, rec) in records.iter().enumerate() {
+            let rec_end = offset + rec.encoded_len();
+            match rec.kind {
+                REC_FRAME => seg_frames.push(rec),
+                REC_PROMOTE => seg_promotes.push(rec),
+                REC_TOMBSTONE => {} // transport-only; the platform journals no tombstones
+                REC_ABORT => {
+                    // A previous resume fenced these: an uncommitted
+                    // partial round that must never be applied.
+                    seg_frames.clear();
+                    seg_promotes.clear();
+                    seg_start = rec_end;
+                    seg_start_idx = idx + 1;
+                }
+                REC_ROUND => {
+                    // Decode the boundary *before* applying the segment:
+                    // if the newest snapshot was destroyed and recovery
+                    // fell back a generation, the journal suffix covers
+                    // rounds the fallback state never saw. Merging it
+                    // would skip the rounds in between, so discard the
+                    // disconnected suffix instead and resume from the
+                    // older — but consistent — state.
+                    let mut r = codec::Reader::new(&rec.frame);
+                    let report = RoundReport::decode(&mut r)
+                        .map_err(|e| DurabilityError::Corrupt(format!("round record: {e}")))?;
+                    if report.round != platform.round_idx {
+                        disconnected_records = (records.len() - seg_start_idx) as u64;
+                        eprintln!(
+                            "warning: platform resume discarding {disconnected_records} \
+                             disconnected journal record(s): round record says {} but the \
+                             recovered state is at round {}",
+                            report.round, platform.round_idx
+                        );
+                        seg_frames.clear();
+                        seg_promotes.clear();
+                        wal_file.truncate(seg_start as u64)?;
+                        break;
+                    }
+                    seg_frames.sort_by_key(|r| (r.session, r.seq));
+                    for fr in seg_frames.drain(..) {
+                        let traces = wire::decode_batch(&fr.frame)
+                            .map_err(|e| DurabilityError::Corrupt(format!("frame batch: {e}")))?;
+                        for trace in &traces {
+                            platform.hive.ingest(trace);
+                        }
+                        let floor = frame_floors.entry(fr.session).or_insert(0);
+                        *floor = (*floor).max(fr.seq + 1);
+                    }
+                    for pr in seg_promotes.drain(..) {
+                        let mut r = codec::Reader::new(&pr.frame);
+                        let signature = r
+                            .str("promote.signature")
+                            .map_err(|e| DurabilityError::Corrupt(e.to_string()))?
+                            .to_string();
+                        let overlay = Overlay::decode(&mut r)
+                            .map_err(|e| DurabilityError::Corrupt(e.to_string()))?;
+                        platform.hive.promote(
+                            &signature,
+                            &FixCandidate {
+                                overlay,
+                                description: String::new(),
+                            },
+                        );
+                        promote_seq = promote_seq.max(pr.seq + 1);
+                    }
+                    if platform.config.guidance_enabled {
+                        let _ = platform.hive.guidance();
+                    }
+                    platform.round_idx += 1;
+                    rounds_replayed += 1;
+                    platform.history.push(report);
+                    seg_start = rec_end;
+                    seg_start_idx = idx + 1;
+                }
+                other => {
+                    return Err(DurabilityError::Corrupt(format!(
+                        "unknown journal record kind {other}"
+                    )));
+                }
+            }
+            offset = rec_end;
+        }
+        let partial = (seg_frames.len() + seg_promotes.len()) as u64;
+        if partial > 0 {
+            // The process died mid-round: those records were never acked
+            // (the round never returned), so discard them — and fence
+            // them so every future replay discards them too.
+            let mut rec = Vec::new();
+            journal::append_record(&mut rec, REC_ABORT, SESSION_ROUND, platform.round_idx, &[]);
+            wal_file.append(&rec)?;
+            wal_file.sync()?;
+            fenced_records = partial;
+        }
+
+        platform.durable = Some(DurableState {
+            cfg: dcfg,
+            store,
+            journal: wal_file,
+            promote_seq,
+            frame_floors,
+        });
+        Ok((
+            platform,
+            ResumeReport {
+                snapshot: load_report,
+                rounds_from_snapshot,
+                rounds_replayed,
+                wal_replay_offset: replay_from as u64,
+                wal_tail_dropped: scan.tail_dropped as u64,
+                fenced_records,
+                disconnected_records,
+            },
+        ))
     }
 
     /// The hive (read access for experiments).
@@ -161,6 +589,13 @@ impl<'p> Platform<'p> {
     }
 
     /// Advances one round with `execs_per_pod` executions per pod.
+    ///
+    /// With durability configured, the round's batch frames, fix
+    /// promotions, and report are all on disk (journal appended and
+    /// fsynced) *before* this returns — returning the report is the ack.
+    /// A durable-commit failure panics: crash-only software dies loudly
+    /// and restarts through [`resume`](Self::resume) rather than running
+    /// on with unpersisted state.
     pub fn round(&mut self, execs_per_pod: u32) -> RoundReport {
         // 1. Distribute the current overlay.
         let (overlay, version) = {
@@ -173,15 +608,21 @@ impl<'p> Platform<'p> {
             }
         }
 
-        // 2. Execute and ingest.
+        // 2. Execute and ingest (mirroring every batch frame into the
+        //    durable frame log when durability is on).
+        let frame_log = self
+            .durable
+            .is_some()
+            .then(|| Mutex::new(Vec::<(u64, u64, Vec<u8>)>::new()));
         let (executions, failures, directed) = if self.config.ingest.pipelined {
-            self.execute_pipelined(execs_per_pod)
+            self.execute_pipelined(execs_per_pod, frame_log.as_ref())
         } else {
-            self.execute_serial(execs_per_pod)
+            self.execute_serial(execs_per_pod, frame_log.as_ref())
         };
 
         // 3. Fix pipeline.
         let mut fixes_promoted = 0u64;
+        let mut promoted: Vec<(String, Overlay)> = Vec::new();
         if self.config.fixes_enabled {
             let proposals = self.hive.propose_fixes();
             for proposal in proposals {
@@ -230,6 +671,9 @@ impl<'p> Platform<'p> {
                 };
                 if distribute {
                     self.hive.promote(&proposal.signature, candidate);
+                    if self.durable.is_some() {
+                        promoted.push((proposal.signature.clone(), candidate.overlay.clone()));
+                    }
                     fixes_promoted += 1;
                 }
             }
@@ -275,13 +719,156 @@ impl<'p> Platform<'p> {
         };
         self.round_idx += 1;
         self.history.push(report.clone());
+
+        // 6. Durable commit: frames, promotions, and the round record
+        //    hit the journal and are fsynced before the report (the ack)
+        //    leaves this function.
+        let frames = frame_log.map(|m| m.into_inner().expect("frame log poisoned"));
+        self.commit_round(&report, frames.unwrap_or_default(), &promoted)
+            .expect("durable round commit failed");
         report
     }
 
-    /// The original serial loop: run, ingest, repeat.
-    fn execute_serial(&mut self, execs_per_pod: u32) -> (u64, u64, u64) {
+    /// Appends one committed round to the journal (frames in merge
+    /// order, then promotions, then the round record), fsyncs, and
+    /// compacts into a snapshot when the journal dwarfs the live state.
+    fn commit_round(
+        &mut self,
+        report: &RoundReport,
+        mut frames: Vec<(u64, u64, Vec<u8>)>,
+        promoted: &[(String, Overlay)],
+    ) -> Result<(), DurabilityError> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        frames.sort_by_key(|&(session, seq, _)| (session, seq));
+        let mut rec = Vec::new();
+        for (session, seq, bytes) in &frames {
+            rec.clear();
+            journal::append_record(&mut rec, REC_FRAME, *session, *seq, bytes);
+            d.journal.append(&rec)?;
+            let floor = d.frame_floors.entry(*session).or_insert(0);
+            *floor = (*floor).max(seq + 1);
+        }
+        for (signature, overlay) in promoted {
+            let mut body = Vec::new();
+            codec::put_str(&mut body, signature);
+            overlay.encode_into(&mut body);
+            rec.clear();
+            journal::append_record(&mut rec, REC_PROMOTE, SESSION_PROMOTE, d.promote_seq, &body);
+            d.promote_seq += 1;
+            d.journal.append(&rec)?;
+        }
+        let mut body = Vec::new();
+        report.encode_into(&mut body);
+        rec.clear();
+        journal::append_record(&mut rec, REC_ROUND, SESSION_ROUND, report.round, &body);
+        d.journal.append(&rec)?;
+        d.journal.sync()?;
+
+        // Snapshot compaction: when the journal is `compact_ratio` times
+        // the live serialized state (and big enough to matter), fold it
+        // into a snapshot and truncate.
+        let (ratio, min_bytes, wal_len) = (
+            d.cfg.compact_ratio,
+            d.cfg.min_compact_wal_bytes,
+            d.journal.len(),
+        );
+        if ratio > 0 && wal_len >= min_bytes {
+            let state = self.hive.encode_state();
+            if wal_len >= ratio.saturating_mul(state.len() as u64) {
+                self.write_checkpoint(state, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a snapshot generation covering the whole journal, then
+    /// (when `truncate`) empties the journal.
+    fn write_checkpoint(&mut self, state: Vec<u8>, truncate: bool) -> Result<(), DurabilityError> {
+        let round_idx = self.round_idx;
+        let d = self
+            .durable
+            .as_mut()
+            .ok_or(DurabilityError::NotConfigured)?;
+        let wal_bytes = d.journal.read().map_err(|e| io_err("wal-read", &e))?;
+        let snap = HiveSnapshot {
+            state,
+            sessions: d.frame_floors.clone(),
+            wal_covered: wal_bytes.len() as u64,
+            wal_covered_hash: wire::fnv1a(&wal_bytes),
+            app_meta: encode_app_meta(round_idx, &self.history),
+        };
+        d.store.write_snapshot(&snap)?;
+        if truncate {
+            d.journal.truncate(0)?;
+        }
+        Ok(())
+    }
+
+    /// On-demand compaction: folds the journal into a fresh snapshot
+    /// generation and truncates it, regardless of the automatic
+    /// [`DurabilityConfig::compact_ratio`] trigger.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::NotConfigured`] on a non-durable platform;
+    /// [`DurabilityError::Io`] when the snapshot swap fails.
+    pub fn checkpoint(&mut self) -> Result<(), DurabilityError> {
+        let state = self.hive.encode_state();
+        self.write_checkpoint(state, true)
+    }
+
+    /// Like [`checkpoint`](Self::checkpoint) but dies before the journal
+    /// truncate: on return, the disk is exactly the crash window between
+    /// the snapshot rename and the truncate. Crash-injection harnesses
+    /// use this to prove [`resume`](Self::resume) never double-applies
+    /// journal records a snapshot already covers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`checkpoint`](Self::checkpoint).
+    pub fn checkpoint_interrupted(&mut self) -> Result<(), DurabilityError> {
+        let state = self.hive.encode_state();
+        self.write_checkpoint(state, false)
+    }
+
+    /// Serialized hive state (the byte-identity invariant checked by the
+    /// durability harness: recovered == uninterrupted at the same
+    /// committed round).
+    pub fn hive_state(&self) -> Vec<u8> {
+        self.hive.encode_state()
+    }
+
+    /// Rounds committed so far.
+    pub fn committed_rounds(&self) -> u64 {
+        self.round_idx
+    }
+
+    /// Current write-ahead-journal size in bytes (`None` when the
+    /// platform is not durable). The compaction bound asserted by E16:
+    /// this stays below `compact_ratio × live state size` plus one
+    /// round's worth of records.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.journal.len())
+    }
+
+    /// The original serial loop: run, ingest, repeat. When `frame_log`
+    /// is set, traces are additionally batched into wire frames with the
+    /// same `(session = pod index, seq)` layout the pipelined path uses,
+    /// so the durable journal is identical either way.
+    fn execute_serial(
+        &mut self,
+        execs_per_pod: u32,
+        frame_log: Option<&FrameLog>,
+    ) -> (u64, u64, u64) {
+        let batch = self.config.ingest.batch_size.max(1) as u64;
+        let frames_per_pod = u64::from(execs_per_pod).div_ceil(batch);
         let (mut executions, mut failures, mut directed) = (0u64, 0u64, 0u64);
-        for pod in &mut self.pods {
+        for (pod_index, pod) in self.pods.iter_mut().enumerate() {
+            let pod_index = pod_index as u64;
+            let mut next_seq = pod_index * frames_per_pod;
+            let mut buf: Vec<softborg_trace::ExecutionTrace> = Vec::new();
             for _ in 0..execs_per_pod {
                 let run = pod.run_once();
                 executions += 1;
@@ -291,7 +878,27 @@ impl<'p> Platform<'p> {
                 if run.directed {
                     directed += 1;
                 }
+                if let Some(log) = frame_log {
+                    buf.push(run.trace.clone());
+                    if buf.len() as u64 == batch {
+                        let frame = wire::encode_batch(&buf);
+                        log.lock()
+                            .expect("frame log poisoned")
+                            .push((pod_index, next_seq, frame));
+                        next_seq += 1;
+                        buf.clear();
+                    }
+                }
                 self.hive.ingest(&run.trace);
+            }
+            if !buf.is_empty() {
+                let frame = wire::encode_batch(&buf);
+                if let Some(log) = frame_log {
+                    log.lock()
+                        .expect("frame log poisoned")
+                        .push((pod_index, next_seq, frame));
+                }
+                buf.clear();
             }
         }
         (executions, failures, directed)
@@ -307,7 +914,11 @@ impl<'p> Platform<'p> {
     /// order the serial loop ingests in. Pods carry their own RNG and
     /// receive no mid-round feedback, so the resulting hive state is
     /// byte-identical to [`execute_serial`](Self::execute_serial).
-    fn execute_pipelined(&mut self, execs_per_pod: u32) -> (u64, u64, u64) {
+    fn execute_pipelined(
+        &mut self,
+        execs_per_pod: u32,
+        frame_log: Option<&FrameLog>,
+    ) -> (u64, u64, u64) {
         let batch = self.config.ingest.batch_size.max(1) as u64;
         let frames_per_pod = u64::from(execs_per_pod).div_ceil(batch);
         let n_pods = self.pods.len();
@@ -338,13 +949,29 @@ impl<'p> Platform<'p> {
                                 }
                                 buf.push(run.trace);
                                 if buf.len() as u64 == batch {
-                                    tx.submit_at(next_seq, wire::encode_batch(&buf));
+                                    let frame = wire::encode_batch(&buf);
+                                    if let Some(log) = frame_log {
+                                        log.lock().expect("frame log poisoned").push((
+                                            pod_index,
+                                            next_seq,
+                                            frame.clone(),
+                                        ));
+                                    }
+                                    tx.submit_at(next_seq, frame);
                                     next_seq += 1;
                                     buf.clear();
                                 }
                             }
                             if !buf.is_empty() {
-                                tx.submit_at(next_seq, wire::encode_batch(&buf));
+                                let frame = wire::encode_batch(&buf);
+                                if let Some(log) = frame_log {
+                                    log.lock().expect("frame log poisoned").push((
+                                        pod_index,
+                                        next_seq,
+                                        frame.clone(),
+                                    ));
+                                }
+                                tx.submit_at(next_seq, frame);
                             }
                         }
                         (executions, failures, directed)
@@ -382,4 +1009,33 @@ impl<'p> Platform<'p> {
             .map(|d| diagnosis_signature(d))
             .collect()
     }
+}
+
+/// Snapshot `app_meta` payload: committed-round counter plus the full
+/// round history, in the deterministic byte codec.
+fn encode_app_meta(round_idx: u64, history: &[RoundReport]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u64(&mut buf, round_idx);
+    codec::put_u32(&mut buf, history.len() as u32);
+    for report in history {
+        report.encode_into(&mut buf);
+    }
+    buf
+}
+
+fn decode_app_meta(bytes: &[u8]) -> Result<(u64, Vec<RoundReport>), CodecError> {
+    let mut r = codec::Reader::new(bytes);
+    let round_idx = r.u64("app_meta.round_idx")?;
+    let n = r.seq_len("app_meta.history", 112)?;
+    let mut history = Vec::with_capacity(n);
+    for _ in 0..n {
+        history.push(RoundReport::decode(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(CodecError::BadLen {
+            what: "app_meta.trailing",
+            len: r.remaining(),
+        });
+    }
+    Ok((round_idx, history))
 }

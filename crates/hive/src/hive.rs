@@ -18,6 +18,7 @@ use softborg_analysis::treeloc::{Diagnosis, FailureLedger};
 use softborg_fix::{crash_guards, deadlock_immunity, hang_bounds, FixCandidate};
 use softborg_guidance::{GuidancePlan, PlanStats, PlannerConfig};
 use softborg_ingest::{FrameSender, IngestConfig, IngestStats, ReconstructContext};
+use softborg_program::codec::{self, CodecError};
 use softborg_program::overlay::Overlay;
 use softborg_program::taint::InputDependence;
 use softborg_program::Program;
@@ -238,6 +239,15 @@ impl<'p> Hive<'p> {
         journal_bytes: &[u8],
     ) -> (Self, RecoveryReport) {
         let (records, scan) = crate::journal::scan(journal_bytes);
+        if let Some(err) = scan.tail_error {
+            // Dropping an unsynced/corrupt tail is expected crash fallout,
+            // but it must never be *silent*: an operator comparing pod-side
+            // send counts to hive state needs this line.
+            eprintln!(
+                "warning: hive recovery dropped {} journal tail byte(s) after {} intact record(s): {err}",
+                scan.tail_dropped, scan.records
+            );
+        }
         let mut report = RecoveryReport {
             tail_dropped: scan.tail_dropped as u64,
             tail_damaged: scan.tail_error.is_some(),
@@ -358,6 +368,101 @@ impl<'p> Hive<'p> {
     /// (paper §3.3).
     pub fn proofs(&self) -> Vec<crate::proofs::ProofCertificate> {
         crate::proofs::assemble(&self.tree)
+    }
+
+    /// Serializes the hive's complete mutable state — tree (with outcome
+    /// tallies and infeasibility marks), detector aggregates, failure
+    /// ledger, overlay history, fixed-mode set, and counters — into the
+    /// deterministic snapshot byte format. Two hives that processed the
+    /// same inputs encode to identical bytes, which is the invariant the
+    /// durability harness asserts (`program` and `config` are the
+    /// caller's responsibility and are not stored; input dependence is a
+    /// pure function of the program and is recomputed on decode).
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        codec::put_u8(&mut buf, 1); // state-format version
+        self.tree.encode_into(&mut buf);
+        self.lock_graph.encode_into(&mut buf);
+        self.races.encode_into(&mut buf);
+        self.ledger.encode_into(&mut buf);
+        codec::put_u32(&mut buf, self.overlay_history.len() as u32);
+        for o in &self.overlay_history {
+            o.encode_into(&mut buf);
+        }
+        codec::put_u32(&mut buf, self.fixed.len() as u32);
+        for sig in &self.fixed {
+            codec::put_str(&mut buf, sig);
+        }
+        codec::put_u64(&mut buf, self.stats.traces);
+        codec::put_u64(&mut buf, self.stats.reconstructed);
+        codec::put_u64(&mut buf, self.stats.unreconstructed);
+        codec::put_u64(&mut buf, self.stats.new_nodes);
+        buf
+    }
+
+    /// Rebuilds a hive from [`encode_state`](Self::encode_state) bytes.
+    /// The caller supplies the program and config (they are identity, not
+    /// state); whether the bytes actually belong to `program` is checked
+    /// by comparing the embedded tree's program id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input, an
+    /// unknown state-format version, or a program-id mismatch.
+    pub fn decode_state(
+        program: &'p Program,
+        config: HiveConfig,
+        bytes: &[u8],
+    ) -> Result<Self, CodecError> {
+        let mut r = codec::Reader::new(bytes);
+        let version = r.u8("Hive.state_version")?;
+        if version != 1 {
+            return Err(CodecError::BadTag {
+                what: "Hive.state_version",
+                tag: version,
+            });
+        }
+        let tree = ExecutionTree::decode(&mut r)?;
+        if tree.program() != program.id() {
+            return Err(CodecError::BadTag {
+                what: "Hive.program_id",
+                tag: 0,
+            });
+        }
+        let lock_graph = LockOrderGraph::decode(&mut r)?;
+        let races = RaceDetector::decode(&mut r)?;
+        let ledger = FailureLedger::decode(&mut r)?;
+        let n_overlays = r.seq_len("Hive.overlay_history", 16)?;
+        let mut overlay_history = Vec::with_capacity(n_overlays.max(1));
+        for _ in 0..n_overlays {
+            overlay_history.push(Overlay::decode(&mut r)?);
+        }
+        if overlay_history.is_empty() {
+            overlay_history.push(Overlay::empty());
+        }
+        let n_fixed = r.seq_len("Hive.fixed", 4)?;
+        let mut fixed = BTreeSet::new();
+        for _ in 0..n_fixed {
+            fixed.insert(r.str("Hive.fixed_sig")?.to_string());
+        }
+        let stats = HiveStats {
+            traces: r.u64("HiveStats.traces")?,
+            reconstructed: r.u64("HiveStats.reconstructed")?,
+            unreconstructed: r.u64("HiveStats.unreconstructed")?,
+            new_nodes: r.u64("HiveStats.new_nodes")?,
+        };
+        Ok(Hive {
+            deps: InputDependence::compute(program),
+            tree,
+            lock_graph,
+            races,
+            ledger,
+            overlay_history,
+            fixed,
+            stats,
+            program,
+            config,
+        })
     }
 }
 
@@ -538,6 +643,58 @@ mod tests {
         let run = pod.run_once();
         hive.ingest(&run.trace);
         assert_eq!(hive.stats().reconstructed, 6);
+    }
+
+    #[test]
+    fn state_codec_roundtrips_a_live_hive() {
+        let s = scenarios::bank_transfer();
+        let mut hive = Hive::new(&s.program, HiveConfig::default());
+        let mut pod = Pod::new(
+            &s.program,
+            PodConfig {
+                input_range: (0, 99),
+                seed: 11,
+                ..PodConfig::default()
+            },
+        );
+        feed(&mut hive, &mut pod, 100);
+        if let Some(cycle) = hive
+            .propose_fixes()
+            .iter()
+            .find(|p| p.signature.starts_with("lock-cycle:"))
+        {
+            hive.promote(&cycle.signature, &cycle.candidates[0]);
+        }
+        let _ = hive.guidance(); // mutates the tree (infeasible marks)
+        let bytes = hive.encode_state();
+        let mut back =
+            Hive::decode_state(&s.program, HiveConfig::default(), &bytes).expect("decode");
+        assert_eq!(back.encode_state(), bytes, "re-encode is byte-identical");
+        assert_eq!(back.stats(), hive.stats());
+        assert_eq!(back.tree().digest(), hive.tree().digest());
+        assert_eq!(back.current_overlay(), hive.current_overlay());
+        assert_eq!(back.proofs().len(), hive.proofs().len());
+        // The decoded hive is *live*: identical further ingest keeps the
+        // two states byte-identical.
+        let run = pod.run_once();
+        hive.ingest(&run.trace);
+        back.ingest(&run.trace);
+        assert_eq!(back.encode_state(), hive.encode_state());
+    }
+
+    #[test]
+    fn state_codec_rejects_wrong_program_and_truncation() {
+        let a = scenarios::token_parser();
+        let b = scenarios::bank_transfer();
+        let hive = Hive::new(&a.program, HiveConfig::default());
+        let bytes = hive.encode_state();
+        assert!(Hive::decode_state(&b.program, HiveConfig::default(), &bytes).is_err());
+        for cut in 0..bytes.len() {
+            assert!(
+                Hive::decode_state(&a.program, HiveConfig::default(), &bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 
     #[test]

@@ -14,10 +14,16 @@
 //! ```
 //!
 //! `kind` is [`REC_FRAME`] (the frame bytes are a wire batch frame,
-//! [`wire::encode_batch`]) or [`REC_TOMBSTONE`] (a shed frame: the
-//! sender gave up on this sequence number under backpressure; the record
-//! holds the slot so per-session sequence accounting survives recovery,
-//! but contributes no traces).
+//! [`wire::encode_batch`]), [`REC_TOMBSTONE`] (a shed frame: the sender
+//! gave up on this sequence number under backpressure; the record holds
+//! the slot so per-session sequence accounting survives recovery, but
+//! contributes no traces), [`REC_PROMOTE`] (a fix promotion: the frame
+//! bytes carry the promoted signature + overlay so replay re-applies the
+//! fix pipeline's *decision* rather than re-running its search),
+//! [`REC_ROUND`] (a platform round boundary: the frame bytes carry the
+//! caller's opaque round metadata), or [`REC_ABORT`] (a fence written on
+//! resume: everything since the previous round boundary belongs to a
+//! round that never committed and must not be merged).
 //!
 //! # Durability model
 //!
@@ -40,6 +46,24 @@ use std::io::Write;
 pub const REC_FRAME: u8 = 0;
 /// Record kind: a shed (tombstoned) sequence slot; no frame bytes.
 pub const REC_TOMBSTONE: u8 = 1;
+/// Record kind: a fix promotion (signature + overlay bytes); written on
+/// the [`SESSION_PROMOTE`] pseudo-session.
+pub const REC_PROMOTE: u8 = 2;
+/// Record kind: a platform round boundary carrying opaque caller
+/// metadata; written on the [`SESSION_ROUND`] pseudo-session.
+pub const REC_ROUND: u8 = 3;
+/// Record kind: an abort fence — frames since the last [`REC_ROUND`]
+/// belong to an uncommitted round and are discarded by replay.
+pub const REC_ABORT: u8 = 4;
+/// Highest valid record kind; [`scan`] rejects anything above it.
+const MAX_KIND: u8 = REC_ABORT;
+
+/// Pseudo-session carrying [`REC_ROUND`] / [`REC_ABORT`] records. Real
+/// transport sessions are small pod indices, so the top of the `u64`
+/// space is free.
+pub const SESSION_ROUND: u64 = u64::MAX;
+/// Pseudo-session carrying [`REC_PROMOTE`] records.
+pub const SESSION_PROMOTE: u64 = u64::MAX - 1;
 
 /// Fixed per-record header size: length prefix + checksum.
 const HEADER: usize = 4 + 8;
@@ -57,6 +81,14 @@ pub struct JournalRecord {
     pub seq: u64,
     /// The wire batch frame (empty for tombstones).
     pub frame: Vec<u8>,
+}
+
+impl JournalRecord {
+    /// On-disk size of this record (header + body), letting callers map
+    /// a [`scan`] position back to a byte offset in the journal.
+    pub fn encoded_len(&self) -> usize {
+        HEADER + BODY_PREFIX + self.frame.len()
+    }
 }
 
 /// Why a scan stopped before the end of the input. A clean stop (no
@@ -153,6 +185,22 @@ pub fn scan(bytes: &[u8]) -> (Vec<JournalRecord>, ScanReport) {
     (records, report)
 }
 
+/// Per-session next-expected sequence numbers implied by scanned
+/// records: for every real transport session (frames and tombstones;
+/// pseudo-sessions are skipped), the highest journaled `seq + 1`. This
+/// is the dedup floor a freshly started server must honor so a
+/// retransmit of an already-journaled frame is re-acked, not re-merged.
+pub fn session_floors(records: &[JournalRecord]) -> std::collections::BTreeMap<u64, u64> {
+    let mut floors = std::collections::BTreeMap::new();
+    for r in records {
+        if r.kind == REC_FRAME || r.kind == REC_TOMBSTONE {
+            let f = floors.entry(r.session).or_insert(0u64);
+            *f = (*f).max(r.seq + 1);
+        }
+    }
+    floors
+}
+
 /// Byte length the given records occupy on disk (the valid prefix).
 fn records_len(records: &[JournalRecord]) -> usize {
     records
@@ -184,7 +232,7 @@ fn read_record(
         return None;
     }
     let kind = body[0];
-    if kind != REC_FRAME && kind != REC_TOMBSTONE {
+    if kind > MAX_KIND {
         *tail_error = Some(TailError::BadKind { kind });
         return None;
     }
@@ -201,14 +249,66 @@ fn read_record(
     ))
 }
 
+/// A failed journal I/O operation: which operation, the OS-level error
+/// kind (e.g. `StorageFull` for ENOSPC), and the rendered message.
+/// Cloneable so a server can latch the first fatal error and keep
+/// refusing work with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalIoError {
+    /// The operation that failed (`"append"`, `"sync"`, …).
+    pub op: &'static str,
+    /// The underlying [`std::io::ErrorKind`].
+    pub kind: std::io::ErrorKind,
+    /// The rendered OS error message.
+    pub msg: String,
+}
+
+impl JournalIoError {
+    pub(crate) fn from_io(op: &'static str, e: &std::io::Error) -> Self {
+        JournalIoError {
+            op,
+            kind: e.kind(),
+            msg: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for JournalIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "journal {} failed ({:?}): {}",
+            self.op, self.kind, self.msg
+        )
+    }
+}
+
+impl std::error::Error for JournalIoError {}
+
 /// Where journal bytes durably live. `sync` is the fsync barrier:
 /// implementations guarantee everything appended before the last `sync`
 /// survives a crash; anything after it may be lost.
+///
+/// Both mutating operations are fallible: a full disk (ENOSPC) or a
+/// failed fsync is an *observed loss of durability* and must surface as
+/// a typed [`JournalIoError`], never a panic and never a silent no-op —
+/// the caller decides whether to refuse further acks.
 pub trait JournalStore {
     /// Appends raw record bytes (not yet durable).
-    fn append(&mut self, bytes: &[u8]);
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalIoError`] when the bytes could not be staged
+    /// (e.g. ENOSPC); on error none of `bytes` count toward [`len`](Self::len).
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalIoError>;
     /// Durability barrier; returns the synced length.
-    fn sync(&mut self) -> u64;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalIoError`] when the barrier itself failed —
+    /// after which *nothing* appended since the last successful sync may
+    /// be assumed durable.
+    fn sync(&mut self) -> Result<u64, JournalIoError>;
     /// Total bytes appended (synced or not).
     fn len(&self) -> u64;
     /// `true` when nothing has been appended.
@@ -254,16 +354,17 @@ impl MemJournal {
 }
 
 impl JournalStore for MemJournal {
-    fn append(&mut self, bytes: &[u8]) {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalIoError> {
         self.buf.extend_from_slice(bytes);
+        Ok(())
     }
 
-    fn sync(&mut self) -> u64 {
+    fn sync(&mut self) -> Result<u64, JournalIoError> {
         if self.synced < self.buf.len() {
             self.syncs += 1;
         }
         self.synced = self.buf.len();
-        self.synced as u64
+        Ok(self.synced as u64)
     }
 
     fn len(&self) -> u64 {
@@ -282,20 +383,42 @@ pub struct FileJournal {
     len: u64,
 }
 
+/// Fsyncs the directory containing `path`, making a just-created or
+/// just-renamed directory entry itself durable — without this, a machine
+/// crash can lose the *file*, not merely its tail.
+pub fn fsync_parent_dir(path: &std::path::Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
 impl FileJournal {
-    /// Opens (creating or appending to) the journal at `path`.
+    /// Opens (creating or appending to) the journal at `path`. If the
+    /// file did not exist, the parent directory is fsynced so the new
+    /// directory entry survives a machine crash.
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error.
     pub fn open(path: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
         let path = path.into();
+        let existed = path.exists();
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)?;
+        if !existed {
+            fsync_parent_dir(&path)?;
+        }
         let len = file.metadata()?.len();
         Ok(FileJournal { file, path, len })
+    }
+
+    /// The path this journal lives at.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
     }
 
     /// Reads the whole journal back for a [`scan`].
@@ -306,23 +429,44 @@ impl FileJournal {
     pub fn read(&self) -> std::io::Result<Vec<u8>> {
         std::fs::read(&self.path)
     }
+
+    /// Truncates the journal to `len` bytes and syncs — used after a
+    /// snapshot made the prefix redundant (compaction) and by recovery
+    /// to cut a damaged tail at the last valid record boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JournalIoError`] when truncation or the following
+    /// sync fails; the in-memory length is only updated on success.
+    pub fn truncate(&mut self, len: u64) -> Result<(), JournalIoError> {
+        self.file
+            .set_len(len)
+            .map_err(|e| JournalIoError::from_io("truncate", &e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| JournalIoError::from_io("truncate-sync", &e))?;
+        self.len = len;
+        Ok(())
+    }
 }
 
 impl JournalStore for FileJournal {
-    fn append(&mut self, bytes: &[u8]) {
-        // An append failure here is a lost-durability event; the sync
-        // barrier is where durability is promised, so surface it there
-        // by best-effort writing and letting sync's fsync fail loudly in
-        // debug builds. Production hardening (error plumb-through) is
-        // tracked in ROADMAP.
-        if self.file.write_all(bytes).is_ok() {
-            self.len += bytes.len() as u64;
-        }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), JournalIoError> {
+        // An append failure (ENOSPC, EIO) is an observed loss of
+        // durability: report it and leave `len` untouched so the caller
+        // refuses to ack anything relying on these bytes.
+        self.file
+            .write_all(bytes)
+            .map_err(|e| JournalIoError::from_io("append", &e))?;
+        self.len += bytes.len() as u64;
+        Ok(())
     }
 
-    fn sync(&mut self) -> u64 {
-        let _ = self.file.sync_data();
-        self.len
+    fn sync(&mut self) -> Result<u64, JournalIoError> {
+        self.file
+            .sync_data()
+            .map_err(|e| JournalIoError::from_io("sync", &e))?;
+        Ok(self.len)
     }
 
     fn len(&self) -> u64 {
@@ -438,11 +582,11 @@ mod tests {
         let mut j = MemJournal::new();
         let mut rec = Vec::new();
         append_record(&mut rec, REC_FRAME, 1, 0, b"abc");
-        j.append(&rec);
-        j.sync();
+        j.append(&rec).unwrap();
+        j.sync().unwrap();
         let mut rec2 = Vec::new();
         append_record(&mut rec2, REC_FRAME, 1, 1, b"def");
-        j.append(&rec2);
+        j.append(&rec2).unwrap();
         assert_eq!(j.len() as usize, rec.len() + rec2.len());
         let lost = j.crash();
         assert_eq!(lost, rec2.len());
@@ -456,13 +600,96 @@ mod tests {
     #[test]
     fn sync_is_idempotent_and_counts_batches() {
         let mut j = MemJournal::new();
-        j.sync();
-        j.sync();
+        j.sync().unwrap();
+        j.sync().unwrap();
         assert_eq!(j.syncs, 0, "empty syncs are free");
-        j.append(b"x");
-        j.sync();
-        j.sync();
+        j.append(b"x").unwrap();
+        j.sync().unwrap();
+        j.sync().unwrap();
         assert_eq!(j.syncs, 1, "no-op syncs are not batches");
+    }
+
+    #[test]
+    fn platform_record_kinds_roundtrip() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, REC_PROMOTE, SESSION_PROMOTE, 0, b"overlay");
+        append_record(&mut buf, REC_ROUND, SESSION_ROUND, 0, b"round-meta");
+        append_record(&mut buf, REC_ABORT, SESSION_ROUND, 1, &[]);
+        let (recs, report) = scan(&buf);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.tail_error, None);
+        assert_eq!(recs[0].kind, REC_PROMOTE);
+        assert_eq!(recs[0].session, SESSION_PROMOTE);
+        assert_eq!(recs[1].kind, REC_ROUND);
+        assert_eq!(recs[1].frame, b"round-meta");
+        assert_eq!(recs[2].kind, REC_ABORT);
+    }
+
+    #[test]
+    fn session_floors_track_frames_not_pseudo_sessions() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, REC_FRAME, 0, 0, b"a");
+        append_record(&mut buf, REC_FRAME, 0, 3, b"b");
+        append_record(&mut buf, REC_TOMBSTONE, 2, 5, &[]);
+        append_record(&mut buf, REC_ROUND, SESSION_ROUND, 9, b"m");
+        append_record(&mut buf, REC_PROMOTE, SESSION_PROMOTE, 9, b"o");
+        let (recs, _) = scan(&buf);
+        let floors = session_floors(&recs);
+        assert_eq!(floors.get(&0), Some(&4), "max seq + 1");
+        assert_eq!(floors.get(&2), Some(&6), "tombstones hold their slot");
+        assert!(!floors.contains_key(&SESSION_ROUND));
+        assert!(!floors.contains_key(&SESSION_PROMOTE));
+    }
+
+    #[test]
+    fn file_journal_truncate_cuts_and_survives_reopen() {
+        let path =
+            std::env::temp_dir().join(format!("softborg-journal-trunc-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut rec = Vec::new();
+        append_record(&mut rec, REC_FRAME, 1, 0, b"keep");
+        {
+            let mut j = FileJournal::open(&path).expect("open");
+            j.append(&rec).unwrap();
+            let mut rec2 = Vec::new();
+            append_record(&mut rec2, REC_FRAME, 1, 1, b"cut");
+            j.append(&rec2).unwrap();
+            j.sync().unwrap();
+            j.truncate(rec.len() as u64).unwrap();
+            assert_eq!(j.len(), rec.len() as u64);
+        }
+        {
+            let j = FileJournal::open(&path).expect("reopen");
+            assert_eq!(j.len(), rec.len() as u64, "length survives reopen");
+            let (recs, report) = scan(&j.read().unwrap());
+            assert_eq!(recs.len(), 1);
+            assert_eq!(recs[0].frame, b"keep");
+            assert_eq!(report.tail_dropped, 0);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_journal_append_after_truncate_to_zero_starts_fresh() {
+        let path =
+            std::env::temp_dir().join(format!("softborg-journal-reset-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = FileJournal::open(&path).expect("open");
+            let mut rec = Vec::new();
+            append_record(&mut rec, REC_FRAME, 1, 0, b"old");
+            j.append(&rec).unwrap();
+            j.sync().unwrap();
+            j.truncate(0).unwrap();
+            let mut rec2 = Vec::new();
+            append_record(&mut rec2, REC_FRAME, 2, 0, b"new");
+            j.append(&rec2).unwrap();
+            j.sync().unwrap();
+            let (recs, _) = scan(&j.read().unwrap());
+            assert_eq!(recs.len(), 1);
+            assert_eq!(recs[0].session, 2);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -474,8 +701,8 @@ mod tests {
             let mut j = FileJournal::open(&path).expect("open");
             let mut rec = Vec::new();
             append_record(&mut rec, REC_FRAME, 3, 0, b"frame-bytes");
-            j.append(&rec);
-            j.sync();
+            j.append(&rec).unwrap();
+            j.sync().unwrap();
             let bytes = j.read().expect("read");
             let (recs, report) = scan(&bytes);
             assert_eq!(recs.len(), 1);

@@ -10,6 +10,8 @@
 //! * [`proofs`] — proof certificates and their independent verifier.
 //! * [`journal`] — the write-ahead journal accepted frames hit before
 //!   merge, and the crash-tolerant scan that rebuilds from it.
+//! * [`snapshot`] — checksummed hive snapshots with atomic swap and
+//!   torn-write fallback, bounding journal growth via compaction.
 //! * [`transport`] — the reliable pod→hive session protocol
 //!   (ack/retry/backoff over the network simulator).
 //! * [`distributed`] — static vs dynamic tree partitioning over the
@@ -24,6 +26,7 @@ pub mod hive;
 pub mod journal;
 pub mod proofs;
 pub mod replica;
+pub mod snapshot;
 pub mod transport;
 
 pub use distributed::{run_exploration, DistConfig, DistReport, Outage, Partitioning};
@@ -31,7 +34,13 @@ pub use hive::{
     diagnosis_signature, outcome_signature, FixProposal, Hive, HiveConfig, HiveStats,
     RecoveryReport,
 };
-pub use journal::{JournalRecord, JournalStore, MemJournal, ScanReport};
+pub use journal::{
+    fsync_parent_dir, session_floors, FileJournal, JournalIoError, JournalRecord, JournalStore,
+    MemJournal, ScanReport, TailError,
+};
 pub use proofs::{assemble, verify, ProofCertificate, ProofError};
 pub use replica::{run_replica_sync, OutcomePath, ReplicaConfig, ReplicaReport};
-pub use transport::{run_reliable_ingest, TransportConfig, TransportReport};
+pub use snapshot::{HiveSnapshot, LoadReport, SnapshotSource, SnapshotStore};
+pub use transport::{
+    run_reliable_ingest, run_reliable_ingest_resumed, TransportConfig, TransportReport,
+};

@@ -33,7 +33,7 @@
 //! traces all agree.
 
 use crate::hive::Hive;
-use crate::journal::{self, JournalStore, MemJournal, REC_FRAME, REC_TOMBSTONE};
+use crate::journal::{self, JournalIoError, JournalStore, MemJournal, REC_FRAME, REC_TOMBSTONE};
 use softborg_ingest::{BackpressurePolicy, FrameSender, IngestConfig, IngestStats};
 use softborg_netsim::{
     Addr, Ctx, FaultPlan, FaultPlanError, LinkConfig, NetNode, Sim, SimConfig, SimStats,
@@ -89,6 +89,8 @@ struct Metrics {
     shed: u64,
     recoveries: u64,
     sessions_done: u64,
+    recovery_tail_dropped: u64,
+    journal_error: Option<JournalIoError>,
 }
 
 /// Transport tuning knobs. Network behaviour (latency, loss, duplication,
@@ -168,6 +170,13 @@ pub struct TransportReport {
     /// Journal bytes dropped by crashes (accepted but never synced, so
     /// never acked — clients retransmitted them).
     pub journal_lost_bytes: u64,
+    /// Unsynced/corrupt journal-tail bytes the server discarded while
+    /// rebuilding session floors after crashes. Never silently dropped:
+    /// each recovery that discards a tail also logs a warning line.
+    pub recovery_tail_dropped: u64,
+    /// First fatal journal I/O error (e.g. `ENOSPC`) the server hit, if
+    /// any. Affected frames were refused (nacked `Busy`), never acked.
+    pub journal_error: Option<JournalIoError>,
     /// The synced journal at the end of the run — feed it to
     /// [`Hive::recover`] to rebuild the hive from scratch.
     pub journal: Vec<u8>,
@@ -434,6 +443,31 @@ impl HiveServer {
         self.metrics = metrics;
         self
     }
+
+    /// Raises every session's dedup floor to cover `journal` (a scanned
+    /// journal image — this process's own after a crash, or a *prior
+    /// process's* synced journal when resuming a campaign). Frames below
+    /// the floor are re-acked as duplicates instead of re-ingested, so
+    /// retransmits that cross a process restart cannot double-count.
+    ///
+    /// A corrupt or unsynced tail is dropped — but counted and warned
+    /// about, never silently.
+    pub fn seed_sessions(&mut self, journal: &[u8]) {
+        let (records, scan) = journal::scan(journal);
+        if let Some(err) = scan.tail_error {
+            eprintln!(
+                "warning: hive transport recovery dropped {} journal tail byte(s) \
+                 after {} intact record(s): {err}",
+                scan.tail_dropped, scan.records
+            );
+            self.metrics.borrow_mut().recovery_tail_dropped += scan.tail_dropped as u64;
+        }
+        for (session, floor) in journal::session_floors(&records) {
+            let state = self.sessions.entry(session).or_default();
+            state.accepted = state.accepted.max(floor);
+            state.synced = state.accepted;
+        }
+    }
 }
 
 impl NetNode for HiveServer {
@@ -471,7 +505,19 @@ impl NetNode for HiveServer {
         // tick — never promise durability before the barrier.
         let mut rec = Vec::new();
         journal::append_record(&mut rec, kind, session, seq, frame);
-        self.journal.borrow_mut().append(&rec);
+        if let Err(err) = self.journal.borrow_mut().append(&rec) {
+            // Disk refused the record (ENOSPC and friends): the frame is
+            // NOT accepted — nack `Busy` so the client backs off and
+            // retries, and latch the first error for the report.
+            let mut m = self.metrics.borrow_mut();
+            m.busy_nacks += 1;
+            if m.journal_error.is_none() {
+                m.journal_error = Some(err);
+            }
+            drop(m);
+            ctx.send(from, ctl_msg(MSG_BUSY, session, seq));
+            return;
+        }
         state.accepted += 1;
         state.dirty = true;
         self.pending.push((kind, frame.to_vec()));
@@ -486,7 +532,19 @@ impl NetNode for HiveServer {
         // the last tick. Only now do the frames enter the pipeline and
         // the acks go out — the ack-after-sync invariant.
         self.tick_armed = false;
-        self.journal.borrow_mut().sync();
+        if let Err(err) = self.journal.borrow_mut().sync() {
+            // The barrier failed: nothing new is durable, so nothing may
+            // be submitted or acked. Keep the backlog, latch the error,
+            // and retry the barrier at the next tick.
+            let mut m = self.metrics.borrow_mut();
+            if m.journal_error.is_none() {
+                m.journal_error = Some(err);
+            }
+            drop(m);
+            self.tick_armed = true;
+            ctx.set_timer(self.sync_interval_us, TICK_TAG);
+            return;
+        }
         for (kind, frame) in self.pending.drain(..) {
             // Delivery metrics count here, at the barrier: a frame
             // accepted but crashed away before sync was never delivered
@@ -525,16 +583,9 @@ impl NetNode for HiveServer {
         // floor from the synced prefix. Synced frames were already
         // submitted to the pipeline (sync and submit are one atomic tick
         // here), so replay feeds only the dedup state, not the merger.
-        let mut m = self.metrics.borrow_mut();
-        m.recoveries += 1;
-        drop(m);
+        self.metrics.borrow_mut().recoveries += 1;
         let bytes = self.journal.borrow().bytes().to_vec();
-        let (records, _) = journal::scan(&bytes);
-        for rec in records {
-            let state = self.sessions.entry(rec.session).or_default();
-            state.accepted = state.accepted.max(rec.seq + 1);
-            state.synced = state.accepted;
-        }
+        self.seed_sessions(&bytes);
         // Clients' retransmit timers re-drive the stream; the server is
         // purely reactive and needs no timer of its own until data
         // arrives.
@@ -560,6 +611,37 @@ pub fn run_reliable_ingest(
     ingest_cfg: &IngestConfig,
     cfg: &TransportConfig,
 ) -> Result<(TransportReport, IngestStats), FaultPlanError> {
+    run_reliable_ingest_inner(hive, pods, ingest_cfg, cfg, Vec::new())
+}
+
+/// Like [`run_reliable_ingest`], but the server starts with its session
+/// dedup floors seeded from `prior_journal` — the synced journal of a
+/// *previous process* ([`TransportReport::journal`]). Clients that
+/// re-send frames the prior process already acked (retransmits racing a
+/// restart, or replays of an entire session) see them deduplicated and
+/// re-acked instead of double-ingested.
+///
+/// # Errors
+///
+/// Returns a [`FaultPlanError`] when the fault plan fails validation
+/// against the node count.
+pub fn run_reliable_ingest_resumed(
+    hive: &mut Hive<'_>,
+    pods: Vec<Vec<(u8, Vec<u8>)>>,
+    ingest_cfg: &IngestConfig,
+    cfg: &TransportConfig,
+    prior_journal: &[u8],
+) -> Result<(TransportReport, IngestStats), FaultPlanError> {
+    run_reliable_ingest_inner(hive, pods, ingest_cfg, cfg, prior_journal.to_vec())
+}
+
+fn run_reliable_ingest_inner(
+    hive: &mut Hive<'_>,
+    pods: Vec<Vec<(u8, Vec<u8>)>>,
+    ingest_cfg: &IngestConfig,
+    cfg: &TransportConfig,
+    prior_journal: Vec<u8>,
+) -> Result<(TransportReport, IngestStats), FaultPlanError> {
     let n_pods = pods.len() as u32;
     cfg.faults.validate(n_pods + 1)?;
     let mut ingest_cfg = ingest_cfg.clone();
@@ -583,9 +665,11 @@ pub fn run_reliable_ingest(
                 PodClient::new(i as u64, server_addr, frames, &cfg).with_metrics(metrics.clone()),
             ));
         }
-        let placed = sim.add_node(Box::new(
-            HiveServer::new(tx, journal.clone(), &cfg).with_metrics(metrics.clone()),
-        ));
+        let mut server = HiveServer::new(tx, journal.clone(), &cfg).with_metrics(metrics.clone());
+        if !prior_journal.is_empty() {
+            server.seed_sessions(&prior_journal);
+        }
+        let placed = sim.add_node(Box::new(server));
         debug_assert_eq!(placed, server_addr, "server must sit at Addr(n_pods)");
         sim.run();
 
@@ -606,6 +690,8 @@ pub fn run_reliable_ingest(
             recoveries: m.recoveries,
             journal_syncs: j.syncs,
             journal_lost_bytes: (j.bytes().len() - synced.len()) as u64,
+            recovery_tail_dropped: m.recovery_tail_dropped,
+            journal_error: m.journal_error.clone(),
             journal: synced,
             net: sim.stats(),
         }

@@ -67,6 +67,54 @@ pub struct Crash {
     pub restart_us: u64,
 }
 
+/// A crash point targeting *durable storage* rather than the network:
+/// what the disk looks like when the process comes back. The simulator
+/// itself has no filesystem — these are declarative instructions that a
+/// durability harness (the platform's kill/restart driver) interprets
+/// against the real snapshot + write-ahead-journal files. Keeping them
+/// in the fault plan gives one vocabulary for "everything the
+/// environment may do to you", network and disk alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskCrashPoint {
+    /// Kill the process cleanly at a round boundary, immediately after
+    /// round `round` (0-based) commits. Disk is intact; recovery must
+    /// resume from exactly that round.
+    AtRoundBoundary {
+        /// The committed round after which the process dies.
+        round: u64,
+    },
+    /// Crash with the write-ahead journal missing its last `drop_bytes`
+    /// bytes (an unsynced tail the OS never persisted).
+    TruncateWalTail {
+        /// Bytes removed from the journal's end (clamped to its length).
+        drop_bytes: u64,
+    },
+    /// Crash leaving one flipped bit `back_offset` bytes before the
+    /// journal's end (sector scribble / medium error in the tail).
+    FlipWalBit {
+        /// Distance from the end of the journal (clamped to its length).
+        back_offset: u64,
+    },
+    /// A torn snapshot write: the process dies mid-`write`, leaving only
+    /// the first `keep_per_mille`/1000 of the new snapshot record on
+    /// disk. Recovery must fall back to the previous snapshot.
+    TornSnapshot {
+        /// Fraction of the snapshot record that reached disk (‰, ≤1000).
+        keep_per_mille: u32,
+    },
+    /// One flipped bit at byte `offset` (taken modulo the file length)
+    /// of the current snapshot. The checksum must reject it and recovery
+    /// must fall back.
+    FlipSnapshotBit {
+        /// Byte position of the flip (wrapped modulo the file length).
+        offset: u64,
+    },
+    /// Crash after the new snapshot is renamed into place but before the
+    /// journal truncate: the journal still holds records the snapshot
+    /// already covers, and recovery must not double-apply them.
+    BetweenRenameAndTruncate,
+}
+
 /// A composable set of injected faults, applied on top of the base
 /// [`LinkConfig`](crate::LinkConfig). The default plan injects nothing.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,6 +130,9 @@ pub struct FaultPlan {
     pub partitions: Vec<Partition>,
     /// Scheduled node crash/restart events.
     pub crashes: Vec<Crash>,
+    /// On-disk crash points for durability harnesses (no effect inside
+    /// the network simulation itself).
+    pub disk: Vec<DiskCrashPoint>,
 }
 
 /// An invalid fault plan (or outage schedule), reported at config time.
@@ -200,6 +251,16 @@ impl FaultPlan {
                 }
             }
         }
+        for d in &self.disk {
+            if let DiskCrashPoint::TornSnapshot { keep_per_mille } = *d {
+                if keep_per_mille > 1000 {
+                    return Err(FaultPlanError::RateOutOfRange {
+                        what: "torn_snapshot.keep_per_mille",
+                        per_mille: keep_per_mille,
+                    });
+                }
+            }
+        }
         for c in &self.crashes {
             if c.restart_us <= c.at_us {
                 return Err(FaultPlanError::WindowInverted {
@@ -245,6 +306,13 @@ mod tests {
                 at_us: 100,
                 restart_us: 200,
             }],
+            disk: vec![
+                DiskCrashPoint::AtRoundBoundary { round: 3 },
+                DiskCrashPoint::TornSnapshot {
+                    keep_per_mille: 500,
+                },
+                DiskCrashPoint::BetweenRenameAndTruncate,
+            ],
         }
     }
 
@@ -311,6 +379,23 @@ mod tests {
         assert_eq!(
             p.validate(9),
             Err(FaultPlanError::SelfPartition { node: Addr(3) })
+        );
+    }
+
+    #[test]
+    fn torn_snapshot_over_one_thousand_per_mille_is_rejected() {
+        let p = FaultPlan {
+            disk: vec![DiskCrashPoint::TornSnapshot {
+                keep_per_mille: 1001,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(
+            p.validate(1),
+            Err(FaultPlanError::RateOutOfRange {
+                what: "torn_snapshot.keep_per_mille",
+                per_mille: 1001
+            })
         );
     }
 

@@ -44,7 +44,7 @@
 
 pub mod fault;
 
-pub use fault::{Crash, FaultPlan, FaultPlanError, Partition};
+pub use fault::{Crash, DiskCrashPoint, FaultPlan, FaultPlanError, Partition};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

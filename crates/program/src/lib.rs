@@ -11,6 +11,7 @@
 //! ## Layout
 //!
 //! * [`mod@cfg`] — programs as control-flow graphs ([`cfg::Program`]).
+//! * [`codec`] — deterministic byte codec for durable snapshots.
 //! * [`expr`] — side-effect-free integer expressions.
 //! * [`builder`] — structured program construction.
 //! * [`interp`] — the deterministic interpreter ([`interp::Executor`])
@@ -63,6 +64,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod codec;
 pub mod expr;
 pub mod gen;
 pub mod ids;

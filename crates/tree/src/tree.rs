@@ -13,6 +13,7 @@
 //! subtree (and ultimately yield a proof, §3.3).
 
 use serde::{Deserialize, Serialize};
+use softborg_program::codec::{self, CodecError};
 use softborg_program::interp::Outcome;
 use softborg_program::{BranchSiteId, ProgramId};
 use std::collections::hash_map::DefaultHasher;
@@ -516,6 +517,120 @@ impl ExecutionTree {
         }
     }
 
+    /// Serializes the full tree (structure *and* tallies, unlike
+    /// [`digest`](Self::digest)) into the durable-snapshot byte format.
+    /// Deterministic: `path_hashes` is emitted in sorted order so two
+    /// trees with identical logical state encode identically.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        codec::put_u64(buf, self.program.0);
+        codec::put_u32(buf, self.nodes.len() as u32);
+        for n in &self.nodes {
+            match n.parent {
+                None => codec::put_u8(buf, 0),
+                Some((parent, site, taken)) => {
+                    codec::put_u8(buf, 1);
+                    codec::put_u32(buf, parent.0);
+                    codec::put_u32(buf, site.0);
+                    codec::put_u8(buf, u8::from(taken));
+                }
+            }
+            codec::put_u32(buf, n.edges.len() as u32);
+            for e in &n.edges {
+                codec::put_u32(buf, e.site.0);
+                codec::put_u8(buf, u8::from(e.taken));
+                codec::put_u32(buf, e.child.0);
+            }
+            codec::put_u32(buf, n.infeasible.len() as u32);
+            for (site, taken) in &n.infeasible {
+                codec::put_u32(buf, site.0);
+                codec::put_u8(buf, u8::from(*taken));
+            }
+            codec::put_u64(buf, n.visits);
+            codec::put_u64(buf, n.terminal.success);
+            codec::put_u64(buf, n.terminal.crash);
+            codec::put_u64(buf, n.terminal.deadlock);
+            codec::put_u64(buf, n.terminal.hang);
+        }
+        codec::put_u64(buf, self.paths_merged);
+        codec::put_u64(buf, self.distinct_paths);
+        let mut hashes: Vec<u64> = self.path_hashes.iter().copied().collect();
+        hashes.sort_unstable();
+        codec::put_u32(buf, hashes.len() as u32);
+        for h in hashes {
+            codec::put_u64(buf, h);
+        }
+    }
+
+    /// Decodes a tree previously written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input; never
+    /// panics.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Result<Self, CodecError> {
+        let program = ProgramId(r.u64("Tree.program")?);
+        let n_nodes = r.seq_len("Tree.nodes", 42)?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let parent = match r.u8("Node.parent")? {
+                0 => None,
+                1 => {
+                    let p = NodeId(r.u32("Node.parent.id")?);
+                    let site = BranchSiteId::new(r.u32("Node.parent.site")?);
+                    let taken = r.u8("Node.parent.taken")? != 0;
+                    Some((p, site, taken))
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "Node.parent",
+                        tag,
+                    })
+                }
+            };
+            let n_edges = r.seq_len("Node.edges", 9)?;
+            let mut edges = Vec::with_capacity(n_edges);
+            for _ in 0..n_edges {
+                edges.push(EdgeRec {
+                    site: BranchSiteId::new(r.u32("Edge.site")?),
+                    taken: r.u8("Edge.taken")? != 0,
+                    child: NodeId(r.u32("Edge.child")?),
+                });
+            }
+            let n_inf = r.seq_len("Node.infeasible", 5)?;
+            let mut infeasible = Vec::with_capacity(n_inf);
+            for _ in 0..n_inf {
+                let site = BranchSiteId::new(r.u32("Infeasible.site")?);
+                infeasible.push((site, r.u8("Infeasible.taken")? != 0));
+            }
+            nodes.push(Node {
+                parent,
+                edges,
+                infeasible,
+                visits: r.u64("Node.visits")?,
+                terminal: OutcomeTally {
+                    success: r.u64("Tally.success")?,
+                    crash: r.u64("Tally.crash")?,
+                    deadlock: r.u64("Tally.deadlock")?,
+                    hang: r.u64("Tally.hang")?,
+                },
+            });
+        }
+        let paths_merged = r.u64("Tree.paths_merged")?;
+        let distinct_paths = r.u64("Tree.distinct_paths")?;
+        let n_hashes = r.seq_len("Tree.path_hashes", 8)?;
+        let mut path_hashes = HashSet::with_capacity(n_hashes);
+        for _ in 0..n_hashes {
+            path_hashes.insert(r.u64("Tree.path_hash")?);
+        }
+        Ok(ExecutionTree {
+            program,
+            nodes,
+            paths_merged,
+            distinct_paths,
+            path_hashes,
+        })
+    }
+
     /// Approximate resident memory of the tree in bytes (experiment E9).
     pub fn approx_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<Node>()
@@ -741,6 +856,66 @@ mod tests {
         assert_eq!(c.paths_merged, 2);
         assert_eq!(c.frontier_arms, 1); // (1,true)
         assert!(c.closed_fraction > 0.0 && c.closed_fraction < 1.0);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_everything() {
+        let mut t = ExecutionTree::new(ProgramId(42));
+        t.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
+        t.merge_path(&path(&[(0, true), (1, true)]), &crash());
+        t.merge_path(&path(&[(0, false)]), &Outcome::Success);
+        t.mark_infeasible(NodeId::ROOT, s(9), true);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let mut r = codec::Reader::new(&buf);
+        let back = ExecutionTree::decode(&mut r).expect("decode");
+        assert!(r.is_empty());
+        assert_eq!(back.program(), t.program());
+        assert_eq!(back.digest(), t.digest());
+        assert_eq!(back.node_count(), t.node_count());
+        assert_eq!(back.paths_merged(), t.paths_merged());
+        assert_eq!(back.distinct_paths(), t.distinct_paths());
+        assert_eq!(back.path_hashes, t.path_hashes);
+        // Tallies and infeasible marks survive too (digest ignores them).
+        let leaf = back.node(NodeId::ROOT).child(s(0), false).unwrap();
+        assert_eq!(back.node(leaf).terminal.success, 1);
+        assert!(back.node(NodeId::ROOT).is_infeasible(s(9), true));
+        // Re-encoding the decoded tree is byte-identical.
+        let mut buf2 = Vec::new();
+        back.encode_into(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn codec_rejects_truncation_without_panic() {
+        let mut t = ExecutionTree::new(ProgramId(7));
+        t.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            let mut r = codec::Reader::new(&buf[..cut]);
+            assert!(ExecutionTree::decode(&mut r).is_err());
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_then_merge_matches_uninterrupted() {
+        // A decoded tree must be a *live* tree: merging the same extra
+        // path into the original and the roundtripped copy agrees.
+        let mut a = ExecutionTree::new(ProgramId(3));
+        a.merge_path(&path(&[(0, true), (2, false)]), &Outcome::Success);
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        let mut b = ExecutionTree::decode(&mut codec::Reader::new(&buf)).unwrap();
+        let extra = path(&[(0, true), (2, true)]);
+        let sa = a.merge_path(&extra, &crash());
+        let sb = b.merge_path(&extra, &crash());
+        assert_eq!(sa, sb);
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        a.encode_into(&mut ba);
+        b.encode_into(&mut bb);
+        assert_eq!(ba, bb);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Crash-only durability: a durable campaign killed at any round
+//! boundary and resumed must recover hive state byte-identical to an
+//! uninterrupted run at the same committed round — through journal
+//! replay alone, through snapshot compaction, and through snapshot
+//! corruption with generation fallback.
+
+use softborg::hive::journal::{self, REC_FRAME};
+use softborg::hive::SnapshotSource;
+use softborg::{DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig};
+use softborg_ingest::IngestConfig;
+use softborg_program::scenarios;
+use std::path::PathBuf;
+
+const ROUNDS: u64 = 5;
+const EXECS: u32 = 12;
+
+/// A fresh, empty campaign directory unique to this test + process.
+fn campaign_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("softborg-durability-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(durability: Option<DurabilityConfig>) -> PlatformConfig {
+    let s = scenarios::token_parser();
+    PlatformConfig {
+        n_pods: 8,
+        pod: softborg::pod::PodConfig {
+            input_range: s.input_range,
+            ..softborg::pod::PodConfig::default()
+        },
+        seed: 17,
+        durability,
+        ..PlatformConfig::default()
+    }
+}
+
+/// Aggressive compaction so short campaigns exercise the snapshot path.
+fn compacting(dir: PathBuf) -> DurabilityConfig {
+    DurabilityConfig {
+        compact_ratio: 2,
+        min_compact_wal_bytes: 1024,
+        ..DurabilityConfig::new(dir)
+    }
+}
+
+/// Hive states of an uninterrupted durable run, indexed by committed
+/// round count (`states[0]` = fresh hive, `states[k]` = after round k).
+fn reference_states(dcfg: DurabilityConfig) -> Vec<Vec<u8>> {
+    let s = scenarios::token_parser();
+    let mut p = Platform::new(&s.program, config(Some(dcfg)));
+    let mut states = vec![p.hive_state()];
+    for _ in 0..ROUNDS {
+        p.round(EXECS);
+        states.push(p.hive_state());
+    }
+    states
+}
+
+#[test]
+fn durable_rounds_match_in_memory_rounds_exactly() {
+    let s = scenarios::token_parser();
+    let mut plain = Platform::new(&s.program, config(None));
+    plain.run(ROUNDS as u32, EXECS);
+    let dir = campaign_dir("vs-plain");
+    let mut durable = Platform::new(&s.program, config(Some(DurabilityConfig::new(dir))));
+    durable.run(ROUNDS as u32, EXECS);
+    assert_eq!(plain.history(), durable.history());
+    assert_eq!(plain.hive_state(), durable.hive_state());
+}
+
+#[test]
+fn kill_at_every_round_boundary_recovers_byte_identical_state() {
+    let s = scenarios::token_parser();
+    let reference = reference_states(DurabilityConfig::new(campaign_dir("boundary-ref")));
+    for k in 1..=ROUNDS {
+        let dir = campaign_dir(&format!("boundary-{k}"));
+        {
+            let mut p = Platform::new(&s.program, config(Some(DurabilityConfig::new(dir.clone()))));
+            p.run(k as u32, EXECS);
+        } // drop = kill: nothing beyond the synced journal survives
+        let (resumed, report) =
+            Platform::resume(&s.program, config(Some(DurabilityConfig::new(dir)))).unwrap();
+        assert_eq!(resumed.committed_rounds(), k, "lost rounds at kill {k}");
+        assert_eq!(report.rounds_from_snapshot + report.rounds_replayed, k);
+        assert_eq!(report.fenced_records, 0);
+        assert_eq!(report.disconnected_records, 0);
+        assert_eq!(
+            resumed.hive_state(),
+            reference[k as usize],
+            "recovered hive diverged from uninterrupted run at round {k}"
+        );
+        assert_eq!(resumed.history().len(), k as usize);
+        // The campaign keeps going after recovery.
+        let mut resumed = resumed;
+        let r = resumed.round(EXECS);
+        assert_eq!(r.executions, 8 * u64::from(EXECS));
+        assert_eq!(resumed.committed_rounds(), k + 1);
+    }
+}
+
+#[test]
+fn compaction_bounds_the_journal_and_resume_stays_byte_identical() {
+    let s = scenarios::token_parser();
+    let reference = reference_states(compacting(campaign_dir("compact-ref")));
+    let dir = campaign_dir("compact");
+    {
+        let mut p = Platform::new(&s.program, config(Some(compacting(dir.clone()))));
+        for _ in 0..ROUNDS {
+            p.round(EXECS);
+            let wal = p.wal_len().unwrap();
+            let bound = 2 * p.hive_state().len() as u64 + 1024;
+            assert!(wal < bound, "journal unbounded: {wal} >= {bound}");
+        }
+    }
+    assert!(
+        dir.join("hive.snap").exists(),
+        "compaction never wrote a snapshot"
+    );
+    let (resumed, report) = Platform::resume(&s.program, config(Some(compacting(dir)))).unwrap();
+    assert_eq!(report.snapshot.source, SnapshotSource::Primary);
+    assert!(
+        report.rounds_from_snapshot > 0,
+        "resume ignored the snapshot"
+    );
+    assert_eq!(resumed.committed_rounds(), ROUNDS);
+    assert_eq!(resumed.hive_state(), reference[ROUNDS as usize]);
+}
+
+#[test]
+fn corrupt_primary_snapshot_falls_back_to_a_consistent_generation() {
+    let s = scenarios::token_parser();
+    let reference = reference_states(compacting(campaign_dir("fallback-ref")));
+    let dir = campaign_dir("fallback");
+    {
+        let mut p = Platform::new(&s.program, config(Some(compacting(dir.clone()))));
+        p.run(ROUNDS as u32, EXECS);
+    }
+    let snap = dir.join("hive.snap");
+    let prev = dir.join("hive.snap.prev");
+    assert!(
+        snap.exists() && prev.exists(),
+        "campaign too short to roll two snapshot generations"
+    );
+    // Media corruption of the newest snapshot, after its swap committed.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, bytes).unwrap();
+
+    let (resumed, report) = Platform::resume(&s.program, config(Some(compacting(dir)))).unwrap();
+    assert_eq!(report.snapshot.source, SnapshotSource::Fallback);
+    assert!(report.snapshot.primary_error.is_some());
+    // The journal suffix belongs to rounds after the (destroyed) newest
+    // snapshot; recovery must discard it rather than merge it out of
+    // order onto the older generation.
+    assert!(report.disconnected_records > 0 || report.rounds_replayed == 0);
+    let k = resumed.committed_rounds();
+    assert!(k > 0 && k <= ROUNDS);
+    assert_eq!(
+        resumed.hive_state(),
+        reference[k as usize],
+        "fallback produced a state no uninterrupted run ever had (round {k})"
+    );
+}
+
+#[test]
+fn uncommitted_partial_round_is_fenced_and_corrupt_tail_is_dropped() {
+    let s = scenarios::token_parser();
+    let reference = reference_states(DurabilityConfig::new(campaign_dir("fence-ref")));
+    let dir = campaign_dir("fence");
+    {
+        let mut p = Platform::new(&s.program, config(Some(DurabilityConfig::new(dir.clone()))));
+        p.run(2, EXECS);
+    }
+    // A crash mid-round leaves intact-but-uncommitted frame records
+    // (no closing round record), then a torn half-written record.
+    let wal = dir.join("hive.wal");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let mut partial = Vec::new();
+    journal::append_record(&mut partial, REC_FRAME, 3, 99, b"uncommitted frame");
+    journal::append_record(&mut partial, REC_FRAME, 4, 99, b"another one");
+    bytes.extend_from_slice(&partial);
+    bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE]); // torn append
+    std::fs::write(&wal, bytes).unwrap();
+
+    let (resumed, report) =
+        Platform::resume(&s.program, config(Some(DurabilityConfig::new(dir.clone())))).unwrap();
+    assert_eq!(report.wal_tail_dropped, 3);
+    assert_eq!(report.fenced_records, 2);
+    assert_eq!(resumed.committed_rounds(), 2);
+    assert_eq!(resumed.hive_state(), reference[2]);
+    drop(resumed);
+    // The fence is durable: a second resume skips the same records
+    // without re-fencing them.
+    let (again, report) =
+        Platform::resume(&s.program, config(Some(DurabilityConfig::new(dir)))).unwrap();
+    assert_eq!(report.wal_tail_dropped, 0);
+    assert_eq!(report.fenced_records, 0);
+    assert_eq!(again.hive_state(), reference[2]);
+}
+
+#[test]
+fn fresh_directory_resumes_into_a_cold_start() {
+    let s = scenarios::token_parser();
+    let dir = campaign_dir("cold");
+    let (mut p, report) =
+        Platform::resume(&s.program, config(Some(DurabilityConfig::new(dir)))).unwrap();
+    assert_eq!(report.snapshot.source, SnapshotSource::None);
+    assert_eq!(report.rounds_from_snapshot + report.rounds_replayed, 0);
+    assert_eq!(p.committed_rounds(), 0);
+    p.round(EXECS);
+    assert_eq!(p.committed_rounds(), 1);
+}
+
+#[test]
+fn new_refuses_to_clobber_an_existing_campaign() {
+    let s = scenarios::token_parser();
+    let dir = campaign_dir("clobber");
+    {
+        let mut p = Platform::new(&s.program, config(Some(DurabilityConfig::new(dir.clone()))));
+        p.round(EXECS);
+    }
+    match Platform::try_new(&s.program, config(Some(DurabilityConfig::new(dir)))) {
+        Err(DurabilityError::CampaignExists(_)) => {}
+        other => panic!("expected CampaignExists, got {other:?}"),
+    }
+    match Platform::resume(&s.program, config(None)) {
+        Err(DurabilityError::NotConfigured) => {}
+        other => panic!("expected NotConfigured, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn pipelined_durable_rounds_write_the_same_journal_as_serial() {
+    let s = scenarios::token_parser();
+    let serial_dir = campaign_dir("pipe-serial");
+    let piped_dir = campaign_dir("pipe-piped");
+    let piped_cfg = |dir: PathBuf| PlatformConfig {
+        ingest: IngestSettings {
+            pipelined: true,
+            pod_threads: 3,
+            batch_size: 7,
+            pipeline: IngestConfig {
+                workers: 2,
+                ..IngestConfig::default()
+            },
+        },
+        ..config(Some(DurabilityConfig::new(dir)))
+    };
+    {
+        let mut serial = Platform::new(
+            &s.program,
+            config(Some(DurabilityConfig::new(serial_dir.clone()))),
+        );
+        serial.run(3, EXECS);
+        let mut piped = Platform::new(&s.program, piped_cfg(piped_dir.clone()));
+        piped.run(3, EXECS);
+        assert_eq!(serial.hive_state(), piped.hive_state());
+    }
+    // Both journals replay to the same hive, killed and resumed.
+    let (from_serial, _) =
+        Platform::resume(&s.program, config(Some(DurabilityConfig::new(serial_dir)))).unwrap();
+    let (from_piped, _) = Platform::resume(&s.program, piped_cfg(piped_dir)).unwrap();
+    assert_eq!(from_serial.committed_rounds(), 3);
+    assert_eq!(from_piped.committed_rounds(), 3);
+    assert_eq!(from_serial.hive_state(), from_piped.hive_state());
+    assert_eq!(from_serial.history(), from_piped.history());
+}
