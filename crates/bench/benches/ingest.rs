@@ -49,6 +49,7 @@ fn bench_ingest(c: &mut Criterion) {
             merge_capacity: 64,
             policy: BackpressurePolicy::Block,
             memo_capacity: memo,
+            ..IngestConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("pipelined", name), &cfg, |b, cfg| {
             b.iter(|| {

@@ -48,6 +48,7 @@ fn pipelined<'p>(
         merge_capacity: 64,
         policy: BackpressurePolicy::Block,
         memo_capacity: if memo { 4096 } else { 0 },
+        ..IngestConfig::default()
     };
     let mut hive = Hive::new(program, HiveConfig::default());
     let t0 = Instant::now();

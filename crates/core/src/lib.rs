@@ -55,8 +55,13 @@
 
 #![warn(missing_docs)]
 
+pub mod multi;
 pub mod platform;
 
+pub use multi::{
+    FleetSpec, MultiPlatform, MultiPlatformConfig, MultiResumeReport, MultiRoundReport,
+    ProgramRoundReport, ShardResumeReport,
+};
 pub use platform::{
     DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig, ResumeReport,
     RoundReport,
@@ -70,6 +75,7 @@ pub use softborg_ingest as ingest;
 pub use softborg_netsim as netsim;
 pub use softborg_pod as pod;
 pub use softborg_program as program;
+pub use softborg_shard as shard;
 pub use softborg_solver as solver;
 pub use softborg_symex as symex;
 pub use softborg_trace as trace;

@@ -1,0 +1,1180 @@
+//! The multi-program platform: several pod fleets, one sharded hive.
+//!
+//! [`Platform`](crate::Platform) closes the quality-feedback loop for a
+//! single program. A real deployment recycles information from *many*
+//! programs at once, so a [`MultiPlatform`] runs one pod fleet per
+//! program and drives every fleet's traffic through the sharded ingest
+//! layer (`softborg-shard`): all fleets share **one** decode+reconstruct
+//! worker pool, while each program's hive lives on its deterministic
+//! shard and sees its own traces in exact submission order.
+//!
+//! Durability composes with sharding by construction: each shard owns
+//! its own `shard-<i>/` directory (journal + snapshot generations), and
+//! a round commits in two phases — first the round's frames, promotions,
+//! and round record are appended and fsynced to **every** shard journal
+//! (phase A), only then may any shard compact into a snapshot (phase B).
+//! A crash can therefore leave shards at *different* committed rounds,
+//! but never with a snapshot ahead of another shard's journal;
+//! [`MultiPlatform::resume`] recovers every shard, takes the *minimum*
+//! committed round as the campaign's truth, and truncates any shard that
+//! got ahead (those rounds were never acked). The recovered per-shard
+//! state is byte-identical to an uninterrupted run at the same committed
+//! round.
+
+use crate::platform::{io_err, DurabilityConfig, DurabilityError, IngestSettings};
+use softborg_fix::{rank, FixCandidate, LabConfig, TestCase, Verdict};
+use softborg_guidance::Directive;
+use softborg_hive::journal::{
+    self, JournalRecord, REC_ABORT, REC_FRAME, REC_PROMOTE, REC_ROUND, REC_TOMBSTONE,
+    SESSION_PROMOTE, SESSION_ROUND,
+};
+use softborg_hive::{
+    outcome_signature, FileJournal, HiveConfig, HiveSnapshot, JournalStore, LoadReport,
+    SnapshotStore,
+};
+use softborg_pod::{Pod, PodConfig};
+use softborg_program::codec::{self, CodecError};
+use softborg_program::{Program, ProgramId};
+use softborg_shard::{ShardRunStats, ShardedHive};
+use softborg_trace::wire;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One program's fleet specification: the program plus the pod template
+/// its population is built from (each pod gets a derived seed).
+#[derive(Debug, Clone)]
+pub struct FleetSpec<'p> {
+    /// The program this fleet executes.
+    pub program: &'p Program,
+    /// Template for the fleet's pods.
+    pub pod: PodConfig,
+}
+
+/// Multi-program platform configuration.
+#[derive(Debug, Clone)]
+pub struct MultiPlatformConfig {
+    /// Pods per program.
+    pub n_pods: u32,
+    /// Hive shards (each shard serves one or more programs).
+    pub n_shards: usize,
+    /// Hive configuration (applied to every program's hive).
+    pub hive: HiveConfig,
+    /// Master seed; pod seeds derive from (seed, lane, pod index).
+    pub seed: u64,
+    /// Whether hives distribute fixes.
+    pub fixes_enabled: bool,
+    /// Whether guidance directives are distributed.
+    pub guidance_enabled: bool,
+    /// Passing cases required before a predicted (zero-failing-case)
+    /// deadlock fix may distribute on preservation evidence alone.
+    pub min_preservation_cases: usize,
+    /// Execution/ingest tuning. `pipelined` is ignored: multi-program
+    /// rounds always flow through the sharded pipeline.
+    pub ingest: IngestSettings,
+    /// Crash-only durability root. Each shard persists under its own
+    /// `shard-<i>/` subdirectory of [`DurabilityConfig::dir`].
+    pub durability: Option<DurabilityConfig>,
+}
+
+impl Default for MultiPlatformConfig {
+    fn default() -> Self {
+        MultiPlatformConfig {
+            n_pods: 20,
+            n_shards: 2,
+            hive: HiveConfig::default(),
+            seed: 0,
+            fixes_enabled: true,
+            guidance_enabled: true,
+            min_preservation_cases: 5,
+            ingest: IngestSettings::default(),
+            durability: None,
+        }
+    }
+}
+
+/// One program's slice of a multi-program round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramRoundReport {
+    /// Raw program id.
+    pub program: u64,
+    /// Executions this fleet performed.
+    pub executions: u64,
+    /// Failures this fleet observed.
+    pub failures: u64,
+    /// Fixes promoted for this program.
+    pub fixes_promoted: u64,
+    /// The program's overlay version after the round.
+    pub overlay_version: u64,
+    /// Directed (guided) executions in this fleet.
+    pub directed: u64,
+}
+
+/// Metrics for one multi-program round (aggregate + per program).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRoundReport {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Total executions across all fleets.
+    pub executions: u64,
+    /// Total failures across all fleets.
+    pub failures: u64,
+    /// Aggregate failures per 10k executions.
+    pub failure_rate_per_10k: f64,
+    /// Total fixes promoted across all programs.
+    pub fixes_promoted: u64,
+    /// Per-program breakdown, in lane (sorted program id) order.
+    pub programs: Vec<ProgramRoundReport>,
+}
+
+impl MultiRoundReport {
+    /// Serializes the report for durable `REC_ROUND` records.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        codec::put_u64(buf, self.round);
+        codec::put_u64(buf, self.executions);
+        codec::put_u64(buf, self.failures);
+        codec::put_f64(buf, self.failure_rate_per_10k);
+        codec::put_u64(buf, self.fixes_promoted);
+        codec::put_u32(buf, self.programs.len() as u32);
+        for p in &self.programs {
+            codec::put_u64(buf, p.program);
+            codec::put_u64(buf, p.executions);
+            codec::put_u64(buf, p.failures);
+            codec::put_u64(buf, p.fixes_promoted);
+            codec::put_u64(buf, p.overlay_version);
+            codec::put_u64(buf, p.directed);
+        }
+    }
+
+    /// Decodes a report written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut codec::Reader<'_>) -> Result<Self, CodecError> {
+        let round = r.u64("MultiRoundReport.round")?;
+        let executions = r.u64("MultiRoundReport.executions")?;
+        let failures = r.u64("MultiRoundReport.failures")?;
+        let failure_rate_per_10k = r.f64("MultiRoundReport.failure_rate_per_10k")?;
+        let fixes_promoted = r.u64("MultiRoundReport.fixes_promoted")?;
+        let n = r.seq_len("MultiRoundReport.programs", 40)?;
+        let mut programs = Vec::with_capacity(n);
+        for _ in 0..n {
+            programs.push(ProgramRoundReport {
+                program: r.u64("ProgramRoundReport.program")?,
+                executions: r.u64("ProgramRoundReport.executions")?,
+                failures: r.u64("ProgramRoundReport.failures")?,
+                fixes_promoted: r.u64("ProgramRoundReport.fixes_promoted")?,
+                overlay_version: r.u64("ProgramRoundReport.overlay_version")?,
+                directed: r.u64("ProgramRoundReport.directed")?,
+            });
+        }
+        Ok(MultiRoundReport {
+            round,
+            executions,
+            failures,
+            failure_rate_per_10k,
+            fixes_promoted,
+            programs,
+        })
+    }
+}
+
+/// What [`MultiPlatform::resume`] found and did on one shard.
+#[derive(Debug, Clone)]
+pub struct ShardResumeReport {
+    /// Shard index.
+    pub shard: usize,
+    /// How this shard's snapshot load went.
+    pub snapshot: LoadReport,
+    /// Committed rounds restored from the snapshot alone.
+    pub rounds_from_snapshot: u64,
+    /// Committed rounds replayed from this shard's journal suffix.
+    pub rounds_replayed: u64,
+    /// Corrupt/unsynced journal-tail bytes dropped.
+    pub wal_tail_dropped: u64,
+    /// Intact records discarded because they belong past the campaign's
+    /// minimum committed round: an uncommitted partial segment, a round
+    /// this shard journaled while another shard's fsync never happened
+    /// (the round was never acked), or a suffix disconnected from a
+    /// fallback snapshot generation. All are truncated.
+    pub records_discarded: u64,
+}
+
+/// What [`MultiPlatform::resume`] found and did across all shards.
+#[derive(Debug, Clone)]
+pub struct MultiResumeReport {
+    /// The campaign's recovered committed round: the *minimum* across
+    /// shards (a round is acked only once every shard fsynced it).
+    pub target_round: u64,
+    /// Per-shard recovery detail.
+    pub shards: Vec<ShardResumeReport>,
+}
+
+/// A round's durable frame log: `(lane, seq, frame)` triples mirrored
+/// from the sharded ingest path, shared across pod threads.
+type FrameLog = Mutex<Vec<(u64, u64, Vec<u8>)>>;
+
+/// One shard's open durable state.
+#[derive(Debug)]
+struct ShardDurable {
+    store: SnapshotStore,
+    journal: FileJournal,
+}
+
+/// The live durable half of a multi-program campaign.
+#[derive(Debug)]
+struct MultiDurableState {
+    cfg: DurabilityConfig,
+    shards: Vec<ShardDurable>,
+    /// Next sequence number for `REC_PROMOTE` records (global across
+    /// shards, so promotion order is totally ordered).
+    promote_seq: u64,
+    /// Per-lane frame floors (`lane → next seq`), snapshotted per shard.
+    frame_floors: BTreeMap<u64, u64>,
+}
+
+/// One program's fleet: the program, its lane, and its pods.
+struct Fleet<'p> {
+    id: ProgramId,
+    program: &'p Program,
+    pods: Vec<Pod<'p>>,
+}
+
+/// The multi-program platform. See the [module docs](self).
+pub struct MultiPlatform<'p> {
+    sharded: ShardedHive<'p>,
+    /// Fleets in lane order (sorted by program id) — lane index is the
+    /// durable journal session for that program's frames.
+    fleets: Vec<Fleet<'p>>,
+    config: MultiPlatformConfig,
+    round_idx: u64,
+    history: Vec<MultiRoundReport>,
+    last_run: Option<ShardRunStats>,
+    durable: Option<MultiDurableState>,
+}
+
+impl<'p> MultiPlatform<'p> {
+    /// Builds the in-memory shell: one sharded hive plus one fleet per
+    /// program, lanes sorted by program id.
+    fn base(specs: &[FleetSpec<'p>], config: MultiPlatformConfig) -> Self {
+        let mut specs: Vec<&FleetSpec<'p>> = specs.iter().collect();
+        specs.sort_by_key(|s| s.program.id());
+        let programs: Vec<&'p Program> = specs.iter().map(|s| s.program).collect();
+        let sharded = ShardedHive::new(&programs, config.n_shards, &config.hive)
+            .expect("sharded hive placement failed");
+        let fleets = specs
+            .iter()
+            .enumerate()
+            .map(|(lane, spec)| {
+                let pods = (0..config.n_pods)
+                    .map(|i| {
+                        let mut pc = spec.pod.clone();
+                        pc.seed = config
+                            .seed
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add((lane as u64) << 20)
+                            .wrapping_add(u64::from(i) + 1);
+                        Pod::new(spec.program, pc)
+                    })
+                    .collect();
+                Fleet {
+                    id: spec.program.id(),
+                    program: spec.program,
+                    pods,
+                }
+            })
+            .collect();
+        MultiPlatform {
+            sharded,
+            fleets,
+            config,
+            round_idx: 0,
+            history: Vec::new(),
+            last_run: None,
+            durable: None,
+        }
+    }
+
+    /// Builds a multi-program platform. With durability configured this
+    /// starts a *fresh* campaign and panics if any shard directory
+    /// already holds campaign state (use [`try_new`](Self::try_new) to
+    /// handle the error, or [`resume`](Self::resume) to continue).
+    ///
+    /// # Panics
+    ///
+    /// On duplicate programs, zero shards, or durable initialization
+    /// failure.
+    pub fn new(specs: &[FleetSpec<'p>], config: MultiPlatformConfig) -> Self {
+        Self::try_new(specs, config).expect("durable multi-platform initialization failed")
+    }
+
+    /// Fallible [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::CampaignExists`] when any shard directory
+    /// already holds a snapshot or non-empty journal;
+    /// [`DurabilityError::Io`] when a shard's journal or snapshot store
+    /// cannot be opened.
+    pub fn try_new(
+        specs: &[FleetSpec<'p>],
+        config: MultiPlatformConfig,
+    ) -> Result<Self, DurabilityError> {
+        let mut platform = Self::base(specs, config);
+        if let Some(dcfg) = platform.config.durability.clone() {
+            let mut shards = Vec::with_capacity(platform.sharded.n_shards());
+            for i in 0..platform.sharded.n_shards() {
+                let dir = dcfg.dir.join(format!("shard-{i}"));
+                let store = SnapshotStore::open(&dir).map_err(|e| io_err("snapshot-dir", &e))?;
+                if store.snap_path().exists() || store.prev_path().exists() {
+                    return Err(DurabilityError::CampaignExists(dir));
+                }
+                let journal =
+                    FileJournal::open(store.wal_path()).map_err(|e| io_err("wal-open", &e))?;
+                if !journal.is_empty() {
+                    return Err(DurabilityError::CampaignExists(dir));
+                }
+                shards.push(ShardDurable { store, journal });
+            }
+            platform.durable = Some(MultiDurableState {
+                cfg: dcfg,
+                shards,
+                promote_seq: 0,
+                frame_floors: BTreeMap::new(),
+            });
+        }
+        Ok(platform)
+    }
+
+    /// Resumes (or cold-starts) a durable multi-program campaign.
+    ///
+    /// Every shard recovers independently — newest valid snapshot
+    /// (falling back a generation if torn), then journal replay — and
+    /// the campaign's committed round is the **minimum** across shards:
+    /// a round was acked only once phase A fsynced it on every shard, so
+    /// any shard past the minimum holds rounds that were never acked.
+    /// Those suffixes (and any uncommitted partial segment) are
+    /// truncated, leaving every shard byte-identical to the
+    /// uninterrupted run at the recovered round.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::NotConfigured`] without a durability config;
+    /// [`DurabilityError::Io`] on filesystem failures;
+    /// [`DurabilityError::Corrupt`] when a checksummed record decodes to
+    /// garbage.
+    pub fn resume(
+        specs: &[FleetSpec<'p>],
+        config: MultiPlatformConfig,
+    ) -> Result<(Self, MultiResumeReport), DurabilityError> {
+        let dcfg = config
+            .durability
+            .clone()
+            .ok_or(DurabilityError::NotConfigured)?;
+        let mut platform = Self::base(specs, config);
+        let n_shards = platform.sharded.n_shards();
+        let lanes: Vec<ProgramId> = platform.fleets.iter().map(|f| f.id).collect();
+
+        // Pass 1: load every shard's snapshot + journal and count its
+        // committed rounds (snapshot rounds + connected ROUND records).
+        struct ShardScan {
+            store: SnapshotStore,
+            journal: FileJournal,
+            snap: Option<HiveSnapshot>,
+            load: LoadReport,
+            wal: Vec<u8>,
+            replay_from: usize,
+            records: Vec<JournalRecord>,
+            tail_dropped: u64,
+            snap_round: u64,
+            committed: u64,
+        }
+        let mut scans = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            let dir = dcfg.dir.join(format!("shard-{i}"));
+            let store = SnapshotStore::open(&dir).map_err(|e| io_err("snapshot-dir", &e))?;
+            let (snap, load) = store.load();
+            let journal =
+                FileJournal::open(store.wal_path()).map_err(|e| io_err("wal-open", &e))?;
+            let wal = journal.read().map_err(|e| io_err("wal-read", &e))?;
+            let (snap_round, replay_from) = match &snap {
+                Some(s) => {
+                    let (round, _) = decode_multi_app_meta(&s.app_meta)
+                        .map_err(|e| DurabilityError::Corrupt(format!("snapshot meta: {e}")))?;
+                    (round, s.replay_offset(&wal))
+                }
+                None => (0, 0),
+            };
+            let (records, scan) = journal::scan(&wal[replay_from..]);
+            if let Some(err) = scan.tail_error {
+                eprintln!(
+                    "warning: shard {i} resume dropped {} journal tail byte(s) after {} intact \
+                     record(s): {err}",
+                    scan.tail_dropped, scan.records
+                );
+            }
+            let mut committed = snap_round;
+            let mut expected = snap_round;
+            for rec in &records {
+                match rec.kind {
+                    REC_ROUND => {
+                        let mut r = codec::Reader::new(&rec.frame);
+                        let report = MultiRoundReport::decode(&mut r)
+                            .map_err(|e| DurabilityError::Corrupt(format!("round record: {e}")))?;
+                        if report.round != expected {
+                            // Disconnected suffix (snapshot generation
+                            // fell back); nothing past here counts.
+                            break;
+                        }
+                        expected += 1;
+                        committed = expected;
+                    }
+                    REC_FRAME | REC_PROMOTE | REC_TOMBSTONE | REC_ABORT => {}
+                    other => {
+                        return Err(DurabilityError::Corrupt(format!(
+                            "unknown journal record kind {other}"
+                        )));
+                    }
+                }
+            }
+            scans.push(ShardScan {
+                store,
+                journal,
+                snap,
+                load,
+                wal,
+                replay_from,
+                records,
+                tail_dropped: scan.tail_dropped as u64,
+                snap_round,
+                committed,
+            });
+        }
+        let target = scans.iter().map(|s| s.committed).min().unwrap_or(0);
+
+        // Pass 2: restore each shard's snapshot state and replay its
+        // journal up to (exactly) the target round, truncating whatever
+        // lies beyond — ahead rounds, partial segments, damaged tails.
+        let mut shard_reports = Vec::with_capacity(n_shards);
+        let mut durable_shards = Vec::with_capacity(n_shards);
+        let mut promote_seq = 0u64;
+        let mut frame_floors: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut recovered_history: Option<Vec<MultiRoundReport>> = None;
+        for (shard, mut sc) in scans.into_iter().enumerate() {
+            if sc.snap_round > target {
+                // Phase B runs only after phase A committed on every
+                // shard, so a snapshot can never be ahead of the
+                // campaign minimum.
+                return Err(DurabilityError::Corrupt(format!(
+                    "shard {shard} snapshot is at round {} but the campaign minimum is {target}",
+                    sc.snap_round
+                )));
+            }
+            let mut history = Vec::new();
+            if let Some(s) = &sc.snap {
+                platform
+                    .sharded
+                    .decode_shard_state(shard, &s.state, &platform.config.hive)
+                    .map_err(|e| DurabilityError::Corrupt(format!("shard {shard} state: {e}")))?;
+                let (_, h) = decode_multi_app_meta(&s.app_meta)
+                    .map_err(|e| DurabilityError::Corrupt(format!("snapshot meta: {e}")))?;
+                history = h;
+                for (&session, &floor) in &s.sessions {
+                    let f = frame_floors.entry(session).or_insert(0);
+                    *f = (*f).max(floor);
+                }
+            }
+            let mut rounds_applied = sc.snap_round;
+            let mut seg_frames: Vec<&JournalRecord> = Vec::new();
+            let mut seg_promotes: Vec<&JournalRecord> = Vec::new();
+            let mut offset = sc.replay_from;
+            // End of the last fully-applied round (the truncation
+            // boundary if anything uncommitted follows).
+            let mut boundary = sc.replay_from;
+            let mut applied_records = 0usize;
+            for (idx, rec) in sc.records.iter().enumerate() {
+                if rounds_applied == target {
+                    break;
+                }
+                let rec_end = offset + rec.encoded_len();
+                match rec.kind {
+                    REC_FRAME => seg_frames.push(rec),
+                    REC_PROMOTE => seg_promotes.push(rec),
+                    REC_TOMBSTONE => {}
+                    REC_ABORT => {
+                        // Fenced by an earlier recovery: never apply.
+                        seg_frames.clear();
+                        seg_promotes.clear();
+                        boundary = rec_end;
+                        applied_records = idx + 1;
+                    }
+                    REC_ROUND => {
+                        let mut r = codec::Reader::new(&rec.frame);
+                        let report = MultiRoundReport::decode(&mut r)
+                            .map_err(|e| DurabilityError::Corrupt(format!("round record: {e}")))?;
+                        if report.round != rounds_applied {
+                            break; // disconnected: truncated below
+                        }
+                        seg_frames.sort_by_key(|r| (r.session, r.seq));
+                        for fr in seg_frames.drain(..) {
+                            let lane = usize::try_from(fr.session)
+                                .ok()
+                                .filter(|&l| l < lanes.len());
+                            let Some(lane) = lane else {
+                                return Err(DurabilityError::Corrupt(format!(
+                                    "frame record on unknown lane {}",
+                                    fr.session
+                                )));
+                            };
+                            let traces = wire::decode_batch(&fr.frame).map_err(|e| {
+                                DurabilityError::Corrupt(format!("frame batch: {e}"))
+                            })?;
+                            let hive = platform
+                                .sharded
+                                .hive_mut(lanes[lane])
+                                .expect("lane program is placed");
+                            for trace in &traces {
+                                hive.ingest(trace);
+                            }
+                            let floor = frame_floors.entry(fr.session).or_insert(0);
+                            *floor = (*floor).max(fr.seq + 1);
+                        }
+                        for pr in seg_promotes.drain(..) {
+                            let mut r = codec::Reader::new(&pr.frame);
+                            let program = ProgramId(
+                                r.u64("promote.program")
+                                    .map_err(|e| DurabilityError::Corrupt(e.to_string()))?,
+                            );
+                            let signature = r
+                                .str("promote.signature")
+                                .map_err(|e| DurabilityError::Corrupt(e.to_string()))?
+                                .to_string();
+                            let overlay = softborg_program::Overlay::decode(&mut r)
+                                .map_err(|e| DurabilityError::Corrupt(e.to_string()))?;
+                            platform
+                                .sharded
+                                .hive_mut(program)
+                                .map_err(|e| {
+                                    DurabilityError::Corrupt(format!("promote record: {e}"))
+                                })?
+                                .promote(
+                                    &signature,
+                                    &FixCandidate {
+                                        overlay,
+                                        description: String::new(),
+                                    },
+                                );
+                            promote_seq = promote_seq.max(pr.seq + 1);
+                        }
+                        if platform.config.guidance_enabled {
+                            for id in platform.sharded.map().programs_on(shard) {
+                                let _ = platform
+                                    .sharded
+                                    .hive_mut(id)
+                                    .expect("placed program")
+                                    .guidance();
+                            }
+                        }
+                        rounds_applied += 1;
+                        history.push(report);
+                        boundary = rec_end;
+                        applied_records = idx + 1;
+                    }
+                    other => {
+                        return Err(DurabilityError::Corrupt(format!(
+                            "unknown journal record kind {other}"
+                        )));
+                    }
+                }
+                offset = rec_end;
+            }
+            let records_discarded = (sc.records.len() - applied_records) as u64;
+            if (boundary as u64) < sc.wal.len() as u64 {
+                if records_discarded > 0 {
+                    eprintln!(
+                        "warning: shard {shard} resume truncating {records_discarded} journal \
+                         record(s) past committed round {target}"
+                    );
+                }
+                sc.journal.truncate(boundary as u64)?;
+            }
+            if rounds_applied != target {
+                return Err(DurabilityError::Corrupt(format!(
+                    "shard {shard} replayed to round {rounds_applied} but the campaign minimum \
+                     is {target}"
+                )));
+            }
+            if recovered_history.is_none() {
+                recovered_history = Some(history);
+            }
+            shard_reports.push(ShardResumeReport {
+                shard,
+                snapshot: sc.load,
+                rounds_from_snapshot: sc.snap_round,
+                rounds_replayed: rounds_applied - sc.snap_round,
+                wal_tail_dropped: sc.tail_dropped,
+                records_discarded,
+            });
+            durable_shards.push(ShardDurable {
+                store: sc.store,
+                journal: sc.journal,
+            });
+        }
+
+        platform.round_idx = target;
+        platform.history = recovered_history.unwrap_or_default();
+        platform.durable = Some(MultiDurableState {
+            cfg: dcfg,
+            shards: durable_shards,
+            promote_seq,
+            frame_floors,
+        });
+        Ok((
+            platform,
+            MultiResumeReport {
+                target_round: target,
+                shards: shard_reports,
+            },
+        ))
+    }
+
+    /// The sharded hive (read access for experiments).
+    pub fn sharded(&self) -> &ShardedHive<'p> {
+        &self.sharded
+    }
+
+    /// Program ids in lane order (lane index = durable frame session).
+    pub fn programs(&self) -> Vec<ProgramId> {
+        self.fleets.iter().map(|f| f.id).collect()
+    }
+
+    /// All round reports so far.
+    pub fn history(&self) -> &[MultiRoundReport] {
+        &self.history
+    }
+
+    /// Rounds committed so far.
+    pub fn committed_rounds(&self) -> u64 {
+        self.round_idx
+    }
+
+    /// Sharded-run statistics from the most recent round, if any.
+    pub fn last_run(&self) -> Option<&ShardRunStats> {
+        self.last_run.as_ref()
+    }
+
+    /// Serialized state of shard `shard` — the byte-identity invariant
+    /// checked by the kill/restart harness.
+    ///
+    /// # Panics
+    ///
+    /// On an out-of-range shard index.
+    pub fn shard_state(&self, shard: usize) -> Vec<u8> {
+        self.sharded
+            .encode_shard_state(shard)
+            .expect("shard index in range")
+    }
+
+    /// Advances one round: distribute overlays, execute every fleet
+    /// through the sharded pipeline, validate and promote fixes per
+    /// program, distribute guidance, and (when durable) commit the round
+    /// to every shard journal before returning the report.
+    pub fn round(&mut self, execs_per_pod: u32) -> MultiRoundReport {
+        // 1. Distribute each program's current overlay to its fleet.
+        if self.config.fixes_enabled {
+            for fleet in &mut self.fleets {
+                let (overlay, version) = {
+                    let (o, v) = self
+                        .sharded
+                        .hive(fleet.id)
+                        .expect("fleet program is placed")
+                        .current_overlay();
+                    (o.clone(), v)
+                };
+                for pod in &mut fleet.pods {
+                    pod.install_fix(overlay.clone(), version);
+                }
+            }
+        }
+
+        // 2. Execute all fleets through the shared sharded pipeline.
+        let frame_log = self
+            .durable
+            .is_some()
+            .then(|| Mutex::new(Vec::<(u64, u64, Vec<u8>)>::new()));
+        let per_lane = self.execute_sharded(execs_per_pod, frame_log.as_ref());
+
+        // 3. Per-program fix pipeline. Proposals from every program are
+        //    validated concurrently on scoped threads (each against its
+        //    own program's round-start overlay), then promoted
+        //    sequentially in (lane, proposal) order — deterministic
+        //    regardless of scheduling, and replayed from recorded
+        //    promotion decisions on resume.
+        let mut promoted: Vec<(ProgramId, String, softborg_program::Overlay)> = Vec::new();
+        let mut fixes_by_lane = vec![0u64; self.fleets.len()];
+        if self.config.fixes_enabled {
+            struct Trial {
+                lane: usize,
+                signature: String,
+                candidates: Vec<FixCandidate>,
+                failing: Vec<TestCase>,
+                passing: Vec<TestCase>,
+                base: softborg_program::Overlay,
+            }
+            let mut trials: Vec<Trial> = Vec::new();
+            for (lane, fleet) in self.fleets.iter().enumerate() {
+                let hive = self
+                    .sharded
+                    .hive(fleet.id)
+                    .expect("fleet program is placed");
+                let base = hive.current_overlay().0.clone();
+                for proposal in hive.propose_fixes() {
+                    let failing: Vec<TestCase> = fleet
+                        .pods
+                        .iter()
+                        .flat_map(|p| p.failing_cases())
+                        .filter(|(_, o)| {
+                            outcome_signature(o).as_deref() == Some(proposal.signature.as_str())
+                        })
+                        .map(|(c, _)| c.clone())
+                        .take(16)
+                        .collect();
+                    let passing: Vec<TestCase> = fleet
+                        .pods
+                        .iter()
+                        .flat_map(|p| p.passing_cases())
+                        .take(32)
+                        .cloned()
+                        .collect();
+                    trials.push(Trial {
+                        lane,
+                        signature: proposal.signature,
+                        candidates: proposal.candidates,
+                        failing,
+                        passing,
+                        base: base.clone(),
+                    });
+                }
+            }
+            let fleets = &self.fleets;
+            let winners: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = trials
+                    .iter()
+                    .map(|t| {
+                        let program = fleets[t.lane].program;
+                        s.spawn(move || {
+                            rank(
+                                program,
+                                &t.base,
+                                &t.candidates,
+                                &t.failing,
+                                &t.passing,
+                                LabConfig::default(),
+                            )
+                            .into_iter()
+                            .next()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("trial validation thread panicked"))
+                    .collect()
+            });
+            for (t, winner) in trials.iter().zip(winners) {
+                let Some((candidate, validation)) = winner else {
+                    continue;
+                };
+                let distribute = match validation.verdict {
+                    Verdict::Distribute => true,
+                    Verdict::Reject | Verdict::Suggest => {
+                        t.signature.starts_with("lock-cycle:")
+                            && t.failing.is_empty()
+                            && validation.passing_total as usize
+                                >= self.config.min_preservation_cases
+                            && validation.passing_preserved == validation.passing_total
+                    }
+                };
+                if distribute {
+                    let id = self.fleets[t.lane].id;
+                    self.sharded
+                        .hive_mut(id)
+                        .expect("fleet program is placed")
+                        .promote(&t.signature, &candidate);
+                    if self.durable.is_some() {
+                        promoted.push((id, t.signature.clone(), candidate.overlay.clone()));
+                    }
+                    fixes_by_lane[t.lane] += 1;
+                }
+            }
+        }
+
+        // 4. Guidance, per program.
+        if self.config.guidance_enabled {
+            for fleet in &mut self.fleets {
+                let (plan, _stats) = self
+                    .sharded
+                    .hive_mut(fleet.id)
+                    .expect("fleet program is placed")
+                    .guidance();
+                if !plan.directives.is_empty() {
+                    let n = fleet.pods.len();
+                    for (i, d) in plan.directives.into_iter().enumerate() {
+                        match d {
+                            Directive::InputSeed { .. } => {
+                                for k in 0..3usize {
+                                    fleet.pods[(i * 3 + k) % n].receive_guidance([d.clone()]);
+                                }
+                            }
+                            other => {
+                                fleet.pods[i % n].receive_guidance([other]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Report.
+        let programs: Vec<ProgramRoundReport> = self
+            .fleets
+            .iter()
+            .enumerate()
+            .map(|(lane, fleet)| {
+                let (e, f, d) = per_lane[lane];
+                ProgramRoundReport {
+                    program: fleet.id.0,
+                    executions: e,
+                    failures: f,
+                    fixes_promoted: fixes_by_lane[lane],
+                    overlay_version: self
+                        .sharded
+                        .hive(fleet.id)
+                        .expect("fleet program is placed")
+                        .current_overlay()
+                        .1,
+                    directed: d,
+                }
+            })
+            .collect();
+        let executions: u64 = programs.iter().map(|p| p.executions).sum();
+        let failures: u64 = programs.iter().map(|p| p.failures).sum();
+        let report = MultiRoundReport {
+            round: self.round_idx,
+            executions,
+            failures,
+            failure_rate_per_10k: if executions == 0 {
+                0.0
+            } else {
+                failures as f64 * 10_000.0 / executions as f64
+            },
+            fixes_promoted: fixes_by_lane.iter().sum(),
+            programs,
+        };
+        self.round_idx += 1;
+        self.history.push(report.clone());
+
+        // 6. Durable two-phase commit.
+        let frames = frame_log.map(|m| m.into_inner().expect("frame log poisoned"));
+        self.commit_round(&report, frames.unwrap_or_default(), &promoted)
+            .expect("durable round commit failed");
+        report
+    }
+
+    /// Runs `rounds` rounds and returns the full history.
+    pub fn run(&mut self, rounds: u32, execs_per_pod: u32) -> &[MultiRoundReport] {
+        for _ in 0..rounds {
+            self.round(execs_per_pod);
+        }
+        self.history()
+    }
+
+    /// Executes every fleet's pods on scoped threads, submitting batch
+    /// frames into pre-partitioned per-program sequence slots (pod `j`
+    /// of a fleet owns slots `j*k..(j+1)*k`), so each program's merge
+    /// order is pod-major — byte-identical to a serial per-program loop
+    /// — regardless of thread scheduling. Returns `(executions,
+    /// failures, directed)` per lane.
+    fn execute_sharded(
+        &mut self,
+        execs_per_pod: u32,
+        frame_log: Option<&FrameLog>,
+    ) -> Vec<(u64, u64, u64)> {
+        let batch = self.config.ingest.batch_size.max(1) as u64;
+        let frames_per_pod = u64::from(execs_per_pod).div_ceil(batch);
+        let n_lanes = self.fleets.len();
+        let MultiPlatform {
+            sharded,
+            fleets,
+            config,
+            last_run,
+            ..
+        } = self;
+        let mut units: Vec<(u64, ProgramId, u64, &mut Pod<'p>)> = Vec::new();
+        for (lane, fleet) in fleets.iter_mut().enumerate() {
+            for (j, pod) in fleet.pods.iter_mut().enumerate() {
+                units.push((lane as u64, fleet.id, j as u64, pod));
+            }
+        }
+        let threads = config.ingest.pod_threads.max(1).min(units.len().max(1));
+        let chunk_size = units.len().div_ceil(threads).max(1);
+        let cfg = config.ingest.pipeline.clone();
+        let (per_unit, stats) = sharded.ingest_frames(&cfg, move |tx| {
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for chunk in units.chunks_mut(chunk_size) {
+                    let tx = tx.clone();
+                    handles.push(s.spawn(move || {
+                        let mut out: Vec<(u64, u64, u64, u64)> = Vec::with_capacity(chunk.len());
+                        for (lane, id, pod_index, pod) in chunk {
+                            let (mut executions, mut failures, mut directed) = (0u64, 0u64, 0u64);
+                            let mut next_seq = *pod_index * frames_per_pod;
+                            let mut buf: Vec<softborg_trace::ExecutionTrace> =
+                                Vec::with_capacity(batch as usize);
+                            let flush =
+                                |buf: &mut Vec<softborg_trace::ExecutionTrace>,
+                                 next_seq: &mut u64| {
+                                    let frame = wire::encode_batch(&*buf);
+                                    if let Some(log) = frame_log {
+                                        log.lock().expect("frame log poisoned").push((
+                                            *lane,
+                                            *next_seq,
+                                            frame.clone(),
+                                        ));
+                                    }
+                                    tx.submit_for_at(*id, *next_seq, frame)
+                                        .expect("lane program is placed");
+                                    *next_seq += 1;
+                                    buf.clear();
+                                };
+                            for _ in 0..execs_per_pod {
+                                let run = pod.run_once();
+                                executions += 1;
+                                if run.result.outcome.is_failure() {
+                                    failures += 1;
+                                }
+                                if run.directed {
+                                    directed += 1;
+                                }
+                                buf.push(run.trace);
+                                if buf.len() as u64 == batch {
+                                    flush(&mut buf, &mut next_seq);
+                                }
+                            }
+                            if !buf.is_empty() {
+                                flush(&mut buf, &mut next_seq);
+                            }
+                            out.push((*lane, executions, failures, directed));
+                        }
+                        out
+                    }));
+                }
+                drop(tx);
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("pod thread panicked"))
+                    .collect::<Vec<_>>()
+            })
+        });
+        *last_run = Some(stats);
+        let mut per_lane = vec![(0u64, 0u64, 0u64); n_lanes];
+        for (lane, e, f, d) in per_unit {
+            let entry = &mut per_lane[lane as usize];
+            entry.0 += e;
+            entry.1 += f;
+            entry.2 += d;
+        }
+        per_lane
+    }
+
+    /// Commits one round durably. Phase A: append this round's frames
+    /// (per-lane, in merge order), promotions, and the round record to
+    /// **every** shard journal, then fsync them all — only after every
+    /// fsync is the round acked. Phase B: per-shard snapshot compaction,
+    /// which can therefore never capture a round some journal lacks.
+    fn commit_round(
+        &mut self,
+        report: &MultiRoundReport,
+        mut frames: Vec<(u64, u64, Vec<u8>)>,
+        promoted: &[(ProgramId, String, softborg_program::Overlay)],
+    ) -> Result<(), DurabilityError> {
+        let lanes: Vec<ProgramId> = self.fleets.iter().map(|f| f.id).collect();
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        frames.sort_by_key(|&(lane, seq, _)| (lane, seq));
+
+        // Phase A: append everywhere…
+        let mut rec = Vec::new();
+        for (lane, seq, bytes) in &frames {
+            let shard = self
+                .sharded
+                .map()
+                .shard_of(lanes[*lane as usize])
+                .expect("lane program is placed");
+            rec.clear();
+            journal::append_record(&mut rec, REC_FRAME, *lane, *seq, bytes);
+            d.shards[shard].journal.append(&rec)?;
+            let floor = d.frame_floors.entry(*lane).or_insert(0);
+            *floor = (*floor).max(seq + 1);
+        }
+        for (program, signature, overlay) in promoted {
+            let shard = self
+                .sharded
+                .map()
+                .shard_of(*program)
+                .expect("promoted program is placed");
+            let mut body = Vec::new();
+            codec::put_u64(&mut body, program.0);
+            codec::put_str(&mut body, signature);
+            overlay.encode_into(&mut body);
+            rec.clear();
+            journal::append_record(&mut rec, REC_PROMOTE, SESSION_PROMOTE, d.promote_seq, &body);
+            d.promote_seq += 1;
+            d.shards[shard].journal.append(&rec)?;
+        }
+        let mut body = Vec::new();
+        report.encode_into(&mut body);
+        rec.clear();
+        journal::append_record(&mut rec, REC_ROUND, SESSION_ROUND, report.round, &body);
+        for sd in &mut d.shards {
+            sd.journal.append(&rec)?;
+        }
+        // …then fsync everywhere. A crash between fsyncs leaves some
+        // shards one round ahead; resume truncates them back to the
+        // minimum (the round was never acked).
+        for sd in &mut d.shards {
+            sd.journal.sync()?;
+        }
+
+        // Phase B: per-shard compaction.
+        let (ratio, min_bytes) = (d.cfg.compact_ratio, d.cfg.min_compact_wal_bytes);
+        if ratio > 0 {
+            for shard in 0..d.shards.len() {
+                let wal_len = d.shards[shard].journal.len();
+                if wal_len < min_bytes {
+                    continue;
+                }
+                let state = self
+                    .sharded
+                    .encode_shard_state(shard)
+                    .expect("shard index in range");
+                if wal_len >= ratio.saturating_mul(state.len() as u64) {
+                    write_shard_checkpoint(
+                        d,
+                        shard,
+                        &lanes,
+                        self.sharded.map(),
+                        state,
+                        self.round_idx,
+                        &self.history,
+                        true,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// On-demand compaction of every shard: each folds its journal into
+    /// a fresh snapshot generation and truncates it.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::NotConfigured`] on a non-durable platform;
+    /// [`DurabilityError::Io`] when a snapshot swap fails.
+    pub fn checkpoint(&mut self) -> Result<(), DurabilityError> {
+        let lanes: Vec<ProgramId> = self.fleets.iter().map(|f| f.id).collect();
+        let d = self
+            .durable
+            .as_mut()
+            .ok_or(DurabilityError::NotConfigured)?;
+        for shard in 0..self.sharded.n_shards() {
+            let state = self
+                .sharded
+                .encode_shard_state(shard)
+                .expect("shard index in range");
+            write_shard_checkpoint(
+                d,
+                shard,
+                &lanes,
+                self.sharded.map(),
+                state,
+                self.round_idx,
+                &self.history,
+                true,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes one shard's snapshot generation covering its whole journal,
+/// then (when `truncate`) empties that journal. The snapshot's session
+/// floors cover only the lanes whose frames land in this shard's
+/// journal.
+#[allow(clippy::too_many_arguments)]
+fn write_shard_checkpoint(
+    d: &mut MultiDurableState,
+    shard: usize,
+    lanes: &[ProgramId],
+    map: &softborg_shard::ShardMap,
+    state: Vec<u8>,
+    round_idx: u64,
+    history: &[MultiRoundReport],
+    truncate: bool,
+) -> Result<(), DurabilityError> {
+    let sd = &mut d.shards[shard];
+    let wal_bytes = sd.journal.read().map_err(|e| io_err("wal-read", &e))?;
+    let sessions: BTreeMap<u64, u64> = d
+        .frame_floors
+        .iter()
+        .filter(|(&lane, _)| {
+            lanes
+                .get(lane as usize)
+                .is_some_and(|&id| map.shard_of(id) == Ok(shard))
+        })
+        .map(|(&lane, &floor)| (lane, floor))
+        .collect();
+    let snap = HiveSnapshot {
+        state,
+        sessions,
+        wal_covered: wal_bytes.len() as u64,
+        wal_covered_hash: wire::fnv1a(&wal_bytes),
+        app_meta: encode_multi_app_meta(round_idx, history),
+    };
+    sd.store.write_snapshot(&snap)?;
+    if truncate {
+        sd.journal.truncate(0)?;
+    }
+    Ok(())
+}
+
+/// Shard-snapshot `app_meta` payload: committed-round counter plus the
+/// full multi-round history, in the deterministic byte codec.
+fn encode_multi_app_meta(round_idx: u64, history: &[MultiRoundReport]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u64(&mut buf, round_idx);
+    codec::put_u32(&mut buf, history.len() as u32);
+    for report in history {
+        report.encode_into(&mut buf);
+    }
+    buf
+}
+
+fn decode_multi_app_meta(bytes: &[u8]) -> Result<(u64, Vec<MultiRoundReport>), CodecError> {
+    let mut r = codec::Reader::new(bytes);
+    let round_idx = r.u64("multi_app_meta.round_idx")?;
+    let n = r.seq_len("multi_app_meta.history", 112)?;
+    let mut history = Vec::with_capacity(n);
+    for _ in 0..n {
+        history.push(MultiRoundReport::decode(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(CodecError::BadLen {
+            what: "multi_app_meta.trailing",
+            len: r.remaining(),
+        });
+    }
+    Ok((round_idx, history))
+}

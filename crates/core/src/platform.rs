@@ -133,7 +133,7 @@ impl From<CodecError> for DurabilityError {
     }
 }
 
-fn io_err(op: &'static str, e: &std::io::Error) -> DurabilityError {
+pub(crate) fn io_err(op: &'static str, e: &std::io::Error) -> DurabilityError {
     DurabilityError::Io(JournalIoError {
         op,
         kind: e.kind(),
@@ -620,61 +620,99 @@ impl<'p> Platform<'p> {
             self.execute_serial(execs_per_pod, frame_log.as_ref())
         };
 
-        // 3. Fix pipeline.
+        // 3. Fix pipeline. Trial validation (the expensive part: each
+        //    candidate re-executes every pooled case in the repair lab)
+        //    runs on scoped threads, one proposal per thread — proposal
+        //    count is bounded by distinct diagnosed failure modes, so
+        //    the fan-out is small. Every proposal is validated against
+        //    the *round-start* overlay; promotions are then applied
+        //    sequentially in proposal order, so the chosen fixes and
+        //    the overlay-version sequence are deterministic regardless
+        //    of thread scheduling. (Resume replays recorded promotion
+        //    decisions, never re-validation, so durable recovery is
+        //    unaffected by the validation base.)
         let mut fixes_promoted = 0u64;
         let mut promoted: Vec<(String, Overlay)> = Vec::new();
         if self.config.fixes_enabled {
             let proposals = self.hive.propose_fixes();
-            for proposal in proposals {
-                // Pool trial cases from pods: failing cases of this mode +
-                // passing regression cases.
-                let failing: Vec<TestCase> = self
-                    .pods
+            if !proposals.is_empty() {
+                // Pool each proposal's trial cases from pods: failing
+                // cases of that mode + passing regression cases.
+                let trials: Vec<(Vec<TestCase>, Vec<TestCase>)> = proposals
                     .iter()
-                    .flat_map(|p| p.failing_cases())
-                    .filter(|(_, o)| {
-                        outcome_signature(o).as_deref() == Some(proposal.signature.as_str())
+                    .map(|proposal| {
+                        let failing: Vec<TestCase> = self
+                            .pods
+                            .iter()
+                            .flat_map(|p| p.failing_cases())
+                            .filter(|(_, o)| {
+                                outcome_signature(o).as_deref() == Some(proposal.signature.as_str())
+                            })
+                            .map(|(c, _)| c.clone())
+                            .take(16)
+                            .collect();
+                        let passing: Vec<TestCase> = self
+                            .pods
+                            .iter()
+                            .flat_map(|p| p.passing_cases())
+                            .take(32)
+                            .cloned()
+                            .collect();
+                        (failing, passing)
                     })
-                    .map(|(c, _)| c.clone())
-                    .take(16)
                     .collect();
-                let passing: Vec<TestCase> = self
-                    .pods
-                    .iter()
-                    .flat_map(|p| p.passing_cases())
-                    .take(32)
-                    .cloned()
-                    .collect();
-                let (base, _) = self.hive.current_overlay();
-                let ranked = rank(
-                    self.program,
-                    &base.clone(),
-                    &proposal.candidates,
-                    &failing,
-                    &passing,
-                    LabConfig::default(),
-                );
-                let Some((candidate, validation)) = ranked.first() else {
-                    continue;
-                };
-                let distribute = match validation.verdict {
-                    Verdict::Distribute => true,
-                    // Predicted deadlock fixes have no failing cases yet;
-                    // distribute on perfect preservation evidence.
-                    Verdict::Reject | Verdict::Suggest => {
-                        proposal.signature.starts_with("lock-cycle:")
-                            && failing.is_empty()
-                            && validation.passing_total as usize
-                                >= self.config.min_preservation_cases
-                            && validation.passing_preserved == validation.passing_total
+                let base = self.hive.current_overlay().0.clone();
+                let program = self.program;
+                let winners: Vec<_> = std::thread::scope(|s| {
+                    let handles: Vec<_> = proposals
+                        .iter()
+                        .zip(&trials)
+                        .map(|(proposal, (failing, passing))| {
+                            let base = &base;
+                            s.spawn(move || {
+                                rank(
+                                    program,
+                                    base,
+                                    &proposal.candidates,
+                                    failing,
+                                    passing,
+                                    LabConfig::default(),
+                                )
+                                .into_iter()
+                                .next()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("trial validation thread panicked"))
+                        .collect()
+                });
+                for ((proposal, (failing, _)), winner) in proposals.iter().zip(&trials).zip(winners)
+                {
+                    let Some((candidate, validation)) = winner else {
+                        continue;
+                    };
+                    let distribute = match validation.verdict {
+                        Verdict::Distribute => true,
+                        // Predicted deadlock fixes have no failing cases
+                        // yet; distribute on perfect preservation
+                        // evidence.
+                        Verdict::Reject | Verdict::Suggest => {
+                            proposal.signature.starts_with("lock-cycle:")
+                                && failing.is_empty()
+                                && validation.passing_total as usize
+                                    >= self.config.min_preservation_cases
+                                && validation.passing_preserved == validation.passing_total
+                        }
+                    };
+                    if distribute {
+                        self.hive.promote(&proposal.signature, &candidate);
+                        if self.durable.is_some() {
+                            promoted.push((proposal.signature.clone(), candidate.overlay.clone()));
+                        }
+                        fixes_promoted += 1;
                     }
-                };
-                if distribute {
-                    self.hive.promote(&proposal.signature, candidate);
-                    if self.durable.is_some() {
-                        promoted.push((proposal.signature.clone(), candidate.overlay.clone()));
-                    }
-                    fixes_promoted += 1;
                 }
             }
         }

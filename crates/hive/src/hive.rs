@@ -121,6 +121,41 @@ impl<'p> Hive<'p> {
         }
     }
 
+    /// Every overlay version ever distributed (index = version). The
+    /// sharded hive clones this per run to build worker-pool
+    /// [`ReconstructContext`]s that outlive the mutable borrow its
+    /// per-shard mergers hold on the hives.
+    pub fn overlays(&self) -> &[Overlay] {
+        &self.overlay_history
+    }
+
+    /// The program's input-dependence analysis (computed once at
+    /// construction; a pure function of the program).
+    pub fn deps(&self) -> &InputDependence {
+        &self.deps
+    }
+
+    /// Applies one pipeline-processed trace — exactly what the
+    /// [`ingest_frames`](Self::ingest_frames) merger sink does, exposed
+    /// so an external merger (the sharded hive's per-shard appliers)
+    /// can drive several hives with one shared worker pool while
+    /// keeping [`HiveStats`] and tree state byte-identical to serial
+    /// [`ingest`](Self::ingest).
+    pub fn apply_processed(&mut self, pt: &softborg_ingest::ProcessedTrace) {
+        self.stats.traces += 1;
+        self.lock_graph.ingest(&pt.trace);
+        self.races.ingest(&pt.trace);
+        self.ledger.ingest(&pt.trace);
+        match &pt.decisions {
+            Some(decisions) => {
+                let m = self.tree.merge_path(decisions, &pt.trace.outcome);
+                self.stats.new_nodes += m.new_nodes;
+                self.stats.reconstructed += 1;
+            }
+            None => self.stats.unreconstructed += 1,
+        }
+    }
+
     /// The current overlay and its version (what pods should run).
     pub fn current_overlay(&self) -> (&Overlay, u64) {
         let v = self.overlay_history.len() as u64 - 1;

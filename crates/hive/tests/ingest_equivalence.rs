@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use softborg_hive::{Hive, HiveConfig};
-use softborg_ingest::{BackpressurePolicy, IngestConfig};
+use softborg_ingest::{BackpressurePolicy, IngestConfig, MemoMode};
 use softborg_pod::{Pod, PodConfig};
 use softborg_program::scenarios::{self, Scenario};
 use softborg_trace::{wire, ExecutionTrace};
@@ -74,6 +74,7 @@ proptest! {
         workers in 1usize..5,
         queue_capacity in 1usize..9,
         memo in 0usize..2,
+        shared_memo in 0usize..2,
     ) {
         let s = scenario(scenario_idx);
         let traces = pod_traces(&s, seed, n);
@@ -87,8 +88,14 @@ proptest! {
                 queue_capacity,
                 merge_capacity: queue_capacity,
                 policy: BackpressurePolicy::Block,
-                // Exercise both the recycling and the cold path.
+                // Exercise the recycling path, the cold path, and the
+                // pool-shared cache.
                 memo_capacity: memo * 4096,
+                memo_mode: if shared_memo == 1 {
+                    MemoMode::Shared { stripes: 8 }
+                } else {
+                    MemoMode::PerWorker
+                },
             },
         );
         assert_same_state(&reference, &hive);
@@ -173,6 +180,7 @@ fn drop_oldest_sheds_frames_but_keeps_accounting_consistent() {
             merge_capacity: 1,
             policy: BackpressurePolicy::DropOldest,
             memo_capacity: 0,
+            ..IngestConfig::default()
         },
     );
     assert_eq!(stats.frames_submitted, n_frames);

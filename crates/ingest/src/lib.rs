@@ -30,7 +30,7 @@ pub mod pipeline;
 pub mod queue;
 pub mod stats;
 
-pub use memo::MemoCache;
-pub use pipeline::{run, FrameSender, IngestConfig, ProcessedTrace, ReconstructContext};
+pub use memo::{MemoCache, SharedMemoCache, WorkerMemo};
+pub use pipeline::{run, FrameSender, IngestConfig, MemoMode, ProcessedTrace, ReconstructContext};
 pub use queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 pub use stats::IngestStats;

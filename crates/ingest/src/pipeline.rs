@@ -26,7 +26,7 @@
 //!   This is the paper's information recycling applied to the hive's own
 //!   ingest path.
 
-use crate::memo::MemoCache;
+use crate::memo::{MemoCache, SharedMemoCache};
 use crate::queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 use crate::stats::{IngestStats, StatsCore};
 use softborg_program::overlay::Overlay;
@@ -39,6 +39,24 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// How the reconstruction memo is scoped across the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoMode {
+    /// Each worker owns a private cache (shared-nothing; zero
+    /// synchronization, but every worker pays its own cold miss for the
+    /// same popular payload).
+    #[default]
+    PerWorker,
+    /// One striped cache shared by every worker ([`SharedMemoCache`]):
+    /// a payload reconstructed once is a hit pool-wide. `stripes` is
+    /// the lock-striping factor (floored at 1; a few times the worker
+    /// count keeps contention negligible).
+    Shared {
+        /// Number of independently-locked cache stripes.
+        stripes: usize,
+    },
+}
+
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
@@ -50,10 +68,13 @@ pub struct IngestConfig {
     pub merge_capacity: usize,
     /// What producers do when the frame queue is full.
     pub policy: BackpressurePolicy,
-    /// Per-worker memo entries for recycling reconstructions; at
-    /// capacity the cache evicts with a second-chance (clock) sweep
-    /// (0 disables the cache).
+    /// Memo entries for recycling reconstructions; at capacity the
+    /// cache evicts with a second-chance (clock) sweep (0 disables the
+    /// cache). Per worker under [`MemoMode::PerWorker`], pool-total
+    /// under [`MemoMode::Shared`].
     pub memo_capacity: usize,
+    /// Whether the memo is per-worker or shared across the pool.
+    pub memo_mode: MemoMode,
 }
 
 impl Default for IngestConfig {
@@ -64,6 +85,7 @@ impl Default for IngestConfig {
             merge_capacity: 64,
             policy: BackpressurePolicy::Block,
             memo_capacity: 4096,
+            memo_mode: MemoMode::PerWorker,
         }
     }
 }
@@ -223,13 +245,17 @@ fn worker_loop(
     shared: &Shared,
     ctx: ReconstructContext<'_>,
     memo_capacity: usize,
+    shared_memo: Option<&SharedMemoCache<Arc<ProcessedTrace>>>,
     active: &AtomicUsize,
 ) {
     let _guard = WorkerGuard {
         active,
         merged: &shared.merged,
     };
-    let mut memo: MemoCache<Arc<ProcessedTrace>> = MemoCache::new(memo_capacity);
+    let mut memo: crate::memo::WorkerMemo<'_, Arc<ProcessedTrace>> = match shared_memo {
+        Some(pool) => crate::memo::WorkerMemo::Shared(pool),
+        None => crate::memo::WorkerMemo::Local(MemoCache::new(memo_capacity)),
+    };
     while let Some(frame) = shared.frames.pop() {
         let t0 = Instant::now();
         let out = match wire::batch_payloads(&frame.bytes) {
@@ -280,7 +306,7 @@ fn worker_loop(
     }
     shared
         .stats
-        .add(&shared.stats.cache_evictions, memo.evictions());
+        .add(&shared.stats.cache_evictions, memo.local_evictions());
 }
 
 /// Heap entry ordered by ascending sequence number.
@@ -397,6 +423,10 @@ where
     let n_workers = config.workers.max(1);
     let active = AtomicUsize::new(n_workers);
     let memo_capacity = config.memo_capacity;
+    let pool_memo: Option<SharedMemoCache<Arc<ProcessedTrace>>> = match config.memo_mode {
+        MemoMode::PerWorker => None,
+        MemoMode::Shared { stripes } => Some(SharedMemoCache::new(memo_capacity, stripes)),
+    };
     let started = Instant::now();
     let result = std::thread::scope(|s| {
         let producer_handle = s.spawn(move || producer(sender));
@@ -404,7 +434,8 @@ where
             .map(|_| {
                 let shared = &shared;
                 let active = &active;
-                s.spawn(move || worker_loop(shared, ctx, memo_capacity, active))
+                let pool_memo = pool_memo.as_ref();
+                s.spawn(move || worker_loop(shared, ctx, memo_capacity, pool_memo, active))
             })
             .collect();
         merger_loop(&shared, &mut sink);
@@ -418,6 +449,11 @@ where
             Err(p) => std::panic::resume_unwind(p),
         }
     });
+    if let Some(pool) = &pool_memo {
+        shared
+            .stats
+            .add(&shared.stats.cache_evictions, pool.evictions());
+    }
     let stats = shared.stats.snapshot(
         n_workers,
         shared.frames.high_water(),

@@ -284,6 +284,47 @@ impl FaultPlan {
     pub fn partitioned(&self, from: Addr, to: Addr, now: SimTime) -> bool {
         self.partitions.iter().any(|p| p.blocks(from, to, now))
     }
+
+    /// Derives the fault plan for one pod→shard link from this
+    /// fleet-wide template: rates (duplication, reordering) carry over
+    /// unchanged, while every partition and crash window is shifted
+    /// forward by a deterministic per-link offset in `[0, jitter_us]` —
+    /// so shard links sharing a template do **not** fail in lockstep.
+    /// Perfectly correlated failure across shards is the pathological
+    /// case a sharded transport must not silently assume away; jittering
+    /// per link keeps a fault-matrix sweep honest while staying fully
+    /// reproducible (same `link` + `jitter_us` → same plan).
+    ///
+    /// Window *durations* are preserved (both edges shift together), so
+    /// a plan that [`validate`](Self::validate)s keeps validating.
+    /// Disk crash points are not link-scoped and carry over unchanged.
+    /// `jitter_us = 0` returns the template verbatim.
+    #[must_use]
+    pub fn for_link(&self, link: u64, jitter_us: u64) -> FaultPlan {
+        let mut plan = self.clone();
+        if jitter_us == 0 {
+            return plan;
+        }
+        for (i, p) in plan.partitions.iter_mut().enumerate() {
+            let shift = splitmix64(link ^ (0xA11C_E000 + i as u64)) % (jitter_us + 1);
+            p.from_us += shift;
+            p.until_us += shift;
+        }
+        for (i, c) in plan.crashes.iter_mut().enumerate() {
+            let shift = splitmix64(link ^ (0xC8A5_8000 + i as u64)) % (jitter_us + 1);
+            c.at_us += shift;
+            c.restart_us += shift;
+        }
+        plan
+    }
+}
+
+/// SplitMix64: a tiny stateless bit-mixer for per-link schedule jitter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -407,6 +448,41 @@ mod tests {
             ..FaultPlan::default()
         };
         assert_eq!(p.validate(1), Err(FaultPlanError::EmptyReorderWindow));
+    }
+
+    #[test]
+    fn for_link_with_zero_jitter_is_verbatim() {
+        assert_eq!(plan().for_link(3, 0), plan());
+    }
+
+    #[test]
+    fn for_link_is_deterministic_and_decorrelates_links() {
+        let a = plan().for_link(1, 5_000);
+        assert_eq!(a, plan().for_link(1, 5_000));
+        let b = plan().for_link(2, 5_000);
+        assert_ne!(a, b, "distinct links should see shifted fault windows");
+        // Shifts move both edges together: every window keeps its duration
+        // (and therefore stays valid).
+        for (derived, base) in a.partitions.iter().zip(&plan().partitions) {
+            assert_eq!(
+                derived.until_us - derived.from_us,
+                base.until_us - base.from_us
+            );
+            assert!(derived.from_us >= base.from_us);
+            assert!(derived.from_us <= base.from_us + 5_000);
+        }
+        for (derived, base) in a.crashes.iter().zip(&plan().crashes) {
+            assert_eq!(
+                derived.restart_us - derived.at_us,
+                base.restart_us - base.at_us
+            );
+        }
+        // Rates and disk crash points are never jittered.
+        assert_eq!(a.dup_per_mille, plan().dup_per_mille);
+        assert_eq!(a.reorder_per_mille, plan().reorder_per_mille);
+        assert_eq!(a.disk, plan().disk);
+        assert_eq!(a.validate(2), Ok(()));
+        assert_eq!(b.validate(2), Ok(()));
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Sharded-pipeline observability: pool-wide counters plus a per-shard
+//! breakdown, snapshotted into a [`ShardRunStats`] when a run completes.
+
+use crate::map::ShardError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many router-error samples a run retains (counters are exact;
+/// samples are capped so a firehose of bad frames can't balloon memory).
+pub const ERROR_SAMPLE_CAP: usize = 8;
+
+/// Pool-wide counters, updated concurrently by producers, workers, and
+/// every shard merger.
+#[derive(Debug, Default)]
+pub(crate) struct RunCore {
+    pub frames_submitted: AtomicU64,
+    pub frames_dropped: AtomicU64,
+    pub frames_corrupt: AtomicU64,
+    pub frames_rerouted: AtomicU64,
+    pub frames_unknown_program: AtomicU64,
+    pub frames_merged: AtomicU64,
+    pub traces_merged: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
+    pub worker_busy_ns: AtomicU64,
+    /// Capped typed-error samples (see [`ERROR_SAMPLE_CAP`]).
+    pub errors: Mutex<Vec<ShardError>>,
+}
+
+/// Per-shard counters, updated by that shard's merger thread (and by the
+/// post-run rerouted-frame drain).
+#[derive(Debug, Default)]
+pub(crate) struct ShardCore {
+    pub frames_merged: AtomicU64,
+    pub traces_merged: AtomicU64,
+    pub frames_corrupt: AtomicU64,
+    pub frames_rerouted_in: AtomicU64,
+}
+
+impl RunCore {
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a router error: exact count via the caller's counter,
+    /// plus a capped sample for diagnostics.
+    pub(crate) fn sample_error(&self, err: ShardError) {
+        let mut errors = self.errors.lock().expect("error samples");
+        if errors.len() < ERROR_SAMPLE_CAP {
+            errors.push(err);
+        }
+    }
+}
+
+/// One shard's share of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Programs placed on this shard.
+    pub programs: usize,
+    /// Frames whose slot this shard's merger consumed (healthy, corrupt,
+    /// unknown, and rerouted-away frames all count — they all advance
+    /// the shard's per-program sequence).
+    pub frames_merged: u64,
+    /// Traces applied to this shard's hives (rerouted-in included).
+    pub traces_merged: u64,
+    /// Corrupt frames charged to this shard (by claimed program).
+    pub frames_corrupt: u64,
+    /// Frames whose content routed *into* this shard from a slot claimed
+    /// on another program.
+    pub frames_rerouted_in: u64,
+    /// Deepest this shard's merge queue ever got.
+    pub merge_queue_high_water: usize,
+}
+
+/// Counters and gauges for one sharded ingest run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardRunStats {
+    /// Frames handed to the pipeline (before any drop).
+    pub frames_submitted: u64,
+    /// Frames displaced by `DropOldest` backpressure (or submitted after
+    /// shutdown) and never merged.
+    pub frames_dropped: u64,
+    /// Frames rejected by wire validation or carrying payloads from more
+    /// than one program. Counted and skipped — never a panic.
+    pub frames_corrupt: u64,
+    /// Healthy frames whose content program differed from the claimed
+    /// one: the claimed slot is consumed and the traces are delivered to
+    /// the content program's shard (deterministically, after in-order
+    /// traffic).
+    pub frames_rerouted: u64,
+    /// Healthy frames whose content program no shard owns: typed error,
+    /// counted, slot consumed — never a panic or a silent drop.
+    pub frames_unknown_program: u64,
+    /// Frames whose slot reached a shard merger (corrupt/unknown/
+    /// rerouted included: their slot is consumed to preserve ordering).
+    pub frames_merged: u64,
+    /// Traces applied to hives, over all shards.
+    pub traces_merged: u64,
+    /// Traces recycled from the memo cache.
+    pub cache_hits: u64,
+    /// Traces that required a full decode + reconstruction.
+    pub cache_misses: u64,
+    /// Memo entries rotated out by the second-chance sweep.
+    pub cache_evictions: u64,
+    /// Total worker time spent classifying + decoding + reconstructing,
+    /// in ns.
+    pub worker_busy_ns: u64,
+    /// Deepest the shared frame queue ever got.
+    pub queue_high_water: usize,
+    /// Wall-clock duration of the run, in ns.
+    pub wall_ns: u64,
+    /// Decode/reconstruct workers the run used.
+    pub workers: usize,
+    /// Per-shard breakdown, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+    /// Up to [`ERROR_SAMPLE_CAP`] typed router errors (counters above
+    /// are exact; these are samples).
+    pub error_samples: Vec<ShardError>,
+}
+
+impl ShardRunStats {
+    /// Sink throughput in traces per second.
+    pub fn throughput_traces_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.traces_merged as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Fraction of traces served from the memo cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Work imbalance across shards: max per-shard `traces_merged`
+    /// divided by the mean (1.0 = perfectly even; 0.0 when nothing
+    /// merged). The gauge that tells an operator hash placement has
+    /// concentrated hot programs on one shard.
+    pub fn imbalance_ratio(&self) -> f64 {
+        if self.per_shard.is_empty() || self.traces_merged == 0 {
+            return 0.0;
+        }
+        let max = self
+            .per_shard
+            .iter()
+            .map(|s| s.traces_merged)
+            .max()
+            .unwrap_or(0) as f64;
+        let mean = self.traces_merged as f64 / self.per_shard.len() as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::ProgramId;
+
+    #[test]
+    fn error_samples_are_capped_but_counting_is_callers() {
+        let core = RunCore::default();
+        for i in 0..100 {
+            core.sample_error(ShardError::UnknownProgram {
+                program: ProgramId(i),
+            });
+        }
+        assert_eq!(core.errors.lock().unwrap().len(), ERROR_SAMPLE_CAP);
+    }
+
+    #[test]
+    fn imbalance_ratio_reads_skew() {
+        let mut s = ShardRunStats {
+            traces_merged: 100,
+            ..ShardRunStats::default()
+        };
+        s.per_shard = vec![
+            ShardStats {
+                shard: 0,
+                traces_merged: 90,
+                ..ShardStats::default()
+            },
+            ShardStats {
+                shard: 1,
+                traces_merged: 10,
+                ..ShardStats::default()
+            },
+        ];
+        assert!((s.imbalance_ratio() - 1.8).abs() < 1e-9);
+        assert_eq!(ShardRunStats::default().imbalance_ratio(), 0.0);
+    }
+}

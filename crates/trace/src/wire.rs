@@ -426,6 +426,49 @@ pub fn batch_payloads(data: &[u8]) -> Result<Vec<&[u8]>, WireError> {
     Ok(payloads)
 }
 
+/// Classifies a validated batch frame by the [`ProgramId`] its traces
+/// carry, without decoding any of them — the routing primitive of the
+/// sharded hive: every trace opens with its program id (the first eight
+/// bytes of [`encode`]), so a router can dispatch a whole frame to the
+/// owning shard by peeking one field per payload.
+///
+/// Returns `Ok(None)` for an empty (but well-formed) batch. A frame
+/// whose traces carry *different* program ids is structurally invalid
+/// for routing and is reported as a [`WireError::BadTag`] on the
+/// `"frame program id"` field — a pod never mixes programs in one
+/// frame, so a mixed frame is corruption or a confused sender, and the
+/// router must treat it like any other bad frame rather than splitting
+/// or misrouting it.
+///
+/// # Errors
+///
+/// Everything [`batch_payloads`] rejects (truncation, bad magic,
+/// checksum mismatch, …), plus a payload too short to hold a program id
+/// and the mixed-id case above.
+pub fn frame_program_id(data: &[u8]) -> Result<Option<ProgramId>, WireError> {
+    let payloads = batch_payloads(data)?;
+    let mut id: Option<ProgramId> = None;
+    for p in payloads {
+        if p.len() < 8 {
+            return Err(WireError::Truncated {
+                field: "frame program id",
+            });
+        }
+        let this = ProgramId(u64::from_le_bytes(p[..8].try_into().unwrap()));
+        match id {
+            None => id = Some(this),
+            Some(prev) if prev != this => {
+                return Err(WireError::BadTag {
+                    field: "frame program id",
+                    tag: 0,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(id)
+}
+
 /// FNV-1a 64-bit hash — the checksum used by batch frames and by the
 /// hive's write-ahead journal records (exposed so the journal layer
 /// shares one checksum definition with the wire format).
@@ -811,6 +854,35 @@ mod tests {
             decode_batch(&frame),
             Err(WireError::Truncated { .. }) | Err(WireError::Oversized { .. })
         ));
+    }
+
+    #[test]
+    fn frame_program_id_classifies_without_decoding() {
+        let ts = traces();
+        // Homogeneous frame: classified by the shared id.
+        let only_first = [ts[0].clone(), ts[0].clone()];
+        assert_eq!(
+            frame_program_id(&encode_batch(&only_first)).unwrap(),
+            Some(ProgramId(1))
+        );
+        // Empty batch: well-formed but unclassifiable.
+        assert_eq!(frame_program_id(&encode_batch([])).unwrap(), None);
+        // Mixed programs in one frame: rejected, never split or misrouted.
+        assert_eq!(
+            frame_program_id(&encode_batch(&ts)),
+            Err(WireError::BadTag {
+                field: "frame program id",
+                tag: 0,
+            })
+        );
+        // Corruption is caught by the same validation decode_batch uses.
+        let mut frame = encode_batch(&only_first);
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x10;
+        assert!(frame_program_id(&frame).is_err());
+        for cut in 0..frame.len() {
+            assert!(frame_program_id(&frame[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]
