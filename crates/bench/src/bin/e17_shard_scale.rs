@@ -126,6 +126,7 @@ fn ingest_cfg(memo_mode: MemoMode) -> IngestConfig {
         policy: BackpressurePolicy::Block,
         memo_capacity,
         memo_mode,
+        ..IngestConfig::default()
     }
 }
 

@@ -59,12 +59,12 @@ pub mod multi;
 pub mod platform;
 
 pub use multi::{
-    FleetSpec, MultiPlatform, MultiPlatformConfig, MultiResumeReport, MultiRoundReport,
-    ProgramRoundReport, ShardResumeReport,
+    FleetSpec, LaneTask, MultiDrivenExecution, MultiPlatform, MultiPlatformConfig,
+    MultiResumeReport, MultiRoundReport, ProgramRoundReport, ShardResumeReport,
 };
 pub use platform::{
-    DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig, ResumeReport,
-    RoundReport,
+    DrivenExecution, DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig,
+    ResumeReport, RoundReport,
 };
 
 pub use softborg_analysis as analysis;

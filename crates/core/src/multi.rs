@@ -240,6 +240,30 @@ struct Fleet<'p> {
     pods: Vec<Pod<'p>>,
 }
 
+/// One fleet's slice of work handed to a
+/// [`MultiPlatform::round_driven`] driver.
+#[derive(Debug)]
+pub struct LaneTask<'a, 'p> {
+    /// Lane index (the durable journal session for this fleet's frames).
+    pub lane: u64,
+    /// The fleet's program id.
+    pub program: ProgramId,
+    /// The fleet's pods, overlay already distributed.
+    pub pods: &'a mut [Pod<'p>],
+}
+
+/// What an external driver executed during one
+/// [`MultiPlatform::round_driven`] round.
+#[derive(Debug, Default)]
+pub struct MultiDrivenExecution {
+    /// `(executions, failures, directed)` per lane, in lane order — one
+    /// entry per [`LaneTask`] handed to the driver.
+    pub per_lane: Vec<(u64, u64, u64)>,
+    /// Every wire-encoded batch frame produced, as `(lane, seq, frame)`
+    /// in the same layout [`MultiPlatform::round`] journals.
+    pub frames: Vec<(u64, u64, Vec<u8>)>,
+}
+
 /// The multi-program platform. See the [module docs](self).
 pub struct MultiPlatform<'p> {
     sharded: ShardedHive<'p>,
@@ -681,6 +705,86 @@ impl<'p> MultiPlatform<'p> {
     /// to every shard journal before returning the report.
     pub fn round(&mut self, execs_per_pod: u32) -> MultiRoundReport {
         // 1. Distribute each program's current overlay to its fleet.
+        self.distribute_overlays();
+
+        // 2. Execute all fleets through the shared sharded pipeline.
+        let frame_log = self
+            .durable
+            .is_some()
+            .then(|| Mutex::new(Vec::<(u64, u64, Vec<u8>)>::new()));
+        let per_lane = self.execute_sharded(execs_per_pod, frame_log.as_ref());
+        let frames = frame_log
+            .map(|m| m.into_inner().expect("frame log poisoned"))
+            .unwrap_or_default();
+
+        // 3-6. Fix pipelines, guidance, report, durable commit.
+        self.finish_round(per_lane, frames)
+    }
+
+    /// Advances one round with execution *driven from outside*, the
+    /// multi-program counterpart of
+    /// [`Platform::round_driven`](crate::Platform::round_driven):
+    /// `driver` receives one [`LaneTask`] per fleet (overlays already
+    /// distributed) plus the configured batch size, runs the pods
+    /// however it likes, and returns per-lane counters plus every
+    /// wire-encoded batch frame as `(lane, seq, frame)` triples in the
+    /// pre-partitioned per-lane sequence layout (pod `j` owns slots
+    /// `j*k..(j+1)*k`, `k = ceil(execs_per_pod / batch)`).
+    ///
+    /// Frames are ingested in `(lane, seq)` order — each lane's order is
+    /// exactly the sharded merger's release order and the durable resume
+    /// replay order — then the identical fix / guidance / report /
+    /// commit pipeline runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the driver returns the wrong number of per-lane
+    /// entries, an out-of-range lane, or a frame that fails wire
+    /// validation — driver bugs, not input conditions.
+    pub fn round_driven<F>(&mut self, driver: F) -> MultiRoundReport
+    where
+        F: for<'a> FnOnce(Vec<LaneTask<'a, 'p>>, u64) -> MultiDrivenExecution,
+    {
+        self.distribute_overlays();
+        let batch = self.config.ingest.batch_size.max(1) as u64;
+        let n_lanes = self.fleets.len();
+        let tasks: Vec<LaneTask<'_, 'p>> = self
+            .fleets
+            .iter_mut()
+            .enumerate()
+            .map(|(lane, fleet)| LaneTask {
+                lane: lane as u64,
+                program: fleet.id,
+                pods: &mut fleet.pods,
+            })
+            .collect();
+        let drv = driver(tasks, batch);
+        assert_eq!(
+            drv.per_lane.len(),
+            n_lanes,
+            "driver must report one (executions, failures, directed) entry per lane"
+        );
+        let mut frames = drv.frames;
+        frames.sort_by_key(|&(lane, seq, _)| (lane, seq));
+        for (lane, _, frame) in &frames {
+            let id = self.fleets[*lane as usize].id;
+            let traces = wire::decode_batch(frame).expect("driver produced a corrupt frame");
+            let hive = self.sharded.hive_mut(id).expect("fleet program is placed");
+            for trace in &traces {
+                hive.ingest(trace);
+            }
+        }
+        let frames = if self.durable.is_some() {
+            frames
+        } else {
+            Vec::new()
+        };
+        self.finish_round(drv.per_lane, frames)
+    }
+
+    /// Step 1 of a round: push each program's current overlay to its
+    /// fleet.
+    fn distribute_overlays(&mut self) {
         if self.config.fixes_enabled {
             for fleet in &mut self.fleets {
                 let (overlay, version) = {
@@ -696,14 +800,16 @@ impl<'p> MultiPlatform<'p> {
                 }
             }
         }
+    }
 
-        // 2. Execute all fleets through the shared sharded pipeline.
-        let frame_log = self
-            .durable
-            .is_some()
-            .then(|| Mutex::new(Vec::<(u64, u64, Vec<u8>)>::new()));
-        let per_lane = self.execute_sharded(execs_per_pod, frame_log.as_ref());
-
+    /// Steps 3–6 of a round, shared by [`round`](Self::round) and
+    /// [`round_driven`](Self::round_driven): fix pipelines, guidance,
+    /// report, durable two-phase commit.
+    fn finish_round(
+        &mut self,
+        per_lane: Vec<(u64, u64, u64)>,
+        frames: Vec<(u64, u64, Vec<u8>)>,
+    ) -> MultiRoundReport {
         // 3. Per-program fix pipeline. Proposals from every program are
         //    validated concurrently on scoped threads (each against its
         //    own program's round-start overlay), then promoted
@@ -875,8 +981,7 @@ impl<'p> MultiPlatform<'p> {
         self.history.push(report.clone());
 
         // 6. Durable two-phase commit.
-        let frames = frame_log.map(|m| m.into_inner().expect("frame log poisoned"));
-        self.commit_round(&report, frames.unwrap_or_default(), &promoted)
+        self.commit_round(&report, frames, &promoted)
             .expect("durable round commit failed");
         report
     }

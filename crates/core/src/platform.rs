@@ -287,6 +287,22 @@ pub struct ResumeReport {
 /// from the ingest path, shared across pod threads.
 type FrameLog = Mutex<Vec<(u64, u64, Vec<u8>)>>;
 
+/// What an external driver executed during one
+/// [`Platform::round_driven`] round.
+#[derive(Debug, Default)]
+pub struct DrivenExecution {
+    /// Executions performed across all pods.
+    pub executions: u64,
+    /// Failures observed.
+    pub failures: u64,
+    /// Directed (guided) executions.
+    pub directed: u64,
+    /// Every wire-encoded batch frame produced, as
+    /// `(session = pod index, seq, frame)` — the same layout
+    /// [`Platform::round`] journals and the pipelined merger replays.
+    pub frames: Vec<(u64, u64, Vec<u8>)>,
+}
+
 /// The live half of a durable campaign: the open journal, the snapshot
 /// store, and the bookkeeping replay needs.
 #[derive(Debug)]
@@ -598,15 +614,7 @@ impl<'p> Platform<'p> {
     /// on with unpersisted state.
     pub fn round(&mut self, execs_per_pod: u32) -> RoundReport {
         // 1. Distribute the current overlay.
-        let (overlay, version) = {
-            let (o, v) = self.hive.current_overlay();
-            (o.clone(), v)
-        };
-        if self.config.fixes_enabled {
-            for pod in &mut self.pods {
-                pod.install_fix(overlay.clone(), version);
-            }
-        }
+        self.distribute_overlay();
 
         // 2. Execute and ingest (mirroring every batch frame into the
         //    durable frame log when durability is on).
@@ -619,7 +627,81 @@ impl<'p> Platform<'p> {
         } else {
             self.execute_serial(execs_per_pod, frame_log.as_ref())
         };
+        let frames = frame_log
+            .map(|m| m.into_inner().expect("frame log poisoned"))
+            .unwrap_or_default();
 
+        // 3-6. Fix pipeline, guidance, report, durable commit.
+        self.finish_round(executions, failures, directed, frames)
+    }
+
+    /// Advances one round with execution *driven from outside*: `driver`
+    /// receives the pods (overlay already distributed) and the
+    /// configured batch size, runs them however it likes — a
+    /// virtual-time scheduler interleaving pods at simulated instants —
+    /// and returns the counters plus every wire-encoded batch frame as
+    /// `(session = pod index, seq, frame)` triples using the same
+    /// pre-partitioned sequence layout as the built-in paths
+    /// (`seq = pod_index * ceil(execs_per_pod / batch) + k`).
+    ///
+    /// The platform ingests the frames in `(session, seq)` order —
+    /// exactly the order the pipelined merger releases them and the
+    /// durable resume path replays them — then runs the identical fix /
+    /// guidance / report / commit pipeline. Pods carry their own RNG and
+    /// get no mid-round feedback, so any driver that runs each pod
+    /// `execs_per_pod` times produces byte-identical hive state to
+    /// [`round`](Self::round), regardless of interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver returns a frame that fails wire validation —
+    /// a driver bug, not an input condition.
+    pub fn round_driven<F>(&mut self, driver: F) -> RoundReport
+    where
+        F: FnOnce(&mut [Pod<'p>], u64) -> DrivenExecution,
+    {
+        self.distribute_overlay();
+        let batch = self.config.ingest.batch_size.max(1) as u64;
+        let drv = driver(&mut self.pods, batch);
+        let mut frames = drv.frames;
+        frames.sort_by_key(|&(session, seq, _)| (session, seq));
+        for (_, _, frame) in &frames {
+            let traces = wire::decode_batch(frame).expect("driver produced a corrupt frame");
+            for trace in &traces {
+                self.hive.ingest(trace);
+            }
+        }
+        let frames = if self.durable.is_some() {
+            frames
+        } else {
+            Vec::new()
+        };
+        self.finish_round(drv.executions, drv.failures, drv.directed, frames)
+    }
+
+    /// Step 1 of a round: push the hive's current overlay to every pod.
+    fn distribute_overlay(&mut self) {
+        let (overlay, version) = {
+            let (o, v) = self.hive.current_overlay();
+            (o.clone(), v)
+        };
+        if self.config.fixes_enabled {
+            for pod in &mut self.pods {
+                pod.install_fix(overlay.clone(), version);
+            }
+        }
+    }
+
+    /// Steps 3–6 of a round, shared by [`round`](Self::round) and
+    /// [`round_driven`](Self::round_driven): fix pipeline, guidance,
+    /// report, durable commit.
+    fn finish_round(
+        &mut self,
+        executions: u64,
+        failures: u64,
+        directed: u64,
+        frames: Vec<(u64, u64, Vec<u8>)>,
+    ) -> RoundReport {
         // 3. Fix pipeline. Trial validation (the expensive part: each
         //    candidate re-executes every pooled case in the repair lab)
         //    runs on scoped threads, one proposal per thread — proposal
@@ -761,8 +843,7 @@ impl<'p> Platform<'p> {
         // 6. Durable commit: frames, promotions, and the round record
         //    hit the journal and are fsynced before the report (the ack)
         //    leaves this function.
-        let frames = frame_log.map(|m| m.into_inner().expect("frame log poisoned"));
-        self.commit_round(&report, frames.unwrap_or_default(), &promoted)
+        self.commit_round(&report, frames, &promoted)
             .expect("durable round commit failed");
         report
     }

@@ -592,6 +592,40 @@ impl NetNode for HiveServer {
     }
 }
 
+/// An event loop capable of hosting the transport's [`NetNode`]s.
+///
+/// [`run_reliable_ingest`] uses the threaded path's default host — the
+/// netsim [`Sim`] — but the orchestration itself only needs these three
+/// operations, so a virtual-time scheduler (`softborg-sim`) can host the
+/// *same* `PodClient`/`HiveServer` code and produce the same
+/// [`TransportReport`]. A conforming host must reproduce [`Sim`]'s
+/// observable semantics: FIFO-per-instant event dispatch in insertion
+/// order, the link/fault model's RNG draw order, crash pre-queueing, and
+/// `on_start` in node-index order.
+pub trait NetHost {
+    /// Adds a node; addresses must be assigned densely from `Addr(0)` in
+    /// insertion order (the session protocol equates session id and node
+    /// address).
+    fn add_node(&mut self, node: Box<dyn NetNode>) -> Addr;
+    /// Runs to quiescence (or the host's event cap); returns the number
+    /// of events processed.
+    fn run(&mut self) -> u64;
+    /// Network-level counters accumulated so far.
+    fn stats(&self) -> SimStats;
+}
+
+impl NetHost for Sim {
+    fn add_node(&mut self, node: Box<dyn NetNode>) -> Addr {
+        Sim::add_node(self, node)
+    }
+    fn run(&mut self) -> u64 {
+        Sim::run(self)
+    }
+    fn stats(&self) -> SimStats {
+        Sim::stats(self)
+    }
+}
+
 /// Streams every pod's frames to the hive over the simulated network
 /// with the full session protocol, feeding the hive's staged ingest
 /// pipeline as frames become durable. Pods are nodes `0..pods.len()`,
@@ -642,26 +676,57 @@ fn run_reliable_ingest_inner(
     cfg: &TransportConfig,
     prior_journal: Vec<u8>,
 ) -> Result<(TransportReport, IngestStats), FaultPlanError> {
+    run_reliable_ingest_hosted(hive, pods, ingest_cfg, cfg, &prior_journal, |c| {
+        Sim::new(SimConfig {
+            seed: c.seed,
+            link: c.link,
+            max_events: c.max_events,
+            faults: c.faults.clone(),
+        })
+    })
+}
+
+/// [`run_reliable_ingest`] generalized over the event loop: `build`
+/// constructs the [`NetHost`] (on the producer thread) from the run's
+/// config, and the *same* session protocol runs on top of it. With a
+/// conforming host and a shared seed, the whole [`TransportReport`] —
+/// journal bytes included — must be identical to the [`Sim`]-hosted run;
+/// `softborg-sim` asserts exactly that. `prior_journal` seeds the
+/// server's dedup floors as in [`run_reliable_ingest_resumed`] (empty
+/// for a fresh campaign).
+///
+/// # Errors
+///
+/// Returns a [`FaultPlanError`] when the fault plan fails validation
+/// against the node count.
+pub fn run_reliable_ingest_hosted<H, B>(
+    hive: &mut Hive<'_>,
+    pods: Vec<Vec<(u8, Vec<u8>)>>,
+    ingest_cfg: &IngestConfig,
+    cfg: &TransportConfig,
+    prior_journal: &[u8],
+    build: B,
+) -> Result<(TransportReport, IngestStats), FaultPlanError>
+where
+    H: NetHost,
+    B: FnOnce(&TransportConfig) -> H + Send,
+{
     let n_pods = pods.len() as u32;
     cfg.faults.validate(n_pods + 1)?;
     let mut ingest_cfg = ingest_cfg.clone();
     ingest_cfg.policy = BackpressurePolicy::Block;
     let cfg = cfg.clone();
+    let prior_journal = prior_journal.to_vec();
     let (report, stats) = hive.ingest_frames(&ingest_cfg, move |tx| {
         // The producer thread hosts the whole simulated network; only
         // `tx` crosses back into the pipeline.
         let metrics = Rc::new(RefCell::new(Metrics::default()));
         let journal = Rc::new(RefCell::new(MemJournal::new()));
-        let mut sim = Sim::new(SimConfig {
-            seed: cfg.seed,
-            link: cfg.link,
-            max_events: cfg.max_events,
-            faults: cfg.faults.clone(),
-        });
+        let mut host = build(&cfg);
         let server_addr = Addr(n_pods);
         let n_sessions = pods.len() as u64;
         for (i, frames) in pods.into_iter().enumerate() {
-            sim.add_node(Box::new(
+            host.add_node(Box::new(
                 PodClient::new(i as u64, server_addr, frames, &cfg).with_metrics(metrics.clone()),
             ));
         }
@@ -669,9 +734,9 @@ fn run_reliable_ingest_inner(
         if !prior_journal.is_empty() {
             server.seed_sessions(&prior_journal);
         }
-        let placed = sim.add_node(Box::new(server));
+        let placed = host.add_node(Box::new(server));
         debug_assert_eq!(placed, server_addr, "server must sit at Addr(n_pods)");
-        sim.run();
+        host.run();
 
         let m = metrics.borrow();
         let j = journal.borrow();
@@ -693,7 +758,7 @@ fn run_reliable_ingest_inner(
             recovery_tail_dropped: m.recovery_tail_dropped,
             journal_error: m.journal_error.clone(),
             journal: synced,
-            net: sim.stats(),
+            net: host.stats(),
         }
     });
     Ok((report, stats))

@@ -96,6 +96,7 @@ proptest! {
                 } else {
                     MemoMode::PerWorker
                 },
+                ..IngestConfig::default()
             },
         );
         assert_same_state(&reference, &hive);

@@ -25,11 +25,13 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod memo;
 pub mod pipeline;
 pub mod queue;
 pub mod stats;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use memo::{MemoCache, SharedMemoCache, WorkerMemo};
 pub use pipeline::{run, FrameSender, IngestConfig, MemoMode, ProcessedTrace, ReconstructContext};
 pub use queue::{BackpressurePolicy, BoundedQueue, PushOutcome};

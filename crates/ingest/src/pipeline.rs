@@ -26,6 +26,7 @@
 //!   This is the paper's information recycling applied to the hive's own
 //!   ingest path.
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::memo::{MemoCache, SharedMemoCache};
 use crate::queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 use crate::stats::{IngestStats, StatsCore};
@@ -37,7 +38,6 @@ use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// How the reconstruction memo is scoped across the worker pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +75,11 @@ pub struct IngestConfig {
     pub memo_capacity: usize,
     /// Whether the memo is per-worker or shared across the pool.
     pub memo_mode: MemoMode,
+    /// Time source for the latency/throughput gauges. Defaults to the
+    /// monotonic wall clock; a virtual-time scheduler injects its own so
+    /// `wall_ns`, `worker_busy_ns`, and `frame_latency_ns` stay
+    /// meaningful under simulation.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for IngestConfig {
@@ -86,6 +91,7 @@ impl Default for IngestConfig {
             policy: BackpressurePolicy::Block,
             memo_capacity: 4096,
             memo_mode: MemoMode::PerWorker,
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 }
@@ -118,7 +124,8 @@ pub struct ProcessedTrace {
 struct FrameItem {
     seq: u64,
     bytes: Vec<u8>,
-    enqueued_at: Instant,
+    /// [`Clock::now_ns`] at submit, for the submit→merge latency gauge.
+    enqueued_at_ns: u64,
 }
 
 enum WorkerOut {
@@ -128,7 +135,7 @@ enum WorkerOut {
 
 struct MergeItem {
     seq: u64,
-    enqueued_at: Instant,
+    enqueued_at_ns: u64,
     out: WorkerOut,
 }
 
@@ -141,6 +148,7 @@ struct Shared {
     stats: StatsCore,
     next_seq: AtomicU64,
     senders: AtomicUsize,
+    clock: Arc<dyn Clock>,
 }
 
 /// A clonable handle producers use to feed frames into a running
@@ -179,7 +187,7 @@ impl FrameSender {
         match sh.frames.push(FrameItem {
             seq,
             bytes: frame,
-            enqueued_at: Instant::now(),
+            enqueued_at_ns: sh.clock.now_ns(),
         }) {
             PushOutcome::Accepted => {}
             PushOutcome::Displaced(old) => {
@@ -257,7 +265,7 @@ fn worker_loop(
         None => crate::memo::WorkerMemo::Local(MemoCache::new(memo_capacity)),
     };
     while let Some(frame) = shared.frames.pop() {
-        let t0 = Instant::now();
+        let t0 = shared.clock.now_ns();
         let out = match wire::batch_payloads(&frame.bytes) {
             Err(_) => WorkerOut::Corrupt,
             Ok(payloads) => {
@@ -290,9 +298,10 @@ fn worker_loop(
                 }
             }
         };
-        shared
-            .stats
-            .add(&shared.stats.worker_busy_ns, t0.elapsed().as_nanos() as u64);
+        shared.stats.add(
+            &shared.stats.worker_busy_ns,
+            shared.clock.now_ns().saturating_sub(t0),
+        );
         if matches!(out, WorkerOut::Corrupt) {
             shared.stats.add(&shared.stats.frames_corrupt, 1);
         }
@@ -300,7 +309,7 @@ fn worker_loop(
         // is simply discarded while the scope unwinds.
         let _ = shared.merged.push(MergeItem {
             seq: frame.seq,
-            enqueued_at: frame.enqueued_at,
+            enqueued_at_ns: frame.enqueued_at_ns,
             out,
         });
     }
@@ -351,7 +360,7 @@ fn merger_loop<F: FnMut(&ProcessedTrace)>(shared: &Shared, sink: &mut F) {
         shared.stats.add(&shared.stats.frames_merged, 1);
         shared.stats.add(
             &shared.stats.frame_latency_ns,
-            item.enqueued_at.elapsed().as_nanos() as u64,
+            shared.clock.now_ns().saturating_sub(item.enqueued_at_ns),
         );
     };
     let skip_dropped = |next: &mut u64| {
@@ -416,6 +425,7 @@ where
         stats: StatsCore::default(),
         next_seq: AtomicU64::new(0),
         senders: AtomicUsize::new(1),
+        clock: config.clock.clone(),
     });
     let sender = FrameSender {
         shared: shared.clone(),
@@ -427,7 +437,7 @@ where
         MemoMode::PerWorker => None,
         MemoMode::Shared { stripes } => Some(SharedMemoCache::new(memo_capacity, stripes)),
     };
-    let started = Instant::now();
+    let started = config.clock.now_ns();
     let result = std::thread::scope(|s| {
         let producer_handle = s.spawn(move || producer(sender));
         let worker_handles: Vec<_> = (0..n_workers)
@@ -457,7 +467,7 @@ where
     let stats = shared.stats.snapshot(
         n_workers,
         shared.frames.high_water(),
-        started.elapsed().as_nanos() as u64,
+        config.clock.now_ns().saturating_sub(started),
     );
     (result, stats)
 }

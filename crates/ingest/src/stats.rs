@@ -32,6 +32,15 @@ impl StatsCore {
         wall_ns: u64,
     ) -> IngestStats {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        // A run that did work but finished inside one clock tick (coarse
+        // clock, or a virtual clock nobody advanced) would report
+        // wall_ns == 0 and a throughput of 0 traces/sec — nonsense for a
+        // run that merged traces. Clamp to 1ns so rates stay finite.
+        let wall_ns = if wall_ns == 0 && ld(&self.frames_submitted) > 0 {
+            1
+        } else {
+            wall_ns
+        };
         IngestStats {
             frames_submitted: ld(&self.frames_submitted),
             frames_dropped: ld(&self.frames_dropped),

@@ -1,0 +1,93 @@
+//! Hosting [`NetNode`] impls outside [`Sim`](crate::Sim).
+//!
+//! [`Ctx`] deliberately hides its internals so nodes cannot bypass the
+//! link model. That also means an *external* event loop — the
+//! `softborg-sim` virtual-time scheduler hosting the same node code —
+//! could not invoke callbacks at all. These free functions are the
+//! sanctioned bridge: each drives one callback with a fresh outbox and
+//! returns the [`Action`]s the node queued, in order. The host is
+//! responsible for applying [`Sim`](crate::Sim)'s semantics to them
+//! (latency/loss/fault draws on `Send`, the ≥ 1µs clamp on `Timer`);
+//! `on_crash` takes no `Ctx` — call it directly on the node.
+
+use crate::{Action, Addr, Ctx, NetNode, SimTime};
+
+fn with_ctx(
+    node: &mut dyn NetNode,
+    now: SimTime,
+    me: Addr,
+    f: impl FnOnce(&mut dyn NetNode, &mut Ctx<'_>),
+) -> Vec<Action> {
+    let mut outbox = Vec::new();
+    let mut ctx = Ctx {
+        now,
+        me,
+        outbox: &mut outbox,
+    };
+    f(node, &mut ctx);
+    outbox
+}
+
+/// Drives [`NetNode::on_start`]; returns the queued actions.
+pub fn start(node: &mut dyn NetNode, now: SimTime, me: Addr) -> Vec<Action> {
+    with_ctx(node, now, me, |n, ctx| n.on_start(ctx))
+}
+
+/// Drives [`NetNode::on_message`]; returns the queued actions.
+pub fn message(
+    node: &mut dyn NetNode,
+    now: SimTime,
+    me: Addr,
+    from: Addr,
+    payload: Vec<u8>,
+) -> Vec<Action> {
+    with_ctx(node, now, me, |n, ctx| n.on_message(from, payload, ctx))
+}
+
+/// Drives [`NetNode::on_timer`]; returns the queued actions.
+pub fn timer(node: &mut dyn NetNode, now: SimTime, me: Addr, tag: u64) -> Vec<Action> {
+    with_ctx(node, now, me, |n, ctx| n.on_timer(tag, ctx))
+}
+
+/// Drives [`NetNode::on_restart`]; returns the queued actions.
+pub fn restart(node: &mut dyn NetNode, now: SimTime, me: Addr) -> Vec<Action> {
+    with_ctx(node, now, me, |n, ctx| n.on_restart(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echoer;
+    impl NetNode for Echoer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(0, 7); // hosts must clamp to 1µs
+        }
+        fn on_message(&mut self, from: Addr, payload: Vec<u8>, ctx: &mut Ctx<'_>) {
+            assert_eq!(ctx.me(), Addr(3));
+            assert_eq!(ctx.now(), SimTime(50));
+            ctx.send(from, payload);
+        }
+    }
+
+    #[test]
+    fn host_functions_surface_actions_in_order() {
+        let mut n = Echoer;
+        assert_eq!(
+            start(&mut n, SimTime(0), Addr(3)),
+            vec![Action::Timer {
+                delay_us: 0,
+                tag: 7
+            }]
+        );
+        assert_eq!(
+            message(&mut n, SimTime(50), Addr(3), Addr(1), b"hi".to_vec()),
+            vec![Action::Send {
+                to: Addr(1),
+                payload: b"hi".to_vec()
+            }]
+        );
+        assert_eq!(timer(&mut n, SimTime(60), Addr(3), 7), vec![]);
+        assert_eq!(restart(&mut n, SimTime(70), Addr(3)), vec![]);
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod host;
 
 pub use fault::{Crash, DiskCrashPoint, FaultPlan, FaultPlanError, Partition};
 
@@ -183,10 +184,27 @@ pub struct Ctx<'a> {
     outbox: &'a mut Vec<Action>,
 }
 
-#[derive(Debug)]
-enum Action {
-    Send { to: Addr, payload: Vec<u8> },
-    Timer { delay_us: u64, tag: u64 },
+/// One intent a node expressed during a callback. [`Sim`] interprets
+/// these internally; external hosts (a virtual-time scheduler embedding
+/// `NetNode` impls) obtain them through [`host`] and must apply the same
+/// semantics: `Send` is subject to link latency/loss/faults, `Timer`
+/// delays are clamped to ≥ 1µs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send `payload` to `to` over the (faulty) link.
+    Send {
+        /// Destination node.
+        to: Addr,
+        /// Message bytes.
+        payload: Vec<u8>,
+    },
+    /// Arm a one-shot timer on the calling node.
+    Timer {
+        /// Delay before firing, in µs (hosts clamp to ≥ 1).
+        delay_us: u64,
+        /// Tag passed back to [`NetNode::on_timer`].
+        tag: u64,
+    },
 }
 
 impl Ctx<'_> {

@@ -35,6 +35,7 @@
 
 use crate::map::{ShardError, ShardMap};
 use crate::stats::{RunCore, ShardCore};
+use softborg_ingest::Clock;
 use softborg_ingest::{
     BackpressurePolicy, BoundedQueue, IngestConfig, MemoCache, MemoMode, ProcessedTrace,
     PushOutcome, ReconstructContext, SharedMemoCache, WorkerMemo,
@@ -45,7 +46,6 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// A frame plus the (program, seq) slot its producer claimed.
 struct ShardFrameItem {
@@ -100,6 +100,7 @@ pub(crate) struct ShardShared {
     pub(crate) core: RunCore,
     pub(crate) shard_cores: Vec<ShardCore>,
     senders: AtomicUsize,
+    clock: Arc<dyn Clock>,
 }
 
 impl ShardShared {
@@ -327,11 +328,12 @@ fn worker_loop(
         None => WorkerMemo::Local(MemoCache::new(memo_capacity)),
     };
     while let Some(item) = shared.frames.pop() {
-        let t0 = Instant::now();
+        let t0 = shared.clock.now_ns();
         let out = process_frame(shared, map, ctxs, &mut memo, &item);
-        shared
-            .core
-            .add(&shared.core.worker_busy_ns, t0.elapsed().as_nanos() as u64);
+        shared.core.add(
+            &shared.core.worker_busy_ns,
+            shared.clock.now_ns().saturating_sub(t0),
+        );
         let shard = map
             .shard_of(item.claimed)
             .expect("claimed program validated at submit");
@@ -483,6 +485,7 @@ where
         core: RunCore::default(),
         shard_cores: (0..map.n_shards()).map(|_| ShardCore::default()).collect(),
         senders: AtomicUsize::new(1),
+        clock: config.clock.clone(),
     });
     let sender = ShardFrameSender {
         shared: shared.clone(),

@@ -24,7 +24,6 @@ use softborg_program::taint::InputDependence;
 use softborg_program::{Program, ProgramId};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
 
 /// Errors from per-shard state snapshot/restore.
 #[derive(Debug)]
@@ -158,7 +157,7 @@ impl<'p> ShardedHive<'p> {
         P: FnOnce(ShardFrameSender) -> R + Send,
         R: Send,
     {
-        let started = Instant::now();
+        let started = config.clock.now_ns();
         let ShardedHive {
             map,
             programs,
@@ -244,7 +243,12 @@ impl<'p> ShardedHive<'p> {
             cache_evictions: ld(&core.cache_evictions),
             worker_busy_ns: ld(&core.worker_busy_ns),
             queue_high_water: shared.frame_high_water(),
-            wall_ns: started.elapsed().as_nanos() as u64,
+            // Clamp like IngestStats: a run that submitted frames inside
+            // one clock tick must not report zero elapsed time.
+            wall_ns: match config.clock.now_ns().saturating_sub(started) {
+                0 if ld(&core.frames_submitted) > 0 => 1,
+                ns => ns,
+            },
             workers: config.workers.max(1),
             per_shard,
             error_samples: core.errors.lock().expect("error samples").clone(),

@@ -122,6 +122,7 @@ proptest! {
                     } else {
                         MemoMode::PerWorker
                     },
+                    ..IngestConfig::default()
                 },
             )
             .unwrap();
@@ -216,6 +217,7 @@ fn drop_oldest_conserves_slots_across_shards() {
                 policy: BackpressurePolicy::DropOldest,
                 memo_capacity: 0,
                 memo_mode: MemoMode::PerWorker,
+                ..IngestConfig::default()
             },
         )
         .unwrap();

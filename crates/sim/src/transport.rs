@@ -1,0 +1,119 @@
+//! The transport session loop under the virtual-time scheduler.
+//!
+//! [`run_reliable_ingest_sim`] runs the *same* `PodClient`/`HiveServer`
+//! code and the same orchestration as
+//! [`softborg_hive::run_reliable_ingest`], swapping only the event loop:
+//! a [`World`] hosts the nodes instead of the netsim
+//! [`Sim`](softborg_netsim::Sim). Because the world replays the
+//! simulator's RNG draw order and dispatch order exactly, the whole
+//! [`TransportReport`] — journal bytes included — is byte-identical to
+//! the threaded path on a shared seed (asserted in this crate's tests),
+//! and the run additionally yields [`SchedStats`] with the
+//! dispatch-trace hash for replay verification.
+
+use crate::sched::{SchedStats, SimClock};
+use crate::world::{NetProc, World};
+use softborg_hive::transport::NetHost;
+use softborg_hive::{run_reliable_ingest_hosted, Hive, TransportConfig, TransportReport};
+use softborg_ingest::{IngestConfig, IngestStats};
+use softborg_netsim::{Addr, FaultPlanError, NetNode, SimConfig, SimStats};
+use std::sync::{Arc, Mutex};
+
+/// A [`World`] exposed as a transport [`NetHost`]: every added
+/// [`NetNode`] is wrapped in a [`NetProc`], and the run's scheduler
+/// statistics are published to a sink when the event loop finishes (the
+/// host is consumed inside the producer closure, so the stats must
+/// escape by side channel).
+#[derive(Debug)]
+pub struct WorldHost {
+    world: World<'static>,
+    sink: Arc<Mutex<Option<SchedStats>>>,
+}
+
+impl WorldHost {
+    /// A host over a fresh [`World`] publishing final [`SchedStats`]
+    /// into `sink`.
+    pub fn new(config: SimConfig, fuel: u64, sink: Arc<Mutex<Option<SchedStats>>>) -> Self {
+        WorldHost {
+            world: World::new(config, fuel),
+            sink,
+        }
+    }
+
+    /// The underlying world (to attach clocks before running).
+    pub fn world_mut(&mut self) -> &mut World<'static> {
+        &mut self.world
+    }
+}
+
+impl NetHost for WorldHost {
+    fn add_node(&mut self, node: Box<dyn NetNode>) -> Addr {
+        self.world.add_proc(Box::new(NetProc::new(node)))
+    }
+
+    fn run(&mut self) -> u64 {
+        let n = self.world.run();
+        *self.sink.lock().expect("sched sink poisoned") = Some(self.world.sched_stats());
+        n
+    }
+
+    fn stats(&self) -> SimStats {
+        self.world.net_stats()
+    }
+}
+
+/// [`softborg_hive::run_reliable_ingest_resumed`] under the
+/// virtual-time scheduler (pass an empty `prior_journal` for a fresh
+/// campaign). The ingest pipeline's gauges are driven by the world's
+/// [`SimClock`], so latency/throughput read in virtual time.
+///
+/// # Errors
+///
+/// Returns a [`FaultPlanError`] when the fault plan fails validation
+/// against the node count.
+///
+/// # Panics
+///
+/// Panics when the host's scheduler statistics were never published
+/// (the producer closure did not run — a pipeline bug, not a caller
+/// error).
+pub fn run_reliable_ingest_sim(
+    hive: &mut Hive<'_>,
+    pods: Vec<Vec<(u8, Vec<u8>)>>,
+    ingest_cfg: &IngestConfig,
+    cfg: &TransportConfig,
+    prior_journal: &[u8],
+) -> Result<(TransportReport, IngestStats, SchedStats), FaultPlanError> {
+    let clock = SimClock::new();
+    let mut ingest_cfg = ingest_cfg.clone();
+    ingest_cfg.clock = Arc::new(clock.clone());
+    let sink: Arc<Mutex<Option<SchedStats>>> = Arc::new(Mutex::new(None));
+    let builder_sink = Arc::clone(&sink);
+    let (report, stats) = run_reliable_ingest_hosted(
+        hive,
+        pods,
+        &ingest_cfg,
+        cfg,
+        prior_journal,
+        move |c: &TransportConfig| {
+            let mut host = WorldHost::new(
+                SimConfig {
+                    seed: c.seed,
+                    link: c.link,
+                    max_events: c.max_events,
+                    faults: c.faults.clone(),
+                },
+                c.max_events,
+                builder_sink,
+            );
+            host.world_mut().drive_clock(clock);
+            host
+        },
+    )?;
+    let sched = sink
+        .lock()
+        .expect("sched sink poisoned")
+        .take()
+        .expect("transport host never ran");
+    Ok((report, stats, sched))
+}

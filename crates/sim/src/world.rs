@@ -1,0 +1,972 @@
+//! The [`World`]: one deterministic event loop hosting network nodes,
+//! bounded channels, and simulated disks under virtual time.
+//!
+//! A `World` is a superset of the netsim [`Sim`](softborg_netsim::Sim):
+//! it replays the *same* link/fault model with the same RNG draw order,
+//! the same crash pre-queueing, and the same `on_start` ordering, so a
+//! fleet of [`NetNode`]s hosted here (via [`NetProc`]) behaves
+//! byte-for-byte like the threaded path's simulator on a shared seed.
+//! On top of that it adds the two blocking points real pipelines have
+//! and networks don't: bounded channels (send blocks when full, receive
+//! blocks when empty) and disks with asynchronous fsync. Every blocking
+//! point is explicit — a proc that cannot make progress registers a
+//! waiter and returns, and the world wakes it with a [`Wake`] event at
+//! the exact virtual instant the condition flips.
+//!
+//! ## Blocking-point catalogue
+//!
+//! | point | request | wake |
+//! |---|---|---|
+//! | sleep | [`WorldCtx::set_timer`] | `on_timer(tag)` |
+//! | channel send (full) | [`WorldCtx::chan_wait_writable`] | `on_wake(ChanWritable)` |
+//! | channel recv (empty) | [`WorldCtx::chan_wait_readable`] | `on_wake(ChanReadable)` |
+//! | disk fsync | [`WorldCtx::disk_fsync`] | `on_wake(FsyncDone)` |
+//! | link delivery | [`WorldCtx::send`] | `on_message(from, bytes)` |
+//!
+//! Determinism: all scheduling keys come from one global monotonic
+//! counter, so dispatch order — and therefore the
+//! [`trace hash`](crate::SchedStats::trace_hash) — is a pure function of
+//! the seed and the proc set.
+
+use crate::sched::{SchedStats, Scheduler, SimClock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use softborg_netsim::{host, Action, Addr, DiskCrashPoint, NetNode, SimConfig, SimStats, SimTime};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+/// Handle on a bounded channel created with [`World::add_chan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId(pub u32);
+
+/// Handle on a simulated disk created with [`World::add_disk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiskId(pub u32);
+
+/// Why a blocked proc was woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// A channel the proc waited on has data to read.
+    ChanReadable(ChanId),
+    /// A channel the proc waited on has room to write.
+    ChanWritable(ChanId),
+    /// An fsync the proc requested has completed; the covered prefix is
+    /// now durable.
+    FsyncDone(DiskId),
+}
+
+/// Behaviour of one simulated process. A superset of
+/// [`NetNode`]'s callbacks with [`Wake`] added for the channel/disk
+/// blocking points; [`NetProc`] adapts any `NetNode` onto it.
+#[allow(unused_variables)]
+pub trait Proc {
+    /// Called once when the world starts.
+    fn on_start(&mut self, ctx: &mut WorldCtx<'_>) {}
+    /// A network message arrived.
+    fn on_message(&mut self, from: Addr, payload: Vec<u8>, ctx: &mut WorldCtx<'_>) {}
+    /// A timer armed with [`WorldCtx::set_timer`] fired.
+    fn on_timer(&mut self, tag: u64, ctx: &mut WorldCtx<'_>) {}
+    /// A blocking point the proc waited on resolved.
+    fn on_wake(&mut self, wake: Wake, ctx: &mut WorldCtx<'_>) {}
+    /// The proc crashed. Volatile state is gone; the world has already
+    /// truncated this proc's disks to their synced prefixes.
+    fn on_crash(&mut self) {}
+    /// The proc restarted after a crash; re-arm timers and re-register
+    /// waiters (pre-crash ones were discarded).
+    fn on_restart(&mut self, ctx: &mut WorldCtx<'_>) {}
+}
+
+/// Adapts a [`NetNode`] onto [`Proc`], driving its callbacks through
+/// [`softborg_netsim::host`] so the node code is bit-identical to what
+/// the threaded path runs.
+pub struct NetProc {
+    node: Box<dyn NetNode>,
+}
+
+impl NetProc {
+    /// Wraps `node` for hosting in a [`World`].
+    pub fn new(node: Box<dyn NetNode>) -> Self {
+        NetProc { node }
+    }
+
+    /// The wrapped node (for post-run inspection).
+    pub fn into_inner(self) -> Box<dyn NetNode> {
+        self.node
+    }
+}
+
+impl fmt::Debug for NetProc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetProc").finish_non_exhaustive()
+    }
+}
+
+impl Proc for NetProc {
+    fn on_start(&mut self, ctx: &mut WorldCtx<'_>) {
+        let acts = host::start(self.node.as_mut(), ctx.now(), ctx.me());
+        ctx.queue_actions(acts);
+    }
+    fn on_message(&mut self, from: Addr, payload: Vec<u8>, ctx: &mut WorldCtx<'_>) {
+        let acts = host::message(self.node.as_mut(), ctx.now(), ctx.me(), from, payload);
+        ctx.queue_actions(acts);
+    }
+    fn on_timer(&mut self, tag: u64, ctx: &mut WorldCtx<'_>) {
+        let acts = host::timer(self.node.as_mut(), ctx.now(), ctx.me(), tag);
+        ctx.queue_actions(acts);
+    }
+    fn on_crash(&mut self) {
+        self.node.on_crash();
+    }
+    fn on_restart(&mut self, ctx: &mut WorldCtx<'_>) {
+        let acts = host::restart(self.node.as_mut(), ctx.now(), ctx.me());
+        ctx.queue_actions(acts);
+    }
+}
+
+/// Channel/disk counters accumulated over a run (the network-level
+/// counters live in [`SimStats`], the scheduler-level ones in
+/// [`SchedStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Messages accepted by [`WorldCtx::chan_try_send`].
+    pub chan_sends: u64,
+    /// Messages returned by [`WorldCtx::chan_try_recv`].
+    pub chan_recvs: u64,
+    /// Sends refused because the channel was full.
+    pub chan_full: u64,
+    /// [`Wake`] events dispatched to a live proc.
+    pub wakes: u64,
+    /// Completed fsyncs.
+    pub fsyncs: u64,
+    /// Bytes written to disks.
+    pub disk_bytes_written: u64,
+    /// Unsynced bytes destroyed by crashes.
+    pub disk_bytes_lost: u64,
+    /// Disk crash points applied ([`DiskCrashPoint`] WAL variants).
+    pub disk_faults: u64,
+    /// Disk crash points that target state this in-memory model does not
+    /// have (snapshot-file variants); counted, not applied.
+    pub disk_faults_ignored: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    Deliver {
+        from: Addr,
+        to: Addr,
+        payload: Vec<u8>,
+    },
+    Timer {
+        node: Addr,
+        tag: u64,
+    },
+    NodeUp(Addr),
+    NodeDown(Addr),
+    Wake {
+        node: Addr,
+        wake: Wake,
+    },
+    FsyncDone {
+        disk: DiskId,
+    },
+    DiskFault {
+        disk: DiskId,
+        point: DiskCrashPoint,
+    },
+}
+
+#[derive(Debug)]
+struct Chan {
+    cap: usize,
+    buf: VecDeque<Vec<u8>>,
+    read_waiters: BTreeSet<u32>,
+    write_waiters: BTreeSet<u32>,
+}
+
+#[derive(Debug)]
+struct Disk {
+    owner: Addr,
+    bytes: Vec<u8>,
+    synced: usize,
+    fsync_latency_us: u64,
+    /// Bytes covered by the in-flight fsync, if any.
+    inflight: Option<usize>,
+}
+
+/// Everything except the proc table, so callbacks can hold `&mut Inner`
+/// while their own box is temporarily out of the table.
+struct Inner {
+    config: SimConfig,
+    rng: SmallRng,
+    sched: Scheduler<Event>,
+    seq: u64,
+    alive: Vec<bool>,
+    started: Vec<bool>,
+    net: SimStats,
+    io: IoStats,
+    chans: Vec<Chan>,
+    disks: Vec<Disk>,
+}
+
+impl Inner {
+    fn push_event(&mut self, at: SimTime, event: Event) {
+        let key = self.seq;
+        self.seq += 1;
+        self.sched.schedule(at, key, event);
+    }
+
+    /// One independent latency draw — netsim's `delivery_delay`, same
+    /// RNG consumption.
+    fn delivery_delay(&mut self) -> u64 {
+        let link = self.config.link;
+        let mut delay = link.base_latency_us;
+        if link.jitter_us > 0 {
+            delay += self.rng.gen_range(0..=link.jitter_us);
+        }
+        let reorder_pm = self.config.faults.reorder_per_mille;
+        let window = self.config.faults.reorder_window_us;
+        if reorder_pm > 0 && window > 0 && self.rng.gen_range(0..1000) < reorder_pm {
+            delay += self.rng.gen_range(0..=window);
+        }
+        delay
+    }
+
+    /// netsim's `flush_actions`: identical branch structure, identical
+    /// RNG draw order (loss, then duplication, then the duplicate's
+    /// delay, then the original's delay).
+    fn flush_actions(&mut self, me: Addr, actions: Vec<Action>) {
+        let now = self.sched.now();
+        for a in actions {
+            match a {
+                Action::Send { to, payload } => {
+                    self.net.sent += 1;
+                    if self.config.faults.partitioned(me, to, now) {
+                        self.net.dropped += 1;
+                        self.net.partition_dropped += 1;
+                        continue;
+                    }
+                    let lost = self.config.link.loss_per_mille > 0
+                        && self.rng.gen_range(0..1000) < self.config.link.loss_per_mille;
+                    if lost {
+                        self.net.dropped += 1;
+                        continue;
+                    }
+                    let dup_pm = self.config.faults.dup_per_mille;
+                    if dup_pm > 0 && self.rng.gen_range(0..1000) < dup_pm {
+                        self.net.duplicated += 1;
+                        let at = now.after(self.delivery_delay());
+                        self.push_event(
+                            at,
+                            Event::Deliver {
+                                from: me,
+                                to,
+                                payload: payload.clone(),
+                            },
+                        );
+                    }
+                    let at = now.after(self.delivery_delay());
+                    self.push_event(
+                        at,
+                        Event::Deliver {
+                            from: me,
+                            to,
+                            payload,
+                        },
+                    );
+                }
+                Action::Timer { delay_us, tag } => {
+                    let at = now.after(delay_us.max(1));
+                    self.push_event(at, Event::Timer { node: me, tag });
+                }
+            }
+        }
+    }
+
+    /// Schedules wakes (at the current instant, later keys) for every
+    /// waiter in `waiters`, in proc-id order, and clears the set.
+    fn wake_all(&mut self, waiters: BTreeSet<u32>, wake: Wake) {
+        let now = self.sched.now();
+        for w in waiters {
+            self.push_event(
+                now,
+                Event::Wake {
+                    node: Addr(w),
+                    wake,
+                },
+            );
+        }
+    }
+
+    fn crash_disks_of(&mut self, node: Addr) {
+        for d in &mut self.disks {
+            if d.owner == node {
+                let lost = d.bytes.len() - d.synced;
+                self.io.disk_bytes_lost += lost as u64;
+                d.bytes.truncate(d.synced);
+                d.inflight = None;
+            }
+        }
+    }
+
+    /// Drops waiter registrations of a crashed proc — a dead process
+    /// holds no poll registrations; recovery re-registers.
+    fn drop_waiters_of(&mut self, node: Addr) {
+        for c in &mut self.chans {
+            c.read_waiters.remove(&node.0);
+            c.write_waiters.remove(&node.0);
+        }
+    }
+}
+
+/// The deterministic world. See the [module docs](self).
+///
+/// The lifetime `'w` bounds the procs, so drivers can host procs that
+/// borrow external state (a [`Pod`](softborg_pod::Pod) slice) for the
+/// duration of one run.
+pub struct World<'w> {
+    procs: Vec<Option<Box<dyn Proc + 'w>>>,
+    inner: Inner,
+}
+
+impl fmt::Debug for World<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.inner.sched.now())
+            .field("procs", &self.procs.len())
+            .field("pending", &self.inner.sched.len())
+            .field("net", &self.inner.net)
+            .field("io", &self.inner.io)
+            .finish()
+    }
+}
+
+impl<'w> World<'w> {
+    /// A world with netsim-compatible `config` and a dispatch budget of
+    /// `fuel` events. Crashes scheduled in the config's fault plan are
+    /// pre-queued immediately, exactly like
+    /// [`Sim::new`](softborg_netsim::Sim::new).
+    pub fn new(config: SimConfig, fuel: u64) -> Self {
+        let mut world = World {
+            procs: Vec::new(),
+            inner: Inner {
+                rng: SmallRng::seed_from_u64(config.seed),
+                sched: Scheduler::new(fuel),
+                seq: 0,
+                alive: Vec::new(),
+                started: Vec::new(),
+                net: SimStats::default(),
+                io: IoStats::default(),
+                chans: Vec::new(),
+                disks: Vec::new(),
+                config,
+            },
+        };
+        for c in world.inner.config.faults.crashes.clone() {
+            world
+                .inner
+                .push_event(SimTime(c.at_us), Event::NodeDown(c.node));
+            world
+                .inner
+                .push_event(SimTime(c.restart_us), Event::NodeUp(c.node));
+        }
+        world
+    }
+
+    /// Adds a proc; its `on_start` runs when the world starts. Addresses
+    /// are dense from `Addr(0)` in insertion order.
+    pub fn add_proc(&mut self, proc_: Box<dyn Proc + 'w>) -> Addr {
+        let addr = Addr(self.procs.len() as u32);
+        self.procs.push(Some(proc_));
+        self.inner.alive.push(true);
+        self.inner.started.push(false);
+        addr
+    }
+
+    /// Adds a bounded channel with capacity `cap` (≥ 1).
+    pub fn add_chan(&mut self, cap: usize) -> ChanId {
+        let id = ChanId(self.inner.chans.len() as u32);
+        self.inner.chans.push(Chan {
+            cap: cap.max(1),
+            buf: VecDeque::new(),
+            read_waiters: BTreeSet::new(),
+            write_waiters: BTreeSet::new(),
+        });
+        id
+    }
+
+    /// Adds a disk owned by `owner` (crashing the owner truncates the
+    /// disk to its synced prefix) with the given fsync completion
+    /// latency.
+    pub fn add_disk(&mut self, owner: Addr, fsync_latency_us: u64) -> DiskId {
+        let id = DiskId(self.inner.disks.len() as u32);
+        self.inner.disks.push(Disk {
+            owner,
+            bytes: Vec::new(),
+            synced: 0,
+            fsync_latency_us,
+            inflight: None,
+        });
+        id
+    }
+
+    /// Schedules a crash window for `node` (down at `at`, back at
+    /// `until`), like [`Sim::schedule_outage`](softborg_netsim::Sim::schedule_outage).
+    pub fn schedule_outage(&mut self, node: Addr, at: SimTime, until: SimTime) {
+        self.inner.push_event(at, Event::NodeDown(node));
+        self.inner.push_event(until, Event::NodeUp(node));
+    }
+
+    /// Schedules a [`DiskCrashPoint`] against `disk` at an exact virtual
+    /// instant. The WAL variants mutate the disk bytes; snapshot-file
+    /// variants have no in-memory analogue and are counted in
+    /// [`IoStats::disk_faults_ignored`].
+    pub fn schedule_disk_fault(&mut self, at: SimTime, disk: DiskId, point: DiskCrashPoint) {
+        self.inner.push_event(at, Event::DiskFault { disk, point });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.sched.now()
+    }
+
+    /// A [`SimClock`] handle tracking this world's virtual time.
+    pub fn clock(&self) -> SimClock {
+        self.inner.sched.clock()
+    }
+
+    /// Adopts an externally created clock handle (see
+    /// [`Scheduler::drive_clock`](crate::Scheduler::drive_clock)).
+    pub fn drive_clock(&mut self, clock: SimClock) {
+        self.inner.sched.drive_clock(clock);
+    }
+
+    /// Network counters (netsim-compatible).
+    pub fn net_stats(&self) -> SimStats {
+        self.inner.net
+    }
+
+    /// Channel/disk counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.inner.io
+    }
+
+    /// Scheduler counters and the dispatch-trace hash.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.inner.sched.stats()
+    }
+
+    /// `true` when the run stopped on fuel exhaustion rather than a
+    /// drained event heap.
+    pub fn fuel_exhausted(&self) -> bool {
+        self.inner.sched.fuel_exhausted()
+    }
+
+    /// A disk's current contents (post-run inspection).
+    pub fn disk_bytes(&self, disk: DiskId) -> &[u8] {
+        &self.inner.disks[disk.0 as usize].bytes
+    }
+
+    /// A disk's durable prefix length.
+    pub fn disk_synced(&self, disk: DiskId) -> usize {
+        self.inner.disks[disk.0 as usize].synced
+    }
+
+    /// Takes a proc back out of the world (post-run inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is unknown or already taken.
+    pub fn take_proc(&mut self, addr: Addr) -> Box<dyn Proc + 'w> {
+        self.procs[addr.0 as usize].take().expect("proc present")
+    }
+
+    /// Runs until the event heap drains or fuel runs out. Returns the
+    /// number of events dispatched by this call.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Runs until `deadline` (exclusive), the heap drains, or fuel runs
+    /// out. Returns the number of events dispatched by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.start_pending();
+        let mut processed = 0u64;
+        loop {
+            match self.inner.sched.peek_time() {
+                Some(at) if at < deadline => {}
+                _ => break,
+            }
+            let Some((_, _, event)) = self.inner.sched.pop() else {
+                break; // fuel exhausted
+            };
+            processed += 1;
+            self.dispatch(event);
+        }
+        processed
+    }
+
+    fn start_pending(&mut self) {
+        for i in 0..self.procs.len() {
+            if self.inner.started[i] || !self.inner.alive[i] {
+                continue;
+            }
+            self.inner.started[i] = true;
+            self.call(Addr(i as u32), |p, ctx| p.on_start(ctx));
+        }
+    }
+
+    /// Runs one callback with the proc temporarily out of the table,
+    /// then flushes its buffered network actions in netsim order.
+    fn call(&mut self, addr: Addr, f: impl FnOnce(&mut (dyn Proc + 'w), &mut WorldCtx<'_>)) {
+        let i = addr.0 as usize;
+        let Some(mut proc_) = self.procs[i].take() else {
+            return;
+        };
+        let mut ctx = WorldCtx {
+            inner: &mut self.inner,
+            me: addr,
+            outbox: Vec::new(),
+        };
+        f(proc_.as_mut(), &mut ctx);
+        let outbox = ctx.outbox;
+        self.inner.flush_actions(addr, outbox);
+        self.procs[i] = Some(proc_);
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Deliver { from, to, payload } => {
+                let ti = to.0 as usize;
+                if ti >= self.procs.len() || !self.inner.alive[ti] {
+                    self.inner.net.dropped += 1;
+                    return;
+                }
+                self.inner.net.delivered += 1;
+                self.inner.net.bytes_delivered += payload.len() as u64;
+                self.call(to, |p, ctx| p.on_message(from, payload, ctx));
+            }
+            Event::Timer { node, tag } => {
+                let ni = node.0 as usize;
+                if ni >= self.procs.len() || !self.inner.alive[ni] {
+                    return;
+                }
+                self.inner.net.timers += 1;
+                self.call(node, |p, ctx| p.on_timer(tag, ctx));
+            }
+            Event::NodeDown(a) => {
+                let i = a.0 as usize;
+                if i < self.inner.alive.len() && self.inner.alive[i] {
+                    self.inner.alive[i] = false;
+                    self.inner.net.crashes += 1;
+                    self.inner.crash_disks_of(a);
+                    self.inner.drop_waiters_of(a);
+                    if let Some(p) = self.procs[i].as_mut() {
+                        p.on_crash();
+                    }
+                }
+            }
+            Event::NodeUp(a) => {
+                let i = a.0 as usize;
+                if i < self.inner.alive.len() && !self.inner.alive[i] {
+                    self.inner.alive[i] = true;
+                    self.call(a, |p, ctx| p.on_restart(ctx));
+                }
+            }
+            Event::Wake { node, wake } => {
+                let ni = node.0 as usize;
+                if ni >= self.procs.len() || !self.inner.alive[ni] {
+                    return;
+                }
+                self.inner.io.wakes += 1;
+                self.call(node, |p, ctx| p.on_wake(wake, ctx));
+            }
+            Event::FsyncDone { disk } => {
+                let di = disk.0 as usize;
+                let Some(covered) = self.inner.disks[di].inflight.take() else {
+                    return; // voided by a crash in between
+                };
+                let d = &mut self.inner.disks[di];
+                d.synced = covered.min(d.bytes.len());
+                self.inner.io.fsyncs += 1;
+                let owner = self.inner.disks[di].owner;
+                let oi = owner.0 as usize;
+                if oi < self.procs.len() && self.inner.alive[oi] {
+                    self.inner.io.wakes += 1;
+                    self.call(owner, |p, ctx| p.on_wake(Wake::FsyncDone(disk), ctx));
+                }
+            }
+            Event::DiskFault { disk, point } => {
+                let d = &mut self.inner.disks[disk.0 as usize];
+                match point {
+                    DiskCrashPoint::TruncateWalTail { drop_bytes } => {
+                        let n = (drop_bytes as usize).min(d.bytes.len());
+                        d.bytes.truncate(d.bytes.len() - n);
+                        d.synced = d.synced.min(d.bytes.len());
+                        if let Some(c) = d.inflight {
+                            d.inflight = Some(c.min(d.bytes.len()));
+                        }
+                        self.inner.io.disk_faults += 1;
+                    }
+                    DiskCrashPoint::FlipWalBit { back_offset } => {
+                        if !d.bytes.is_empty() {
+                            let last = d.bytes.len() - 1;
+                            let idx = last - (back_offset as usize).min(last);
+                            d.bytes[idx] ^= 1;
+                        }
+                        self.inner.io.disk_faults += 1;
+                    }
+                    _ => {
+                        self.inner.io.disk_faults_ignored += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Proc-side API surface during a callback. Network sends/timers are
+/// buffered and flushed after the callback (netsim semantics: the
+/// link's RNG draws happen in action order, after the node returns);
+/// channel and disk operations take effect immediately.
+pub struct WorldCtx<'a> {
+    inner: &'a mut Inner,
+    me: Addr,
+    outbox: Vec<Action>,
+}
+
+impl fmt::Debug for WorldCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorldCtx")
+            .field("me", &self.me)
+            .field("now", &self.inner.sched.now())
+            .finish()
+    }
+}
+
+impl WorldCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.sched.now()
+    }
+
+    /// This proc's address.
+    pub fn me(&self) -> Addr {
+        self.me
+    }
+
+    /// Sends `payload` to `to` over the (faulty) link.
+    pub fn send(&mut self, to: Addr, payload: Vec<u8>) {
+        self.outbox.push(Action::Send { to, payload });
+    }
+
+    /// Arms a one-shot timer firing after `delay_us` (clamped to ≥ 1µs)
+    /// with `tag` — the explicit *sleep* blocking point.
+    pub fn set_timer(&mut self, delay_us: u64, tag: u64) {
+        self.outbox.push(Action::Timer { delay_us, tag });
+    }
+
+    /// Queues raw netsim [`Action`]s (from a
+    /// [`host`] callback) preserving their order.
+    pub fn queue_actions(&mut self, actions: Vec<Action>) {
+        self.outbox.extend(actions);
+    }
+
+    /// Attempts a non-blocking bounded-channel send. On a full channel
+    /// the message comes back in `Err` — register with
+    /// [`chan_wait_writable`](Self::chan_wait_writable) and retry on
+    /// [`Wake::ChanWritable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(msg)` when the channel is at capacity.
+    pub fn chan_try_send(&mut self, chan: ChanId, msg: Vec<u8>) -> Result<(), Vec<u8>> {
+        let c = &mut self.inner.chans[chan.0 as usize];
+        if c.buf.len() >= c.cap {
+            self.inner.io.chan_full += 1;
+            return Err(msg);
+        }
+        c.buf.push_back(msg);
+        self.inner.io.chan_sends += 1;
+        let waiters = std::mem::take(&mut self.inner.chans[chan.0 as usize].read_waiters);
+        self.inner.wake_all(waiters, Wake::ChanReadable(chan));
+        Ok(())
+    }
+
+    /// Attempts a non-blocking bounded-channel receive.
+    pub fn chan_try_recv(&mut self, chan: ChanId) -> Option<Vec<u8>> {
+        let c = &mut self.inner.chans[chan.0 as usize];
+        let msg = c.buf.pop_front()?;
+        self.inner.io.chan_recvs += 1;
+        let waiters = std::mem::take(&mut self.inner.chans[chan.0 as usize].write_waiters);
+        self.inner.wake_all(waiters, Wake::ChanWritable(chan));
+        Some(msg)
+    }
+
+    /// Queued messages in a channel.
+    pub fn chan_len(&self, chan: ChanId) -> usize {
+        self.inner.chans[chan.0 as usize].buf.len()
+    }
+
+    /// Registers this proc for a [`Wake::ChanReadable`] — the explicit
+    /// *blocked receive*. Level-triggered: if the channel already has a
+    /// message, the wake fires at the current instant (no lost-wakeup
+    /// window between a producer's send and this registration).
+    pub fn chan_wait_readable(&mut self, chan: ChanId) {
+        if !self.inner.chans[chan.0 as usize].buf.is_empty() {
+            let now = self.inner.sched.now();
+            self.inner.push_event(
+                now,
+                Event::Wake {
+                    node: self.me,
+                    wake: Wake::ChanReadable(chan),
+                },
+            );
+            return;
+        }
+        self.inner.chans[chan.0 as usize]
+            .read_waiters
+            .insert(self.me.0);
+    }
+
+    /// Registers this proc for a [`Wake::ChanWritable`] — the explicit
+    /// *blocked send*. Level-triggered like
+    /// [`chan_wait_readable`](Self::chan_wait_readable).
+    pub fn chan_wait_writable(&mut self, chan: ChanId) {
+        let c = &self.inner.chans[chan.0 as usize];
+        if c.buf.len() < c.cap {
+            let now = self.inner.sched.now();
+            self.inner.push_event(
+                now,
+                Event::Wake {
+                    node: self.me,
+                    wake: Wake::ChanWritable(chan),
+                },
+            );
+            return;
+        }
+        self.inner.chans[chan.0 as usize]
+            .write_waiters
+            .insert(self.me.0);
+    }
+
+    /// Appends bytes to a disk (volatile until fsynced).
+    pub fn disk_write(&mut self, disk: DiskId, bytes: &[u8]) {
+        let d = &mut self.inner.disks[disk.0 as usize];
+        d.bytes.extend_from_slice(bytes);
+        self.inner.io.disk_bytes_written += bytes.len() as u64;
+    }
+
+    /// Requests an fsync covering everything written so far; the owning
+    /// proc gets a [`Wake::FsyncDone`] when the disk's latency elapses —
+    /// the explicit *fsync* blocking point. A request while one is in
+    /// flight extends its coverage to the current length without
+    /// changing its completion time.
+    pub fn disk_fsync(&mut self, disk: DiskId) {
+        let di = disk.0 as usize;
+        let len = self.inner.disks[di].bytes.len();
+        if self.inner.disks[di].inflight.is_some() {
+            self.inner.disks[di].inflight = Some(len);
+            return;
+        }
+        self.inner.disks[di].inflight = Some(len);
+        let at = self
+            .inner
+            .sched
+            .now()
+            .after(self.inner.disks[di].fsync_latency_us.max(1));
+        self.inner.push_event(at, Event::FsyncDone { disk });
+    }
+
+    /// A disk's current length (synced + volatile).
+    pub fn disk_len(&self, disk: DiskId) -> usize {
+        self.inner.disks[disk.0 as usize].bytes.len()
+    }
+
+    /// A disk's durable prefix length.
+    pub fn disk_synced(&self, disk: DiskId) -> usize {
+        self.inner.disks[disk.0 as usize].synced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::{Cell, RefCell};
+    use std::rc::Rc;
+
+    struct Pipe {
+        chan: ChanId,
+        to_send: u32,
+        sent: u32,
+    }
+    impl Pipe {
+        fn pump(&mut self, ctx: &mut WorldCtx<'_>) {
+            while self.sent < self.to_send {
+                if ctx.chan_try_send(self.chan, vec![self.sent as u8]).is_err() {
+                    ctx.chan_wait_writable(self.chan);
+                    return;
+                }
+                self.sent += 1;
+            }
+        }
+    }
+    impl Proc for Pipe {
+        fn on_start(&mut self, ctx: &mut WorldCtx<'_>) {
+            self.pump(ctx);
+        }
+        fn on_wake(&mut self, _w: Wake, ctx: &mut WorldCtx<'_>) {
+            self.pump(ctx);
+        }
+    }
+
+    struct Drain {
+        chan: ChanId,
+        got: Rc<RefCell<Vec<u8>>>,
+    }
+    impl Proc for Drain {
+        fn on_start(&mut self, ctx: &mut WorldCtx<'_>) {
+            ctx.chan_wait_readable(self.chan);
+        }
+        fn on_wake(&mut self, _w: Wake, ctx: &mut WorldCtx<'_>) {
+            while let Some(m) = ctx.chan_try_recv(self.chan) {
+                self.got.borrow_mut().push(m[0]);
+            }
+            ctx.chan_wait_readable(self.chan);
+        }
+    }
+
+    #[test]
+    fn bounded_channel_blocks_and_wakes_in_fifo_order() {
+        let mut w = World::new(SimConfig::default(), u64::MAX);
+        let chan = w.add_chan(3);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        w.add_proc(Box::new(Pipe {
+            chan,
+            to_send: 10,
+            sent: 0,
+        }));
+        w.add_proc(Box::new(Drain {
+            chan,
+            got: got.clone(),
+        }));
+        w.run();
+        assert_eq!(*got.borrow(), (0..10).collect::<Vec<u8>>());
+        let io = w.io_stats();
+        assert_eq!(io.chan_sends, 10);
+        assert_eq!(io.chan_recvs, 10);
+        assert!(io.chan_full >= 1, "capacity 3 must block a burst of 10");
+    }
+
+    struct Journaler {
+        disk: DiskId,
+        synced_seen: Rc<Cell<usize>>,
+    }
+    impl Proc for Journaler {
+        fn on_start(&mut self, ctx: &mut WorldCtx<'_>) {
+            ctx.disk_write(self.disk, b"hello ");
+            ctx.disk_fsync(self.disk);
+            ctx.disk_write(self.disk, b"world"); // after the sync point
+        }
+        fn on_wake(&mut self, w: Wake, ctx: &mut WorldCtx<'_>) {
+            assert_eq!(w, Wake::FsyncDone(self.disk));
+            self.synced_seen.set(ctx.disk_synced(self.disk));
+        }
+    }
+
+    #[test]
+    fn fsync_covers_only_bytes_written_before_the_request() {
+        let mut w = World::new(SimConfig::default(), u64::MAX);
+        let synced_seen = Rc::new(Cell::new(0));
+        let owner = Addr(0);
+        let disk = w.add_disk(owner, 500);
+        w.add_proc(Box::new(Journaler {
+            disk,
+            synced_seen: synced_seen.clone(),
+        }));
+        w.run();
+        assert_eq!(synced_seen.get(), 6, "only the pre-fsync prefix");
+        assert_eq!(w.disk_bytes(disk), b"hello world");
+        assert_eq!(w.io_stats().fsyncs, 1);
+    }
+
+    struct CrashyWriter {
+        disk: DiskId,
+    }
+    impl Proc for CrashyWriter {
+        fn on_start(&mut self, ctx: &mut WorldCtx<'_>) {
+            ctx.disk_write(self.disk, b"durable");
+            ctx.disk_fsync(self.disk);
+            ctx.set_timer(10_000, 1);
+        }
+        fn on_timer(&mut self, _t: u64, ctx: &mut WorldCtx<'_>) {
+            ctx.disk_write(self.disk, b" volatile");
+        }
+    }
+
+    #[test]
+    fn crash_truncates_disks_to_the_synced_prefix() {
+        let mut w = World::new(SimConfig::default(), u64::MAX);
+        let disk = w.add_disk(Addr(0), 100);
+        w.add_proc(Box::new(CrashyWriter { disk }));
+        w.schedule_outage(Addr(0), SimTime(50_000), SimTime(60_000));
+        w.run();
+        assert_eq!(w.disk_bytes(disk), b"durable");
+        assert_eq!(w.io_stats().disk_bytes_lost, 9);
+        assert_eq!(w.net_stats().crashes, 1);
+    }
+
+    #[test]
+    fn disk_faults_fire_at_exact_instants() {
+        struct W {
+            disk: DiskId,
+        }
+        impl Proc for W {
+            fn on_start(&mut self, ctx: &mut WorldCtx<'_>) {
+                ctx.disk_write(self.disk, &[0u8; 8]);
+                ctx.disk_fsync(self.disk);
+            }
+        }
+        let mut w = World::new(SimConfig::default(), u64::MAX);
+        let disk = w.add_disk(Addr(0), 10);
+        w.add_proc(Box::new(W { disk }));
+        w.schedule_disk_fault(
+            SimTime(1_000),
+            disk,
+            DiskCrashPoint::TruncateWalTail { drop_bytes: 3 },
+        );
+        w.schedule_disk_fault(
+            SimTime(2_000),
+            disk,
+            DiskCrashPoint::FlipWalBit { back_offset: 0 },
+        );
+        w.run();
+        assert_eq!(w.disk_bytes(disk).len(), 5);
+        assert_eq!(w.disk_bytes(disk)[4], 1, "lowest bit of the tail flipped");
+        assert_eq!(w.io_stats().disk_faults, 2);
+    }
+
+    #[test]
+    fn fuel_exhaustion_stops_a_runaway_world() {
+        struct PingPong {
+            peer: Option<Addr>,
+        }
+        impl Proc for PingPong {
+            fn on_start(&mut self, ctx: &mut WorldCtx<'_>) {
+                if let Some(p) = self.peer {
+                    ctx.send(p, vec![0]);
+                }
+            }
+            fn on_message(&mut self, from: Addr, p: Vec<u8>, ctx: &mut WorldCtx<'_>) {
+                ctx.send(from, p);
+            }
+        }
+        let mut w = World::new(SimConfig::default(), 500);
+        let a = w.add_proc(Box::new(PingPong { peer: None }));
+        w.add_proc(Box::new(PingPong { peer: Some(a) }));
+        let processed = w.run();
+        assert_eq!(processed, 500);
+        assert!(w.fuel_exhausted());
+        let again = w.run();
+        assert_eq!(again, 0, "an exhausted world refuses to dispatch");
+    }
+}

@@ -1,0 +1,166 @@
+//! The transport session loop under the virtual-time scheduler: on a
+//! shared seed, [`run_reliable_ingest_sim`] must produce a
+//! [`TransportReport`] *byte-identical* to the threaded
+//! [`run_reliable_ingest`] — journal bytes included — and a hive in the
+//! exact same state; replays must reproduce the `sched_trace_hash`.
+
+use proptest::prelude::*;
+use softborg_hive::transport::{run_reliable_ingest, TransportConfig};
+use softborg_hive::{Hive, HiveConfig};
+use softborg_ingest::IngestConfig;
+use softborg_netsim::{Addr, Crash, FaultPlan, LinkConfig, Partition};
+use softborg_pod::{Pod, PodConfig};
+use softborg_program::scenarios::{self, Scenario};
+use softborg_sim::run_reliable_ingest_sim;
+use softborg_trace::{wire, ExecutionTrace};
+
+fn scenario(idx: usize) -> Scenario {
+    match idx % 4 {
+        0 => scenarios::token_parser(),
+        1 => scenarios::triangle(),
+        2 => scenarios::record_processor(),
+        _ => scenarios::bank_transfer(),
+    }
+}
+
+fn pod_traces(s: &Scenario, seed: u64, n: usize) -> Vec<ExecutionTrace> {
+    let mut pod = Pod::new(
+        &s.program,
+        PodConfig {
+            input_range: s.input_range,
+            seed,
+            ..PodConfig::default()
+        },
+    );
+    (0..n).map(|_| pod.run_once().trace).collect()
+}
+
+fn sessions_of(traces: &[ExecutionTrace], pods: usize, batch: usize) -> Vec<Vec<(u8, Vec<u8>)>> {
+    let mut out = vec![Vec::new(); pods.max(1)];
+    for (i, chunk) in traces.chunks(batch.max(1)).enumerate() {
+        out[i % pods.max(1)].push((1u8, wire::encode_batch(chunk)));
+    }
+    out
+}
+
+fn assert_same_hive(what: &str, a: &Hive<'_>, b: &Hive<'_>) {
+    assert_eq!(a.stats(), b.stats(), "{what}: HiveStats diverged");
+    assert_eq!(
+        a.tree().digest(),
+        b.tree().digest(),
+        "{what}: tree digest diverged"
+    );
+    assert_eq!(a.coverage(), b.coverage(), "{what}: coverage diverged");
+}
+
+fn faulty_config(seed: u64, pods: u32, crash: bool) -> TransportConfig {
+    TransportConfig {
+        seed,
+        link: LinkConfig {
+            base_latency_us: 800,
+            jitter_us: 500,
+            loss_per_mille: 80,
+        },
+        faults: FaultPlan {
+            dup_per_mille: 60,
+            reorder_per_mille: 100,
+            reorder_window_us: 20_000,
+            partitions: vec![Partition {
+                a: Addr(0),
+                b: Addr(pods),
+                from_us: 5_000,
+                until_us: 25_000,
+            }],
+            crashes: if crash {
+                vec![Crash {
+                    node: Addr(pods),
+                    at_us: 15_000,
+                    restart_us: 45_000,
+                }]
+            } else {
+                Vec::new()
+            },
+            disk: Vec::new(),
+        },
+        ..TransportConfig::default()
+    }
+}
+
+/// One threaded run and one sim run over identical inputs; returns both
+/// hives plus the two report debug renderings (field-by-field equality,
+/// journal bytes included) and the sim's trace hash.
+fn run_both(scenario_idx: usize, seed: u64, crash: bool) -> (String, String, u64) {
+    let s = scenario(scenario_idx);
+    let traces = pod_traces(&s, seed ^ 0xABCD, 36);
+    let pods = 3;
+    let cfg = faulty_config(seed, pods as u32, crash);
+
+    let mut threaded_hive = Hive::new(&s.program, HiveConfig::default());
+    let (threaded_report, _) = run_reliable_ingest(
+        &mut threaded_hive,
+        sessions_of(&traces, pods, 4),
+        &IngestConfig::default(),
+        &cfg,
+    )
+    .expect("valid plan");
+
+    let mut sim_hive = Hive::new(&s.program, HiveConfig::default());
+    let (sim_report, _, sched) = run_reliable_ingest_sim(
+        &mut sim_hive,
+        sessions_of(&traces, pods, 4),
+        &IngestConfig::default(),
+        &cfg,
+        &[],
+    )
+    .expect("valid plan");
+
+    assert_same_hive("threaded vs sim", &threaded_hive, &sim_hive);
+    (
+        format!("{threaded_report:?}"),
+        format!("{sim_report:?}"),
+        sched.trace_hash,
+    )
+}
+
+#[test]
+fn sim_transport_equals_threaded_transport_fault_free() {
+    let (threaded, sim, _) = run_both(0, 11, false);
+    assert_eq!(threaded, sim, "TransportReport diverged");
+}
+
+#[test]
+fn sim_transport_equals_threaded_transport_under_crash() {
+    let (threaded, sim, _) = run_both(2, 77, true);
+    assert_eq!(threaded, sim, "TransportReport diverged under faults");
+}
+
+#[test]
+fn sim_transport_replays_to_identical_hash_and_state() {
+    let (r1, s1, h1) = run_both(1, 5, true);
+    let (r2, s2, h2) = run_both(1, 5, true);
+    assert_eq!(s1, s2, "sim report must replay identically");
+    assert_eq!(h1, h2, "sched_trace_hash must replay identically");
+    assert_eq!(r1, r2, "threaded report must replay identically");
+}
+
+proptest! {
+    // `PROPTEST_CASES` takes precedence over this default in CI.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Across scenarios, seeds, and crash schedules: the sim-hosted
+    /// transport reproduces the threaded report byte-for-byte, and the
+    /// trace hash is replay-stable.
+    #[test]
+    fn sim_transport_matches_threaded_for_any_seed(
+        scenario_idx in 0usize..4,
+        seed in 0u64..u64::MAX,
+        crash_sel in 0u8..2,
+    ) {
+        let crash = crash_sel == 1;
+        let (threaded_a, sim_a, hash_a) = run_both(scenario_idx, seed, crash);
+        prop_assert_eq!(&threaded_a, &sim_a, "TransportReport diverged");
+        let (_, sim_b, hash_b) = run_both(scenario_idx, seed, crash);
+        prop_assert_eq!(sim_a, sim_b);
+        prop_assert_eq!(hash_a, hash_b);
+    }
+}
