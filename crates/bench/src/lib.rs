@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
+
 use softborg_program::interp::{ExecConfig, Executor, Observer, Outcome};
 use softborg_program::overlay::Overlay;
 use softborg_program::sched::RandomSched;

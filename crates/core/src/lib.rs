@@ -64,7 +64,7 @@ pub use multi::{
 };
 pub use platform::{
     DrivenExecution, DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig,
-    ResumeReport, RoundReport,
+    ResumeReport, RoundReport, RoundTelemetry,
 };
 
 pub use softborg_analysis as analysis;

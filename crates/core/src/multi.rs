@@ -21,7 +21,7 @@
 //! state is byte-identical to an uninterrupted run at the same committed
 //! round.
 
-use crate::platform::{io_err, DurabilityConfig, DurabilityError, IngestSettings};
+use crate::platform::{io_err, DurabilityConfig, DurabilityError, IngestSettings, RoundTelemetry};
 use softborg_fix::{rank, FixCandidate, LabConfig, TestCase, Verdict};
 use softborg_guidance::Directive;
 use softborg_hive::journal::{
@@ -32,6 +32,7 @@ use softborg_hive::{
     outcome_signature, FileJournal, HiveConfig, HiveSnapshot, JournalStore, LoadReport,
     SnapshotStore,
 };
+use softborg_obs::{ObsHandles, SpanTimer};
 use softborg_pod::{Pod, PodConfig};
 use softborg_program::codec::{self, CodecError};
 use softborg_program::{Program, ProgramId};
@@ -74,6 +75,10 @@ pub struct MultiPlatformConfig {
     /// Crash-only durability root. Each shard persists under its own
     /// `shard-<i>/` subdirectory of [`DurabilityConfig::dir`].
     pub durability: Option<DurabilityConfig>,
+    /// Telemetry sinks: per-round `multi.*` counters, commit/fsync span
+    /// histograms, and `round_committed` events. Passive — shard state
+    /// is byte-identical with telemetry on or off.
+    pub obs: ObsHandles,
 }
 
 impl Default for MultiPlatformConfig {
@@ -88,6 +93,7 @@ impl Default for MultiPlatformConfig {
             min_preservation_cases: 5,
             ingest: IngestSettings::default(),
             durability: None,
+            obs: ObsHandles::default(),
         }
     }
 }
@@ -273,6 +279,7 @@ pub struct MultiPlatform<'p> {
     config: MultiPlatformConfig,
     round_idx: u64,
     history: Vec<MultiRoundReport>,
+    telemetry: Vec<RoundTelemetry>,
     last_run: Option<ShardRunStats>,
     durable: Option<MultiDurableState>,
 }
@@ -314,6 +321,7 @@ impl<'p> MultiPlatform<'p> {
             config,
             round_idx: 0,
             history: Vec::new(),
+            telemetry: Vec::new(),
             last_run: None,
             durable: None,
         }
@@ -431,10 +439,19 @@ impl<'p> MultiPlatform<'p> {
             };
             let (records, scan) = journal::scan(&wal[replay_from..]);
             if let Some(err) = scan.tail_error {
-                eprintln!(
-                    "warning: shard {i} resume dropped {} journal tail byte(s) after {} intact \
-                     record(s): {err}",
-                    scan.tail_dropped, scan.records
+                platform.config.obs.recorder.warn_or_ops(
+                    "multi.resume",
+                    "wal_tail_dropped",
+                    &[
+                        ("shard", i as u64),
+                        ("tail_bytes", scan.tail_dropped as u64),
+                        ("intact_records", scan.records as u64),
+                    ],
+                    format_args!(
+                        "shard {i} resume dropped {} journal tail byte(s) after {} intact \
+                         record(s): {err}",
+                        scan.tail_dropped, scan.records
+                    ),
                 );
             }
             let mut committed = snap_round;
@@ -615,9 +632,18 @@ impl<'p> MultiPlatform<'p> {
             let records_discarded = (sc.records.len() - applied_records) as u64;
             if (boundary as u64) < sc.wal.len() as u64 {
                 if records_discarded > 0 {
-                    eprintln!(
-                        "warning: shard {shard} resume truncating {records_discarded} journal \
-                         record(s) past committed round {target}"
+                    platform.config.obs.recorder.warn_or_ops(
+                        "multi.resume",
+                        "records_truncated",
+                        &[
+                            ("shard", shard as u64),
+                            ("records", records_discarded),
+                            ("target_round", target),
+                        ],
+                        format_args!(
+                            "shard {shard} resume truncating {records_discarded} journal \
+                             record(s) past committed round {target}"
+                        ),
                     );
                 }
                 sc.journal.truncate(boundary as u64)?;
@@ -685,6 +711,20 @@ impl<'p> MultiPlatform<'p> {
     /// Sharded-run statistics from the most recent round, if any.
     pub fn last_run(&self) -> Option<&ShardRunStats> {
         self.last_run.as_ref()
+    }
+
+    /// Per-round telemetry for every round this *process* ran, parallel
+    /// to [`history`](Self::history) but never journaled (resumed rounds
+    /// therefore have no entries — see [`RoundTelemetry`]).
+    pub fn round_telemetry(&self) -> &[RoundTelemetry] {
+        &self.telemetry
+    }
+
+    /// The configuration the platform was built with (telemetry sinks
+    /// included — the simulator paths use this to retime the attached
+    /// flight recorder onto virtual time).
+    pub fn config(&self) -> &MultiPlatformConfig {
+        &self.config
     }
 
     /// Serialized state of shard `shard` — the byte-identity invariant
@@ -981,8 +1021,50 @@ impl<'p> MultiPlatform<'p> {
         self.history.push(report.clone());
 
         // 6. Durable two-phase commit.
-        self.commit_round(&report, frames, &promoted)
+        let obs = self.config.obs.clone();
+        let clock = obs.span_clock();
+        let commit_hist = obs
+            .registry
+            .as_ref()
+            .map(|r| r.histogram("multi.round_commit_ns"));
+        let frames_journaled = frames.len() as u64;
+        let promotions_journaled = promoted.len() as u64;
+        let commit_span = SpanTimer::start_if(clock.as_ref(), &commit_hist);
+        let (fsync_ns, compacted) = self
+            .commit_round(&report, frames, &promoted)
             .expect("durable round commit failed");
+        let commit_ns = commit_span.map_or(0, SpanTimer::stop);
+        self.telemetry.push(RoundTelemetry {
+            round: report.round,
+            commit_ns,
+            fsync_ns,
+            frames_journaled,
+            promotions_journaled,
+            compacted,
+        });
+        if let Some(reg) = obs.registry.as_ref() {
+            reg.counter("multi.rounds").incr();
+            reg.counter("multi.executions").add(report.executions);
+            reg.counter("multi.failures").add(report.failures);
+            reg.counter("multi.fixes_promoted")
+                .add(report.fixes_promoted);
+        }
+        // Content-determined fields only, so events_hash stays replay-
+        // and host-stable.
+        obs.recorder.info(
+            "multi",
+            "round_committed",
+            &[
+                ("round", report.round),
+                ("executions", report.executions),
+                ("failures", report.failures),
+                ("fixes_promoted", report.fixes_promoted),
+            ],
+            format_args!(
+                "round {} committed: {} executions, {} failures, {} fix(es) promoted",
+                report.round, report.executions, report.failures, report.fixes_promoted
+            ),
+        );
         report
     }
 
@@ -1023,7 +1105,12 @@ impl<'p> MultiPlatform<'p> {
         }
         let threads = config.ingest.pod_threads.max(1).min(units.len().max(1));
         let chunk_size = units.len().div_ceil(threads).max(1);
-        let cfg = config.ingest.pipeline.clone();
+        let mut cfg = config.ingest.pipeline.clone();
+        if !cfg.obs.is_enabled() {
+            // One attach point: platform-level telemetry flows into the
+            // sharded ingest stage unless the pipeline has its own sinks.
+            cfg.obs = config.obs.clone();
+        }
         let (per_unit, stats) = sharded.ingest_frames(&cfg, move |tx| {
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
@@ -1097,15 +1184,18 @@ impl<'p> MultiPlatform<'p> {
     /// **every** shard journal, then fsync them all — only after every
     /// fsync is the round acked. Phase B: per-shard snapshot compaction,
     /// which can therefore never capture a round some journal lacks.
+    /// Returns `(fsync_ns, compacted)` for the round's telemetry entry
+    /// (fsync is timed only when a registry is attached).
     fn commit_round(
         &mut self,
         report: &MultiRoundReport,
         mut frames: Vec<(u64, u64, Vec<u8>)>,
         promoted: &[(ProgramId, String, softborg_program::Overlay)],
-    ) -> Result<(), DurabilityError> {
+    ) -> Result<(u64, bool), DurabilityError> {
+        let obs = self.config.obs.clone();
         let lanes: Vec<ProgramId> = self.fleets.iter().map(|f| f.id).collect();
         let Some(d) = self.durable.as_mut() else {
-            return Ok(());
+            return Ok((0, false));
         };
         frames.sort_by_key(|&(lane, seq, _)| (lane, seq));
 
@@ -1148,11 +1238,16 @@ impl<'p> MultiPlatform<'p> {
         // …then fsync everywhere. A crash between fsyncs leaves some
         // shards one round ahead; resume truncates them back to the
         // minimum (the round was never acked).
+        let clock = obs.span_clock();
+        let fsync_hist = obs.registry.as_ref().map(|r| r.histogram("hive.fsync_ns"));
+        let fsync_span = SpanTimer::start_if(clock.as_ref(), &fsync_hist);
         for sd in &mut d.shards {
             sd.journal.sync()?;
         }
+        let fsync_ns = fsync_span.map_or(0, SpanTimer::stop);
 
         // Phase B: per-shard compaction.
+        let mut compacted = false;
         let (ratio, min_bytes) = (d.cfg.compact_ratio, d.cfg.min_compact_wal_bytes);
         if ratio > 0 {
             for shard in 0..d.shards.len() {
@@ -1175,10 +1270,11 @@ impl<'p> MultiPlatform<'p> {
                         &self.history,
                         true,
                     )?;
+                    compacted = true;
                 }
             }
         }
-        Ok(())
+        Ok((fsync_ns, compacted))
     }
 
     /// On-demand compaction of every shard: each folds its journal into

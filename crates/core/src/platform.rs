@@ -22,6 +22,7 @@ use softborg_hive::{
     JournalIoError, JournalStore, LoadReport, SnapshotStore,
 };
 use softborg_ingest::{IngestConfig, IngestStats};
+use softborg_obs::{ObsHandles, SpanTimer};
 use softborg_pod::{Pod, PodConfig};
 use softborg_program::codec::{self, CodecError};
 use softborg_program::{Overlay, Program};
@@ -57,6 +58,11 @@ pub struct PlatformConfig {
     /// its report is returned, and a killed process can continue the
     /// campaign via [`Platform::resume`]. `None` = in-memory only.
     pub durability: Option<DurabilityConfig>,
+    /// Telemetry sinks: per-round `platform.*` counters, commit/fsync
+    /// span histograms, and `round_committed` flight-recorder events.
+    /// Telemetry is passive — it never changes what a round computes or
+    /// journals, so platform state is byte-identical on or off.
+    pub obs: ObsHandles,
 }
 
 /// Where and how a durable campaign persists itself.
@@ -181,6 +187,7 @@ impl Default for PlatformConfig {
             min_preservation_cases: 5,
             ingest: IngestSettings::default(),
             durability: None,
+            obs: ObsHandles::default(),
         }
     }
 }
@@ -283,6 +290,30 @@ pub struct ResumeReport {
     pub disconnected_records: u64,
 }
 
+/// Per-round telemetry the platform keeps *beside* the journaled
+/// [`RoundReport`] history. Deliberately not part of the report: commit
+/// and fsync timings are host-speed-dependent, and the report's durable
+/// codec (and the equivalence suites that compare reports byte-for-byte)
+/// must stay identical with telemetry on or off. Timings are measured by
+/// the span timers that feed the `platform.round_commit_ns` /
+/// `hive.fsync_ns` histograms, so they are zero unless
+/// [`PlatformConfig::obs`] has a registry attached.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundTelemetry {
+    /// Round index this entry describes.
+    pub round: u64,
+    /// Durable-commit duration (append + fsync + compaction), ns.
+    pub commit_ns: u64,
+    /// The fsync portion of the commit, ns.
+    pub fsync_ns: u64,
+    /// Batch frames appended to the journal this round.
+    pub frames_journaled: u64,
+    /// Fix promotions appended to the journal this round.
+    pub promotions_journaled: u64,
+    /// Whether this round's commit triggered snapshot compaction.
+    pub compacted: bool,
+}
+
 /// A round's durable frame log: `(session, seq, frame)` triples mirrored
 /// from the ingest path, shared across pod threads.
 type FrameLog = Mutex<Vec<(u64, u64, Vec<u8>)>>;
@@ -327,6 +358,7 @@ pub struct Platform<'p> {
     config: PlatformConfig,
     round_idx: u64,
     history: Vec<RoundReport>,
+    telemetry: Vec<RoundTelemetry>,
     last_ingest: Option<IngestStats>,
     durable: Option<DurableState>,
 }
@@ -353,6 +385,7 @@ impl<'p> Platform<'p> {
             program,
             round_idx: 0,
             history: Vec::new(),
+            telemetry: Vec::new(),
             last_ingest: None,
             durable: None,
         }
@@ -453,10 +486,18 @@ impl<'p> Platform<'p> {
 
         let (records, scan) = journal::scan(&wal[replay_from..]);
         if let Some(err) = scan.tail_error {
-            eprintln!(
-                "warning: platform resume dropped {} journal tail byte(s) after {} intact \
-                 record(s): {err}",
-                scan.tail_dropped, scan.records
+            platform.config.obs.recorder.warn_or_ops(
+                "platform.resume",
+                "wal_tail_dropped",
+                &[
+                    ("tail_bytes", scan.tail_dropped as u64),
+                    ("intact_records", scan.records as u64),
+                ],
+                format_args!(
+                    "platform resume dropped {} journal tail byte(s) after {} intact \
+                     record(s): {err}",
+                    scan.tail_dropped, scan.records
+                ),
             );
             // Cut the damaged tail so future appends land on a clean
             // record boundary.
@@ -501,11 +542,20 @@ impl<'p> Platform<'p> {
                         .map_err(|e| DurabilityError::Corrupt(format!("round record: {e}")))?;
                     if report.round != platform.round_idx {
                         disconnected_records = (records.len() - seg_start_idx) as u64;
-                        eprintln!(
-                            "warning: platform resume discarding {disconnected_records} \
-                             disconnected journal record(s): round record says {} but the \
-                             recovered state is at round {}",
-                            report.round, platform.round_idx
+                        platform.config.obs.recorder.warn_or_ops(
+                            "platform.resume",
+                            "disconnected_records",
+                            &[
+                                ("records", disconnected_records),
+                                ("journal_round", report.round),
+                                ("state_round", platform.round_idx),
+                            ],
+                            format_args!(
+                                "platform resume discarding {disconnected_records} \
+                                 disconnected journal record(s): round record says {} but the \
+                                 recovered state is at round {}",
+                                report.round, platform.round_idx
+                            ),
                         );
                         seg_frames.clear();
                         seg_promotes.clear();
@@ -843,22 +893,68 @@ impl<'p> Platform<'p> {
         // 6. Durable commit: frames, promotions, and the round record
         //    hit the journal and are fsynced before the report (the ack)
         //    leaves this function.
-        self.commit_round(&report, frames, &promoted)
+        let obs = self.config.obs.clone();
+        let clock = obs.span_clock();
+        let commit_hist = obs
+            .registry
+            .as_ref()
+            .map(|r| r.histogram("platform.round_commit_ns"));
+        let frames_journaled = frames.len() as u64;
+        let promotions_journaled = promoted.len() as u64;
+        let commit_span = SpanTimer::start_if(clock.as_ref(), &commit_hist);
+        let (fsync_ns, compacted) = self
+            .commit_round(&report, frames, &promoted)
             .expect("durable round commit failed");
+        let commit_ns = commit_span.map_or(0, SpanTimer::stop);
+        self.telemetry.push(RoundTelemetry {
+            round: report.round,
+            commit_ns,
+            fsync_ns,
+            frames_journaled,
+            promotions_journaled,
+            compacted,
+        });
+        if let Some(reg) = obs.registry.as_ref() {
+            reg.counter("platform.rounds").incr();
+            reg.counter("platform.executions").add(report.executions);
+            reg.counter("platform.failures").add(report.failures);
+            reg.counter("platform.fixes_promoted")
+                .add(report.fixes_promoted);
+        }
+        // Event fields are content-determined (no timings), so the
+        // events_hash of a platform run is replay- and host-stable.
+        obs.recorder.info(
+            "platform",
+            "round_committed",
+            &[
+                ("round", report.round),
+                ("executions", report.executions),
+                ("failures", report.failures),
+                ("fixes_promoted", report.fixes_promoted),
+                ("overlay_version", report.overlay_version),
+            ],
+            format_args!(
+                "round {} committed: {} executions, {} failures, {} fix(es) promoted",
+                report.round, report.executions, report.failures, report.fixes_promoted
+            ),
+        );
         report
     }
 
     /// Appends one committed round to the journal (frames in merge
     /// order, then promotions, then the round record), fsyncs, and
     /// compacts into a snapshot when the journal dwarfs the live state.
+    /// Returns `(fsync_ns, compacted)` for the round's telemetry entry
+    /// (fsync is timed only when a registry is attached).
     fn commit_round(
         &mut self,
         report: &RoundReport,
         mut frames: Vec<(u64, u64, Vec<u8>)>,
         promoted: &[(String, Overlay)],
-    ) -> Result<(), DurabilityError> {
+    ) -> Result<(u64, bool), DurabilityError> {
+        let obs = self.config.obs.clone();
         let Some(d) = self.durable.as_mut() else {
-            return Ok(());
+            return Ok((0, false));
         };
         frames.sort_by_key(|&(session, seq, _)| (session, seq));
         let mut rec = Vec::new();
@@ -883,7 +979,11 @@ impl<'p> Platform<'p> {
         rec.clear();
         journal::append_record(&mut rec, REC_ROUND, SESSION_ROUND, report.round, &body);
         d.journal.append(&rec)?;
+        let clock = obs.span_clock();
+        let fsync_hist = obs.registry.as_ref().map(|r| r.histogram("hive.fsync_ns"));
+        let fsync_span = SpanTimer::start_if(clock.as_ref(), &fsync_hist);
         d.journal.sync()?;
+        let fsync_ns = fsync_span.map_or(0, SpanTimer::stop);
 
         // Snapshot compaction: when the journal is `compact_ratio` times
         // the live serialized state (and big enough to matter), fold it
@@ -893,13 +993,15 @@ impl<'p> Platform<'p> {
             d.cfg.min_compact_wal_bytes,
             d.journal.len(),
         );
+        let mut compacted = false;
         if ratio > 0 && wal_len >= min_bytes {
             let state = self.hive.encode_state();
             if wal_len >= ratio.saturating_mul(state.len() as u64) {
                 self.write_checkpoint(state, true)?;
+                compacted = true;
             }
         }
-        Ok(())
+        Ok((fsync_ns, compacted))
     }
 
     /// Writes a snapshot generation covering the whole journal, then
@@ -1043,7 +1145,12 @@ impl<'p> Platform<'p> {
         let n_pods = self.pods.len();
         let threads = self.config.ingest.pod_threads.max(1).min(n_pods.max(1));
         let chunk_size = n_pods.div_ceil(threads).max(1);
-        let cfg = self.config.ingest.pipeline.clone();
+        let mut cfg = self.config.ingest.pipeline.clone();
+        if !cfg.obs.is_enabled() {
+            // One attach point: platform-level telemetry flows into the
+            // ingest stage unless the pipeline has its own sinks.
+            cfg.obs = self.config.obs.clone();
+        }
         let pods = &mut self.pods;
         let (counters, stats) = self.hive.ingest_frames(&cfg, move |tx| {
             std::thread::scope(|s| {
@@ -1110,6 +1217,20 @@ impl<'p> Platform<'p> {
     /// Pipeline statistics from the most recent pipelined round, if any.
     pub fn last_ingest(&self) -> Option<&IngestStats> {
         self.last_ingest.as_ref()
+    }
+
+    /// Per-round telemetry for every round this *process* ran, parallel
+    /// to [`history`](Self::history) but never journaled (resumed rounds
+    /// therefore have no entries — see [`RoundTelemetry`]).
+    pub fn round_telemetry(&self) -> &[RoundTelemetry] {
+        &self.telemetry
+    }
+
+    /// The configuration the platform was built with (telemetry sinks
+    /// included — the simulator paths use this to retime the attached
+    /// flight recorder onto virtual time).
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
     }
 
     /// Runs `rounds` rounds and returns the full history.

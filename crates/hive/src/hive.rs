@@ -277,10 +277,19 @@ impl<'p> Hive<'p> {
         if let Some(err) = scan.tail_error {
             // Dropping an unsynced/corrupt tail is expected crash fallout,
             // but it must never be *silent*: an operator comparing pod-side
-            // send counts to hive state needs this line.
-            eprintln!(
-                "warning: hive recovery dropped {} journal tail byte(s) after {} intact record(s): {err}",
-                scan.tail_dropped, scan.records
+            // send counts to hive state needs this event (the default ops
+            // recorder echoes Warn+ to stderr).
+            softborg_obs::ops().warn(
+                "hive.recover",
+                "recovery_tail_dropped",
+                &[
+                    ("tail_bytes", scan.tail_dropped as u64),
+                    ("intact_records", scan.records as u64),
+                ],
+                format_args!(
+                    "hive recovery dropped {} journal tail byte(s) after {} intact record(s): {err}",
+                    scan.tail_dropped, scan.records
+                ),
             );
         }
         let mut report = RecoveryReport {

@@ -38,6 +38,7 @@ use softborg_ingest::{BackpressurePolicy, FrameSender, IngestConfig, IngestStats
 use softborg_netsim::{
     Addr, Ctx, FaultPlan, FaultPlanError, LinkConfig, NetNode, Sim, SimConfig, SimStats,
 };
+use softborg_obs::{EventSink, ObsHandles, Severity};
 use softborg_trace::wire;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -123,6 +124,12 @@ pub struct TransportConfig {
     pub sync_interval_us: u64,
     /// Safety cap on simulated events.
     pub max_events: u64,
+    /// Telemetry sinks: session/server flight-recorder events
+    /// (`transport.client.<n>` / `transport.server` sources) and
+    /// post-run `transport.*` registry counters. Default records
+    /// nothing; recovery warnings then fall back to the process-wide
+    /// ops recorder so they are never silently lost.
+    pub obs: ObsHandles,
 }
 
 impl Default for TransportConfig {
@@ -138,6 +145,7 @@ impl Default for TransportConfig {
             shed_budget: u32::MAX,
             sync_interval_us: 5_000,
             max_events: 4_000_000,
+            obs: ObsHandles::default(),
         }
     }
 }
@@ -210,6 +218,7 @@ pub struct PodClient {
     shed_budget: u32,
     done: bool,
     metrics: Rc<RefCell<Metrics>>,
+    events: EventSink,
 }
 
 impl PodClient {
@@ -244,6 +253,10 @@ impl PodClient {
             shed_budget: cfg.shed_budget,
             done: false,
             metrics: Rc::new(RefCell::new(Metrics::default())),
+            events: cfg
+                .obs
+                .recorder
+                .source(&format!("transport.client.{session}")),
         }
     }
 
@@ -286,6 +299,12 @@ impl PodClient {
             let f = &self.frames[seq as usize];
             if seq < self.sent_upto {
                 self.metrics.borrow_mut().retransmits += 1;
+                self.events.record(
+                    Severity::Debug,
+                    "retransmit",
+                    &[("seq", seq), ("backoff_exp", u64::from(self.backoff_exp))],
+                    format_args!("session {} resent seq {seq}", self.session),
+                );
             }
             let (kind, bytes) = if f.shed {
                 (REC_TOMBSTONE, &[][..])
@@ -323,9 +342,17 @@ impl PodClient {
                 pick = Some((f.priority, seq));
             }
         }
-        if let Some((_, seq)) = pick {
+        if let Some((priority, seq)) = pick {
             self.frames[seq as usize].shed = true;
             self.metrics.borrow_mut().shed += 1;
+            self.events.warn(
+                "shed",
+                &[("seq", seq), ("priority", u64::from(priority))],
+                format_args!(
+                    "session {} shed seq {seq} (priority {priority}) under pressure",
+                    self.session
+                ),
+            );
         }
         self.pressure = 0;
     }
@@ -334,6 +361,11 @@ impl PodClient {
         if !self.done && self.base >= self.frames.len() as u64 {
             self.done = true;
             self.metrics.borrow_mut().sessions_done += 1;
+            self.events.info(
+                "session_done",
+                &[("frames", self.frames.len() as u64)],
+                format_args!("session {} fully acked", self.session),
+            );
         }
         self.done
     }
@@ -419,6 +451,8 @@ pub struct HiveServer {
     busy_budget: usize,
     lost_bytes: u64,
     metrics: Rc<RefCell<Metrics>>,
+    events: EventSink,
+    recorder: softborg_obs::FlightRecorder,
 }
 
 impl HiveServer {
@@ -436,6 +470,8 @@ impl HiveServer {
             busy_budget: cfg.busy_budget.max(1),
             lost_bytes: 0,
             metrics: Rc::new(RefCell::new(Metrics::default())),
+            events: cfg.obs.recorder.source("transport.server"),
+            recorder: cfg.obs.recorder.clone(),
         }
     }
 
@@ -455,10 +491,18 @@ impl HiveServer {
     pub fn seed_sessions(&mut self, journal: &[u8]) {
         let (records, scan) = journal::scan(journal);
         if let Some(err) = scan.tail_error {
-            eprintln!(
-                "warning: hive transport recovery dropped {} journal tail byte(s) \
-                 after {} intact record(s): {err}",
-                scan.tail_dropped, scan.records
+            self.recorder.warn_or_ops(
+                "transport.server",
+                "recovery_tail_dropped",
+                &[
+                    ("tail_bytes", scan.tail_dropped as u64),
+                    ("intact_records", scan.records as u64),
+                ],
+                format_args!(
+                    "hive transport recovery dropped {} journal tail byte(s) \
+                     after {} intact record(s): {err}",
+                    scan.tail_dropped, scan.records
+                ),
             );
             self.metrics.borrow_mut().recovery_tail_dropped += scan.tail_dropped as u64;
         }
@@ -487,6 +531,12 @@ impl NetNode for HiveServer {
             // Redelivery (network duplicate, or a retransmit racing an
             // ack): idempotent — discard and re-ack the synced floor.
             self.metrics.borrow_mut().duplicates += 1;
+            self.events.record(
+                Severity::Debug,
+                "dedup",
+                &[("session", session), ("seq", seq)],
+                format_args!("duplicate frame {session}/{seq} discarded, re-acked"),
+            );
             ctx.send(from, ctl_msg(MSG_ACK, session, state.synced));
             return;
         }
@@ -498,6 +548,12 @@ impl NetNode for HiveServer {
         if self.pending.len() >= self.busy_budget {
             // Backlog full: push back instead of buffering unboundedly.
             self.metrics.borrow_mut().busy_nacks += 1;
+            self.events.record(
+                Severity::Debug,
+                "busy_nack",
+                &[("session", session), ("seq", seq)],
+                format_args!("backlog full, nacked {session}/{seq}"),
+            );
             ctx.send(from, ctl_msg(MSG_BUSY, session, seq));
             return;
         }
@@ -512,6 +568,12 @@ impl NetNode for HiveServer {
             let mut m = self.metrics.borrow_mut();
             m.busy_nacks += 1;
             if m.journal_error.is_none() {
+                self.events.record(
+                    Severity::Error,
+                    "journal_error",
+                    &[("session", session), ("seq", seq)],
+                    format_args!("journal refused frame {session}/{seq}: {err}"),
+                );
                 m.journal_error = Some(err);
             }
             drop(m);
@@ -545,6 +607,12 @@ impl NetNode for HiveServer {
             ctx.set_timer(self.sync_interval_us, TICK_TAG);
             return;
         }
+        self.events.record(
+            Severity::Debug,
+            "fsync",
+            &[("records", self.pending.len() as u64)],
+            format_args!("sync barrier covered {} record(s)", self.pending.len()),
+        );
         for (kind, frame) in self.pending.drain(..) {
             // Delivery metrics count here, at the barrier: a frame
             // accepted but crashed away before sync was never delivered
@@ -572,7 +640,16 @@ impl NetNode for HiveServer {
         // Process death: volatile state is gone. The journal's unsynced
         // tail goes with it (the OS never promised those bytes), and
         // since unsynced frames were never acked, clients still own them.
-        self.lost_bytes += self.journal.borrow_mut().crash() as u64;
+        let lost = self.journal.borrow_mut().crash() as u64;
+        self.lost_bytes += lost;
+        self.events.warn(
+            "crash",
+            &[
+                ("unsynced_bytes_lost", lost),
+                ("pending_records", self.pending.len() as u64),
+            ],
+            format_args!("server crashed: {lost} unsynced journal byte(s) lost"),
+        );
         self.pending.clear();
         self.sessions.clear();
         self.tick_armed = false;
@@ -584,6 +661,11 @@ impl NetNode for HiveServer {
         // submitted to the pipeline (sync and submit are one atomic tick
         // here), so replay feeds only the dedup state, not the merger.
         self.metrics.borrow_mut().recoveries += 1;
+        self.events.info(
+            "recovery",
+            &[("recoveries", self.metrics.borrow().recoveries)],
+            "server restarted, rebuilding session floors from synced journal",
+        );
         let bytes = self.journal.borrow().bytes().to_vec();
         self.seed_sessions(&bytes);
         // Clients' retransmit timers re-drive the stream; the server is
@@ -715,6 +797,7 @@ where
     cfg.faults.validate(n_pods + 1)?;
     let mut ingest_cfg = ingest_cfg.clone();
     ingest_cfg.policy = BackpressurePolicy::Block;
+    let obs = cfg.obs.clone();
     let cfg = cfg.clone();
     let prior_journal = prior_journal.to_vec();
     let (report, stats) = hive.ingest_frames(&ingest_cfg, move |tx| {
@@ -761,7 +844,30 @@ where
             net: host.stats(),
         }
     });
+    publish_transport_telemetry(&obs, &report);
     Ok((report, stats))
+}
+
+/// Mirrors a finished run's [`TransportReport`] counters into the shared
+/// registry (when one is attached). Pure accumulation — never feeds back
+/// into transport behaviour.
+fn publish_transport_telemetry(obs: &ObsHandles, report: &TransportReport) {
+    let Some(reg) = obs.registry.as_ref() else {
+        return;
+    };
+    reg.counter("transport.delivered").add(report.delivered);
+    reg.counter("transport.tombstones").add(report.tombstones);
+    reg.counter("transport.duplicates").add(report.duplicates);
+    reg.counter("transport.retransmits").add(report.retransmits);
+    reg.counter("transport.busy_nacks").add(report.busy_nacks);
+    reg.counter("transport.shed").add(report.shed);
+    reg.counter("transport.recoveries").add(report.recoveries);
+    reg.counter("transport.journal_syncs")
+        .add(report.journal_syncs);
+    reg.counter("transport.journal_lost_bytes")
+        .add(report.journal_lost_bytes);
+    reg.counter("transport.recovery_tail_dropped")
+        .add(report.recovery_tail_dropped);
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ use crate::clock::{Clock, MonotonicClock};
 use crate::memo::{MemoCache, SharedMemoCache};
 use crate::queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 use crate::stats::{IngestStats, StatsCore};
+use softborg_obs::ObsHandles;
 use softborg_program::overlay::Overlay;
 use softborg_program::taint::InputDependence;
 use softborg_program::{BranchSiteId, Program};
@@ -80,6 +81,11 @@ pub struct IngestConfig {
     /// `wall_ns`, `worker_busy_ns`, and `frame_latency_ns` stay
     /// meaningful under simulation.
     pub clock: Arc<dyn Clock>,
+    /// Telemetry sinks: an optional shared metrics registry (attaching
+    /// one also enables the per-frame stage histograms) and a flight
+    /// recorder for run events. The default records nothing beyond the
+    /// counters that back [`IngestStats`].
+    pub obs: ObsHandles,
 }
 
 impl Default for IngestConfig {
@@ -92,6 +98,7 @@ impl Default for IngestConfig {
             memo_capacity: 4096,
             memo_mode: MemoMode::PerWorker,
             clock: Arc::new(MonotonicClock::new()),
+            obs: ObsHandles::default(),
         }
     }
 }
@@ -183,7 +190,7 @@ impl FrameSender {
     /// [`submit`](Self::submit).
     pub fn submit_at(&self, seq: u64, frame: Vec<u8>) {
         let sh = &self.shared;
-        sh.stats.add(&sh.stats.frames_submitted, 1);
+        sh.stats.frames_submitted.incr();
         match sh.frames.push(FrameItem {
             seq,
             bytes: frame,
@@ -192,11 +199,11 @@ impl FrameSender {
             PushOutcome::Accepted => {}
             PushOutcome::Displaced(old) => {
                 sh.dropped.lock().expect("drop set").insert(old.seq);
-                sh.stats.add(&sh.stats.frames_dropped, 1);
+                sh.stats.frames_dropped.incr();
             }
             PushOutcome::Closed(item) => {
                 sh.dropped.lock().expect("drop set").insert(item.seq);
-                sh.stats.add(&sh.stats.frames_dropped, 1);
+                sh.stats.frames_dropped.incr();
             }
         }
     }
@@ -273,11 +280,11 @@ fn worker_loop(
                 let mut corrupt = false;
                 for p in payloads {
                     if let Some(hit) = memo.get(p) {
-                        shared.stats.add(&shared.stats.cache_hits, 1);
+                        shared.stats.cache_hits.incr();
                         entries.push(hit);
                         continue;
                     }
-                    shared.stats.add(&shared.stats.cache_misses, 1);
+                    shared.stats.cache_misses.incr();
                     match wire::decode(p) {
                         Err(_) => {
                             corrupt = true;
@@ -298,12 +305,13 @@ fn worker_loop(
                 }
             }
         };
-        shared.stats.add(
-            &shared.stats.worker_busy_ns,
-            shared.clock.now_ns().saturating_sub(t0),
-        );
+        let busy_ns = shared.clock.now_ns().saturating_sub(t0);
+        shared.stats.worker_busy_ns.add(busy_ns);
+        if let Some(h) = &shared.stats.stage_work_ns {
+            h.record(busy_ns);
+        }
         if matches!(out, WorkerOut::Corrupt) {
-            shared.stats.add(&shared.stats.frames_corrupt, 1);
+            shared.stats.frames_corrupt.incr();
         }
         // If the merger died (sink panic) the queue is closed; the item
         // is simply discarded while the scope unwinds.
@@ -313,9 +321,7 @@ fn worker_loop(
             out,
         });
     }
-    shared
-        .stats
-        .add(&shared.stats.cache_evictions, memo.local_evictions());
+    shared.stats.cache_evictions.add(memo.local_evictions());
 }
 
 /// Heap entry ordered by ascending sequence number.
@@ -348,20 +354,19 @@ fn merger_loop<F: FnMut(&ProcessedTrace)>(shared: &Shared, sink: &mut F) {
                 for entry in entries {
                     sink(entry);
                 }
-                shared
-                    .stats
-                    .add(&shared.stats.traces_merged, entries.len() as u64);
+                shared.stats.traces_merged.add(entries.len() as u64);
             }
             WorkerOut::Corrupt => {
                 // Already counted by the worker; the slot is consumed so
                 // ordering stays intact.
             }
         }
-        shared.stats.add(&shared.stats.frames_merged, 1);
-        shared.stats.add(
-            &shared.stats.frame_latency_ns,
-            shared.clock.now_ns().saturating_sub(item.enqueued_at_ns),
-        );
+        shared.stats.frames_merged.incr();
+        let latency_ns = shared.clock.now_ns().saturating_sub(item.enqueued_at_ns);
+        shared.stats.frame_latency_ns.add(latency_ns);
+        if let Some(h) = &shared.stats.stage_merge_wait_ns {
+            h.record(latency_ns);
+        }
     };
     let skip_dropped = |next: &mut u64| {
         let mut dropped = shared.dropped.lock().expect("drop set");
@@ -422,7 +427,7 @@ where
         frames: BoundedQueue::new(config.queue_capacity, config.policy),
         merged: BoundedQueue::new(config.merge_capacity, BackpressurePolicy::Block),
         dropped: Mutex::new(BTreeSet::new()),
-        stats: StatsCore::default(),
+        stats: StatsCore::new(config.obs.registry.as_ref()),
         next_seq: AtomicU64::new(0),
         senders: AtomicUsize::new(1),
         clock: config.clock.clone(),
@@ -460,14 +465,29 @@ where
         }
     });
     if let Some(pool) = &pool_memo {
-        shared
-            .stats
-            .add(&shared.stats.cache_evictions, pool.evictions());
+        shared.stats.cache_evictions.add(pool.evictions());
     }
     let stats = shared.stats.snapshot(
         n_workers,
         shared.frames.high_water(),
         config.clock.now_ns().saturating_sub(started),
+    );
+    // Only content-determined fields go in the event payload (frame and
+    // trace counts are fixed by the sequence-ordered merge contract);
+    // cache hits and queue depths vary with thread interleaving and
+    // would break the events-hash stability guarantee.
+    config.obs.recorder.info(
+        "ingest",
+        "run_done",
+        &[
+            ("frames_merged", stats.frames_merged),
+            ("traces_merged", stats.traces_merged),
+            ("frames_corrupt", stats.frames_corrupt),
+        ],
+        format_args!(
+            "ingest run merged {} traces over {} frames ({} corrupt) in {}ns",
+            stats.traces_merged, stats.frames_merged, stats.frames_corrupt, stats.wall_ns
+        ),
     );
     (result, stats)
 }

@@ -1,28 +1,108 @@
-//! Pipeline observability: lock-free counters updated by every stage,
-//! snapshotted into an [`IngestStats`] when a run completes.
+//! Pipeline observability: registry-backed counters updated by every
+//! stage, snapshotted into an [`IngestStats`] when a run completes.
+//!
+//! The counters live in a `softborg-obs` [`MetricsRegistry`] under
+//! `ingest.*` paths. When the caller attaches a shared registry
+//! ([`IngestConfig::obs`](crate::IngestConfig)), the same handles feed
+//! fleet-wide metrics *and* the per-run [`IngestStats`] view (the
+//! snapshot subtracts a baseline captured at run start, so per-run
+//! stats stay per-run even when the registry accumulates across
+//! rounds); without one, the run keeps a private registry and the cost
+//! is identical — one relaxed atomic add per update, exactly what the
+//! old hand-rolled `StatsCore` did.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use softborg_obs::{rates, Counter, Gauge, Histogram, MetricsRegistry};
 
-/// Shared counters the pipeline stages update concurrently.
-#[derive(Debug, Default)]
+/// Baseline counter values at run start, subtracted at snapshot time.
+#[derive(Debug, Default, Clone, Copy)]
+struct Baseline {
+    frames_submitted: u64,
+    frames_dropped: u64,
+    frames_corrupt: u64,
+    frames_merged: u64,
+    traces_merged: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    worker_busy_ns: u64,
+    frame_latency_ns: u64,
+}
+
+/// Shared counters the pipeline stages update concurrently, interned in
+/// a metrics registry under `ingest.*`.
+#[derive(Debug)]
 pub(crate) struct StatsCore {
-    pub frames_submitted: AtomicU64,
-    pub frames_dropped: AtomicU64,
-    pub frames_corrupt: AtomicU64,
-    pub frames_merged: AtomicU64,
-    pub traces_merged: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub cache_evictions: AtomicU64,
+    pub frames_submitted: Counter,
+    pub frames_dropped: Counter,
+    pub frames_corrupt: Counter,
+    pub frames_merged: Counter,
+    pub traces_merged: Counter,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub cache_evictions: Counter,
     /// Total worker time spent decoding + reconstructing, in ns.
-    pub worker_busy_ns: AtomicU64,
+    pub worker_busy_ns: Counter,
     /// Total submit→merge latency over merged frames, in ns.
-    pub frame_latency_ns: AtomicU64,
+    pub frame_latency_ns: Counter,
+    /// Per-frame decode+reconstruct stage histogram (attached registry
+    /// only — `None` is the telemetry-off fast path).
+    pub stage_work_ns: Option<Histogram>,
+    /// Per-frame submit→merge latency histogram (attached registry
+    /// only).
+    pub stage_merge_wait_ns: Option<Histogram>,
+    queue_high_water: Gauge,
+    wall_ns: Gauge,
+    workers: Gauge,
+    base: Baseline,
 }
 
 impl StatsCore {
-    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// Handles into `registry`, or a private registry when `None`.
+    /// Histogram spans are only recorded into an attached registry.
+    pub(crate) fn new(registry: Option<&MetricsRegistry>) -> Self {
+        let attached = registry.is_some();
+        let private;
+        let reg = match registry {
+            Some(r) => r,
+            None => {
+                private = MetricsRegistry::new();
+                &private
+            }
+        };
+        let c = |path| reg.counter(path);
+        let core = StatsCore {
+            frames_submitted: c("ingest.frames_submitted"),
+            frames_dropped: c("ingest.frames_dropped"),
+            frames_corrupt: c("ingest.frames_corrupt"),
+            frames_merged: c("ingest.frames_merged"),
+            traces_merged: c("ingest.traces_merged"),
+            cache_hits: c("ingest.cache_hits"),
+            cache_misses: c("ingest.cache_misses"),
+            cache_evictions: c("ingest.cache_evictions"),
+            worker_busy_ns: c("ingest.worker_busy_ns"),
+            frame_latency_ns: c("ingest.frame_latency_ns"),
+            stage_work_ns: attached.then(|| reg.histogram("ingest.stage.work_ns")),
+            stage_merge_wait_ns: attached.then(|| reg.histogram("ingest.stage.merge_wait_ns")),
+            queue_high_water: reg.gauge("ingest.queue_high_water"),
+            wall_ns: reg.gauge("ingest.wall_ns"),
+            workers: reg.gauge("ingest.workers"),
+            base: Baseline::default(),
+        };
+        StatsCore {
+            base: Baseline {
+                frames_submitted: core.frames_submitted.get(),
+                frames_dropped: core.frames_dropped.get(),
+                frames_corrupt: core.frames_corrupt.get(),
+                frames_merged: core.frames_merged.get(),
+                traces_merged: core.traces_merged.get(),
+                cache_hits: core.cache_hits.get(),
+                cache_misses: core.cache_misses.get(),
+                cache_evictions: core.cache_evictions.get(),
+                worker_busy_ns: core.worker_busy_ns.get(),
+                frame_latency_ns: core.frame_latency_ns.get(),
+            },
+            ..core
+        }
     }
 
     pub(crate) fn snapshot(
@@ -31,27 +111,22 @@ impl StatsCore {
         queue_high_water: usize,
         wall_ns: u64,
     ) -> IngestStats {
-        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        // A run that did work but finished inside one clock tick (coarse
-        // clock, or a virtual clock nobody advanced) would report
-        // wall_ns == 0 and a throughput of 0 traces/sec — nonsense for a
-        // run that merged traces. Clamp to 1ns so rates stay finite.
-        let wall_ns = if wall_ns == 0 && ld(&self.frames_submitted) > 0 {
-            1
-        } else {
-            wall_ns
-        };
+        self.queue_high_water.set_max(queue_high_water as u64);
+        self.wall_ns.set(wall_ns);
+        self.workers.set(workers as u64);
+        let frames_submitted = self.frames_submitted.get() - self.base.frames_submitted;
+        let wall_ns = rates::clamp_wall_ns(wall_ns, frames_submitted > 0);
         IngestStats {
-            frames_submitted: ld(&self.frames_submitted),
-            frames_dropped: ld(&self.frames_dropped),
-            frames_corrupt: ld(&self.frames_corrupt),
-            frames_merged: ld(&self.frames_merged),
-            traces_merged: ld(&self.traces_merged),
-            cache_hits: ld(&self.cache_hits),
-            cache_misses: ld(&self.cache_misses),
-            cache_evictions: ld(&self.cache_evictions),
-            worker_busy_ns: ld(&self.worker_busy_ns),
-            frame_latency_ns: ld(&self.frame_latency_ns),
+            frames_submitted,
+            frames_dropped: self.frames_dropped.get() - self.base.frames_dropped,
+            frames_corrupt: self.frames_corrupt.get() - self.base.frames_corrupt,
+            frames_merged: self.frames_merged.get() - self.base.frames_merged,
+            traces_merged: self.traces_merged.get() - self.base.traces_merged,
+            cache_hits: self.cache_hits.get() - self.base.cache_hits,
+            cache_misses: self.cache_misses.get() - self.base.cache_misses,
+            cache_evictions: self.cache_evictions.get() - self.base.cache_evictions,
+            worker_busy_ns: self.worker_busy_ns.get() - self.base.worker_busy_ns,
+            frame_latency_ns: self.frame_latency_ns.get() - self.base.frame_latency_ns,
             queue_high_water,
             wall_ns,
             workers,
@@ -59,7 +134,8 @@ impl StatsCore {
     }
 }
 
-/// Counters and gauges for one pipeline run.
+/// Counters and gauges for one pipeline run — the per-run derived view
+/// over the `ingest.*` registry metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IngestStats {
     /// Frames handed to the pipeline (before any drop).
@@ -98,27 +174,55 @@ pub struct IngestStats {
 impl IngestStats {
     /// Mean submit→merge latency per merged frame, in ns.
     pub fn mean_frame_latency_ns(&self) -> u64 {
-        self.frame_latency_ns
-            .checked_div(self.frames_merged)
-            .unwrap_or(0)
+        rates::mean(self.frame_latency_ns, self.frames_merged)
     }
 
     /// Sink throughput in traces per second.
     pub fn throughput_traces_per_sec(&self) -> f64 {
-        if self.wall_ns == 0 {
-            0.0
-        } else {
-            self.traces_merged as f64 * 1e9 / self.wall_ns as f64
-        }
+        rates::per_sec(self.traces_merged, self.wall_ns)
     }
 
     /// Fraction of traces served from the memo cache, in `[0, 1]`.
     pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / total as f64
-        }
+        rates::hit_rate(self.cache_hits, self.cache_misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attached_registry_snapshots_are_per_run_deltas() {
+        let reg = MetricsRegistry::new();
+        let run1 = StatsCore::new(Some(&reg));
+        run1.frames_submitted.add(3);
+        run1.traces_merged.add(7);
+        assert_eq!(run1.snapshot(1, 0, 10).traces_merged, 7);
+        // A second run over the same registry sees only its own counts…
+        let run2 = StatsCore::new(Some(&reg));
+        run2.frames_submitted.add(1);
+        run2.traces_merged.add(2);
+        let s2 = run2.snapshot(1, 0, 10);
+        assert_eq!(s2.frames_submitted, 1);
+        assert_eq!(s2.traces_merged, 2);
+        // …while the registry accumulates fleet-wide totals.
+        assert_eq!(reg.snapshot().counter("ingest.traces_merged"), Some(9));
+    }
+
+    #[test]
+    fn private_registry_has_no_histograms() {
+        let core = StatsCore::new(None);
+        assert!(core.stage_work_ns.is_none());
+        let attached = StatsCore::new(Some(&MetricsRegistry::new()));
+        assert!(attached.stage_work_ns.is_some());
+    }
+
+    #[test]
+    fn zero_wall_clamps_only_when_busy() {
+        let core = StatsCore::new(None);
+        assert_eq!(core.snapshot(1, 0, 0).wall_ns, 0);
+        core.frames_submitted.incr();
+        assert_eq!(core.snapshot(1, 0, 0).wall_ns, 1);
     }
 }

@@ -1,0 +1,238 @@
+//! The divergence explainer: given the flight-recorder streams of two
+//! runs that were expected to be identical (same seed, or fault plans
+//! expected not to matter), report the **first divergent event** —
+//! source, virtual instant, payload — instead of a bare hash mismatch.
+//!
+//! "First" means: per source, walk both streams in sequence order to
+//! the first event whose stable fields differ (or where one stream ends
+//! early); across sources, pick the candidate with the smallest
+//! timestamp (ties broken by source name), which under the simulator is
+//! the earliest virtual instant at which the two executions visibly
+//! parted ways.
+
+use crate::recorder::{Event, FlightRecorder};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How the two streams differ at the divergence point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Both streams have an event at this `(source, seq)` but the
+    /// stable fields differ.
+    Mismatch,
+    /// Only run A has this event; run B's stream ended first.
+    OnlyInA,
+    /// Only run B has this event; run A's stream ended first.
+    OnlyInB,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DivergenceKind::Mismatch => "mismatch",
+            DivergenceKind::OnlyInA => "only in run A",
+            DivergenceKind::OnlyInB => "only in run B",
+        })
+    }
+}
+
+/// The first point at which two runs' event streams part ways.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Source whose streams diverge.
+    pub source: String,
+    /// Sequence number of the first divergent event in that source.
+    pub seq: u64,
+    /// How the streams differ.
+    pub kind: DivergenceKind,
+    /// Run A's event at `(source, seq)`, when present.
+    pub a: Option<Event>,
+    /// Run B's event at `(source, seq)`, when present.
+    pub b: Option<Event>,
+    /// Matching events before the divergence, over all sources.
+    pub common_prefix: u64,
+}
+
+impl Divergence {
+    /// Timestamp of the divergence: the smaller of the two sides'
+    /// `at_ns` (virtual ns under the simulator).
+    pub fn at_ns(&self) -> u64 {
+        match (&self.a, &self.b) {
+            (Some(a), Some(b)) => a.at_ns.min(b.at_ns),
+            (Some(a), None) => a.at_ns,
+            (None, Some(b)) => b.at_ns,
+            (None, None) => 0,
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "first divergent event ({}): source={} seq={} at {}ns \
+             ({} events matched before divergence)",
+            self.kind,
+            self.source,
+            self.seq,
+            self.at_ns(),
+            self.common_prefix
+        )?;
+        let side = |f: &mut fmt::Formatter<'_>, label: &str, ev: &Option<Event>| match ev {
+            Some(ev) => writeln!(
+                f,
+                "  run {label}: [{}] {} {:?} at {}ns — {}",
+                ev.severity, ev.kind, ev.fields, ev.at_ns, ev.msg
+            ),
+            None => writeln!(f, "  run {label}: (stream ended)"),
+        };
+        side(f, "A", &self.a)?;
+        side(f, "B", &self.b)
+    }
+}
+
+/// Diffs two event streams (each sorted by `(source, seq)`, as
+/// [`FlightRecorder::events`] returns them) and reports the first
+/// divergent event, or `None` when the streams match on all stable
+/// fields.
+pub fn explain(a: &[Event], b: &[Event]) -> Option<Divergence> {
+    let by_source = |evs: &[Event]| {
+        let mut m: BTreeMap<String, Vec<Event>> = BTreeMap::new();
+        for ev in evs {
+            m.entry(ev.source.to_string()).or_default().push(ev.clone());
+        }
+        m
+    };
+    let ma = by_source(a);
+    let mb = by_source(b);
+    static EMPTY: Vec<Event> = Vec::new();
+    let mut best: Option<Divergence> = None;
+    let mut matched_total = 0u64;
+    for source in ma.keys().chain(mb.keys()) {
+        if best.as_ref().is_some_and(|d| &d.source == source) {
+            continue; // chain() visits shared sources twice
+        }
+        let sa = ma.get(source).unwrap_or(&EMPTY);
+        let sb = mb.get(source).unwrap_or(&EMPTY);
+        let mut matched_here = 0u64;
+        let mut cand: Option<Divergence> = None;
+        for i in 0..sa.len().max(sb.len()) {
+            let (ea, eb) = (sa.get(i), sb.get(i));
+            let kind = match (ea, eb) {
+                (Some(ea), Some(eb)) if ea.same_stable(eb) => {
+                    matched_here += 1;
+                    continue;
+                }
+                (Some(_), Some(_)) => DivergenceKind::Mismatch,
+                (Some(_), None) => DivergenceKind::OnlyInA,
+                (None, Some(_)) => DivergenceKind::OnlyInB,
+                (None, None) => unreachable!("i < max(len)"),
+            };
+            cand = Some(Divergence {
+                source: source.clone(),
+                seq: ea.or(eb).map(|e| e.seq).unwrap_or(i as u64),
+                kind,
+                a: ea.cloned(),
+                b: eb.cloned(),
+                common_prefix: 0, // filled in below, over all sources
+            });
+            break;
+        }
+        matched_total += matched_here;
+        if let Some(cand) = cand {
+            let earlier = match &best {
+                None => true,
+                Some(best) => {
+                    (cand.at_ns(), cand.source.as_str()) < (best.at_ns(), best.source.as_str())
+                }
+            };
+            if earlier {
+                best = Some(cand);
+            }
+        }
+    }
+    best.map(|mut d| {
+        d.common_prefix = matched_total;
+        d
+    })
+}
+
+/// [`explain`] over two recorders' retained events.
+pub fn explain_recorders(a: &FlightRecorder, b: &FlightRecorder) -> Option<Divergence> {
+    explain(&a.events(), &b.events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::recorder::Severity;
+    use std::sync::Arc;
+
+    fn rec() -> (FlightRecorder, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new(0));
+        (FlightRecorder::new(clock.clone(), 64), clock)
+    }
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        let (a, _) = rec();
+        let (b, _) = rec();
+        for r in [&a, &b] {
+            r.info("x", "tick", &[("n", 1)], "");
+            r.info("y", "tock", &[], "");
+        }
+        assert!(explain_recorders(&a, &b).is_none());
+    }
+
+    #[test]
+    fn first_divergent_event_is_earliest_by_time() {
+        let (a, ca) = rec();
+        let (b, cb) = rec();
+        // Shared prefix.
+        a.info("node.1", "beat", &[("n", 0)], "");
+        b.info("node.1", "beat", &[("n", 0)], "");
+        // node.2 diverges at t=50, node.1 at t=100: report node.2.
+        ca.set(50);
+        cb.set(50);
+        a.info("node.2", "crash", &[("at", 50)], "");
+        b.info("node.2", "beat", &[("n", 0)], "");
+        ca.set(100);
+        cb.set(100);
+        a.info("node.1", "beat", &[("n", 1)], "");
+        b.info("node.1", "beat", &[("n", 2)], "");
+        let d = explain_recorders(&a, &b).expect("diverges");
+        assert_eq!(d.source, "node.2");
+        assert_eq!(d.seq, 0);
+        assert_eq!(d.kind, DivergenceKind::Mismatch);
+        assert_eq!(d.at_ns(), 50);
+        assert_eq!(d.common_prefix, 2);
+        assert_eq!(d.a.unwrap().kind, "crash");
+        assert_eq!(d.b.unwrap().kind, "beat");
+    }
+
+    #[test]
+    fn truncated_stream_reports_the_missing_side() {
+        let (a, _) = rec();
+        let (b, _) = rec();
+        a.warn("s", "k", &[], "");
+        a.warn("s", "k2", &[], "");
+        b.warn("s", "k", &[], "");
+        let d = explain_recorders(&a, &b).expect("diverges");
+        assert_eq!(d.kind, DivergenceKind::OnlyInA);
+        assert_eq!(d.seq, 1);
+        assert!(d.b.is_none());
+        let shown = d.to_string();
+        assert!(shown.contains("only in run A"), "{shown}");
+        assert!(shown.contains("(stream ended)"), "{shown}");
+    }
+
+    #[test]
+    fn severity_only_changes_are_divergences() {
+        let (a, _) = rec();
+        let (b, _) = rec();
+        a.record("s", Severity::Info, "k", &[], "");
+        b.record("s", Severity::Warn, "k", &[], "");
+        assert!(explain_recorders(&a, &b).is_some());
+    }
+}

@@ -1,0 +1,103 @@
+//! Span-style timers: measure one stage's duration against a [`Clock`]
+//! and feed it into a [`Histogram`] bucket on completion.
+//!
+//! Spans are deliberately allocation-free and optional: hot stages hold
+//! an `Option<Histogram>` and only start a span when telemetry is
+//! attached, so the telemetry-off cost is a branch on a `None`.
+
+use crate::clock::Clock;
+use crate::registry::Histogram;
+
+/// An in-flight measurement of one stage. Obtain via
+/// [`SpanTimer::start`]; the elapsed time is recorded into the
+/// histogram when the span is [`stop`](SpanTimer::stop)ped (or dropped
+/// — stop returns the elapsed ns when the caller also wants the value).
+#[derive(Debug)]
+pub struct SpanTimer<'c> {
+    clock: &'c dyn Clock,
+    hist: Histogram,
+    started_ns: u64,
+    recorded: bool,
+}
+
+impl<'c> SpanTimer<'c> {
+    /// Starts a span at `clock`'s current instant.
+    pub fn start(clock: &'c dyn Clock, hist: &Histogram) -> Self {
+        SpanTimer {
+            clock,
+            hist: hist.clone(),
+            started_ns: clock.now_ns(),
+            recorded: false,
+        }
+    }
+
+    /// Starts a span only when `hist` is attached; the `None` case is
+    /// the telemetry-off fast path.
+    pub fn start_if(clock: &'c dyn Clock, hist: &Option<Histogram>) -> Option<Self> {
+        hist.as_ref().map(|h| SpanTimer::start(clock, h))
+    }
+
+    /// Ends the span, records the elapsed nanoseconds, and returns them.
+    pub fn stop(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        if self.recorded {
+            return 0;
+        }
+        self.recorded = true;
+        let elapsed = self.clock.now_ns().saturating_sub(self.started_ns);
+        self.hist.record(elapsed);
+        elapsed
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn span_records_elapsed_once() {
+        let clock = ManualClock::new(100);
+        let reg = MetricsRegistry::new();
+        let hist = reg.histogram("stage_ns");
+        let span = SpanTimer::start(&clock, &hist);
+        clock.advance(37);
+        assert_eq!(span.stop(), 37);
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 37);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let clock = ManualClock::new(0);
+        let reg = MetricsRegistry::new();
+        let hist = reg.histogram("stage_ns");
+        {
+            let _span = SpanTimer::start(&clock, &hist);
+            clock.advance(5);
+        }
+        assert_eq!(hist.snapshot().sum, 5);
+    }
+
+    #[test]
+    fn start_if_skips_detached() {
+        let clock = ManualClock::new(0);
+        assert!(SpanTimer::start_if(&clock, &None).is_none());
+        let reg = MetricsRegistry::new();
+        let hist = Some(reg.histogram("h"));
+        let span = SpanTimer::start_if(&clock, &hist).expect("attached");
+        clock.advance(2);
+        assert_eq!(span.stop(), 2);
+    }
+}

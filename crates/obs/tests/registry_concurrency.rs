@@ -1,0 +1,108 @@
+//! [`MetricsReport`] snapshots must be independent of how concurrent
+//! updates interleave: counters, histograms and `set_max` gauges are
+//! commutative, so any partition of the same operation multiset across
+//! any number of threads must snapshot to the identical report.
+
+use proptest::prelude::*;
+use softborg_obs::{MetricsRegistry, MetricsReport};
+use std::sync::Arc;
+
+/// One commutative registry operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Count(usize, u64),
+    Observe(usize, u64),
+    GaugeMax(usize, u64),
+}
+
+const PATHS: [&str; 4] = [
+    "ingest.frames",
+    "transport.delivered",
+    "platform.round_commit_ns",
+    "shard.queue_depth",
+];
+
+/// Decodes one generated `(selector, path, value)` tuple. Histogram
+/// observations get the value stretched across the full bucket range so
+/// every power-of-two bucket is reachable.
+fn decode(sel: u8, path: usize, value: u64) -> Op {
+    match sel % 3 {
+        0 => Op::Count(path, value),
+        1 => Op::Observe(path, value.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        _ => Op::GaugeMax(path, value),
+    }
+}
+
+fn apply(reg: &MetricsRegistry, op: Op) {
+    match op {
+        Op::Count(p, n) => reg.counter(PATHS[p % PATHS.len()]).add(n),
+        Op::Observe(p, v) => reg.histogram(PATHS[p % PATHS.len()]).record(v),
+        Op::GaugeMax(p, v) => reg.gauge(PATHS[p % PATHS.len()]).set_max(v),
+    }
+}
+
+/// Applies `ops` serially, in order — the reference snapshot.
+fn serial_report(ops: &[Op]) -> MetricsReport {
+    let reg = MetricsRegistry::new();
+    for &op in ops {
+        apply(&reg, op);
+    }
+    reg.snapshot()
+}
+
+/// Applies `ops` from `threads` real threads, dealt round-robin with a
+/// rotating offset so each thread's slice differs run to run.
+fn threaded_report(ops: &[Op], threads: usize, offset: usize) -> MetricsReport {
+    let reg = MetricsRegistry::new();
+    let ops: Arc<[Op]> = ops.into();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let reg = reg.clone();
+            let ops = Arc::clone(&ops);
+            std::thread::spawn(move || {
+                for (i, &op) in ops.iter().enumerate() {
+                    if (i + offset) % threads == t {
+                        apply(&reg, op);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("updater thread panicked");
+    }
+    reg.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn snapshot_is_interleaving_invariant(
+        raw in collection::vec((0u8..3, 0usize..4, 0u64..10_000), 1..120),
+        threads in 2usize..5,
+        offset in 0usize..7,
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&(s, p, v)| decode(s, p, v)).collect();
+        let reference = serial_report(&ops);
+        let concurrent = threaded_report(&ops, threads, offset);
+        prop_assert_eq!(&reference, &concurrent, "threaded snapshot diverged from serial");
+        // And the JSON rendering — the artifact CI uploads — is stable too.
+        prop_assert_eq!(reference.to_json(), concurrent.to_json());
+    }
+
+    #[test]
+    fn snapshot_lookups_match_report_vectors(
+        raw in collection::vec((0u8..3, 0usize..4, 0u64..10_000), 1..60),
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&(s, p, v)| decode(s, p, v)).collect();
+        let report = serial_report(&ops);
+        for (path, v) in &report.counters {
+            prop_assert_eq!(report.counter(path), Some(*v));
+        }
+        for (path, v) in &report.gauges {
+            prop_assert_eq!(report.gauge(path), Some(*v));
+        }
+        for (path, snap) in &report.histograms {
+            prop_assert_eq!(report.histogram(path), Some(snap));
+        }
+    }
+}

@@ -18,12 +18,67 @@ use crate::pipeline::{run_sharded, ShardFrameSender};
 use crate::stats::{ShardRunStats, ShardStats};
 use softborg_hive::{Hive, HiveConfig};
 use softborg_ingest::{IngestConfig, ProcessedTrace, ReconstructContext};
+use softborg_obs::ObsHandles;
 use softborg_program::codec::{self, CodecError};
 use softborg_program::overlay::Overlay;
 use softborg_program::taint::InputDependence;
 use softborg_program::{Program, ProgramId};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
+
+/// Mirrors a finished run's counters into the attached telemetry sinks:
+/// pool-wide and per-shard (`shard.<i>.…`) registry counters, plus one
+/// `run_done` flight-recorder event. Post-run and additive, so the hot
+/// path never touches the registry; event fields are restricted to
+/// content-determined counts (frame routing is content-authoritative,
+/// so reroutes/unknowns/corruption are interleaving-independent) to
+/// keep the events hash replay-stable.
+fn publish_run_telemetry(obs: &ObsHandles, stats: &ShardRunStats) {
+    if let Some(reg) = &obs.registry {
+        reg.counter("shard.frames_submitted")
+            .add(stats.frames_submitted);
+        reg.counter("shard.frames_dropped")
+            .add(stats.frames_dropped);
+        reg.counter("shard.frames_corrupt")
+            .add(stats.frames_corrupt);
+        reg.counter("shard.frames_rerouted")
+            .add(stats.frames_rerouted);
+        reg.counter("shard.frames_unknown_program")
+            .add(stats.frames_unknown_program);
+        reg.counter("shard.frames_merged").add(stats.frames_merged);
+        reg.counter("shard.traces_merged").add(stats.traces_merged);
+        reg.counter("shard.cache_hits").add(stats.cache_hits);
+        reg.counter("shard.cache_misses").add(stats.cache_misses);
+        reg.gauge("shard.queue_high_water")
+            .set_max(stats.queue_high_water as u64);
+        for s in &stats.per_shard {
+            let path = |name: &str| format!("shard.{}.{name}", s.shard);
+            reg.counter(&path("frames_merged")).add(s.frames_merged);
+            reg.counter(&path("traces_merged")).add(s.traces_merged);
+            reg.counter(&path("frames_corrupt")).add(s.frames_corrupt);
+            reg.counter(&path("reroutes")).add(s.frames_rerouted_in);
+        }
+    }
+    obs.recorder.info(
+        "shard",
+        "run_done",
+        &[
+            ("frames_merged", stats.frames_merged),
+            ("traces_merged", stats.traces_merged),
+            ("frames_corrupt", stats.frames_corrupt),
+            ("frames_rerouted", stats.frames_rerouted),
+            ("frames_unknown_program", stats.frames_unknown_program),
+        ],
+        format_args!(
+            "sharded run merged {} traces over {} frames ({} rerouted, {} unknown) in {}ns",
+            stats.traces_merged,
+            stats.frames_merged,
+            stats.frames_rerouted,
+            stats.frames_unknown_program,
+            stats.wall_ns
+        ),
+    );
+}
 
 /// Errors from per-shard state snapshot/restore.
 #[derive(Debug)]
@@ -245,14 +300,15 @@ impl<'p> ShardedHive<'p> {
             queue_high_water: shared.frame_high_water(),
             // Clamp like IngestStats: a run that submitted frames inside
             // one clock tick must not report zero elapsed time.
-            wall_ns: match config.clock.now_ns().saturating_sub(started) {
-                0 if ld(&core.frames_submitted) > 0 => 1,
-                ns => ns,
-            },
+            wall_ns: softborg_obs::rates::clamp_wall_ns(
+                config.clock.now_ns().saturating_sub(started),
+                ld(&core.frames_submitted) > 0,
+            ),
             workers: config.workers.max(1),
             per_shard,
             error_samples: core.errors.lock().expect("error samples").clone(),
         };
+        publish_run_telemetry(&config.obs, &stats);
         (result, stats)
     }
 

@@ -2,6 +2,7 @@
 //! breakdown, snapshotted into a [`ShardRunStats`] when a run completes.
 
 use crate::map::ShardError;
+use softborg_obs::rates;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -124,21 +125,12 @@ pub struct ShardRunStats {
 impl ShardRunStats {
     /// Sink throughput in traces per second.
     pub fn throughput_traces_per_sec(&self) -> f64 {
-        if self.wall_ns == 0 {
-            0.0
-        } else {
-            self.traces_merged as f64 * 1e9 / self.wall_ns as f64
-        }
+        rates::per_sec(self.traces_merged, self.wall_ns)
     }
 
     /// Fraction of traces served from the memo cache, in `[0, 1]`.
     pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / total as f64
-        }
+        rates::hit_rate(self.cache_hits, self.cache_misses)
     }
 
     /// Work imbalance across shards: max per-shard `traces_merged`

@@ -15,16 +15,28 @@
 //! crate's tests). [`sim_round_multi`] is the multi-program
 //! counterpart.
 
-use crate::sched::SchedStats;
+use crate::sched::{SchedStats, SimClock};
 use crate::world::{ChanId, DiskId, IoStats, Proc, Wake, World, WorldCtx};
 use softborg::multi::{MultiDrivenExecution, MultiPlatform, MultiRoundReport};
 use softborg::platform::{DrivenExecution, Platform, RoundReport};
 use softborg_netsim::{Addr, SimConfig};
+use softborg_obs::FlightRecorder;
 use softborg_pod::Pod;
 use softborg_trace::wire;
 use softborg_trace::ExecutionTrace;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// Retimes the platform's flight recorder onto the round's virtual
+/// clock (events recorded during the simulated round carry virtual
+/// instants); returns the previous clock so the caller can restore it
+/// once the round ends. `None` when the recorder is disabled.
+fn retime(recorder: &FlightRecorder, clock: &SimClock) -> Option<Arc<dyn softborg_obs::Clock>> {
+    let prev = recorder.clock();
+    recorder.set_clock(Arc::new(clock.clone()));
+    prev
+}
 
 /// Knobs for one simulated round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,6 +239,9 @@ pub fn sim_round(
     cfg: &SimRoundConfig,
 ) -> (RoundReport, SimRoundStats) {
     let mut out: Option<SimRoundStats> = None;
+    let clock = SimClock::new();
+    let recorder = platform.config().obs.recorder.clone();
+    let prev_clock = retime(&recorder, &clock);
     let report = platform.round_driven(|pods, batch| {
         let frames_per_pod = u64::from(execs_per_pod).div_ceil(batch);
         let counters = Rc::new(RefCell::new((0u64, 0u64, 0u64)));
@@ -238,6 +253,7 @@ pub fn sim_round(
             },
             cfg.fuel,
         );
+        world.drive_clock(clock.clone());
         let chan = world.add_chan(cfg.chan_capacity);
         let collector_addr = Addr(n_pods as u32);
         let disk = world.add_disk(collector_addr, cfg.fsync_latency_us);
@@ -291,6 +307,9 @@ pub fn sim_round(
             frames: collected,
         }
     });
+    if let Some(prev) = prev_clock {
+        recorder.set_clock(prev);
+    }
     (report, out.expect("driver always runs"))
 }
 
@@ -308,6 +327,9 @@ pub fn sim_round_multi(
     cfg: &SimRoundConfig,
 ) -> (MultiRoundReport, SimRoundStats) {
     let mut out: Option<SimRoundStats> = None;
+    let clock = SimClock::new();
+    let recorder = platform.config().obs.recorder.clone();
+    let prev_clock = retime(&recorder, &clock);
     let report = platform.round_driven(|tasks, batch| {
         let frames_per_pod = u64::from(execs_per_pod).div_ceil(batch);
         let n_lanes = tasks.len();
@@ -321,6 +343,7 @@ pub fn sim_round_multi(
             },
             cfg.fuel,
         );
+        world.drive_clock(clock.clone());
         let chan = world.add_chan(cfg.chan_capacity);
         let frames = Rc::new(RefCell::new(Vec::new()));
         let mut stagger = 0u64;
@@ -378,5 +401,8 @@ pub fn sim_round_multi(
             frames: collected,
         }
     });
+    if let Some(prev) = prev_clock {
+        recorder.set_clock(prev);
+    }
     (report, out.expect("driver always runs"))
 }

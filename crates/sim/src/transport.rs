@@ -87,6 +87,15 @@ pub fn run_reliable_ingest_sim(
     let clock = SimClock::new();
     let mut ingest_cfg = ingest_cfg.clone();
     ingest_cfg.clock = Arc::new(clock.clone());
+    // Retime the caller's flight recorders (if any) onto the run's
+    // virtual clock: transport/ingest events recorded during the
+    // simulated run carry virtual instants, matching the threaded
+    // path's events_hash (the hash never folds timestamps). The
+    // previous clocks are restored once the run completes.
+    let prev_transport_clock = cfg.obs.recorder.clock();
+    let prev_ingest_clock = ingest_cfg.obs.recorder.clock();
+    cfg.obs.recorder.set_clock(Arc::new(clock.clone()));
+    ingest_cfg.obs.recorder.set_clock(Arc::new(clock.clone()));
     let sink: Arc<Mutex<Option<SchedStats>>> = Arc::new(Mutex::new(None));
     let builder_sink = Arc::clone(&sink);
     let (report, stats) = run_reliable_ingest_hosted(
@@ -115,5 +124,11 @@ pub fn run_reliable_ingest_sim(
         .expect("sched sink poisoned")
         .take()
         .expect("transport host never ran");
+    if let Some(prev) = prev_transport_clock {
+        cfg.obs.recorder.set_clock(prev);
+    }
+    if let Some(prev) = prev_ingest_clock {
+        ingest_cfg.obs.recorder.set_clock(prev);
+    }
     Ok((report, stats, sched))
 }

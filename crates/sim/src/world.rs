@@ -32,8 +32,10 @@ use crate::sched::{SchedStats, Scheduler, SimClock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use softborg_netsim::{host, Action, Addr, DiskCrashPoint, NetNode, SimConfig, SimStats, SimTime};
+use softborg_obs::{FlightRecorder, Severity};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Handle on a bounded channel created with [`World::add_chan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -206,6 +208,10 @@ struct Inner {
     io: IoStats,
     chans: Vec<Chan>,
     disks: Vec<Disk>,
+    /// Virtual-time flight recorder (disabled until
+    /// [`World::attach_recorder`]): crash/restart/disk events stamped at
+    /// their exact virtual instants, for the divergence explainer.
+    recorder: FlightRecorder,
 }
 
 impl Inner {
@@ -297,15 +303,18 @@ impl Inner {
         }
     }
 
-    fn crash_disks_of(&mut self, node: Addr) {
+    fn crash_disks_of(&mut self, node: Addr) -> u64 {
+        let mut lost_total = 0u64;
         for d in &mut self.disks {
             if d.owner == node {
                 let lost = d.bytes.len() - d.synced;
                 self.io.disk_bytes_lost += lost as u64;
+                lost_total += lost as u64;
                 d.bytes.truncate(d.synced);
                 d.inflight = None;
             }
         }
+        lost_total
     }
 
     /// Drops waiter registrations of a crashed proc — a dead process
@@ -358,6 +367,7 @@ impl<'w> World<'w> {
                 io: IoStats::default(),
                 chans: Vec::new(),
                 disks: Vec::new(),
+                recorder: FlightRecorder::disabled(),
                 config,
             },
         };
@@ -438,6 +448,32 @@ impl<'w> World<'w> {
     /// [`Scheduler::drive_clock`](crate::Scheduler::drive_clock)).
     pub fn drive_clock(&mut self, clock: SimClock) {
         self.inner.sched.drive_clock(clock);
+    }
+
+    /// Attaches a flight recorder driven by this world's virtual clock
+    /// and returns a handle to it. From here on, crashes, restarts,
+    /// fsync completions, and disk faults are recorded as structured
+    /// events (`sim.node.<addr>` / `sim.disk.<d>` sources) stamped at
+    /// their exact virtual instants. Because dispatch order is a pure
+    /// function of the seed and proc set, the recorder's
+    /// [`events_hash`](FlightRecorder::events_hash) is replay-stable —
+    /// two runs with the same seed and fault plan produce identical
+    /// streams, and a run that diverges pinpoints *where* via
+    /// [`softborg_obs::explain_recorders`].
+    pub fn attach_recorder(&mut self, capacity: usize) -> FlightRecorder {
+        let recorder = FlightRecorder::new(Arc::new(self.clock()), capacity);
+        self.set_recorder(recorder.clone());
+        recorder
+    }
+
+    /// Adopts an externally created recorder for the world's
+    /// infrastructure events (see [`attach_recorder`]
+    /// (World::attach_recorder)) and retimes it onto this world's
+    /// virtual clock, so the caller keeps their handle to the shared
+    /// rings while events are stamped in virtual time.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        recorder.set_clock(Arc::new(self.clock()));
+        self.inner.recorder = recorder;
     }
 
     /// Network counters (netsim-compatible).
@@ -558,8 +594,17 @@ impl<'w> World<'w> {
                 if i < self.inner.alive.len() && self.inner.alive[i] {
                     self.inner.alive[i] = false;
                     self.inner.net.crashes += 1;
-                    self.inner.crash_disks_of(a);
+                    let lost = self.inner.crash_disks_of(a);
                     self.inner.drop_waiters_of(a);
+                    if self.inner.recorder.is_enabled() {
+                        self.inner.recorder.record(
+                            &format!("sim.node.{}", a.0),
+                            Severity::Warn,
+                            "crash",
+                            &[("disk_bytes_lost", lost)],
+                            format_args!("node {} crashed, {lost} unsynced byte(s) lost", a.0),
+                        );
+                    }
                     if let Some(p) = self.procs[i].as_mut() {
                         p.on_crash();
                     }
@@ -569,6 +614,14 @@ impl<'w> World<'w> {
                 let i = a.0 as usize;
                 if i < self.inner.alive.len() && !self.inner.alive[i] {
                     self.inner.alive[i] = true;
+                    if self.inner.recorder.is_enabled() {
+                        self.inner.recorder.info(
+                            &format!("sim.node.{}", a.0),
+                            "restart",
+                            &[],
+                            format_args!("node {} restarted", a.0),
+                        );
+                    }
                     self.call(a, |p, ctx| p.on_restart(ctx));
                 }
             }
@@ -588,6 +641,16 @@ impl<'w> World<'w> {
                 let d = &mut self.inner.disks[di];
                 d.synced = covered.min(d.bytes.len());
                 self.inner.io.fsyncs += 1;
+                if self.inner.recorder.is_enabled() {
+                    let synced = self.inner.disks[di].synced as u64;
+                    self.inner.recorder.record(
+                        &format!("sim.disk.{}", disk.0),
+                        Severity::Debug,
+                        "fsync",
+                        &[("synced_bytes", synced)],
+                        format_args!("disk {} fsync complete, {synced} byte(s) durable", disk.0),
+                    );
+                }
                 let owner = self.inner.disks[di].owner;
                 let oi = owner.0 as usize;
                 if oi < self.procs.len() && self.inner.alive[oi] {
@@ -597,7 +660,7 @@ impl<'w> World<'w> {
             }
             Event::DiskFault { disk, point } => {
                 let d = &mut self.inner.disks[disk.0 as usize];
-                match point {
+                let (kind, amount) = match point {
                     DiskCrashPoint::TruncateWalTail { drop_bytes } => {
                         let n = (drop_bytes as usize).min(d.bytes.len());
                         d.bytes.truncate(d.bytes.len() - n);
@@ -606,6 +669,7 @@ impl<'w> World<'w> {
                             d.inflight = Some(c.min(d.bytes.len()));
                         }
                         self.inner.io.disk_faults += 1;
+                        ("disk_fault_truncate", n as u64)
                     }
                     DiskCrashPoint::FlipWalBit { back_offset } => {
                         if !d.bytes.is_empty() {
@@ -614,10 +678,21 @@ impl<'w> World<'w> {
                             d.bytes[idx] ^= 1;
                         }
                         self.inner.io.disk_faults += 1;
+                        ("disk_fault_flip", back_offset)
                     }
                     _ => {
                         self.inner.io.disk_faults_ignored += 1;
+                        ("disk_fault_ignored", 0)
                     }
+                };
+                if self.inner.recorder.is_enabled() {
+                    self.inner.recorder.record(
+                        &format!("sim.disk.{}", disk.0),
+                        Severity::Warn,
+                        kind,
+                        &[("amount", amount)],
+                        format_args!("disk {} fault: {kind} ({amount})", disk.0),
+                    );
                 }
             }
         }
