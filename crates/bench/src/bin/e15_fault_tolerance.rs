@@ -3,9 +3,11 @@
 //! final state is byte-identical to a fault-free serial ingest of the
 //! same traces, with zero accepted frames lost.
 //!
-//! Writes `BENCH_fault.json` into the current directory.
+//! Writes `BENCH_fault.json` into the current directory. `--seed N`
+//! reseeds the trace generation and the per-cell simulations
+//! (default 21).
 
-use softborg_bench::{banner, cell, table_header};
+use softborg_bench::{arg_seed, banner, cell, table_header};
 use softborg_hive::transport::{run_reliable_ingest, TransportConfig};
 use softborg_hive::{Hive, HiveConfig};
 use softborg_ingest::IngestConfig;
@@ -33,6 +35,7 @@ struct Row {
 }
 
 fn main() {
+    let seed = arg_seed(21);
     banner(
         "E15",
         "transport fault tolerance: loss × duplication × crash schedules",
@@ -50,7 +53,7 @@ fn main() {
         &s.program,
         PodConfig {
             input_range: s.input_range,
-            seed: 21,
+            seed,
             ..PodConfig::default()
         },
     );
@@ -110,7 +113,8 @@ fn main() {
                     sessions.clone(),
                     &IngestConfig::default(),
                     &TransportConfig {
-                        seed: u64::from(loss) * 31 + u64::from(dup) * 7 + schedule.len() as u64,
+                        seed: seed
+                            ^ (u64::from(loss) * 31 + u64::from(dup) * 7 + schedule.len() as u64),
                         link: LinkConfig {
                             loss_per_mille: loss,
                             ..LinkConfig::default()

@@ -7,9 +7,10 @@
 //! journal bounded by `compact_ratio × live state`.
 //!
 //! Writes `BENCH_durability.json` into the current directory.
+//! `--seed N` reseeds the platform campaign (default 29).
 
 use softborg::{DurabilityConfig, Platform, PlatformConfig};
-use softborg_bench::{banner, cell, table_header};
+use softborg_bench::{arg_seed, banner, cell, table_header};
 use softborg_netsim::{DiskCrashPoint, FaultPlan};
 use softborg_program::scenarios::{self, Scenario};
 use std::fmt::Write as _;
@@ -21,14 +22,14 @@ const EXECS: u32 = 10;
 const COMPACT_RATIO: u64 = 3;
 const MIN_COMPACT_BYTES: u64 = 8 * 1024;
 
-fn config(s: &Scenario, dir: PathBuf) -> PlatformConfig {
+fn config(s: &Scenario, dir: PathBuf, seed: u64) -> PlatformConfig {
     PlatformConfig {
         n_pods: PODS,
         pod: softborg::pod::PodConfig {
             input_range: s.input_range,
             ..softborg::pod::PodConfig::default()
         },
-        seed: 29,
+        seed,
         durability: Some(DurabilityConfig {
             dir,
             compact_ratio: COMPACT_RATIO,
@@ -78,6 +79,7 @@ struct CrashRow {
 }
 
 fn main() {
+    let seed = arg_seed(29);
     banner(
         "E16",
         "crash-only durable hive: kill/restart at every round boundary + disk crash points",
@@ -101,7 +103,7 @@ fn main() {
     // After every round, record the hive state (the byte-identity
     // target) and clone the campaign directory (the disk image a kill
     // at that boundary would leave).
-    let mut reference = Platform::new(&s.program, config(&s, ref_dir.clone()));
+    let mut reference = Platform::new(&s.program, config(&s, ref_dir.clone(), seed));
     let mut states: Vec<Vec<u8>> = vec![reference.hive_state()];
     let mut compactions = 0u64;
     let mut max_ratio = 0.0f64;
@@ -149,8 +151,8 @@ fn main() {
     let scratch = base.join("scratch");
     for k in 1..=ROUNDS {
         copy_campaign(&base.join(format!("boundary-{k}")), &scratch);
-        let (resumed, report) =
-            Platform::resume(&s.program, config(&s, scratch.clone())).expect("resume boundary");
+        let (resumed, report) = Platform::resume(&s.program, config(&s, scratch.clone(), seed))
+            .expect("resume boundary");
         let ok = resumed.committed_rounds() == k
             && report.rounds_from_snapshot + report.rounds_replayed == k
             && resumed.hive_state() == states[k as usize];
@@ -250,13 +252,13 @@ fn main() {
             DiskCrashPoint::BetweenRenameAndTruncate => {
                 // Reproduce the exact window: resume, write the new
                 // snapshot generation, die before the journal truncate.
-                let (mut p, _) = Platform::resume(&s.program, config(&s, scratch.clone()))
+                let (mut p, _) = Platform::resume(&s.program, config(&s, scratch.clone(), seed))
                     .expect("resume for checkpoint");
                 p.checkpoint_interrupted().expect("interrupted checkpoint");
             }
         }
-        let (resumed, report) =
-            Platform::resume(&s.program, config(&s, scratch.clone())).expect("resume after crash");
+        let (resumed, report) = Platform::resume(&s.program, config(&s, scratch.clone(), seed))
+            .expect("resume after crash");
         let r = resumed.committed_rounds();
         // The universal crash-only invariant: whatever the damage,
         // recovery lands on a state some uninterrupted run actually had.

@@ -11,9 +11,10 @@
 //! replaced, at the same total cache budget (the satellite delta the
 //! E14 single-CPU baseline anchors).
 //!
-//! Writes `BENCH_shard.json` into the current directory.
+//! Writes `BENCH_shard.json` into the current directory. `--seed N`
+//! rebases the per-pod trace seeds (default 1000).
 
-use softborg_bench::{banner, cell, table_header};
+use softborg_bench::{arg_seed, banner, cell, table_header};
 use softborg_hive::{Hive, HiveConfig};
 use softborg_ingest::{BackpressurePolicy, IngestConfig, MemoMode};
 use softborg_pod::{Pod, PodConfig};
@@ -45,7 +46,7 @@ struct Workload {
     frames: Vec<Vec<u8>>,
 }
 
-fn workloads() -> Vec<Workload> {
+fn workloads(seed_base: u64) -> Vec<Workload> {
     // Ordered by trace redundancy: the first four are the regime a
     // deployed population produces (natural executions saturating a
     // modest path set — the regime recycling exploits); the back four
@@ -70,7 +71,7 @@ fn workloads() -> Vec<Workload> {
                     &scenario.program,
                     PodConfig {
                         input_range: scenario.input_range,
-                        seed: 1000 * (i as u64 + 1) + p,
+                        seed: seed_base * (i as u64 + 1) + p,
                         ..PodConfig::default()
                     },
                 );
@@ -204,6 +205,7 @@ struct Cell {
 }
 
 fn main() {
+    let seed_base = arg_seed(1000);
     banner(
         "E17",
         "sharded multi-program hive: shards x programs on a pinned worker budget",
@@ -215,7 +217,7 @@ fn main() {
         "workload: {} pods x {} execs per program, batch {} traces/frame, {} workers pinned",
         N_PODS, PER_POD, BATCH, WORKERS
     );
-    let loads = workloads();
+    let loads = workloads(seed_base);
     for w in &loads {
         let distinct: std::collections::HashSet<&[u8]> =
             w.singles.iter().map(Vec::as_slice).collect();

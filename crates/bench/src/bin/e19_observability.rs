@@ -10,11 +10,12 @@
 //! flight-recorder event instead of a bare hash mismatch.
 //!
 //! Writes `BENCH_obs.json` and a sample flight-recorder export
-//! `OBS_sample.jsonl` into the current directory. `--smoke` runs the
+//! `OBS_sample.jsonl` into the current directory. `--seed N` reseeds
+//! the fleet day (default 20260808). `--smoke` runs the
 //! CI variant (fewer repetitions, 5k-pod day).
 
 use softborg_bench::fleet::{self, DayConfig};
-use softborg_bench::{banner, cell, table_header};
+use softborg_bench::{arg_seed, banner, cell, table_header};
 use softborg_hive::{Hive, HiveConfig};
 use softborg_ingest::{BackpressurePolicy, IngestConfig};
 use softborg_obs::{
@@ -88,6 +89,7 @@ fn overhead_pct(pairs: &[(f64, f64)]) -> (f64, f64) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let fleet_seed = arg_seed(FLEET_SEED);
     let reps = if smoke { 3 } else { 5 };
     let fleet_pods: u64 = if smoke { 5_000 } else { 20_000 };
 
@@ -159,10 +161,10 @@ fn main() {
     let ingest_events = ingest_obs.recorder.events().len();
 
     // ---- Workload 2: E18 fleet day ------------------------------------
-    println!("fleet workload: {fleet_pods} pods, 24 virtual hours, seed {FLEET_SEED}");
+    println!("fleet workload: {fleet_pods} pods, 24 virtual hours, seed {fleet_seed}");
     let day_cfg = |cap: Option<usize>, shift: u64| DayConfig {
         pods: fleet_pods,
-        seed: FLEET_SEED,
+        seed: fleet_seed,
         recorder_capacity: cap,
         crash_shift_us: shift,
     };

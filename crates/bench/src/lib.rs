@@ -1,6 +1,6 @@
 //! # softborg-bench — experiment harnesses
 //!
-//! One runnable binary per experiment in `EXPERIMENTS.md` (E1–E13) plus
+//! One runnable binary per experiment in `EXPERIMENTS.md` (E1–E20) plus
 //! Criterion micro-benchmarks (`portfolio`, `merge`, `recording`). Each
 //! binary prints the table/series its experiment defines;
 //! `cargo run -p softborg-bench --release --bin <name>` regenerates it.
@@ -50,6 +50,30 @@ pub fn collect_path(
         )
         .expect("bench inputs match program arity");
     (obs.decisions, r.outcome)
+}
+
+/// Parses `--<flag> N` from argv, returning `default` when absent.
+/// Panics (with the flag name) on a non-integer value.
+pub fn arg_u64(flag: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == flag) {
+        None => default,
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} wants an integer"));
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} wants an integer, got {v:?}"))
+        }
+    }
+}
+
+/// Parses the shared `--seed N` flag, returning `default` when absent.
+/// Every harness seed routes through here (or a literal passed to a
+/// config) — never the wall clock or process entropy — so any reported
+/// number can be regenerated from the command line that produced it.
+pub fn arg_seed(default: u64) -> u64 {
+    arg_u64("--seed", default)
 }
 
 /// Prints an experiment banner.

@@ -42,6 +42,6 @@ pub use proofs::{assemble, verify, ProofCertificate, ProofError};
 pub use replica::{run_replica_sync, OutcomePath, ReplicaConfig, ReplicaReport};
 pub use snapshot::{HiveSnapshot, LoadReport, SnapshotSource, SnapshotStore};
 pub use transport::{
-    run_reliable_ingest, run_reliable_ingest_hosted, run_reliable_ingest_resumed, NetHost,
-    PodClient, TransportConfig, TransportReport,
+    run_reliable_ingest, run_reliable_ingest_hosted, run_reliable_ingest_resumed, CanaryBug,
+    NetHost, PodClient, TransportConfig, TransportReport,
 };

@@ -94,6 +94,63 @@ struct Metrics {
     journal_error: Option<JournalIoError>,
 }
 
+/// A deliberately injectable platform bug, for exercising the fault
+/// search's find-and-shrink path end to end (`softborg-search`). Each
+/// canary is a real bug class this transport's invariants exist to
+/// prevent, reintroduced behind a config flag: with `canary: None`
+/// (the default) the code path is byte-for-byte the correct protocol,
+/// and every canary is *dormant until a server crash* — a fault-free
+/// run behaves identically, so the search's fault-free baseline stays
+/// valid and any minimal reproducer must contain a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanaryBug {
+    /// On restart, skip rebuilding the session dedup floors from the
+    /// synced journal. The recovered server insists on `seq 0` while
+    /// every client is already past it and ignores the stale ack —
+    /// sessions that had acked progress livelock and the run never
+    /// completes (and early-crash sessions double-ingest).
+    SkipFloorReseed,
+    /// Ack a frame the moment it is accepted, before the journal sync
+    /// barrier. A crash between accept and sync loses the frame, but
+    /// the client — already acked — never retransmits it: a silent
+    /// drop that still reports a completed run.
+    AckBeforeSync,
+    /// Rebuild recovery floors one frame too high. The client's
+    /// retransmit of the frame *at* the true floor is "deduplicated"
+    /// without ever having been journaled or merged: one frame
+    /// silently vanishes per recovered session.
+    FloorOffByOne,
+}
+
+impl CanaryBug {
+    /// Every canary, for sweeps over the whole set.
+    pub const ALL: [CanaryBug; 3] = [
+        CanaryBug::SkipFloorReseed,
+        CanaryBug::AckBeforeSync,
+        CanaryBug::FloorOffByOne,
+    ];
+
+    /// Stable identifier (CLI flags, corpus entries, bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            CanaryBug::SkipFloorReseed => "skip_floor_reseed",
+            CanaryBug::AckBeforeSync => "ack_before_sync",
+            CanaryBug::FloorOffByOne => "floor_off_by_one",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<CanaryBug> {
+        CanaryBug::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl std::fmt::Display for CanaryBug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Transport tuning knobs. Network behaviour (latency, loss, duplication,
 /// reordering, partitions, server crashes) lives in `link` and `faults`;
 /// the rest parameterizes the session protocol itself.
@@ -124,6 +181,9 @@ pub struct TransportConfig {
     pub sync_interval_us: u64,
     /// Safety cap on simulated events.
     pub max_events: u64,
+    /// Injected platform bug for fault-search canary testing
+    /// ([`CanaryBug`]). `None` (the default) is the correct protocol.
+    pub canary: Option<CanaryBug>,
     /// Telemetry sinks: session/server flight-recorder events
     /// (`transport.client.<n>` / `transport.server` sources) and
     /// post-run `transport.*` registry counters. Default records
@@ -145,6 +205,7 @@ impl Default for TransportConfig {
             shed_budget: u32::MAX,
             sync_interval_us: 5_000,
             max_events: 4_000_000,
+            canary: None,
             obs: ObsHandles::default(),
         }
     }
@@ -450,6 +511,7 @@ pub struct HiveServer {
     sync_interval_us: u64,
     busy_budget: usize,
     lost_bytes: u64,
+    canary: Option<CanaryBug>,
     metrics: Rc<RefCell<Metrics>>,
     events: EventSink,
     recorder: softborg_obs::FlightRecorder,
@@ -469,6 +531,7 @@ impl HiveServer {
             sync_interval_us: cfg.sync_interval_us.max(1),
             busy_budget: cfg.busy_budget.max(1),
             lost_bytes: 0,
+            canary: cfg.canary,
             metrics: Rc::new(RefCell::new(Metrics::default())),
             events: cfg.obs.recorder.source("transport.server"),
             recorder: cfg.obs.recorder.clone(),
@@ -507,6 +570,13 @@ impl HiveServer {
             self.metrics.borrow_mut().recovery_tail_dropped += scan.tail_dropped as u64;
         }
         for (session, floor) in journal::session_floors(&records) {
+            // CANARY FloorOffByOne: claim one more frame than the journal
+            // holds — the client's frame at the true floor will be
+            // "deduplicated" without ever having been ingested.
+            let floor = match self.canary {
+                Some(CanaryBug::FloorOffByOne) if floor > 0 => floor + 1,
+                _ => floor,
+            };
             let state = self.sessions.entry(session).or_default();
             state.accepted = state.accepted.max(floor);
             state.synced = state.accepted;
@@ -582,6 +652,13 @@ impl NetNode for HiveServer {
         }
         state.accepted += 1;
         state.dirty = true;
+        // CANARY AckBeforeSync: promise durability the journal cannot yet
+        // back — a crash before the sync tick loses this frame for good.
+        if self.canary == Some(CanaryBug::AckBeforeSync) {
+            state.synced = state.accepted;
+            state.dirty = false;
+            ctx.send(from, ctl_msg(MSG_ACK, session, state.synced));
+        }
         self.pending.push((kind, frame.to_vec()));
         if !self.tick_armed {
             self.tick_armed = true;
@@ -666,8 +743,12 @@ impl NetNode for HiveServer {
             &[("recoveries", self.metrics.borrow().recoveries)],
             "server restarted, rebuilding session floors from synced journal",
         );
-        let bytes = self.journal.borrow().bytes().to_vec();
-        self.seed_sessions(&bytes);
+        // CANARY SkipFloorReseed: recover without rebuilding the dedup
+        // floors — the server demands seq 0 from clients already past it.
+        if self.canary != Some(CanaryBug::SkipFloorReseed) {
+            let bytes = self.journal.borrow().bytes().to_vec();
+            self.seed_sessions(&bytes);
+        }
         // Clients' retransmit timers re-drive the stream; the server is
         // purely reactive and needs no timer of its own until data
         // arrives.

@@ -319,6 +319,147 @@ impl FaultPlan {
     }
 }
 
+/// Bit-length of `x` (0 for 0): the magnitude term of
+/// [`FaultPlan::weight`]. Halving a positive quantity always drops its
+/// bit-length by exactly one, which is what makes window/rate halving a
+/// *strictly* weight-decreasing shrink step.
+fn bits(x: u64) -> u64 {
+    u64::from(64 - x.leading_zeros())
+}
+
+impl FaultPlan {
+    /// Structural complexity of the plan: the quantity delta-debugging
+    /// drives toward zero. One unit per scheduled element (partition,
+    /// crash, disk crash point) plus the bit-length of every rate and
+    /// window width. Every plan produced by
+    /// [`shrink_candidates`](Self::shrink_candidates) has **strictly
+    /// smaller** weight, so a shrink loop that only adopts candidates
+    /// terminates within `weight()` adoptions — the bounded-step
+    /// invariant `softborg-search` proptests.
+    pub fn weight(&self) -> u64 {
+        let mut w = bits(u64::from(self.dup_per_mille))
+            + bits(u64::from(self.reorder_per_mille))
+            + bits(self.reorder_window_us);
+        for p in &self.partitions {
+            w += 1 + bits(p.until_us - p.from_us);
+        }
+        for c in &self.crashes {
+            w += 1 + bits(c.restart_us - c.at_us);
+        }
+        w + self.disk.len() as u64
+    }
+
+    /// One-step shrink candidates for delta-debugging: every way to make
+    /// the plan *strictly simpler* while staying valid. Aggressive
+    /// chunk removals come first (drop half the partitions/crashes at
+    /// once), then single-element removals, rate zeroing/halving, and
+    /// window narrowing from either edge. Guarantees, given a plan that
+    /// [`validate`](Self::validate)s:
+    ///
+    /// * every candidate also validates (for the same node count), and
+    /// * every candidate's [`weight`](Self::weight) is strictly smaller.
+    ///
+    /// An empty return means the plan is already the empty plan (or
+    /// contains nothing shrinkable) — the delta-debug fixpoint.
+    pub fn shrink_candidates(&self) -> Vec<FaultPlan> {
+        let mut out = Vec::new();
+        let mut with = |f: &dyn Fn(&mut FaultPlan)| {
+            let mut p = self.clone();
+            f(&mut p);
+            debug_assert!(
+                p.weight() < self.weight(),
+                "shrink candidate must strictly reduce weight"
+            );
+            out.push(p);
+        };
+        // Chunk removals: halve the element lists in one step so large
+        // generated plans collapse in O(log n) adoptions, ddmin-style.
+        if self.partitions.len() > 1 {
+            let mid = self.partitions.len() / 2;
+            with(&|p| {
+                p.partitions.drain(..mid);
+            });
+            with(&|p| {
+                p.partitions.truncate(mid);
+            });
+        }
+        if self.crashes.len() > 1 {
+            let mid = self.crashes.len() / 2;
+            with(&|p| {
+                p.crashes.drain(..mid);
+            });
+            with(&|p| {
+                p.crashes.truncate(mid);
+            });
+        }
+        if self.disk.len() > 1 {
+            let mid = self.disk.len() / 2;
+            with(&|p| {
+                p.disk.drain(..mid);
+            });
+            with(&|p| {
+                p.disk.truncate(mid);
+            });
+        }
+        // Single-element removals.
+        for i in 0..self.partitions.len() {
+            with(&|p| {
+                p.partitions.remove(i);
+            });
+        }
+        for i in 0..self.crashes.len() {
+            with(&|p| {
+                p.crashes.remove(i);
+            });
+        }
+        for i in 0..self.disk.len() {
+            with(&|p| {
+                p.disk.remove(i);
+            });
+        }
+        // Rates: zero first (most aggressive), then halve.
+        if self.dup_per_mille > 0 {
+            with(&|p| p.dup_per_mille = 0);
+            if self.dup_per_mille > 1 {
+                with(&|p| p.dup_per_mille /= 2);
+            }
+        }
+        if self.reorder_per_mille > 0 {
+            // Zeroing the rate also zeroes the (now inert) window so the
+            // minimal plan carries no dead knobs.
+            with(&|p| {
+                p.reorder_per_mille = 0;
+                p.reorder_window_us = 0;
+            });
+            if self.reorder_per_mille > 1 {
+                with(&|p| p.reorder_per_mille /= 2);
+            }
+            if self.reorder_window_us > 1 {
+                with(&|p| p.reorder_window_us /= 2);
+            }
+        } else if self.reorder_window_us > 0 {
+            // Inert window left behind by a hand-written plan.
+            with(&|p| p.reorder_window_us = 0);
+        }
+        // Window narrowing: halve each partition window keeping either
+        // the leading or the trailing edge, and halve crash downtime.
+        for i in 0..self.partitions.len() {
+            let width = self.partitions[i].until_us - self.partitions[i].from_us;
+            if width > 1 {
+                with(&|p| p.partitions[i].until_us = p.partitions[i].from_us + width / 2);
+                with(&|p| p.partitions[i].from_us = p.partitions[i].until_us - width / 2);
+            }
+        }
+        for i in 0..self.crashes.len() {
+            let down = self.crashes[i].restart_us - self.crashes[i].at_us;
+            if down > 1 {
+                with(&|p| p.crashes[i].restart_us = p.crashes[i].at_us + down / 2);
+            }
+        }
+        out
+    }
+}
+
 /// SplitMix64: a tiny stateless bit-mixer for per-link schedule jitter.
 fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -483,6 +624,56 @@ mod tests {
         assert_eq!(a.disk, plan().disk);
         assert_eq!(a.validate(2), Ok(()));
         assert_eq!(b.validate(2), Ok(()));
+    }
+
+    #[test]
+    fn weight_is_zero_only_for_the_empty_plan() {
+        assert_eq!(FaultPlan::default().weight(), 0);
+        assert!(plan().weight() > 0);
+    }
+
+    #[test]
+    fn empty_plan_has_no_shrink_candidates() {
+        assert!(FaultPlan::default().shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn shrink_candidates_strictly_reduce_weight_and_stay_valid() {
+        let p = plan();
+        let cands = p.shrink_candidates();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.weight() < p.weight(), "{c:?} did not shrink {p:?}");
+            assert_eq!(c.validate(2), Ok(()), "{c:?} must stay valid");
+        }
+    }
+
+    #[test]
+    fn repeated_shrinking_reaches_the_empty_plan() {
+        // Always adopting the first candidate must drain the plan in at
+        // most weight() adoptions — the bounded-termination invariant.
+        let mut cur = plan();
+        let budget = cur.weight();
+        let mut steps = 0u64;
+        while let Some(next) = cur.shrink_candidates().into_iter().next() {
+            cur = next;
+            steps += 1;
+            assert!(steps <= budget, "shrink exceeded weight bound {budget}");
+        }
+        assert!(cur.is_empty(), "fixpoint must be the empty plan: {cur:?}");
+    }
+
+    #[test]
+    fn zeroing_reorder_takes_the_inert_window_with_it() {
+        let p = FaultPlan {
+            reorder_per_mille: 10,
+            reorder_window_us: 5_000,
+            ..FaultPlan::default()
+        };
+        assert!(p
+            .shrink_candidates()
+            .iter()
+            .any(|c| c.reorder_per_mille == 0 && c.reorder_window_us == 0));
     }
 
     #[test]

@@ -43,9 +43,11 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod fault_text;
 pub mod host;
 
 pub use fault::{Crash, DiskCrashPoint, FaultPlan, FaultPlanError, Partition};
+pub use fault_text::{PlanTextError, PLAN_TEXT_HEADER};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -64,6 +64,25 @@ impl Divergence {
             (None, None) => 0,
         }
     }
+
+    /// A one-line summary (`source seq kind @ns: a_kind vs b_kind`) —
+    /// stable across replays of the same divergence, so corpus entries
+    /// can pin it and regression replays can compare it exactly.
+    pub fn brief(&self) -> String {
+        let side = |ev: &Option<Event>| match ev {
+            Some(ev) => ev.kind,
+            None => "(stream ended)",
+        };
+        format!(
+            "{} seq={} {} @{}ns: {} vs {}",
+            self.source,
+            self.seq,
+            self.kind,
+            self.at_ns(),
+            side(&self.a),
+            side(&self.b)
+        )
+    }
 }
 
 impl fmt::Display for Divergence {

@@ -1,0 +1,118 @@
+//! Divergence bisection by `sched_trace_hash` prefixes.
+//!
+//! The scheduler's trace hash folds dispatches in order, so a run cut
+//! at `k` events yields the hash of the full run's first `k`
+//! dispatches. Two runs that end with different hashes must therefore
+//! have a *first divergent dispatch index* — the smallest `k` where
+//! their prefix hashes differ — and it is found by binary search over
+//! prefix probes, each a fresh truncated run. ~2·log₂(events) probes
+//! localize the divergence without recording anything.
+
+use crate::workload::Workload;
+use softborg_netsim::{FaultPlan, FaultPlanError};
+
+/// Where two runs' dispatch sequences part ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bisection {
+    /// 1-based index of the first divergent dispatch: prefixes of
+    /// `first_divergent_event - 1` events hash identically, prefixes of
+    /// `first_divergent_event` do not.
+    pub first_divergent_event: u64,
+    /// Virtual instant (µs) at which the diverging run's prefix ends —
+    /// an upper bound on when the executions visibly parted ways.
+    pub at_us: u64,
+    /// Prefix runs executed.
+    pub probes: u64,
+}
+
+/// Bisects the runs of `workload` under `a` and `b` to their first
+/// divergent dispatch. Returns `None` when the full runs hash
+/// identically (no divergence to localize).
+///
+/// # Errors
+///
+/// Returns a [`FaultPlanError`] when either plan fails validation
+/// against the workload's node count.
+pub fn first_divergence(
+    workload: &Workload,
+    a: &FaultPlan,
+    b: &FaultPlan,
+) -> Result<Option<Bisection>, FaultPlanError> {
+    let full_a = workload.run_prefix(a, workload.max_events)?;
+    let full_b = workload.run_prefix(b, workload.max_events)?;
+    let mut probes = 2u64;
+    if full_a.trace_hash == full_b.trace_hash {
+        return Ok(None);
+    }
+    // Invariant: prefix(lo) hashes agree, prefix(hi) hashes do not.
+    let mut lo = 0u64;
+    let mut hi = full_a.events_dispatched.max(full_b.events_dispatched);
+    let mut at_us = full_a.virtual_end_us.max(full_b.virtual_end_us);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let pa = workload.run_prefix(a, mid)?;
+        let pb = workload.run_prefix(b, mid)?;
+        probes += 2;
+        if pa.trace_hash == pb.trace_hash {
+            lo = mid;
+        } else {
+            hi = mid;
+            at_us = pa.virtual_end_us.max(pb.virtual_end_us);
+        }
+    }
+    Ok(Some(Bisection {
+        first_divergent_event: hi,
+        at_us,
+        probes,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_netsim::{Addr, Crash};
+
+    #[test]
+    fn identical_plans_have_no_divergence() {
+        let w = Workload {
+            traces: 12,
+            max_events: 150_000,
+            ..Workload::default()
+        };
+        let p = FaultPlan::default();
+        assert_eq!(first_divergence(&w, &p, &p).expect("valid"), None);
+    }
+
+    #[test]
+    fn a_crash_is_localized_to_a_consistent_dispatch_index() {
+        let w = Workload {
+            traces: 12,
+            max_events: 150_000,
+            ..Workload::default()
+        };
+        let faulty = FaultPlan {
+            crashes: vec![Crash {
+                node: Addr(w.pods as u32),
+                at_us: 15_000,
+                restart_us: 30_000,
+            }],
+            ..FaultPlan::default()
+        };
+        let b1 = first_divergence(&w, &faulty, &FaultPlan::default())
+            .expect("valid")
+            .expect("a crash changes the schedule");
+        let b2 = first_divergence(&w, &faulty, &FaultPlan::default())
+            .expect("valid")
+            .expect("a crash changes the schedule");
+        assert_eq!(b1, b2, "bisection must replay identically");
+        assert!(b1.first_divergent_event > 0);
+        // Prefixes below the divergence agree; at it, they differ.
+        let k = b1.first_divergent_event;
+        let pa = w.run_prefix(&faulty, k - 1).expect("valid");
+        let pb = w.run_prefix(&FaultPlan::default(), k - 1).expect("valid");
+        assert_eq!(pa.trace_hash, pb.trace_hash);
+        let pa = w.run_prefix(&faulty, k).expect("valid");
+        let pb = w.run_prefix(&FaultPlan::default(), k).expect("valid");
+        assert_ne!(pa.trace_hash, pb.trace_hash);
+    }
+}

@@ -1,0 +1,437 @@
+//! The divergence corpus: every minimized failure is persisted as a
+//! self-contained text entry — the workload coordinates, the minimal
+//! fault plan, and the expected observables (`sched_trace_hash`, oracle
+//! verdict, first-divergent-event report) — and replayed as a
+//! regression suite. A corpus entry is a *pinned bug*: replaying it
+//! must reproduce the failure byte for byte, and an entry that stops
+//! failing means the bug was fixed (remove the entry deliberately, the
+//! way BugSwarm retires reproducers — never silently).
+//!
+//! Format (line-oriented like the fault-plan text it embeds):
+//!
+//! ```text
+//! softborg-divergence v1
+//! case = 17
+//! oracle = silent_drop
+//! scenario = 0
+//! pods = 3
+//! traces = 36
+//! batch = 4
+//! traces_seed = 191
+//! sim_seed = 11
+//! link = 800 500 50
+//! max_events = 300000
+//! recorder_cap = 4096
+//! canary = floor_off_by_one
+//! trace_hash = 0x8c97bd6e0a3f2d11
+//! virtual_end_us = 812345
+//! first_divergent_event = 1042
+//! explain = transport.server seq=9 mismatch @15000000ns: dedup vs fsync
+//! original_weight = 55
+//! minimal_weight = 9
+//! shrink_steps = 7
+//! plan:
+//! softborg-fault-plan v1
+//! crash = 3 15000 30000
+//! ```
+
+use crate::oracle;
+use crate::workload::Workload;
+use crate::MinimizedFailure;
+use softborg_hive::CanaryBug;
+use softborg_netsim::{FaultPlan, LinkConfig};
+use softborg_obs::explain_recorders;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Header every corpus entry starts with.
+pub const CORPUS_HEADER: &str = "softborg-divergence v1";
+
+/// One persisted minimized failure, self-contained: the workload it ran
+/// against, the minimal plan, and the observables a replay must
+/// reproduce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Sweep case that found the failure.
+    pub case: u64,
+    /// Oracle verdict kind the minimal plan must reproduce.
+    pub oracle: String,
+    /// The workload coordinates, reconstructed exactly.
+    pub workload: Workload,
+    /// The minimized fault plan.
+    pub plan: FaultPlan,
+    /// Expected `sched_trace_hash` of the minimal run.
+    pub trace_hash: u64,
+    /// Expected virtual end instant of the minimal run (µs).
+    pub virtual_end_us: u64,
+    /// First divergent dispatch index vs the fault-free run, when
+    /// bisected.
+    pub first_divergent_event: Option<u64>,
+    /// `Divergence::brief()` of the first divergent recorder event vs
+    /// the fault-free run, when one exists.
+    pub explain: Option<String>,
+    /// Weight of the originally generated plan.
+    pub original_weight: u64,
+    /// Weight of the minimal plan (strictly less unless zero steps).
+    pub minimal_weight: u64,
+    /// Shrink adoptions that led here.
+    pub shrink_steps: u64,
+}
+
+/// A malformed corpus entry.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The entry text failed to parse.
+    Parse(String),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus io: {e}"),
+            CorpusError::Parse(what) => write!(f, "corpus parse: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl CorpusEntry {
+    /// Builds the entry for a minimized failure found against
+    /// `workload`.
+    pub fn from_failure(workload: &Workload, f: &MinimizedFailure) -> CorpusEntry {
+        CorpusEntry {
+            case: f.case,
+            oracle: f.oracle.clone(),
+            workload: workload.clone(),
+            plan: f.minimal.clone(),
+            trace_hash: f.trace_hash,
+            virtual_end_us: f.virtual_end_us,
+            first_divergent_event: f.first_divergent_event,
+            explain: f.explain.clone(),
+            original_weight: f.original.weight(),
+            minimal_weight: f.minimal.weight(),
+            shrink_steps: f.shrink_steps,
+        }
+    }
+
+    /// Serializes the entry (see the [module docs](self) for the
+    /// format).
+    pub fn to_text(&self) -> String {
+        let w = &self.workload;
+        let mut out = String::from(CORPUS_HEADER);
+        out.push('\n');
+        out.push_str(&format!("case = {}\n", self.case));
+        out.push_str(&format!("oracle = {}\n", self.oracle));
+        out.push_str(&format!("scenario = {}\n", w.scenario));
+        out.push_str(&format!("pods = {}\n", w.pods));
+        out.push_str(&format!("traces = {}\n", w.traces));
+        out.push_str(&format!("batch = {}\n", w.batch));
+        out.push_str(&format!("traces_seed = {}\n", w.traces_seed));
+        out.push_str(&format!("sim_seed = {}\n", w.sim_seed));
+        out.push_str(&format!(
+            "link = {} {} {}\n",
+            w.link.base_latency_us, w.link.jitter_us, w.link.loss_per_mille
+        ));
+        out.push_str(&format!("max_events = {}\n", w.max_events));
+        out.push_str(&format!("recorder_cap = {}\n", w.recorder_cap));
+        if let Some(canary) = w.canary {
+            out.push_str(&format!("canary = {}\n", canary.name()));
+        }
+        out.push_str(&format!("trace_hash = {:#018x}\n", self.trace_hash));
+        out.push_str(&format!("virtual_end_us = {}\n", self.virtual_end_us));
+        if let Some(ev) = self.first_divergent_event {
+            out.push_str(&format!("first_divergent_event = {ev}\n"));
+        }
+        if let Some(explain) = &self.explain {
+            out.push_str(&format!("explain = {explain}\n"));
+        }
+        out.push_str(&format!("original_weight = {}\n", self.original_weight));
+        out.push_str(&format!("minimal_weight = {}\n", self.minimal_weight));
+        out.push_str(&format!("shrink_steps = {}\n", self.shrink_steps));
+        out.push_str("plan:\n");
+        out.push_str(&self.plan.to_text());
+        out
+    }
+
+    /// Parses an entry serialized by [`to_text`](Self::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError::Parse`] naming the first offending line
+    /// or missing key.
+    pub fn from_text(text: &str) -> Result<CorpusEntry, CorpusError> {
+        let bad = |what: &str| CorpusError::Parse(what.to_string());
+        let (meta, plan_text) = text
+            .split_once("plan:\n")
+            .ok_or_else(|| bad("missing `plan:` section"))?;
+        let mut lines = meta.lines().filter(|l| !l.trim().is_empty());
+        if lines.next().map(str::trim) != Some(CORPUS_HEADER) {
+            return Err(bad("missing or unsupported header"));
+        }
+        let mut w = Workload::default();
+        let mut case = None;
+        let mut oracle = None;
+        let mut trace_hash = None;
+        let mut virtual_end_us = None;
+        let mut first_divergent_event = None;
+        let mut explain = None;
+        let mut original_weight = None;
+        let mut minimal_weight = None;
+        let mut shrink_steps = None;
+        w.canary = None;
+        for l in lines {
+            let (key, value) = l
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| bad(&format!("not a `key = value` line: {l:?}")))?;
+            let num = |v: &str| -> Result<u64, CorpusError> {
+                let v = v.strip_prefix("0x").map_or_else(
+                    || v.parse::<u64>().ok(),
+                    |hex| u64::from_str_radix(hex, 16).ok(),
+                );
+                v.ok_or_else(|| bad(&format!("bad number for {key}")))
+            };
+            match key {
+                "case" => case = Some(num(value)?),
+                "oracle" => oracle = Some(value.to_string()),
+                "scenario" => w.scenario = num(value)? as usize,
+                "pods" => w.pods = num(value)? as usize,
+                "traces" => w.traces = num(value)? as usize,
+                "batch" => w.batch = num(value)? as usize,
+                "traces_seed" => w.traces_seed = num(value)?,
+                "sim_seed" => w.sim_seed = num(value)?,
+                "link" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    let [base, jitter, loss] = parts[..] else {
+                        return Err(bad("link wants: base_latency_us jitter_us loss_per_mille"));
+                    };
+                    w.link = LinkConfig {
+                        base_latency_us: num(base)?,
+                        jitter_us: num(jitter)?,
+                        loss_per_mille: num(loss)? as u32,
+                    };
+                }
+                "max_events" => w.max_events = num(value)?,
+                "recorder_cap" => w.recorder_cap = num(value)? as usize,
+                "canary" => {
+                    w.canary = Some(
+                        CanaryBug::parse(value)
+                            .ok_or_else(|| bad(&format!("unknown canary {value:?}")))?,
+                    );
+                }
+                "trace_hash" => trace_hash = Some(num(value)?),
+                "virtual_end_us" => virtual_end_us = Some(num(value)?),
+                "first_divergent_event" => first_divergent_event = Some(num(value)?),
+                "explain" => explain = Some(value.to_string()),
+                "original_weight" => original_weight = Some(num(value)?),
+                "minimal_weight" => minimal_weight = Some(num(value)?),
+                "shrink_steps" => shrink_steps = Some(num(value)?),
+                _ => return Err(bad(&format!("unknown key {key:?}"))),
+            }
+        }
+        let plan =
+            FaultPlan::from_text(plan_text).map_err(|e| bad(&format!("embedded plan: {e}")))?;
+        Ok(CorpusEntry {
+            case: case.ok_or_else(|| bad("missing case"))?,
+            oracle: oracle.ok_or_else(|| bad("missing oracle"))?,
+            workload: w,
+            plan,
+            trace_hash: trace_hash.ok_or_else(|| bad("missing trace_hash"))?,
+            virtual_end_us: virtual_end_us.ok_or_else(|| bad("missing virtual_end_us"))?,
+            first_divergent_event,
+            explain,
+            original_weight: original_weight.ok_or_else(|| bad("missing original_weight"))?,
+            minimal_weight: minimal_weight.ok_or_else(|| bad("missing minimal_weight"))?,
+            shrink_steps: shrink_steps.ok_or_else(|| bad("missing shrink_steps"))?,
+        })
+    }
+
+    /// The entry's canonical filename: oracle kind + trace hash, so
+    /// distinct failures never collide and re-finding the same failure
+    /// overwrites rather than duplicates.
+    pub fn filename(&self) -> String {
+        format!("{}-{:016x}.divergence", self.oracle, self.trace_hash)
+    }
+
+    /// Replays the entry and verifies every pinned observable: the
+    /// minimal plan still fails the *same* oracle, the run's
+    /// `sched_trace_hash` and virtual end instant match byte for byte,
+    /// and the first-divergent-event report against the fault-free run
+    /// reproduces exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn replay(&self) -> Result<(), String> {
+        let baseline = self
+            .workload
+            .run(&FaultPlan::default())
+            .map_err(|e| format!("baseline plan invalid: {e}"))?;
+        let outcome = self
+            .workload
+            .run(&self.plan)
+            .map_err(|e| format!("corpus plan invalid: {e}"))?;
+        if outcome.sched.trace_hash != self.trace_hash {
+            return Err(format!(
+                "trace hash {:#018x}, entry pinned {:#018x}",
+                outcome.sched.trace_hash, self.trace_hash
+            ));
+        }
+        if outcome.sched.virtual_end_us != self.virtual_end_us {
+            return Err(format!(
+                "virtual end {}us, entry pinned {}us",
+                outcome.sched.virtual_end_us, self.virtual_end_us
+            ));
+        }
+        let failure = oracle::check(
+            &self.workload,
+            &baseline,
+            &outcome,
+            outcome.sched.trace_hash,
+        );
+        match failure {
+            None => return Err(format!("entry no longer fails oracle {}", self.oracle)),
+            Some(f) if f.kind() != self.oracle => {
+                return Err(format!(
+                    "oracle verdict {} differs from pinned {}",
+                    f.kind(),
+                    self.oracle
+                ));
+            }
+            Some(_) => {}
+        }
+        let brief = explain_recorders(&baseline.recorder, &outcome.recorder).map(|d| d.brief());
+        if brief != self.explain {
+            return Err(format!(
+                "explain report {:?} differs from pinned {:?}",
+                brief, self.explain
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Writes `entry` into `dir` (created if missing) under its canonical
+/// filename; returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn store(dir: &Path, entry: &CorpusEntry) -> Result<PathBuf, CorpusError> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(entry.filename());
+    fs::write(&path, entry.to_text())?;
+    Ok(path)
+}
+
+/// Loads every `*.divergence` entry in `dir`, sorted by filename for
+/// deterministic replay order. A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and the first malformed entry.
+pub fn load_all(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, CorpusError> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "divergence"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let entry = CorpusEntry::from_text(&text)
+            .map_err(|e| CorpusError::Parse(format!("{}: {e}", path.display())))?;
+        out.push((path, entry));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_netsim::{Addr, Crash};
+
+    fn entry() -> CorpusEntry {
+        CorpusEntry {
+            case: 17,
+            oracle: "silent_drop".to_string(),
+            workload: Workload {
+                canary: Some(CanaryBug::FloorOffByOne),
+                ..Workload::default()
+            },
+            plan: FaultPlan {
+                crashes: vec![Crash {
+                    node: Addr(3),
+                    at_us: 15_000,
+                    restart_us: 30_000,
+                }],
+                ..FaultPlan::default()
+            },
+            trace_hash: 0x8c97_bd6e_0a3f_2d11,
+            virtual_end_us: 812_345,
+            first_divergent_event: Some(1042),
+            explain: Some("transport.server seq=9 mismatch @15000000ns: dedup vs fsync".into()),
+            original_weight: 55,
+            minimal_weight: 9,
+            shrink_steps: 7,
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_exactly() {
+        let e = entry();
+        let parsed = CorpusEntry::from_text(&e.to_text()).expect("parses");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn optional_fields_can_be_absent() {
+        let mut e = entry();
+        e.first_divergent_event = None;
+        e.explain = None;
+        e.workload.canary = None;
+        let parsed = CorpusEntry::from_text(&e.to_text()).expect("parses");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn malformed_entries_fail_loudly() {
+        assert!(CorpusEntry::from_text("").is_err());
+        assert!(CorpusEntry::from_text("softborg-divergence v9\nplan:\n").is_err());
+        let missing_plan = entry().to_text().replace("plan:\n", "schedule:\n");
+        assert!(CorpusEntry::from_text(&missing_plan).is_err());
+        let bad_canary = entry().to_text().replace("floor_off_by_one", "melt_cpu");
+        assert!(CorpusEntry::from_text(&bad_canary).is_err());
+    }
+
+    #[test]
+    fn store_and_load_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "softborg-corpus-test-{}-{:x}",
+            std::process::id(),
+            entry().trace_hash
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let e = entry();
+        let path = store(&dir, &e).expect("store");
+        assert!(path.ends_with(e.filename()));
+        let loaded = load_all(&dir).expect("load");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, e);
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

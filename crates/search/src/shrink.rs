@@ -1,0 +1,123 @@
+//! Delta debugging over fault plans: greedily walk
+//! [`FaultPlan::shrink_candidates`] toward the lightest plan that still
+//! fails, in the spirit of proptest shrinking and the curated minimal
+//! reproducers of BEARS/BugSwarm.
+//!
+//! Two invariants, property-tested in `tests/shrink_invariants.rs`:
+//!
+//! * **Monotonic failure preservation** — every plan the shrinker
+//!   *adopts* fails the predicate, the input plan included; the
+//!   returned minimum never passes while its parent failed.
+//! * **Bounded termination** — every candidate strictly reduces
+//!   [`FaultPlan::weight`], so the number of adoptions is at most the
+//!   input's weight, and the total probe count is at most
+//!   `weight × max_candidates_per_step`.
+
+use softborg_netsim::FaultPlan;
+
+/// What one shrink campaign did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkResult {
+    /// The lightest still-failing plan found (a fixpoint: none of its
+    /// shrink candidates fail).
+    pub minimal: FaultPlan,
+    /// Candidates adopted (strict weight decreases). Bounded by the
+    /// input plan's weight.
+    pub steps: u64,
+    /// Predicate evaluations (re-runs of the workload).
+    pub probes: u64,
+}
+
+/// Shrinks `plan` — which must fail `still_fails` — to a locally
+/// minimal plan that still fails. Greedy first-improvement: at each
+/// step the first failing candidate is adopted and the walk restarts
+/// from it; when no candidate fails, the current plan is minimal.
+///
+/// The predicate is handed every candidate *before* adoption, so a
+/// caller-side oracle sees only valid plans (candidates preserve
+/// validity by construction).
+pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> ShrinkResult {
+    let mut current = plan.clone();
+    let mut steps = 0u64;
+    let mut probes = 0u64;
+    'outer: loop {
+        for cand in current.shrink_candidates() {
+            probes += 1;
+            if still_fails(&cand) {
+                debug_assert!(cand.weight() < current.weight());
+                current = cand;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        minimal: current,
+        steps,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_netsim::{Addr, Crash};
+
+    fn crashy(n: usize) -> FaultPlan {
+        FaultPlan {
+            dup_per_mille: 40,
+            crashes: (0..n)
+                .map(|i| Crash {
+                    node: Addr(3),
+                    at_us: i as u64 * 10_000,
+                    restart_us: i as u64 * 10_000 + 5_000,
+                })
+                .collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_element() {
+        // "Fails" iff a crash covering instant 22_000 is present.
+        let guilty = |p: &FaultPlan| {
+            p.crashes
+                .iter()
+                .any(|c| c.at_us <= 22_000 && c.restart_us > 22_000)
+        };
+        let plan = crashy(4);
+        assert!(guilty(&plan));
+        let res = shrink(&plan, |p| guilty(p));
+        assert!(guilty(&res.minimal));
+        assert_eq!(res.minimal.crashes.len(), 1, "{:?}", res.minimal);
+        assert_eq!(res.minimal.dup_per_mille, 0, "irrelevant knob zeroed");
+        assert!(res.minimal.weight() < plan.weight());
+    }
+
+    #[test]
+    fn a_plan_that_always_fails_shrinks_toward_empty() {
+        let plan = crashy(3);
+        let res = shrink(&plan, |_| true);
+        assert_eq!(res.minimal, FaultPlan::default());
+        assert!(res.steps <= plan.weight());
+    }
+
+    #[test]
+    fn an_immediately_minimal_plan_takes_zero_steps() {
+        // Fails only with >= 3 crashes: every candidate (which removes
+        // or narrows something) still has >= 1 crash but any removal
+        // drops below 3, and narrowing keeps 3 — so narrowing is
+        // adopted until windows are width 1, then it stops.
+        let plan = crashy(3);
+        let res = shrink(&plan, |p| p.crashes.len() >= 3);
+        assert_eq!(res.minimal.crashes.len(), 3);
+        // Fixpoint: every remaining candidate removes a crash (and so
+        // passes the predicate) — nothing narrowable is left.
+        assert!(res
+            .minimal
+            .shrink_candidates()
+            .iter()
+            .all(|c| c.crashes.len() < 3));
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end exercises of the whole search pipeline against the real
+//! transport: a clean platform survives a bounded sweep, an armed
+//! canary bug is found → shrunk → bisected → pinned, and the pinned
+//! corpus entry replays byte for byte (and *fails* replay when
+//! tampered with).
+
+use softborg_hive::CanaryBug;
+use softborg_obs::MetricsRegistry;
+use softborg_search::{replay_corpus, run_search, CorpusEntry, SearchConfig, Workload};
+use std::fs;
+use std::path::PathBuf;
+
+/// Small enough to sweep in debug mode, large enough that every
+/// session streams several frames — the recovery canaries only arm
+/// when a crash lands between two frames of the same session.
+fn small_workload(canary: Option<CanaryBug>) -> Workload {
+    Workload {
+        traces: 24,
+        batch: 2,
+        canary,
+        ..Workload::default()
+    }
+}
+
+fn temp_corpus(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("softborg-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn a_clean_sweep_reports_no_divergences() {
+    let dir = temp_corpus("clean");
+    let report = run_search(&SearchConfig {
+        seed: 7,
+        budget: 12,
+        workload: small_workload(None),
+        corpus_dir: Some(dir.clone()),
+        ..SearchConfig::default()
+    })
+    .expect("sweep runs");
+    assert_eq!(report.plans_explored, 12);
+    assert_eq!(
+        report.divergences, 0,
+        "healthy platform diverged: {:#?}",
+        report.minimized
+    );
+    assert!(report.minimized.is_empty());
+    assert!(report.corpus_written.is_empty());
+    // An empty (or absent) corpus is a passing regression suite.
+    let replay = replay_corpus(&dir).expect("replay runs");
+    assert_eq!(replay.replayed, 0);
+    assert!(replay.failures.is_empty());
+}
+
+#[test]
+fn an_armed_canary_is_found_shrunk_pinned_and_replayed() {
+    let dir = temp_corpus("canary");
+    let registry = MetricsRegistry::new();
+    let report = run_search(&SearchConfig {
+        seed: 7,
+        budget: 12,
+        workload: small_workload(Some(CanaryBug::FloorOffByOne)),
+        corpus_dir: Some(dir.clone()),
+        registry: Some(registry.clone()),
+        ..SearchConfig::default()
+    })
+    .expect("sweep runs");
+
+    assert!(
+        report.divergences >= 1,
+        "canary went undetected in {} cases",
+        report.plans_explored
+    );
+    for f in &report.minimized {
+        assert!(
+            f.minimal.weight() <= f.original.weight(),
+            "shrinking made case {} heavier",
+            f.case
+        );
+        if f.shrink_steps > 0 {
+            assert!(f.minimal.weight() < f.original.weight());
+        }
+        assert!(
+            !f.minimal.crashes.is_empty(),
+            "every canary is crash-armed, yet case {} minimized to {:?}",
+            f.case,
+            f.minimal
+        );
+        assert!(
+            f.first_divergent_event.is_some(),
+            "case {} not bisected",
+            f.case
+        );
+    }
+    assert_eq!(report.corpus_written.len(), report.minimized.len());
+
+    // The corpus replays as a green regression suite.
+    let replay = replay_corpus(&dir).expect("replay runs");
+    assert_eq!(replay.replayed as usize, report.corpus_written.len());
+    assert!(replay.failures.is_empty(), "{:#?}", replay.failures);
+
+    // Metrics made it to the registry.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("search.plans_explored"), Some(12));
+    assert_eq!(snap.counter("search.divergences"), Some(report.divergences));
+}
+
+#[test]
+fn a_tampered_corpus_entry_fails_replay() {
+    let dir = temp_corpus("tamper");
+    let report = run_search(&SearchConfig {
+        seed: 7,
+        budget: 8,
+        workload: small_workload(Some(CanaryBug::AckBeforeSync)),
+        corpus_dir: Some(dir.clone()),
+        ..SearchConfig::default()
+    })
+    .expect("sweep runs");
+    let path = report
+        .corpus_written
+        .first()
+        .expect("ack-before-sync canary must be caught");
+
+    // Pin a different trace hash: the entry must stop reproducing.
+    let text = fs::read_to_string(path).expect("read entry");
+    let entry = CorpusEntry::from_text(&text).expect("parses");
+    let mut tampered = entry.clone();
+    tampered.trace_hash ^= 1;
+    assert!(tampered.replay().is_err(), "tampered hash must not replay");
+
+    // And the genuine entry replays — including after a disk round
+    // trip, which is what CI does.
+    entry.replay().expect("genuine entry replays");
+    // The fix for the bug (disarming the canary) retires the entry.
+    let mut fixed = entry.clone();
+    fixed.workload.canary = None;
+    assert!(
+        fixed.replay().is_err(),
+        "entry must stop failing once the bug is fixed"
+    );
+}

@@ -1,0 +1,130 @@
+//! Property tests for the delta-debugging shrinker, with the workload
+//! replaced by synthetic predicates so thousands of shrink campaigns
+//! run in milliseconds.
+//!
+//! The invariants (see `shrink.rs` docs):
+//!
+//! * **Monotonic failure preservation** — every candidate the shrinker
+//!   adopts (a probe that returned "still fails") fails the predicate,
+//!   and the returned minimum still fails it.
+//! * **Bounded termination** — adoptions strictly decrease
+//!   [`FaultPlan::weight`], so `steps <= weight(input)` always.
+//! * **Fixpoint minimality** — no shrink candidate of the returned
+//!   minimum fails the predicate.
+//!
+//! A second block property-tests the shrink-candidate generator against
+//! plans from the *search generator*: every candidate of every
+//! generated plan is valid and strictly lighter.
+
+use proptest::prelude::*;
+use softborg_netsim::{Addr, Crash, FaultPlan, Partition};
+use softborg_search::{generate_plan, shrink, GenConfig, Workload};
+
+/// Builds an arbitrary valid plan from flat knobs. Crash windows are
+/// laid out left to right (the simulator tolerates overlap, but
+/// non-overlap keeps every window meaningful).
+fn build_plan(n_crashes: usize, n_parts: usize, dup: u32, reorder: u32, window: u64) -> FaultPlan {
+    let crashes = (0..n_crashes)
+        .map(|i| Crash {
+            node: Addr(3),
+            at_us: i as u64 * 10_000,
+            restart_us: i as u64 * 10_000 + 4_000,
+        })
+        .collect();
+    let partitions = (0..n_parts)
+        .map(|i| Partition {
+            a: Addr(i as u32 % 3),
+            b: Addr(3),
+            from_us: i as u64 * 7_000,
+            until_us: i as u64 * 7_000 + 3_000,
+        })
+        .collect();
+    FaultPlan {
+        dup_per_mille: dup,
+        reorder_per_mille: reorder,
+        reorder_window_us: if reorder > 0 { window } else { 0 },
+        partitions,
+        crashes,
+        disk: Vec::new(),
+    }
+}
+
+/// A family of synthetic failure predicates, chosen so the *input* plan
+/// always fails (the shrinker's precondition). Selector 0 is the
+/// always-fails predicate; the others key on a structural feature of
+/// the input so shrinking has something irrelevant to strip.
+fn fails(selector: u8, input: &FaultPlan, cand: &FaultPlan) -> bool {
+    match selector % 4 {
+        0 => true,
+        1 => cand.crashes.len() >= input.crashes.len().min(1),
+        2 => cand.dup_per_mille * 2 >= input.dup_per_mille,
+        _ => {
+            cand.partitions.len() + cand.crashes.len()
+                >= (input.partitions.len() + input.crashes.len()) / 2
+        }
+    }
+}
+
+proptest! {
+    /// Every adoption fails the predicate and strictly lowers weight;
+    /// the minimum still fails, is a fixpoint, and was reached within
+    /// `weight(input)` steps.
+    #[test]
+    fn shrink_preserves_failure_and_terminates_bounded(
+        n_crashes in 0usize..5,
+        n_parts in 0usize..4,
+        dup in 0u32..200,
+        reorder in 0u32..150,
+        window in 1u64..20_000,
+        selector in 0u8..4,
+    ) {
+        let plan = build_plan(n_crashes, n_parts, dup, reorder, window);
+        prop_assert!(fails(selector, &plan, &plan), "precondition: input fails");
+
+        let mut probe_log: Vec<(u64, bool)> = Vec::new();
+        let res = shrink(&plan, |cand| {
+            let f = fails(selector, &plan, cand);
+            probe_log.push((cand.weight(), f));
+            f
+        });
+
+        // Monotonic failure preservation: the minimum fails, and the
+        // adopted chain (greedy first-improvement adopts exactly the
+        // probes that returned true) is strictly weight-decreasing.
+        prop_assert!(fails(selector, &plan, &res.minimal));
+        let mut prev = plan.weight();
+        for (w, failed) in &probe_log {
+            if *failed {
+                prop_assert!(*w < prev, "adoption {w} did not decrease from {prev}");
+                prev = *w;
+            }
+        }
+        prop_assert_eq!(prev, res.minimal.weight());
+
+        // Bounded termination.
+        prop_assert!(res.steps <= plan.weight());
+        prop_assert_eq!(res.steps, probe_log.iter().filter(|(_, f)| *f).count() as u64);
+        prop_assert_eq!(res.probes, probe_log.len() as u64);
+
+        // Fixpoint minimality.
+        prop_assert!(res
+            .minimal
+            .shrink_candidates()
+            .iter()
+            .all(|c| !fails(selector, &plan, c)));
+    }
+
+    /// Every shrink candidate of every *generated* plan is valid for
+    /// the workload and strictly lighter — the contract `run_search`
+    /// leans on when it `expect`s candidate runs to validate.
+    #[test]
+    fn generated_plans_shrink_validly(seed in 0u64..u64::MAX, case in 0u64..2_048) {
+        let w = Workload::default();
+        let plan = generate_plan(seed, case, &GenConfig::default(), &w);
+        prop_assert_eq!(plan.validate(w.node_count()), Ok(()));
+        for cand in plan.shrink_candidates() {
+            prop_assert_eq!(cand.validate(w.node_count()), Ok(()));
+            prop_assert!(cand.weight() < plan.weight());
+        }
+    }
+}

@@ -44,5 +44,5 @@ pub mod world;
 
 pub use platform::{sim_round, sim_round_multi, SimRoundConfig, SimRoundStats};
 pub use sched::{SchedStats, Scheduler, SimClock, SimTime};
-pub use transport::{run_reliable_ingest_sim, WorldHost};
+pub use transport::{run_reliable_ingest_prefix, run_reliable_ingest_sim, WorldHost};
 pub use world::{ChanId, DiskId, IoStats, NetProc, Proc, Wake, World, WorldCtx};

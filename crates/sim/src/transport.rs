@@ -132,3 +132,30 @@ pub fn run_reliable_ingest_sim(
     }
     Ok((report, stats, sched))
 }
+
+/// A *prefix probe*: [`run_reliable_ingest_sim`] with the event fuel cut
+/// to `max_events`, returning only the scheduler statistics. Because the
+/// dispatch-trace hash folds events in dispatch order, a run truncated
+/// at `k` events yields the hash of the full run's first `k` dispatches
+/// — so two runs can be bisected to their first divergent dispatch by
+/// binary-searching the smallest `k` where their prefix hashes differ
+/// (`softborg-search` builds its divergence bisection on exactly this).
+///
+/// # Errors
+///
+/// Returns a [`FaultPlanError`] when the fault plan fails validation
+/// against the node count.
+pub fn run_reliable_ingest_prefix(
+    hive: &mut Hive<'_>,
+    pods: Vec<Vec<(u8, Vec<u8>)>>,
+    ingest_cfg: &IngestConfig,
+    cfg: &TransportConfig,
+    prior_journal: &[u8],
+    max_events: u64,
+) -> Result<SchedStats, FaultPlanError> {
+    let mut cfg = cfg.clone();
+    cfg.max_events = max_events;
+    let (_report, _stats, sched) =
+        run_reliable_ingest_sim(hive, pods, ingest_cfg, &cfg, prior_journal)?;
+    Ok(sched)
+}
