@@ -17,6 +17,10 @@
 //!   byte: same `sched_trace_hash`, same oracle verdict, same
 //!   first-divergent-event report.
 //!
+//! Phase B also re-runs each canary sweep with coverage-guided case
+//! scheduling (prefix-probe ordering) and records how many full
+//! evaluations the first failure cost with and without guidance.
+//!
 //! Writes `BENCH_search.json` into the current directory and the
 //! divergence corpus under `--corpus DIR` (default
 //! `target/e20-corpus`). `--smoke` shrinks the budgets for CI;
@@ -47,6 +51,7 @@ fn config(seed: u64, budget: u64, canary: Option<CanaryBug>, dir: PathBuf) -> Se
         budget,
         workload: workload(canary),
         generator: GenConfig::default(),
+        guided: false,
         corpus_dir: Some(dir),
         registry: None,
     }
@@ -103,6 +108,8 @@ fn main() {
         ("steps", 7),
         ("probes", 8),
         ("bisect@", 9),
+        ("first", 7),
+        ("guided", 8),
     ]);
     let mut canary_rows = Vec::new();
     for canary in CanaryBug::ALL {
@@ -119,6 +126,19 @@ fn main() {
             report.divergences >= 1,
             "canary {canary} went undetected in {canary_budget} cases"
         );
+        // Same sweep with coverage-guided scheduling (corpus-less: it
+        // finds the same failures, only sooner) to measure how many
+        // full evaluations the first failure costs each way.
+        let guided = run_search(&SearchConfig {
+            guided: true,
+            corpus_dir: None,
+            ..config(seed, canary_budget, Some(canary), PathBuf::new())
+        })
+        .expect("guided canary sweep runs");
+        assert_eq!(
+            guided.divergences, report.divergences,
+            "guided scheduling changed which plans fail"
+        );
         let f = report
             .minimized
             .iter()
@@ -129,7 +149,7 @@ fn main() {
             "shrinking made the plan heavier"
         );
         println!(
-            "{}{}{}{}{}{}{}{}",
+            "{}{}{}{}{}{}{}{}{}{}",
             cell(canary.name(), 20),
             cell(
                 format!("{}/{}", report.divergences, report.plans_explored),
@@ -145,8 +165,20 @@ fn main() {
                     .map_or(String::from("-"), |e| e.to_string()),
                 9
             ),
+            cell(
+                report
+                    .cases_to_first_failure
+                    .map_or(String::from("-"), |n| n.to_string()),
+                7
+            ),
+            cell(
+                guided
+                    .cases_to_first_failure
+                    .map_or(String::from("-"), |n| n.to_string()),
+                8
+            ),
         );
-        canary_rows.push((canary, report, wall));
+        canary_rows.push((canary, report, guided, wall));
     }
 
     // ---- Phase C: the corpus replays as a regression suite ------------
@@ -179,7 +211,7 @@ fn main() {
         clean.plans_explored, clean.runs_executed, clean.divergences
     );
     let _ = writeln!(json, "  \"canaries\": [");
-    for (i, (canary, report, wall)) in canary_rows.iter().enumerate() {
+    for (i, (canary, report, guided, wall)) in canary_rows.iter().enumerate() {
         let f = report
             .minimized
             .iter()
@@ -187,7 +219,7 @@ fn main() {
             .expect("minimized");
         let _ = writeln!(
             json,
-            "    {{\"canary\": \"{canary}\", \"budget\": {}, \"divergences\": {}, \"oracle\": \"{}\", \"original_weight\": {}, \"minimal_weight\": {}, \"shrink_steps\": {}, \"shrink_probes\": {}, \"bisect_event\": {}, \"corpus_entries\": {}, \"wall_seconds\": {wall:.3}}}{}",
+            "    {{\"canary\": \"{canary}\", \"budget\": {}, \"divergences\": {}, \"oracle\": \"{}\", \"original_weight\": {}, \"minimal_weight\": {}, \"shrink_steps\": {}, \"shrink_probes\": {}, \"bisect_event\": {}, \"corpus_entries\": {}, \"cases_to_first_failure\": {}, \"cases_to_first_failure_guided\": {}, \"wall_seconds\": {wall:.3}}}{}",
             report.plans_explored,
             report.divergences,
             f.oracle,
@@ -197,6 +229,8 @@ fn main() {
             f.shrink_probes,
             f.first_divergent_event.map_or(String::from("null"), |e| e.to_string()),
             report.corpus_written.len(),
+            report.cases_to_first_failure.map_or(String::from("null"), |n| n.to_string()),
+            guided.cases_to_first_failure.map_or(String::from("null"), |n| n.to_string()),
             if i + 1 == canary_rows.len() { "" } else { "," }
         );
     }

@@ -73,6 +73,7 @@ pub use softborg_guidance as guidance;
 pub use softborg_hive as hive;
 pub use softborg_ingest as ingest;
 pub use softborg_netsim as netsim;
+pub use softborg_obs as obs;
 pub use softborg_pod as pod;
 pub use softborg_program as program;
 pub use softborg_shard as shard;

@@ -21,19 +21,22 @@
 //! state is byte-identical to an uninterrupted run at the same committed
 //! round.
 
-use crate::platform::{io_err, DurabilityConfig, DurabilityError, IngestSettings, RoundTelemetry};
+use crate::platform::{
+    decode_pod_states, encode_pod_states, io_err, restore_pod_states, DurabilityConfig,
+    DurabilityError, IngestSettings, RoundTelemetry,
+};
 use softborg_fix::{rank, FixCandidate, LabConfig, TestCase, Verdict};
 use softborg_guidance::Directive;
 use softborg_hive::journal::{
-    self, JournalRecord, REC_ABORT, REC_FRAME, REC_PROMOTE, REC_ROUND, REC_TOMBSTONE,
+    self, JournalRecord, REC_ABORT, REC_FRAME, REC_PODS, REC_PROMOTE, REC_ROUND, REC_TOMBSTONE,
     SESSION_PROMOTE, SESSION_ROUND,
 };
 use softborg_hive::{
-    outcome_signature, FileJournal, HiveConfig, HiveSnapshot, JournalStore, LoadReport,
-    SnapshotStore,
+    outcome_signature, scrub_campaign, FileJournal, HiveConfig, HiveSnapshot, JournalStore,
+    LoadReport, ScrubReport, SnapshotStore,
 };
 use softborg_obs::{ObsHandles, SpanTimer};
-use softborg_pod::{Pod, PodConfig};
+use softborg_pod::{Pod, PodConfig, PodState};
 use softborg_program::codec::{self, CodecError};
 use softborg_program::{Program, ProgramId};
 use softborg_shard::{ShardRunStats, ShardedHive};
@@ -431,8 +434,7 @@ impl<'p> MultiPlatform<'p> {
             let wal = journal.read().map_err(|e| io_err("wal-read", &e))?;
             let (snap_round, replay_from) = match &snap {
                 Some(s) => {
-                    let (round, _) = decode_multi_app_meta(&s.app_meta)
-                        .map_err(|e| DurabilityError::Corrupt(format!("snapshot meta: {e}")))?;
+                    let (round, _, _) = decode_multi_app_meta(&s.app_meta)?;
                     (round, s.replay_offset(&wal))
                 }
                 None => (0, 0),
@@ -470,7 +472,7 @@ impl<'p> MultiPlatform<'p> {
                         expected += 1;
                         committed = expected;
                     }
-                    REC_FRAME | REC_PROMOTE | REC_TOMBSTONE | REC_ABORT => {}
+                    REC_FRAME | REC_PROMOTE | REC_PODS | REC_TOMBSTONE | REC_ABORT => {}
                     other => {
                         return Err(DurabilityError::Corrupt(format!(
                             "unknown journal record kind {other}"
@@ -501,6 +503,10 @@ impl<'p> MultiPlatform<'p> {
         let mut promote_seq = 0u64;
         let mut frame_floors: BTreeMap<u64, u64> = BTreeMap::new();
         let mut recovered_history: Option<Vec<MultiRoundReport>> = None;
+        // Per-lane durable pod populations: seeded from each shard's
+        // snapshot, then overwritten by committed `REC_PODS` records
+        // replayed from that shard's journal suffix.
+        let mut lane_pod_states: BTreeMap<u64, Vec<PodState>> = BTreeMap::new();
         for (shard, mut sc) in scans.into_iter().enumerate() {
             if sc.snap_round > target {
                 // Phase B runs only after phase A committed on every
@@ -517,9 +523,11 @@ impl<'p> MultiPlatform<'p> {
                     .sharded
                     .decode_shard_state(shard, &s.state, &platform.config.hive)
                     .map_err(|e| DurabilityError::Corrupt(format!("shard {shard} state: {e}")))?;
-                let (_, h) = decode_multi_app_meta(&s.app_meta)
-                    .map_err(|e| DurabilityError::Corrupt(format!("snapshot meta: {e}")))?;
+                let (_, h, snap_pods) = decode_multi_app_meta(&s.app_meta)?;
                 history = h;
+                for (lane, states) in snap_pods {
+                    lane_pod_states.insert(lane, states);
+                }
                 for (&session, &floor) in &s.sessions {
                     let f = frame_floors.entry(session).or_insert(0);
                     *f = (*f).max(floor);
@@ -528,6 +536,7 @@ impl<'p> MultiPlatform<'p> {
             let mut rounds_applied = sc.snap_round;
             let mut seg_frames: Vec<&JournalRecord> = Vec::new();
             let mut seg_promotes: Vec<&JournalRecord> = Vec::new();
+            let mut seg_pods: BTreeMap<u64, &JournalRecord> = BTreeMap::new();
             let mut offset = sc.replay_from;
             // End of the last fully-applied round (the truncation
             // boundary if anything uncommitted follows).
@@ -541,11 +550,15 @@ impl<'p> MultiPlatform<'p> {
                 match rec.kind {
                     REC_FRAME => seg_frames.push(rec),
                     REC_PROMOTE => seg_promotes.push(rec),
+                    REC_PODS => {
+                        seg_pods.insert(rec.session, rec);
+                    }
                     REC_TOMBSTONE => {}
                     REC_ABORT => {
                         // Fenced by an earlier recovery: never apply.
                         seg_frames.clear();
                         seg_promotes.clear();
+                        seg_pods.clear();
                         boundary = rec_end;
                         applied_records = idx + 1;
                     }
@@ -616,6 +629,9 @@ impl<'p> MultiPlatform<'p> {
                                     .guidance();
                             }
                         }
+                        for (lane, pr) in std::mem::take(&mut seg_pods) {
+                            lane_pod_states.insert(lane, decode_pod_states(&pr.frame)?);
+                        }
                         rounds_applied += 1;
                         history.push(report);
                         boundary = rec_end;
@@ -669,6 +685,21 @@ impl<'p> MultiPlatform<'p> {
                 store: sc.store,
                 journal: sc.journal,
             });
+        }
+
+        // Process equivalence: install every fleet's freshest committed
+        // pod images (journal beats snapshot; lanes with no durable
+        // record — a cold campaign — keep their seed-derived round-0
+        // population).
+        for (lane, fleet) in platform.fleets.iter_mut().enumerate() {
+            if let Some(states) = lane_pod_states.remove(&(lane as u64)) {
+                restore_pod_states(&mut fleet.pods, states)?;
+            }
+        }
+        if let Some((&lane, _)) = lane_pod_states.iter().next() {
+            return Err(DurabilityError::Corrupt(format!(
+                "durable pod states reference unknown lane {lane}"
+            )));
         }
 
         platform.round_idx = target;
@@ -737,6 +768,40 @@ impl<'p> MultiPlatform<'p> {
         self.sharded
             .encode_shard_state(shard)
             .expect("shard index in range")
+    }
+
+    /// Exports every fleet's durable pod images, in lane order — the
+    /// pod half of the process-equivalence invariant checked by the
+    /// kill/restart harness.
+    pub fn export_pod_states(&self) -> Vec<Vec<PodState>> {
+        self.fleets
+            .iter()
+            .map(|f| f.pods.iter().map(Pod::export_state).collect())
+            .collect()
+    }
+
+    /// Scrubs every shard's durable files for bit rot *before*
+    /// resuming, in shard order — the multi-shard analogue of
+    /// [`Platform::scrub`](crate::Platform::scrub). Returns one
+    /// [`ScrubReport`] per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::NotConfigured`] without a durability config;
+    /// otherwise the first failing shard's error (I/O, or a shard whose
+    /// durable data was entirely destroyed).
+    pub fn scrub(config: &MultiPlatformConfig) -> Result<Vec<ScrubReport>, DurabilityError> {
+        let dcfg = config
+            .durability
+            .as_ref()
+            .ok_or(DurabilityError::NotConfigured)?;
+        let mut reports = Vec::with_capacity(config.n_shards);
+        for i in 0..config.n_shards {
+            let dir = dcfg.dir.join(format!("shard-{i}"));
+            let store = SnapshotStore::open(&dir).map_err(|e| io_err("snapshot-dir", &e))?;
+            reports.push(scrub_campaign(&store, &config.obs.recorder)?);
+        }
+        Ok(reports)
     }
 
     /// Advances one round: distribute overlays, execute every fleet
@@ -1194,9 +1259,18 @@ impl<'p> MultiPlatform<'p> {
     ) -> Result<(u64, bool), DurabilityError> {
         let obs = self.config.obs.clone();
         let lanes: Vec<ProgramId> = self.fleets.iter().map(|f| f.id).collect();
-        let Some(d) = self.durable.as_mut() else {
+        if self.durable.is_none() {
             return Ok((0, false));
-        };
+        }
+        // Capture every fleet's pod population *after* guidance queued
+        // next-round directives — the exact state an uninterrupted
+        // process carries into the next round.
+        let pod_bodies: Vec<Vec<u8>> = self
+            .fleets
+            .iter()
+            .map(|f| encode_pod_states(&f.pods))
+            .collect();
+        let d = self.durable.as_mut().expect("checked above");
         frames.sort_by_key(|&(lane, seq, _)| (lane, seq));
 
         // Phase A: append everywhere…
@@ -1226,6 +1300,16 @@ impl<'p> MultiPlatform<'p> {
             rec.clear();
             journal::append_record(&mut rec, REC_PROMOTE, SESSION_PROMOTE, d.promote_seq, &body);
             d.promote_seq += 1;
+            d.shards[shard].journal.append(&rec)?;
+        }
+        for (lane, pod_body) in pod_bodies.iter().enumerate() {
+            let shard = self
+                .sharded
+                .map()
+                .shard_of(lanes[lane])
+                .expect("lane program is placed");
+            rec.clear();
+            journal::append_record(&mut rec, REC_PODS, lane as u64, report.round, pod_body);
             d.shards[shard].journal.append(&rec)?;
         }
         let mut body = Vec::new();
@@ -1268,6 +1352,7 @@ impl<'p> MultiPlatform<'p> {
                         state,
                         self.round_idx,
                         &self.history,
+                        &pod_bodies,
                         true,
                     )?;
                     compacted = true;
@@ -1286,6 +1371,11 @@ impl<'p> MultiPlatform<'p> {
     /// [`DurabilityError::Io`] when a snapshot swap fails.
     pub fn checkpoint(&mut self) -> Result<(), DurabilityError> {
         let lanes: Vec<ProgramId> = self.fleets.iter().map(|f| f.id).collect();
+        let pod_bodies: Vec<Vec<u8>> = self
+            .fleets
+            .iter()
+            .map(|f| encode_pod_states(&f.pods))
+            .collect();
         let d = self
             .durable
             .as_mut()
@@ -1303,6 +1393,7 @@ impl<'p> MultiPlatform<'p> {
                 state,
                 self.round_idx,
                 &self.history,
+                &pod_bodies,
                 true,
             )?;
         }
@@ -1312,8 +1403,8 @@ impl<'p> MultiPlatform<'p> {
 
 /// Writes one shard's snapshot generation covering its whole journal,
 /// then (when `truncate`) empties that journal. The snapshot's session
-/// floors cover only the lanes whose frames land in this shard's
-/// journal.
+/// floors and pod populations cover only the lanes whose frames land in
+/// this shard's journal.
 #[allow(clippy::too_many_arguments)]
 fn write_shard_checkpoint(
     d: &mut MultiDurableState,
@@ -1323,26 +1414,34 @@ fn write_shard_checkpoint(
     state: Vec<u8>,
     round_idx: u64,
     history: &[MultiRoundReport],
+    lane_pods: &[Vec<u8>],
     truncate: bool,
 ) -> Result<(), DurabilityError> {
     let sd = &mut d.shards[shard];
     let wal_bytes = sd.journal.read().map_err(|e| io_err("wal-read", &e))?;
+    let on_shard = |lane: u64| {
+        lanes
+            .get(lane as usize)
+            .is_some_and(|&id| map.shard_of(id) == Ok(shard))
+    };
     let sessions: BTreeMap<u64, u64> = d
         .frame_floors
         .iter()
-        .filter(|(&lane, _)| {
-            lanes
-                .get(lane as usize)
-                .is_some_and(|&id| map.shard_of(id) == Ok(shard))
-        })
+        .filter(|(&lane, _)| on_shard(lane))
         .map(|(&lane, &floor)| (lane, floor))
+        .collect();
+    let shard_pods: Vec<(u64, &[u8])> = lane_pods
+        .iter()
+        .enumerate()
+        .filter(|&(lane, _)| on_shard(lane as u64))
+        .map(|(lane, body)| (lane as u64, body.as_slice()))
         .collect();
     let snap = HiveSnapshot {
         state,
         sessions,
         wal_covered: wal_bytes.len() as u64,
         wal_covered_hash: wire::fnv1a(&wal_bytes),
-        app_meta: encode_multi_app_meta(round_idx, history),
+        app_meta: encode_multi_app_meta(round_idx, history, &shard_pods),
     };
     sd.store.write_snapshot(&snap)?;
     if truncate {
@@ -1351,19 +1450,32 @@ fn write_shard_checkpoint(
     Ok(())
 }
 
-/// Shard-snapshot `app_meta` payload: committed-round counter plus the
-/// full multi-round history, in the deterministic byte codec.
-fn encode_multi_app_meta(round_idx: u64, history: &[MultiRoundReport]) -> Vec<u8> {
+/// Shard-snapshot `app_meta` payload: committed-round counter, the full
+/// multi-round history, and this shard's lanes' durable pod populations
+/// (`u32 count` then `u64 lane | bytes` per lane), in the deterministic
+/// byte codec.
+fn encode_multi_app_meta(
+    round_idx: u64,
+    history: &[MultiRoundReport],
+    lane_pods: &[(u64, &[u8])],
+) -> Vec<u8> {
     let mut buf = Vec::new();
     codec::put_u64(&mut buf, round_idx);
     codec::put_u32(&mut buf, history.len() as u32);
     for report in history {
         report.encode_into(&mut buf);
     }
+    codec::put_u32(&mut buf, lane_pods.len() as u32);
+    for (lane, body) in lane_pods {
+        codec::put_u64(&mut buf, *lane);
+        codec::put_bytes(&mut buf, body);
+    }
     buf
 }
 
-fn decode_multi_app_meta(bytes: &[u8]) -> Result<(u64, Vec<MultiRoundReport>), CodecError> {
+type MultiAppMeta = (u64, Vec<MultiRoundReport>, Vec<(u64, Vec<PodState>)>);
+
+fn decode_multi_app_meta(bytes: &[u8]) -> Result<MultiAppMeta, DurabilityError> {
     let mut r = codec::Reader::new(bytes);
     let round_idx = r.u64("multi_app_meta.round_idx")?;
     let n = r.seq_len("multi_app_meta.history", 112)?;
@@ -1371,11 +1483,18 @@ fn decode_multi_app_meta(bytes: &[u8]) -> Result<(u64, Vec<MultiRoundReport>), C
     for _ in 0..n {
         history.push(MultiRoundReport::decode(&mut r)?);
     }
-    if !r.is_empty() {
-        return Err(CodecError::BadLen {
-            what: "multi_app_meta.trailing",
-            len: r.remaining(),
-        });
+    let n_lanes = r.seq_len("multi_app_meta.lane_pods", 12)?;
+    let mut lane_pods = Vec::with_capacity(n_lanes);
+    for _ in 0..n_lanes {
+        let lane = r.u64("multi_app_meta.lane")?;
+        let body = r.bytes("multi_app_meta.pods")?;
+        lane_pods.push((lane, decode_pod_states(body)?));
     }
-    Ok((round_idx, history))
+    if !r.is_empty() {
+        return Err(DurabilityError::Corrupt(format!(
+            "multi_app_meta has {} trailing byte(s)",
+            r.remaining()
+        )));
+    }
+    Ok((round_idx, history, lane_pods))
 }

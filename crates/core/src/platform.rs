@@ -14,16 +14,16 @@ use serde::{Deserialize, Serialize};
 use softborg_fix::{rank, FixCandidate, LabConfig, TestCase, Verdict};
 use softborg_guidance::Directive;
 use softborg_hive::journal::{
-    self, JournalRecord, REC_ABORT, REC_FRAME, REC_PROMOTE, REC_ROUND, REC_TOMBSTONE,
+    self, JournalRecord, REC_ABORT, REC_FRAME, REC_PODS, REC_PROMOTE, REC_ROUND, REC_TOMBSTONE,
     SESSION_PROMOTE, SESSION_ROUND,
 };
 use softborg_hive::{
-    diagnosis_signature, outcome_signature, FileJournal, Hive, HiveConfig, HiveSnapshot,
-    JournalIoError, JournalStore, LoadReport, SnapshotStore,
+    diagnosis_signature, outcome_signature, scrub_campaign, FileJournal, Hive, HiveConfig,
+    HiveSnapshot, JournalIoError, JournalStore, LoadReport, ScrubError, ScrubReport, SnapshotStore,
 };
 use softborg_ingest::{IngestConfig, IngestStats};
 use softborg_obs::{ObsHandles, SpanTimer};
-use softborg_pod::{Pod, PodConfig};
+use softborg_pod::{Pod, PodConfig, PodState};
 use softborg_program::codec::{self, CodecError};
 use softborg_program::{Overlay, Program};
 use softborg_trace::wire;
@@ -136,6 +136,17 @@ impl From<JournalIoError> for DurabilityError {
 impl From<CodecError> for DurabilityError {
     fn from(e: CodecError) -> Self {
         DurabilityError::Corrupt(e.to_string())
+    }
+}
+
+impl From<ScrubError> for DurabilityError {
+    fn from(e: ScrubError) -> Self {
+        match e {
+            ScrubError::Io(io) => DurabilityError::Io(io),
+            ScrubError::NothingRecoverable => {
+                DurabilityError::Corrupt(ScrubError::NothingRecoverable.to_string())
+            }
+        }
     }
 }
 
@@ -443,9 +454,11 @@ impl<'p> Platform<'p> {
     ///
     /// The recovered hive state is byte-identical
     /// ([`hive_state`](Self::hive_state)) to the uninterrupted run at
-    /// the same committed round. Pods are rebuilt from their derived
-    /// seeds and continue the campaign from the recovered overlay and
-    /// tree.
+    /// the same committed round — and so is the pod population: every
+    /// pod's RNG position, locally-retained repair-lab corpus, overlay
+    /// version, and pending guidance directives are restored from the
+    /// round commit's durable pod images, so the resumed process draws
+    /// the exact random stream the uninterrupted one would have.
     ///
     /// # Errors
     ///
@@ -470,13 +483,17 @@ impl<'p> Platform<'p> {
 
         let mut platform = Self::base(program, config);
         let mut frame_floors = BTreeMap::new();
+        // The freshest durable pod population seen so far: the
+        // snapshot's, then overwritten by each committed `REC_PODS`
+        // record replayed from the journal suffix.
+        let mut pod_states: Option<Vec<PodState>> = None;
         let replay_from = if let Some(s) = &snap {
             platform.hive = Hive::decode_state(program, platform.config.hive.clone(), &s.state)
                 .map_err(|e| DurabilityError::Corrupt(format!("snapshot state: {e}")))?;
-            let (round_idx, history) = decode_app_meta(&s.app_meta)
-                .map_err(|e| DurabilityError::Corrupt(format!("snapshot meta: {e}")))?;
+            let (round_idx, history, snap_pods) = decode_app_meta(&s.app_meta)?;
             platform.round_idx = round_idx;
             platform.history = history;
+            pod_states = Some(snap_pods);
             frame_floors = s.sessions.clone();
             s.replay_offset(&wal)
         } else {
@@ -507,6 +524,7 @@ impl<'p> Platform<'p> {
         let mut promote_seq = 0u64;
         let mut seg_frames: Vec<&JournalRecord> = Vec::new();
         let mut seg_promotes: Vec<&JournalRecord> = Vec::new();
+        let mut seg_pods: Option<&JournalRecord> = None;
         let mut fenced_records = 0u64;
         let mut rounds_replayed = 0u64;
         let mut disconnected_records = 0u64;
@@ -520,12 +538,14 @@ impl<'p> Platform<'p> {
             match rec.kind {
                 REC_FRAME => seg_frames.push(rec),
                 REC_PROMOTE => seg_promotes.push(rec),
+                REC_PODS => seg_pods = Some(rec),
                 REC_TOMBSTONE => {} // transport-only; the platform journals no tombstones
                 REC_ABORT => {
                     // A previous resume fenced these: an uncommitted
                     // partial round that must never be applied.
                     seg_frames.clear();
                     seg_promotes.clear();
+                    seg_pods = None;
                     seg_start = rec_end;
                     seg_start_idx = idx + 1;
                 }
@@ -559,6 +579,7 @@ impl<'p> Platform<'p> {
                         );
                         seg_frames.clear();
                         seg_promotes.clear();
+                        seg_pods = None;
                         wal_file.truncate(seg_start as u64)?;
                         break;
                     }
@@ -590,7 +611,14 @@ impl<'p> Platform<'p> {
                         promote_seq = promote_seq.max(pr.seq + 1);
                     }
                     if platform.config.guidance_enabled {
+                        // Re-run guidance to advance hive-internal state;
+                        // the directives it produced are already queued
+                        // inside the committed pod images, so the copies
+                        // here are discarded.
                         let _ = platform.hive.guidance();
+                    }
+                    if let Some(pr) = seg_pods.take() {
+                        pod_states = Some(decode_pod_states(&pr.frame)?);
                     }
                     platform.round_idx += 1;
                     rounds_replayed += 1;
@@ -606,7 +634,8 @@ impl<'p> Platform<'p> {
             }
             offset = rec_end;
         }
-        let partial = (seg_frames.len() + seg_promotes.len()) as u64;
+        let partial =
+            (seg_frames.len() + seg_promotes.len() + usize::from(seg_pods.is_some())) as u64;
         if partial > 0 {
             // The process died mid-round: those records were never acked
             // (the round never returned), so discard them — and fence
@@ -616,6 +645,13 @@ impl<'p> Platform<'p> {
             wal_file.append(&rec)?;
             wal_file.sync()?;
             fenced_records = partial;
+        }
+
+        // Process equivalence: install the freshest committed pod images
+        // (journal beats snapshot; a cold start keeps the seed-derived
+        // population, which *is* the round-0 state).
+        if let Some(states) = pod_states {
+            restore_pod_states(&mut platform.pods, states)?;
         }
 
         platform.durable = Some(DurableState {
@@ -953,9 +989,14 @@ impl<'p> Platform<'p> {
         promoted: &[(String, Overlay)],
     ) -> Result<(u64, bool), DurabilityError> {
         let obs = self.config.obs.clone();
-        let Some(d) = self.durable.as_mut() else {
+        if self.durable.is_none() {
             return Ok((0, false));
-        };
+        }
+        // Capture the pod population *after* guidance queued next-round
+        // directives, so the durable image is exactly what an
+        // uninterrupted process would carry into the next round.
+        let pod_body = encode_pod_states(&self.pods);
+        let d = self.durable.as_mut().expect("checked above");
         frames.sort_by_key(|&(session, seq, _)| (session, seq));
         let mut rec = Vec::new();
         for (session, seq, bytes) in &frames {
@@ -974,6 +1015,9 @@ impl<'p> Platform<'p> {
             d.promote_seq += 1;
             d.journal.append(&rec)?;
         }
+        rec.clear();
+        journal::append_record(&mut rec, REC_PODS, 0, report.round, &pod_body);
+        d.journal.append(&rec)?;
         let mut body = Vec::new();
         report.encode_into(&mut body);
         rec.clear();
@@ -1018,7 +1062,7 @@ impl<'p> Platform<'p> {
             sessions: d.frame_floors.clone(),
             wal_covered: wal_bytes.len() as u64,
             wal_covered_hash: wire::fnv1a(&wal_bytes),
-            app_meta: encode_app_meta(round_idx, &self.history),
+            app_meta: encode_app_meta(round_idx, &self.history, &self.pods),
         };
         d.store.write_snapshot(&snap)?;
         if truncate {
@@ -1061,9 +1105,39 @@ impl<'p> Platform<'p> {
         self.hive.encode_state()
     }
 
+    /// Exports every pod's durable image — the second half of the
+    /// process-equivalence invariant: a resumed platform's pod states
+    /// equal the uninterrupted run's at the same committed round.
+    pub fn export_pod_states(&self) -> Vec<PodState> {
+        self.pods.iter().map(Pod::export_state).collect()
+    }
+
     /// Rounds committed so far.
     pub fn committed_rounds(&self) -> u64 {
         self.round_idx
+    }
+
+    /// Scrubs the campaign's durable files for bit rot *before*
+    /// resuming: corrupt snapshot generations are quarantined, journal
+    /// damage is cut or repaired around (see
+    /// [`softborg_hive::scrub`]), and every detection records a Warn
+    /// event on [`PlatformConfig::obs`]. Run this after a suspected
+    /// media fault, then [`resume`](Self::resume) as usual.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::NotConfigured`] without a durability config;
+    /// [`DurabilityError::Io`] on filesystem failures; and
+    /// [`DurabilityError::Corrupt`] when the directory held campaign
+    /// data but nothing valid survived — resuming would silently
+    /// cold-start over it, which the scrub refuses to sanction.
+    pub fn scrub(config: &PlatformConfig) -> Result<ScrubReport, DurabilityError> {
+        let dcfg = config
+            .durability
+            .as_ref()
+            .ok_or(DurabilityError::NotConfigured)?;
+        let store = SnapshotStore::open(&dcfg.dir).map_err(|e| io_err("snapshot-dir", &e))?;
+        Ok(scrub_campaign(&store, &config.obs.recorder)?)
     }
 
     /// Current write-ahead-journal size in bytes (`None` when the
@@ -1251,19 +1325,25 @@ impl<'p> Platform<'p> {
     }
 }
 
-/// Snapshot `app_meta` payload: committed-round counter plus the full
-/// round history, in the deterministic byte codec.
-fn encode_app_meta(round_idx: u64, history: &[RoundReport]) -> Vec<u8> {
+/// Snapshot `app_meta` payload: committed-round counter, the full round
+/// history, and the durable pod population, in the deterministic byte
+/// codec. The pod images make snapshot-only recovery (a fully compacted
+/// journal) restore every pod mid-stream, exactly like replaying the
+/// journal's `REC_PODS` records would.
+fn encode_app_meta(round_idx: u64, history: &[RoundReport], pods: &[Pod<'_>]) -> Vec<u8> {
     let mut buf = Vec::new();
     codec::put_u64(&mut buf, round_idx);
     codec::put_u32(&mut buf, history.len() as u32);
     for report in history {
         report.encode_into(&mut buf);
     }
+    buf.extend_from_slice(&encode_pod_states(pods));
     buf
 }
 
-fn decode_app_meta(bytes: &[u8]) -> Result<(u64, Vec<RoundReport>), CodecError> {
+fn decode_app_meta(
+    bytes: &[u8],
+) -> Result<(u64, Vec<RoundReport>, Vec<PodState>), DurabilityError> {
     let mut r = codec::Reader::new(bytes);
     let round_idx = r.u64("app_meta.round_idx")?;
     let n = r.seq_len("app_meta.history", 112)?;
@@ -1271,11 +1351,76 @@ fn decode_app_meta(bytes: &[u8]) -> Result<(u64, Vec<RoundReport>), CodecError> 
     for _ in 0..n {
         history.push(RoundReport::decode(&mut r)?);
     }
+    let pods = decode_pod_states_reader(&mut r)?;
     if !r.is_empty() {
-        return Err(CodecError::BadLen {
-            what: "app_meta.trailing",
-            len: r.remaining(),
-        });
+        return Err(DurabilityError::Corrupt(format!(
+            "app_meta has {} trailing byte(s)",
+            r.remaining()
+        )));
     }
-    Ok((round_idx, history))
+    Ok((round_idx, history, pods))
+}
+
+/// Encodes the whole pod population for a `REC_PODS` journal record or a
+/// snapshot's `app_meta`: `u32 count` then one length-prefixed
+/// [`PodState`] image (itself versioned and checksummed) per pod.
+pub(crate) fn encode_pod_states(pods: &[Pod<'_>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    codec::put_u32(&mut buf, pods.len() as u32);
+    for pod in pods {
+        codec::put_bytes(&mut buf, &pod.export_state().encode());
+    }
+    buf
+}
+
+/// Decodes a pod population written by [`encode_pod_states`]. Every pod
+/// image re-verifies its own checksum, so torn bytes behind a valid
+/// journal checksum still fail loudly.
+pub(crate) fn decode_pod_states(bytes: &[u8]) -> Result<Vec<PodState>, DurabilityError> {
+    let mut r = codec::Reader::new(bytes);
+    let states = decode_pod_states_reader(&mut r)?;
+    if !r.is_empty() {
+        return Err(DurabilityError::Corrupt(format!(
+            "pod-state record has {} trailing byte(s)",
+            r.remaining()
+        )));
+    }
+    Ok(states)
+}
+
+fn decode_pod_states_reader(r: &mut codec::Reader<'_>) -> Result<Vec<PodState>, DurabilityError> {
+    let n = r
+        .seq_len("pod_states", 9)
+        .map_err(|e| DurabilityError::Corrupt(e.to_string()))?;
+    let mut states = Vec::with_capacity(n);
+    for i in 0..n {
+        let bytes = r
+            .bytes("pod_states.image")
+            .map_err(|e| DurabilityError::Corrupt(e.to_string()))?;
+        states.push(
+            PodState::decode(bytes)
+                .map_err(|e| DurabilityError::Corrupt(format!("pod {i} state: {e}")))?,
+        );
+    }
+    Ok(states)
+}
+
+/// Installs decoded pod images onto a freshly built population,
+/// requiring an exact count match — a mismatch means the durable record
+/// belongs to a differently-configured campaign.
+pub(crate) fn restore_pod_states(
+    pods: &mut [Pod<'_>],
+    states: Vec<PodState>,
+) -> Result<(), DurabilityError> {
+    if states.len() != pods.len() {
+        return Err(DurabilityError::Corrupt(format!(
+            "pod-state record holds {} pod(s) but the campaign is configured for {}",
+            states.len(),
+            pods.len()
+        )));
+    }
+    for (pod, state) in pods.iter_mut().zip(states) {
+        pod.restore_state(state);
+    }
+    Ok(())
 }

@@ -55,8 +55,14 @@ pub const REC_ROUND: u8 = 3;
 /// Record kind: an abort fence — frames since the last [`REC_ROUND`]
 /// belong to an uncommitted round and are discarded by replay.
 pub const REC_ABORT: u8 = 4;
+/// Record kind: a durable pod-state image for one platform lane
+/// (`session` = lane index, `seq` = round index; the frame bytes carry
+/// the platform's encoded pod population for that round). Written inside
+/// the committed segment, before its [`REC_ROUND`], so replay restores
+/// every pod mid-stream exactly as it was when the round committed.
+pub const REC_PODS: u8 = 5;
 /// Highest valid record kind; [`scan`] rejects anything above it.
-const MAX_KIND: u8 = REC_ABORT;
+const MAX_KIND: u8 = REC_PODS;
 
 /// Pseudo-session carrying [`REC_ROUND`] / [`REC_ABORT`] records. Real
 /// transport sessions are small pod indices, so the top of the `u64`
@@ -615,14 +621,17 @@ mod tests {
         append_record(&mut buf, REC_PROMOTE, SESSION_PROMOTE, 0, b"overlay");
         append_record(&mut buf, REC_ROUND, SESSION_ROUND, 0, b"round-meta");
         append_record(&mut buf, REC_ABORT, SESSION_ROUND, 1, &[]);
+        append_record(&mut buf, REC_PODS, 0, 2, b"pod-states");
         let (recs, report) = scan(&buf);
-        assert_eq!(report.records, 3);
+        assert_eq!(report.records, 4);
         assert_eq!(report.tail_error, None);
         assert_eq!(recs[0].kind, REC_PROMOTE);
         assert_eq!(recs[0].session, SESSION_PROMOTE);
         assert_eq!(recs[1].kind, REC_ROUND);
         assert_eq!(recs[1].frame, b"round-meta");
         assert_eq!(recs[2].kind, REC_ABORT);
+        assert_eq!(recs[3].kind, REC_PODS);
+        assert_eq!(recs[3].frame, b"pod-states");
     }
 
     #[test]

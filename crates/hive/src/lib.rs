@@ -26,6 +26,7 @@ pub mod hive;
 pub mod journal;
 pub mod proofs;
 pub mod replica;
+pub mod scrub;
 pub mod snapshot;
 pub mod transport;
 
@@ -40,6 +41,7 @@ pub use journal::{
 };
 pub use proofs::{assemble, verify, ProofCertificate, ProofError};
 pub use replica::{run_replica_sync, OutcomePath, ReplicaConfig, ReplicaReport};
+pub use scrub::{scrub_campaign, FileScrub, ScrubError, ScrubReport, WalScrubAction};
 pub use snapshot::{HiveSnapshot, LoadReport, SnapshotSource, SnapshotStore};
 pub use transport::{
     run_reliable_ingest, run_reliable_ingest_hosted, run_reliable_ingest_resumed, CanaryBug,

@@ -1,0 +1,540 @@
+//! Bit-rot scrubber for a campaign's durable files: detect media
+//! damage in the snapshot generations and the write-ahead journal,
+//! quarantine the damaged bytes, and repair around them where a valid
+//! older generation or journal suffix makes that sound — failing
+//! loudly (typed [`ScrubError`], Warn flight-recorder events) in every
+//! case, never silently ingesting garbage.
+//!
+//! # What "repair" may and may not do
+//!
+//! The scrubber never reconstructs lost data; it only ever *discards*
+//! bytes that verification already rejected, moving them into
+//! `*.quarantined` files so the damage stays inspectable. The
+//! interesting decision is where the cut is sound:
+//!
+//! * A corrupt **snapshot generation** is renamed to
+//!   `hive.snap.quarantined` (or `hive.snap.prev.quarantined`);
+//!   recovery then proceeds from the remaining generation, exactly as
+//!   [`SnapshotStore::load`]'s fallback would.
+//! * Damage in the journal's **unsynced tail** (the classic torn
+//!   append) is cut at the last valid record boundary — the same
+//!   prefix [`journal::scan`] recovers — with the dropped bytes
+//!   preserved in `hive.wal.quarantined`.
+//! * Damage **inside the snapshot-covered prefix** — journal bytes the
+//!   snapshot already summarizes, kept only because the post-compaction
+//!   truncate hadn't happened yet — is repaired by *dropping the
+//!   prefix*: the journal is atomically rewritten to the intact suffix
+//!   the snapshot does not cover, which replays onto the snapshot
+//!   exactly as it would have before the damage. Without this, the
+//!   covered-prefix hash check fails and recovery discards the whole
+//!   journal, losing every round committed after the snapshot.
+//! * Damage in the **live replay region** with valid records beyond it
+//!   cannot be repaired around — replaying across a hole would merge a
+//!   different history than was acknowledged — so everything from the
+//!   hole onward is quarantined, and the loss is reported.
+//!
+//! # Deciding which region the damage is in
+//!
+//! The snapshot's `wal_covered` cannot be taken at face value: after a
+//! *completed* compaction the journal restarts at byte 0 while
+//! `wal_covered` still describes the pre-truncate file, so a journal
+//! whose prefix hash does not match may be either freshly live from
+//! byte 0 (stale coverage) or a genuinely covered prefix that the
+//! bit rot itself un-hashed. The two interpretations demand opposite
+//! repairs, so the scrubber only acts on *verifiable* evidence:
+//!
+//! * The journal is *shorter* than `wal_covered` → coverage is
+//!   provably stale: under true coverage the file only ever grows
+//!   (appends), and the truncate that shrinks it is the very event
+//!   that makes coverage stale. Every byte is live → tail cut.
+//! * The hole is at or past `wal_covered` → the records recovery will
+//!   replay (from the covered offset if the prefix hash matches, from
+//!   0 otherwise) all precede the hole → tail cut.
+//! * The hole is inside the claimed prefix but `bytes[wal_covered..]`
+//!   scans as whole checksummed records → the covered offset lands on
+//!   a true record boundary, which a regrown journal would only offer
+//!   by 2⁻⁶⁴ accident → the prefix is summarized, drop it.
+//! * Otherwise the prefix can be neither trusted (replaying it may
+//!   double-apply records the snapshot holds) nor skipped (the suffix
+//!   is damaged too) → discard the journal, resume from the snapshot.
+//!
+//! A directory that held durable data but retains *nothing* valid
+//! after scrubbing is a [`ScrubError::NothingRecoverable`]: resuming
+//! would silently cold-start over an existing campaign, which is the
+//! one thing a crash-only system must never do quietly.
+
+use crate::journal::{self, fsync_parent_dir, JournalIoError};
+use crate::snapshot::{HiveSnapshot, SnapshotStore};
+use softborg_obs::FlightRecorder;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Flight-recorder source every scrub event is recorded under.
+pub const SCRUB_SOURCE: &str = "hive.scrub";
+
+/// What the scrubber found (and did) for one snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileScrub {
+    /// The file does not exist (not damage: young campaigns have no
+    /// snapshot generations yet).
+    Absent,
+    /// The file decoded and checksum-verified.
+    Clean,
+    /// The file failed verification and was renamed to its
+    /// `*.quarantined` sibling.
+    Quarantined {
+        /// The decode error that condemned it.
+        error: String,
+    },
+}
+
+/// How the scrubber left the write-ahead journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalScrubAction {
+    /// Every record verified (or the journal is absent/empty).
+    Clean,
+    /// A damaged tail was cut at the last valid record boundary.
+    TailCut,
+    /// Damage inside the snapshot-covered prefix: the journal was
+    /// rewritten to the intact post-snapshot suffix.
+    PrefixDropped,
+    /// Damage in the live region made everything from the first hole
+    /// onward unusable; the journal was truncated there and recovery
+    /// falls back to the snapshot alone.
+    Discarded,
+}
+
+/// The scrubber's findings for one campaign directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Verdict for `hive.snap`.
+    pub primary: FileScrub,
+    /// Verdict for `hive.snap.prev`.
+    pub fallback: FileScrub,
+    /// What happened to `hive.wal`.
+    pub wal_action: WalScrubAction,
+    /// Journal bytes retained as verified-valid.
+    pub wal_valid_bytes: u64,
+    /// Journal bytes moved into `hive.wal.quarantined`.
+    pub wal_quarantined_bytes: u64,
+}
+
+impl ScrubReport {
+    /// `true` when the scrub found no damage anywhere.
+    pub fn is_clean(&self) -> bool {
+        !matches!(self.primary, FileScrub::Quarantined { .. })
+            && !matches!(self.fallback, FileScrub::Quarantined { .. })
+            && self.wal_action == WalScrubAction::Clean
+    }
+}
+
+/// Why a scrub could not complete (or could not leave anything to
+/// resume from).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrubError {
+    /// A filesystem operation failed mid-scrub.
+    Io(JournalIoError),
+    /// The directory held durable campaign data, but nothing valid
+    /// survived scrubbing: every snapshot generation and every journal
+    /// record failed verification. Resuming would cold-start over an
+    /// existing campaign, so the scrub refuses instead.
+    NothingRecoverable,
+}
+
+impl fmt::Display for ScrubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScrubError::Io(e) => write!(f, "scrub I/O failure: {e}"),
+            ScrubError::NothingRecoverable => write!(
+                f,
+                "campaign directory held durable data but nothing valid survived the scrub"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScrubError {}
+
+impl From<JournalIoError> for ScrubError {
+    fn from(e: JournalIoError) -> Self {
+        ScrubError::Io(e)
+    }
+}
+
+fn io_err(op: &'static str, e: &std::io::Error) -> ScrubError {
+    ScrubError::Io(JournalIoError::from_io(op, e))
+}
+
+/// `<path>.quarantined` — where condemned bytes are moved, next to the
+/// file they came from, so post-mortems can inspect the exact damage.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".quarantined");
+    path.with_file_name(name)
+}
+
+/// Verifies one snapshot file; on failure renames it aside and records
+/// a Warn event. Returns the verdict plus the decoded snapshot when it
+/// was clean.
+fn scrub_snapshot_file(
+    path: &Path,
+    obs: &FlightRecorder,
+) -> Result<(FileScrub, Option<HiveSnapshot>), ScrubError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((FileScrub::Absent, None));
+        }
+        Err(e) => return Err(io_err("scrub-read-snapshot", &e)),
+    };
+    match HiveSnapshot::decode(&bytes) {
+        Ok(snap) => Ok((FileScrub::Clean, Some(snap))),
+        Err(e) => {
+            let q = quarantine_path(path);
+            fs::rename(path, &q).map_err(|e| io_err("scrub-quarantine-snapshot", &e))?;
+            fsync_parent_dir(path).map_err(|e| io_err("scrub-dir-fsync", &e))?;
+            obs.warn_or_ops(
+                SCRUB_SOURCE,
+                "snapshot_quarantined",
+                &[("bytes", bytes.len() as u64)],
+                format!("{}: {e}; moved to {}", path.display(), q.display()),
+            );
+            Ok((
+                FileScrub::Quarantined {
+                    error: e.to_string(),
+                },
+                None,
+            ))
+        }
+    }
+}
+
+/// Appends `bytes` to the journal's quarantine file and syncs it.
+fn quarantine_wal_bytes(wal_path: &Path, bytes: &[u8]) -> Result<(), ScrubError> {
+    let q = quarantine_path(wal_path);
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&q)
+        .map_err(|e| io_err("scrub-quarantine-open", &e))?;
+    f.write_all(bytes)
+        .map_err(|e| io_err("scrub-quarantine-write", &e))?;
+    f.sync_all()
+        .map_err(|e| io_err("scrub-quarantine-sync", &e))?;
+    fsync_parent_dir(&q).map_err(|e| io_err("scrub-dir-fsync", &e))?;
+    Ok(())
+}
+
+/// Atomically replaces the journal's contents with `bytes`: write a
+/// temp file, fsync, rename over `hive.wal`, fsync the directory.
+fn rewrite_wal(wal_path: &Path, bytes: &[u8]) -> Result<(), ScrubError> {
+    let tmp = wal_path.with_extension("wal.scrub-tmp");
+    let mut f = fs::File::create(&tmp).map_err(|e| io_err("scrub-rewrite-create", &e))?;
+    f.write_all(bytes)
+        .map_err(|e| io_err("scrub-rewrite-write", &e))?;
+    f.sync_all().map_err(|e| io_err("scrub-rewrite-sync", &e))?;
+    drop(f);
+    fs::rename(&tmp, wal_path).map_err(|e| io_err("scrub-rewrite-rename", &e))?;
+    fsync_parent_dir(wal_path).map_err(|e| io_err("scrub-dir-fsync", &e))?;
+    Ok(())
+}
+
+/// Truncates the journal in place to `len` bytes and syncs.
+fn truncate_wal(wal_path: &Path, len: u64) -> Result<(), ScrubError> {
+    let f = fs::OpenOptions::new()
+        .write(true)
+        .open(wal_path)
+        .map_err(|e| io_err("scrub-truncate-open", &e))?;
+    f.set_len(len).map_err(|e| io_err("scrub-truncate", &e))?;
+    f.sync_all()
+        .map_err(|e| io_err("scrub-truncate-sync", &e))?;
+    Ok(())
+}
+
+/// Scrubs one campaign directory: both snapshot generations, then the
+/// journal (using the newest valid snapshot to decide whether damage
+/// lies in the covered prefix). Damage is quarantined and, where
+/// sound, repaired around; every detection records a Warn event under
+/// [`SCRUB_SOURCE`].
+///
+/// # Errors
+///
+/// [`ScrubError::Io`] when a filesystem operation fails, and
+/// [`ScrubError::NothingRecoverable`] when the directory held durable
+/// data but no snapshot generation and no journal record survived
+/// verification — resuming would silently cold-start, so the caller
+/// must decide explicitly.
+pub fn scrub_campaign(
+    store: &SnapshotStore,
+    obs: &FlightRecorder,
+) -> Result<ScrubReport, ScrubError> {
+    let (primary, primary_snap) = scrub_snapshot_file(&store.snap_path(), obs)?;
+    let (fallback, fallback_snap) = scrub_snapshot_file(&store.prev_path(), obs)?;
+    // The newest valid generation decides the covered-prefix question;
+    // load() prefers the primary the same way.
+    let snap = primary_snap.or(fallback_snap);
+
+    let wal_path = store.wal_path();
+    let wal_bytes = match fs::read(&wal_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err("scrub-read-wal", &e)),
+    };
+    let had_data = !wal_bytes.is_empty()
+        || !matches!(primary, FileScrub::Absent)
+        || !matches!(fallback, FileScrub::Absent);
+
+    let (_, scan) = journal::scan(&wal_bytes);
+    let mut report = ScrubReport {
+        primary,
+        fallback,
+        wal_action: WalScrubAction::Clean,
+        wal_valid_bytes: scan.valid_len as u64,
+        wal_quarantined_bytes: 0,
+    };
+    if scan.tail_dropped > 0 {
+        let damage_at = scan.valid_len;
+        let covered = snap.as_ref().map_or(0, |s| s.wal_covered as usize);
+        // A file shorter than `covered` proves coverage is stale (the
+        // post-compaction truncate completed; true coverage only ever
+        // appends): every byte is live. Module docs walk through why
+        // each arm is the only sound action in its region.
+        if damage_at >= covered || wal_bytes.len() < covered {
+            // Everything recovery replays precedes the hole: cut at
+            // the last valid record boundary. Records beyond the hole
+            // (if any) cannot be replayed across it soundly.
+            quarantine_wal_bytes(&wal_path, &wal_bytes[damage_at..])?;
+            truncate_wal(&wal_path, damage_at as u64)?;
+            report.wal_action = WalScrubAction::TailCut;
+            report.wal_quarantined_bytes = (wal_bytes.len() - damage_at) as u64;
+        } else {
+            let suffix = &wal_bytes[covered..];
+            let (srecs, srep) = journal::scan(suffix);
+            if srep.tail_dropped == 0 && !srecs.is_empty() {
+                // The covered offset lands on a checksummed record
+                // boundary: the prefix is genuinely summarized by the
+                // snapshot, and the intact suffix carries everything
+                // the snapshot lacks.
+                quarantine_wal_bytes(&wal_path, &wal_bytes[..covered])?;
+                rewrite_wal(&wal_path, suffix)?;
+                report.wal_action = WalScrubAction::PrefixDropped;
+                report.wal_valid_bytes = suffix.len() as u64;
+                report.wal_quarantined_bytes = covered as u64;
+            } else {
+                // The prefix may double-apply and the suffix is
+                // damaged too: the snapshot alone is the only state
+                // recovery can trust.
+                quarantine_wal_bytes(&wal_path, &wal_bytes)?;
+                truncate_wal(&wal_path, 0)?;
+                report.wal_action = WalScrubAction::Discarded;
+                report.wal_valid_bytes = 0;
+                report.wal_quarantined_bytes = wal_bytes.len() as u64;
+            }
+        }
+        let kind = match report.wal_action {
+            WalScrubAction::TailCut => "wal_tail_cut",
+            WalScrubAction::PrefixDropped => "wal_prefix_dropped",
+            WalScrubAction::Discarded => "wal_discarded",
+            WalScrubAction::Clean => unreachable!("damage was detected"),
+        };
+        obs.warn_or_ops(
+            SCRUB_SOURCE,
+            kind,
+            &[
+                ("valid_bytes", report.wal_valid_bytes),
+                ("quarantined_bytes", report.wal_quarantined_bytes),
+            ],
+            format!(
+                "{}: {}",
+                wal_path.display(),
+                scan.tail_error
+                    .map_or_else(|| "damaged region".to_string(), |e| e.to_string())
+            ),
+        );
+    }
+
+    if had_data && snap.is_none() && report.wal_valid_bytes == 0 {
+        return Err(ScrubError::NothingRecoverable);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{append_record, REC_FRAME, REC_ROUND, SESSION_ROUND};
+    use softborg_trace::wire;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("softborg-scrub-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn record(kind: u8, session: u64, seq: u64, frame: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        append_record(&mut buf, kind, session, seq, frame);
+        buf
+    }
+
+    /// A store with a valid snapshot covering `covered` wal bytes, the
+    /// wal itself being `covered` + one extra round's records.
+    fn seeded_store(tag: &str) -> (SnapshotStore, Vec<u8>, usize) {
+        let dir = tmpdir(tag);
+        let store = SnapshotStore::open(&dir).unwrap();
+        let mut wal = Vec::new();
+        wal.extend_from_slice(&record(REC_FRAME, 1, 0, &[0xAA; 40]));
+        wal.extend_from_slice(&record(REC_ROUND, SESSION_ROUND, 0, b"round-0"));
+        let covered = wal.len();
+        wal.extend_from_slice(&record(REC_FRAME, 1, 1, &[0xBB; 40]));
+        wal.extend_from_slice(&record(REC_ROUND, SESSION_ROUND, 1, b"round-1"));
+        let snap = HiveSnapshot {
+            state: vec![1, 2, 3],
+            sessions: [(1u64, 1u64)].into_iter().collect(),
+            wal_covered: covered as u64,
+            wal_covered_hash: wire::fnv1a(&wal[..covered]),
+            app_meta: b"meta".to_vec(),
+        };
+        store.write_snapshot(&snap).unwrap();
+        fs::write(store.wal_path(), &wal).unwrap();
+        (store, wal, covered)
+    }
+
+    #[test]
+    fn clean_campaign_scrubs_clean() {
+        let (store, wal, _) = seeded_store("clean");
+        let report = scrub_campaign(&store, &FlightRecorder::disabled()).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.wal_valid_bytes, wal.len() as u64);
+        assert_eq!(fs::read(store.wal_path()).unwrap(), wal);
+        assert!(!quarantine_path(&store.wal_path()).exists());
+    }
+
+    #[test]
+    fn empty_directory_scrubs_clean() {
+        let store = SnapshotStore::open(tmpdir("empty")).unwrap();
+        let report = scrub_campaign(&store, &FlightRecorder::disabled()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.primary, FileScrub::Absent);
+    }
+
+    #[test]
+    fn corrupt_primary_snapshot_is_quarantined_not_deleted() {
+        let (store, _, _) = seeded_store("snap-rot");
+        let mut bytes = fs::read(store.snap_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(store.snap_path(), &bytes).unwrap();
+        let report = scrub_campaign(&store, &FlightRecorder::disabled()).unwrap();
+        assert!(matches!(report.primary, FileScrub::Quarantined { .. }));
+        assert!(!store.snap_path().exists(), "corrupt primary left in place");
+        assert_eq!(
+            fs::read(quarantine_path(&store.snap_path())).unwrap(),
+            bytes,
+            "quarantine must preserve the damaged bytes exactly"
+        );
+        // load() now falls back cleanly (no primary to reject).
+        let (snap, _) = store.load();
+        assert!(snap.is_none(), "no fallback generation existed");
+    }
+
+    #[test]
+    fn damaged_tail_is_cut_and_quarantined() {
+        let (store, wal, covered) = seeded_store("tail");
+        let mut bytes = wal.clone();
+        let hit = covered + 10; // inside the live region's first record
+        bytes[hit] ^= 0xFF;
+        fs::write(store.wal_path(), &bytes).unwrap();
+        let report = scrub_campaign(&store, &FlightRecorder::disabled()).unwrap();
+        assert_eq!(report.wal_action, WalScrubAction::TailCut);
+        assert_eq!(report.wal_valid_bytes, covered as u64);
+        assert_eq!(report.wal_quarantined_bytes, (wal.len() - covered) as u64);
+        let left = fs::read(store.wal_path()).unwrap();
+        assert_eq!(left, &wal[..covered]);
+        let (_, rep) = journal::scan(&left);
+        assert_eq!(rep.tail_dropped, 0, "scrubbed journal must scan clean");
+        assert_eq!(
+            fs::read(quarantine_path(&store.wal_path())).unwrap(),
+            &bytes[covered..]
+        );
+    }
+
+    #[test]
+    fn hole_in_covered_prefix_is_repaired_around() {
+        let (store, wal, covered) = seeded_store("prefix");
+        let mut bytes = wal.clone();
+        bytes[5] ^= 0x80; // first record: squarely inside the covered prefix
+        fs::write(store.wal_path(), &bytes).unwrap();
+        let report = scrub_campaign(&store, &FlightRecorder::disabled()).unwrap();
+        assert_eq!(report.wal_action, WalScrubAction::PrefixDropped);
+        assert_eq!(report.wal_valid_bytes, (wal.len() - covered) as u64);
+        let left = fs::read(store.wal_path()).unwrap();
+        assert_eq!(
+            left,
+            &wal[covered..],
+            "journal must hold exactly the suffix"
+        );
+        let (recs, rep) = journal::scan(&left);
+        assert_eq!(rep.tail_dropped, 0);
+        assert_eq!(recs.len(), 2, "the uncovered round survives intact");
+        // The snapshot + rewritten journal still form a consistent pair:
+        // the covered-prefix hash no longer matches, so replay starts
+        // at 0 — which is exactly where the suffix now begins.
+        let (snap, _) = store.load();
+        assert_eq!(snap.unwrap().replay_offset(&left), 0);
+    }
+
+    #[test]
+    fn hole_spanning_into_the_live_region_discards_the_journal() {
+        let (store, wal, covered) = seeded_store("span");
+        let mut bytes = wal.clone();
+        bytes[5] ^= 0x80; // covered prefix…
+        bytes[covered + 10] ^= 0x80; // …and the live region
+        fs::write(store.wal_path(), &bytes).unwrap();
+        let report = scrub_campaign(&store, &FlightRecorder::disabled()).unwrap();
+        assert_eq!(report.wal_action, WalScrubAction::Discarded);
+        assert_eq!(report.wal_valid_bytes, 0);
+        assert_eq!(report.wal_quarantined_bytes, wal.len() as u64);
+        assert_eq!(fs::read(store.wal_path()).unwrap().len(), 0);
+        // The snapshot still resumes the campaign: not NothingRecoverable.
+        let (snap, _) = store.load();
+        assert!(snap.is_some());
+    }
+
+    #[test]
+    fn total_loss_is_a_loud_error_not_a_cold_start() {
+        let dir = tmpdir("total");
+        let store = SnapshotStore::open(&dir).unwrap();
+        fs::write(store.snap_path(), b"snapshot-shaped garbage").unwrap();
+        fs::write(store.wal_path(), b"journal-shaped garbage").unwrap();
+        assert_eq!(
+            scrub_campaign(&store, &FlightRecorder::disabled()),
+            Err(ScrubError::NothingRecoverable)
+        );
+        // The evidence was still quarantined before the refusal.
+        assert!(quarantine_path(&store.snap_path()).exists());
+        assert!(quarantine_path(&store.wal_path()).exists());
+    }
+
+    #[test]
+    fn scrub_records_warn_events_for_every_detection() {
+        use softborg_obs::{ManualClock, Severity};
+        use std::sync::Arc;
+        let (store, wal, covered) = seeded_store("events");
+        let mut bytes = wal.clone();
+        bytes[covered + 10] ^= 0xFF;
+        fs::write(store.wal_path(), &bytes).unwrap();
+        let rec = FlightRecorder::new(Arc::new(ManualClock::new(0)), 64);
+        scrub_campaign(&store, &rec).unwrap();
+        let events = rec.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == "wal_tail_cut" && e.severity == Severity::Warn),
+            "no Warn event for the cut tail: {events:?}"
+        );
+    }
+}

@@ -67,6 +67,73 @@ pub struct Crash {
     pub restart_us: u64,
 }
 
+/// Sector granularity of the disk-corruption model: damage is injected
+/// in units of this many bytes, matching the physical reality that
+/// media errors and torn writes destroy sectors, not arbitrary byte
+/// ranges.
+pub const SECTOR_BYTES: u64 = 512;
+
+/// How one disk sector gets damaged. All positions are taken modulo the
+/// relevant extent (sector count for the sector index, sector size for
+/// offsets within it), so any `u64`/`u32` draw names *some* valid
+/// damage on any non-empty file — generators never produce a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SectorCorruption {
+    /// One flipped bit inside the sector (`bit` wrapped modulo the bits
+    /// actually present): the classic undetected-by-the-drive bit rot.
+    FlipBit {
+        /// Bit position within the sector (wrapped).
+        bit: u32,
+    },
+    /// This sector and the following `sectors − 1` read back as zeroes
+    /// (a remapped-but-lost region). Must cover at least one sector.
+    ZeroRange {
+        /// Number of consecutive sectors destroyed (≥ 1).
+        sectors: u32,
+    },
+    /// A torn sector write: the first `keep_bytes` (wrapped modulo the
+    /// sector's extent) survive, the rest of the sector reads back as
+    /// the drive's scribble pattern `0xA5`.
+    TornWrite {
+        /// Bytes of the sector that reached the platter (wrapped).
+        keep_bytes: u32,
+    },
+}
+
+impl SectorCorruption {
+    /// Applies this damage to `bytes`, targeting sector `sector` (taken
+    /// modulo the file's sector count). Returns `false` — nothing to
+    /// corrupt — only for an empty file. The file's length never
+    /// changes: sector damage scribbles contents, it does not truncate.
+    pub fn apply(self, bytes: &mut [u8], sector: u64) -> bool {
+        if bytes.is_empty() {
+            return false;
+        }
+        let n_sectors = (bytes.len() as u64).div_ceil(SECTOR_BYTES);
+        let s = sector % n_sectors;
+        let start = (s * SECTOR_BYTES) as usize;
+        let end = bytes.len().min(start + SECTOR_BYTES as usize);
+        match self {
+            SectorCorruption::FlipBit { bit } => {
+                let span_bits = (end - start) as u64 * 8;
+                let b = u64::from(bit) % span_bits;
+                bytes[start + (b / 8) as usize] ^= 1 << (b % 8);
+            }
+            SectorCorruption::ZeroRange { sectors } => {
+                let last = bytes
+                    .len()
+                    .min(start + (u64::from(sectors.max(1)) * SECTOR_BYTES) as usize);
+                bytes[start..last].fill(0);
+            }
+            SectorCorruption::TornWrite { keep_bytes } => {
+                let keep = (u64::from(keep_bytes) % (end - start) as u64) as usize;
+                bytes[start + keep..end].fill(0xA5);
+            }
+        }
+        true
+    }
+}
+
 /// A crash point targeting *durable storage* rather than the network:
 /// what the disk looks like when the process comes back. The simulator
 /// itself has no filesystem — these are declarative instructions that a
@@ -113,6 +180,26 @@ pub enum DiskCrashPoint {
     /// journal truncate: the journal still holds records the snapshot
     /// already covers, and recovery must not double-apply them.
     BetweenRenameAndTruncate,
+    /// Sector-granularity media damage to the write-ahead journal while
+    /// the process is down. The scrubber must detect it and either
+    /// repair around it (truncate to the last valid prefix, quarantining
+    /// the damaged tail) or fail loudly — never replay garbage.
+    CorruptWal {
+        /// Target sector (wrapped modulo the journal's sector count).
+        sector: u64,
+        /// The damage applied to it.
+        kind: SectorCorruption,
+    },
+    /// Sector-granularity media damage to the current snapshot while the
+    /// process is down. The scrubber must detect it, quarantine the
+    /// generation, and recover from an older valid one — never load a
+    /// corrupt image.
+    CorruptSnapshot {
+        /// Target sector (wrapped modulo the snapshot's sector count).
+        sector: u64,
+        /// The damage applied to it.
+        kind: SectorCorruption,
+    },
 }
 
 /// A composable set of injected faults, applied on top of the base
@@ -171,6 +258,9 @@ pub enum FaultPlanError {
     /// Reordering is enabled but the delay window is zero (a no-op that
     /// almost certainly means a misconfigured sweep).
     EmptyReorderWindow,
+    /// A zeroed-range corruption covering zero sectors (a no-op that
+    /// almost certainly means a misconfigured generator).
+    EmptyCorruptionRange,
 }
 
 impl fmt::Display for FaultPlanError {
@@ -198,6 +288,9 @@ impl fmt::Display for FaultPlanError {
             }
             FaultPlanError::EmptyReorderWindow => {
                 write!(f, "reorder_per_mille > 0 but reorder_window_us = 0")
+            }
+            FaultPlanError::EmptyCorruptionRange => {
+                write!(f, "zero_range corruption covers 0 sectors")
             }
         }
     }
@@ -252,13 +345,24 @@ impl FaultPlan {
             }
         }
         for d in &self.disk {
-            if let DiskCrashPoint::TornSnapshot { keep_per_mille } = *d {
-                if keep_per_mille > 1000 {
+            match *d {
+                DiskCrashPoint::TornSnapshot { keep_per_mille } if keep_per_mille > 1000 => {
                     return Err(FaultPlanError::RateOutOfRange {
                         what: "torn_snapshot.keep_per_mille",
                         per_mille: keep_per_mille,
                     });
                 }
+                DiskCrashPoint::CorruptWal {
+                    kind: SectorCorruption::ZeroRange { sectors: 0 },
+                    ..
+                }
+                | DiskCrashPoint::CorruptSnapshot {
+                    kind: SectorCorruption::ZeroRange { sectors: 0 },
+                    ..
+                } => {
+                    return Err(FaultPlanError::EmptyCorruptionRange);
+                }
+                _ => {}
             }
         }
         for c in &self.crashes {
@@ -346,7 +450,23 @@ impl FaultPlan {
         for c in &self.crashes {
             w += 1 + bits(c.restart_us - c.at_us);
         }
-        w + self.disk.len() as u64
+        for d in &self.disk {
+            w += 1;
+            if let DiskCrashPoint::CorruptWal {
+                kind: SectorCorruption::ZeroRange { sectors },
+                ..
+            }
+            | DiskCrashPoint::CorruptSnapshot {
+                kind: SectorCorruption::ZeroRange { sectors },
+                ..
+            } = *d
+            {
+                // Extra weight for every sector beyond the first, so
+                // halving a wide zeroed range is a real shrink step.
+                w += bits(u64::from(sectors.saturating_sub(1)));
+            }
+        }
+        w
     }
 
     /// One-step shrink candidates for delta-debugging: every way to make
@@ -456,6 +576,35 @@ impl FaultPlan {
                 with(&|p| p.crashes[i].restart_us = p.crashes[i].at_us + down / 2);
             }
         }
+        // Narrow zeroed corruption ranges (a one-sector hole is the
+        // minimal form of "a region of the file went dark").
+        for i in 0..self.disk.len() {
+            if let DiskCrashPoint::CorruptWal {
+                kind: SectorCorruption::ZeroRange { sectors },
+                ..
+            }
+            | DiskCrashPoint::CorruptSnapshot {
+                kind: SectorCorruption::ZeroRange { sectors },
+                ..
+            } = self.disk[i]
+            {
+                if sectors > 1 {
+                    with(&|p| {
+                        if let DiskCrashPoint::CorruptWal {
+                            kind: SectorCorruption::ZeroRange { sectors },
+                            ..
+                        }
+                        | DiskCrashPoint::CorruptSnapshot {
+                            kind: SectorCorruption::ZeroRange { sectors },
+                            ..
+                        } = &mut p.disk[i]
+                        {
+                            *sectors = (*sectors / 2).max(1);
+                        }
+                    });
+                }
+            }
+        }
         out
     }
 }
@@ -494,6 +643,14 @@ mod tests {
                     keep_per_mille: 500,
                 },
                 DiskCrashPoint::BetweenRenameAndTruncate,
+                DiskCrashPoint::CorruptWal {
+                    sector: 7,
+                    kind: SectorCorruption::ZeroRange { sectors: 6 },
+                },
+                DiskCrashPoint::CorruptSnapshot {
+                    sector: 1,
+                    kind: SectorCorruption::FlipBit { bit: 4000 },
+                },
             ],
         }
     }
@@ -579,6 +736,52 @@ mod tests {
                 per_mille: 1001
             })
         );
+    }
+
+    #[test]
+    fn zero_sector_corruption_range_is_rejected() {
+        let p = FaultPlan {
+            disk: vec![DiskCrashPoint::CorruptSnapshot {
+                sector: 3,
+                kind: SectorCorruption::ZeroRange { sectors: 0 },
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.validate(1), Err(FaultPlanError::EmptyCorruptionRange));
+    }
+
+    #[test]
+    fn flip_bit_flips_exactly_one_in_bounds_bit() {
+        let mut bytes = vec![0u8; 700]; // 2 sectors, the second partial
+        let pristine = bytes.clone();
+        // Sector index wraps (5 % 2 = 1); the bit wraps into the 188
+        // bytes the partial sector actually has.
+        assert!(SectorCorruption::FlipBit { bit: 123_456 }.apply(&mut bytes, 5));
+        let flipped: Vec<usize> = (0..bytes.len())
+            .filter(|&i| bytes[i] != pristine[i])
+            .collect();
+        assert_eq!(flipped.len(), 1);
+        assert!(flipped[0] >= SECTOR_BYTES as usize, "hit the wrong sector");
+        assert_eq!((bytes[flipped[0]] ^ pristine[flipped[0]]).count_ones(), 1);
+        assert!(!SectorCorruption::FlipBit { bit: 0 }.apply(&mut [], 0));
+    }
+
+    #[test]
+    fn zero_range_clears_whole_sectors_and_clamps_to_the_file() {
+        let mut bytes = vec![0xFFu8; 1100]; // 3 sectors, the last partial
+        assert!(SectorCorruption::ZeroRange { sectors: 9 }.apply(&mut bytes, 1));
+        assert!(bytes[..512].iter().all(|&b| b == 0xFF), "sector 0 damaged");
+        assert!(bytes[512..].iter().all(|&b| b == 0), "range not zeroed");
+        assert_eq!(bytes.len(), 1100, "corruption must never change length");
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix_and_scribbles_the_rest() {
+        let mut bytes = vec![0x11u8; 600];
+        assert!(SectorCorruption::TornWrite { keep_bytes: 100 }.apply(&mut bytes, 0));
+        assert!(bytes[..100].iter().all(|&b| b == 0x11));
+        assert!(bytes[100..512].iter().all(|&b| b == 0xA5));
+        assert!(bytes[512..].iter().all(|&b| b == 0x11), "wrong sector torn");
     }
 
     #[test]

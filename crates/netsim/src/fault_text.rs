@@ -25,7 +25,7 @@
 //! blank lines are ignored on decode, and an unknown header version or
 //! key fails loudly instead of degrading into a partial plan.
 
-use crate::fault::{Crash, DiskCrashPoint, FaultPlan, Partition};
+use crate::fault::{Crash, DiskCrashPoint, FaultPlan, Partition, SectorCorruption};
 use crate::Addr;
 use std::fmt;
 
@@ -91,6 +91,32 @@ fn parse_u32(s: &str, line: usize, what: &'static str) -> Result<u32, PlanTextEr
         .map_err(|_| PlanTextError::BadValue { line, what })
 }
 
+fn corruption_text(kind: &SectorCorruption) -> String {
+    match *kind {
+        SectorCorruption::FlipBit { bit } => format!("flip_bit {bit}"),
+        SectorCorruption::ZeroRange { sectors } => format!("zero_range {sectors}"),
+        SectorCorruption::TornWrite { keep_bytes } => format!("torn_write {keep_bytes}"),
+    }
+}
+
+fn parse_corruption(what: &str, n: &str, line: usize) -> Result<SectorCorruption, PlanTextError> {
+    match what {
+        "flip_bit" => Ok(SectorCorruption::FlipBit {
+            bit: parse_u32(n, line, "corruption.flip_bit")?,
+        }),
+        "zero_range" => Ok(SectorCorruption::ZeroRange {
+            sectors: parse_u32(n, line, "corruption.zero_range")?,
+        }),
+        "torn_write" => Ok(SectorCorruption::TornWrite {
+            keep_bytes: parse_u32(n, line, "corruption.torn_write")?,
+        }),
+        _ => Err(PlanTextError::BadValue {
+            line,
+            what: "sector corruption kind",
+        }),
+    }
+}
+
 impl FaultPlan {
     /// Serializes the plan into the corpus text format (see the [module
     /// docs](self)). Elements are emitted in their in-plan order, which
@@ -139,6 +165,12 @@ impl FaultPlan {
                 }
                 DiskCrashPoint::BetweenRenameAndTruncate => {
                     "disk = between_rename_and_truncate".to_string()
+                }
+                DiskCrashPoint::CorruptWal { sector, kind } => {
+                    format!("disk = corrupt_wal {sector} {}", corruption_text(kind))
+                }
+                DiskCrashPoint::CorruptSnapshot { sector, kind } => {
+                    format!("disk = corrupt_snapshot {sector} {}", corruption_text(kind))
                 }
             };
             out.push_str(&line);
@@ -230,6 +262,14 @@ impl FaultPlan {
                             offset: parse_u64(n, line, "disk.flip_snapshot_bit")?,
                         },
                         ["between_rename_and_truncate"] => DiskCrashPoint::BetweenRenameAndTruncate,
+                        ["corrupt_wal", s, what, n] => DiskCrashPoint::CorruptWal {
+                            sector: parse_u64(s, line, "disk.corrupt_wal.sector")?,
+                            kind: parse_corruption(what, n, line)?,
+                        },
+                        ["corrupt_snapshot", s, what, n] => DiskCrashPoint::CorruptSnapshot {
+                            sector: parse_u64(s, line, "disk.corrupt_snapshot.sector")?,
+                            kind: parse_corruption(what, n, line)?,
+                        },
                         _ => {
                             return Err(PlanTextError::BadValue {
                                 line,
@@ -283,6 +323,18 @@ mod tests {
                 },
                 DiskCrashPoint::FlipSnapshotBit { offset: 7 },
                 DiskCrashPoint::BetweenRenameAndTruncate,
+                DiskCrashPoint::CorruptWal {
+                    sector: 9,
+                    kind: SectorCorruption::FlipBit { bit: 137 },
+                },
+                DiskCrashPoint::CorruptWal {
+                    sector: 0,
+                    kind: SectorCorruption::ZeroRange { sectors: 4 },
+                },
+                DiskCrashPoint::CorruptSnapshot {
+                    sector: 2,
+                    kind: SectorCorruption::TornWrite { keep_bytes: 100 },
+                },
             ],
         }
     }

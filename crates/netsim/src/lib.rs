@@ -46,7 +46,9 @@ pub mod fault;
 pub mod fault_text;
 pub mod host;
 
-pub use fault::{Crash, DiskCrashPoint, FaultPlan, FaultPlanError, Partition};
+pub use fault::{
+    Crash, DiskCrashPoint, FaultPlan, FaultPlanError, Partition, SectorCorruption, SECTOR_BYTES,
+};
 pub use fault_text::{PlanTextError, PLAN_TEXT_HEADER};
 
 use rand::rngs::SmallRng;

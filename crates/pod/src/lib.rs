@@ -12,6 +12,10 @@
 
 #![warn(missing_docs)]
 
+pub mod state;
+
+pub use state::{PodState, PodStateError, POD_STATE_VERSION};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use softborg_fix::TestCase;

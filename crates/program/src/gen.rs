@@ -42,17 +42,22 @@ pub enum BugKind {
     /// `read()` result assumed complete — crashes when the environment
     /// returns a short read.
     ShortRead,
+    /// A loop that `open`s a descriptor per iteration and never releases
+    /// it — starves the descriptor table, then crashes mishandling the
+    /// failed `open` (visible under [`crate::syscall::EnvConfig::fd_limit`]).
+    ResourceLeak,
 }
 
 impl BugKind {
     /// All bug kinds.
-    pub const ALL: [BugKind; 6] = [
+    pub const ALL: [BugKind; 7] = [
         BugKind::AssertMagic,
         BugKind::DivByInputDelta,
         BugKind::LockInversion,
         BugKind::DataRace,
         BugKind::InfiniteLoop,
         BugKind::ShortRead,
+        BugKind::ResourceLeak,
     ];
 }
 
@@ -65,6 +70,7 @@ impl std::fmt::Display for BugKind {
             BugKind::DataRace => "data-race",
             BugKind::InfiniteLoop => "infinite-loop",
             BugKind::ShortRead => "short-read",
+            BugKind::ResourceLeak => "resource-leak",
         };
         f.write_str(s)
     }
@@ -274,6 +280,17 @@ pub fn generate(config: &GenConfig) -> GeneratedProgram {
                 trigger_value: None,
                 loc: None,
                 description: "short read mishandled (crash under env fault)".into(),
+            },
+            BugKind::ResourceLeak => KnownBug {
+                kind: *kind,
+                marker,
+                locks: vec![],
+                global: None,
+                input: None,
+                trigger_value: None,
+                loc: None,
+                description: "descriptors opened in a loop, never closed (starves under fd_limit)"
+                    .into(),
             },
         };
         bugs.push(bug);
@@ -691,6 +708,27 @@ impl GenCtx<'_> {
                     Expr::Const(64 ^ m),
                 ));
             }
+            BugKind::ResourceLeak => {
+                let m = bug.marker;
+                let dst = local(self.scratch());
+                let counter = local(0);
+                t.assign(counter, Expr::Const(0));
+                t.while_loop(Expr::lt(Expr::Load(counter), Expr::Const(4)), |t| {
+                    t.syscall(SyscallKind::Open, Expr::Const(0), dst);
+                    // Bug: nothing is ever closed, and the exhausted-table
+                    // path (`open == -1`) is asserted away, not handled.
+                    // (ret ^ m) != ((-1) ^ m)  <=>  ret != -1
+                    t.assert_(Expr::bin(
+                        BinOp::Ne,
+                        Expr::bin(BinOp::BitXor, Expr::Load(dst), Expr::Const(m)),
+                        Expr::Const((-1) ^ m),
+                    ));
+                    t.assign(
+                        counter,
+                        Expr::bin(BinOp::Add, Expr::Load(counter), Expr::Const(1)),
+                    );
+                });
+            }
         }
     }
 }
@@ -861,6 +899,34 @@ mod tests {
             },
         );
         assert!(matches!(out, Outcome::Crash { .. }), "got {out:?}");
+    }
+
+    #[test]
+    fn resource_leak_bug_starves_only_under_a_descriptor_limit() {
+        let cfg = GenConfig {
+            seed: 19,
+            n_threads: 1,
+            constructs_per_thread: 2,
+            bugs: vec![BugKind::ResourceLeak],
+            ..GenConfig::default()
+        };
+        let gp = generate(&cfg);
+        let inputs = vec![1; gp.program.n_inputs as usize];
+        // Unlimited descriptor table: the leak is invisible.
+        assert!(!run(&gp, &inputs, 0, EnvConfig::default()).is_failure());
+        // A 3-slot table: the loop's fourth open returns -1 and the
+        // unhandled failure path crashes at the marked site.
+        let out = run(
+            &gp,
+            &inputs,
+            0,
+            EnvConfig {
+                fd_limit: 3,
+                ..EnvConfig::default()
+            },
+        );
+        assert!(matches!(out, Outcome::Crash { .. }), "got {out:?}");
+        assert!(gp.bugs[0].loc.is_some(), "marker did not resolve");
     }
 
     #[test]

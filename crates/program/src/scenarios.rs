@@ -36,6 +36,7 @@ pub fn all() -> Vec<Scenario> {
         bank_transfer(),
         racy_counter(),
         short_read_client(),
+        fd_leaker(),
         spin_wait(),
     ]
 }
@@ -479,6 +480,49 @@ pub fn short_read_client() -> Scenario {
     }
 }
 
+/// A batch worker that `open`s a descriptor per record and never closes
+/// any of them. Under an unlimited descriptor table the leak is
+/// invisible; under [`crate::syscall::EnvConfig::fd_limit`] the table
+/// starves mid-batch, `open` returns `-1`, and the unhandled failure
+/// path crashes — the classic slow resource leak surfaced
+/// deterministically.
+pub fn fd_leaker() -> Scenario {
+    let mut pb = ProgramBuilder::new("fd-leaker");
+    pb.locals(2);
+    pb.thread(|t| {
+        t.assign(local(1), Expr::Const(0));
+        t.while_loop(Expr::lt(Expr::local(1), Expr::Const(6)), |t| {
+            t.syscall(SyscallKind::Open, Expr::Const(0), local(0));
+            // Bug: the descriptor is never closed, and exhaustion
+            // (`open == -1`) is asserted away instead of handled.
+            t.assert_(Expr::bin(BinOp::Ne, Expr::local(0), Expr::Const(-1)));
+            t.syscall(SyscallKind::Write, Expr::Const(32), local(0));
+            t.assign(
+                local(1),
+                Expr::bin(BinOp::Add, Expr::local(1), Expr::Const(1)),
+            );
+        });
+        t.emit(Expr::Const(1));
+    });
+    let program = pb.build().expect("fd-leaker is well-formed");
+    let loc = crate::gen::find_assert_loc(&program, -1);
+    Scenario {
+        name: "fd-leaker",
+        program,
+        bugs: vec![KnownBug {
+            kind: BugKind::ResourceLeak,
+            marker: 0,
+            locks: vec![],
+            global: None,
+            input: None,
+            trigger_value: None,
+            loc,
+            description: "opens one descriptor per record, never closes any".into(),
+        }],
+        input_range: (0, 0),
+    }
+}
+
 /// Thread 1 spins until thread 0 sets a flag — but thread 0 skips setting
 /// it when `in0 == 42`, so the waiter hangs.
 pub fn spin_wait() -> Scenario {
@@ -624,6 +668,34 @@ mod tests {
         assert!(s.bugs.iter().all(|b| b.loc.is_some()));
         // The field branches make the tree wide: 12 independent sites.
         assert!(s.program.n_branch_sites >= 14);
+    }
+
+    #[test]
+    fn fd_leaker_starves_only_under_a_descriptor_limit() {
+        let s = fd_leaker();
+        // Unlimited table: six opens, six writes, clean exit.
+        assert_eq!(
+            run_with(&s.program, &[], &mut RoundRobin::new()),
+            Outcome::Success
+        );
+        // A 4-slot table: the fifth open fails and the unhandled `-1`
+        // crashes at the annotated site.
+        let crashed = Executor::new(&s.program)
+            .run(
+                &[],
+                &mut DefaultEnv::new(EnvConfig {
+                    fd_limit: 4,
+                    ..EnvConfig::default()
+                }),
+                &mut RoundRobin::new(),
+                &Overlay::empty(),
+                &mut NopObserver,
+            )
+            .unwrap()
+            .outcome;
+        assert!(matches!(crashed, Outcome::Crash { .. }), "{crashed:?}");
+        assert_eq!(s.bugs[0].kind, BugKind::ResourceLeak);
+        assert!(s.bugs[0].loc.is_some());
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct EnvConfig {
     pub short_read_per_mille: u32,
     /// Probability of `open` failing with `-1`, in parts per 1000.
     pub open_fail_per_mille: u32,
+    /// Descriptor-table capacity: after this many successful `open`s the
+    /// environment is exhausted and every further `open` returns `-1` —
+    /// the deterministic substrate for resource-leak bugs (a program
+    /// that never closes what it opens eventually starves). `0` models
+    /// an unlimited table (the default, preserving prior behaviour).
+    pub fd_limit: u32,
     /// Explicit faults to inject at specific call indices.
     pub forced: Vec<ForcedFault>,
 }
@@ -138,8 +144,12 @@ impl EnvModel for DefaultEnv {
             }
             SyscallKind::Write => arg.max(0),
             SyscallKind::Open => {
-                if self.config.open_fail_per_mille > 0
-                    && self.noise(call_index, 3, 1000) < u64::from(self.config.open_fail_per_mille)
+                let exhausted =
+                    self.config.fd_limit > 0 && self.next_fd - 3 >= i64::from(self.config.fd_limit);
+                if exhausted
+                    || (self.config.open_fail_per_mille > 0
+                        && self.noise(call_index, 3, 1000)
+                            < u64::from(self.config.open_fail_per_mille))
                 {
                     -1
                 } else {
@@ -256,6 +266,26 @@ mod tests {
             ..EnvConfig::default()
         });
         assert_eq!(e.call(t0(), SyscallKind::Open, 0, 0), -1);
+    }
+
+    #[test]
+    fn fd_limit_exhausts_the_descriptor_table() {
+        let mut e = DefaultEnv::new(EnvConfig {
+            fd_limit: 3,
+            ..EnvConfig::default()
+        });
+        assert_eq!(e.call(t0(), SyscallKind::Open, 0, 0), 3);
+        assert_eq!(e.call(t0(), SyscallKind::Open, 0, 1), 4);
+        assert_eq!(e.call(t0(), SyscallKind::Open, 0, 2), 5);
+        // The table is full; a leaking program never releases slots, so
+        // every further open fails deterministically.
+        assert_eq!(e.call(t0(), SyscallKind::Open, 0, 3), -1);
+        assert_eq!(e.call(t0(), SyscallKind::Open, 0, 4), -1);
+        // Unlimited by default.
+        let mut unlimited = DefaultEnv::seeded(0);
+        for i in 0..100 {
+            assert!(unlimited.call(t0(), SyscallKind::Open, 0, i) >= 3);
+        }
     }
 
     #[test]

@@ -34,7 +34,17 @@
 //! softborg-fault-plan v1
 //! crash = 3 15000 30000
 //! ```
+//!
+//! Entries found by the *durable* campaign (kill/scrub/resume sweeps,
+//! see [`crate::durable`]) replace the ingest-workload keys with a
+//! `campaign = durable` line followed by the [`DurableWorkload`]
+//! coordinates (`scenarios`, `shards`, `fleet_pods`, `rounds`, `execs`,
+//! `platform_seed`, `compact_ratio`, `min_compact_wal`,
+//! `durable_canary`); the `campaign` line always precedes its keys. For
+//! those entries `trace_hash` pins the outcome digest and
+//! `virtual_end_us` pins the final committed round.
 
+use crate::durable::{check_durable, DurableCanary, DurableWorkload};
 use crate::oracle;
 use crate::workload::Workload;
 use crate::MinimizedFailure;
@@ -58,8 +68,12 @@ pub struct CorpusEntry {
     pub case: u64,
     /// Oracle verdict kind the minimal plan must reproduce.
     pub oracle: String,
-    /// The workload coordinates, reconstructed exactly.
+    /// The ingest workload coordinates, reconstructed exactly. Unused
+    /// (left at default) when `campaign` is set.
     pub workload: Workload,
+    /// `Some` marks a durable-campaign entry: replay runs the embedded
+    /// [`DurableWorkload`] instead of the ingest workload.
+    pub campaign: Option<DurableWorkload>,
     /// The minimized fault plan.
     pub plan: FaultPlan,
     /// Expected `sched_trace_hash` of the minimal run.
@@ -114,6 +128,7 @@ impl CorpusEntry {
             case: f.case,
             oracle: f.oracle.clone(),
             workload: workload.clone(),
+            campaign: None,
             plan: f.minimal.clone(),
             trace_hash: f.trace_hash,
             virtual_end_us: f.virtual_end_us,
@@ -125,6 +140,16 @@ impl CorpusEntry {
         }
     }
 
+    /// Builds the entry for a minimized failure found by the durable
+    /// kill/scrub/resume campaign against `workload`.
+    pub fn from_durable_failure(workload: &DurableWorkload, f: &MinimizedFailure) -> CorpusEntry {
+        CorpusEntry {
+            campaign: Some(workload.clone()),
+            workload: Workload::default(),
+            ..CorpusEntry::from_failure(&Workload::default(), f)
+        }
+    }
+
     /// Serializes the entry (see the [module docs](self) for the
     /// format).
     pub fn to_text(&self) -> String {
@@ -133,20 +158,36 @@ impl CorpusEntry {
         out.push('\n');
         out.push_str(&format!("case = {}\n", self.case));
         out.push_str(&format!("oracle = {}\n", self.oracle));
-        out.push_str(&format!("scenario = {}\n", w.scenario));
-        out.push_str(&format!("pods = {}\n", w.pods));
-        out.push_str(&format!("traces = {}\n", w.traces));
-        out.push_str(&format!("batch = {}\n", w.batch));
-        out.push_str(&format!("traces_seed = {}\n", w.traces_seed));
-        out.push_str(&format!("sim_seed = {}\n", w.sim_seed));
-        out.push_str(&format!(
-            "link = {} {} {}\n",
-            w.link.base_latency_us, w.link.jitter_us, w.link.loss_per_mille
-        ));
-        out.push_str(&format!("max_events = {}\n", w.max_events));
-        out.push_str(&format!("recorder_cap = {}\n", w.recorder_cap));
-        if let Some(canary) = w.canary {
-            out.push_str(&format!("canary = {}\n", canary.name()));
+        if let Some(d) = &self.campaign {
+            out.push_str("campaign = durable\n");
+            let idx: Vec<String> = d.scenarios.iter().map(u32::to_string).collect();
+            out.push_str(&format!("scenarios = {}\n", idx.join(" ")));
+            out.push_str(&format!("shards = {}\n", d.shards));
+            out.push_str(&format!("fleet_pods = {}\n", d.pods));
+            out.push_str(&format!("rounds = {}\n", d.rounds));
+            out.push_str(&format!("execs = {}\n", d.execs));
+            out.push_str(&format!("platform_seed = {}\n", d.seed));
+            out.push_str(&format!("compact_ratio = {}\n", d.compact_ratio));
+            out.push_str(&format!("min_compact_wal = {}\n", d.min_compact_wal_bytes));
+            if let Some(canary) = d.canary {
+                out.push_str(&format!("durable_canary = {}\n", canary.name()));
+            }
+        } else {
+            out.push_str(&format!("scenario = {}\n", w.scenario));
+            out.push_str(&format!("pods = {}\n", w.pods));
+            out.push_str(&format!("traces = {}\n", w.traces));
+            out.push_str(&format!("batch = {}\n", w.batch));
+            out.push_str(&format!("traces_seed = {}\n", w.traces_seed));
+            out.push_str(&format!("sim_seed = {}\n", w.sim_seed));
+            out.push_str(&format!(
+                "link = {} {} {}\n",
+                w.link.base_latency_us, w.link.jitter_us, w.link.loss_per_mille
+            ));
+            out.push_str(&format!("max_events = {}\n", w.max_events));
+            out.push_str(&format!("recorder_cap = {}\n", w.recorder_cap));
+            if let Some(canary) = w.canary {
+                out.push_str(&format!("canary = {}\n", canary.name()));
+            }
         }
         out.push_str(&format!("trace_hash = {:#018x}\n", self.trace_hash));
         out.push_str(&format!("virtual_end_us = {}\n", self.virtual_end_us));
@@ -180,6 +221,7 @@ impl CorpusEntry {
             return Err(bad("missing or unsupported header"));
         }
         let mut w = Workload::default();
+        let mut durable: Option<DurableWorkload> = None;
         let mut case = None;
         let mut oracle = None;
         let mut trace_hash = None;
@@ -202,9 +244,47 @@ impl CorpusEntry {
                 );
                 v.ok_or_else(|| bad(&format!("bad number for {key}")))
             };
+            // `campaign = durable` switches the remaining workload keys
+            // to the durable vocabulary; it always precedes them.
+            macro_rules! dur {
+                () => {
+                    durable
+                        .as_mut()
+                        .ok_or_else(|| bad(&format!("{key} before `campaign = durable`")))?
+                };
+            }
             match key {
                 "case" => case = Some(num(value)?),
                 "oracle" => oracle = Some(value.to_string()),
+                "campaign" => {
+                    if value != "durable" {
+                        return Err(bad(&format!("unknown campaign {value:?}")));
+                    }
+                    durable = Some(DurableWorkload {
+                        canary: None,
+                        ..DurableWorkload::default()
+                    });
+                }
+                "scenarios" => {
+                    let idx: Result<Vec<u32>, CorpusError> = value
+                        .split_whitespace()
+                        .map(|v| num(v).map(|n| n as u32))
+                        .collect();
+                    dur!().scenarios = idx?;
+                }
+                "shards" => dur!().shards = num(value)? as usize,
+                "fleet_pods" => dur!().pods = num(value)? as u32,
+                "rounds" => dur!().rounds = num(value)?,
+                "execs" => dur!().execs = num(value)? as u32,
+                "platform_seed" => dur!().seed = num(value)?,
+                "compact_ratio" => dur!().compact_ratio = num(value)?,
+                "min_compact_wal" => dur!().min_compact_wal_bytes = num(value)?,
+                "durable_canary" => {
+                    dur!().canary = Some(
+                        DurableCanary::parse(value)
+                            .ok_or_else(|| bad(&format!("unknown durable canary {value:?}")))?,
+                    );
+                }
                 "scenario" => w.scenario = num(value)? as usize,
                 "pods" => w.pods = num(value)? as usize,
                 "traces" => w.traces = num(value)? as usize,
@@ -246,6 +326,7 @@ impl CorpusEntry {
             case: case.ok_or_else(|| bad("missing case"))?,
             oracle: oracle.ok_or_else(|| bad("missing oracle"))?,
             workload: w,
+            campaign: durable,
             plan,
             trace_hash: trace_hash.ok_or_else(|| bad("missing trace_hash"))?,
             virtual_end_us: virtual_end_us.ok_or_else(|| bad("missing virtual_end_us"))?,
@@ -274,6 +355,9 @@ impl CorpusEntry {
     ///
     /// Returns a description of the first mismatch.
     pub fn replay(&self) -> Result<(), String> {
+        if let Some(d) = &self.campaign {
+            return self.replay_durable(d);
+        }
         let baseline = self
             .workload
             .run(&FaultPlan::default())
@@ -319,6 +403,34 @@ impl CorpusEntry {
             ));
         }
         Ok(())
+    }
+
+    /// Durable-campaign replay: re-runs the kill/scrub/resume schedule
+    /// and verifies the pinned outcome digest, final committed round,
+    /// and oracle verdict.
+    fn replay_durable(&self, d: &DurableWorkload) -> Result<(), String> {
+        let out = d.run(&self.plan);
+        if out.digest != self.trace_hash {
+            return Err(format!(
+                "outcome digest {:#018x}, entry pinned {:#018x}",
+                out.digest, self.trace_hash
+            ));
+        }
+        if out.rounds != self.virtual_end_us {
+            return Err(format!(
+                "final committed round {}, entry pinned {}",
+                out.rounds, self.virtual_end_us
+            ));
+        }
+        match check_durable(&out) {
+            None => Err(format!("entry no longer fails oracle {}", self.oracle)),
+            Some(f) if f.kind() != self.oracle => Err(format!(
+                "oracle verdict {} differs from pinned {}",
+                f.kind(),
+                self.oracle
+            )),
+            Some(_) => Ok(()),
+        }
     }
 }
 
@@ -373,6 +485,7 @@ mod tests {
                 canary: Some(CanaryBug::FloorOffByOne),
                 ..Workload::default()
             },
+            campaign: None,
             plan: FaultPlan {
                 crashes: vec![Crash {
                     node: Addr(3),
@@ -406,6 +519,45 @@ mod tests {
         e.workload.canary = None;
         let parsed = CorpusEntry::from_text(&e.to_text()).expect("parses");
         assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn durable_entries_round_trip_exactly() {
+        use softborg_netsim::{DiskCrashPoint, SectorCorruption};
+        let e = CorpusEntry {
+            oracle: "resume_divergence".to_string(),
+            workload: Workload::default(),
+            campaign: Some(DurableWorkload {
+                canary: Some(DurableCanary::ForgetPodState),
+                compact_ratio: 0,
+                ..DurableWorkload::default()
+            }),
+            plan: FaultPlan {
+                disk: vec![
+                    DiskCrashPoint::AtRoundBoundary { round: 2 },
+                    DiskCrashPoint::CorruptWal {
+                        sector: 3,
+                        kind: SectorCorruption::FlipBit { bit: 9 },
+                    },
+                ],
+                ..FaultPlan::default()
+            },
+            ..entry()
+        };
+        let parsed = CorpusEntry::from_text(&e.to_text()).expect("parses");
+        assert_eq!(parsed, e);
+        // And without the optional canary.
+        let mut e2 = e.clone();
+        e2.campaign.as_mut().unwrap().canary = None;
+        assert_eq!(CorpusEntry::from_text(&e2.to_text()).expect("parses"), e2);
+    }
+
+    #[test]
+    fn durable_keys_outside_a_durable_campaign_fail_loudly() {
+        let text = entry()
+            .to_text()
+            .replace("scenario = 0", "shards = 2\nscenario = 0");
+        assert!(CorpusEntry::from_text(&text).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! oracles catch is a real robustness bug (or an armed canary).
 
 use crate::workload::Workload;
-use softborg_netsim::{Addr, Crash, FaultPlan, Partition};
+use softborg_netsim::{
+    Addr, Crash, DiskCrashPoint, FaultPlan, Partition, SectorCorruption, SECTOR_BYTES,
+};
 
 /// Bounds of the generated fault space.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +39,14 @@ pub struct GenConfig {
     pub max_crash_down_us: u64,
     /// Longest partition window (µs).
     pub max_partition_len_us: u64,
+    /// Most disk crash/corruption points per plan. `0` (the default)
+    /// disables disk faults entirely *and* consumes no RNG draws, so
+    /// every plan of a disk-free sweep is byte-identical to what the
+    /// same `(seed, case)` produced before disk faults existed.
+    pub max_disk_points: usize,
+    /// Generated [`DiskCrashPoint::AtRoundBoundary`] kills land in
+    /// rounds `1..=disk_round_horizon` of the durable campaign.
+    pub disk_round_horizon: u64,
 }
 
 impl Default for GenConfig {
@@ -50,6 +60,26 @@ impl Default for GenConfig {
             fault_horizon_us: 60_000,
             max_crash_down_us: 20_000,
             max_partition_len_us: 20_000,
+            max_disk_points: 0,
+            disk_round_horizon: 8,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Bounds for sweeping the durable multi-program campaign: only
+    /// disk faults (round-boundary kills plus journal/snapshot sector
+    /// corruption) — network-level knobs are inert there and would
+    /// only pad plan weight.
+    pub fn disk_only(rounds: u64) -> Self {
+        GenConfig {
+            max_crashes: 0,
+            max_partitions: 0,
+            max_dup_per_mille: 0,
+            max_reorder_per_mille: 0,
+            max_disk_points: 3,
+            disk_round_horizon: rounds.max(1),
+            ..GenConfig::default()
         }
     }
 }
@@ -133,16 +163,54 @@ pub fn generate_plan(seed: u64, case: u64, cfg: &GenConfig, workload: &Workload)
         });
     }
 
+    // Disk draws come strictly after every network draw, so enabling
+    // them never perturbs the network half of an existing sweep.
+    let mut disk = Vec::new();
+    if cfg.max_disk_points > 0 {
+        let rounds = cfg.disk_round_horizon.max(1);
+        let n_disk = rng.up_to(cfg.max_disk_points as u64) as usize;
+        for _ in 0..n_disk {
+            disk.push(match rng.up_to(2) {
+                0 => DiskCrashPoint::AtRoundBoundary {
+                    round: 1 + rng.up_to(rounds - 1),
+                },
+                1 => DiskCrashPoint::CorruptWal {
+                    sector: rng.up_to(63),
+                    kind: corruption(&mut rng),
+                },
+                _ => DiskCrashPoint::CorruptSnapshot {
+                    sector: rng.up_to(7),
+                    kind: corruption(&mut rng),
+                },
+            });
+        }
+    }
+
     let plan = FaultPlan {
         dup_per_mille,
         reorder_per_mille,
         reorder_window_us,
         partitions,
         crashes,
-        disk: Vec::new(),
+        disk,
     };
     debug_assert_eq!(plan.validate(workload.node_count()), Ok(()));
     plan
+}
+
+/// One sector-corruption kind, uniformly over the three rot models.
+fn corruption(rng: &mut CaseRng) -> SectorCorruption {
+    match rng.up_to(2) {
+        0 => SectorCorruption::FlipBit {
+            bit: rng.up_to(SECTOR_BYTES * 8 - 1) as u32,
+        },
+        1 => SectorCorruption::ZeroRange {
+            sectors: 1 + rng.up_to(3) as u32,
+        },
+        _ => SectorCorruption::TornWrite {
+            keep_bytes: rng.up_to(SECTOR_BYTES - 1) as u32,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +259,55 @@ mod tests {
             .filter(|(i, p)| plans[..*i].iter().all(|q| &q != p))
             .count();
         assert!(distinct >= 30, "sweep collapsed: {distinct}/32 distinct");
+    }
+
+    #[test]
+    fn disk_faults_are_opt_in_and_leave_the_network_half_untouched() {
+        let w = Workload::default();
+        let base = GenConfig::default();
+        let disky = GenConfig {
+            max_disk_points: 3,
+            ..base.clone()
+        };
+        let mut saw_disk = false;
+        for case in 0..128 {
+            let p = generate_plan(7, case, &base, &w);
+            assert!(p.disk.is_empty(), "disk faults generated while disabled");
+            let q = generate_plan(7, case, &disky, &w);
+            // Same network schedule: disk draws happen strictly last.
+            assert_eq!(p.dup_per_mille, q.dup_per_mille);
+            assert_eq!(p.reorder_per_mille, q.reorder_per_mille);
+            assert_eq!(p.crashes, q.crashes);
+            assert_eq!(p.partitions, q.partitions);
+            assert_eq!(q.validate(w.node_count()), Ok(()), "case {case}");
+            saw_disk |= !q.disk.is_empty();
+        }
+        assert!(saw_disk, "sweep never produced a disk fault");
+    }
+
+    #[test]
+    fn disk_only_sweeps_cover_kills_and_both_corruption_targets() {
+        let w = Workload::default();
+        let cfg = GenConfig::disk_only(5);
+        let (mut kills, mut wal, mut snap) = (0, 0, 0);
+        for case in 0..256 {
+            let p = generate_plan(11, case, &cfg, &w);
+            assert!(p.crashes.is_empty() && p.partitions.is_empty());
+            assert_eq!(p.dup_per_mille, 0);
+            assert_eq!(p.validate(w.node_count()), Ok(()), "case {case}");
+            for d in &p.disk {
+                match d {
+                    DiskCrashPoint::AtRoundBoundary { round } => {
+                        assert!((1..=5).contains(round));
+                        kills += 1;
+                    }
+                    DiskCrashPoint::CorruptWal { .. } => wal += 1,
+                    DiskCrashPoint::CorruptSnapshot { .. } => snap += 1,
+                    other => panic!("unexpected disk point {other:?}"),
+                }
+            }
+        }
+        assert!(kills > 10 && wal > 10 && snap > 10, "{kills}/{wal}/{snap}");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub mod bisect;
 pub mod corpus;
+pub mod durable;
 pub mod generate;
 pub mod oracle;
 pub mod shrink;
@@ -47,6 +48,7 @@ pub mod workload;
 
 pub use bisect::{first_divergence, Bisection};
 pub use corpus::{load_all, store, CorpusEntry, CorpusError, CORPUS_HEADER};
+pub use durable::{check_durable, DurableCanary, DurableOutcome, DurableWorkload};
 pub use generate::{generate_plan, GenConfig};
 pub use oracle::{check, OracleFailure};
 pub use shrink::{shrink, ShrinkResult};
@@ -69,6 +71,13 @@ pub struct SearchConfig {
     pub workload: Workload,
     /// Bounds of the generated fault space.
     pub generator: GenConfig,
+    /// Coverage-guided case scheduling: probe every case with cheap
+    /// prefix runs first and evaluate the cases whose prefix trace
+    /// hashes diverge from the baseline *earliest* before the rest. The
+    /// budget and the set of cases are unchanged — only the order — so
+    /// a full sweep finds exactly the same failures, just sooner (see
+    /// [`SearchReport::cases_to_first_failure`]).
+    pub guided: bool,
     /// Where minimized failures are persisted; `None` keeps them only
     /// in the report.
     pub corpus_dir: Option<PathBuf>,
@@ -83,6 +92,7 @@ impl Default for SearchConfig {
             budget: 32,
             workload: Workload::default(),
             generator: GenConfig::default(),
+            guided: false,
             corpus_dir: None,
             registry: None,
         }
@@ -131,7 +141,11 @@ pub struct SearchReport {
     pub runs_executed: u64,
     /// Cases whose original plan violated an oracle.
     pub divergences: u64,
-    /// The minimized failures, in case order.
+    /// How many cases were fully evaluated when the first divergence
+    /// surfaced (`None` for a clean sweep) — the number coverage-guided
+    /// scheduling exists to drive down.
+    pub cases_to_first_failure: Option<u64>,
+    /// The minimized failures, in evaluation order.
     pub minimized: Vec<MinimizedFailure>,
     /// Corpus files written (empty without a corpus dir).
     pub corpus_written: Vec<PathBuf>,
@@ -200,7 +214,38 @@ pub fn run_search(cfg: &SearchConfig) -> Result<SearchReport, SearchError> {
         "fault-free baseline must replay identically"
     );
 
-    for case in 0..cfg.budget {
+    // Coverage-guided scheduling: two cheap prefix probes per case sort
+    // the sweep so that plans already perturbing the dispatch schedule
+    // in the first eighth of the event budget run first, late or silent
+    // perturbations last. Divergence-prone plans tend to diverge early,
+    // so the first failure surfaces after fewer full evaluations.
+    let order: Vec<u64> = if cfg.guided {
+        let probe_events = (w.max_events / 8).max(1);
+        let half_events = (w.max_events / 2).max(1);
+        let base_probe = w.run_prefix(&FaultPlan::default(), probe_events)?;
+        let base_half = w.run_prefix(&FaultPlan::default(), half_events)?;
+        report.runs_executed += 2;
+        let mut scored: Vec<(u8, u64)> = Vec::with_capacity(cfg.budget as usize);
+        for case in 0..cfg.budget {
+            let plan = generate_plan(cfg.seed, case, &cfg.generator, w);
+            let early = w.run_prefix(&plan, probe_events)?;
+            report.runs_executed += 1;
+            let score = if early.trace_hash != base_probe.trace_hash {
+                0
+            } else {
+                let mid = w.run_prefix(&plan, half_events)?;
+                report.runs_executed += 1;
+                u8::from(mid.trace_hash == base_half.trace_hash) + 1
+            };
+            scored.push((score, case));
+        }
+        scored.sort_unstable();
+        scored.into_iter().map(|(_, case)| case).collect()
+    } else {
+        (0..cfg.budget).collect()
+    };
+
+    for &case in &order {
         let plan = generate_plan(cfg.seed, case, &cfg.generator, w);
         report.plans_explored += 1;
         let outcome = w.run(&plan)?;
@@ -210,6 +255,9 @@ pub fn run_search(cfg: &SearchConfig) -> Result<SearchReport, SearchError> {
             continue;
         };
         report.divergences += 1;
+        report
+            .cases_to_first_failure
+            .get_or_insert(report.plans_explored);
 
         // Shrink against "violates *any* oracle": the minimal plan's own
         // verdict is recomputed below and is what the corpus pins.
@@ -273,6 +321,126 @@ pub fn run_search(cfg: &SearchConfig) -> Result<SearchReport, SearchError> {
             reg.counter("search.shrink_steps").add(f.shrink_steps);
             reg.counter("search.shrink_probes").add(f.shrink_probes);
             reg.counter("search.bisect_probes").add(f.bisect_probes);
+        }
+    }
+    Ok(report)
+}
+
+/// A durable-campaign search: sweep disk fault plans (round-boundary
+/// kills, journal/snapshot sector rot) over the sharded multi-program
+/// fleet and judge every kill/scrub/resume cycle.
+#[derive(Debug, Clone)]
+pub struct DurableSearchConfig {
+    /// Sweep seed. Case `i` of seed `s` is the same plan forever.
+    pub seed: u64,
+    /// Cases to generate and run.
+    pub budget: u64,
+    /// The fleet campaign every plan is judged against.
+    pub workload: DurableWorkload,
+    /// Bounds of the generated fault space (normally
+    /// [`GenConfig::disk_only`]).
+    pub generator: GenConfig,
+    /// Where minimized failures are persisted; `None` keeps them only
+    /// in the report.
+    pub corpus_dir: Option<PathBuf>,
+    /// Registry for `search.*` metrics; `None` keeps them private.
+    pub registry: Option<MetricsRegistry>,
+}
+
+impl Default for DurableSearchConfig {
+    fn default() -> Self {
+        let workload = DurableWorkload::default();
+        DurableSearchConfig {
+            seed: 0,
+            budget: 16,
+            generator: GenConfig::disk_only(workload.rounds),
+            workload,
+            corpus_dir: None,
+            registry: None,
+        }
+    }
+}
+
+/// Runs a durable-campaign search: every generated plan's disk points
+/// drive fleet kills, storage rot, scrubs, and resumes, judged by
+/// [`check_durable`]'s scrub-soundness and resume-equivalence oracles.
+/// Failures are shrunk and pinned exactly like ingest-campaign ones;
+/// their corpus entries carry `campaign = durable` and replay through
+/// the same [`replay_corpus`] gate.
+///
+/// # Errors
+///
+/// Returns a [`SearchError`] for infrastructure failures (unwritable
+/// corpus). Oracle violations are results, not errors.
+pub fn run_durable_search(cfg: &DurableSearchConfig) -> Result<SearchReport, SearchError> {
+    let w = &cfg.workload;
+    // Plan generation only needs the ingest workload's addressing
+    // shape, and disk-only generators draw nothing network-level.
+    let shape = Workload::default();
+    let mut report = SearchReport::default();
+
+    let baseline = w.run(&FaultPlan::default());
+    report.runs_executed += 1;
+    debug_assert_eq!(
+        durable::check_durable(&baseline),
+        None,
+        "fault-free fleet campaign must be clean"
+    );
+
+    for case in 0..cfg.budget {
+        let plan = generate_plan(cfg.seed, case, &cfg.generator, &shape);
+        report.plans_explored += 1;
+        let outcome = w.run(&plan);
+        report.runs_executed += 1;
+        if durable::check_durable(&outcome).is_none() {
+            continue;
+        }
+        report.divergences += 1;
+        report
+            .cases_to_first_failure
+            .get_or_insert(report.plans_explored);
+
+        let mut shrink_runs = 0u64;
+        let shrunk = shrink(&plan, |cand| {
+            shrink_runs += 1;
+            durable::check_durable(&w.run(cand)).is_some()
+        });
+        report.runs_executed += shrink_runs;
+
+        let minimal_outcome = w.run(&shrunk.minimal);
+        report.runs_executed += 1;
+        let verdict = durable::check_durable(&minimal_outcome).expect("shrink preserves failure");
+
+        let failure = MinimizedFailure {
+            case,
+            original: plan,
+            minimal: shrunk.minimal,
+            oracle: verdict.kind().to_string(),
+            verdict: verdict.to_string(),
+            trace_hash: minimal_outcome.digest,
+            virtual_end_us: minimal_outcome.rounds,
+            first_divergent_event: minimal_outcome.divergence,
+            bisect_probes: 0,
+            explain: None,
+            shrink_steps: shrunk.steps,
+            shrink_probes: shrunk.probes,
+        };
+        if let Some(dir) = &cfg.corpus_dir {
+            let entry = CorpusEntry::from_durable_failure(w, &failure);
+            report.corpus_written.push(store(dir, &entry)?);
+        }
+        report.minimized.push(failure);
+    }
+
+    if let Some(reg) = &cfg.registry {
+        reg.counter("search.durable.plans_explored")
+            .add(report.plans_explored);
+        reg.counter("search.durable.runs_executed")
+            .add(report.runs_executed);
+        reg.counter("search.durable.divergences")
+            .add(report.divergences);
+        for f in &report.minimized {
+            reg.counter(&format!("search.oracle.{}", f.oracle)).incr();
         }
     }
     Ok(report)

@@ -71,6 +71,22 @@ pub enum OracleFailure {
     /// run's — the catch-all E15 invariant: faults may reorder work but
     /// never change where you end up.
     StateDivergence,
+    /// Injected storage corruption changed on-disk bytes, yet the scrub
+    /// pass before resume reported the campaign clean: garbage would
+    /// have been ingested silently. `point` names the undetected
+    /// corruption (durable campaign only).
+    ScrubSilent {
+        /// The corruption point no scrub flagged.
+        point: String,
+    },
+    /// A resumed fleet's shard state, pod population (RNG streams,
+    /// repair-lab corpora), or round history diverged from the
+    /// uninterrupted reference run at committed round `round` — resume
+    /// is not process-equivalent (durable campaign only).
+    ResumeDivergence {
+        /// First committed round at which the resumed run differed.
+        round: u64,
+    },
 }
 
 impl OracleFailure {
@@ -85,6 +101,8 @@ impl OracleFailure {
             OracleFailure::JournalUnbounded { .. } => "journal_unbounded",
             OracleFailure::AckedDeliveredMismatch { .. } => "acked_delivered_mismatch",
             OracleFailure::StateDivergence => "state_divergence",
+            OracleFailure::ScrubSilent { .. } => "scrub_silent",
+            OracleFailure::ResumeDivergence { .. } => "resume_divergence",
         }
     }
 }
@@ -126,6 +144,18 @@ impl fmt::Display for OracleFailure {
             }
             OracleFailure::StateDivergence => {
                 write!(f, "final hive state differs from the fault-free run")
+            }
+            OracleFailure::ScrubSilent { point } => {
+                write!(
+                    f,
+                    "corruption [{point}] changed stored bytes but scrub saw a clean campaign"
+                )
+            }
+            OracleFailure::ResumeDivergence { round } => {
+                write!(
+                    f,
+                    "resumed fleet diverged from the uninterrupted run at committed round {round}"
+                )
             }
         }
     }

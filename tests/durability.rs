@@ -1,15 +1,22 @@
 //! Crash-only durability: a durable campaign killed at any round
-//! boundary and resumed must recover hive state byte-identical to an
+//! boundary and resumed must recover **process-equivalent** — hive
+//! state, pod populations (RNG streams, repair-lab corpora, queued
+//! directives), history, and round telemetry all byte-identical to an
 //! uninterrupted run at the same committed round — through journal
 //! replay alone, through snapshot compaction, and through snapshot
 //! corruption with generation fallback.
 
 use softborg::hive::journal::{self, REC_FRAME};
 use softborg::hive::SnapshotSource;
-use softborg::{DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig};
+use softborg::obs::{FlightRecorder, ManualClock, MetricsRegistry, ObsHandles};
+use softborg::pod::PodState;
+use softborg::{
+    DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig, RoundReport,
+};
 use softborg_ingest::IngestConfig;
 use softborg_program::scenarios;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 const ROUNDS: u64 = 5;
 const EXECS: u32 = 12;
@@ -59,6 +66,60 @@ fn reference_states(dcfg: DurabilityConfig) -> Vec<Vec<u8>> {
     states
 }
 
+/// Handles recording into a manual-clock flight recorder. The events
+/// hash covers kinds, fields, and per-source sequence numbers — never
+/// wall time — so two equivalent runs must hash identically.
+fn recording() -> (ObsHandles, FlightRecorder) {
+    let rec = FlightRecorder::new(Arc::new(ManualClock::new(0)), 4096);
+    (ObsHandles::new(MetricsRegistry::new(), rec.clone()), rec)
+}
+
+/// The content of every `round_committed` event a recorder retained,
+/// in order. `seq` is process-local (a resumed process restarts it for
+/// the suffix it records), so only the field vectors are compared.
+fn committed_fields(rec: &FlightRecorder) -> Vec<Vec<(&'static str, u64)>> {
+    rec.events()
+        .into_iter()
+        .filter(|e| e.kind == "round_committed")
+        .map(|e| e.fields)
+        .collect()
+}
+
+/// Everything an uninterrupted durable run produces, indexed by
+/// committed round count where applicable: hive states, full pod
+/// populations, history, and per-round commit telemetry.
+struct Reference {
+    states: Vec<Vec<u8>>,
+    pods: Vec<Vec<PodState>>,
+    history: Vec<RoundReport>,
+    round_events: Vec<Vec<(&'static str, u64)>>,
+}
+
+fn full_reference(dcfg: DurabilityConfig) -> Reference {
+    let s = scenarios::token_parser();
+    let (obs, rec) = recording();
+    let mut p = Platform::new(
+        &s.program,
+        PlatformConfig {
+            obs,
+            ..config(Some(dcfg))
+        },
+    );
+    let mut states = vec![p.hive_state()];
+    let mut pods = vec![p.export_pod_states()];
+    for _ in 0..ROUNDS {
+        p.round(EXECS);
+        states.push(p.hive_state());
+        pods.push(p.export_pod_states());
+    }
+    Reference {
+        states,
+        pods,
+        history: p.history().to_vec(),
+        round_events: committed_fields(&rec),
+    }
+}
+
 #[test]
 fn durable_rounds_match_in_memory_rounds_exactly() {
     let s = scenarios::token_parser();
@@ -99,6 +160,78 @@ fn kill_at_every_round_boundary_recovers_byte_identical_state() {
         assert_eq!(r.executions, 8 * u64::from(EXECS));
         assert_eq!(resumed.committed_rounds(), k + 1);
     }
+}
+
+#[test]
+fn kill_at_every_round_boundary_restores_every_pod_mid_stream() {
+    let s = scenarios::token_parser();
+    let r = full_reference(DurabilityConfig::new(campaign_dir("pods-ref")));
+    for k in 1..=ROUNDS {
+        let dir = campaign_dir(&format!("pods-{k}"));
+        {
+            let mut p = Platform::new(&s.program, config(Some(DurabilityConfig::new(dir.clone()))));
+            p.run(k as u32, EXECS);
+        } // drop = kill
+        let (resumed, _) =
+            Platform::resume(&s.program, config(Some(DurabilityConfig::new(dir)))).unwrap();
+        assert_eq!(
+            resumed.export_pod_states(),
+            r.pods[k as usize],
+            "pod population diverged from the uninterrupted run at round {k}"
+        );
+        // The restored pods carry their RNG positions, corpora, and
+        // queued directives, so the *continuation* is byte-identical
+        // too: every future draw replays the uninterrupted stream.
+        let mut resumed = resumed;
+        resumed.run((ROUNDS - k) as u32, EXECS);
+        assert_eq!(
+            resumed.history(),
+            &r.history[..],
+            "continued history diverged after resume at round {k}"
+        );
+        assert_eq!(resumed.hive_state(), r.states[ROUNDS as usize]);
+        assert_eq!(resumed.export_pod_states(), r.pods[ROUNDS as usize]);
+    }
+}
+
+#[test]
+fn resumed_telemetry_matches_the_uninterrupted_run() {
+    let s = scenarios::token_parser();
+    let r = full_reference(DurabilityConfig::new(campaign_dir("telemetry-ref")));
+    let kill = 2u64;
+    let run_killed = |tag: &str| {
+        let dir = campaign_dir(tag);
+        let mut p = Platform::new(&s.program, config(Some(DurabilityConfig::new(dir.clone()))));
+        p.run(kill as u32, EXECS);
+        dir
+    };
+    let resume_and_finish = |dir: PathBuf| {
+        let (obs, rec) = recording();
+        let (mut p, _) = Platform::resume(
+            &s.program,
+            PlatformConfig {
+                obs,
+                ..config(Some(DurabilityConfig::new(dir)))
+            },
+        )
+        .unwrap();
+        p.run((ROUNDS - kill) as u32, EXECS);
+        (p.hive_state(), rec)
+    };
+    let (state_a, rec_a) = resume_and_finish(run_killed("telemetry-a"));
+    let (state_b, rec_b) = resume_and_finish(run_killed("telemetry-b"));
+    // Two independently resumed processes replay identical telemetry,
+    // down to the events hash, and converge on the same state.
+    assert!(!rec_a.events().is_empty(), "resumed run recorded nothing");
+    assert_eq!(rec_a.events_hash(), rec_b.events_hash());
+    assert_eq!(state_a, state_b);
+    assert_eq!(state_a, r.states[ROUNDS as usize]);
+    // And the suffix each records is, event for event, exactly what
+    // the uninterrupted run recorded for the same rounds.
+    assert_eq!(
+        committed_fields(&rec_a),
+        r.round_events[kill as usize..].to_vec()
+    );
 }
 
 #[test]
@@ -200,6 +333,72 @@ fn uncommitted_partial_round_is_fenced_and_corrupt_tail_is_dropped() {
     assert_eq!(report.wal_tail_dropped, 0);
     assert_eq!(report.fenced_records, 0);
     assert_eq!(again.hive_state(), reference[2]);
+}
+
+#[test]
+fn sector_corruption_is_scrubbed_never_silently_accepted() {
+    use softborg::hive::{FileScrub, WalScrubAction};
+    use softborg::netsim::{SectorCorruption, SECTOR_BYTES};
+    let s = scenarios::token_parser();
+
+    // Journal bit rot: flip one bit in a late sector. The scrub must
+    // cut (and quarantine) the damaged region, and recovery must land
+    // on a state some uninterrupted run actually had.
+    let reference = reference_states(DurabilityConfig::new(campaign_dir("scrub-ref")));
+    let dir = campaign_dir("scrub-wal");
+    {
+        let mut p = Platform::new(&s.program, config(Some(DurabilityConfig::new(dir.clone()))));
+        p.run(ROUNDS as u32, EXECS);
+    }
+    let wal = dir.join("hive.wal");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let sectors = bytes.len() as u64 / SECTOR_BYTES;
+    assert!(sectors > 3, "campaign too small to corrupt mid-file");
+    assert!(SectorCorruption::FlipBit { bit: 999 }.apply(&mut bytes, sectors - 2));
+    std::fs::write(&wal, &bytes).unwrap();
+    let cfg = || config(Some(DurabilityConfig::new(dir.clone())));
+    let report = Platform::scrub(&cfg()).unwrap();
+    assert!(!report.is_clean(), "corruption went undetected");
+    assert_eq!(report.wal_action, WalScrubAction::TailCut);
+    assert!(report.wal_quarantined_bytes > 0);
+    assert!(
+        dir.join("hive.wal.quarantined").exists(),
+        "damaged bytes must be preserved for post-mortem"
+    );
+    let (resumed, _) = Platform::resume(&s.program, cfg()).unwrap();
+    let k = resumed.committed_rounds();
+    assert!(k < ROUNDS, "the cut must cost at least the damaged round");
+    assert_eq!(
+        resumed.hive_state(),
+        reference[k as usize],
+        "post-scrub recovery produced a state no uninterrupted run had"
+    );
+    // A second scrub finds nothing: the repair is durable.
+    assert!(Platform::scrub(&cfg()).unwrap().is_clean());
+
+    // Snapshot bit rot: the primary generation is quarantined and
+    // recovery proceeds from the previous generation.
+    let reference = reference_states(compacting(campaign_dir("scrub-snap-ref")));
+    let dir = campaign_dir("scrub-snap");
+    {
+        let mut p = Platform::new(&s.program, config(Some(compacting(dir.clone()))));
+        p.run(ROUNDS as u32, EXECS);
+    }
+    let snap = dir.join("hive.snap");
+    assert!(dir.join("hive.snap.prev").exists(), "need two generations");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    assert!(SectorCorruption::TornWrite { keep_bytes: 17 }.apply(&mut bytes, 0));
+    std::fs::write(&snap, &bytes).unwrap();
+    let cfg = || config(Some(compacting(dir.clone())));
+    let report = Platform::scrub(&cfg()).unwrap();
+    assert!(matches!(report.primary, FileScrub::Quarantined { .. }));
+    assert_eq!(report.fallback, FileScrub::Clean);
+    assert!(dir.join("hive.snap.quarantined").exists());
+    let (resumed, rep) = Platform::resume(&s.program, cfg()).unwrap();
+    assert_eq!(rep.snapshot.source, SnapshotSource::Fallback);
+    let k = resumed.committed_rounds();
+    assert!(k > 0 && k <= ROUNDS);
+    assert_eq!(resumed.hive_state(), reference[k as usize]);
 }
 
 #[test]

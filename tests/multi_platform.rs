@@ -61,6 +61,17 @@ fn compacting(dir: PathBuf) -> DurabilityConfig {
     }
 }
 
+/// Compaction disabled: used by the torn-phase-A test, whose simulated
+/// crash (a journal tail lost *after* the process exited) is only a
+/// state the two-phase protocol can produce if no shard compacted the
+/// final round into a snapshot.
+fn no_compaction(dir: PathBuf) -> DurabilityConfig {
+    DurabilityConfig {
+        compact_ratio: 0,
+        ..DurabilityConfig::new(dir)
+    }
+}
+
 /// Per-shard states of an uninterrupted durable run, indexed by
 /// committed round count (`states[k][shard]` = shard's state after
 /// round k), plus the full history.
@@ -168,6 +179,57 @@ fn kill_at_every_round_boundary_recovers_every_shard_byte_identically() {
 }
 
 #[test]
+fn kill_at_every_round_boundary_restores_every_fleet_pod_mid_stream() {
+    let scs = fleet_scenarios();
+    let mut ref_run = MultiPlatform::new(
+        &specs(&scs),
+        config(Some(DurabilityConfig::new(campaign_dir("pods-ref")))),
+    );
+    let mut ref_pods = vec![ref_run.export_pod_states()];
+    for _ in 0..ROUNDS {
+        ref_run.round(EXECS);
+        ref_pods.push(ref_run.export_pod_states());
+    }
+    let ref_history = ref_run.history().to_vec();
+    let ref_states: Vec<_> = (0..N_SHARDS).map(|i| ref_run.shard_state(i)).collect();
+    drop(ref_run);
+    for k in 1..=ROUNDS {
+        let dir = campaign_dir(&format!("pods-{k}"));
+        {
+            let mut p = MultiPlatform::new(
+                &specs(&scs),
+                config(Some(DurabilityConfig::new(dir.clone()))),
+            );
+            p.run(k as u32, EXECS);
+        } // drop = kill
+        let (mut resumed, _) =
+            MultiPlatform::resume(&specs(&scs), config(Some(DurabilityConfig::new(dir)))).unwrap();
+        assert_eq!(
+            resumed.export_pod_states(),
+            ref_pods[k as usize],
+            "fleet pod populations diverged from the uninterrupted run at round {k}"
+        );
+        // Restored pods carry their RNG positions, corpora, and queued
+        // directives across every lane, so the continuation replays
+        // the uninterrupted run byte for byte.
+        resumed.run((ROUNDS - k) as u32, EXECS);
+        assert_eq!(
+            resumed.history(),
+            &ref_history[..],
+            "continued history diverged after resume at round {k}"
+        );
+        assert_eq!(resumed.export_pod_states(), ref_pods[ROUNDS as usize]);
+        for (shard, expected) in ref_states.iter().enumerate() {
+            assert_eq!(
+                &resumed.shard_state(shard),
+                expected,
+                "shard {shard} diverged in the continuation after resume at round {k}"
+            );
+        }
+    }
+}
+
+#[test]
 fn shard_compaction_composes_with_resume() {
     let scs = fleet_scenarios();
     let (reference, _) = reference_run(compacting(campaign_dir("compact-ref")));
@@ -209,13 +271,10 @@ fn shard_compaction_composes_with_resume() {
 #[test]
 fn crash_between_shard_fsyncs_rolls_back_to_the_minimum_committed_round() {
     let scs = fleet_scenarios();
-    let (reference, _) = reference_run(DurabilityConfig::new(campaign_dir("torn-ref")));
+    let (reference, _) = reference_run(no_compaction(campaign_dir("torn-ref")));
     let dir = campaign_dir("torn");
     {
-        let mut p = MultiPlatform::new(
-            &specs(&scs),
-            config(Some(DurabilityConfig::new(dir.clone()))),
-        );
+        let mut p = MultiPlatform::new(&specs(&scs), config(Some(no_compaction(dir.clone()))));
         p.run(ROUNDS as u32, EXECS);
     }
     // Simulate a crash inside phase A of the final round's commit: one
@@ -228,7 +287,7 @@ fn crash_between_shard_fsyncs_rolls_back_to_the_minimum_committed_round() {
     std::fs::write(&victim, &bytes[..bytes.len() - 5]).unwrap();
 
     let (resumed, report) =
-        MultiPlatform::resume(&specs(&scs), config(Some(DurabilityConfig::new(dir)))).unwrap();
+        MultiPlatform::resume(&specs(&scs), config(Some(no_compaction(dir)))).unwrap();
     // The final round was never acked; the campaign's truth is the
     // minimum committed round, and the shards that got ahead are
     // truncated back to it.
@@ -253,7 +312,7 @@ fn crash_between_shard_fsyncs_rolls_back_to_the_minimum_committed_round() {
     let scs2 = fleet_scenarios();
     let dir = std::env::temp_dir().join(format!("softborg-multi-{}-torn", std::process::id()));
     let (again, report) =
-        MultiPlatform::resume(&specs(&scs2), config(Some(DurabilityConfig::new(dir)))).unwrap();
+        MultiPlatform::resume(&specs(&scs2), config(Some(no_compaction(dir)))).unwrap();
     assert_eq!(report.target_round, ROUNDS - 1);
     for sr in &report.shards {
         assert_eq!(sr.records_discarded, 0);

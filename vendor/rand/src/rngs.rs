@@ -19,6 +19,20 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl SmallRng {
+    /// The full generator state. Together with [`SmallRng::from_state`]
+    /// this lets durable systems persist a generator mid-stream and
+    /// resume it at the exact draw it would have produced next.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a captured [`SmallRng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;
