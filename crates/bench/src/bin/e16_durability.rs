@@ -31,9 +31,9 @@ fn config(s: &Scenario, dir: PathBuf, seed: u64) -> PlatformConfig {
         },
         seed,
         durability: Some(DurabilityConfig {
-            dir,
             compact_ratio: COMPACT_RATIO,
             min_compact_wal_bytes: MIN_COMPACT_BYTES,
+            ..DurabilityConfig::new(dir)
         }),
         ..PlatformConfig::default()
     }
@@ -142,6 +142,23 @@ fn main() {
         states.push(state);
         copy_campaign(&ref_dir, &base.join(format!("boundary-{k}")));
     }
+    // Compaction stall percentiles: the wall-clock pause each snapshot
+    // generation cost the committing round.
+    let mut stalls_ns: Vec<u64> = reference
+        .round_telemetry()
+        .iter()
+        .filter(|t| t.compacted)
+        .map(|t| t.checkpoint_ns)
+        .collect();
+    stalls_ns.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if stalls_ns.is_empty() {
+            0
+        } else {
+            stalls_ns[(stalls_ns.len() - 1) * p / 100]
+        }
+    };
+    let (stall_p50_us, stall_p99_us) = (pct(50) as f64 / 1e3, pct(99) as f64 / 1e3);
     let final_failures: u64 = reference.history().iter().map(|r| r.failures).sum();
     println!(
         "reference campaign: {ROUNDS} rounds, {} executions, {final_failures} failures,",
@@ -152,7 +169,7 @@ fn main() {
             .sum::<u64>()
     );
     println!(
-        "{compactions} compactions, max journal/state ratio {max_ratio:.2} (bound {}) — {}\n",
+        "{compactions} compactions, max journal/state ratio {max_ratio:.2} (bound {}) — {}",
         COMPACT_RATIO,
         if wal_bounded && compactions > 0 {
             "journal BOUNDED"
@@ -160,6 +177,7 @@ fn main() {
             "journal UNBOUNDED"
         }
     );
+    println!("compaction stall per generation: p50 {stall_p50_us:.1}us, p99 {stall_p99_us:.1}us\n");
 
     // ── Phase 2: kill + restart at every round boundary ──────────────
     let mut boundary_identical = 0u64;
@@ -268,6 +286,10 @@ fn main() {
             DiskCrashPoint::CorruptSnapshot { sector, kind } => {
                 corrupt_sector(&snap, sector, kind);
             }
+            DiskCrashPoint::CorruptChainRecord { .. } | DiskCrashPoint::CorruptPage { .. } => {
+                // This campaign runs the classic full-snapshot store;
+                // chain/page targets are exercised by e22.
+            }
             DiskCrashPoint::BetweenRenameAndTruncate => {
                 // Reproduce the exact window: resume, write the new
                 // snapshot generation, die before the journal truncate.
@@ -335,7 +357,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"compaction\": {{\"ratio\": {COMPACT_RATIO}, \"min_wal_bytes\": {MIN_COMPACT_BYTES}, \"compactions\": {compactions}, \"max_wal_state_ratio\": {max_ratio:.3}, \"bounded\": {wal_bounded}}},"
+        "  \"compaction\": {{\"ratio\": {COMPACT_RATIO}, \"min_wal_bytes\": {MIN_COMPACT_BYTES}, \"compactions\": {compactions}, \"max_wal_state_ratio\": {max_ratio:.3}, \"bounded\": {wal_bounded}, \"stall_p50_us\": {stall_p50_us:.1}, \"stall_p99_us\": {stall_p99_us:.1}}},"
     );
     let _ = writeln!(
         json,

@@ -1,0 +1,277 @@
+//! E22 — storage at scale: delta-snapshot chains and paged tree
+//! storage, judged on the two claims the softborg-store subsystem
+//! makes.
+//!
+//! * **Chains cut the compaction stall from O(hive) to O(changes).**
+//!   The same campaign runs twice under an every-round checkpoint
+//!   policy — classic two-generation snapshots vs delta chains — and
+//!   the steady-state checkpoint **bytes** (the deterministic stall
+//!   proxy `RoundTelemetry::checkpoint_bytes`) must drop ≥5×. Wall
+//!   stall percentiles are reported alongside, informationally.
+//! * **Paging bounds residency while the tree grows.** A paged
+//!   campaign's execution tree keeps growing on disk while the
+//!   resident page count stays pinned under the configured budget —
+//!   and the hive state stays byte-identical to the unpaged run at
+//!   every round.
+//!
+//! Merges its results into `BENCH_durability.json` (preserving E16's
+//! and E21's sections when present). `--smoke` shrinks the campaign
+//! for CI and lowers the ratio bar to 2× (a short campaign's hive
+//! never outgrows the delta floor); `--seed N` reseeds it (default 37).
+
+use softborg::store::PagedConfig;
+use softborg::{DurabilityConfig, Platform, PlatformConfig};
+use softborg_bench::{arg_u64, banner, cell, table_header};
+use softborg_program::scenarios::{self, Scenario};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const PODS: u32 = 8;
+const EXECS: u32 = 10;
+const PAGE_LEN: usize = 32;
+const RESIDENT_BUDGET: usize = 8;
+
+fn config(s: &Scenario, seed: u64, durability: Option<DurabilityConfig>) -> PlatformConfig {
+    PlatformConfig {
+        n_pods: PODS,
+        pod: softborg::pod::PodConfig {
+            input_range: s.input_range,
+            ..softborg::pod::PodConfig::default()
+        },
+        seed,
+        durability,
+        ..PlatformConfig::default()
+    }
+}
+
+/// Durability with auto-compaction off: the bench drives one explicit
+/// [`Platform::checkpoint`] after every round, so both stores pay a
+/// per-generation pause on the same schedule and their checkpoint
+/// bytes are directly comparable.
+fn every_round(dir: PathBuf, chain: bool) -> DurabilityConfig {
+    DurabilityConfig {
+        compact_ratio: 0,
+        chain: chain.then(|| softborg::ChainSettings {
+            // Under an every-round schedule the periodic rebase is the
+            // only O(hive) write left; a higher ratio keeps rebases
+            // rare enough to amortize while the chain stays short
+            // enough to replay on resume.
+            rebase_ratio: 16,
+            ..softborg::ChainSettings::default()
+        }),
+        ..DurabilityConfig::new(dir)
+    }
+}
+
+/// Mean checkpoint bytes plus p50/p99 pause (us) over the campaign's
+/// second half — the steady state, after the hive has outgrown a
+/// round's churn. Each sample is one explicit checkpoint's
+/// `(bytes_written, pause_ns)`.
+fn steady_stats(gens: &[(u64, u64)]) -> (f64, f64, f64) {
+    let half = &gens[gens.len() / 2..];
+    let mean_bytes = half.iter().map(|(b, _)| *b).sum::<u64>() as f64 / half.len().max(1) as f64;
+    let mut ns: Vec<u64> = half.iter().map(|(_, n)| *n).collect();
+    ns.sort_unstable();
+    if ns.is_empty() {
+        return (mean_bytes, 0.0, 0.0);
+    }
+    let pct = |p: usize| ns[(ns.len() - 1) * p / 100] as f64 / 1e3;
+    (mean_bytes, pct(50), pct(99))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = arg_u64("--seed", 37);
+    let rounds = arg_u64("--rounds", if smoke { 16 } else { 60 });
+
+    banner(
+        "E22",
+        "storage at scale: delta-snapshot chains + paged execution trees",
+        "checkpoint O(changes) not O(hive); tree residency bounded by the active frontier",
+    );
+    println!(
+        "campaign: {PODS} pods x {EXECS} execs/round, {rounds} rounds, checkpoint every round\n\
+         paging: {PAGE_LEN}-item pages, resident budget {RESIDENT_BUDGET}\n"
+    );
+
+    // record_processor grows the largest execution tree of the scenario
+    // set — the regime where checkpoint cost is hive-dominated and the
+    // O(changes)-vs-O(hive) gap is visible.
+    let s = scenarios::record_processor();
+    let base = std::env::temp_dir().join(format!("softborg-e22-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // ── Phase 1: classic vs chained checkpoint cost ──────────────────
+    let mut classic = Platform::new(
+        &s.program,
+        config(&s, seed, Some(every_round(base.join("classic"), false))),
+    );
+    let mut chained = Platform::new(
+        &s.program,
+        config(&s, seed, Some(every_round(base.join("chained"), true))),
+    );
+    let mut classic_gens: Vec<(u64, u64)> = Vec::new();
+    let mut chain_gens: Vec<(u64, u64)> = Vec::new();
+    for _ in 0..rounds {
+        classic.round(EXECS);
+        chained.round(EXECS);
+        let t = Instant::now();
+        let b = classic.checkpoint().expect("classic checkpoint");
+        classic_gens.push((b, t.elapsed().as_nanos() as u64));
+        let t = Instant::now();
+        let b = chained.checkpoint().expect("chained checkpoint");
+        chain_gens.push((b, t.elapsed().as_nanos() as u64));
+    }
+    assert_eq!(
+        classic.hive_state(),
+        chained.hive_state(),
+        "chain mode changed computed state"
+    );
+    let (classic_bytes, classic_p50, classic_p99) = steady_stats(&classic_gens);
+    let (chain_bytes, chain_p50, chain_p99) = steady_stats(&chain_gens);
+    let ratio = classic_bytes / chain_bytes.max(1.0);
+    // A delta checkpoint has a floor (one round's churn + pod images);
+    // the gap over classic widens as the hive grows past it. The smoke
+    // campaign is too short to clear 5x, so it gets a reduced bar.
+    let ratio_bar = if smoke { 2.0 } else { 5.0 };
+
+    table_header(&[
+        ("store", 10),
+        ("ckpt B (steady)", 17),
+        ("stall p50 us", 13),
+        ("stall p99 us", 13),
+    ]);
+    println!(
+        "{}{}{}{}",
+        cell("classic", 10),
+        cell(format!("{classic_bytes:.0}"), 17),
+        cell(format!("{classic_p50:.1}"), 13),
+        cell(format!("{classic_p99:.1}"), 13),
+    );
+    println!(
+        "{}{}{}{}",
+        cell("chained", 10),
+        cell(format!("{chain_bytes:.0}"), 17),
+        cell(format!("{chain_p50:.1}"), 13),
+        cell(format!("{chain_p99:.1}"), 13),
+    );
+    println!("steady-state checkpoint bytes ratio: {ratio:.1}x (acceptance: >= {ratio_bar}x)\n");
+
+    // Kill + resume both stores at the end: the chain is a real
+    // checkpoint lineage, not just cheaper writes.
+    drop(classic);
+    drop(chained);
+    let (from_classic, _) = Platform::resume(
+        &s.program,
+        config(&s, seed, Some(every_round(base.join("classic"), false))),
+    )
+    .expect("classic resume");
+    let (from_chain, rep) = Platform::resume(
+        &s.program,
+        config(&s, seed, Some(every_round(base.join("chained"), true))),
+    )
+    .expect("chained resume");
+    assert_eq!(from_classic.committed_rounds(), rounds);
+    assert_eq!(from_chain.committed_rounds(), rounds);
+    assert_eq!(
+        from_classic.hive_state(),
+        from_chain.hive_state(),
+        "chain resume diverged from classic resume"
+    );
+    let chain_walk = rep.chain.expect("chain resume reports its walk");
+    println!(
+        "resume: both stores byte-identical at round {rounds}; chain walked gen {:?}..{:?} \
+         ({} delta(s) applied)\n",
+        chain_walk.full_generation, chain_walk.head_generation, rep.chain_deltas_applied
+    );
+
+    // ── Phase 2: paged tree residency vs growth ──────────────────────
+    let mut plain = Platform::new(&s.program, config(&s, seed, None));
+    let mut paged = Platform::new(
+        &s.program,
+        PlatformConfig {
+            tree_paging: Some(PagedConfig::new(
+                &base.join("pages"),
+                PAGE_LEN,
+                RESIDENT_BUDGET,
+            )),
+            ..config(&s, seed, None)
+        },
+    );
+    let mut max_resident = 0u64;
+    let mut growth: Vec<(u64, u64, u64)> = Vec::new(); // (round, total_items, resident_pages)
+    let mut identical = true;
+    for k in 1..=rounds {
+        plain.round(EXECS);
+        paged.round(EXECS);
+        identical &= plain.hive_state() == paged.hive_state();
+        let st = paged.page_stats();
+        max_resident = max_resident.max(st.resident_pages);
+        if k % (rounds / 8).max(1) == 0 || k == rounds {
+            growth.push((k, st.total_items, st.resident_pages));
+        }
+    }
+    let end = paged.page_stats();
+    table_header(&[("round", 7), ("tree items", 12), ("resident pages", 15)]);
+    for (k, items, resident) in &growth {
+        println!("{}{}{}", cell(*k, 7), cell(*items, 12), cell(*resident, 15),);
+    }
+    // The tail page is never evicted, so the budget allows one page of
+    // slack over the configured residency.
+    let resident_bound = RESIDENT_BUDGET as u64 + 1;
+    let grew = end.total_pages >= 4 * RESIDENT_BUDGET as u64;
+    println!(
+        "\npaging: {} items across {} pages on disk, max resident {max_resident} \
+         (bound {resident_bound}), {} fault(s), {} eviction(s), byte-identical: {identical}\n",
+        end.total_items, end.total_pages, end.faults, end.evictions
+    );
+
+    let pass = ratio >= ratio_bar && identical && max_resident <= resident_bound && grew;
+    println!(
+        "acceptance: chain checkpoint bytes >= {ratio_bar}x smaller, paged tree byte-identical\n\
+         with residency bounded while the tree grows — {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    // ── JSON: merge an \"e22\" section into BENCH_durability.json ──────
+    let mut section = String::from("{\n");
+    let _ = writeln!(
+        section,
+        "    \"experiment\": \"E22 store scale\", \"seed\": {seed}, \"smoke\": {smoke}, \"rounds\": {rounds},"
+    );
+    let _ = writeln!(
+        section,
+        "    \"chain\": {{\"classic_ckpt_bytes\": {classic_bytes:.0}, \"chain_ckpt_bytes\": {chain_bytes:.0}, \"ratio\": {ratio:.2}, \"classic_stall_p50_us\": {classic_p50:.1}, \"classic_stall_p99_us\": {classic_p99:.1}, \"chain_stall_p50_us\": {chain_p50:.1}, \"chain_stall_p99_us\": {chain_p99:.1}, \"deltas_applied_on_resume\": {}}},",
+        rep.chain_deltas_applied
+    );
+    let _ = writeln!(
+        section,
+        "    \"paging\": {{\"page_len\": {PAGE_LEN}, \"resident_budget\": {RESIDENT_BUDGET}, \"total_items\": {}, \"total_pages\": {}, \"max_resident_pages\": {max_resident}, \"faults\": {}, \"evictions\": {}, \"byte_identical\": {identical}}},",
+        end.total_items, end.total_pages, end.faults, end.evictions
+    );
+    let _ = writeln!(section, "    \"all_ok\": {pass}");
+    section.push_str("  }");
+
+    let path = "BENCH_durability.json";
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let body = existing
+        .split("\n  \"e22\":")
+        .next()
+        .unwrap_or("")
+        .trim_end()
+        .trim_end_matches('}')
+        .trim_end()
+        .trim_end_matches(',')
+        .to_string();
+    let json = if body.trim().is_empty() {
+        format!("{{\n  \"e22\": {section}\n}}\n")
+    } else {
+        format!("{body},\n  \"e22\": {section}\n}}\n")
+    };
+    std::fs::write(path, json).expect("write BENCH_durability.json");
+    println!("\nmerged e22 section into BENCH_durability.json");
+
+    let _ = std::fs::remove_dir_all(&base);
+    assert!(pass, "E22 acceptance failed: see tables above");
+}

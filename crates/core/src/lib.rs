@@ -63,8 +63,8 @@ pub use multi::{
     MultiResumeReport, MultiRoundReport, ProgramRoundReport, ShardResumeReport,
 };
 pub use platform::{
-    DrivenExecution, DurabilityConfig, DurabilityError, IngestSettings, Platform, PlatformConfig,
-    ResumeReport, RoundReport, RoundTelemetry,
+    ChainSettings, DrivenExecution, DurabilityConfig, DurabilityError, IngestSettings, Platform,
+    PlatformConfig, ResumeReport, RoundReport, RoundTelemetry,
 };
 
 pub use softborg_analysis as analysis;
@@ -78,6 +78,7 @@ pub use softborg_pod as pod;
 pub use softborg_program as program;
 pub use softborg_shard as shard;
 pub use softborg_solver as solver;
+pub use softborg_store as store;
 pub use softborg_symex as symex;
 pub use softborg_trace as trace;
 pub use softborg_tree as tree;

@@ -22,8 +22,8 @@
 //! round.
 
 use crate::platform::{
-    decode_pod_states, encode_pod_states, io_err, restore_pod_states, DurabilityConfig,
-    DurabilityError, IngestSettings, RoundTelemetry,
+    chain_dir, decode_pod_states, encode_pod_states, io_err, restore_pod_states, CommitStats,
+    DurabilityConfig, DurabilityError, IngestSettings, RoundTelemetry,
 };
 use softborg_fix::{rank, FixCandidate, LabConfig, TestCase, Verdict};
 use softborg_guidance::Directive;
@@ -32,14 +32,16 @@ use softborg_hive::journal::{
     SESSION_PROMOTE, SESSION_ROUND,
 };
 use softborg_hive::{
-    outcome_signature, scrub_campaign, FileJournal, HiveConfig, HiveSnapshot, JournalStore,
-    LoadReport, ScrubReport, SnapshotStore,
+    outcome_signature, scrub_campaign, scrub_chained_campaign, scrub_page_dir, FileJournal,
+    HiveConfig, HiveSnapshot, JournalStore, LoadReport, PageScrub, ScrubReport, SnapshotSource,
+    SnapshotStore,
 };
 use softborg_obs::{ObsHandles, SpanTimer};
 use softborg_pod::{Pod, PodConfig, PodState};
 use softborg_program::codec::{self, CodecError};
 use softborg_program::{Program, ProgramId};
 use softborg_shard::{ShardRunStats, ShardedHive};
+use softborg_store::{ChainReport, ChainSource, ChainStore, PageStats, PagedConfig, RecordKind};
 use softborg_trace::wire;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -78,6 +80,10 @@ pub struct MultiPlatformConfig {
     /// Crash-only durability root. Each shard persists under its own
     /// `shard-<i>/` subdirectory of [`DurabilityConfig::dir`].
     pub durability: Option<DurabilityConfig>,
+    /// Paged execution-tree storage: each program's tree pages into a
+    /// `prog-<id>/` subdirectory of the configured page dir, under the
+    /// same resident budget. Byte-identical state with paging on or off.
+    pub tree_paging: Option<PagedConfig>,
     /// Telemetry sinks: per-round `multi.*` counters, commit/fsync span
     /// histograms, and `round_committed` events. Passive — shard state
     /// is byte-identical with telemetry on or off.
@@ -96,6 +102,7 @@ impl Default for MultiPlatformConfig {
             min_preservation_cases: 5,
             ingest: IngestSettings::default(),
             durability: None,
+            tree_paging: None,
             obs: ObsHandles::default(),
         }
     }
@@ -207,6 +214,10 @@ pub struct ShardResumeReport {
     /// (the round was never acked), or a suffix disconnected from a
     /// fallback snapshot generation. All are truncated.
     pub records_discarded: u64,
+    /// Chain-walk report when [`DurabilityConfig::chain`] is set.
+    pub chain: Option<ChainReport>,
+    /// Delta records applied on top of this shard's chain full record.
+    pub chain_deltas_applied: u64,
 }
 
 /// What [`MultiPlatform::resume`] found and did across all shards.
@@ -227,6 +238,9 @@ type FrameLog = Mutex<Vec<(u64, u64, Vec<u8>)>>;
 #[derive(Debug)]
 struct ShardDurable {
     store: SnapshotStore,
+    /// Delta-snapshot chain, open iff [`DurabilityConfig::chain`] is
+    /// set.
+    chain: Option<ChainStore>,
     journal: FileJournal,
 }
 
@@ -330,6 +344,22 @@ impl<'p> MultiPlatform<'p> {
         }
     }
 
+    /// Moves every hive's tree behind the paged store (when
+    /// [`MultiPlatformConfig::tree_paging`] is set), one `prog-<id>/`
+    /// page directory per program.
+    fn enable_tree_paging(&mut self) -> Result<(), DurabilityError> {
+        let Some(root) = self.config.tree_paging.clone() else {
+            return Ok(());
+        };
+        for (id, hive) in self.sharded.hives_mut() {
+            let mut cfg = root.clone();
+            cfg.dir = root.dir.join(format!("prog-{}", id.0));
+            hive.enable_tree_paging(cfg)
+                .map_err(|e| io_err("page-store", &e))?;
+        }
+        Ok(())
+    }
+
     /// Builds a multi-program platform. With durability configured this
     /// starts a *fresh* campaign and panics if any shard directory
     /// already holds campaign state (use [`try_new`](Self::try_new) to
@@ -356,6 +386,7 @@ impl<'p> MultiPlatform<'p> {
         config: MultiPlatformConfig,
     ) -> Result<Self, DurabilityError> {
         let mut platform = Self::base(specs, config);
+        platform.enable_tree_paging()?;
         if let Some(dcfg) = platform.config.durability.clone() {
             let mut shards = Vec::with_capacity(platform.sharded.n_shards());
             for i in 0..platform.sharded.n_shards() {
@@ -369,7 +400,21 @@ impl<'p> MultiPlatform<'p> {
                 if !journal.is_empty() {
                     return Err(DurabilityError::CampaignExists(dir));
                 }
-                shards.push(ShardDurable { store, journal });
+                let chain = if dcfg.chain.is_some() {
+                    let chain =
+                        ChainStore::open(&chain_dir(&dir)).map_err(|e| io_err("chain-dir", &e))?;
+                    if chain.head_generation().is_some() {
+                        return Err(DurabilityError::CampaignExists(dir));
+                    }
+                    Some(chain)
+                } else {
+                    None
+                };
+                shards.push(ShardDurable {
+                    store,
+                    chain,
+                    journal,
+                });
             }
             platform.durable = Some(MultiDurableState {
                 cfg: dcfg,
@@ -414,7 +459,12 @@ impl<'p> MultiPlatform<'p> {
         // committed rounds (snapshot rounds + connected ROUND records).
         struct ShardScan {
             store: SnapshotStore,
+            chain: Option<ChainStore>,
+            chain_load: Option<softborg_store::ChainLoad>,
             journal: FileJournal,
+            /// The authoritative checkpoint meta: the loaded snapshot, or
+            /// in chain mode the decoded *last* chain record (its
+            /// sessions/wal-coverage/app_meta describe the chain head).
             snap: Option<HiveSnapshot>,
             load: LoadReport,
             wal: Vec<u8>,
@@ -428,7 +478,41 @@ impl<'p> MultiPlatform<'p> {
         for i in 0..n_shards {
             let dir = dcfg.dir.join(format!("shard-{i}"));
             let store = SnapshotStore::open(&dir).map_err(|e| io_err("snapshot-dir", &e))?;
-            let (snap, load) = store.load();
+            let (snap, load, chain_load, chain) = if dcfg.chain.is_some() {
+                let chain =
+                    ChainStore::open(&chain_dir(&dir)).map_err(|e| io_err("chain-dir", &e))?;
+                let cl = chain.load();
+                let snap = match cl.records.last() {
+                    Some(rec) => Some(HiveSnapshot::decode(&rec.payload).map_err(|e| {
+                        DurabilityError::Corrupt(format!(
+                            "shard {i} chain record {}: {e}",
+                            rec.generation
+                        ))
+                    })?),
+                    None => {
+                        if store.snap_path().exists() || store.prev_path().exists() {
+                            return Err(DurabilityError::Corrupt(format!(
+                                "shard {i}: chain mode found no chain records but a hive.snap \
+                                 exists (legacy campaign); resume it without chain settings"
+                            )));
+                        }
+                        None
+                    }
+                };
+                let load = LoadReport {
+                    source: match cl.report.source {
+                        ChainSource::Primary => SnapshotSource::Primary,
+                        ChainSource::Fallback => SnapshotSource::Fallback,
+                        ChainSource::None => SnapshotSource::None,
+                    },
+                    primary_error: None,
+                    fallback_error: None,
+                };
+                (snap, load, Some(cl), Some(chain))
+            } else {
+                let (snap, load) = store.load();
+                (snap, load, None, None)
+            };
             let journal =
                 FileJournal::open(store.wal_path()).map_err(|e| io_err("wal-open", &e))?;
             let wal = journal.read().map_err(|e| io_err("wal-read", &e))?;
@@ -482,6 +566,8 @@ impl<'p> MultiPlatform<'p> {
             }
             scans.push(ShardScan {
                 store,
+                chain,
+                chain_load,
                 journal,
                 snap,
                 load,
@@ -518,11 +604,59 @@ impl<'p> MultiPlatform<'p> {
                 )));
             }
             let mut history = Vec::new();
-            if let Some(s) = &sc.snap {
+            let mut chain_deltas_applied = 0u64;
+            if let Some(load) = &sc.chain_load {
+                // Chain mode: rebuild the shard from the oldest full
+                // record, then fold every delta on top in generation
+                // order. Meta (sessions, wal coverage, pods) comes from
+                // the already-decoded chain head in `sc.snap`.
+                if let Some((first, rest)) = load.records.split_first() {
+                    let full = HiveSnapshot::decode(&first.payload).map_err(|e| {
+                        DurabilityError::Corrupt(format!(
+                            "shard {shard} chain record {}: {e}",
+                            first.generation
+                        ))
+                    })?;
+                    platform
+                        .sharded
+                        .decode_shard_state(shard, &full.state, &platform.config.hive)
+                        .map_err(|e| {
+                            DurabilityError::Corrupt(format!("shard {shard} state: {e}"))
+                        })?;
+                    let skip_last = dcfg.chain.as_ref().is_some_and(|c| c.skip_last_delta);
+                    for (k, rec) in rest.iter().enumerate() {
+                        if skip_last && k + 1 == rest.len() {
+                            // Planted bug (`skip_delta` canary): the
+                            // head's metadata (already in `sc.snap`) is
+                            // trusted while its state changes are
+                            // silently dropped.
+                            continue;
+                        }
+                        let delta = HiveSnapshot::decode(&rec.payload).map_err(|e| {
+                            DurabilityError::Corrupt(format!(
+                                "shard {shard} chain record {}: {e}",
+                                rec.generation
+                            ))
+                        })?;
+                        platform
+                            .sharded
+                            .apply_shard_state_delta(shard, &delta.state)
+                            .map_err(|e| {
+                                DurabilityError::Corrupt(format!(
+                                    "shard {shard} chain delta {}: {e}",
+                                    rec.generation
+                                ))
+                            })?;
+                        chain_deltas_applied += 1;
+                    }
+                }
+            } else if let Some(s) = &sc.snap {
                 platform
                     .sharded
                     .decode_shard_state(shard, &s.state, &platform.config.hive)
                     .map_err(|e| DurabilityError::Corrupt(format!("shard {shard} state: {e}")))?;
+            }
+            if let Some(s) = &sc.snap {
                 let (_, h, snap_pods) = decode_multi_app_meta(&s.app_meta)?;
                 history = h;
                 for (lane, states) in snap_pods {
@@ -676,6 +810,8 @@ impl<'p> MultiPlatform<'p> {
             shard_reports.push(ShardResumeReport {
                 shard,
                 snapshot: sc.load,
+                chain: sc.chain_load.map(|l| l.report),
+                chain_deltas_applied,
                 rounds_from_snapshot: sc.snap_round,
                 rounds_replayed: rounds_applied - sc.snap_round,
                 wal_tail_dropped: sc.tail_dropped,
@@ -683,9 +819,15 @@ impl<'p> MultiPlatform<'p> {
             });
             durable_shards.push(ShardDurable {
                 store: sc.store,
+                chain: sc.chain,
                 journal: sc.journal,
             });
         }
+
+        // Paging attaches only after every shard's state is final:
+        // decode_shard_state replaces whole hives, so an earlier enable
+        // would be silently discarded.
+        platform.enable_tree_paging()?;
 
         // Process equivalence: install every fleet's freshest committed
         // pod images (journal beats snapshot; lanes with no durable
@@ -744,6 +886,24 @@ impl<'p> MultiPlatform<'p> {
         self.last_run.as_ref()
     }
 
+    /// Paged-tree counters summed over every program's execution tree
+    /// (all zeros when [`MultiPlatformConfig::tree_paging`] is off).
+    pub fn page_stats(&self) -> PageStats {
+        let mut total = PageStats::default();
+        for (_, hive) in self.sharded.hives() {
+            let s = hive.tree().page_stats();
+            total.faults += s.faults;
+            total.evictions += s.evictions;
+            total.writes += s.writes;
+            total.pages_trusted += s.pages_trusted;
+            total.resident_pages += s.resident_pages;
+            total.total_pages += s.total_pages;
+            total.total_items += s.total_items;
+            total.resident_items += s.resident_items;
+        }
+        total
+    }
+
     /// Per-round telemetry for every round this *process* ran, parallel
     /// to [`history`](Self::history) but never journaled (resumed rounds
     /// therefore have no entries — see [`RoundTelemetry`]).
@@ -799,7 +959,50 @@ impl<'p> MultiPlatform<'p> {
         for i in 0..config.n_shards {
             let dir = dcfg.dir.join(format!("shard-{i}"));
             let store = SnapshotStore::open(&dir).map_err(|e| io_err("snapshot-dir", &e))?;
-            reports.push(scrub_campaign(&store, &config.obs.recorder)?);
+            reports.push(if dcfg.chain.is_some() {
+                let chain =
+                    ChainStore::open(&chain_dir(&dir)).map_err(|e| io_err("chain-dir", &e))?;
+                scrub_chained_campaign(&store, &chain, &config.obs.recorder)?
+            } else {
+                scrub_campaign(&store, &config.obs.recorder)?
+            });
+        }
+        // Page stores are per program (`prog-<id>/` under the paging
+        // root), not per shard; their merged verdict rides on the first
+        // shard's report.
+        if let Some(pcfg) = &config.tree_paging {
+            let mut merged = PageScrub {
+                pages_valid: 0,
+                quarantined: Vec::new(),
+            };
+            let mut prog_dirs: Vec<std::path::PathBuf> = match std::fs::read_dir(&pcfg.dir) {
+                Ok(entries) => entries
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.is_dir()
+                            && p.file_name()
+                                .is_some_and(|n| n.to_string_lossy().starts_with("prog-"))
+                    })
+                    .collect(),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(io_err("page-root", &e)),
+            };
+            prog_dirs.sort();
+            for dir in prog_dirs {
+                let sub = scrub_page_dir(&dir, &config.obs.recorder)?;
+                merged.pages_valid += sub.pages_valid;
+                let prefix = dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                merged
+                    .quarantined
+                    .extend(sub.quarantined.into_iter().map(|f| format!("{prefix}/{f}")));
+            }
+            if let Some(first) = reports.first_mut() {
+                first.pages = Some(merged);
+            }
         }
         Ok(reports)
     }
@@ -1095,17 +1298,19 @@ impl<'p> MultiPlatform<'p> {
         let frames_journaled = frames.len() as u64;
         let promotions_journaled = promoted.len() as u64;
         let commit_span = SpanTimer::start_if(clock.as_ref(), &commit_hist);
-        let (fsync_ns, compacted) = self
+        let commit = self
             .commit_round(&report, frames, &promoted)
             .expect("durable round commit failed");
         let commit_ns = commit_span.map_or(0, SpanTimer::stop);
         self.telemetry.push(RoundTelemetry {
             round: report.round,
             commit_ns,
-            fsync_ns,
+            fsync_ns: commit.fsync_ns,
             frames_journaled,
             promotions_journaled,
-            compacted,
+            compacted: commit.compacted,
+            checkpoint_ns: commit.checkpoint_ns,
+            checkpoint_bytes: commit.checkpoint_bytes,
         });
         if let Some(reg) = obs.registry.as_ref() {
             reg.counter("multi.rounds").incr();
@@ -1256,11 +1461,11 @@ impl<'p> MultiPlatform<'p> {
         report: &MultiRoundReport,
         mut frames: Vec<(u64, u64, Vec<u8>)>,
         promoted: &[(ProgramId, String, softborg_program::Overlay)],
-    ) -> Result<(u64, bool), DurabilityError> {
+    ) -> Result<CommitStats, DurabilityError> {
         let obs = self.config.obs.clone();
         let lanes: Vec<ProgramId> = self.fleets.iter().map(|f| f.id).collect();
         if self.durable.is_none() {
-            return Ok((0, false));
+            return Ok(CommitStats::default());
         }
         // Capture every fleet's pod population *after* guidance queued
         // next-round directives — the exact state an uninterrupted
@@ -1331,7 +1536,10 @@ impl<'p> MultiPlatform<'p> {
         let fsync_ns = fsync_span.map_or(0, SpanTimer::stop);
 
         // Phase B: per-shard compaction.
-        let mut compacted = false;
+        let mut stats = CommitStats {
+            fsync_ns,
+            ..CommitStats::default()
+        };
         let (ratio, min_bytes) = (d.cfg.compact_ratio, d.cfg.min_compact_wal_bytes);
         if ratio > 0 {
             for shard in 0..d.shards.len() {
@@ -1339,27 +1547,67 @@ impl<'p> MultiPlatform<'p> {
                 if wal_len < min_bytes {
                     continue;
                 }
-                let state = self
-                    .sharded
-                    .encode_shard_state(shard)
-                    .expect("shard index in range");
-                if wal_len >= ratio.saturating_mul(state.len() as u64) {
-                    write_shard_checkpoint(
+                // In chain mode the trigger compares against the chain's
+                // own bookkeeping (last full + deltas since), so the
+                // check itself is O(1) instead of re-encoding the shard.
+                let (due, kind, state) = if let Some(cs) = &d.cfg.chain {
+                    let chain = d.shards[shard]
+                        .chain
+                        .as_ref()
+                        .expect("chain mode shards carry a chain store");
+                    let footprint = chain
+                        .last_full_payload_bytes()
+                        .saturating_add(chain.delta_payload_bytes_since_full())
+                        .max(1);
+                    let due = wal_len >= ratio.saturating_mul(footprint);
+                    let kind = if due && chain.rebase_due(cs.rebase_ratio) {
+                        RecordKind::Full
+                    } else {
+                        RecordKind::Delta
+                    };
+                    (due, kind, None)
+                } else {
+                    let state = self
+                        .sharded
+                        .encode_shard_state(shard)
+                        .expect("shard index in range");
+                    let due = wal_len >= ratio.saturating_mul(state.len() as u64);
+                    (due, RecordKind::Full, Some(state))
+                };
+                if due {
+                    let started = std::time::Instant::now();
+                    let state = match (kind, state) {
+                        (RecordKind::Delta, _) => self
+                            .sharded
+                            .encode_shard_state_delta(shard)
+                            .expect("shard index in range"),
+                        (RecordKind::Full, Some(s)) => s,
+                        (RecordKind::Full, None) => self
+                            .sharded
+                            .encode_shard_state(shard)
+                            .expect("shard index in range"),
+                    };
+                    stats.checkpoint_bytes += write_shard_checkpoint(
                         d,
                         shard,
                         &lanes,
                         self.sharded.map(),
+                        kind,
                         state,
                         self.round_idx,
                         &self.history,
                         &pod_bodies,
                         true,
                     )?;
-                    compacted = true;
+                    if d.cfg.chain.is_some() {
+                        self.sharded.mark_shard_clean(shard);
+                    }
+                    stats.checkpoint_ns += started.elapsed().as_nanos() as u64;
+                    stats.compacted = true;
                 }
             }
         }
-        Ok((fsync_ns, compacted))
+        Ok(stats)
     }
 
     /// On-demand compaction of every shard: each folds its journal into
@@ -1381,42 +1629,73 @@ impl<'p> MultiPlatform<'p> {
             .as_mut()
             .ok_or(DurabilityError::NotConfigured)?;
         for shard in 0..self.sharded.n_shards() {
-            let state = self
-                .sharded
-                .encode_shard_state(shard)
-                .expect("shard index in range");
+            let kind = match &d.cfg.chain {
+                Some(cs) => {
+                    let chain = d.shards[shard]
+                        .chain
+                        .as_ref()
+                        .expect("chain mode shards carry a chain store");
+                    if chain.rebase_due(cs.rebase_ratio) {
+                        RecordKind::Full
+                    } else {
+                        RecordKind::Delta
+                    }
+                }
+                None => RecordKind::Full,
+            };
+            let state = match kind {
+                RecordKind::Full => self
+                    .sharded
+                    .encode_shard_state(shard)
+                    .expect("shard index in range"),
+                RecordKind::Delta => self
+                    .sharded
+                    .encode_shard_state_delta(shard)
+                    .expect("shard index in range"),
+            };
             write_shard_checkpoint(
                 d,
                 shard,
                 &lanes,
                 self.sharded.map(),
+                kind,
                 state,
                 self.round_idx,
                 &self.history,
                 &pod_bodies,
                 true,
             )?;
+            if d.cfg.chain.is_some() {
+                self.sharded.mark_shard_clean(shard);
+            }
         }
         Ok(())
     }
 }
 
-/// Writes one shard's snapshot generation covering its whole journal,
+/// Writes one shard's checkpoint generation covering its whole journal,
 /// then (when `truncate`) empties that journal. The snapshot's session
 /// floors and pod populations cover only the lanes whose frames land in
 /// this shard's journal.
+///
+/// In chain mode the record is appended to the shard's delta chain
+/// (`kind` picks full rebase vs delta, and `state` must hold the
+/// matching encoding); otherwise `kind` is ignored and a classic
+/// two-generation snapshot is swapped in. Returns the checkpoint
+/// payload size in bytes.
 #[allow(clippy::too_many_arguments)]
 fn write_shard_checkpoint(
     d: &mut MultiDurableState,
     shard: usize,
     lanes: &[ProgramId],
     map: &softborg_shard::ShardMap,
+    kind: RecordKind,
     state: Vec<u8>,
     round_idx: u64,
     history: &[MultiRoundReport],
     lane_pods: &[Vec<u8>],
     truncate: bool,
-) -> Result<(), DurabilityError> {
+) -> Result<u64, DurabilityError> {
     let sd = &mut d.shards[shard];
     let wal_bytes = sd.journal.read().map_err(|e| io_err("wal-read", &e))?;
     let on_shard = |lane: u64| {
@@ -1443,11 +1722,19 @@ fn write_shard_checkpoint(
         wal_covered_hash: wire::fnv1a(&wal_bytes),
         app_meta: encode_multi_app_meta(round_idx, history, &shard_pods),
     };
-    sd.store.write_snapshot(&snap)?;
+    let written = if let Some(chain) = sd.chain.as_mut() {
+        let payload = snap.encode();
+        chain
+            .append(kind, &payload)
+            .map_err(|e| io_err("chain-append", &e))?;
+        payload.len() as u64
+    } else {
+        sd.store.write_snapshot(&snap)?
+    };
     if truncate {
         sd.journal.truncate(0)?;
     }
-    Ok(())
+    Ok(written)
 }
 
 /// Shard-snapshot `app_meta` payload: committed-round counter, the full

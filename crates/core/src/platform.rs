@@ -18,14 +18,16 @@ use softborg_hive::journal::{
     SESSION_PROMOTE, SESSION_ROUND,
 };
 use softborg_hive::{
-    diagnosis_signature, outcome_signature, scrub_campaign, FileJournal, Hive, HiveConfig,
-    HiveSnapshot, JournalIoError, JournalStore, LoadReport, ScrubError, ScrubReport, SnapshotStore,
+    diagnosis_signature, outcome_signature, scrub_campaign, scrub_chained_campaign, scrub_page_dir,
+    FileJournal, Hive, HiveConfig, HiveSnapshot, JournalIoError, JournalStore, LoadReport,
+    ScrubError, ScrubReport, SnapshotSource, SnapshotStore,
 };
 use softborg_ingest::{IngestConfig, IngestStats};
 use softborg_obs::{ObsHandles, SpanTimer};
 use softborg_pod::{Pod, PodConfig, PodState};
 use softborg_program::codec::{self, CodecError};
 use softborg_program::{Overlay, Program};
+use softborg_store::{ChainReport, ChainSource, ChainStore, PageStats, PagedConfig, RecordKind};
 use softborg_trace::wire;
 use softborg_tree::CoverageStats;
 use std::collections::BTreeMap;
@@ -58,6 +60,12 @@ pub struct PlatformConfig {
     /// its report is returned, and a killed process can continue the
     /// campaign via [`Platform::resume`]. `None` = in-memory only.
     pub durability: Option<DurabilityConfig>,
+    /// Paged execution-tree storage: when set, cold tree pages are
+    /// evicted to checksummed page files under the configured resident
+    /// budget and faulted back transparently. Paging is pure storage —
+    /// merges, traversals, snapshots, and deltas are byte-identical with
+    /// paging on or off. `None` = fully in-memory tree.
+    pub tree_paging: Option<PagedConfig>,
     /// Telemetry sinks: per-round `platform.*` counters, commit/fsync
     /// span histograms, and `round_committed` flight-recorder events.
     /// Telemetry is passive — it never changes what a round computes or
@@ -78,6 +86,12 @@ pub struct DurabilityConfig {
     /// Journal size below which compaction never triggers, so tiny
     /// campaigns don't churn snapshots every round.
     pub min_compact_wal_bytes: u64,
+    /// Incremental snapshot chains: when set, checkpoints append
+    /// checksummed full/delta records to a `chain/` subdirectory instead
+    /// of rewriting `hive.snap` whole — a compaction writes O(changes
+    /// since the last checkpoint), not O(hive). `None` keeps the classic
+    /// two-generation full-snapshot store, byte-for-byte.
+    pub chain: Option<ChainSettings>,
 }
 
 impl DurabilityConfig {
@@ -88,8 +102,48 @@ impl DurabilityConfig {
             dir: dir.into(),
             compact_ratio: 4,
             min_compact_wal_bytes: 64 * 1024,
+            chain: None,
         }
     }
+
+    /// Same policy, with delta-snapshot chains enabled at the default
+    /// rebase ratio.
+    pub fn chained(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            chain: Some(ChainSettings::default()),
+            ..DurabilityConfig::new(dir)
+        }
+    }
+}
+
+/// Delta-snapshot chain policy.
+#[derive(Debug, Clone)]
+pub struct ChainSettings {
+    /// Full-rebase trigger: append a fresh full record once accumulated
+    /// delta payload bytes exceed this many times the newest full's
+    /// size, bounding chain length and recovery work. `0` = never rebase
+    /// (deltas forever; only sensible in fault harnesses).
+    pub rebase_ratio: u64,
+    /// **Injected bug** — resume silently drops the newest delta record
+    /// when folding the chain, rebuilding state one checkpoint stale
+    /// while trusting the head's metadata (the `skip_delta` canary for
+    /// the durable fault-search campaign). Must stay `false` outside
+    /// fault harnesses.
+    pub skip_last_delta: bool,
+}
+
+impl Default for ChainSettings {
+    fn default() -> Self {
+        ChainSettings {
+            rebase_ratio: 4,
+            skip_last_delta: false,
+        }
+    }
+}
+
+/// The chain subdirectory under a campaign (or shard) durability dir.
+pub(crate) fn chain_dir(dir: &std::path::Path) -> PathBuf {
+    dir.join("chain")
 }
 
 /// Why a durable platform could not be created or resumed, or why a
@@ -198,6 +252,7 @@ impl Default for PlatformConfig {
             min_preservation_cases: 5,
             ingest: IngestSettings::default(),
             durability: None,
+            tree_paging: None,
             obs: ObsHandles::default(),
         }
     }
@@ -299,6 +354,12 @@ pub struct ResumeReport {
     /// truncated; the campaign resumes from the older (consistent)
     /// state.
     pub disconnected_records: u64,
+    /// Chain-walk report when [`DurabilityConfig::chain`] is set: which
+    /// lineage validated and every damaged record file found. `None` in
+    /// classic full-snapshot mode.
+    pub chain: Option<ChainReport>,
+    /// Delta records applied on top of the chain's full record.
+    pub chain_deltas_applied: u64,
 }
 
 /// Per-round telemetry the platform keeps *beside* the journaled
@@ -323,6 +384,26 @@ pub struct RoundTelemetry {
     pub promotions_journaled: u64,
     /// Whether this round's commit triggered snapshot compaction.
     pub compacted: bool,
+    /// Wall-clock duration of this round's checkpoint write — the
+    /// compaction stall — in ns (0 when no checkpoint ran). Unlike
+    /// `commit_ns`/`fsync_ns` this is measured unconditionally, so the
+    /// durability benches can report stall percentiles without a
+    /// registry attached.
+    pub checkpoint_ns: u64,
+    /// Bytes the checkpoint wrote (full snapshot record, or chain
+    /// full/delta record payload). The deterministic stall proxy: with
+    /// chains on, a steady-state compaction writes O(changes) instead of
+    /// O(hive).
+    pub checkpoint_bytes: u64,
+}
+
+/// What one durable round commit did (feeds [`RoundTelemetry`]).
+#[derive(Debug, Default)]
+pub(crate) struct CommitStats {
+    pub(crate) fsync_ns: u64,
+    pub(crate) compacted: bool,
+    pub(crate) checkpoint_ns: u64,
+    pub(crate) checkpoint_bytes: u64,
 }
 
 /// A round's durable frame log: `(session, seq, frame)` triples mirrored
@@ -351,6 +432,10 @@ pub struct DrivenExecution {
 struct DurableState {
     cfg: DurabilityConfig,
     store: SnapshotStore,
+    /// Delta-snapshot chain, open iff [`DurabilityConfig::chain`] is
+    /// set. With a chain, checkpoints append here and `hive.snap` is
+    /// never written.
+    chain: Option<ChainStore>,
     journal: FileJournal,
     /// Next sequence number for `REC_PROMOTE` records.
     promote_seq: u64,
@@ -422,6 +507,12 @@ impl<'p> Platform<'p> {
     /// be opened.
     pub fn try_new(program: &'p Program, config: PlatformConfig) -> Result<Self, DurabilityError> {
         let mut platform = Self::base(program, config);
+        if let Some(pcfg) = platform.config.tree_paging.clone() {
+            platform
+                .hive
+                .enable_tree_paging(pcfg)
+                .map_err(|e| io_err("page-store", &e))?;
+        }
         if let Some(dcfg) = platform.config.durability.clone() {
             let store = SnapshotStore::open(&dcfg.dir).map_err(|e| io_err("snapshot-dir", &e))?;
             if store.snap_path().exists() || store.prev_path().exists() {
@@ -432,9 +523,20 @@ impl<'p> Platform<'p> {
             if !journal.is_empty() {
                 return Err(DurabilityError::CampaignExists(dcfg.dir));
             }
+            let chain = if dcfg.chain.is_some() {
+                let chain =
+                    ChainStore::open(&chain_dir(&dcfg.dir)).map_err(|e| io_err("chain-dir", &e))?;
+                if chain.head_generation().is_some() {
+                    return Err(DurabilityError::CampaignExists(dcfg.dir));
+                }
+                Some(chain)
+            } else {
+                None
+            };
             platform.durable = Some(DurableState {
                 cfg: dcfg,
                 store,
+                chain,
                 journal,
                 promote_seq: 0,
                 frame_floors: BTreeMap::new(),
@@ -476,7 +578,20 @@ impl<'p> Platform<'p> {
             .clone()
             .ok_or(DurabilityError::NotConfigured)?;
         let store = SnapshotStore::open(&dcfg.dir).map_err(|e| io_err("snapshot-dir", &e))?;
-        let (snap, load_report) = store.load();
+        // Chain mode never reads `hive.snap` — the chain is the
+        // checkpoint store of record.
+        let (snap, load_report) = if dcfg.chain.is_none() {
+            store.load()
+        } else {
+            (
+                None,
+                LoadReport {
+                    source: SnapshotSource::None,
+                    primary_error: None,
+                    fallback_error: None,
+                },
+            )
+        };
         let mut wal_file =
             FileJournal::open(store.wal_path()).map_err(|e| io_err("wal-open", &e))?;
         let wal = wal_file.read().map_err(|e| io_err("wal-read", &e))?;
@@ -487,7 +602,69 @@ impl<'p> Platform<'p> {
         // snapshot's, then overwritten by each committed `REC_PODS`
         // record replayed from the journal suffix.
         let mut pod_states: Option<Vec<PodState>> = None;
-        let replay_from = if let Some(s) = &snap {
+        let mut chain_report: Option<ChainReport> = None;
+        let mut chain_deltas_applied = 0u64;
+        let mut chain_store: Option<ChainStore> = None;
+        let replay_from = if dcfg.chain.is_some() {
+            let chain =
+                ChainStore::open(&chain_dir(&dcfg.dir)).map_err(|e| io_err("chain-dir", &e))?;
+            let load = chain.load();
+            let offset = if let Some((first, rest)) = load.records.split_first() {
+                // The lineage starts at a full record; every later
+                // record is a delta against its predecessor.
+                let full = HiveSnapshot::decode(&first.payload).map_err(|e| {
+                    DurabilityError::Corrupt(format!("chain full record {}: {e}", first.generation))
+                })?;
+                platform.hive =
+                    Hive::decode_state(program, platform.config.hive.clone(), &full.state)
+                        .map_err(|e| {
+                            DurabilityError::Corrupt(format!("chain snapshot state: {e}"))
+                        })?;
+                let skip_last = dcfg.chain.as_ref().is_some_and(|c| c.skip_last_delta);
+                let mut last = full;
+                for (k, rec) in rest.iter().enumerate() {
+                    let delta = HiveSnapshot::decode(&rec.payload).map_err(|e| {
+                        DurabilityError::Corrupt(format!(
+                            "chain delta record {}: {e}",
+                            rec.generation
+                        ))
+                    })?;
+                    if skip_last && k + 1 == rest.len() {
+                        // Planted bug (`skip_delta` canary): the head's
+                        // metadata is trusted below while its state
+                        // changes are silently dropped.
+                        last = delta;
+                        continue;
+                    }
+                    platform.hive.apply_state_delta(&delta.state).map_err(|e| {
+                        DurabilityError::Corrupt(format!("chain delta {}: {e}", rec.generation))
+                    })?;
+                    chain_deltas_applied += 1;
+                    last = delta;
+                }
+                let (round_idx, history, snap_pods) = decode_app_meta(&last.app_meta)?;
+                platform.round_idx = round_idx;
+                platform.history = history;
+                pod_states = Some(snap_pods);
+                frame_floors = last.sessions.clone();
+                last.replay_offset(&wal)
+            } else {
+                if store.snap_path().exists() || store.prev_path().exists() {
+                    // A legacy full-snapshot campaign lives here; a
+                    // chain-mode resume would silently cold-start over
+                    // it. Refuse instead.
+                    return Err(DurabilityError::Corrupt(
+                        "chain mode found no chain records but a hive.snap exists \
+                         (legacy campaign); resume it without chain settings"
+                            .to_string(),
+                    ));
+                }
+                0
+            };
+            chain_report = Some(load.report);
+            chain_store = Some(chain);
+            offset
+        } else if let Some(s) = &snap {
             platform.hive = Hive::decode_state(program, platform.config.hive.clone(), &s.state)
                 .map_err(|e| DurabilityError::Corrupt(format!("snapshot state: {e}")))?;
             let (round_idx, history, snap_pods) = decode_app_meta(&s.app_meta)?;
@@ -499,6 +676,15 @@ impl<'p> Platform<'p> {
         } else {
             0
         };
+        // Recovered trees are decoded in-memory; move them behind the
+        // paged store (if configured) before journal replay so the
+        // resident budget holds during re-ingest too.
+        if let Some(pcfg) = platform.config.tree_paging.clone() {
+            platform
+                .hive
+                .enable_tree_paging(pcfg)
+                .map_err(|e| io_err("page-store", &e))?;
+        }
         let rounds_from_snapshot = platform.round_idx;
 
         let (records, scan) = journal::scan(&wal[replay_from..]);
@@ -657,20 +843,38 @@ impl<'p> Platform<'p> {
         platform.durable = Some(DurableState {
             cfg: dcfg,
             store,
+            chain: chain_store,
             journal: wal_file,
             promote_seq,
             frame_floors,
         });
+        // In chain mode the "snapshot" load report mirrors the chain
+        // walk (primary/fallback lineage, or cold); the full defect
+        // detail rides in `chain`.
+        let snapshot_report = match &chain_report {
+            Some(cr) => LoadReport {
+                source: match cr.source {
+                    ChainSource::Primary => SnapshotSource::Primary,
+                    ChainSource::Fallback => SnapshotSource::Fallback,
+                    ChainSource::None => SnapshotSource::None,
+                },
+                primary_error: None,
+                fallback_error: None,
+            },
+            None => load_report,
+        };
         Ok((
             platform,
             ResumeReport {
-                snapshot: load_report,
+                snapshot: snapshot_report,
                 rounds_from_snapshot,
                 rounds_replayed,
                 wal_replay_offset: replay_from as u64,
                 wal_tail_dropped: scan.tail_dropped as u64,
                 fenced_records,
                 disconnected_records,
+                chain: chain_report,
+                chain_deltas_applied,
             },
         ))
     }
@@ -938,17 +1142,19 @@ impl<'p> Platform<'p> {
         let frames_journaled = frames.len() as u64;
         let promotions_journaled = promoted.len() as u64;
         let commit_span = SpanTimer::start_if(clock.as_ref(), &commit_hist);
-        let (fsync_ns, compacted) = self
+        let commit = self
             .commit_round(&report, frames, &promoted)
             .expect("durable round commit failed");
         let commit_ns = commit_span.map_or(0, SpanTimer::stop);
         self.telemetry.push(RoundTelemetry {
             round: report.round,
             commit_ns,
-            fsync_ns,
+            fsync_ns: commit.fsync_ns,
             frames_journaled,
             promotions_journaled,
-            compacted,
+            compacted: commit.compacted,
+            checkpoint_ns: commit.checkpoint_ns,
+            checkpoint_bytes: commit.checkpoint_bytes,
         });
         if let Some(reg) = obs.registry.as_ref() {
             reg.counter("platform.rounds").incr();
@@ -980,17 +1186,17 @@ impl<'p> Platform<'p> {
     /// Appends one committed round to the journal (frames in merge
     /// order, then promotions, then the round record), fsyncs, and
     /// compacts into a snapshot when the journal dwarfs the live state.
-    /// Returns `(fsync_ns, compacted)` for the round's telemetry entry
-    /// (fsync is timed only when a registry is attached).
+    /// Returns the commit's telemetry slice (fsync is timed only when a
+    /// registry is attached; the checkpoint stall is always timed).
     fn commit_round(
         &mut self,
         report: &RoundReport,
         mut frames: Vec<(u64, u64, Vec<u8>)>,
         promoted: &[(String, Overlay)],
-    ) -> Result<(u64, bool), DurabilityError> {
+    ) -> Result<CommitStats, DurabilityError> {
         let obs = self.config.obs.clone();
         if self.durable.is_none() {
-            return Ok((0, false));
+            return Ok(CommitStats::default());
         }
         // Capture the pod population *after* guidance queued next-round
         // directives, so the durable image is exactly what an
@@ -1030,58 +1236,137 @@ impl<'p> Platform<'p> {
         let fsync_ns = fsync_span.map_or(0, SpanTimer::stop);
 
         // Snapshot compaction: when the journal is `compact_ratio` times
-        // the live serialized state (and big enough to matter), fold it
-        // into a snapshot and truncate.
+        // the live state footprint (and big enough to matter), fold it
+        // into a checkpoint and truncate. In chain mode the footprint is
+        // taken from the chain's own bookkeeping (last full + deltas
+        // since) so the trigger check never pays an O(hive) encode.
         let (ratio, min_bytes, wal_len) = (
             d.cfg.compact_ratio,
             d.cfg.min_compact_wal_bytes,
             d.journal.len(),
         );
-        let mut compacted = false;
+        let mut stats = CommitStats {
+            fsync_ns,
+            ..CommitStats::default()
+        };
         if ratio > 0 && wal_len >= min_bytes {
-            let state = self.hive.encode_state();
-            if wal_len >= ratio.saturating_mul(state.len() as u64) {
-                self.write_checkpoint(state, true)?;
-                compacted = true;
+            let (due, state) = match &d.chain {
+                Some(chain) => {
+                    let footprint = chain
+                        .last_full_payload_bytes()
+                        .saturating_add(chain.delta_payload_bytes_since_full())
+                        .max(1);
+                    (wal_len >= ratio.saturating_mul(footprint), None)
+                }
+                None => {
+                    let state = self.hive.encode_state();
+                    (
+                        wal_len >= ratio.saturating_mul(state.len() as u64),
+                        Some(state),
+                    )
+                }
+            };
+            if due {
+                let started = std::time::Instant::now();
+                stats.checkpoint_bytes = self.write_checkpoint(state, true)?;
+                stats.checkpoint_ns = started.elapsed().as_nanos() as u64;
+                stats.compacted = true;
             }
         }
-        Ok((fsync_ns, compacted))
+        Ok(stats)
     }
 
-    /// Writes a snapshot generation covering the whole journal, then
-    /// (when `truncate`) empties the journal.
-    fn write_checkpoint(&mut self, state: Vec<u8>, truncate: bool) -> Result<(), DurabilityError> {
+    /// Writes one checkpoint covering the whole journal, then (when
+    /// `truncate`) empties the journal. Classic mode: a full
+    /// [`HiveSnapshot`] swapped into `hive.snap`. Chain mode: a full or
+    /// delta record appended to the chain ([`ChainStore::rebase_due`]
+    /// decides), after which the hive's delta tracking is reset so the
+    /// next delta covers exactly the rounds since this one. Returns the
+    /// bytes written.
+    ///
+    /// `full_state` lets a caller that already encoded the full state
+    /// (the classic compaction trigger) pass it in; `None` encodes
+    /// whatever this checkpoint needs.
+    fn write_checkpoint(
+        &mut self,
+        full_state: Option<Vec<u8>>,
+        truncate: bool,
+    ) -> Result<u64, DurabilityError> {
         let round_idx = self.round_idx;
-        let d = self
+        let chain_settings = self
             .durable
-            .as_mut()
-            .ok_or(DurabilityError::NotConfigured)?;
-        let wal_bytes = d.journal.read().map_err(|e| io_err("wal-read", &e))?;
-        let snap = HiveSnapshot {
-            state,
-            sessions: d.frame_floors.clone(),
-            wal_covered: wal_bytes.len() as u64,
-            wal_covered_hash: wire::fnv1a(&wal_bytes),
-            app_meta: encode_app_meta(round_idx, &self.history, &self.pods),
+            .as_ref()
+            .ok_or(DurabilityError::NotConfigured)?
+            .cfg
+            .chain
+            .clone();
+        let written = if let Some(cs) = chain_settings {
+            let rebase = self
+                .durable
+                .as_ref()
+                .and_then(|d| d.chain.as_ref())
+                .expect("chain store open when chain settings set")
+                .rebase_due(cs.rebase_ratio);
+            let (kind, state) = if rebase {
+                (
+                    RecordKind::Full,
+                    full_state.unwrap_or_else(|| self.hive.encode_state()),
+                )
+            } else {
+                (RecordKind::Delta, self.hive.encode_state_delta())
+            };
+            let app_meta = encode_app_meta(round_idx, &self.history, &self.pods);
+            let d = self.durable.as_mut().expect("checked above");
+            let wal_bytes = d.journal.read().map_err(|e| io_err("wal-read", &e))?;
+            let snap = HiveSnapshot {
+                state,
+                sessions: d.frame_floors.clone(),
+                wal_covered: wal_bytes.len() as u64,
+                wal_covered_hash: wire::fnv1a(&wal_bytes),
+                app_meta,
+            };
+            let payload = snap.encode();
+            d.chain
+                .as_mut()
+                .expect("chain store open")
+                .append(kind, &payload)
+                .map_err(|e| io_err("chain-append", &e))?;
+            // From here on, deltas cover changes since *this* record.
+            self.hive.mark_clean();
+            payload.len() as u64
+        } else {
+            let state = full_state.unwrap_or_else(|| self.hive.encode_state());
+            let app_meta = encode_app_meta(round_idx, &self.history, &self.pods);
+            let d = self.durable.as_mut().expect("checked above");
+            let wal_bytes = d.journal.read().map_err(|e| io_err("wal-read", &e))?;
+            let snap = HiveSnapshot {
+                state,
+                sessions: d.frame_floors.clone(),
+                wal_covered: wal_bytes.len() as u64,
+                wal_covered_hash: wire::fnv1a(&wal_bytes),
+                app_meta,
+            };
+            d.store.write_snapshot(&snap)?
         };
-        d.store.write_snapshot(&snap)?;
+        let d = self.durable.as_mut().expect("checked above");
         if truncate {
             d.journal.truncate(0)?;
         }
-        Ok(())
+        Ok(written)
     }
 
-    /// On-demand compaction: folds the journal into a fresh snapshot
-    /// generation and truncates it, regardless of the automatic
-    /// [`DurabilityConfig::compact_ratio`] trigger.
+    /// On-demand compaction: folds the journal into a fresh checkpoint
+    /// (snapshot generation, or chain record in chain mode) and
+    /// truncates it, regardless of the automatic
+    /// [`DurabilityConfig::compact_ratio`] trigger. Returns the payload
+    /// bytes written — the deterministic stall proxy benches report.
     ///
     /// # Errors
     ///
     /// [`DurabilityError::NotConfigured`] on a non-durable platform;
     /// [`DurabilityError::Io`] when the snapshot swap fails.
-    pub fn checkpoint(&mut self) -> Result<(), DurabilityError> {
-        let state = self.hive.encode_state();
-        self.write_checkpoint(state, true)
+    pub fn checkpoint(&mut self) -> Result<u64, DurabilityError> {
+        self.write_checkpoint(None, true)
     }
 
     /// Like [`checkpoint`](Self::checkpoint) but dies before the journal
@@ -1094,8 +1379,7 @@ impl<'p> Platform<'p> {
     ///
     /// Same as [`checkpoint`](Self::checkpoint).
     pub fn checkpoint_interrupted(&mut self) -> Result<(), DurabilityError> {
-        let state = self.hive.encode_state();
-        self.write_checkpoint(state, false)
+        self.write_checkpoint(None, false).map(|_| ())
     }
 
     /// Serialized hive state (the byte-identity invariant checked by the
@@ -1137,7 +1421,17 @@ impl<'p> Platform<'p> {
             .as_ref()
             .ok_or(DurabilityError::NotConfigured)?;
         let store = SnapshotStore::open(&dcfg.dir).map_err(|e| io_err("snapshot-dir", &e))?;
-        Ok(scrub_campaign(&store, &config.obs.recorder)?)
+        let mut report = if dcfg.chain.is_some() {
+            let chain =
+                ChainStore::open(&chain_dir(&dcfg.dir)).map_err(|e| io_err("chain-dir", &e))?;
+            scrub_chained_campaign(&store, &chain, &config.obs.recorder)?
+        } else {
+            scrub_campaign(&store, &config.obs.recorder)?
+        };
+        if let Some(pcfg) = &config.tree_paging {
+            report.pages = Some(scrub_page_dir(&pcfg.dir, &config.obs.recorder)?);
+        }
+        Ok(report)
     }
 
     /// Current write-ahead-journal size in bytes (`None` when the
@@ -1146,6 +1440,21 @@ impl<'p> Platform<'p> {
     /// round's worth of records.
     pub fn wal_len(&self) -> Option<u64> {
         self.durable.as_ref().map(|d| d.journal.len())
+    }
+
+    /// Generation of the chain head (`None` when chain mode is off or
+    /// the chain is cold).
+    pub fn chain_head_generation(&self) -> Option<u64> {
+        self.durable
+            .as_ref()
+            .and_then(|d| d.chain.as_ref())
+            .and_then(ChainStore::head_generation)
+    }
+
+    /// Paged-tree counters (zeros when [`PlatformConfig::tree_paging`]
+    /// is off): faults, evictions, resident vs total pages and items.
+    pub fn page_stats(&self) -> PageStats {
+        self.hive.tree().page_stats()
     }
 
     /// The original serial loop: run, ingest, repeat. When `frame_log`

@@ -444,6 +444,118 @@ impl<'p> Hive<'p> {
         buf
     }
 
+    /// Serializes only what changed since the last
+    /// [`mark_clean`](Self::mark_clean) — the tree as a delta (mutated +
+    /// appended nodes only), the small detector aggregates re-encoded
+    /// whole (they are O(locks + sites), not O(tree)). Deterministic like
+    /// [`encode_state`](Self::encode_state). Applying the result with
+    /// [`apply_state_delta`](Self::apply_state_delta) onto a hive in the
+    /// base state reproduces this hive's `encode_state` bytes exactly.
+    pub fn encode_state_delta(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        codec::put_u8(&mut buf, 1); // delta-format version
+        let mut tree_delta = Vec::new();
+        self.tree.encode_delta_into(&mut tree_delta);
+        codec::put_bytes(&mut buf, &tree_delta);
+        self.lock_graph.encode_into(&mut buf);
+        self.races.encode_into(&mut buf);
+        self.ledger.encode_into(&mut buf);
+        codec::put_u32(&mut buf, self.overlay_history.len() as u32);
+        for o in &self.overlay_history {
+            o.encode_into(&mut buf);
+        }
+        codec::put_u32(&mut buf, self.fixed.len() as u32);
+        for sig in &self.fixed {
+            codec::put_str(&mut buf, sig);
+        }
+        codec::put_u64(&mut buf, self.stats.traces);
+        codec::put_u64(&mut buf, self.stats.reconstructed);
+        codec::put_u64(&mut buf, self.stats.unreconstructed);
+        codec::put_u64(&mut buf, self.stats.new_nodes);
+        buf
+    }
+
+    /// Applies a delta written by
+    /// [`encode_state_delta`](Self::encode_state_delta). The hive must be
+    /// at the delta's base state (the chain loader guarantees ordering);
+    /// afterwards the tree is clean at the delta's head.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on malformed input or when the delta does
+    /// not chain onto this hive's state (wrong program or base — surfaced
+    /// as `BadTag` on `TreeDelta.*`). On error the hive may be partially
+    /// patched; callers discard it and fall back.
+    pub fn apply_state_delta(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut r = codec::Reader::new(bytes);
+        let version = r.u8("HiveDelta.version")?;
+        if version != 1 {
+            return Err(CodecError::BadTag {
+                what: "HiveDelta.version",
+                tag: version,
+            });
+        }
+        let tree_delta = r.bytes("HiveDelta.tree")?;
+        self.tree
+            .apply_delta(&mut codec::Reader::new(tree_delta))
+            .map_err(|e| match e {
+                softborg_tree::DeltaError::Codec(c) => c,
+                softborg_tree::DeltaError::ProgramMismatch { .. } => CodecError::BadTag {
+                    what: "TreeDelta.program",
+                    tag: 1,
+                },
+                softborg_tree::DeltaError::BaseMismatch { .. } => CodecError::BadTag {
+                    what: "TreeDelta.base",
+                    tag: 2,
+                },
+            })?;
+        self.lock_graph = LockOrderGraph::decode(&mut r)?;
+        self.races = RaceDetector::decode(&mut r)?;
+        self.ledger = FailureLedger::decode(&mut r)?;
+        let n_overlays = r.seq_len("HiveDelta.overlay_history", 16)?;
+        let mut overlay_history = Vec::with_capacity(n_overlays.max(1));
+        for _ in 0..n_overlays {
+            overlay_history.push(Overlay::decode(&mut r)?);
+        }
+        if overlay_history.is_empty() {
+            overlay_history.push(Overlay::empty());
+        }
+        self.overlay_history = overlay_history;
+        let n_fixed = r.seq_len("HiveDelta.fixed", 4)?;
+        let mut fixed = BTreeSet::new();
+        for _ in 0..n_fixed {
+            fixed.insert(r.str("HiveDelta.fixed_sig")?.to_string());
+        }
+        self.fixed = fixed;
+        self.stats = HiveStats {
+            traces: r.u64("HiveStats.traces")?,
+            reconstructed: r.u64("HiveStats.reconstructed")?,
+            unreconstructed: r.u64("HiveStats.unreconstructed")?,
+            new_nodes: r.u64("HiveStats.new_nodes")?,
+        };
+        Ok(())
+    }
+
+    /// Forgets tree change tracking: the current state becomes the base
+    /// the next [`encode_state_delta`](Self::encode_state_delta)
+    /// describes. The durability layer calls this right after persisting
+    /// a snapshot (full or delta).
+    pub fn mark_clean(&mut self) {
+        self.tree.mark_clean();
+    }
+
+    /// Moves the tree arena behind budget-bounded paged storage (see
+    /// [`ExecutionTree::enable_paging`]). Logical state is unchanged, so
+    /// snapshots, digests, and guidance are byte-identical with paging on
+    /// or off.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the page directory.
+    pub fn enable_tree_paging(&mut self, cfg: softborg_store::PagedConfig) -> std::io::Result<()> {
+        self.tree.enable_paging(cfg)
+    }
+
     /// Rebuilds a hive from [`encode_state`](Self::encode_state) bytes.
     /// The caller supplies the program and config (they are identity, not
     /// state); whether the bytes actually belong to `program` is checked

@@ -41,7 +41,10 @@ pub use journal::{
 };
 pub use proofs::{assemble, verify, ProofCertificate, ProofError};
 pub use replica::{run_replica_sync, OutcomePath, ReplicaConfig, ReplicaReport};
-pub use scrub::{scrub_campaign, FileScrub, ScrubError, ScrubReport, WalScrubAction};
+pub use scrub::{
+    scrub_campaign, scrub_chained_campaign, scrub_page_dir, ChainScrub, FileScrub, PageScrub,
+    ScrubError, ScrubReport, WalScrubAction,
+};
 pub use snapshot::{HiveSnapshot, LoadReport, SnapshotSource, SnapshotStore};
 pub use transport::{
     run_reliable_ingest, run_reliable_ingest_hosted, run_reliable_ingest_resumed, CanaryBug,

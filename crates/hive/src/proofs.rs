@@ -96,16 +96,23 @@ fn subtree_nodes(tree: &ExecutionTree, root: NodeId) -> u64 {
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
         count += 1;
-        let n = tree.node(id);
-        for site in n.sites() {
-            for taken in [false, true] {
-                if let Some(c) = n.child(site, taken) {
-                    stack.push(c);
-                }
+        stack.extend(tree.with_node(id, children_of));
+    }
+    count
+}
+
+/// All explored children of a node, pulled out under one arena borrow
+/// (the tree may be paged, so node access is closure-scoped).
+fn children_of(n: &softborg_tree::Node) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for site in n.sites() {
+        for taken in [false, true] {
+            if let Some(c) = n.child(site, taken) {
+                out.push(c);
             }
         }
     }
-    count
+    out
 }
 
 /// Scans the tree and assembles certificates for the *maximal* closed,
@@ -116,25 +123,19 @@ pub fn assemble(tree: &ExecutionTree) -> Vec<ProofCertificate> {
     let mut queue = vec![NodeId::ROOT];
     while let Some(id) = queue.pop() {
         let clean = tree.subtree_failures(id) == 0;
-        if clean && tree.is_closed(id) && tree.node(id).visits > 0 {
+        let visits = tree.with_node(id, |n| n.visits);
+        if clean && tree.is_closed(id) && visits > 0 {
             certs.push(ProofCertificate {
                 program: tree.program(),
                 prefix: tree.prefix(id),
                 property: PROPERTY_NO_FAILURE.to_string(),
                 nodes: subtree_nodes(tree, id),
-                visits: tree.node(id).visits,
+                visits,
                 tree_digest: digest,
             });
             continue; // maximality: don't descend into a proven subtree
         }
-        let n = tree.node(id);
-        for site in n.sites() {
-            for taken in [false, true] {
-                if let Some(c) = n.child(site, taken) {
-                    queue.push(c);
-                }
-            }
-        }
+        queue.extend(tree.with_node(id, children_of));
     }
     certs
 }
@@ -156,8 +157,7 @@ pub fn verify(cert: &ProofCertificate, tree: &ExecutionTree) -> Result<(), Proof
     let mut node = NodeId::ROOT;
     for (site, taken) in &cert.prefix {
         node = tree
-            .node(node)
-            .child(*site, *taken)
+            .with_node(node, |n| n.child(*site, *taken))
             .ok_or(ProofError::UnknownPrefix)?;
     }
     if !tree.is_closed(node) {

@@ -66,6 +66,8 @@
 use crate::journal::{self, fsync_parent_dir, JournalIoError};
 use crate::snapshot::{HiveSnapshot, SnapshotStore};
 use softborg_obs::FlightRecorder;
+use softborg_store::page::validate_page_bytes;
+use softborg_store::{ChainReport, ChainStore, RecordKind};
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -106,6 +108,42 @@ pub enum WalScrubAction {
     Discarded,
 }
 
+/// What the scrubber found in a delta-snapshot chain directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainScrub {
+    /// The chain walk *after* every condemned record was moved aside —
+    /// the lineage resume will actually use.
+    pub report: ChainReport,
+    /// Record files renamed to `*.quarantined` (names only, relative to
+    /// the chain directory).
+    pub quarantined: Vec<String>,
+}
+
+impl ChainScrub {
+    /// `true` when every record on disk validated in place.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.report.is_clean()
+    }
+}
+
+/// What the scrubber found in a page-store directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageScrub {
+    /// Page files whose checksum and framing verified.
+    pub pages_valid: u64,
+    /// Page files renamed to `*.quarantined` (names only). A faulted
+    /// access to a quarantined page fails loudly instead of decoding
+    /// rotten bytes.
+    pub quarantined: Vec<String>,
+}
+
+impl PageScrub {
+    /// `true` when every page file verified.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
 /// The scrubber's findings for one campaign directory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScrubReport {
@@ -119,6 +157,11 @@ pub struct ScrubReport {
     pub wal_valid_bytes: u64,
     /// Journal bytes moved into `hive.wal.quarantined`.
     pub wal_quarantined_bytes: u64,
+    /// Chain-mode findings ([`scrub_chained_campaign`] only).
+    pub chain: Option<ChainScrub>,
+    /// Page-store findings (populated when the caller scrubs a paging
+    /// directory alongside the campaign).
+    pub pages: Option<PageScrub>,
 }
 
 impl ScrubReport {
@@ -127,6 +170,8 @@ impl ScrubReport {
         !matches!(self.primary, FileScrub::Quarantined { .. })
             && !matches!(self.fallback, FileScrub::Quarantined { .. })
             && self.wal_action == WalScrubAction::Clean
+            && self.chain.as_ref().is_none_or(ChainScrub::is_clean)
+            && self.pages.as_ref().is_none_or(PageScrub::is_clean)
     }
 }
 
@@ -276,27 +321,210 @@ pub fn scrub_campaign(
     // load() prefers the primary the same way.
     let snap = primary_snap.or(fallback_snap);
 
-    let wal_path = store.wal_path();
-    let wal_bytes = match fs::read(&wal_path) {
+    let wal = scrub_wal(&store.wal_path(), snap.as_ref(), obs)?;
+    let had_data = wal.had_bytes
+        || !matches!(primary, FileScrub::Absent)
+        || !matches!(fallback, FileScrub::Absent);
+    if had_data && snap.is_none() && wal.valid_bytes == 0 {
+        return Err(ScrubError::NothingRecoverable);
+    }
+    Ok(ScrubReport {
+        primary,
+        fallback,
+        wal_action: wal.action,
+        wal_valid_bytes: wal.valid_bytes,
+        wal_quarantined_bytes: wal.quarantined_bytes,
+        chain: None,
+        pages: None,
+    })
+}
+
+/// Scrubs a *chain-mode* campaign: every chain record that fails
+/// validation (bad magic, torn body, checksum mismatch, broken lineage
+/// link) is renamed to `*.quarantined`, a record whose payload passes
+/// the chain checksum but no longer decodes as a snapshot is condemned
+/// the same way, and the journal is then scrubbed against the surviving
+/// chain head's coverage exactly as [`scrub_campaign`] would.
+///
+/// # Errors
+///
+/// [`ScrubError::Io`] on filesystem failures;
+/// [`ScrubError::NothingRecoverable`] when chain files or journal bytes
+/// existed but no chain record and no journal record survived.
+pub fn scrub_chained_campaign(
+    store: &SnapshotStore,
+    chain: &ChainStore,
+    obs: &FlightRecorder,
+) -> Result<ScrubReport, ScrubError> {
+    let mut quarantined = Vec::new();
+    let before = chain.validate();
+    let had_chain_files = before.records > 0 || !before.defects.is_empty();
+    for defect in &before.defects {
+        // The filename carries the kind; `ChainDefect::file` is the
+        // name validation condemned.
+        let kind = if defect.file.ends_with(".full") {
+            RecordKind::Full
+        } else {
+            RecordKind::Delta
+        };
+        if let Some(q) = chain
+            .quarantine(defect.generation, kind)
+            .map_err(|e| io_err("scrub-quarantine-chain", &e))?
+        {
+            obs.warn_or_ops(
+                SCRUB_SOURCE,
+                "chain_record_quarantined",
+                &[("generation", defect.generation)],
+                format!(
+                    "{}: {}; moved to {}",
+                    defect.file,
+                    defect.error,
+                    q.display()
+                ),
+            );
+            quarantined.push(defect.file.clone());
+        }
+    }
+    // The chain layer only vouches for framing and lineage; the payload
+    // must still decode as a snapshot. A record that fails that is just
+    // as condemned — quarantine and re-walk until the head is usable.
+    let (snap, report) = loop {
+        let load = chain.load();
+        match load.records.last() {
+            None => break (None, load.report),
+            Some(rec) => match HiveSnapshot::decode(&rec.payload) {
+                Ok(snap) => break (Some(snap), load.report),
+                Err(e) => {
+                    let kind = rec.kind;
+                    if let Some(q) = chain
+                        .quarantine(rec.generation, kind)
+                        .map_err(|e| io_err("scrub-quarantine-chain", &e))?
+                    {
+                        obs.warn_or_ops(
+                            SCRUB_SOURCE,
+                            "chain_record_quarantined",
+                            &[("generation", rec.generation)],
+                            format!(
+                                "generation {}: {e}; moved to {}",
+                                rec.generation,
+                                q.display()
+                            ),
+                        );
+                        quarantined.push(
+                            q.file_name()
+                                .map(|n| n.to_string_lossy().into_owned())
+                                .unwrap_or_default(),
+                        );
+                    }
+                }
+            },
+        }
+    };
+
+    let wal = scrub_wal(&store.wal_path(), snap.as_ref(), obs)?;
+    if (had_chain_files || wal.had_bytes) && snap.is_none() && wal.valid_bytes == 0 {
+        return Err(ScrubError::NothingRecoverable);
+    }
+    Ok(ScrubReport {
+        primary: FileScrub::Absent,
+        fallback: FileScrub::Absent,
+        wal_action: wal.action,
+        wal_valid_bytes: wal.valid_bytes,
+        wal_quarantined_bytes: wal.quarantined_bytes,
+        chain: Some(ChainScrub {
+            report,
+            quarantined,
+        }),
+        pages: None,
+    })
+}
+
+/// Scrubs a page-store directory: every `page-*.pg` whose framing or
+/// checksum fails verification is renamed to `*.quarantined` (a later
+/// faulted access then fails loudly instead of decoding rot). A missing
+/// directory is clean — paging may simply be off.
+///
+/// # Errors
+///
+/// [`ScrubError::Io`] when the directory or a page file cannot be read
+/// or renamed.
+pub fn scrub_page_dir(dir: &Path, obs: &FlightRecorder) -> Result<PageScrub, ScrubError> {
+    let mut report = PageScrub {
+        pages_valid: 0,
+        quarantined: Vec::new(),
+    };
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(io_err("scrub-read-page-dir", &e)),
+    };
+    let mut pages: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "pg")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("page-"))
+        })
+        .collect();
+    pages.sort();
+    for path in pages {
+        let bytes = fs::read(&path).map_err(|e| io_err("scrub-read-page", &e))?;
+        match validate_page_bytes(&bytes) {
+            Ok(_) => report.pages_valid += 1,
+            Err(e) => {
+                let q = quarantine_path(&path);
+                fs::rename(&path, &q).map_err(|e| io_err("scrub-quarantine-page", &e))?;
+                fsync_parent_dir(&path).map_err(|e| io_err("scrub-dir-fsync", &e))?;
+                obs.warn_or_ops(
+                    SCRUB_SOURCE,
+                    "page_quarantined",
+                    &[("bytes", bytes.len() as u64)],
+                    format!("{}: {e}; moved to {}", path.display(), q.display()),
+                );
+                report.quarantined.push(
+                    path.file_name()
+                        .unwrap_or_default()
+                        .to_string_lossy()
+                        .into_owned(),
+                );
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// What [`scrub_wal`] did to one journal file.
+struct WalScrub {
+    action: WalScrubAction,
+    valid_bytes: u64,
+    quarantined_bytes: u64,
+    had_bytes: bool,
+}
+
+/// The journal half of a campaign scrub, shared by the classic and
+/// chain-mode entry points: `snap` (the newest valid checkpoint, from
+/// either store) decides whether damage lies in the covered prefix.
+fn scrub_wal(
+    wal_path: &Path,
+    snap: Option<&HiveSnapshot>,
+    obs: &FlightRecorder,
+) -> Result<WalScrub, ScrubError> {
+    let wal_bytes = match fs::read(wal_path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(io_err("scrub-read-wal", &e)),
     };
-    let had_data = !wal_bytes.is_empty()
-        || !matches!(primary, FileScrub::Absent)
-        || !matches!(fallback, FileScrub::Absent);
-
     let (_, scan) = journal::scan(&wal_bytes);
-    let mut report = ScrubReport {
-        primary,
-        fallback,
-        wal_action: WalScrubAction::Clean,
-        wal_valid_bytes: scan.valid_len as u64,
-        wal_quarantined_bytes: 0,
+    let mut report = WalScrub {
+        action: WalScrubAction::Clean,
+        valid_bytes: scan.valid_len as u64,
+        quarantined_bytes: 0,
+        had_bytes: !wal_bytes.is_empty(),
     };
     if scan.tail_dropped > 0 {
         let damage_at = scan.valid_len;
-        let covered = snap.as_ref().map_or(0, |s| s.wal_covered as usize);
+        let covered = snap.map_or(0, |s| s.wal_covered as usize);
         // A file shorter than `covered` proves coverage is stale (the
         // post-compaction truncate completed; true coverage only ever
         // appends): every byte is live. Module docs walk through why
@@ -305,10 +533,10 @@ pub fn scrub_campaign(
             // Everything recovery replays precedes the hole: cut at
             // the last valid record boundary. Records beyond the hole
             // (if any) cannot be replayed across it soundly.
-            quarantine_wal_bytes(&wal_path, &wal_bytes[damage_at..])?;
-            truncate_wal(&wal_path, damage_at as u64)?;
-            report.wal_action = WalScrubAction::TailCut;
-            report.wal_quarantined_bytes = (wal_bytes.len() - damage_at) as u64;
+            quarantine_wal_bytes(wal_path, &wal_bytes[damage_at..])?;
+            truncate_wal(wal_path, damage_at as u64)?;
+            report.action = WalScrubAction::TailCut;
+            report.quarantined_bytes = (wal_bytes.len() - damage_at) as u64;
         } else {
             let suffix = &wal_bytes[covered..];
             let (srecs, srep) = journal::scan(suffix);
@@ -317,23 +545,23 @@ pub fn scrub_campaign(
                 // boundary: the prefix is genuinely summarized by the
                 // snapshot, and the intact suffix carries everything
                 // the snapshot lacks.
-                quarantine_wal_bytes(&wal_path, &wal_bytes[..covered])?;
-                rewrite_wal(&wal_path, suffix)?;
-                report.wal_action = WalScrubAction::PrefixDropped;
-                report.wal_valid_bytes = suffix.len() as u64;
-                report.wal_quarantined_bytes = covered as u64;
+                quarantine_wal_bytes(wal_path, &wal_bytes[..covered])?;
+                rewrite_wal(wal_path, suffix)?;
+                report.action = WalScrubAction::PrefixDropped;
+                report.valid_bytes = suffix.len() as u64;
+                report.quarantined_bytes = covered as u64;
             } else {
                 // The prefix may double-apply and the suffix is
                 // damaged too: the snapshot alone is the only state
                 // recovery can trust.
-                quarantine_wal_bytes(&wal_path, &wal_bytes)?;
-                truncate_wal(&wal_path, 0)?;
-                report.wal_action = WalScrubAction::Discarded;
-                report.wal_valid_bytes = 0;
-                report.wal_quarantined_bytes = wal_bytes.len() as u64;
+                quarantine_wal_bytes(wal_path, &wal_bytes)?;
+                truncate_wal(wal_path, 0)?;
+                report.action = WalScrubAction::Discarded;
+                report.valid_bytes = 0;
+                report.quarantined_bytes = wal_bytes.len() as u64;
             }
         }
-        let kind = match report.wal_action {
+        let kind = match report.action {
             WalScrubAction::TailCut => "wal_tail_cut",
             WalScrubAction::PrefixDropped => "wal_prefix_dropped",
             WalScrubAction::Discarded => "wal_discarded",
@@ -343,8 +571,8 @@ pub fn scrub_campaign(
             SCRUB_SOURCE,
             kind,
             &[
-                ("valid_bytes", report.wal_valid_bytes),
-                ("quarantined_bytes", report.wal_quarantined_bytes),
+                ("valid_bytes", report.valid_bytes),
+                ("quarantined_bytes", report.quarantined_bytes),
             ],
             format!(
                 "{}: {}",
@@ -353,10 +581,6 @@ pub fn scrub_campaign(
                     .map_or_else(|| "damaged region".to_string(), |e| e.to_string())
             ),
         );
-    }
-
-    if had_data && snap.is_none() && report.wal_valid_bytes == 0 {
-        return Err(ScrubError::NothingRecoverable);
     }
     Ok(report)
 }

@@ -224,14 +224,15 @@ impl SnapshotStore {
     /// directory fsync, generation rename, final rename, directory
     /// fsync. After this returns, `hive.snap` is the new snapshot and
     /// `hive.snap.prev` is the previous one (if any). The caller
-    /// truncates the journal *after* this returns.
+    /// truncates the journal *after* this returns. Returns the encoded
+    /// record size in bytes (the checkpoint's write amplification).
     ///
     /// # Errors
     ///
     /// Returns a typed [`JournalIoError`] naming the failed operation;
     /// on error the previous `hive.snap`/`hive.snap.prev` pair is still
     /// loadable (the swap never overwrites in place).
-    pub fn write_snapshot(&self, snap: &HiveSnapshot) -> Result<(), JournalIoError> {
+    pub fn write_snapshot(&self, snap: &HiveSnapshot) -> Result<u64, JournalIoError> {
         let bytes = snap.encode();
         let tmp = self.tmp_path();
         let io = |op: &'static str| move |e: std::io::Error| JournalIoError::from_io(op, &e);
@@ -246,7 +247,7 @@ impl SnapshotStore {
         }
         fs::rename(&tmp, &snap_path).map_err(io("snapshot-rename"))?;
         fsync_parent_dir(&snap_path).map_err(io("snapshot-dir-fsync"))?;
-        Ok(())
+        Ok(bytes.len() as u64)
     }
 
     /// Loads the newest valid snapshot: `hive.snap` first, then the

@@ -200,6 +200,56 @@ pub enum DiskCrashPoint {
         /// The damage applied to it.
         kind: SectorCorruption,
     },
+    /// Sector-granularity media damage to one record file of the
+    /// delta-snapshot chain while the process is down. The scrubber
+    /// must quarantine the record and recovery must rebuild from the
+    /// surviving lineage (or refuse loudly) — never fold a rotten
+    /// delta. A no-op on campaigns not running in chain mode.
+    CorruptChainRecord {
+        /// Which record, counted back from the newest (0 = chain head).
+        back: u64,
+        /// Target sector (wrapped modulo the record's sector count).
+        sector: u64,
+        /// The damage applied to it.
+        kind: SectorCorruption,
+    },
+    /// Sector-granularity media damage to one page file of the paged
+    /// tree store while the process is down. Page files are a rebuilt
+    /// cache, so resume must wipe or overwrite them — rot here may
+    /// never influence post-resume state, and the scrubber still
+    /// reports it. A no-op on campaigns not running with paging.
+    CorruptPage {
+        /// Target page file (wrapped modulo the page-file count).
+        page: u64,
+        /// Target sector (wrapped modulo the file's sector count).
+        sector: u64,
+        /// The damage applied to it.
+        kind: SectorCorruption,
+    },
+}
+
+impl DiskCrashPoint {
+    /// The media-damage payload of a corruption point (`None` for kill
+    /// and torn-write points).
+    pub fn corruption(&self) -> Option<SectorCorruption> {
+        match *self {
+            DiskCrashPoint::CorruptWal { kind, .. }
+            | DiskCrashPoint::CorruptSnapshot { kind, .. }
+            | DiskCrashPoint::CorruptChainRecord { kind, .. }
+            | DiskCrashPoint::CorruptPage { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
+
+    fn corruption_mut(&mut self) -> Option<&mut SectorCorruption> {
+        match self {
+            DiskCrashPoint::CorruptWal { kind, .. }
+            | DiskCrashPoint::CorruptSnapshot { kind, .. }
+            | DiskCrashPoint::CorruptChainRecord { kind, .. }
+            | DiskCrashPoint::CorruptPage { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
 }
 
 /// A composable set of injected faults, applied on top of the base
@@ -352,14 +402,11 @@ impl FaultPlan {
                         per_mille: keep_per_mille,
                     });
                 }
-                DiskCrashPoint::CorruptWal {
-                    kind: SectorCorruption::ZeroRange { sectors: 0 },
-                    ..
-                }
-                | DiskCrashPoint::CorruptSnapshot {
-                    kind: SectorCorruption::ZeroRange { sectors: 0 },
-                    ..
-                } => {
+                d if matches!(
+                    d.corruption(),
+                    Some(SectorCorruption::ZeroRange { sectors: 0 })
+                ) =>
+                {
                     return Err(FaultPlanError::EmptyCorruptionRange);
                 }
                 _ => {}
@@ -452,15 +499,7 @@ impl FaultPlan {
         }
         for d in &self.disk {
             w += 1;
-            if let DiskCrashPoint::CorruptWal {
-                kind: SectorCorruption::ZeroRange { sectors },
-                ..
-            }
-            | DiskCrashPoint::CorruptSnapshot {
-                kind: SectorCorruption::ZeroRange { sectors },
-                ..
-            } = *d
-            {
+            if let Some(SectorCorruption::ZeroRange { sectors }) = d.corruption() {
                 // Extra weight for every sector beyond the first, so
                 // halving a wide zeroed range is a real shrink step.
                 w += bits(u64::from(sectors.saturating_sub(1)));
@@ -579,25 +618,11 @@ impl FaultPlan {
         // Narrow zeroed corruption ranges (a one-sector hole is the
         // minimal form of "a region of the file went dark").
         for i in 0..self.disk.len() {
-            if let DiskCrashPoint::CorruptWal {
-                kind: SectorCorruption::ZeroRange { sectors },
-                ..
-            }
-            | DiskCrashPoint::CorruptSnapshot {
-                kind: SectorCorruption::ZeroRange { sectors },
-                ..
-            } = self.disk[i]
-            {
+            if let Some(SectorCorruption::ZeroRange { sectors }) = self.disk[i].corruption() {
                 if sectors > 1 {
                     with(&|p| {
-                        if let DiskCrashPoint::CorruptWal {
-                            kind: SectorCorruption::ZeroRange { sectors },
-                            ..
-                        }
-                        | DiskCrashPoint::CorruptSnapshot {
-                            kind: SectorCorruption::ZeroRange { sectors },
-                            ..
-                        } = &mut p.disk[i]
+                        if let Some(SectorCorruption::ZeroRange { sectors }) =
+                            p.disk[i].corruption_mut()
                         {
                             *sectors = (*sectors / 2).max(1);
                         }
@@ -650,6 +675,16 @@ mod tests {
                 DiskCrashPoint::CorruptSnapshot {
                     sector: 1,
                     kind: SectorCorruption::FlipBit { bit: 4000 },
+                },
+                DiskCrashPoint::CorruptChainRecord {
+                    back: 2,
+                    sector: 0,
+                    kind: SectorCorruption::TornWrite { keep_bytes: 17 },
+                },
+                DiskCrashPoint::CorruptPage {
+                    page: 5,
+                    sector: 2,
+                    kind: SectorCorruption::ZeroRange { sectors: 3 },
                 },
             ],
         }

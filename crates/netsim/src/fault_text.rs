@@ -172,6 +172,18 @@ impl FaultPlan {
                 DiskCrashPoint::CorruptSnapshot { sector, kind } => {
                     format!("disk = corrupt_snapshot {sector} {}", corruption_text(kind))
                 }
+                DiskCrashPoint::CorruptChainRecord { back, sector, kind } => {
+                    format!(
+                        "disk = corrupt_chain_record {back} {sector} {}",
+                        corruption_text(kind)
+                    )
+                }
+                DiskCrashPoint::CorruptPage { page, sector, kind } => {
+                    format!(
+                        "disk = corrupt_page {page} {sector} {}",
+                        corruption_text(kind)
+                    )
+                }
             };
             out.push_str(&line);
             out.push('\n');
@@ -270,6 +282,18 @@ impl FaultPlan {
                             sector: parse_u64(s, line, "disk.corrupt_snapshot.sector")?,
                             kind: parse_corruption(what, n, line)?,
                         },
+                        ["corrupt_chain_record", b, s, what, n] => {
+                            DiskCrashPoint::CorruptChainRecord {
+                                back: parse_u64(b, line, "disk.corrupt_chain_record.back")?,
+                                sector: parse_u64(s, line, "disk.corrupt_chain_record.sector")?,
+                                kind: parse_corruption(what, n, line)?,
+                            }
+                        }
+                        ["corrupt_page", p, s, what, n] => DiskCrashPoint::CorruptPage {
+                            page: parse_u64(p, line, "disk.corrupt_page.page")?,
+                            sector: parse_u64(s, line, "disk.corrupt_page.sector")?,
+                            kind: parse_corruption(what, n, line)?,
+                        },
                         _ => {
                             return Err(PlanTextError::BadValue {
                                 line,
@@ -334,6 +358,16 @@ mod tests {
                 DiskCrashPoint::CorruptSnapshot {
                     sector: 2,
                     kind: SectorCorruption::TornWrite { keep_bytes: 100 },
+                },
+                DiskCrashPoint::CorruptChainRecord {
+                    back: 1,
+                    sector: 0,
+                    kind: SectorCorruption::FlipBit { bit: 9 },
+                },
+                DiskCrashPoint::CorruptPage {
+                    page: 3,
+                    sector: 1,
+                    kind: SectorCorruption::ZeroRange { sectors: 2 },
                 },
             ],
         }

@@ -46,11 +46,18 @@ pub enum BugKind {
     /// it — starves the descriptor table, then crashes mishandling the
     /// failed `open` (visible under [`crate::syscall::EnvConfig::fd_limit`]).
     ResourceLeak,
+    /// Two retry loops that undo each other's progress on a rare input:
+    /// one thread ratchets a shared handshake flag toward its exit
+    /// condition while the other "recovers" by resetting it every
+    /// iteration. Both threads stay runnable and the flag keeps
+    /// changing, but neither makes progress — a livelock (observed as a
+    /// hang with no blocked threads).
+    Livelock,
 }
 
 impl BugKind {
     /// All bug kinds.
-    pub const ALL: [BugKind; 7] = [
+    pub const ALL: [BugKind; 8] = [
         BugKind::AssertMagic,
         BugKind::DivByInputDelta,
         BugKind::LockInversion,
@@ -58,6 +65,7 @@ impl BugKind {
         BugKind::InfiniteLoop,
         BugKind::ShortRead,
         BugKind::ResourceLeak,
+        BugKind::Livelock,
     ];
 }
 
@@ -71,6 +79,7 @@ impl std::fmt::Display for BugKind {
             BugKind::InfiniteLoop => "infinite-loop",
             BugKind::ShortRead => "short-read",
             BugKind::ResourceLeak => "resource-leak",
+            BugKind::Livelock => "livelock",
         };
         f.write_str(s)
     }
@@ -186,10 +195,12 @@ enum Construct {
 /// Generates a program per `config`. See the [module docs](self).
 pub fn generate(config: &GenConfig) -> GeneratedProgram {
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let needs_two_threads = config
-        .bugs
-        .iter()
-        .any(|b| matches!(b, BugKind::LockInversion | BugKind::DataRace));
+    let needs_two_threads = config.bugs.iter().any(|b| {
+        matches!(
+            b,
+            BugKind::LockInversion | BugKind::DataRace | BugKind::Livelock
+        )
+    });
     let n_threads = if needs_two_threads {
         config.n_threads.max(2)
     } else {
@@ -292,6 +303,22 @@ pub fn generate(config: &GenConfig) -> GeneratedProgram {
                 description: "descriptors opened in a loop, never closed (starves under fd_limit)"
                     .into(),
             },
+            BugKind::Livelock => {
+                let g = GlobalId::new(n_globals);
+                n_globals += 1;
+                KnownBug {
+                    kind: *kind,
+                    marker,
+                    locks: vec![],
+                    global: Some(g),
+                    input: Some(input),
+                    trigger_value: Some(trigger),
+                    loc: None,
+                    description: format!(
+                        "retry loops undo each other's handshake on {g} when {input} == {trigger} (livelock)"
+                    ),
+                }
+            }
         };
         bugs.push(bug);
     }
@@ -311,7 +338,7 @@ pub fn generate(config: &GenConfig) -> GeneratedProgram {
     let mut pair_threads: Vec<Option<(u32, u32)>> = vec![None; bugs.len()];
     for (k, bug) in bugs.iter().enumerate() {
         match bug.kind {
-            BugKind::LockInversion | BugKind::DataRace => {
+            BugKind::LockInversion | BugKind::DataRace | BugKind::Livelock => {
                 let ta = rng.gen_range(0..n_threads);
                 let mut tb = rng.gen_range(0..n_threads);
                 if tb == ta {
@@ -729,6 +756,57 @@ impl GenCtx<'_> {
                     );
                 });
             }
+            BugKind::Livelock => {
+                let g = bug.global.expect("livelock bug has global");
+                let (i, v, m) = (
+                    bug.input.expect("livelock bug has input"),
+                    bug.trigger_value.expect("livelock bug has trigger"),
+                    bug.marker,
+                );
+                // (in ^ m) == (v ^ m)  <=>  in == v ; marker makes the
+                // sites findable post-build.
+                let triggered = Expr::eq(
+                    Expr::bin(BinOp::BitXor, Expr::Input(i), Expr::Const(m)),
+                    Expr::Const(v ^ m),
+                );
+                let counter = local(0);
+                t.assign(counter, Expr::Const(0));
+                let stay = if first_half {
+                    // Ratchets the handshake toward its exit condition
+                    // (g reaches 2)...
+                    Expr::bin(
+                        BinOp::And,
+                        triggered,
+                        Expr::lt(Expr::Load(Place::Global(g)), Expr::Const(2)),
+                    )
+                } else {
+                    // ...while the peer's "recovery" retry keeps
+                    // resetting it, so neither loop ever exits.
+                    triggered
+                };
+                t.while_loop(
+                    Expr::bin(
+                        BinOp::Or,
+                        Expr::lt(Expr::Load(counter), Expr::Const(3)),
+                        stay,
+                    ),
+                    |t| {
+                        if first_half {
+                            t.assign(
+                                Place::Global(g),
+                                Expr::bin(BinOp::Add, Expr::Load(Place::Global(g)), Expr::Const(1)),
+                            );
+                        } else {
+                            t.assign(Place::Global(g), Expr::Const(0));
+                        }
+                        t.yield_();
+                        t.assign(
+                            counter,
+                            Expr::bin(BinOp::Add, Expr::Load(counter), Expr::Const(1)),
+                        );
+                    },
+                );
+            }
         }
     }
 }
@@ -927,6 +1005,43 @@ mod tests {
         );
         assert!(matches!(out, Outcome::Crash { .. }), "got {out:?}");
         assert!(gp.bugs[0].loc.is_some(), "marker did not resolve");
+    }
+
+    #[test]
+    fn livelock_bug_hangs_on_trigger_with_no_blocked_thread() {
+        let cfg = GenConfig {
+            seed: 37,
+            constructs_per_thread: 2,
+            bugs: vec![BugKind::Livelock],
+            ..GenConfig::default()
+        };
+        let gp = generate(&cfg);
+        let bug = &gp.bugs[0];
+        assert!(
+            bug.global.is_some(),
+            "livelock allocates a handshake global"
+        );
+        assert!(bug.loc.is_some(), "marker location must resolve");
+        let baseline = vec![1; gp.program.n_inputs as usize];
+        // A benign value different from the trigger: both retry loops
+        // run their warmup and terminate.
+        let benign: Vec<i64> = baseline
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if Some(InputId::new(i as u32)) == bug.input {
+                    bug.trigger_value.unwrap() + 1
+                } else {
+                    *v
+                }
+            })
+            .collect();
+        assert!(!run(&gp, &benign, 0, EnvConfig::default()).is_failure());
+        // On the trigger the loops sustain each other: a hang, not a
+        // deadlock — the threads are spinning, not blocked on locks.
+        let trigger = bug.triggering_inputs(&baseline).unwrap();
+        let out = run(&gp, &trigger, 0, EnvConfig::default());
+        assert!(matches!(out, Outcome::Hang { .. }), "got {out:?}");
     }
 
     #[test]

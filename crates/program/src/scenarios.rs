@@ -3,7 +3,7 @@
 //! Each scenario models one of the motivating workloads from the paper's
 //! introduction — concurrent services that deadlock, parsers that crash on
 //! rare inputs, clients that mishandle syscall errors, spin loops that
-//! hang — plus one bug-free program ([`triangle`]) used for the
+//! hang, retry loops that livelock — plus one bug-free program ([`triangle`]) used for the
 //! proof-assembly experiments (a complete execution tree with no bad
 //! leaves yields a proof, §3.3).
 
@@ -38,6 +38,7 @@ pub fn all() -> Vec<Scenario> {
         short_read_client(),
         fd_leaker(),
         spin_wait(),
+        livelock_pair(),
     ]
 }
 
@@ -563,6 +564,75 @@ pub fn spin_wait() -> Scenario {
     }
 }
 
+/// Livelock pair: a "driver" thread ratchets a shared handshake flag
+/// toward 2 while a "recovery" thread resets it to 0 every retry. On
+/// `in0 == 77` both loops sustain each other forever — every thread
+/// stays runnable and the flag keeps changing, but nothing progresses.
+/// On any other input both loops run a three-iteration warmup and exit.
+pub fn livelock_pair() -> Scenario {
+    let mut pb = ProgramBuilder::new("livelock-pair");
+    pb.inputs(1).globals(1).locals(1);
+    let triggered = || Expr::eq(Expr::input(0), Expr::Const(77));
+    let warmup = || Expr::lt(Expr::local(0), Expr::Const(3));
+    let bump = |t: &mut crate::builder::ThreadBuilder| {
+        t.assign(
+            local(0),
+            Expr::bin(BinOp::Add, Expr::local(0), Expr::Const(1)),
+        );
+    };
+    pb.thread(|t| {
+        // Driver: exits once the handshake reaches 2.
+        t.assign(local(0), Expr::Const(0));
+        t.while_loop(
+            Expr::bin(
+                BinOp::Or,
+                warmup(),
+                Expr::bin(
+                    BinOp::And,
+                    triggered(),
+                    Expr::lt(Expr::global(0), Expr::Const(2)),
+                ),
+            ),
+            |t| {
+                t.assign(
+                    global(0),
+                    Expr::bin(BinOp::Add, Expr::global(0), Expr::Const(1)),
+                );
+                t.yield_();
+                bump(t);
+            },
+        );
+        t.emit(Expr::Const(1));
+    });
+    pb.thread(|t| {
+        // Recovery: "re-initializes" the handshake every retry, undoing
+        // the driver's progress — the livelock's other half.
+        t.assign(local(0), Expr::Const(0));
+        t.while_loop(Expr::bin(BinOp::Or, warmup(), triggered()), |t| {
+            t.assign(global(0), Expr::Const(0));
+            t.yield_();
+            bump(t);
+        });
+        t.emit(Expr::Const(2));
+    });
+    Scenario {
+        name: "livelock-pair",
+        program: pb.build().expect("livelock-pair is well-formed"),
+        bugs: vec![KnownBug {
+            kind: BugKind::Livelock,
+            marker: 0,
+            locks: vec![],
+            global: Some(GlobalId::new(0)),
+            input: Some(InputId::new(0)),
+            trigger_value: Some(77),
+            loc: None,
+            description: "driver and recovery loops undo each other when in0 == 77 (livelock)"
+                .into(),
+        }],
+        input_range: (0, 999),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +738,22 @@ mod tests {
         assert!(s.bugs.iter().all(|b| b.loc.is_some()));
         // The field branches make the tree wide: 12 independent sites.
         assert!(s.program.n_branch_sites >= 14);
+    }
+
+    #[test]
+    fn livelock_pair_hangs_only_on_trigger() {
+        let s = livelock_pair();
+        // Benign input: both retry loops exit after their warmup.
+        assert_eq!(
+            run_with(&s.program, &[5], &mut RoundRobin::new()),
+            Outcome::Success
+        );
+        // Trigger: the loops sustain each other under any schedule —
+        // a hang with every thread still runnable, never a deadlock.
+        for seed in 0..20 {
+            let out = run_with(&s.program, &[77], &mut RandomSched::seeded(seed));
+            assert!(matches!(out, Outcome::Hang { .. }), "seed {seed}: {out:?}");
+        }
     }
 
     #[test]

@@ -15,17 +15,27 @@
 //!   snapshot (bit flip, zeroed range, torn write). Corruption points
 //!   with no kill of their own attach to a synthetic mid-campaign kill.
 //!
-//! Two oracles judge the outcome (see [`check_durable`]): every
+//! * [`DiskCrashPoint::CorruptChainRecord`] / [`DiskCrashPoint::CorruptPage`]
+//!   — the same, aimed at delta-chain record files and paged-tree page
+//!   files. No-ops unless the campaign runs with
+//!   [`DurableWorkload::chain`] / [`DurableWorkload::paging`].
+//!
+//! The oracle ladder judging the outcome (see [`check_durable`]): every
 //! corruption that changed stored bytes must be flagged by the scrub
-//! pass ([`OracleFailure::ScrubSilent`] otherwise), and every resumed
-//! fleet must be process-equivalent to an uninterrupted reference run —
-//! same shard states, same pod populations (RNG streams, repair-lab
-//! corpora), same round history ([`OracleFailure::ResumeDivergence`]
-//! otherwise). Network-level plan knobs are inert here; the shrinker
-//! strips them from any minimized plan.
+//! pass ([`OracleFailure::ScrubSilent`] otherwise); a chain-mode rebuild
+//! whose shard state differs from the reference is a
+//! [`OracleFailure::DeltaChainDivergence`]; a paged store that adopted
+//! page files instead of rebuilding them is a
+//! [`OracleFailure::PageLost`]; and every resumed fleet must otherwise
+//! be process-equivalent to an uninterrupted reference run — same shard
+//! states, same pod populations (RNG streams, repair-lab corpora), same
+//! round history ([`OracleFailure::ResumeDivergence`] otherwise).
+//! Network-level plan knobs are inert here; the shrinker strips them
+//! from any minimized plan.
 
 use crate::oracle::OracleFailure;
-use softborg::{DurabilityConfig, FleetSpec, MultiPlatform, MultiPlatformConfig};
+use softborg::store::PagedConfig;
+use softborg::{ChainSettings, DurabilityConfig, FleetSpec, MultiPlatform, MultiPlatformConfig};
 use softborg_hive::journal::{self, REC_PODS};
 use softborg_netsim::{DiskCrashPoint, FaultPlan, SectorCorruption, SECTOR_BYTES};
 use softborg_pod::{PodConfig, PodState};
@@ -50,17 +60,35 @@ pub enum DurableCanary {
     /// Skip the scrub pass entirely: injected rot reaches resume
     /// unflagged, which [`OracleFailure::ScrubSilent`] must catch.
     BlindScrub,
+    /// Arm [`ChainSettings::skip_last_delta`]: resume silently drops the
+    /// newest delta record while trusting the chain head's metadata, so
+    /// the rebuilt shard state is one checkpoint stale. The chain on
+    /// disk is pristine — nothing for a scrubber to flag — which is why
+    /// [`OracleFailure::DeltaChainDivergence`] needs its own rung.
+    SkipDelta,
+    /// Arm the paged store's `trust_cache` planted bug: page files left
+    /// by a previous process incarnation (or an earlier eviction) are
+    /// adopted instead of rebuilt, which [`OracleFailure::PageLost`]
+    /// must catch via the honest `pages_trusted` counter.
+    StalePage,
 }
 
 impl DurableCanary {
     /// Every canary, for sweep-all benches.
-    pub const ALL: [DurableCanary; 2] = [DurableCanary::ForgetPodState, DurableCanary::BlindScrub];
+    pub const ALL: [DurableCanary; 4] = [
+        DurableCanary::ForgetPodState,
+        DurableCanary::BlindScrub,
+        DurableCanary::SkipDelta,
+        DurableCanary::StalePage,
+    ];
 
     /// Stable name (corpus entries, bench JSON).
     pub fn name(self) -> &'static str {
         match self {
             DurableCanary::ForgetPodState => "forget_pod_state",
             DurableCanary::BlindScrub => "blind_scrub",
+            DurableCanary::SkipDelta => "skip_delta",
+            DurableCanary::StalePage => "stale_page",
         }
     }
 
@@ -92,6 +120,16 @@ pub struct DurableWorkload {
     pub compact_ratio: u64,
     /// Journal size below which compaction never triggers.
     pub min_compact_wal_bytes: u64,
+    /// Run the campaign's durability in delta-snapshot-chain mode
+    /// (checkpoints append full/delta records instead of rewriting
+    /// `hive.snap`). The reference run shares the mode; equivalence must
+    /// hold either way.
+    pub chain: bool,
+    /// Run the *campaign* (never the reference) with every execution
+    /// tree behind the paged store — the reference stays in memory, so
+    /// the equivalence oracle doubles as the paging-on/off byte-identity
+    /// proof.
+    pub paging: bool,
     /// Armed recovery canary, if any.
     pub canary: Option<DurableCanary>,
 }
@@ -107,6 +145,8 @@ impl Default for DurableWorkload {
             seed: 41,
             compact_ratio: 2,
             min_compact_wal_bytes: 1024,
+            chain: false,
+            paging: false,
             canary: None,
         }
     }
@@ -130,6 +170,14 @@ pub struct DurableOutcome {
     /// First committed round where a resumed fleet was not
     /// process-equivalent to the reference run, if any.
     pub divergence: Option<u64>,
+    /// First committed round where a *chain-mode* rebuild produced wrong
+    /// shard state (set instead of `divergence` when the state half of
+    /// the equivalence check fails under [`DurableWorkload::chain`]).
+    pub chain_divergence: Option<u64>,
+    /// Page files the campaign's paged stores adopted instead of
+    /// rebuilding, summed over every fleet incarnation. Nonzero only
+    /// when the `trust_cache` planted bug is armed and firing.
+    pub pages_trusted: u64,
     /// A loud, typed refusal (scrub or resume error) that ended the
     /// campaign early. Loud failure is permitted behavior — it never
     /// trips an oracle by itself.
@@ -147,25 +195,48 @@ impl DurableWorkload {
     pub fn with_canary(canary: DurableCanary) -> Self {
         DurableWorkload {
             canary: Some(canary),
-            compact_ratio: if canary == DurableCanary::ForgetPodState {
-                0
-            } else {
-                DurableWorkload::default().compact_ratio
+            compact_ratio: match canary {
+                // Pod states must live only in the journal.
+                DurableCanary::ForgetPodState => 0,
+                // Deltas must actually accumulate before the kill.
+                DurableCanary::SkipDelta => 1,
+                _ => DurableWorkload::default().compact_ratio,
             },
+            min_compact_wal_bytes: if canary == DurableCanary::SkipDelta {
+                1
+            } else {
+                DurableWorkload::default().min_compact_wal_bytes
+            },
+            chain: canary == DurableCanary::SkipDelta,
+            paging: canary == DurableCanary::StalePage,
             ..DurableWorkload::default()
         }
     }
 
-    fn config(&self, dir: &Path) -> MultiPlatformConfig {
+    fn config(&self, dir: &Path, paged: bool) -> MultiPlatformConfig {
+        let mut durability = DurabilityConfig {
+            compact_ratio: self.compact_ratio,
+            min_compact_wal_bytes: self.min_compact_wal_bytes,
+            ..DurabilityConfig::new(dir)
+        };
+        if self.chain {
+            durability.chain = Some(ChainSettings {
+                skip_last_delta: self.canary == Some(DurableCanary::SkipDelta),
+                ..ChainSettings::default()
+            });
+        }
+        // Tiny pages and a tight budget so eviction actually bites at
+        // this campaign's scale.
+        let tree_paging = paged.then(|| PagedConfig {
+            trust_cache: self.canary == Some(DurableCanary::StalePage),
+            ..PagedConfig::new(&dir.join("pages"), 8, 2)
+        });
         MultiPlatformConfig {
             n_pods: self.pods,
             n_shards: self.shards,
             seed: self.seed,
-            durability: Some(DurabilityConfig {
-                dir: dir.to_path_buf(),
-                compact_ratio: self.compact_ratio,
-                min_compact_wal_bytes: self.min_compact_wal_bytes,
-            }),
+            durability: Some(durability),
+            tree_paging,
             ..MultiPlatformConfig::default()
         }
     }
@@ -201,7 +272,7 @@ impl DurableWorkload {
         let mut ref_states: Vec<Vec<Vec<u8>>> = Vec::new();
         let mut ref_pods: Vec<Vec<Vec<PodState>>> = Vec::new();
         let ref_history = {
-            let mut p = MultiPlatform::new(&specs, self.config(&root.join("reference")));
+            let mut p = MultiPlatform::new(&specs, self.config(&root.join("reference"), false));
             ref_states.push(self.shard_states(&p));
             ref_pods.push(p.export_pod_states());
             for _ in 0..self.rounds {
@@ -233,7 +304,10 @@ impl DurableWorkload {
             .filter(|p| {
                 matches!(
                     p,
-                    DiskCrashPoint::CorruptWal { .. } | DiskCrashPoint::CorruptSnapshot { .. }
+                    DiskCrashPoint::CorruptWal { .. }
+                        | DiskCrashPoint::CorruptSnapshot { .. }
+                        | DiskCrashPoint::CorruptChainRecord { .. }
+                        | DiskCrashPoint::CorruptPage { .. }
                 )
             })
             .collect();
@@ -243,7 +317,10 @@ impl DurableWorkload {
 
         let run_dir = root.join("run");
         let mut out = DurableOutcome::default();
-        let mut platform = Some(MultiPlatform::new(&specs, self.config(&run_dir)));
+        let mut platform = Some(MultiPlatform::new(
+            &specs,
+            self.config(&run_dir, self.paging),
+        ));
         let mut current = 0u64;
         for (idx, &k) in kills.iter().enumerate() {
             if k > current {
@@ -252,6 +329,11 @@ impl DurableWorkload {
                     p.round(self.execs);
                 }
                 current = k;
+            }
+            // Per-incarnation paging counters are harvested at the kill;
+            // `pages_trusted` stays honest across every process life.
+            if let Some(p) = &platform {
+                out.pages_trusted += p.page_stats().pages_trusted;
             }
             platform = None; // the kill: every fleet process gone
             out.kills += 1;
@@ -271,7 +353,7 @@ impl DurableWorkload {
 
             let mut flagged = false;
             if self.canary != Some(DurableCanary::BlindScrub) {
-                match MultiPlatform::scrub(&self.config(&run_dir)) {
+                match MultiPlatform::scrub(&self.config(&run_dir, self.paging)) {
                     Ok(reports) => flagged = reports.iter().any(|r| !r.is_clean()),
                     Err(e) => {
                         flagged = true;
@@ -286,14 +368,19 @@ impl DurableWorkload {
                 break;
             }
 
-            match MultiPlatform::resume(&specs, self.config(&run_dir)) {
+            match MultiPlatform::resume(&specs, self.config(&run_dir, self.paging)) {
                 Ok((p, report)) => {
                     let r = report.target_round;
-                    let equiv = r <= self.rounds
-                        && self.shard_states(&p) == ref_states[r as usize]
+                    let state_ok =
+                        r <= self.rounds && self.shard_states(&p) == ref_states[r as usize];
+                    let rest_ok = r <= self.rounds
                         && p.export_pod_states() == ref_pods[r as usize]
                         && p.history() == &ref_history[..r as usize];
-                    if !equiv && out.divergence.is_none() {
+                    // Wrong shard state out of a chain-mode rebuild is the
+                    // delta chain's fault specifically, not generic drift.
+                    if !state_ok && self.chain && out.chain_divergence.is_none() {
+                        out.chain_divergence = Some(r);
+                    } else if !(state_ok && rest_ok) && out.divergence.is_none() {
                         out.divergence = Some(r);
                     }
                     current = r.min(self.rounds);
@@ -316,13 +403,16 @@ impl DurableWorkload {
             for _ in current..self.rounds {
                 p.round(self.execs);
             }
-            let final_ok = self.shard_states(p) == ref_states[self.rounds as usize]
-                && p.export_pod_states() == ref_pods[self.rounds as usize]
+            let state_ok = self.shard_states(p) == ref_states[self.rounds as usize];
+            let rest_ok = p.export_pod_states() == ref_pods[self.rounds as usize]
                 && p.history() == &ref_history[..];
-            if !final_ok && out.divergence.is_none() {
+            if !state_ok && self.chain && out.chain_divergence.is_none() {
+                out.chain_divergence = Some(self.rounds);
+            } else if !(state_ok && rest_ok) && out.divergence.is_none() {
                 out.divergence = Some(self.rounds);
             }
             out.rounds = p.committed_rounds();
+            out.pages_trusted += p.page_stats().pages_trusted;
         }
 
         let mut buf = Vec::new();
@@ -343,6 +433,13 @@ impl DurableWorkload {
         if let Some(d) = out.divergence {
             buf.extend_from_slice(&d.to_le_bytes());
         }
+        // Appended only when set so pre-chain corpus digests age cleanly.
+        if let Some(d) = out.chain_divergence {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        if out.pages_trusted > 0 {
+            buf.extend_from_slice(&out.pages_trusted.to_le_bytes());
+        }
         out.digest = fnv1a(&buf);
 
         drop(platform);
@@ -353,11 +450,21 @@ impl DurableWorkload {
 
 /// The durable campaign's oracle ladder. Scrub soundness is judged
 /// first (accepting rotten bytes silently is worse than diverging
-/// loudly), then process-equivalence of every resume.
+/// loudly), then the storage-specific rungs — a chain rebuild that got
+/// the state wrong, a paged store that trusted stale files — and last
+/// the catch-all process-equivalence of every resume.
 pub fn check_durable(out: &DurableOutcome) -> Option<OracleFailure> {
     if let Some(point) = &out.undetected {
         return Some(OracleFailure::ScrubSilent {
             point: point.clone(),
+        });
+    }
+    if let Some(round) = out.chain_divergence {
+        return Some(OracleFailure::DeltaChainDivergence { round });
+    }
+    if out.pages_trusted > 0 {
+        return Some(OracleFailure::PageLost {
+            pages_trusted: out.pages_trusted,
         });
     }
     if let Some(round) = out.divergence {
@@ -400,16 +507,53 @@ fn strip_pod_records(dir: &Path, shards: usize) {
 
 /// Applies one corruption point to shard `shard`'s on-disk file.
 /// Returns a stable description when the file's bytes actually changed,
-/// `None` when the point was a no-op (absent file, empty journal). The
-/// requested sector is folded into the file's real extent so small
-/// campaigns still see mid-file rot.
+/// `None` when the point was a no-op (absent file, empty journal, no
+/// chain/page files because the mode is off). The requested sector is
+/// folded into the file's real extent so small campaigns still see
+/// mid-file rot.
 fn apply_corruption(dir: &Path, shard: usize, point: &DiskCrashPoint) -> Option<String> {
-    let (file, sector, kind): (&str, u64, SectorCorruption) = match point {
-        DiskCrashPoint::CorruptWal { sector, kind } => ("hive.wal", *sector, *kind),
-        DiskCrashPoint::CorruptSnapshot { sector, kind } => ("hive.snap", *sector, *kind),
-        _ => return None,
-    };
-    let path = dir.join(format!("shard-{shard}")).join(file);
+    let (path, label, sector, kind): (std::path::PathBuf, String, u64, SectorCorruption) =
+        match point {
+            DiskCrashPoint::CorruptWal { sector, kind } => (
+                dir.join(format!("shard-{shard}")).join("hive.wal"),
+                format!("shard-{shard}/hive.wal"),
+                *sector,
+                *kind,
+            ),
+            DiskCrashPoint::CorruptSnapshot { sector, kind } => (
+                dir.join(format!("shard-{shard}")).join("hive.snap"),
+                format!("shard-{shard}/hive.snap"),
+                *sector,
+                *kind,
+            ),
+            DiskCrashPoint::CorruptChainRecord { back, sector, kind } => {
+                let files = chain_record_files(&dir.join(format!("shard-{shard}")).join("chain"));
+                if files.is_empty() {
+                    return None;
+                }
+                let path = files[files.len() - 1 - (*back as usize % files.len())].clone();
+                let label = format!(
+                    "shard-{shard}/chain/{}",
+                    path.file_name().unwrap_or_default().to_string_lossy()
+                );
+                (path, label, *sector, *kind)
+            }
+            DiskCrashPoint::CorruptPage { page, sector, kind } => {
+                let files = page_files(&dir.join("pages"));
+                if files.is_empty() {
+                    return None;
+                }
+                let path = files[*page as usize % files.len()].clone();
+                let label = format!(
+                    "pages/{}",
+                    path.strip_prefix(dir.join("pages"))
+                        .unwrap_or(&path)
+                        .display()
+                );
+                (path, label, *sector, *kind)
+            }
+            _ => return None,
+        };
     let mut bytes = std::fs::read(&path).ok()?;
     let n_sectors = (bytes.len() as u64).div_ceil(SECTOR_BYTES);
     if n_sectors == 0 {
@@ -420,7 +564,47 @@ fn apply_corruption(dir: &Path, shard: usize, point: &DiskCrashPoint) -> Option<
         return None;
     }
     std::fs::write(&path, &bytes).ok()?;
-    Some(format!("{kind:?} @ shard-{shard}/{file} sector {s}"))
+    Some(format!("{kind:?} @ {label} sector {s}"))
+}
+
+/// Sorted `chain-*.full` / `chain-*.delta` record files (quarantined
+/// files excluded) — index order is generation order.
+fn chain_record_files(chain_dir: &Path) -> Vec<std::path::PathBuf> {
+    let Ok(entries) = std::fs::read_dir(chain_dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("chain-") && (name.ends_with(".full") || name.ends_with(".delta"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Sorted `page-*.pg` files across every `prog-*` subdirectory.
+fn page_files(pages_dir: &Path) -> Vec<std::path::PathBuf> {
+    let Ok(progs) = std::fs::read_dir(pages_dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for prog in progs.filter_map(|e| e.ok()) {
+        let Ok(entries) = std::fs::read_dir(prog.path()) else {
+            continue;
+        };
+        for e in entries.filter_map(|e| e.ok()) {
+            let p = e.path();
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("page-") && name.ends_with(".pg") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    files
 }
 
 #[cfg(test)]
@@ -535,6 +719,101 @@ mod tests {
             matches!(check_durable(&out), Some(OracleFailure::ScrubSilent { .. })),
             "{out:?}"
         );
+    }
+
+    #[test]
+    fn chain_and_paging_resume_process_equivalent() {
+        let plan = FaultPlan {
+            disk: vec![
+                DiskCrashPoint::AtRoundBoundary { round: 1 },
+                DiskCrashPoint::AtRoundBoundary { round: 2 },
+            ],
+            ..FaultPlan::default()
+        };
+        // Chain mode for the whole campaign (reference included) plus a
+        // paged campaign against an in-memory reference: equivalence
+        // here is the byte-identity proof for both storage modes.
+        let w = DurableWorkload {
+            chain: true,
+            paging: true,
+            compact_ratio: 1,
+            min_compact_wal_bytes: 1,
+            ..small()
+        };
+        let out = w.run(&plan);
+        assert_eq!(check_durable(&out), None, "{out:?}");
+        assert_eq!(out.kills, 2);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.pages_trusted, 0, "{out:?}");
+    }
+
+    #[test]
+    fn skip_delta_canary_trips_delta_chain_divergence() {
+        let plan = FaultPlan {
+            disk: vec![DiskCrashPoint::AtRoundBoundary { round: 2 }],
+            ..FaultPlan::default()
+        };
+        let w = DurableWorkload {
+            scenarios: vec![0, 1],
+            shards: 2,
+            pods: 2,
+            rounds: 3,
+            execs: 5,
+            ..DurableWorkload::with_canary(DurableCanary::SkipDelta)
+        };
+        let out = w.run(&plan);
+        assert!(
+            matches!(
+                check_durable(&out),
+                Some(OracleFailure::DeltaChainDivergence { .. })
+            ),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn stale_page_canary_trips_page_lost() {
+        let plan = FaultPlan {
+            disk: vec![DiskCrashPoint::AtRoundBoundary { round: 2 }],
+            ..FaultPlan::default()
+        };
+        let w = DurableWorkload {
+            scenarios: vec![0, 1],
+            shards: 2,
+            pods: 2,
+            rounds: 3,
+            execs: 5,
+            ..DurableWorkload::with_canary(DurableCanary::StalePage)
+        };
+        let out = w.run(&plan);
+        assert!(
+            matches!(check_durable(&out), Some(OracleFailure::PageLost { .. })),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn chain_rot_is_never_silently_accepted() {
+        let plan = FaultPlan {
+            disk: vec![
+                DiskCrashPoint::AtRoundBoundary { round: 2 },
+                DiskCrashPoint::CorruptChainRecord {
+                    back: 0,
+                    sector: 0,
+                    kind: SectorCorruption::FlipBit { bit: 123 },
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let w = DurableWorkload {
+            chain: true,
+            compact_ratio: 1,
+            min_compact_wal_bytes: 1,
+            ..small()
+        };
+        let out = w.run(&plan);
+        assert!(out.corruptions_applied >= 1, "{out:?}");
+        assert_eq!(check_durable(&out), None, "{out:?}");
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct GenConfig {
     /// Generated [`DiskCrashPoint::AtRoundBoundary`] kills land in
     /// rounds `1..=disk_round_horizon` of the durable campaign.
     pub disk_round_horizon: u64,
+    /// Also target the delta-snapshot chain and paged-tree store
+    /// ([`DiskCrashPoint::CorruptChainRecord`] /
+    /// [`DiskCrashPoint::CorruptPage`]). Off by default: the wider
+    /// variant draw would reshuffle every plan of an existing sweep,
+    /// and the points are no-ops on campaigns without chain/paging.
+    pub store_targets: bool,
 }
 
 impl Default for GenConfig {
@@ -62,6 +68,7 @@ impl Default for GenConfig {
             max_partition_len_us: 20_000,
             max_disk_points: 0,
             disk_round_horizon: 8,
+            store_targets: false,
         }
     }
 }
@@ -169,8 +176,9 @@ pub fn generate_plan(seed: u64, case: u64, cfg: &GenConfig, workload: &Workload)
     if cfg.max_disk_points > 0 {
         let rounds = cfg.disk_round_horizon.max(1);
         let n_disk = rng.up_to(cfg.max_disk_points as u64) as usize;
+        let variants = if cfg.store_targets { 4 } else { 2 };
         for _ in 0..n_disk {
-            disk.push(match rng.up_to(2) {
+            disk.push(match rng.up_to(variants) {
                 0 => DiskCrashPoint::AtRoundBoundary {
                     round: 1 + rng.up_to(rounds - 1),
                 },
@@ -178,8 +186,18 @@ pub fn generate_plan(seed: u64, case: u64, cfg: &GenConfig, workload: &Workload)
                     sector: rng.up_to(63),
                     kind: corruption(&mut rng),
                 },
-                _ => DiskCrashPoint::CorruptSnapshot {
+                2 => DiskCrashPoint::CorruptSnapshot {
                     sector: rng.up_to(7),
+                    kind: corruption(&mut rng),
+                },
+                3 => DiskCrashPoint::CorruptChainRecord {
+                    back: rng.up_to(3),
+                    sector: rng.up_to(7),
+                    kind: corruption(&mut rng),
+                },
+                _ => DiskCrashPoint::CorruptPage {
+                    page: rng.up_to(15),
+                    sector: rng.up_to(3),
                     kind: corruption(&mut rng),
                 },
             });
@@ -308,6 +326,41 @@ mod tests {
             }
         }
         assert!(kills > 10 && wal > 10 && snap > 10, "{kills}/{wal}/{snap}");
+    }
+
+    #[test]
+    fn store_targets_widen_the_draw_without_touching_the_kill_rounds() {
+        let w = Workload::default();
+        let base = GenConfig::disk_only(5);
+        let store = GenConfig {
+            store_targets: true,
+            ..base.clone()
+        };
+        let (mut chain, mut page) = (0, 0);
+        for case in 0..512 {
+            let p = generate_plan(13, case, &base, &w);
+            for d in &p.disk {
+                assert!(
+                    !matches!(
+                        d,
+                        DiskCrashPoint::CorruptChainRecord { .. }
+                            | DiskCrashPoint::CorruptPage { .. }
+                    ),
+                    "store target generated while disabled"
+                );
+            }
+            let q = generate_plan(13, case, &store, &w);
+            assert_eq!(q.validate(w.node_count()), Ok(()), "case {case}");
+            for d in &q.disk {
+                match d {
+                    DiskCrashPoint::AtRoundBoundary { round } => assert!((1..=5).contains(round)),
+                    DiskCrashPoint::CorruptChainRecord { .. } => chain += 1,
+                    DiskCrashPoint::CorruptPage { .. } => page += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(chain > 10 && page > 10, "{chain}/{page}");
     }
 
     #[test]

@@ -79,6 +79,23 @@ pub enum OracleFailure {
         /// The corruption point no scrub flagged.
         point: String,
     },
+    /// A chain-mode resume rebuilt shard state (full record + folded
+    /// deltas) that differs from the uninterrupted reference run at
+    /// committed round `round`: a delta was skipped, misapplied, or
+    /// applied against the wrong base (durable campaign, chain mode
+    /// only).
+    DeltaChainDivergence {
+        /// First committed round at which the rebuilt state differed.
+        round: u64,
+    },
+    /// The paged tree store treated its page-file cache as a source of
+    /// truth: it adopted page files left by a previous process
+    /// incarnation instead of rebuilding them, so evicted subtrees can
+    /// resurrect stale bytes (durable campaign, paging only).
+    PageLost {
+        /// Page files adopted instead of rebuilt.
+        pages_trusted: u64,
+    },
     /// A resumed fleet's shard state, pod population (RNG streams,
     /// repair-lab corpora), or round history diverged from the
     /// uninterrupted reference run at committed round `round` — resume
@@ -102,6 +119,8 @@ impl OracleFailure {
             OracleFailure::AckedDeliveredMismatch { .. } => "acked_delivered_mismatch",
             OracleFailure::StateDivergence => "state_divergence",
             OracleFailure::ScrubSilent { .. } => "scrub_silent",
+            OracleFailure::DeltaChainDivergence { .. } => "delta_chain_divergence",
+            OracleFailure::PageLost { .. } => "page_lost",
             OracleFailure::ResumeDivergence { .. } => "resume_divergence",
         }
     }
@@ -149,6 +168,20 @@ impl fmt::Display for OracleFailure {
                 write!(
                     f,
                     "corruption [{point}] changed stored bytes but scrub saw a clean campaign"
+                )
+            }
+            OracleFailure::DeltaChainDivergence { round } => {
+                write!(
+                    f,
+                    "chain-rebuilt shard state diverged from the uninterrupted run at committed \
+                     round {round}"
+                )
+            }
+            OracleFailure::PageLost { pages_trusted } => {
+                write!(
+                    f,
+                    "paged store adopted {pages_trusted} cached page file(s) instead of \
+                     rebuilding them"
                 )
             }
             OracleFailure::ResumeDivergence { round } => {

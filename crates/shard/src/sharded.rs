@@ -201,6 +201,13 @@ impl<'p> ShardedHive<'p> {
             .flat_map(|m| m.iter().map(|(&id, h)| (id, h)))
     }
 
+    /// Mutable [`hives`](Self::hives).
+    pub fn hives_mut(&mut self) -> impl Iterator<Item = (ProgramId, &mut Hive<'p>)> {
+        self.shards
+            .iter_mut()
+            .flat_map(|m| m.iter_mut().map(|(&id, h)| (id, h)))
+    }
+
     /// Runs the sharded pipeline: `producer` claims (program, seq)
     /// slots through its [`ShardFrameSender`]; the shared worker pool
     /// classifies frames by content, decodes and reconstructs them
@@ -355,6 +362,88 @@ impl<'p> ShardedHive<'p> {
             codec::put_bytes(&mut buf, &hive.encode_state());
         }
         Ok(buf)
+    }
+
+    /// Serializes shard `shard`'s state *delta* — every hive's changes
+    /// since its last [`mark_shard_clean`](Self::mark_shard_clean) (or
+    /// decode), keyed by program id in id order. Applying it with
+    /// [`apply_shard_state_delta`](Self::apply_shard_state_delta) onto
+    /// the base state reproduces [`encode_shard_state`]
+    /// (Self::encode_shard_state) byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::BadShard`] for an out-of-range index.
+    pub fn encode_shard_state_delta(&self, shard: usize) -> Result<Vec<u8>, ShardError> {
+        let hives = self
+            .shards
+            .get(shard)
+            .ok_or(ShardError::BadShard { shard })?;
+        let mut buf = Vec::new();
+        codec::put_u8(&mut buf, 1); // shard-delta format version
+        codec::put_u64(&mut buf, hives.len() as u64);
+        for (id, hive) in hives {
+            codec::put_u64(&mut buf, id.0);
+            codec::put_bytes(&mut buf, &hive.encode_state_delta());
+        }
+        Ok(buf)
+    }
+
+    /// Applies a delta produced by
+    /// [`encode_shard_state_delta`](Self::encode_shard_state_delta) to
+    /// the hives already on shard `shard`. Total: malformed bytes, an
+    /// unknown program, or a base mismatch inside a hive delta return a
+    /// typed error, never panic.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardStateError`] on a bad shard index, malformed bytes, or a
+    /// program this shard does not hold.
+    pub fn apply_shard_state_delta(
+        &mut self,
+        shard: usize,
+        bytes: &[u8],
+    ) -> Result<(), ShardStateError> {
+        if shard >= self.shards.len() {
+            return Err(ShardError::BadShard { shard }.into());
+        }
+        let mut r = codec::Reader::new(bytes);
+        let version = r.u8("ShardDelta.version")?;
+        if version != 1 {
+            return Err(CodecError::BadTag {
+                what: "ShardDelta.version",
+                tag: version,
+            }
+            .into());
+        }
+        let n = r.u64("ShardDelta.n_hives")?;
+        for _ in 0..n {
+            let id = ProgramId(r.u64("ShardDelta.program_id")?);
+            let delta = r.bytes("ShardDelta.hive_delta")?;
+            let hive = self.shards[shard]
+                .get_mut(&id)
+                .ok_or(ShardError::UnknownProgram { program: id })?;
+            hive.apply_state_delta(delta)?;
+        }
+        if !r.is_empty() {
+            return Err(CodecError::BadLen {
+                what: "ShardDelta.trailing",
+                len: r.remaining(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Resets every hive on shard `shard`'s delta tracking: the next
+    /// [`encode_shard_state_delta`](Self::encode_shard_state_delta)
+    /// covers only changes made after this call.
+    pub fn mark_shard_clean(&mut self, shard: usize) {
+        if let Some(hives) = self.shards.get_mut(shard) {
+            for hive in hives.values_mut() {
+                hive.mark_clean();
+            }
+        }
     }
 
     /// Restores shard `shard` from bytes produced by

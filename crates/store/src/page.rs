@@ -1,0 +1,923 @@
+//! Paged item storage: an append-only arena whose cold pages are
+//! evicted to fixed-size checksummed page files under a configurable
+//! resident budget, faulting back in transparently on access.
+//!
+//! ## Determinism
+//!
+//! Eviction order is a pure function of the access sequence: every
+//! access stamps its page with a monotonically increasing tick, and
+//! when the resident count exceeds the budget the victim is the
+//! unpinned, non-tail resident page with the smallest
+//! `(last_access, index)`. Two runs that perform the same accesses
+//! evict the same pages in the same order — which is what lets a run
+//! replay byte-identically with paging on or off.
+//!
+//! ## Page files are a rebuilt cache
+//!
+//! `page-<idx>.pg` files are written *by this process* when a dirty
+//! page is evicted or flushed. On open, stale files from a previous
+//! process are deleted — resume rebuilds state from the snapshot chain
+//! and journal, never from page files — so at-rest page corruption can
+//! not change behavior (the scrubber still reports it; damage is never
+//! *silently* discarded). The [`PagedConfig::trust_cache`] flag is an
+//! intentionally planted bug that skips that discipline: it adopts a
+//! checksum-valid existing page file of the right shape (same page
+//! index and item count) instead of writing its own — the content may
+//! still be stale. It exists as the `stale_page` canary for the durable
+//! fault-search campaign; production configs must never set it.
+//! Adoption is counted in [`PageStats::pages_trusted`] so the
+//! `page_lost` oracle has an honest signal.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! magic "SBPAGE\x00\x01" (8 bytes)
+//! u32   body_len
+//! u64   fnv1a(body)
+//! body: u64 page_index | u32 n_items | items…
+//! ```
+//!
+//! [`validate_page_bytes`] is total: torn or flipped bytes produce a
+//! typed [`PageError`], never a panic.
+
+use crate::checksum;
+use softborg_program::codec::{CodecError, Reader};
+use std::cell::RefCell;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every page file.
+pub const PAGE_MAGIC: &[u8; 8] = b"SBPAGE\x00\x01";
+
+const HEADER_BYTES: usize = 8 + 4 + 8;
+
+/// An item that can live in a paged arena: deterministic byte encode
+/// plus total decode (the same discipline as the snapshot codec).
+pub trait PageItem: Sized {
+    /// Appends the item's encoding to `buf`.
+    fn encode_into(&self, buf: &mut Vec<u8>);
+    /// Decodes one item.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+/// Why a page file failed to load. Total — corrupt bytes produce one of
+/// these, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// Filesystem failure.
+    Io(String),
+    /// The file does not start with [`PAGE_MAGIC`].
+    BadMagic,
+    /// The file ended before the declared body.
+    Truncated,
+    /// The stored checksum does not match the body bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum of the actual body bytes.
+        actual: u64,
+    },
+    /// The body's page index is not the page this file names.
+    WrongPage {
+        /// The index the store expected.
+        expected: u64,
+        /// The index found in the body.
+        found: u64,
+    },
+    /// An item inside the page failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::Io(e) => write!(f, "io: {e}"),
+            PageError::BadMagic => write!(f, "bad page magic"),
+            PageError::Truncated => write!(f, "truncated page file"),
+            PageError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "page checksum mismatch: stored {stored:#018x}, body {actual:#018x}"
+            ),
+            PageError::WrongPage { expected, found } => {
+                write!(f, "page file holds page {found}, expected {expected}")
+            }
+            PageError::Codec(e) => write!(f, "page item: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+impl From<CodecError> for PageError {
+    fn from(e: CodecError) -> Self {
+        PageError::Codec(e)
+    }
+}
+
+/// Paged-store configuration.
+#[derive(Debug, Clone)]
+pub struct PagedConfig {
+    /// Directory holding the page files.
+    pub dir: PathBuf,
+    /// Items per page (fixed; the tail page may be partial).
+    pub page_len: usize,
+    /// Maximum resident pages. Pinned pages and the tail page are
+    /// never evicted, so the actual resident count can exceed this
+    /// when pins demand it.
+    pub resident_pages: usize,
+    /// **Injected bug** — adopt checksum-valid existing page files
+    /// instead of writing fresh ones (the `stale_page` canary). Must
+    /// stay `false` outside fault-search campaigns.
+    pub trust_cache: bool,
+}
+
+impl PagedConfig {
+    /// A sane config paging into `dir`.
+    pub fn new(dir: &Path, page_len: usize, resident_pages: usize) -> Self {
+        PagedConfig {
+            dir: dir.to_path_buf(),
+            page_len: page_len.max(1),
+            resident_pages: resident_pages.max(1),
+            trust_cache: false,
+        }
+    }
+}
+
+/// Counters describing a paged store's life so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageStats {
+    /// Evicted pages faulted back into memory.
+    pub faults: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Page files written.
+    pub writes: u64,
+    /// Existing page files adopted instead of written
+    /// ([`PagedConfig::trust_cache`] only — nonzero means the planted
+    /// bug is armed and firing).
+    pub pages_trusted: u64,
+    /// Pages currently resident.
+    pub resident_pages: u64,
+    /// Total pages (resident + evicted).
+    pub total_pages: u64,
+    /// Total items stored.
+    pub total_items: u64,
+    /// Items currently resident.
+    pub resident_items: u64,
+}
+
+enum SlotState<T> {
+    Resident(Vec<T>),
+    Evicted { items: u32 },
+}
+
+struct Slot<T> {
+    state: SlotState<T>,
+    dirty: bool,
+    last_access: u64,
+    pin: u32,
+}
+
+struct Inner<T> {
+    slots: Vec<Slot<T>>,
+    len: usize,
+    tick: u64,
+    faults: u64,
+    evictions: u64,
+    writes: u64,
+    pages_trusted: u64,
+}
+
+/// The paged arena. See the [module docs](self) for the determinism
+/// and cache-rebuild rules.
+pub struct PagedStore<T> {
+    dir: PathBuf,
+    page_len: usize,
+    resident_budget: usize,
+    trust_cache: bool,
+    inner: RefCell<Inner<T>>,
+}
+
+impl<T> fmt::Debug for PagedStore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagedStore")
+            .field("dir", &self.dir)
+            .field("page_len", &self.page_len)
+            .field("resident_budget", &self.resident_budget)
+            .field("trust_cache", &self.trust_cache)
+            .field("len", &self.inner.borrow().len)
+            .finish()
+    }
+}
+
+/// Filename of page `idx` inside the store directory.
+pub fn page_file_name(idx: usize) -> String {
+    format!("page-{idx:08}.pg")
+}
+
+/// Encodes a page file's bytes.
+pub fn encode_page<T: PageItem>(page_index: u64, items: &[T]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&page_index.to_le_bytes());
+    body.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for it in items {
+        it.encode_into(&mut body);
+    }
+    let mut out = Vec::with_capacity(HEADER_BYTES + body.len());
+    out.extend_from_slice(PAGE_MAGIC);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Validates a page file's envelope (magic, length, checksum) and
+/// returns `(page_index, n_items)` without decoding items. Total.
+///
+/// # Errors
+///
+/// Returns a typed [`PageError`] for any byte-level damage.
+pub fn validate_page_bytes(bytes: &[u8]) -> Result<(u64, u32), PageError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(
+            if bytes.is_empty() || PAGE_MAGIC.starts_with(&bytes[..bytes.len().min(8)]) {
+                PageError::Truncated
+            } else {
+                PageError::BadMagic
+            },
+        );
+    }
+    if &bytes[..8] != PAGE_MAGIC {
+        return Err(PageError::BadMagic);
+    }
+    let body_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let stored = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let rest = &bytes[HEADER_BYTES..];
+    if rest.len() < body_len || body_len < 12 {
+        return Err(PageError::Truncated);
+    }
+    let body = &rest[..body_len];
+    let actual = checksum(body);
+    if actual != stored {
+        return Err(PageError::ChecksumMismatch { stored, actual });
+    }
+    let page_index = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let n_items = u32::from_le_bytes(body[8..12].try_into().unwrap());
+    Ok((page_index, n_items))
+}
+
+/// Decodes a page file's items, verifying the envelope and that the
+/// body names page `expected_index`.
+///
+/// # Errors
+///
+/// Returns a typed [`PageError`] on any damage or mismatch.
+pub fn decode_page<T: PageItem>(bytes: &[u8], expected_index: u64) -> Result<Vec<T>, PageError> {
+    let (page_index, n_items) = validate_page_bytes(bytes)?;
+    if page_index != expected_index {
+        return Err(PageError::WrongPage {
+            expected: expected_index,
+            found: page_index,
+        });
+    }
+    let body_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let body = &bytes[HEADER_BYTES..HEADER_BYTES + body_len];
+    let mut r = Reader::new(&body[12..]);
+    let mut items = Vec::with_capacity(n_items as usize);
+    for _ in 0..n_items {
+        items.push(T::decode(&mut r)?);
+    }
+    Ok(items)
+}
+
+impl<T: PageItem> PagedStore<T> {
+    /// Opens an empty paged store in `config.dir`, creating the
+    /// directory. Unless `trust_cache` is set, pre-existing
+    /// `page-*.pg` files are deleted: pages are a cache this process
+    /// rebuilds, never a source of truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and cleanup failures.
+    pub fn new(config: PagedConfig) -> io::Result<Self> {
+        fs::create_dir_all(&config.dir)?;
+        if !config.trust_cache {
+            for e in fs::read_dir(&config.dir)?.filter_map(Result::ok) {
+                let name = e.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.starts_with("page-") && name.ends_with(".pg") {
+                    fs::remove_file(e.path())?;
+                }
+            }
+        }
+        Ok(PagedStore {
+            dir: config.dir,
+            page_len: config.page_len.max(1),
+            resident_budget: config.resident_pages.max(1),
+            trust_cache: config.trust_cache,
+            inner: RefCell::new(Inner {
+                slots: Vec::new(),
+                len: 0,
+                tick: 0,
+                faults: 0,
+                evictions: 0,
+                writes: 0,
+                pages_trusted: 0,
+            }),
+        })
+    }
+
+    /// Total items stored.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len
+    }
+
+    /// `true` when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn page_path(&self, idx: usize) -> PathBuf {
+        self.dir.join(page_file_name(idx))
+    }
+
+    fn write_page(&self, idx: usize, items: &[T], writes: &mut u64, trusted: &mut u64) {
+        let path = self.page_path(idx);
+        if self.trust_cache {
+            if let Ok(bytes) = fs::read(&path) {
+                if validate_page_bytes(&bytes) == Ok((idx as u64, items.len() as u32)) {
+                    // Planted bug: a checksum-valid file of the right
+                    // shape is assumed current and kept instead of
+                    // overwritten — its *content* may still be stale.
+                    *trusted += 1;
+                    return;
+                }
+            }
+        }
+        let bytes = encode_page(idx as u64, items);
+        let tmp = self.dir.join("page.tmp");
+        let write = (|| -> io::Result<()> {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &path)?;
+            File::open(&self.dir)?.sync_all()
+        })();
+        write.unwrap_or_else(|e| panic!("page store: writing {} failed: {e}", path.display()));
+        *writes += 1;
+    }
+
+    fn fault_in(&self, inner: &mut Inner<T>, idx: usize) {
+        let expect = match &inner.slots[idx].state {
+            SlotState::Resident(_) => return,
+            SlotState::Evicted { items } => *items,
+        };
+        let path = self.page_path(idx);
+        let bytes = fs::read(&path)
+            .unwrap_or_else(|e| panic!("page store: reading {} failed: {e}", path.display()));
+        let items: Vec<T> = decode_page(&bytes, idx as u64)
+            .unwrap_or_else(|e| panic!("page store: page {idx} invalid: {e}"));
+        // An adopted (trust_cache) file matches the live page's shape
+        // but may hold stale content; an honestly written file matches
+        // exactly. Either way the count agrees with what was evicted.
+        let _ = expect;
+        inner.slots[idx].state = SlotState::Resident(items);
+        inner.slots[idx].dirty = false;
+        inner.faults += 1;
+    }
+
+    fn touch(inner: &mut Inner<T>, idx: usize) {
+        inner.tick += 1;
+        inner.slots[idx].last_access = inner.tick;
+    }
+
+    /// Evicts pages while the resident count exceeds the budget.
+    /// Victim: unpinned, non-tail resident page (excluding `protect`,
+    /// the page the current operation is about to use) with the
+    /// smallest `(last_access, index)` — deterministic given the access
+    /// sequence.
+    fn enforce_budget(&self, inner: &mut Inner<T>, protect: usize) {
+        loop {
+            let resident: Vec<usize> = inner
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s.state, SlotState::Resident(_)))
+                .map(|(i, _)| i)
+                .collect();
+            if resident.len() <= self.resident_budget {
+                return;
+            }
+            let tail = inner.slots.len() - 1;
+            let victim = resident
+                .into_iter()
+                .filter(|&i| i != tail && i != protect && inner.slots[i].pin == 0)
+                .min_by_key(|&i| (inner.slots[i].last_access, i));
+            let Some(v) = victim else { return };
+            let items =
+                match std::mem::replace(&mut inner.slots[v].state, SlotState::Evicted { items: 0 })
+                {
+                    SlotState::Resident(items) => items,
+                    SlotState::Evicted { .. } => unreachable!(),
+                };
+            if inner.slots[v].dirty {
+                self.write_page(v, &items, &mut inner.writes, &mut inner.pages_trusted);
+                inner.slots[v].dirty = false;
+            }
+            inner.slots[v].state = SlotState::Evicted {
+                items: items.len() as u32,
+            };
+            inner.evictions += 1;
+        }
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: T) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.len.is_multiple_of(self.page_len) {
+            inner.slots.push(Slot {
+                state: SlotState::Resident(Vec::with_capacity(self.page_len)),
+                dirty: true,
+                last_access: 0,
+                pin: 0,
+            });
+        }
+        let page = inner.len / self.page_len;
+        // The tail page is never evicted, so it is always resident; the
+        // fault call keeps this total anyway.
+        self.fault_in(&mut inner, page);
+        Self::touch(&mut inner, page);
+        match &mut inner.slots[page].state {
+            SlotState::Resident(items) => items.push(item),
+            SlotState::Evicted { .. } => unreachable!(),
+        }
+        inner.slots[page].dirty = true;
+        inner.len += 1;
+        self.enforce_budget(&mut inner, page);
+    }
+
+    /// Runs `f` on item `idx`, faulting its page in if needed. The
+    /// closure must not re-enter this store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `idx` or an unreadable page file.
+    pub fn with<R>(&self, idx: usize, f: impl FnOnce(&T) -> R) -> R {
+        let mut inner = self.inner.borrow_mut();
+        assert!(idx < inner.len, "item {idx} out of range");
+        let page = idx / self.page_len;
+        self.fault_in(&mut inner, page);
+        Self::touch(&mut inner, page);
+        self.enforce_budget(&mut inner, page);
+        match &inner.slots[page].state {
+            SlotState::Resident(items) => f(&items[idx % self.page_len]),
+            SlotState::Evicted { .. } => unreachable!("just faulted in"),
+        }
+    }
+
+    /// Runs `f` on item `idx` mutably, marking the page dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `idx` or an unreadable page file.
+    pub fn with_mut<R>(&mut self, idx: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut inner = self.inner.borrow_mut();
+        assert!(idx < inner.len, "item {idx} out of range");
+        let page = idx / self.page_len;
+        self.fault_in(&mut inner, page);
+        Self::touch(&mut inner, page);
+        inner.slots[page].dirty = true;
+        self.enforce_budget(&mut inner, page);
+        match &mut inner.slots[page].state {
+            SlotState::Resident(items) => f(&mut items[idx % self.page_len]),
+            SlotState::Evicted { .. } => unreachable!("just faulted in"),
+        }
+    }
+
+    /// Streams every item in index order without changing residency:
+    /// resident pages are read in place, evicted pages are decoded from
+    /// their files into a transient buffer (bounded extra memory of one
+    /// page). Dirty pages are always resident, so files are current.
+    pub fn for_each(&self, mut f: impl FnMut(usize, &T)) {
+        let inner = self.inner.borrow();
+        for (p, slot) in inner.slots.iter().enumerate() {
+            let base = p * self.page_len;
+            match &slot.state {
+                SlotState::Resident(items) => {
+                    for (i, it) in items.iter().enumerate() {
+                        f(base + i, it);
+                    }
+                }
+                SlotState::Evicted { .. } => {
+                    let path = self.page_path(p);
+                    let bytes = fs::read(&path).unwrap_or_else(|e| {
+                        panic!("page store: reading {} failed: {e}", path.display())
+                    });
+                    let items: Vec<T> = decode_page(&bytes, p as u64)
+                        .unwrap_or_else(|e| panic!("page store: page {p} invalid: {e}"));
+                    for (i, it) in items.iter().enumerate() {
+                        f(base + i, it);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pins the page holding item `idx` (faulting it in), protecting it
+    /// from eviction until [`unpin`](Self::unpin).
+    pub fn pin(&self, idx: usize) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(idx < inner.len, "item {idx} out of range");
+        let page = idx / self.page_len;
+        self.fault_in(&mut inner, page);
+        Self::touch(&mut inner, page);
+        inner.slots[page].pin += 1;
+        self.enforce_budget(&mut inner, page);
+    }
+
+    /// Releases one pin on the page holding item `idx`.
+    pub fn unpin(&self, idx: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let page = idx / self.page_len;
+        if let Some(slot) = inner.slots.get_mut(page) {
+            slot.pin = slot.pin.saturating_sub(1);
+        }
+    }
+
+    /// Writes every dirty resident page to its file (checkpoint-time
+    /// consistency for the scrubber's benefit).
+    pub fn flush(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let mut writes = inner.writes;
+        let mut trusted = inner.pages_trusted;
+        for p in 0..inner.slots.len() {
+            if !inner.slots[p].dirty {
+                continue;
+            }
+            if let SlotState::Resident(items) = &inner.slots[p].state {
+                self.write_page(p, items, &mut writes, &mut trusted);
+                inner.slots[p].dirty = false;
+            }
+        }
+        inner.writes = writes;
+        inner.pages_trusted = trusted;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PageStats {
+        let inner = self.inner.borrow();
+        let resident_pages = inner
+            .slots
+            .iter()
+            .filter(|s| matches!(s.state, SlotState::Resident(_)))
+            .count() as u64;
+        let resident_items = inner
+            .slots
+            .iter()
+            .map(|s| match &s.state {
+                SlotState::Resident(items) => items.len() as u64,
+                SlotState::Evicted { .. } => 0,
+            })
+            .sum();
+        PageStats {
+            faults: inner.faults,
+            evictions: inner.evictions,
+            writes: inner.writes,
+            pages_trusted: inner.pages_trusted,
+            resident_pages,
+            total_pages: inner.slots.len() as u64,
+            total_items: inner.len as u64,
+            resident_items,
+        }
+    }
+}
+
+/// Item storage behind the arena: plain memory or the paged store.
+/// The in-memory variant is the default and byte-compatible with the
+/// paged one — every consumer streams through the same accessors.
+#[derive(Debug)]
+pub enum ItemStore<T> {
+    /// Plain in-memory arena (today's behavior).
+    Mem(Vec<T>),
+    /// Budget-bounded paged arena.
+    Paged(PagedStore<T>),
+}
+
+impl<T: PageItem> ItemStore<T> {
+    /// An empty in-memory store.
+    pub fn new_mem() -> Self {
+        ItemStore::Mem(Vec::new())
+    }
+
+    /// An empty paged store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-directory setup failures.
+    pub fn new_paged(config: PagedConfig) -> io::Result<Self> {
+        Ok(ItemStore::Paged(PagedStore::new(config)?))
+    }
+
+    /// `true` for the paged variant.
+    pub fn is_paged(&self) -> bool {
+        matches!(self, ItemStore::Paged(_))
+    }
+
+    /// Total items.
+    pub fn len(&self) -> usize {
+        match self {
+            ItemStore::Mem(v) => v.len(),
+            ItemStore::Paged(p) => p.len(),
+        }
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an item.
+    pub fn push(&mut self, item: T) {
+        match self {
+            ItemStore::Mem(v) => v.push(item),
+            ItemStore::Paged(p) => p.push(item),
+        }
+    }
+
+    /// Runs `f` on item `idx` (faulting for the paged variant). The
+    /// closure must not re-enter the store.
+    pub fn with<R>(&self, idx: usize, f: impl FnOnce(&T) -> R) -> R {
+        match self {
+            ItemStore::Mem(v) => f(&v[idx]),
+            ItemStore::Paged(p) => p.with(idx, f),
+        }
+    }
+
+    /// Runs `f` on item `idx` mutably.
+    pub fn with_mut<R>(&mut self, idx: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        match self {
+            ItemStore::Mem(v) => f(&mut v[idx]),
+            ItemStore::Paged(p) => p.with_mut(idx, f),
+        }
+    }
+
+    /// Streams every item in index order without changing residency.
+    pub fn for_each(&self, mut f: impl FnMut(usize, &T)) {
+        match self {
+            ItemStore::Mem(v) => {
+                for (i, it) in v.iter().enumerate() {
+                    f(i, it);
+                }
+            }
+            ItemStore::Paged(p) => p.for_each(f),
+        }
+    }
+
+    /// Pins item `idx`'s page against eviction (no-op in memory).
+    pub fn pin(&self, idx: usize) {
+        if let ItemStore::Paged(p) = self {
+            p.pin(idx);
+        }
+    }
+
+    /// Releases one pin on item `idx`'s page (no-op in memory).
+    pub fn unpin(&self, idx: usize) {
+        if let ItemStore::Paged(p) = self {
+            p.unpin(idx);
+        }
+    }
+
+    /// Flushes dirty pages to page files (no-op in memory).
+    pub fn flush(&self) {
+        if let ItemStore::Paged(p) = self {
+            p.flush();
+        }
+    }
+
+    /// Paging counters (all-zero for the in-memory variant except
+    /// `total_items`).
+    pub fn stats(&self) -> PageStats {
+        match self {
+            ItemStore::Mem(v) => PageStats {
+                total_items: v.len() as u64,
+                resident_items: v.len() as u64,
+                ..PageStats::default()
+            },
+            ItemStore::Paged(p) => p.stats(),
+        }
+    }
+}
+
+impl<T: PageItem + Clone> ItemStore<T> {
+    /// A clone of item `idx` — for call sites that need to hold an item
+    /// across further store accesses.
+    pub fn get_cloned(&self, idx: usize) -> T {
+        self.with(idx, Clone::clone)
+    }
+
+    /// Materializes every item into a plain in-memory store.
+    pub fn to_mem(&self) -> ItemStore<T> {
+        let mut v = Vec::with_capacity(self.len());
+        self.for_each(|_, it| v.push(it.clone()));
+        ItemStore::Mem(v)
+    }
+}
+
+/// Cloning a paged store materializes it in memory: a clone is a
+/// working copy with no claim on the original's page directory.
+impl<T: PageItem + Clone> Clone for ItemStore<T> {
+    fn clone(&self) -> Self {
+        match self {
+            ItemStore::Mem(v) => ItemStore::Mem(v.clone()),
+            ItemStore::Paged(_) => self.to_mem(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softborg_program::codec::put_u64;
+
+    impl PageItem for u64 {
+        fn encode_into(&self, buf: &mut Vec<u8>) {
+            put_u64(buf, *self);
+        }
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            r.u64("test.item")
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("softborg-page-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn paged(dir: &Path, page_len: usize, budget: usize) -> ItemStore<u64> {
+        ItemStore::new_paged(PagedConfig::new(dir, page_len, budget)).unwrap()
+    }
+
+    #[test]
+    fn paged_matches_mem_under_mixed_access() {
+        let dir = tmp_dir("equiv");
+        let mut mem: ItemStore<u64> = ItemStore::new_mem();
+        let mut pg = paged(&dir, 4, 2);
+        for i in 0..50u64 {
+            mem.push(i * 3);
+            pg.push(i * 3);
+        }
+        for i in (0..50).step_by(7) {
+            mem.with_mut(i, |v| *v += 1);
+            pg.with_mut(i, |v| *v += 1);
+        }
+        for i in 0..50 {
+            assert_eq!(mem.with(i, |v| *v), pg.with(i, |v| *v));
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        mem.for_each(|_, v| a.push(*v));
+        pg.for_each(|_, v| b.push(*v));
+        assert_eq!(a, b, "streaming order and content agree");
+        assert!(pg.stats().evictions > 0, "the budget actually bit");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resident_pages_stay_within_budget() {
+        let dir = tmp_dir("budget");
+        let mut pg = paged(&dir, 4, 3);
+        for i in 0..100u64 {
+            pg.push(i);
+        }
+        for i in 0..100 {
+            pg.with(i, |_| ());
+            assert!(pg.stats().resident_pages <= 3);
+        }
+        let s = pg.stats();
+        assert_eq!(s.total_pages, 25);
+        assert!(s.faults > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        let run = |dir: &Path| -> (Vec<u64>, PageStats) {
+            let mut pg = paged(dir, 3, 2);
+            for i in 0..30u64 {
+                pg.push(i);
+            }
+            let mut seen = Vec::new();
+            for &i in &[0usize, 29, 4, 4, 17, 0, 8, 23, 1] {
+                seen.push(pg.with(i, |v| *v));
+            }
+            (seen, pg.stats())
+        };
+        let d1 = tmp_dir("det1");
+        let d2 = tmp_dir("det2");
+        let (v1, s1) = run(&d1);
+        let (v2, s2) = run(&d2);
+        assert_eq!(v1, v2);
+        assert_eq!(s1, s2, "same access sequence, same eviction history");
+        fs::remove_dir_all(&d1).unwrap();
+        fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn pinned_pages_resist_eviction() {
+        let dir = tmp_dir("pin");
+        let mut pg = paged(&dir, 2, 2);
+        for i in 0..20u64 {
+            pg.push(i);
+        }
+        pg.pin(0); // page 0
+        for i in 10..20 {
+            pg.with(i, |_| ());
+        }
+        // Page 0 never left memory: touching it again faults nothing.
+        let faults_before = pg.stats().faults;
+        pg.with(0, |v| assert_eq!(*v, 0));
+        pg.with(1, |v| assert_eq!(*v, 1));
+        assert_eq!(pg.stats().faults, faults_before);
+        pg.unpin(0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_clears_stale_page_files() {
+        let dir = tmp_dir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = encode_page::<u64>(0, &[111, 222]);
+        fs::write(dir.join(page_file_name(0)), &stale).unwrap();
+        let mut pg = paged(&dir, 2, 1);
+        assert!(!dir.join(page_file_name(0)).exists(), "stale cache wiped");
+        for i in 0..6u64 {
+            pg.push(i);
+        }
+        pg.with(0, |v| assert_eq!(*v, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trust_cache_adopts_stale_files_and_counts_them() {
+        let dir = tmp_dir("trust");
+        fs::create_dir_all(&dir).unwrap();
+        // A checksum-valid but stale page 0 left by "a previous run".
+        let stale = encode_page::<u64>(0, &[999, 998]);
+        fs::write(dir.join(page_file_name(0)), &stale).unwrap();
+        let mut cfg = PagedConfig::new(&dir, 2, 1);
+        cfg.trust_cache = true;
+        let mut pg: ItemStore<u64> = ItemStore::new_paged(cfg).unwrap();
+        for i in 0..6u64 {
+            pg.push(i);
+        }
+        // Page 0 was evicted; the planted bug adopted the stale file.
+        assert!(pg.stats().pages_trusted > 0);
+        assert_eq!(pg.with(0, |v| *v), 999, "stale bytes came back");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clone_materializes_in_memory() {
+        let dir = tmp_dir("clone");
+        let mut pg = paged(&dir, 2, 1);
+        for i in 0..10u64 {
+            pg.push(i * 2);
+        }
+        let copy = pg.clone();
+        assert!(!copy.is_paged());
+        for i in 0..10 {
+            assert_eq!(copy.with(i, |v| *v), (i as u64) * 2);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn page_decode_is_total_on_arbitrary_damage() {
+        let good = encode_page::<u64>(3, &[1, 2, 3, 4]);
+        assert!(decode_page::<u64>(&good, 3).is_ok());
+        assert!(matches!(
+            decode_page::<u64>(&good, 4),
+            Err(PageError::WrongPage { .. })
+        ));
+        for cut in 0..good.len() {
+            let _ = validate_page_bytes(&good[..cut]);
+            let _ = decode_page::<u64>(&good[..cut], 3); // must not panic
+        }
+        for i in 0..good.len() {
+            let mut b = good.clone();
+            b[i] ^= 0x08;
+            let _ = decode_page::<u64>(&b, 3); // must not panic
+        }
+    }
+}

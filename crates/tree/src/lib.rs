@@ -10,7 +10,9 @@
 
 pub mod tree;
 
-pub use tree::{CoverageStats, ExecutionTree, FrontierArm, MergeStats, Node, NodeId, OutcomeTally};
+pub use tree::{
+    CoverageStats, DeltaError, ExecutionTree, FrontierArm, MergeStats, Node, NodeId, OutcomeTally,
+};
 
 #[cfg(test)]
 mod integration {

@@ -11,13 +11,23 @@
 //! Nodes carry visit and outcome tallies; arms can be marked *infeasible*
 //! by symbolic analysis, which is what lets finite exploration close a
 //! subtree (and ultimately yield a proof, §3.3).
+//!
+//! Storage-wise the arena lives behind [`softborg_store::ItemStore`]:
+//! in-memory by default, or paged to checksummed page files under a
+//! resident budget ([`ExecutionTree::enable_paging`]) so the tree can
+//! outgrow RAM. The tree also tracks which nodes changed since the last
+//! [`mark_clean`](ExecutionTree::mark_clean), which is what lets the
+//! durability layer snapshot a *delta* ([`encode_delta_into`]
+//! (ExecutionTree::encode_delta_into)) instead of the whole arena.
 
 use serde::{Deserialize, Serialize};
 use softborg_program::codec::{self, CodecError};
 use softborg_program::interp::Outcome;
 use softborg_program::{BranchSiteId, ProgramId};
+use softborg_store::{ItemStore, PageItem, PageStats, PagedConfig};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// Index of a node in the tree arena.
@@ -138,6 +148,92 @@ impl Node {
     }
 }
 
+/// Writes one node in the durable byte format (shared by full snapshots,
+/// delta records, and page files — one codec, three containers).
+fn encode_node_into(n: &Node, buf: &mut Vec<u8>) {
+    match n.parent {
+        None => codec::put_u8(buf, 0),
+        Some((parent, site, taken)) => {
+            codec::put_u8(buf, 1);
+            codec::put_u32(buf, parent.0);
+            codec::put_u32(buf, site.0);
+            codec::put_u8(buf, u8::from(taken));
+        }
+    }
+    codec::put_u32(buf, n.edges.len() as u32);
+    for e in &n.edges {
+        codec::put_u32(buf, e.site.0);
+        codec::put_u8(buf, u8::from(e.taken));
+        codec::put_u32(buf, e.child.0);
+    }
+    codec::put_u32(buf, n.infeasible.len() as u32);
+    for (site, taken) in &n.infeasible {
+        codec::put_u32(buf, site.0);
+        codec::put_u8(buf, u8::from(*taken));
+    }
+    codec::put_u64(buf, n.visits);
+    codec::put_u64(buf, n.terminal.success);
+    codec::put_u64(buf, n.terminal.crash);
+    codec::put_u64(buf, n.terminal.deadlock);
+    codec::put_u64(buf, n.terminal.hang);
+}
+
+/// Reads one node written by [`encode_node_into`]; total (typed errors,
+/// never panics).
+fn decode_node(r: &mut codec::Reader<'_>) -> Result<Node, CodecError> {
+    let parent = match r.u8("Node.parent")? {
+        0 => None,
+        1 => {
+            let p = NodeId(r.u32("Node.parent.id")?);
+            let site = BranchSiteId::new(r.u32("Node.parent.site")?);
+            let taken = r.u8("Node.parent.taken")? != 0;
+            Some((p, site, taken))
+        }
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "Node.parent",
+                tag,
+            })
+        }
+    };
+    let n_edges = r.seq_len("Node.edges", 9)?;
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edges.push(EdgeRec {
+            site: BranchSiteId::new(r.u32("Edge.site")?),
+            taken: r.u8("Edge.taken")? != 0,
+            child: NodeId(r.u32("Edge.child")?),
+        });
+    }
+    let n_inf = r.seq_len("Node.infeasible", 5)?;
+    let mut infeasible = Vec::with_capacity(n_inf);
+    for _ in 0..n_inf {
+        let site = BranchSiteId::new(r.u32("Infeasible.site")?);
+        infeasible.push((site, r.u8("Infeasible.taken")? != 0));
+    }
+    Ok(Node {
+        parent,
+        edges,
+        infeasible,
+        visits: r.u64("Node.visits")?,
+        terminal: OutcomeTally {
+            success: r.u64("Tally.success")?,
+            crash: r.u64("Tally.crash")?,
+            deadlock: r.u64("Tally.deadlock")?,
+            hang: r.u64("Tally.hang")?,
+        },
+    })
+}
+
+impl PageItem for Node {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        encode_node_into(self, buf);
+    }
+    fn decode(r: &mut codec::Reader<'_>) -> Result<Self, CodecError> {
+        decode_node(r)
+    }
+}
+
 /// Statistics from one path merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MergeStats {
@@ -186,26 +282,155 @@ pub struct CoverageStats {
     pub closed_fraction: f64,
 }
 
+/// Why applying a tree delta was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta payload itself was malformed.
+    Codec(CodecError),
+    /// The delta was encoded for a different program's tree.
+    ProgramMismatch {
+        /// Program of the tree being patched.
+        expected: u64,
+        /// Program recorded in the delta.
+        found: u64,
+    },
+    /// The delta's base node count does not match this tree — the chain
+    /// is out of order or a record was skipped.
+    BaseMismatch {
+        /// Node count the delta was encoded against.
+        expected: u32,
+        /// Node count of the tree being patched.
+        found: u32,
+    },
+}
+
+impl From<CodecError> for DeltaError {
+    fn from(e: CodecError) -> Self {
+        DeltaError::Codec(e)
+    }
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Codec(e) => write!(f, "malformed tree delta: {e}"),
+            DeltaError::ProgramMismatch { expected, found } => {
+                write!(
+                    f,
+                    "tree delta for program {found}, tree is program {expected}"
+                )
+            }
+            DeltaError::BaseMismatch { expected, found } => write!(
+                f,
+                "tree delta encoded against {expected} nodes, tree has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Per-node closure info extracted under a single store borrow (the
+/// paged arena hands out access through closures, so the traversals
+/// below pull what they need out of each node and recurse outside).
+enum NodeClosure {
+    Leaf { terminal: bool },
+    Multi,
+    Single { arms: [ArmInfo; 2] },
+}
+
+enum ArmInfo {
+    Infeasible,
+    Missing,
+    Child(NodeId),
+}
+
 /// The collective execution tree. See the [module docs](self).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecutionTree {
     program: ProgramId,
-    nodes: Vec<Node>,
+    nodes: ItemStore<Node>,
     paths_merged: u64,
     distinct_paths: u64,
     path_hashes: HashSet<u64>,
+    /// Arena length at the last [`mark_clean`](Self::mark_clean); nodes
+    /// beyond it are new since the last snapshot.
+    clean_len: usize,
+    /// Pre-existing nodes mutated since the last snapshot.
+    dirty: BTreeSet<u32>,
+    /// Path hashes first seen since the last snapshot.
+    fresh_hashes: Vec<u64>,
 }
 
 impl ExecutionTree {
     /// An empty tree for `program`.
     pub fn new(program: ProgramId) -> Self {
+        let mut nodes = ItemStore::new_mem();
+        nodes.push(Node::new(None));
         ExecutionTree {
             program,
-            nodes: vec![Node::new(None)],
+            nodes,
             paths_merged: 0,
             distinct_paths: 0,
             path_hashes: HashSet::new(),
+            clean_len: 1,
+            dirty: BTreeSet::new(),
+            fresh_hashes: Vec::new(),
         }
+    }
+
+    /// An empty tree whose arena pages cold nodes out to `cfg.dir` under
+    /// the configured resident budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the page directory.
+    pub fn new_paged(program: ProgramId, cfg: PagedConfig) -> std::io::Result<Self> {
+        let mut t = ExecutionTree::new(program);
+        t.enable_paging(cfg)?;
+        Ok(t)
+    }
+
+    /// Moves the arena behind the paged store: existing nodes are pushed
+    /// in index order (so page assignment is a pure function of the
+    /// arena, not of history) and cold pages spill to `cfg.dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the page directory.
+    pub fn enable_paging(&mut self, cfg: PagedConfig) -> std::io::Result<()> {
+        let mut paged = ItemStore::new_paged(cfg)?;
+        self.nodes.for_each(|_, n| paged.push(n.clone()));
+        self.nodes = paged;
+        Ok(())
+    }
+
+    /// Whether the arena is paged.
+    pub fn is_paged(&self) -> bool {
+        self.nodes.is_paged()
+    }
+
+    /// Paging counters (faults, evictions, residency); mostly zeros in
+    /// memory mode.
+    pub fn page_stats(&self) -> PageStats {
+        self.nodes.stats()
+    }
+
+    /// Writes dirty resident pages to disk (no-op in memory mode).
+    pub fn flush_pages(&self) {
+        self.nodes.flush();
+    }
+
+    /// Pins the page holding `node` into memory so guidance can hold the
+    /// active frontier resident (no-op in memory mode). Pins nest;
+    /// callers unpin symmetrically with [`unpin_node`](Self::unpin_node).
+    pub fn pin_node(&self, node: NodeId) {
+        self.nodes.pin(node.index());
+    }
+
+    /// Releases one pin taken by [`pin_node`](Self::pin_node).
+    pub fn unpin_node(&self, node: NodeId) {
+        self.nodes.unpin(node.index());
     }
 
     /// The program this tree describes.
@@ -228,9 +453,24 @@ impl ExecutionTree {
         self.distinct_paths
     }
 
-    /// Immutable access to a node.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    /// Runs `f` against a node. The node may live on an evicted page, so
+    /// access is scoped to the closure; `f` must not touch the tree's
+    /// arena again (clone what you need out instead).
+    pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node) -> R) -> R {
+        self.nodes.with(id.index(), f)
+    }
+
+    /// An owned copy of a node (convenience over
+    /// [`with_node`](Self::with_node)).
+    pub fn node_cloned(&self, id: NodeId) -> Node {
+        self.nodes.get_cloned(id.index())
+    }
+
+    /// Records that a pre-snapshot node is about to change.
+    fn touch(&mut self, id: NodeId) {
+        if id.index() < self.clean_len {
+            self.dirty.insert(id.0);
+        }
     }
 
     /// Merges one execution path (global decision sequence + outcome).
@@ -247,9 +487,11 @@ impl ExecutionTree {
         let mut cur = NodeId::ROOT;
         let mut new_nodes = 0u64;
         let mut lca_depth = 0u64;
-        self.nodes[cur.index()].visits += 1;
+        self.touch(cur);
+        self.nodes.with_mut(cur.index(), |n| n.visits += 1);
         for (depth, (site, taken)) in decisions.iter().enumerate() {
-            match self.nodes[cur.index()].child(*site, *taken) {
+            let known = self.nodes.with(cur.index(), |n| n.child(*site, *taken));
+            match known {
                 Some(child) => {
                     cur = child;
                     lca_depth = depth as u64 + 1;
@@ -257,25 +499,33 @@ impl ExecutionTree {
                 None => {
                     let child = NodeId(self.nodes.len() as u32);
                     self.nodes.push(Node::new(Some((cur, *site, *taken))));
-                    self.nodes[cur.index()].edges.push(EdgeRec {
-                        site: *site,
-                        taken: *taken,
-                        child,
+                    self.touch(cur);
+                    self.nodes.with_mut(cur.index(), |n| {
+                        n.edges.push(EdgeRec {
+                            site: *site,
+                            taken: *taken,
+                            child,
+                        })
                     });
                     new_nodes += 1;
                     cur = child;
                 }
             }
-            self.nodes[cur.index()].visits += 1;
+            self.touch(cur);
+            self.nodes.with_mut(cur.index(), |n| n.visits += 1);
         }
-        self.nodes[cur.index()].terminal.add(outcome);
+        self.touch(cur);
+        self.nodes
+            .with_mut(cur.index(), |n| n.terminal.add(outcome));
 
         let mut h = DefaultHasher::new();
         decisions.hash(&mut h);
         std::mem::discriminant(outcome).hash(&mut h);
-        let new_path = self.path_hashes.insert(h.finish());
+        let hash = h.finish();
+        let new_path = self.path_hashes.insert(hash);
         if new_path {
             self.distinct_paths += 1;
+            self.fresh_hashes.push(hash);
         }
         MergeStats {
             new_nodes,
@@ -287,17 +537,19 @@ impl ExecutionTree {
 
     /// Marks an arm as proven infeasible (from symbolic analysis).
     pub fn mark_infeasible(&mut self, node: NodeId, site: BranchSiteId, taken: bool) {
-        let n = &mut self.nodes[node.index()];
-        if !n.infeasible.contains(&(site, taken)) {
-            n.infeasible.push((site, taken));
-        }
+        self.touch(node);
+        self.nodes.with_mut(node.index(), |n| {
+            if !n.infeasible.contains(&(site, taken)) {
+                n.infeasible.push((site, taken));
+            }
+        });
     }
 
     /// The decision prefix leading to `node` (root-first).
     pub fn prefix(&self, node: NodeId) -> Vec<(BranchSiteId, bool)> {
         let mut out = Vec::new();
         let mut cur = node;
-        while let Some((parent, site, taken)) = self.nodes[cur.index()].parent {
+        while let Some((parent, site, taken)) = self.nodes.with(cur.index(), |n| n.parent) {
             out.push((site, taken));
             cur = parent;
         }
@@ -309,7 +561,7 @@ impl ExecutionTree {
     pub fn depth(&self, node: NodeId) -> u64 {
         let mut d = 0;
         let mut cur = node;
-        while let Some((parent, ..)) = self.nodes[cur.index()].parent {
+        while let Some((parent, ..)) = self.nodes.with(cur.index(), |n| n.parent) {
             d += 1;
             cur = parent;
         }
@@ -321,23 +573,66 @@ impl ExecutionTree {
     /// infeasible.
     pub fn frontier(&self) -> Vec<FrontierArm> {
         let mut out = Vec::new();
-        for (i, n) in self.nodes.iter().enumerate() {
+        for i in 0..self.nodes.len() {
             let id = NodeId(i as u32);
-            for site in n.sites() {
-                for taken in [false, true] {
-                    if n.child(site, taken).is_none() && !n.is_infeasible(site, taken) {
-                        out.push(FrontierArm {
-                            node: id,
-                            site,
-                            missing_taken: taken,
-                            depth: self.depth(id),
-                            visits: n.visits,
-                        });
+            let (missing, visits) = self.nodes.with(i, |n| {
+                let mut missing = Vec::new();
+                for site in n.sites() {
+                    for taken in [false, true] {
+                        if n.child(site, taken).is_none() && !n.is_infeasible(site, taken) {
+                            missing.push((site, taken));
+                        }
                     }
                 }
+                (missing, n.visits)
+            });
+            if missing.is_empty() {
+                continue;
+            }
+            let depth = self.depth(id);
+            for (site, missing_taken) in missing {
+                out.push(FrontierArm {
+                    node: id,
+                    site,
+                    missing_taken,
+                    depth,
+                    visits,
+                });
             }
         }
         out
+    }
+
+    /// What closure needs to know about one node, extracted under a
+    /// single arena borrow.
+    fn closure_info(&self, id: NodeId) -> NodeClosure {
+        self.nodes.with(id.index(), |n| {
+            if n.edges.is_empty() {
+                return NodeClosure::Leaf {
+                    terminal: n.is_terminal(),
+                };
+            }
+            let sites = n.sites();
+            // Interleaving-divergent nodes (multiple sites) cannot be
+            // declared closed: unseen schedules may surface yet more arms.
+            if sites.len() != 1 {
+                return NodeClosure::Multi;
+            }
+            let site = sites[0];
+            let arm = |taken: bool| {
+                if n.is_infeasible(site, taken) {
+                    ArmInfo::Infeasible
+                } else {
+                    match n.child(site, taken) {
+                        Some(c) => ArmInfo::Child(c),
+                        None => ArmInfo::Missing,
+                    }
+                }
+            };
+            NodeClosure::Single {
+                arms: [arm(false), arm(true)],
+            }
+        })
     }
 
     /// Whether the subtree rooted at `node` is *closed*: every observed
@@ -358,41 +653,27 @@ impl ExecutionTree {
             if memo[node.index()].is_some() {
                 continue;
             }
-            let n = &self.nodes[node.index()];
-            if n.edges.is_empty() {
-                memo[node.index()] = Some(n.is_terminal());
-                continue;
-            }
-            let sites = n.sites();
-            // Interleaving-divergent nodes (multiple sites) cannot be
-            // declared closed: unseen schedules may surface yet more arms.
-            if sites.len() != 1 {
-                memo[node.index()] = Some(false);
-                continue;
-            }
-            let site = sites[0];
-            if !expanded {
-                stack.push((node, true));
-                for taken in [false, true] {
-                    if !n.is_infeasible(site, taken) {
-                        if let Some(c) = n.child(site, taken) {
-                            stack.push((c, false));
+            match self.closure_info(node) {
+                NodeClosure::Leaf { terminal } => memo[node.index()] = Some(terminal),
+                NodeClosure::Multi => memo[node.index()] = Some(false),
+                NodeClosure::Single { arms } => {
+                    if !expanded {
+                        stack.push((node, true));
+                        for arm in &arms {
+                            if let ArmInfo::Child(c) = arm {
+                                stack.push((*c, false));
+                            }
                         }
+                        continue;
                     }
+                    let closed = arms.iter().all(|arm| match arm {
+                        ArmInfo::Infeasible => true,
+                        ArmInfo::Missing => false,
+                        ArmInfo::Child(c) => memo[c.index()].unwrap_or(false),
+                    });
+                    memo[node.index()] = Some(closed);
                 }
-                continue;
             }
-            let closed = [false, true].into_iter().all(|taken| {
-                if n.is_infeasible(site, taken) {
-                    true
-                } else {
-                    match n.child(site, taken) {
-                        Some(c) => memo[c.index()].unwrap_or(false),
-                        None => false,
-                    }
-                }
-            });
-            memo[node.index()] = Some(closed);
         }
         memo[root.index()].unwrap_or(false)
     }
@@ -414,9 +695,14 @@ impl ExecutionTree {
         let mut sum = 0;
         let mut stack = vec![node];
         while let Some(id) = stack.pop() {
-            let n = &self.nodes[id.index()];
-            sum += n.terminal.failures();
-            stack.extend(n.edges.iter().map(|e| e.child));
+            let (failures, children) = self.nodes.with(id.index(), |n| {
+                (
+                    n.terminal.failures(),
+                    n.edges.iter().map(|e| e.child).collect::<Vec<_>>(),
+                )
+            });
+            sum += failures;
+            stack.extend(children);
         }
         sum
     }
@@ -424,11 +710,11 @@ impl ExecutionTree {
     /// Coverage summary.
     pub fn coverage(&self) -> CoverageStats {
         let mut sites: HashSet<BranchSiteId> = HashSet::new();
-        for n in &self.nodes {
+        self.nodes.for_each(|_, n| {
             for e in &n.edges {
                 sites.insert(e.site);
             }
-        }
+        });
         CoverageStats {
             nodes: self.node_count(),
             distinct_paths: self.distinct_paths,
@@ -453,19 +739,25 @@ impl ExecutionTree {
             match item {
                 Item::Exit => 0xE21Du16.hash(&mut h),
                 Item::Enter(node) => {
-                    let n = &self.nodes[node.index()];
-                    let mut edges: Vec<&EdgeRec> = n.edges.iter().collect();
-                    edges.sort_by_key(|e| (e.site, e.taken));
-                    n.is_terminal().hash(&mut h);
-                    edges.len().hash(&mut h);
+                    let (terminal, labels, children) = self.nodes.with(node.index(), |n| {
+                        let mut edges: Vec<&EdgeRec> = n.edges.iter().collect();
+                        edges.sort_by_key(|e| (e.site, e.taken));
+                        (
+                            n.is_terminal(),
+                            edges.iter().map(|e| (e.site, e.taken)).collect::<Vec<_>>(),
+                            edges.iter().map(|e| e.child).collect::<Vec<_>>(),
+                        )
+                    });
+                    terminal.hash(&mut h);
+                    labels.len().hash(&mut h);
                     stack.push(Item::Exit);
-                    // Push in reverse so traversal visits edges in sorted
-                    // order; hash the labels in sorted order here.
-                    for e in &edges {
-                        (e.site, e.taken).hash(&mut h);
+                    // Hash labels in sorted order; push children in
+                    // reverse so traversal visits edges in sorted order.
+                    for label in &labels {
+                        label.hash(&mut h);
                     }
-                    for e in edges.into_iter().rev() {
-                        stack.push(Item::Enter(e.child));
+                    for c in children.into_iter().rev() {
+                        stack.push(Item::Enter(c));
                     }
                 }
             }
@@ -481,9 +773,9 @@ impl ExecutionTree {
         // version's stack).
         let mut stack: Vec<(NodeId, NodeId)> = vec![(NodeId::ROOT, NodeId::ROOT)];
         while let Some((mine, theirs)) = stack.pop() {
-            let their_node = &other.nodes[theirs.index()];
-            {
-                let n = &mut self.nodes[mine.index()];
+            let their_node = other.nodes.get_cloned(theirs.index());
+            self.touch(mine);
+            self.nodes.with_mut(mine.index(), |n| {
                 n.visits += their_node.visits;
                 n.terminal.merge(&their_node.terminal);
                 for inf in &their_node.infeasible {
@@ -491,17 +783,21 @@ impl ExecutionTree {
                         n.infeasible.push(*inf);
                     }
                 }
-            }
-            for e in their_node.edges.clone() {
-                let child = match self.nodes[mine.index()].child(e.site, e.taken) {
+            });
+            for e in &their_node.edges {
+                let known = self.nodes.with(mine.index(), |n| n.child(e.site, e.taken));
+                let child = match known {
                     Some(c) => c,
                     None => {
                         let c = NodeId(self.nodes.len() as u32);
                         self.nodes.push(Node::new(Some((mine, e.site, e.taken))));
-                        self.nodes[mine.index()].edges.push(EdgeRec {
-                            site: e.site,
-                            taken: e.taken,
-                            child: c,
+                        self.touch(mine);
+                        self.nodes.with_mut(mine.index(), |n| {
+                            n.edges.push(EdgeRec {
+                                site: e.site,
+                                taken: e.taken,
+                                child: c,
+                            })
                         });
                         c
                     }
@@ -513,6 +809,7 @@ impl ExecutionTree {
         for h in &other.path_hashes {
             if self.path_hashes.insert(*h) {
                 self.distinct_paths += 1;
+                self.fresh_hashes.push(*h);
             }
         }
     }
@@ -524,33 +821,7 @@ impl ExecutionTree {
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         codec::put_u64(buf, self.program.0);
         codec::put_u32(buf, self.nodes.len() as u32);
-        for n in &self.nodes {
-            match n.parent {
-                None => codec::put_u8(buf, 0),
-                Some((parent, site, taken)) => {
-                    codec::put_u8(buf, 1);
-                    codec::put_u32(buf, parent.0);
-                    codec::put_u32(buf, site.0);
-                    codec::put_u8(buf, u8::from(taken));
-                }
-            }
-            codec::put_u32(buf, n.edges.len() as u32);
-            for e in &n.edges {
-                codec::put_u32(buf, e.site.0);
-                codec::put_u8(buf, u8::from(e.taken));
-                codec::put_u32(buf, e.child.0);
-            }
-            codec::put_u32(buf, n.infeasible.len() as u32);
-            for (site, taken) in &n.infeasible {
-                codec::put_u32(buf, site.0);
-                codec::put_u8(buf, u8::from(*taken));
-            }
-            codec::put_u64(buf, n.visits);
-            codec::put_u64(buf, n.terminal.success);
-            codec::put_u64(buf, n.terminal.crash);
-            codec::put_u64(buf, n.terminal.deadlock);
-            codec::put_u64(buf, n.terminal.hang);
-        }
+        self.nodes.for_each(|_, n| encode_node_into(n, buf));
         codec::put_u64(buf, self.paths_merged);
         codec::put_u64(buf, self.distinct_paths);
         let mut hashes: Vec<u64> = self.path_hashes.iter().copied().collect();
@@ -563,6 +834,10 @@ impl ExecutionTree {
 
     /// Decodes a tree previously written by [`encode_into`](Self::encode_into).
     ///
+    /// The result is clean: a following [`encode_delta_into`]
+    /// (Self::encode_delta_into) describes exactly what changed since
+    /// this snapshot.
+    ///
     /// # Errors
     ///
     /// Returns a [`CodecError`] on truncated or malformed input; never
@@ -570,50 +845,9 @@ impl ExecutionTree {
     pub fn decode(r: &mut codec::Reader<'_>) -> Result<Self, CodecError> {
         let program = ProgramId(r.u64("Tree.program")?);
         let n_nodes = r.seq_len("Tree.nodes", 42)?;
-        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut nodes = ItemStore::new_mem();
         for _ in 0..n_nodes {
-            let parent = match r.u8("Node.parent")? {
-                0 => None,
-                1 => {
-                    let p = NodeId(r.u32("Node.parent.id")?);
-                    let site = BranchSiteId::new(r.u32("Node.parent.site")?);
-                    let taken = r.u8("Node.parent.taken")? != 0;
-                    Some((p, site, taken))
-                }
-                tag => {
-                    return Err(CodecError::BadTag {
-                        what: "Node.parent",
-                        tag,
-                    })
-                }
-            };
-            let n_edges = r.seq_len("Node.edges", 9)?;
-            let mut edges = Vec::with_capacity(n_edges);
-            for _ in 0..n_edges {
-                edges.push(EdgeRec {
-                    site: BranchSiteId::new(r.u32("Edge.site")?),
-                    taken: r.u8("Edge.taken")? != 0,
-                    child: NodeId(r.u32("Edge.child")?),
-                });
-            }
-            let n_inf = r.seq_len("Node.infeasible", 5)?;
-            let mut infeasible = Vec::with_capacity(n_inf);
-            for _ in 0..n_inf {
-                let site = BranchSiteId::new(r.u32("Infeasible.site")?);
-                infeasible.push((site, r.u8("Infeasible.taken")? != 0));
-            }
-            nodes.push(Node {
-                parent,
-                edges,
-                infeasible,
-                visits: r.u64("Node.visits")?,
-                terminal: OutcomeTally {
-                    success: r.u64("Tally.success")?,
-                    crash: r.u64("Tally.crash")?,
-                    deadlock: r.u64("Tally.deadlock")?,
-                    hang: r.u64("Tally.hang")?,
-                },
-            });
+            nodes.push(decode_node(r)?);
         }
         let paths_merged = r.u64("Tree.paths_merged")?;
         let distinct_paths = r.u64("Tree.distinct_paths")?;
@@ -624,25 +858,137 @@ impl ExecutionTree {
         }
         Ok(ExecutionTree {
             program,
+            clean_len: nodes.len(),
             nodes,
             paths_merged,
             distinct_paths,
             path_hashes,
+            dirty: BTreeSet::new(),
+            fresh_hashes: Vec::new(),
         })
     }
 
-    /// Approximate resident memory of the tree in bytes (experiment E9).
+    /// Nodes mutated or created since the last
+    /// [`mark_clean`](Self::mark_clean) — the size of the next delta.
+    pub fn pending_nodes(&self) -> u64 {
+        self.dirty.len() as u64 + (self.nodes.len() - self.clean_len) as u64
+    }
+
+    /// Forgets change tracking: the current state becomes the delta base.
+    /// Called by the durability layer right after it persists a snapshot
+    /// (full or delta) of this tree.
+    pub fn mark_clean(&mut self) {
+        self.clean_len = self.nodes.len();
+        self.dirty.clear();
+        self.fresh_hashes.clear();
+    }
+
+    /// Serializes only what changed since the last
+    /// [`mark_clean`](Self::mark_clean): mutated pre-existing nodes (by
+    /// index), appended nodes, absolute counters, and path hashes first
+    /// seen since. Deterministic (dirty set and hashes emitted sorted).
+    /// Applying with [`apply_delta`](Self::apply_delta) onto a tree in
+    /// the base state reproduces this tree exactly.
+    pub fn encode_delta_into(&self, buf: &mut Vec<u8>) {
+        codec::put_u64(buf, self.program.0);
+        codec::put_u32(buf, self.clean_len as u32);
+        codec::put_u32(buf, self.nodes.len() as u32);
+        codec::put_u32(buf, self.dirty.len() as u32);
+        for &i in &self.dirty {
+            codec::put_u32(buf, i);
+            self.nodes.with(i as usize, |n| encode_node_into(n, buf));
+        }
+        for i in self.clean_len..self.nodes.len() {
+            self.nodes.with(i, |n| encode_node_into(n, buf));
+        }
+        codec::put_u64(buf, self.paths_merged);
+        codec::put_u64(buf, self.distinct_paths);
+        let mut fresh = self.fresh_hashes.clone();
+        fresh.sort_unstable();
+        codec::put_u32(buf, fresh.len() as u32);
+        for h in fresh {
+            codec::put_u64(buf, h);
+        }
+    }
+
+    /// Applies a delta written by [`encode_delta_into`]
+    /// (Self::encode_delta_into). The tree must be at the delta's base
+    /// state (same program, same node count); afterwards it is clean at
+    /// the delta's head state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DeltaError`] on malformed input, a program
+    /// mismatch, or a base mismatch; the tree is left unchanged only on
+    /// the pre-checks (program/base) — a codec error mid-apply leaves it
+    /// partially patched, so callers discard the tree on error.
+    pub fn apply_delta(&mut self, r: &mut codec::Reader<'_>) -> Result<(), DeltaError> {
+        let program = r.u64("TreeDelta.program")?;
+        if program != self.program.0 {
+            return Err(DeltaError::ProgramMismatch {
+                expected: self.program.0,
+                found: program,
+            });
+        }
+        let from_len = r.u32("TreeDelta.from_len")?;
+        if from_len as usize != self.nodes.len() {
+            return Err(DeltaError::BaseMismatch {
+                expected: from_len,
+                found: self.nodes.len() as u32,
+            });
+        }
+        let to_len = r.u32("TreeDelta.to_len")?;
+        if to_len < from_len {
+            return Err(DeltaError::Codec(CodecError::BadLen {
+                what: "TreeDelta.to_len",
+                len: to_len as usize,
+            }));
+        }
+        let n_dirty = r.seq_len("TreeDelta.dirty", 46)?;
+        for _ in 0..n_dirty {
+            let idx = r.u32("TreeDelta.dirty.index")?;
+            if idx >= from_len {
+                return Err(DeltaError::Codec(CodecError::BadLen {
+                    what: "TreeDelta.dirty.index",
+                    len: idx as usize,
+                }));
+            }
+            let node = decode_node(r)?;
+            self.nodes.with_mut(idx as usize, |n| *n = node);
+        }
+        for _ in from_len..to_len {
+            self.nodes.push(decode_node(r)?);
+        }
+        self.paths_merged = r.u64("TreeDelta.paths_merged")?;
+        self.distinct_paths = r.u64("TreeDelta.distinct_paths")?;
+        let n_fresh = r.seq_len("TreeDelta.fresh_hashes", 8)?;
+        for _ in 0..n_fresh {
+            self.path_hashes.insert(r.u64("TreeDelta.fresh_hash")?);
+        }
+        self.mark_clean();
+        Ok(())
+    }
+
+    /// Approximate logical size of the tree in bytes (experiment E9) —
+    /// counts every node whether resident or paged out.
     pub fn approx_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<Node>()
-            + self
-                .nodes
-                .iter()
-                .map(|n| {
-                    n.edges.capacity() * std::mem::size_of::<EdgeRec>()
-                        + n.infeasible.capacity() * std::mem::size_of::<(BranchSiteId, bool)>()
-                })
-                .sum::<usize>()
-            + self.path_hashes.len() * 8
+        let mut sum = self.path_hashes.len() * 8;
+        self.nodes.for_each(|_, n| {
+            sum += std::mem::size_of::<Node>()
+                + n.edges.len() * std::mem::size_of::<EdgeRec>()
+                + n.infeasible.len() * std::mem::size_of::<(BranchSiteId, bool)>();
+        });
+        sum
+    }
+
+    /// Approximate bytes resident in memory right now: with paging off
+    /// this tracks [`approx_bytes`](Self::approx_bytes); with paging on,
+    /// evicted pages count nothing (edge-vector heap of resident nodes is
+    /// estimated at the struct size, so this is a floor-accurate bound
+    /// indicator, not an allocator measurement).
+    pub fn resident_approx_bytes(&self) -> usize {
+        let st = self.nodes.stats();
+        st.resident_items as usize * std::mem::size_of::<Node>() + self.path_hashes.len() * 8
     }
 }
 
@@ -651,6 +997,8 @@ mod tests {
     use super::*;
     use softborg_program::cfg::Loc;
     use softborg_program::interp::CrashKind;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn s(i: u32) -> BranchSiteId {
         BranchSiteId::new(i)
@@ -665,6 +1013,20 @@ mod tests {
             loc: Loc::default(),
             kind: CrashKind::AssertFailed,
         }
+    }
+
+    fn child_of(t: &ExecutionTree, id: NodeId, site: u32, taken: bool) -> NodeId {
+        t.with_node(id, |n| n.child(s(site), taken)).unwrap()
+    }
+
+    static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch(tag: &str) -> PathBuf {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("softborg-tree-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -714,9 +1076,9 @@ mod tests {
         let st = t.merge_path(&path(&[(0, false)]), &crash());
         assert!(st.new_path);
         assert_eq!(t.distinct_paths(), 2);
-        let leaf = t.node(NodeId::ROOT).child(s(0), false).unwrap();
-        assert_eq!(t.node(leaf).terminal.success, 1);
-        assert_eq!(t.node(leaf).terminal.crash, 1);
+        let leaf = child_of(&t, NodeId::ROOT, 0, false);
+        assert_eq!(t.with_node(leaf, |n| n.terminal.success), 1);
+        assert_eq!(t.with_node(leaf, |n| n.terminal.crash), 1);
     }
 
     #[test]
@@ -801,9 +1163,9 @@ mod tests {
             &path(&[(0, true), (3, false), (7, true)]),
             &Outcome::Success,
         );
-        let n1 = t.node(NodeId::ROOT).child(s(0), true).unwrap();
-        let n2 = t.node(n1).child(s(3), false).unwrap();
-        let n3 = t.node(n2).child(s(7), true).unwrap();
+        let n1 = child_of(&t, NodeId::ROOT, 0, true);
+        let n2 = child_of(&t, n1, 3, false);
+        let n3 = child_of(&t, n2, 7, true);
         assert_eq!(t.depth(n3), 3);
         assert_eq!(t.prefix(n3), path(&[(0, true), (3, false), (7, true)]));
     }
@@ -815,7 +1177,7 @@ mod tests {
         t.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
         t.merge_path(&path(&[(0, false)]), &crash());
         assert_eq!(t.subtree_failures(NodeId::ROOT), 2);
-        let right = t.node(NodeId::ROOT).child(s(0), true).unwrap();
+        let right = child_of(&t, NodeId::ROOT, 0, true);
         assert_eq!(t.subtree_failures(right), 1);
     }
 
@@ -830,8 +1192,8 @@ mod tests {
         assert_eq!(a.node_count(), 3);
         assert_eq!(a.paths_merged(), 3);
         assert_eq!(a.distinct_paths(), 2);
-        let left = a.node(NodeId::ROOT).child(s(0), true).unwrap();
-        assert_eq!(a.node(left).terminal.success, 2);
+        let left = child_of(&a, NodeId::ROOT, 0, true);
+        assert_eq!(a.with_node(left, |n| n.terminal.success), 2);
     }
 
     #[test]
@@ -877,9 +1239,9 @@ mod tests {
         assert_eq!(back.distinct_paths(), t.distinct_paths());
         assert_eq!(back.path_hashes, t.path_hashes);
         // Tallies and infeasible marks survive too (digest ignores them).
-        let leaf = back.node(NodeId::ROOT).child(s(0), false).unwrap();
-        assert_eq!(back.node(leaf).terminal.success, 1);
-        assert!(back.node(NodeId::ROOT).is_infeasible(s(9), true));
+        let leaf = child_of(&back, NodeId::ROOT, 0, false);
+        assert_eq!(back.with_node(leaf, |n| n.terminal.success), 1);
+        assert!(back.with_node(NodeId::ROOT, |n| n.is_infeasible(s(9), true)));
         // Re-encoding the decoded tree is byte-identical.
         let mut buf2 = Vec::new();
         back.encode_into(&mut buf2);
@@ -926,5 +1288,164 @@ mod tests {
             t.merge_path(&path(&[(0, true), (i + 1, i % 2 == 0)]), &Outcome::Success);
         }
         assert!(t.approx_bytes() > before);
+    }
+
+    #[test]
+    fn delta_reproduces_full_snapshot_exactly() {
+        // Base state → full snapshot; more activity → delta; applying the
+        // delta to the decoded base equals the live tree byte-for-byte.
+        let mut live = ExecutionTree::new(ProgramId(5));
+        live.merge_path(&path(&[(0, true), (1, false)]), &Outcome::Success);
+        live.merge_path(&path(&[(0, false)]), &crash());
+        let mut full = Vec::new();
+        live.encode_into(&mut full);
+        live.mark_clean();
+
+        let mut resumed = ExecutionTree::decode(&mut codec::Reader::new(&full)).unwrap();
+
+        // Post-snapshot activity touches old nodes AND creates new ones.
+        live.merge_path(&path(&[(0, true), (1, true), (2, false)]), &crash());
+        live.merge_path(&path(&[(0, false)]), &crash()); // dup path, tally only
+        live.mark_infeasible(NodeId::ROOT, s(8), false);
+
+        let mut delta = Vec::new();
+        live.encode_delta_into(&mut delta);
+        resumed
+            .apply_delta(&mut codec::Reader::new(&delta))
+            .expect("delta applies");
+
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        live.encode_into(&mut a);
+        resumed.encode_into(&mut b);
+        assert_eq!(a, b, "delta-resumed tree must equal the live tree");
+        assert_eq!(live.digest(), resumed.digest());
+        assert_eq!(resumed.pending_nodes(), 0, "apply leaves the tree clean");
+    }
+
+    #[test]
+    fn delta_is_smaller_than_full_for_localized_change() {
+        let mut t = ExecutionTree::new(ProgramId(6));
+        let long: Vec<(u32, bool)> = (0..400u32).map(|i| (i, true)).collect();
+        t.merge_path(&path(&long), &Outcome::Success);
+        t.mark_clean();
+        // Tally-only bump near the root: dirties two small nodes out of 401.
+        t.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        let mut full = Vec::new();
+        t.encode_into(&mut full);
+        let mut delta = Vec::new();
+        t.encode_delta_into(&mut delta);
+        assert!(
+            delta.len() * 10 < full.len(),
+            "delta ({}) should be far smaller than full ({})",
+            delta.len(),
+            full.len()
+        );
+    }
+
+    #[test]
+    fn delta_rejects_wrong_base_and_program() {
+        let mut a = ExecutionTree::new(ProgramId(1));
+        a.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        a.mark_clean();
+        a.merge_path(&path(&[(0, false)]), &Outcome::Success);
+        let mut delta = Vec::new();
+        a.encode_delta_into(&mut delta);
+
+        let mut wrong_program = ExecutionTree::new(ProgramId(2));
+        assert!(matches!(
+            wrong_program.apply_delta(&mut codec::Reader::new(&delta)),
+            Err(DeltaError::ProgramMismatch { .. })
+        ));
+
+        let mut wrong_base = ExecutionTree::new(ProgramId(1));
+        assert!(matches!(
+            wrong_base.apply_delta(&mut codec::Reader::new(&delta)),
+            Err(DeltaError::BaseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_decode_is_total_on_truncation() {
+        let mut a = ExecutionTree::new(ProgramId(1));
+        a.merge_path(&path(&[(0, true)]), &Outcome::Success);
+        a.mark_clean();
+        a.merge_path(&path(&[(0, false), (1, true)]), &crash());
+        let mut delta = Vec::new();
+        a.encode_delta_into(&mut delta);
+        for cut in 0..delta.len() {
+            let mut base = ExecutionTree::new(ProgramId(1));
+            base.merge_path(&path(&[(0, true)]), &Outcome::Success);
+            base.mark_clean();
+            assert!(base
+                .apply_delta(&mut codec::Reader::new(&delta[..cut]))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn paged_tree_matches_memory_tree_exactly() {
+        let dir = scratch("equiv");
+        let mut mem = ExecutionTree::new(ProgramId(9));
+        let mut paged =
+            ExecutionTree::new_paged(ProgramId(9), PagedConfig::new(&dir, 4, 2)).unwrap();
+        assert!(paged.is_paged() && !mem.is_paged());
+
+        let outcomes = [Outcome::Success, crash()];
+        for i in 0..60u32 {
+            let p = path(&[(i % 7, i % 2 == 0), (i % 5 + 10, i % 3 == 0)]);
+            let o = &outcomes[(i % 2) as usize];
+            assert_eq!(mem.merge_path(&p, o), paged.merge_path(&p, o));
+        }
+        mem.mark_infeasible(NodeId::ROOT, s(99), true);
+        paged.mark_infeasible(NodeId::ROOT, s(99), true);
+
+        assert_eq!(mem.digest(), paged.digest());
+        assert_eq!(mem.coverage(), paged.coverage());
+        assert_eq!(mem.frontier(), paged.frontier());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        mem.encode_into(&mut a);
+        paged.encode_into(&mut b);
+        assert_eq!(a, b, "paging must not change the persisted bytes");
+        let mut da = Vec::new();
+        let mut db = Vec::new();
+        mem.encode_delta_into(&mut da);
+        paged.encode_delta_into(&mut db);
+        assert_eq!(da, db, "paging must not change delta bytes");
+
+        let st = paged.page_stats();
+        assert!(st.total_pages > 2, "tree should outgrow the budget");
+        assert!(
+            st.resident_pages <= 2 + 1,
+            "resident pages bounded by budget (+1 in-flight)"
+        );
+        assert!(mem.approx_bytes() > paged.resident_approx_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_frontier_node_survives_eviction_pressure() {
+        let dir = scratch("pin");
+        let mut t = ExecutionTree::new_paged(ProgramId(4), PagedConfig::new(&dir, 2, 1)).unwrap();
+        for i in 0..40u32 {
+            t.merge_path(&path(&[(i, true)]), &Outcome::Success);
+        }
+        t.pin_node(NodeId::ROOT);
+        let faults_before = t.page_stats().faults;
+        // Heavy traffic over far-away nodes must not evict the pinned page.
+        for i in 20..40u32 {
+            let c = t.with_node(NodeId::ROOT, |n| n.child(s(i), true)).unwrap();
+            let _ = t.with_node(c, |n| n.visits);
+        }
+        let faults_after_root = {
+            let before = t.page_stats().faults;
+            let _ = t.with_node(NodeId::ROOT, |n| n.visits);
+            t.page_stats().faults - before
+        };
+        assert_eq!(faults_after_root, 0, "pinned page never faults");
+        assert!(t.page_stats().faults >= faults_before);
+        t.unpin_node(NodeId::ROOT);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

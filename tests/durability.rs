@@ -468,3 +468,158 @@ fn pipelined_durable_rounds_write_the_same_journal_as_serial() {
     assert_eq!(from_serial.hive_state(), from_piped.hive_state());
     assert_eq!(from_serial.history(), from_piped.history());
 }
+
+/// Delta-snapshot chains under the aggressive compaction policy, so
+/// short campaigns append real delta records.
+fn chained(dir: PathBuf) -> DurabilityConfig {
+    DurabilityConfig {
+        chain: Some(softborg::ChainSettings::default()),
+        compact_ratio: 1,
+        min_compact_wal_bytes: 1,
+        ..DurabilityConfig::new(dir)
+    }
+}
+
+#[test]
+fn chained_kill_at_every_round_boundary_is_process_equivalent() {
+    // The reference runs the *classic* full-snapshot store and is never
+    // killed; a delta-chain resume must land on the same states, pods,
+    // and continuation — the cross-mode byte-identity proof.
+    let s = scenarios::token_parser();
+    let r = full_reference(DurabilityConfig::new(campaign_dir("chain-ref")));
+    for k in 1..=ROUNDS {
+        let dir = campaign_dir(&format!("chain-{k}"));
+        {
+            let mut p = Platform::new(&s.program, config(Some(chained(dir.clone()))));
+            p.run(k as u32, EXECS);
+        } // drop = kill
+        let (resumed, report) = Platform::resume(&s.program, config(Some(chained(dir)))).unwrap();
+        let chain = report.chain.expect("chain-mode resume reports its walk");
+        assert!(
+            chain.defects.is_empty(),
+            "clean chain had defects: {chain:?}"
+        );
+        assert_eq!(resumed.committed_rounds(), k, "lost rounds at kill {k}");
+        assert_eq!(resumed.hive_state(), r.states[k as usize]);
+        assert_eq!(resumed.export_pod_states(), r.pods[k as usize]);
+        let mut resumed = resumed;
+        resumed.run((ROUNDS - k) as u32, EXECS);
+        assert_eq!(resumed.history(), &r.history[..]);
+        assert_eq!(resumed.hive_state(), r.states[ROUNDS as usize]);
+        assert_eq!(resumed.export_pod_states(), r.pods[ROUNDS as usize]);
+    }
+}
+
+#[test]
+fn chain_compaction_appends_deltas_instead_of_rewriting_snapshots() {
+    let s = scenarios::token_parser();
+    let dir = campaign_dir("chain-deltas");
+    {
+        let mut p = Platform::new(&s.program, config(Some(chained(dir.clone()))));
+        p.run(ROUNDS as u32, EXECS);
+    }
+    assert!(
+        !dir.join("hive.snap").exists(),
+        "chain mode must not write the classic snapshot"
+    );
+    let mut fulls: Vec<u64> = Vec::new();
+    let mut deltas: Vec<u64> = Vec::new();
+    for e in std::fs::read_dir(dir.join("chain")).unwrap() {
+        let e = e.unwrap();
+        let name = e.file_name().to_string_lossy().into_owned();
+        let len = e.metadata().unwrap().len();
+        if name.ends_with(".full") {
+            fulls.push(len);
+        } else if name.ends_with(".delta") {
+            deltas.push(len);
+        }
+    }
+    assert!(!fulls.is_empty(), "chain has no full record");
+    assert!(
+        !deltas.is_empty(),
+        "aggressive chain compaction never appended a delta"
+    );
+    // (The O(changes) vs O(hive) byte-ratio claim needs a hive whose
+    // steady state dwarfs a round's churn; e22 proves it at scale.)
+}
+
+#[test]
+fn chain_mode_refuses_a_legacy_full_snapshot_campaign() {
+    let s = scenarios::token_parser();
+    let dir = campaign_dir("chain-legacy");
+    {
+        let mut p = Platform::new(&s.program, config(Some(compacting(dir.clone()))));
+        p.run(ROUNDS as u32, EXECS);
+    }
+    assert!(dir.join("hive.snap").exists(), "need a legacy snapshot");
+    // A chain-mode resume over a full-snapshot campaign would silently
+    // cold-start (the chain never reads `hive.snap`); it must refuse.
+    match Platform::resume(&s.program, config(Some(chained(dir)))) {
+        Err(DurabilityError::Corrupt(msg)) => {
+            assert!(msg.contains("legacy"), "unhelpful refusal: {msg}");
+        }
+        other => panic!("expected Corrupt refusal, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn paged_tree_is_byte_identical_with_paging_off() {
+    use softborg::store::PagedConfig;
+    let s = scenarios::token_parser();
+    let dir = campaign_dir("paging");
+    let mut plain = Platform::new(&s.program, config(None));
+    // A tiny page and resident budget so eviction bites immediately.
+    let mut paged = Platform::new(
+        &s.program,
+        PlatformConfig {
+            tree_paging: Some(PagedConfig::new(&dir.join("pages"), 8, 2)),
+            ..config(None)
+        },
+    );
+    for round in 0..ROUNDS {
+        plain.round(EXECS);
+        paged.round(EXECS);
+        assert_eq!(
+            plain.hive_state(),
+            paged.hive_state(),
+            "paged hive diverged at round {round}"
+        );
+    }
+    assert_eq!(plain.history(), paged.history());
+    let stats = paged.page_stats();
+    assert!(
+        stats.evictions > 0 && stats.faults > 0,
+        "the resident budget never bit: {stats:?}"
+    );
+    assert!(
+        stats.resident_items < stats.total_items,
+        "nothing was actually evicted to disk: {stats:?}"
+    );
+    assert_eq!(stats.pages_trusted, 0, "clean run adopted stale pages");
+}
+
+#[test]
+fn chained_paged_resume_composes_with_both_stores() {
+    use softborg::store::PagedConfig;
+    let s = scenarios::token_parser();
+    let r = full_reference(DurabilityConfig::new(campaign_dir("chain-page-ref")));
+    let dir = campaign_dir("chain-page");
+    let cfg = |d: PathBuf| PlatformConfig {
+        tree_paging: Some(PagedConfig::new(&d.join("pages"), 8, 2)),
+        ..config(Some(chained(d)))
+    };
+    let kill = 2u64;
+    {
+        let mut p = Platform::new(&s.program, cfg(dir.clone()));
+        p.run(kill as u32, EXECS);
+    } // drop = kill
+    let (mut resumed, report) = Platform::resume(&s.program, cfg(dir)).unwrap();
+    assert!(report.chain.is_some());
+    assert_eq!(resumed.committed_rounds(), kill);
+    assert_eq!(resumed.hive_state(), r.states[kill as usize]);
+    resumed.run((ROUNDS - kill) as u32, EXECS);
+    assert_eq!(resumed.hive_state(), r.states[ROUNDS as usize]);
+    assert_eq!(resumed.export_pod_states(), r.pods[ROUNDS as usize]);
+    assert_eq!(resumed.history(), &r.history[..]);
+    assert_eq!(resumed.page_stats().pages_trusted, 0);
+}

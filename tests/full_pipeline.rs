@@ -81,6 +81,36 @@ fn hang_bug_gets_bounded() {
 }
 
 #[test]
+fn livelock_pair_gets_bounded() {
+    // Livelock — two retry loops undoing each other's progress — lands
+    // as a hang with no blocked thread; the same bound that tames spin
+    // loops must tame it. Small fleet, narrow range, low hang
+    // threshold: each livelocked execution burns its whole step
+    // budget, so the defaults make this test needlessly slow.
+    let s = softborg_program::scenarios::livelock_pair();
+    let mut platform = Platform::new(
+        &s.program,
+        PlatformConfig {
+            n_pods: 12,
+            pod: PodConfig {
+                input_range: (0, 199), // trigger 77 fires ~1/200
+                exec: softborg_program::interp::ExecConfig { max_steps: 5_000 },
+                ..PodConfig::default()
+            },
+            seed: 9,
+            ..PlatformConfig::default()
+        },
+    );
+    let history = platform.run(8, 10).to_vec();
+    let total_failures: u64 = history.iter().map(|r| r.failures).sum();
+    let promoted: u64 = history.iter().map(|r| r.fixes_promoted).sum();
+    assert!(total_failures > 0, "livelock never fired");
+    assert!(promoted > 0, "livelock bound never promoted: {history:?}");
+    let last = history.last().expect("history");
+    assert_eq!(last.failures, 0, "livelocks persist: {history:?}");
+}
+
+#[test]
 fn race_candidates_surface_without_failing_outcomes() {
     // Data races do not fail executions; the detector must still flag
     // them from access summaries.

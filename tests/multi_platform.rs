@@ -320,3 +320,55 @@ fn crash_between_shard_fsyncs_rolls_back_to_the_minimum_committed_round() {
     }
     assert_eq!(again.committed_rounds(), ROUNDS - 1);
 }
+
+#[test]
+fn chained_paged_fleet_resumes_process_equivalent_across_shards() {
+    use softborg::store::PagedConfig;
+    use softborg::ChainSettings;
+    let scs = fleet_scenarios();
+    // Classic-store, never-killed reference: the chained + paged fleet
+    // must be indistinguishable from it at every recovered round.
+    let (reference, ref_history) = reference_run(DurabilityConfig::new(campaign_dir("cp-ref")));
+    let cfg = |dir: PathBuf| MultiPlatformConfig {
+        tree_paging: Some(PagedConfig::new(&dir.join("pages"), 8, 2)),
+        ..config(Some(DurabilityConfig {
+            chain: Some(ChainSettings::default()),
+            compact_ratio: 1,
+            min_compact_wal_bytes: 1,
+            ..DurabilityConfig::new(dir)
+        }))
+    };
+    for k in 1..=ROUNDS {
+        let dir = campaign_dir(&format!("cp-{k}"));
+        {
+            let mut p = MultiPlatform::new(&specs(&scs), cfg(dir.clone()));
+            p.run(k as u32, EXECS);
+        } // drop = kill
+        let (mut resumed, report) = MultiPlatform::resume(&specs(&scs), cfg(dir)).unwrap();
+        assert_eq!(report.target_round, k, "lost rounds at kill {k}");
+        for sr in &report.shards {
+            assert!(
+                sr.chain.is_some(),
+                "shard {} resumed without walking its chain",
+                sr.shard
+            );
+        }
+        for (shard, expected) in reference[k as usize].iter().enumerate() {
+            assert_eq!(
+                &resumed.shard_state(shard),
+                expected,
+                "shard {shard} diverged from the classic-store reference at round {k}"
+            );
+        }
+        // The continuation replays the reference byte for byte, paging
+        // and chains included.
+        resumed.run((ROUNDS - k) as u32, EXECS);
+        assert_eq!(resumed.history(), &ref_history[..]);
+        for (shard, expected) in reference[ROUNDS as usize].iter().enumerate() {
+            assert_eq!(&resumed.shard_state(shard), expected);
+        }
+        let stats = resumed.page_stats();
+        assert_eq!(stats.pages_trusted, 0, "clean fleet adopted stale pages");
+        assert!(stats.total_pages > 0, "paging never engaged: {stats:?}");
+    }
+}
